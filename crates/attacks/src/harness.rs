@@ -1,0 +1,159 @@
+//! Attack driver: builds the proof-of-concept programs, runs them on the
+//! simulated DBT processor under a chosen mitigation policy and measures how
+//! much of the secret was recovered.
+
+use crate::{spectre_v1, spectre_v4};
+use dbt_platform::{DbtProcessor, PlatformConfig, PlatformError};
+use dbt_riscv::Program;
+use ghostbusters::MitigationPolicy;
+use std::fmt;
+
+/// Result of one attack run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackOutcome {
+    /// Which attack was run (`"spectre-v1"` or `"spectre-v4"`).
+    pub attack: &'static str,
+    /// The mitigation policy in force.
+    pub policy: MitigationPolicy,
+    /// The planted secret.
+    pub secret: Vec<u8>,
+    /// The bytes the attacker recovered through the cache side channel.
+    pub recovered: Vec<u8>,
+    /// Total cycles of the run.
+    pub cycles: u64,
+    /// Memory Conflict Buffer rollbacks observed.
+    pub rollbacks: u64,
+    /// Spectre patterns reported by the GhostBusters analysis.
+    pub patterns_detected: usize,
+}
+
+impl AttackOutcome {
+    /// Number of secret bytes recovered correctly.
+    pub fn correct_bytes(&self) -> usize {
+        self.secret
+            .iter()
+            .zip(&self.recovered)
+            .filter(|(a, b)| a == b)
+            .count()
+    }
+
+    /// Fraction of the secret recovered, in `[0, 1]`.
+    pub fn recovery_rate(&self) -> f64 {
+        if self.secret.is_empty() {
+            0.0
+        } else {
+            self.correct_bytes() as f64 / self.secret.len() as f64
+        }
+    }
+
+    /// Whether the attack recovered the complete secret.
+    pub fn leaked(&self) -> bool {
+        !self.secret.is_empty() && self.correct_bytes() == self.secret.len()
+    }
+}
+
+impl fmt::Display for AttackOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<10} {:<15} recovered {}/{} bytes ({:.0}%), {} rollback(s), {} pattern(s) detected",
+            self.attack,
+            self.policy,
+            self.correct_bytes(),
+            self.secret.len(),
+            self.recovery_rate() * 100.0,
+            self.rollbacks,
+            self.patterns_detected
+        )
+    }
+}
+
+fn run_attack(
+    attack: &'static str,
+    program: &Program,
+    policy: MitigationPolicy,
+    secret: &[u8],
+) -> Result<AttackOutcome, PlatformError> {
+    let mut processor = DbtProcessor::new(program, PlatformConfig::for_policy(policy))?;
+    let summary = processor.run()?;
+    let recovered = processor.load_symbol_bytes("recovered", secret.len())?;
+    Ok(AttackOutcome {
+        attack,
+        policy,
+        secret: secret.to_vec(),
+        recovered,
+        cycles: summary.cycles,
+        rollbacks: summary.rollbacks,
+        patterns_detected: processor.engine().mitigation_summary().patterns,
+    })
+}
+
+/// Runs the Spectre v1 proof of concept under `policy`.
+///
+/// # Errors
+///
+/// Propagates assembly or platform errors.
+pub fn run_spectre_v1(policy: MitigationPolicy, secret: &[u8]) -> Result<AttackOutcome, PlatformError> {
+    let program = spectre_v1::build(secret).expect("spectre v1 program assembles");
+    run_attack("spectre-v1", &program, policy, secret)
+}
+
+/// Runs the Spectre v4 proof of concept under `policy`.
+///
+/// # Errors
+///
+/// Propagates assembly or platform errors.
+pub fn run_spectre_v4(policy: MitigationPolicy, secret: &[u8]) -> Result<AttackOutcome, PlatformError> {
+    let program = spectre_v4::build(secret).expect("spectre v4 program assembles");
+    run_attack("spectre-v4", &program, policy, secret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SECRET: &[u8] = b"GB";
+
+    #[test]
+    fn spectre_v1_leaks_when_unprotected() {
+        let outcome = run_spectre_v1(MitigationPolicy::Unprotected, SECRET).unwrap();
+        assert!(outcome.leaked(), "unprotected v1 must leak: {outcome}");
+    }
+
+    #[test]
+    fn spectre_v1_is_stopped_by_the_countermeasures() {
+        for policy in [
+            MitigationPolicy::FineGrained,
+            MitigationPolicy::Fence,
+            MitigationPolicy::NoSpeculation,
+        ] {
+            let outcome = run_spectre_v1(policy, SECRET).unwrap();
+            assert_eq!(outcome.correct_bytes(), 0, "{policy} must stop v1: {outcome}");
+        }
+    }
+
+    #[test]
+    fn spectre_v4_leaks_when_unprotected() {
+        let outcome = run_spectre_v4(MitigationPolicy::Unprotected, SECRET).unwrap();
+        assert!(outcome.leaked(), "unprotected v4 must leak: {outcome}");
+        assert!(outcome.rollbacks > 0, "v4 relies on MCB rollbacks: {outcome}");
+    }
+
+    #[test]
+    fn spectre_v4_is_stopped_by_the_countermeasures() {
+        for policy in [
+            MitigationPolicy::FineGrained,
+            MitigationPolicy::Fence,
+            MitigationPolicy::NoSpeculation,
+        ] {
+            let outcome = run_spectre_v4(policy, SECRET).unwrap();
+            assert_eq!(outcome.correct_bytes(), 0, "{policy} must stop v4: {outcome}");
+        }
+    }
+
+    #[test]
+    fn fine_grained_policy_detects_patterns_in_the_attack_code() {
+        let outcome = run_spectre_v1(MitigationPolicy::FineGrained, SECRET).unwrap();
+        assert!(outcome.patterns_detected > 0);
+    }
+}

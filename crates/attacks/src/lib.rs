@@ -1,0 +1,24 @@
+//! Spectre proof-of-concept attacks on the simulated DBT-based processor.
+//!
+//! Two attacks are implemented, mirroring Section III of the paper:
+//!
+//! * [`spectre_v1`] — speculation during trace-based scheduling: a bounds
+//!   check whose guarded loads are hoisted above the branch after the
+//!   attacker trains the profile with in-bounds indexes;
+//! * [`spectre_v4`] — memory-dependency speculation: a load of a stale
+//!   index bypasses the (slow) store that overwrites it, is detected by the
+//!   Memory Conflict Buffer and rolled back — after the secret-dependent
+//!   cache line has already been fetched.
+//!
+//! Both attacks are complete *guest programs*: training, cache flushing,
+//! the malicious access and the timed flush+reload probe all run on the
+//! simulated processor, using only guest-visible instructions (`rdcycle`
+//! and the explicit line flush). The recovered bytes are written to guest
+//! memory where the [`harness`] reads them back.
+
+pub mod harness;
+pub mod probe;
+pub mod spectre_v1;
+pub mod spectre_v4;
+
+pub use harness::{run_spectre_v1, run_spectre_v4, AttackOutcome};

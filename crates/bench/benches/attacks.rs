@@ -1,0 +1,23 @@
+//! Criterion bench of the two Spectre proof-of-concepts (one secret byte)
+//! under the unsafe and fine-grained configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbt_attacks::{run_spectre_v1, run_spectre_v4};
+use ghostbusters::MitigationPolicy;
+
+fn bench_attacks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attacks");
+    group.sample_size(10);
+    for policy in [MitigationPolicy::Unprotected, MitigationPolicy::FineGrained] {
+        group.bench_with_input(BenchmarkId::new("spectre-v1", policy.label()), &policy, |b, p| {
+            b.iter(|| run_spectre_v1(*p, b"G").expect("v1 runs").cycles)
+        });
+        group.bench_with_input(BenchmarkId::new("spectre-v4", policy.label()), &policy, |b, p| {
+            b.iter(|| run_spectre_v4(*p, b"G").expect("v4 runs").cycles)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

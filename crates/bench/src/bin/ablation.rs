@@ -1,0 +1,47 @@
+//! Ablation: how much each speculation mechanism contributes.
+//!
+//! This regenerates the motivation behind the paper's "No speculation"
+//! comparison point by disabling branch speculation and memory speculation
+//! independently.
+
+use dbt_ir_options::run_all;
+
+mod dbt_ir_options {
+    use dbt_platform::{run_program, PlatformConfig};
+    use dbt_workloads::{suite, WorkloadSize};
+    use ghostbusters::MitigationPolicy;
+
+    pub fn run_all(size: WorkloadSize) {
+        println!(
+            "{:<12} {:>14} {:>18} {:>18} {:>16}",
+            "kernel", "both (cyc)", "no branch spec", "no memory spec", "no speculation"
+        );
+        for workload in suite(size) {
+            let mut configs = Vec::new();
+            for (branch, memory) in [(true, true), (false, true), (true, false), (false, false)] {
+                let mut config = PlatformConfig::for_policy(MitigationPolicy::Unprotected);
+                config.dbt.speculation.branch_speculation = branch;
+                config.dbt.speculation.memory_speculation = memory;
+                configs.push(run_program(&workload.program, config).map(|s| s.cycles).unwrap_or(0));
+            }
+            let base = configs[0].max(1) as f64;
+            println!(
+                "{:<12} {:>14} {:>17.1}% {:>17.1}% {:>15.1}%",
+                workload.name,
+                configs[0],
+                configs[1] as f64 / base * 100.0,
+                configs[2] as f64 / base * 100.0,
+                configs[3] as f64 / base * 100.0,
+            );
+        }
+    }
+}
+
+fn main() {
+    let size = if std::env::args().any(|a| a == "--mini") {
+        dbt_workloads::WorkloadSize::Mini
+    } else {
+        dbt_workloads::WorkloadSize::Small
+    };
+    run_all(size);
+}

@@ -1,0 +1,40 @@
+//! Regenerates the Section V-A result: both Spectre variants under every
+//! mitigation policy, with the secret-recovery rate.
+
+use dbt_attacks::{run_spectre_v1, run_spectre_v4};
+use ghostbusters::MitigationPolicy;
+
+fn main() {
+    let secret: &[u8] = b"GhostBusters";
+    println!("Attack results (secret = {:?}, {} bytes)\n", String::from_utf8_lossy(secret), secret.len());
+    println!(
+        "{:<12} {:<15} {:>10} {:>12} {:>11} {:>10}",
+        "attack", "policy", "recovered", "rate", "rollbacks", "patterns"
+    );
+    for policy in MitigationPolicy::ALL {
+        let outcome = run_spectre_v1(policy, secret).expect("v1 run");
+        println!(
+            "{:<12} {:<15} {:>7}/{:<3} {:>11.0}% {:>11} {:>10}",
+            outcome.attack,
+            outcome.policy.label(),
+            outcome.correct_bytes(),
+            outcome.secret.len(),
+            outcome.recovery_rate() * 100.0,
+            outcome.rollbacks,
+            outcome.patterns_detected
+        );
+    }
+    for policy in MitigationPolicy::ALL {
+        let outcome = run_spectre_v4(policy, secret).expect("v4 run");
+        println!(
+            "{:<12} {:<15} {:>7}/{:<3} {:>11.0}% {:>11} {:>10}",
+            outcome.attack,
+            outcome.policy.label(),
+            outcome.correct_bytes(),
+            outcome.secret.len(),
+            outcome.recovery_rate() * 100.0,
+            outcome.rollbacks,
+            outcome.patterns_detected
+        );
+    }
+}

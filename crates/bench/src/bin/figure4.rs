@@ -1,0 +1,36 @@
+//! Regenerates the paper's Figure 4: slowdown of the countermeasures
+//! relative to unsafe execution, per Polybench-style kernel plus the two
+//! Spectre proof-of-concept applications.
+
+use dbt_bench::{format_table, measure_slowdowns, SlowdownRow};
+use dbt_workloads::{suite, WorkloadSize};
+
+fn main() {
+    let size = if std::env::args().any(|a| a == "--mini") {
+        WorkloadSize::Mini
+    } else {
+        WorkloadSize::Small
+    };
+    let mut rows: Vec<SlowdownRow> = Vec::new();
+    for workload in suite(size) {
+        eprintln!("measuring {} ...", workload.name);
+        match measure_slowdowns(workload.name, &workload.program) {
+            Ok(row) => rows.push(row),
+            Err(e) => eprintln!("  skipped ({e})"),
+        }
+    }
+    // The paper also reports the two attack applications in Figure 4.
+    let secret = b"GhostBusters";
+    for (name, program) in [
+        ("spectre-v1", dbt_attacks::spectre_v1::build(secret).expect("v1 assembles")),
+        ("spectre-v4", dbt_attacks::spectre_v4::build(secret).expect("v4 assembles")),
+    ] {
+        eprintln!("measuring {name} ...");
+        match measure_slowdowns(name, &program) {
+            Ok(row) => rows.push(row),
+            Err(e) => eprintln!("  skipped ({e})"),
+        }
+    }
+    println!("Figure 4 — slowdown vs. unsafe execution (100% = no slowdown)\n");
+    println!("{}", format_table(&rows));
+}

@@ -1,0 +1,24 @@
+//! Regenerates the paper's pointer-array matrix multiplication experiment:
+//! when the Spectre pattern is frequent (double indirections in the hot
+//! loop), the fine-grained countermeasure stays cheap while the fence-based
+//! one pays a visible penalty.
+
+use dbt_bench::{format_table, measure_slowdowns};
+use dbt_workloads::{pointer_matmul, suite, WorkloadSize};
+
+fn main() {
+    let size = if std::env::args().any(|a| a == "--mini") {
+        WorkloadSize::Mini
+    } else {
+        WorkloadSize::Small
+    };
+    let mut rows = Vec::new();
+    // Plain gemm as the reference shape, then the pointer-array variant.
+    if let Some(gemm) = suite(size).into_iter().find(|w| w.name == "gemm") {
+        rows.push(measure_slowdowns("gemm (flat)", &gemm.program).expect("gemm measurement"));
+    }
+    let ptr = pointer_matmul(size);
+    rows.push(measure_slowdowns("gemm (ptr rows)", &ptr.program).expect("ptr-matmul measurement"));
+    println!("Pointer-array matrix multiplication — slowdown vs. unsafe execution\n");
+    println!("{}", format_table(&rows));
+}

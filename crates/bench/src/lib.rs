@@ -1,0 +1,84 @@
+//! Shared helpers for the evaluation harness.
+//!
+//! The four binaries in `src/bin/` regenerate the paper's evaluation:
+//!
+//! * `attack_table` — Section V-A: both Spectre variants under every
+//!   mitigation policy (recovery rate, rollbacks, patterns detected);
+//! * `figure4` — Figure 4: per-kernel slowdown of "our approach" and
+//!   "no speculation" relative to the unsafe baseline (plus the fence
+//!   variant discussed in the text);
+//! * `ptr_matmul_table` — the pointer-array matrix multiplication
+//!   experiment (fine-grained vs fence when the Spectre pattern is common);
+//! * `ablation` — design-choice check: how much each speculation mechanism
+//!   contributes on its own.
+
+use dbt_platform::{run_program, PlatformConfig, PlatformError};
+use dbt_riscv::Program;
+use ghostbusters::MitigationPolicy;
+
+/// One row of a slowdown table.
+#[derive(Debug, Clone)]
+pub struct SlowdownRow {
+    /// Workload name.
+    pub name: String,
+    /// Cycles of the unprotected baseline.
+    pub baseline_cycles: u64,
+    /// Slowdown (relative execution time, 1.0 = baseline) per policy, in the
+    /// order of [`MitigationPolicy::ALL`].
+    pub slowdown: [f64; 4],
+}
+
+/// Measures one workload under every mitigation policy.
+///
+/// # Errors
+///
+/// Propagates platform errors (translation faults, budget exhaustion).
+pub fn measure_slowdowns(name: &str, program: &Program) -> Result<SlowdownRow, PlatformError> {
+    let mut cycles = [0u64; 4];
+    for (i, policy) in MitigationPolicy::ALL.iter().enumerate() {
+        cycles[i] = run_program(program, PlatformConfig::for_policy(*policy))?.cycles;
+    }
+    let baseline = cycles[0].max(1);
+    let mut slowdown = [0.0; 4];
+    for i in 0..4 {
+        slowdown[i] = cycles[i] as f64 / baseline as f64;
+    }
+    Ok(SlowdownRow { name: name.to_string(), baseline_cycles: cycles[0], slowdown })
+}
+
+/// Formats a slowdown table in the layout of the paper's Figure 4.
+pub fn format_table(rows: &[SlowdownRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>12} {:>14} {:>10} {:>16}",
+        "kernel", "unsafe (cyc)", "our approach", "fence", "no speculation"
+    );
+    let mut sums = [0.0f64; 4];
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>12} {:>13.1}% {:>9.1}% {:>15.1}%",
+            row.name,
+            row.baseline_cycles,
+            row.slowdown[1] * 100.0,
+            row.slowdown[2] * 100.0,
+            row.slowdown[3] * 100.0,
+        );
+        for i in 0..4 {
+            sums[i] += row.slowdown[i];
+        }
+    }
+    let n = rows.len().max(1) as f64;
+    let _ = writeln!(
+        out,
+        "{:<12} {:>12} {:>13.1}% {:>9.1}% {:>15.1}%",
+        "geo-mean*", "",
+        sums[1] / n * 100.0,
+        sums[2] / n * 100.0,
+        sums[3] / n * 100.0,
+    );
+    let _ = writeln!(out, "(* arithmetic mean of relative execution times, as in the paper's text)");
+    out
+}

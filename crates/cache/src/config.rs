@@ -1,0 +1,117 @@
+//! Cache geometry and latency configuration.
+
+/// Geometry and timing of the simulated L1 data cache.
+///
+/// The defaults model a small embedded L1: 16 KiB, 4-way, 64-byte lines,
+/// 2-cycle hits and 60-cycle misses (main-memory latency). The large gap
+/// between hit and miss latency is what makes the flush+reload side channel
+/// trivially observable — the same property holds on the in-order cores the
+/// paper studies, where timing is very stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_size: u64,
+    /// Latency of a hit, in cycles.
+    pub hit_latency: u64,
+    /// Latency of a miss (line fill from memory), in cycles.
+    pub miss_latency: u64,
+}
+
+impl CacheConfig {
+    /// A 16 KiB, 4-way, 64-byte-line cache with a 2/60 cycle hit/miss split.
+    pub fn new() -> CacheConfig {
+        CacheConfig { sets: 64, ways: 4, line_size: 64, hit_latency: 2, miss_latency: 60 }
+    }
+
+    /// A tiny cache useful in tests that want to exercise evictions quickly.
+    pub fn tiny() -> CacheConfig {
+        CacheConfig { sets: 4, ways: 2, line_size: 16, hit_latency: 1, miss_latency: 20 }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line_size
+    }
+
+    /// Index of the set holding `addr`.
+    pub fn set_index(&self, addr: u64) -> usize {
+        ((addr / self.line_size) as usize) % self.sets
+    }
+
+    /// Tag of the line holding `addr`.
+    pub fn tag(&self, addr: u64) -> u64 {
+        (addr / self.line_size) / self.sets as u64
+    }
+
+    /// Address of the first byte of the line holding `addr`.
+    pub fn line_base(&self, addr: u64) -> u64 {
+        addr & !(self.line_size - 1)
+    }
+
+    /// Validates the configuration (non-zero geometry, power-of-two line
+    /// size, miss slower than hit).
+    pub fn is_valid(&self) -> bool {
+        self.sets > 0
+            && self.ways > 0
+            && self.line_size.is_power_of_two()
+            && self.miss_latency > self.hit_latency
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_16kib() {
+        let c = CacheConfig::default();
+        assert!(c.is_valid());
+        assert_eq!(c.capacity(), 16 * 1024);
+    }
+
+    #[test]
+    fn set_index_and_tag_partition_the_address() {
+        let c = CacheConfig::default();
+        let addr = 0x1_2345;
+        let line = addr / c.line_size;
+        assert_eq!(c.set_index(addr), (line as usize) % c.sets);
+        assert_eq!(c.tag(addr), line / c.sets as u64);
+        assert_eq!(c.line_base(addr) % c.line_size, 0);
+        assert!(c.line_base(addr) <= addr);
+        assert!(addr < c.line_base(addr) + c.line_size);
+    }
+
+    #[test]
+    fn same_line_same_set_and_tag() {
+        let c = CacheConfig::default();
+        assert_eq!(c.set_index(0x1000), c.set_index(0x103f));
+        assert_eq!(c.tag(0x1000), c.tag(0x103f));
+        assert_ne!(
+            (c.set_index(0x1000), c.tag(0x1000)),
+            (c.set_index(0x1040), c.tag(0x1040))
+        );
+    }
+
+    #[test]
+    fn invalid_configs_detected() {
+        let mut c = CacheConfig::default();
+        c.line_size = 48;
+        assert!(!c.is_valid());
+        let mut c = CacheConfig::default();
+        c.miss_latency = c.hit_latency;
+        assert!(!c.is_valid());
+        let mut c = CacheConfig::default();
+        c.ways = 0;
+        assert!(!c.is_valid());
+    }
+}

@@ -1,0 +1,40 @@
+//! Data-cache timing model for the DBT-based processor simulator.
+//!
+//! The Spectre attacks reproduced in this workspace leak information through
+//! the **data cache**: a speculatively executed load brings a line into the
+//! cache, and the attacker later distinguishes cached from uncached probe
+//! addresses by timing loads with the cycle counter. This crate provides the
+//! cache model that makes those timings observable:
+//!
+//! * [`CacheConfig`] — geometry and latencies;
+//! * [`SetAssocCache`] — a set-associative tag store with LRU replacement;
+//! * [`DataCache`] — the latency-producing wrapper used by the VLIW core;
+//! * [`sidechannel`] — helpers to classify probe latencies, shared by the
+//!   in-guest attack code generators and the test suite.
+//!
+//! The model tracks *which lines are resident*, not their contents — data
+//! always comes from the guest memory image. This is sufficient because the
+//! side channel only depends on residency.
+//!
+//! # Example
+//!
+//! ```
+//! use dbt_cache::{CacheConfig, DataCache};
+//!
+//! let mut dcache = DataCache::new(CacheConfig::default());
+//! let miss = dcache.access(0x1000, false);
+//! let hit = dcache.access(0x1008, false); // same 64-byte line
+//! assert!(miss.latency > hit.latency);
+//! ```
+
+pub mod config;
+pub mod data_cache;
+pub mod set_assoc;
+pub mod sidechannel;
+pub mod stats;
+
+pub use config::CacheConfig;
+pub use data_cache::{AccessOutcome, DataCache};
+pub use set_assoc::SetAssocCache;
+pub use sidechannel::{classify_latencies, recover_byte, LatencyClass};
+pub use stats::CacheStats;

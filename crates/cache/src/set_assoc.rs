@@ -1,0 +1,224 @@
+//! Set-associative tag store with true-LRU replacement.
+
+use crate::config::CacheConfig;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Way {
+    valid: bool,
+    tag: u64,
+    /// Monotonic timestamp of the last access; the smallest value in a set
+    /// is the LRU victim.
+    last_used: u64,
+}
+
+impl Way {
+    const EMPTY: Way = Way { valid: false, tag: 0, last_used: 0 };
+}
+
+/// A set-associative cache tag store.
+///
+/// Only residency is modelled (no data array): a lookup either hits an
+/// existing line or allocates it, evicting the least-recently-used way.
+///
+/// # Example
+///
+/// ```
+/// use dbt_cache::{CacheConfig, SetAssocCache};
+/// let mut cache = SetAssocCache::new(CacheConfig::tiny());
+/// assert!(!cache.lookup(0x40));
+/// cache.fill(0x40);
+/// assert!(cache.lookup(0x40));
+/// cache.flush_line(0x40);
+/// assert!(!cache.lookup(0x40));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    ways: Vec<Way>,
+    clock: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.is_valid()` is false.
+    pub fn new(config: CacheConfig) -> SetAssocCache {
+        assert!(config.is_valid(), "invalid cache configuration: {config:?}");
+        SetAssocCache { config, ways: vec![Way::EMPTY; config.sets * config.ways], clock: 0 }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn set_range(&self, addr: u64) -> std::ops::Range<usize> {
+        let set = self.config.set_index(addr);
+        let start = set * self.config.ways;
+        start..start + self.config.ways
+    }
+
+    /// Returns `true` if the line containing `addr` is resident, updating
+    /// LRU state on a hit.
+    pub fn lookup(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let tag = self.config.tag(addr);
+        let clock = self.clock;
+        let range = self.set_range(addr);
+        for way in &mut self.ways[range] {
+            if way.valid && way.tag == tag {
+                way.last_used = clock;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Returns `true` if the line containing `addr` is resident, without
+    /// touching LRU state (used by tests and statistics).
+    pub fn contains(&self, addr: u64) -> bool {
+        let tag = self.config.tag(addr);
+        self.ways[self.set_range(addr)].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Allocates the line containing `addr`, evicting the LRU way if needed.
+    ///
+    /// Returns the base address of the evicted line, if any.
+    pub fn fill(&mut self, addr: u64) -> Option<u64> {
+        self.clock += 1;
+        let tag = self.config.tag(addr);
+        let clock = self.clock;
+        let set = self.config.set_index(addr) as u64;
+        let range = self.set_range(addr);
+        // Already present: refresh.
+        for way in &mut self.ways[range.clone()] {
+            if way.valid && way.tag == tag {
+                way.last_used = clock;
+                return None;
+            }
+        }
+        // Free way?
+        if let Some(way) = self.ways[range.clone()].iter_mut().find(|w| !w.valid) {
+            *way = Way { valid: true, tag, last_used: clock };
+            return None;
+        }
+        // Evict LRU.
+        let victim = self.ways[range]
+            .iter_mut()
+            .min_by_key(|w| w.last_used)
+            .expect("associativity is non-zero");
+        let evicted_line = (victim.tag * self.config.sets as u64 + set) * self.config.line_size;
+        *victim = Way { valid: true, tag, last_used: clock };
+        Some(evicted_line)
+    }
+
+    /// Invalidates the line containing `addr`, if resident.
+    ///
+    /// Returns `true` if a line was actually invalidated.
+    pub fn flush_line(&mut self, addr: u64) -> bool {
+        let tag = self.config.tag(addr);
+        let range = self.set_range(addr);
+        for way in &mut self.ways[range] {
+            if way.valid && way.tag == tag {
+                way.valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates every line.
+    pub fn flush_all(&mut self) {
+        for way in &mut self.ways {
+            way.valid = false;
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_then_lookup_hits() {
+        let mut c = SetAssocCache::new(CacheConfig::tiny());
+        assert!(!c.lookup(0x100));
+        assert_eq!(c.fill(0x100), None);
+        assert!(c.lookup(0x100));
+        assert!(c.lookup(0x10f)); // same 16-byte line
+        assert!(!c.lookup(0x110)); // next line
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // tiny: 4 sets, 2 ways, 16-byte lines. Addresses mapping to set 0
+        // are multiples of 64.
+        let mut c = SetAssocCache::new(CacheConfig::tiny());
+        c.fill(0); // line A
+        c.fill(64); // line B
+        assert!(c.contains(0) && c.contains(64));
+        // Touch A so B becomes LRU.
+        assert!(c.lookup(0));
+        let evicted = c.fill(128); // line C evicts B
+        assert_eq!(evicted, Some(64));
+        assert!(c.contains(0));
+        assert!(!c.contains(64));
+        assert!(c.contains(128));
+    }
+
+    #[test]
+    fn flush_line_only_affects_its_line() {
+        let mut c = SetAssocCache::new(CacheConfig::tiny());
+        c.fill(0);
+        c.fill(16);
+        assert!(c.flush_line(0));
+        assert!(!c.flush_line(0));
+        assert!(!c.contains(0));
+        assert!(c.contains(16));
+    }
+
+    #[test]
+    fn flush_all_empties_cache() {
+        let mut c = SetAssocCache::new(CacheConfig::tiny());
+        for i in 0..8 {
+            c.fill(i * 16);
+        }
+        assert!(c.resident_lines() > 0);
+        c.flush_all();
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let cfg = CacheConfig::tiny();
+        let mut c = SetAssocCache::new(cfg);
+        for i in 0..1000u64 {
+            c.fill(i * cfg.line_size);
+        }
+        assert_eq!(c.resident_lines(), cfg.sets * cfg.ways);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cache configuration")]
+    fn invalid_config_panics() {
+        let mut cfg = CacheConfig::tiny();
+        cfg.line_size = 3;
+        let _ = SetAssocCache::new(cfg);
+    }
+
+    #[test]
+    fn refilling_resident_line_does_not_evict() {
+        let mut c = SetAssocCache::new(CacheConfig::tiny());
+        c.fill(0);
+        c.fill(64);
+        assert_eq!(c.fill(0), None);
+        assert!(c.contains(64));
+    }
+}

@@ -1,0 +1,111 @@
+//! Cache side-channel helpers: classifying probe latencies and recovering
+//! leaked bytes.
+//!
+//! The in-guest attack code measures, for each of the 256 probe-array
+//! entries, the latency of one load. The entry whose line was touched by the
+//! speculative access is the only hit; its index is the leaked byte. These
+//! helpers implement that classification and are shared by the attack
+//! harness and the test suite.
+
+/// Classification of a single probe latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyClass {
+    /// The probe hit in the cache (the line was resident).
+    Hit,
+    /// The probe missed (the line had to be fetched from memory).
+    Miss,
+}
+
+/// Classifies each latency as hit or miss using a threshold halfway between
+/// the configured hit and miss latencies.
+///
+/// # Example
+///
+/// ```
+/// use dbt_cache::{classify_latencies, LatencyClass};
+/// let classes = classify_latencies(&[2, 60, 3], 2, 60);
+/// assert_eq!(classes, vec![LatencyClass::Hit, LatencyClass::Miss, LatencyClass::Hit]);
+/// ```
+pub fn classify_latencies(latencies: &[u64], hit_latency: u64, miss_latency: u64) -> Vec<LatencyClass> {
+    let threshold = hit_latency + (miss_latency - hit_latency) / 2;
+    latencies
+        .iter()
+        .map(|&l| if l <= threshold { LatencyClass::Hit } else { LatencyClass::Miss })
+        .collect()
+}
+
+/// Recovers the leaked byte from a 256-entry probe-latency vector: the index
+/// of the (unique) fastest entry.
+///
+/// Returns `None` if `latencies` is empty or if no entry is classified as a
+/// hit (i.e. the speculative access never happened — which is exactly what a
+/// successful mitigation produces).
+///
+/// # Example
+///
+/// ```
+/// use dbt_cache::recover_byte;
+/// let mut lat = vec![60u64; 256];
+/// lat[0x41] = 2;
+/// assert_eq!(recover_byte(&lat, 2, 60), Some(0x41));
+/// assert_eq!(recover_byte(&vec![60u64; 256], 2, 60), None);
+/// ```
+pub fn recover_byte(latencies: &[u64], hit_latency: u64, miss_latency: u64) -> Option<u8> {
+    if latencies.is_empty() {
+        return None;
+    }
+    let classes = classify_latencies(latencies, hit_latency, miss_latency);
+    let (best_index, best_latency) = latencies
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &l)| l)
+        .expect("non-empty latencies");
+    if classes[best_index] == LatencyClass::Miss {
+        return None;
+    }
+    let _ = best_latency;
+    u8::try_from(best_index).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_uses_midpoint_threshold() {
+        let classes = classify_latencies(&[2, 30, 31, 60], 2, 60);
+        assert_eq!(
+            classes,
+            vec![LatencyClass::Hit, LatencyClass::Hit, LatencyClass::Hit, LatencyClass::Miss]
+        );
+    }
+
+    #[test]
+    fn recover_byte_finds_unique_hit() {
+        let mut lat = vec![60u64; 256];
+        lat[0x7f] = 2;
+        assert_eq!(recover_byte(&lat, 2, 60), Some(0x7f));
+    }
+
+    #[test]
+    fn recover_byte_none_when_all_miss() {
+        let lat = vec![60u64; 256];
+        assert_eq!(recover_byte(&lat, 2, 60), None);
+    }
+
+    #[test]
+    fn recover_byte_none_on_empty_input() {
+        assert_eq!(recover_byte(&[], 2, 60), None);
+    }
+
+    #[test]
+    fn recover_byte_beyond_255_entries_still_fits_u8() {
+        let mut lat = vec![60u64; 300];
+        lat[10] = 1;
+        assert_eq!(recover_byte(&lat, 2, 60), Some(10));
+        // If the fastest entry is outside the byte range, we report None.
+        let mut lat = vec![60u64; 300];
+        lat[299] = 1;
+        assert_eq!(recover_byte(&lat, 2, 60), None);
+    }
+}

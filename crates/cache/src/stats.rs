@@ -1,0 +1,86 @@
+//! Cache access counters.
+
+/// Hit/miss/flush counters collected by [`DataCache`](crate::DataCache).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Load accesses that hit.
+    pub read_hits: u64,
+    /// Load accesses that missed.
+    pub read_misses: u64,
+    /// Store accesses that hit.
+    pub write_hits: u64,
+    /// Store accesses that missed.
+    pub write_misses: u64,
+    /// Explicit line or full flushes.
+    pub flushes: u64,
+}
+
+impl CacheStats {
+    /// Creates zeroed counters.
+    pub fn new() -> CacheStats {
+        CacheStats::default()
+    }
+
+    pub(crate) fn record_hit(&mut self, is_write: bool) {
+        if is_write {
+            self.write_hits += 1;
+        } else {
+            self.read_hits += 1;
+        }
+    }
+
+    pub(crate) fn record_miss(&mut self, is_write: bool) {
+        if is_write {
+            self.write_misses += 1;
+        } else {
+            self.read_misses += 1;
+        }
+    }
+
+    pub(crate) fn record_flush(&mut self) {
+        self.flushes += 1;
+    }
+
+    /// Total number of accesses (hits + misses, loads + stores).
+    pub fn accesses(&self) -> u64 {
+        self.read_hits + self.read_misses + self.write_hits + self.write_misses
+    }
+
+    /// Total number of misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Miss rate in [0, 1]; 0 when no access was made.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_handles_zero_accesses() {
+        assert_eq!(CacheStats::new().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn counters_add_up() {
+        let mut s = CacheStats::new();
+        s.record_hit(false);
+        s.record_hit(true);
+        s.record_miss(false);
+        s.record_flush();
+        assert_eq!(s.accesses(), 3);
+        assert_eq!(s.misses(), 1);
+        assert!((s.miss_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.flushes, 1);
+    }
+}

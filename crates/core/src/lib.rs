@@ -1,0 +1,74 @@
+//! **GhostBusters** — the Spectre countermeasure for DBT-based processors
+//! described in *GhostBusters: Mitigating Spectre Attacks on a DBT-Based
+//! Processor* (Simon Rokicki, DATE 2020).
+//!
+//! DBT-based processors (Transmeta Crusoe, NVidia Denver, Hybrid-DBT) do not
+//! speculate in hardware; the software translation layer speculates instead,
+//! by hoisting loads above biased branches (trace scheduling) and above
+//! stores it cannot disambiguate (Memory Conflict Buffer speculation). Both
+//! mechanisms leave secret-dependent lines in the data cache when the
+//! speculation is wrong, which a cache side channel turns into a leak —
+//! Spectre v1 and v4 analogues.
+//!
+//! Because the speculation is a *software decision*, the countermeasure is a
+//! pure software patch to the DBT engine, applied between dependency-graph
+//! construction and instruction scheduling:
+//!
+//! 1. [`poison`] — a block-local taint analysis marks the values produced by
+//!    speculative loads as *poisoned* and propagates poison through data
+//!    dependencies;
+//! 2. [`pattern`] — a *Spectre pattern* is a speculative memory access whose
+//!    address is poisoned: executing it speculatively would encode a
+//!    speculatively-read value into cache state;
+//! 3. [`mitigation`] — for every detected pattern the scheduler is
+//!    constrained, either **fine-grained** (only the risky access loses its
+//!    ability to be hoisted — the paper's contribution), with a **fence**
+//!    (everything after the pattern waits), or by disabling speculation
+//!    altogether (the naive baseline the paper compares against).
+//!
+//! The analysis never needs to look beyond one IR block: the DBT engine only
+//! speculates inside a block, and block-local temporaries die at its end.
+//!
+//! # Example
+//!
+//! ```
+//! use dbt_ir::{BlockKind, DepGraph, DfgOptions, IrBlock, IrOp, MemWidth, Operand};
+//! use dbt_riscv::Reg;
+//! use ghostbusters::{apply, MitigationPolicy};
+//!
+//! // store addrBuf[k] ; a = load addrBuf[0] ; leak = load probe[a]
+//! let mut block = IrBlock::new(0x1000, BlockKind::Basic);
+//! let addr_buf = block.push(IrOp::Const(0x2000), 0x1000, 0);
+//! block.push(IrOp::Store {
+//!     width: MemWidth::DOUBLE,
+//!     value: Operand::Imm(0),
+//!     base: Operand::LiveIn(Reg::A0),
+//!     offset: 0,
+//! }, 0x1004, 1);
+//! let a = block.push(IrOp::Load { width: MemWidth::DOUBLE, base: Operand::Value(addr_buf), offset: 0 }, 0x1008, 2);
+//! let probe = block.push(IrOp::Const(0x8000), 0x100c, 3);
+//! let addr = block.push(IrOp::Alu {
+//!     op: dbt_riscv::inst::AluOp::Add,
+//!     a: Operand::Value(probe),
+//!     b: Operand::Value(a),
+//! }, 0x1010, 4);
+//! block.push(IrOp::Load { width: MemWidth::BYTE_U, base: Operand::Value(addr), offset: 0 }, 0x1014, 5);
+//! block.push(IrOp::Halt, 0x1018, 6);
+//!
+//! let mut graph = DepGraph::build(&block, DfgOptions::aggressive());
+//! let report = apply(&block, &mut graph, MitigationPolicy::FineGrained);
+//! assert_eq!(report.patterns.len(), 1);
+//! assert!(report.hardened_edges > 0);
+//! ```
+
+pub mod mitigation;
+pub mod pattern;
+pub mod poison;
+pub mod policy;
+pub mod report;
+
+pub use mitigation::apply;
+pub use pattern::{detect_patterns, SpectrePattern};
+pub use poison::{PoisonAnalysis, SpeculationSource};
+pub use policy::MitigationPolicy;
+pub use report::MitigationReport;

@@ -1,0 +1,223 @@
+//! Applying a mitigation policy to a block's dependency graph.
+//!
+//! The mitigation never rewrites instructions: it only changes which
+//! dependency edges the scheduler is allowed to relax. This mirrors the
+//! paper's implementation, where the countermeasure is an update of the DBT
+//! engine's scheduling constraints.
+
+use crate::pattern::detect_patterns;
+use crate::poison::PoisonAnalysis;
+use crate::policy::MitigationPolicy;
+use crate::report::MitigationReport;
+use dbt_ir::{DepGraph, IrBlock};
+
+/// Runs the GhostBusters analysis on `block` and constrains `graph`
+/// according to `policy`.
+///
+/// * [`MitigationPolicy::Unprotected`] — analysis only, nothing hardened
+///   (the report still lists the patterns, which is how the attack
+///   experiments verify that the unsafe configuration is indeed exposed);
+/// * [`MitigationPolicy::FineGrained`] — for every detected pattern, every
+///   relaxable edge into the risky access is hardened, re-inserting the
+///   dependency on the instruction that causes the speculation;
+/// * [`MitigationPolicy::Fence`] — for every detected pattern, every
+///   relaxable edge that crosses the risky access's original position is
+///   hardened (nothing after the pattern may bypass anything before it);
+/// * [`MitigationPolicy::NoSpeculation`] — every relaxable edge in the block
+///   is hardened.
+///
+/// Returns a [`MitigationReport`] describing what was found and constrained.
+pub fn apply(block: &IrBlock, graph: &mut DepGraph, policy: MitigationPolicy) -> MitigationReport {
+    let analysis = PoisonAnalysis::run(block, graph);
+    let patterns = detect_patterns(block, graph, &analysis);
+    let mut hardened = 0usize;
+
+    match policy {
+        MitigationPolicy::Unprotected => {}
+        MitigationPolicy::FineGrained => {
+            for pattern in &patterns {
+                hardened += graph.harden_all_preds(pattern.risky_access);
+            }
+        }
+        MitigationPolicy::Fence => {
+            for pattern in &patterns {
+                let fence_seq = block.inst(pattern.risky_access).original_seq;
+                let crossing: Vec<(dbt_ir::InstId, dbt_ir::InstId)> = graph
+                    .edges()
+                    .iter()
+                    .filter(|e| {
+                        e.relaxable
+                            && block.inst(e.from).original_seq < fence_seq
+                            && block.inst(e.to).original_seq >= fence_seq
+                    })
+                    .map(|e| (e.from, e.to))
+                    .collect();
+                for (from, to) in crossing {
+                    hardened += graph.harden(from, to);
+                }
+            }
+        }
+        MitigationPolicy::NoSpeculation => {
+            for inst in block.insts() {
+                hardened += graph.harden_all_preds(inst.id);
+            }
+        }
+    }
+
+    MitigationReport {
+        policy,
+        block_len: block.len(),
+        poisoned_values: analysis.poisoned_count(),
+        patterns,
+        hardened_edges: hardened,
+        remaining_relaxable_edges: graph.relaxable_edge_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbt_ir::{BlockKind, DfgOptions, InstId, IrOp, MemWidth, Operand};
+    use dbt_riscv::inst::AluOp;
+    use dbt_riscv::{BranchCond, Reg};
+
+    /// A block with both a benign speculative load and a Spectre pattern.
+    fn mixed_block() -> IrBlock {
+        let mut b = IrBlock::new(0, BlockKind::Superblock { merged_blocks: 2 });
+        // benign: store [a0], load constant address (speculative but clean)
+        b.push(
+            IrOp::Store {
+                width: MemWidth::DOUBLE,
+                value: Operand::Imm(7),
+                base: Operand::LiveIn(Reg::A0),
+                offset: 0,
+            },
+            0,
+            0,
+        );
+        let clean_addr = b.push(IrOp::Const(0x7000), 4, 1);
+        let benign = b.push(
+            IrOp::Load { width: MemWidth::DOUBLE, base: Operand::Value(clean_addr), offset: 0 },
+            4,
+            1,
+        );
+        b.push(IrOp::WriteReg { reg: Reg::A5, value: Operand::Value(benign) }, 4, 1);
+        // risky: bounds-check exit, secret load, probe load
+        let size = b.push(IrOp::Const(16), 8, 2);
+        b.push(
+            IrOp::SideExit {
+                cond: BranchCond::Geu,
+                a: Operand::LiveIn(Reg::A1),
+                b: Operand::Value(size),
+                target: 0x9000,
+            },
+            12,
+            3,
+        );
+        let buffer = b.push(IrOp::Const(0x3000), 16, 4);
+        let addr1 = b.push(
+            IrOp::Alu { op: AluOp::Add, a: Operand::Value(buffer), b: Operand::LiveIn(Reg::A1) },
+            16,
+            4,
+        );
+        let secret = b.push(
+            IrOp::Load { width: MemWidth::BYTE_U, base: Operand::Value(addr1), offset: 0 },
+            20,
+            5,
+        );
+        let probe = b.push(IrOp::Const(0x8000), 24, 6);
+        let addr2 = b.push(
+            IrOp::Alu { op: AluOp::Add, a: Operand::Value(probe), b: Operand::Value(secret) },
+            24,
+            6,
+        );
+        b.push(IrOp::Load { width: MemWidth::BYTE_U, base: Operand::Value(addr2), offset: 0 }, 28, 7);
+        b.push(IrOp::Jump { target: 0x30 }, 32, 8);
+        b
+    }
+
+    fn risky_load(block: &IrBlock) -> InstId {
+        *block.loads().last().unwrap()
+    }
+
+    #[test]
+    fn unprotected_reports_but_does_not_constrain() {
+        let block = mixed_block();
+        let mut graph = DepGraph::build(&block, DfgOptions::aggressive());
+        let before = graph.relaxable_edge_count();
+        let report = apply(&block, &mut graph, MitigationPolicy::Unprotected);
+        assert!(report.has_pattern());
+        assert_eq!(report.hardened_edges, 0);
+        assert_eq!(graph.relaxable_edge_count(), before);
+    }
+
+    #[test]
+    fn fine_grained_constrains_only_the_risky_access() {
+        let block = mixed_block();
+        let mut graph = DepGraph::build(&block, DfgOptions::aggressive());
+        let report = apply(&block, &mut graph, MitigationPolicy::FineGrained);
+        assert!(report.has_pattern());
+        assert!(report.hardened_edges > 0);
+        let risky = risky_load(&block);
+        assert!(!graph.is_speculation_candidate(risky), "risky load must not stay speculative");
+        // The benign speculative load keeps its speculation opportunity.
+        let benign = block.loads()[0];
+        assert!(graph.is_speculation_candidate(benign));
+        assert!(report.remaining_relaxable_edges > 0);
+    }
+
+    #[test]
+    fn fence_is_coarser_than_fine_grained() {
+        let block = mixed_block();
+        let mut fine = DepGraph::build(&block, DfgOptions::aggressive());
+        let fine_report = apply(&block, &mut fine, MitigationPolicy::FineGrained);
+        let mut fence = DepGraph::build(&block, DfgOptions::aggressive());
+        let fence_report = apply(&block, &mut fence, MitigationPolicy::Fence);
+        assert!(fence_report.hardened_edges >= fine_report.hardened_edges);
+        assert!(fence.relaxable_edge_count() <= fine.relaxable_edge_count());
+        let risky = risky_load(&block);
+        assert!(!fence.is_speculation_candidate(risky));
+    }
+
+    #[test]
+    fn no_speculation_hardens_everything() {
+        let block = mixed_block();
+        let mut graph = DepGraph::build(&block, DfgOptions::aggressive());
+        let report = apply(&block, &mut graph, MitigationPolicy::NoSpeculation);
+        assert_eq!(graph.relaxable_edge_count(), 0);
+        assert_eq!(report.remaining_relaxable_edges, 0);
+    }
+
+    #[test]
+    fn clean_block_is_left_untouched_by_fine_grained_and_fence() {
+        // A loop-body-like block with loads and stores to different arrays
+        // and no Spectre pattern.
+        let mut b = IrBlock::new(0, BlockKind::Basic);
+        let a_base = b.push(IrOp::Const(0x1000), 0, 0);
+        let b_base = b.push(IrOp::Const(0x2000), 0, 0);
+        let x = b.push(IrOp::Load { width: MemWidth::DOUBLE, base: Operand::Value(a_base), offset: 0 }, 4, 1);
+        let y = b.push(IrOp::Alu { op: AluOp::Add, a: Operand::Value(x), b: Operand::Imm(1) }, 8, 2);
+        b.push(
+            IrOp::Store {
+                width: MemWidth::DOUBLE,
+                value: Operand::Value(y),
+                base: Operand::LiveIn(Reg::A0),
+                offset: 0,
+            },
+            12,
+            3,
+        );
+        let z = b.push(IrOp::Load { width: MemWidth::DOUBLE, base: Operand::Value(b_base), offset: 8 }, 16, 4);
+        b.push(IrOp::WriteReg { reg: Reg::A1, value: Operand::Value(z) }, 16, 4);
+        b.push(IrOp::Jump { target: 0x20 }, 20, 5);
+
+        for policy in [MitigationPolicy::FineGrained, MitigationPolicy::Fence] {
+            let mut graph = DepGraph::build(&b, DfgOptions::aggressive());
+            let before = graph.relaxable_edge_count();
+            let report = apply(&b, &mut graph, policy);
+            assert!(!report.has_pattern());
+            assert_eq!(report.hardened_edges, 0, "{policy} must not constrain clean code");
+            assert_eq!(graph.relaxable_edge_count(), before);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Spectre pattern detection (rule 3 of the paper's analysis).
+
+use crate::poison::{PoisonAnalysis, SpeculationSource};
+use dbt_ir::{DepGraph, InstId, IrBlock, Operand};
+
+/// A detected Spectre pattern: a speculative memory access whose address
+/// depends on a value produced by another speculative load.
+///
+/// Executing `risky_access` speculatively would encode the (speculatively
+/// read) value into the data cache, which a timing probe can later recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpectrePattern {
+    /// The memory access that must not be scheduled speculatively.
+    pub risky_access: InstId,
+    /// The instructions whose ordering constraints were relaxed to make the
+    /// risky access speculative (side exits and/or stores). The mitigation
+    /// re-inserts dependencies towards these.
+    pub speculation_sources: Vec<SpeculationSource>,
+    /// The poisoned operand that serves as the address base.
+    pub poisoned_address: Operand,
+}
+
+/// Detects every Spectre pattern in `block`.
+///
+/// A pattern is reported for each memory access (load) that is
+/// *speculative* (has at least one relaxable incoming control or memory
+/// edge) and whose address base is a *poisoned* value.
+///
+/// # Example
+///
+/// See the crate-level example, which detects exactly one pattern in a
+/// Spectre-v4-shaped block.
+pub fn detect_patterns(
+    block: &IrBlock,
+    graph: &DepGraph,
+    analysis: &PoisonAnalysis,
+) -> Vec<SpectrePattern> {
+    let mut patterns = Vec::new();
+    for inst in block.insts() {
+        if !inst.op.is_load() {
+            continue;
+        }
+        if !analysis.is_speculative(inst.id) {
+            continue;
+        }
+        let Some(base) = inst.op.address_base() else { continue };
+        let address_poisoned = match base {
+            Operand::Value(def) => analysis.is_poisoned(def),
+            _ => false,
+        };
+        if !address_poisoned {
+            continue;
+        }
+        let _ = graph; // the graph defined speculative-ness via the analysis
+        patterns.push(SpectrePattern {
+            risky_access: inst.id,
+            speculation_sources: analysis.speculation_sources(inst.id).to_vec(),
+            poisoned_address: base,
+        });
+    }
+    patterns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbt_ir::{BlockKind, DfgOptions, IrOp, MemWidth};
+    use dbt_riscv::inst::AluOp;
+    use dbt_riscv::{BranchCond, Reg};
+
+    fn v4_block() -> IrBlock {
+        // store addrBuf[unknown] ; a = load addrBuf[0] ; b = load buffer[a] ;
+        // c = load probe[b << 7] ; halt
+        let mut block = IrBlock::new(0, BlockKind::Basic);
+        let addr_buf = block.push(IrOp::Const(0x2000), 0, 0);
+        block.push(
+            IrOp::Store {
+                width: MemWidth::DOUBLE,
+                value: Operand::Imm(0),
+                base: Operand::LiveIn(Reg::A0),
+                offset: 0,
+            },
+            4,
+            1,
+        );
+        let a = block.push(
+            IrOp::Load { width: MemWidth::DOUBLE, base: Operand::Value(addr_buf), offset: 0 },
+            8,
+            2,
+        );
+        let buffer = block.push(IrOp::Const(0x3000), 12, 3);
+        let addr1 = block.push(
+            IrOp::Alu { op: AluOp::Add, a: Operand::Value(buffer), b: Operand::Value(a) },
+            12,
+            3,
+        );
+        let b_val = block.push(
+            IrOp::Load { width: MemWidth::BYTE_U, base: Operand::Value(addr1), offset: 0 },
+            16,
+            4,
+        );
+        let shifted = block.push(
+            IrOp::Alu { op: AluOp::Sll, a: Operand::Value(b_val), b: Operand::Imm(7) },
+            20,
+            5,
+        );
+        let probe = block.push(IrOp::Const(0x8000), 24, 6);
+        let addr2 = block.push(
+            IrOp::Alu { op: AluOp::Add, a: Operand::Value(probe), b: Operand::Value(shifted) },
+            24,
+            6,
+        );
+        block.push(
+            IrOp::Load { width: MemWidth::BYTE_U, base: Operand::Value(addr2), offset: 0 },
+            28,
+            7,
+        );
+        block.push(IrOp::Halt, 32, 8);
+        block
+    }
+
+    fn v1_block() -> IrBlock {
+        let mut block = IrBlock::new(0, BlockKind::Superblock { merged_blocks: 2 });
+        let size = block.push(IrOp::Const(16), 0, 0);
+        block.push(
+            IrOp::SideExit {
+                cond: BranchCond::Geu,
+                a: Operand::LiveIn(Reg::A0),
+                b: Operand::Value(size),
+                target: 0x9000,
+            },
+            4,
+            1,
+        );
+        let buffer = block.push(IrOp::Const(0x3000), 8, 2);
+        let addr1 = block.push(
+            IrOp::Alu { op: AluOp::Add, a: Operand::Value(buffer), b: Operand::LiveIn(Reg::A0) },
+            8,
+            2,
+        );
+        let secret = block.push(
+            IrOp::Load { width: MemWidth::BYTE_U, base: Operand::Value(addr1), offset: 0 },
+            12,
+            3,
+        );
+        let probe = block.push(IrOp::Const(0x8000), 16, 4);
+        let addr2 = block.push(
+            IrOp::Alu { op: AluOp::Add, a: Operand::Value(probe), b: Operand::Value(secret) },
+            16,
+            4,
+        );
+        block.push(
+            IrOp::Load { width: MemWidth::BYTE_U, base: Operand::Value(addr2), offset: 0 },
+            20,
+            5,
+        );
+        block.push(IrOp::Jump { target: 0x24 }, 24, 6);
+        block
+    }
+
+    #[test]
+    fn v4_pattern_is_detected_once() {
+        let block = v4_block();
+        let graph = DepGraph::build(&block, DfgOptions::aggressive());
+        let analysis = PoisonAnalysis::run(&block, &graph);
+        let patterns = detect_patterns(&block, &graph, &analysis);
+        // Two risky accesses: buffer[a] (poisoned by the addrBuf load) and
+        // probe[b<<7] (poisoned transitively).
+        assert_eq!(patterns.len(), 2);
+        let store = block.stores()[0];
+        for p in &patterns {
+            assert!(p.speculation_sources.iter().any(|s| s.source == store));
+        }
+    }
+
+    #[test]
+    fn v1_pattern_points_at_probe_load() {
+        let block = v1_block();
+        let graph = DepGraph::build(&block, DfgOptions::aggressive());
+        let analysis = PoisonAnalysis::run(&block, &graph);
+        let patterns = detect_patterns(&block, &graph, &analysis);
+        assert_eq!(patterns.len(), 1);
+        let probe_load = *block.loads().last().unwrap();
+        assert_eq!(patterns[0].risky_access, probe_load);
+        let exit = block.side_exits()[0];
+        assert!(patterns[0].speculation_sources.iter().any(|s| s.source == exit));
+    }
+
+    #[test]
+    fn no_pattern_without_speculation() {
+        for block in [v1_block(), v4_block()] {
+            let graph = DepGraph::build(&block, DfgOptions::no_speculation());
+            let analysis = PoisonAnalysis::run(&block, &graph);
+            assert!(detect_patterns(&block, &graph, &analysis).is_empty());
+        }
+    }
+
+    #[test]
+    fn benign_block_has_no_pattern() {
+        // store then independent load with a clean (non-poisoned) address:
+        // speculation is allowed and harmless.
+        let mut block = IrBlock::new(0, BlockKind::Basic);
+        block.push(
+            IrOp::Store {
+                width: MemWidth::DOUBLE,
+                value: Operand::Imm(1),
+                base: Operand::LiveIn(Reg::A0),
+                offset: 0,
+            },
+            0,
+            0,
+        );
+        let c = block.push(IrOp::Const(0x4000), 4, 1);
+        let load = block.push(
+            IrOp::Load { width: MemWidth::DOUBLE, base: Operand::Value(c), offset: 0 },
+            4,
+            1,
+        );
+        block.push(IrOp::WriteReg { reg: Reg::A1, value: Operand::Value(load) }, 4, 1);
+        block.push(IrOp::Halt, 8, 2);
+        let graph = DepGraph::build(&block, DfgOptions::aggressive());
+        let analysis = PoisonAnalysis::run(&block, &graph);
+        // The load is speculative (may bypass the store) and poisoned …
+        assert!(analysis.is_speculative(load));
+        assert!(analysis.is_poisoned(load));
+        // … but its own address is clean, so there is no leak pattern.
+        assert!(detect_patterns(&block, &graph, &analysis).is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! Poisoning (taint) analysis over the block data-flow graph.
+//!
+//! The rules are exactly those of Section IV-A of the paper:
+//!
+//! 1. a *speculative instruction* generates a poisoned value — speculative
+//!    instructions are loads whose dependency on a preceding conditional
+//!    branch (side exit) or on a preceding memory write has been relaxed by
+//!    the DBT engine;
+//! 2. an instruction that uses a poisoned value as an operand generates a
+//!    poisoned value;
+//! 3. a speculative memory instruction that uses a poisoned value **as an
+//!    address** may leak through the cache side channel — it is a Spectre
+//!    pattern and must not be scheduled speculatively.
+//!
+//! Rule 3 is consumed by [`pattern`](crate::pattern); this module computes
+//! rules 1 and 2.
+
+use dbt_ir::{DepGraph, DepKind, InstId, IrBlock, Operand};
+
+/// Why an instruction is considered speculative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpeculationSource {
+    /// The instruction whose ordering constraint was relaxed (a side exit or
+    /// a store).
+    pub source: InstId,
+    /// The kind of the relaxed dependency ([`DepKind::Control`] for branch
+    /// speculation, [`DepKind::Memory`] for memory-dependency speculation).
+    pub kind: DepKind,
+}
+
+/// Result of the poisoning analysis of one block.
+#[derive(Debug, Clone)]
+pub struct PoisonAnalysis {
+    poisoned: Vec<bool>,
+    speculative: Vec<Vec<SpeculationSource>>,
+}
+
+impl PoisonAnalysis {
+    /// Runs the analysis on `block` under the dependency graph `graph`.
+    ///
+    /// Speculative-ness is read off the graph's *relaxable* edges: an
+    /// instruction with a relaxable incoming control or memory edge may be
+    /// hoisted above its source by the scheduler, hence is speculative.
+    pub fn run(block: &IrBlock, graph: &DepGraph) -> PoisonAnalysis {
+        let n = block.len();
+        let mut speculative: Vec<Vec<SpeculationSource>> = vec![Vec::new(); n];
+        for edge in graph.edges() {
+            if edge.relaxable && matches!(edge.kind, DepKind::Control | DepKind::Memory) {
+                speculative[edge.to.index()]
+                    .push(SpeculationSource { source: edge.from, kind: edge.kind });
+            }
+        }
+
+        let mut poisoned = vec![false; n];
+        // Instructions are in def-before-use order, so one forward pass
+        // reaches the fixed point.
+        for inst in block.insts() {
+            let index = inst.id.index();
+            // Rule 1: a speculative load produces a poisoned value.
+            if inst.op.is_load() && !speculative[index].is_empty() {
+                poisoned[index] = true;
+            }
+            // Rule 2: poison propagates through data operands.
+            if inst.op.operands().iter().any(|operand| match operand {
+                Operand::Value(def) => poisoned[def.index()],
+                _ => false,
+            }) {
+                poisoned[index] = true;
+            }
+        }
+
+        PoisonAnalysis { poisoned, speculative }
+    }
+
+    /// Whether the value produced by `id` is poisoned.
+    pub fn is_poisoned(&self, id: InstId) -> bool {
+        self.poisoned[id.index()]
+    }
+
+    /// The speculation sources that make `id` speculative (empty when the
+    /// instruction cannot be hoisted).
+    pub fn speculation_sources(&self, id: InstId) -> &[SpeculationSource] {
+        &self.speculative[id.index()]
+    }
+
+    /// Whether `id` may be executed speculatively.
+    pub fn is_speculative(&self, id: InstId) -> bool {
+        !self.speculative[id.index()].is_empty()
+    }
+
+    /// Number of poisoned values in the block.
+    pub fn poisoned_count(&self) -> usize {
+        self.poisoned.iter().filter(|p| **p).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbt_ir::{BlockKind, DfgOptions, IrOp, MemWidth};
+    use dbt_riscv::inst::AluOp;
+    use dbt_riscv::{BranchCond, Reg};
+
+    /// Spectre-v1-shaped block: a bounds-check side exit followed by the two
+    /// dependent loads.
+    fn v1_block() -> IrBlock {
+        let mut b = IrBlock::new(0, BlockKind::Superblock { merged_blocks: 2 });
+        let size = b.push(IrOp::Const(16), 0, 0);
+        b.push(
+            IrOp::SideExit {
+                cond: BranchCond::Geu,
+                a: Operand::LiveIn(Reg::A0),
+                b: Operand::Value(size),
+                target: 0x9000,
+            },
+            4,
+            1,
+        );
+        let buffer = b.push(IrOp::Const(0x3000), 8, 2);
+        let addr1 = b.push(
+            IrOp::Alu { op: AluOp::Add, a: Operand::Value(buffer), b: Operand::LiveIn(Reg::A0) },
+            8,
+            2,
+        );
+        let secret = b.push(
+            IrOp::Load { width: MemWidth::BYTE_U, base: Operand::Value(addr1), offset: 0 },
+            12,
+            3,
+        );
+        let shifted = b.push(
+            IrOp::Alu { op: AluOp::Sll, a: Operand::Value(secret), b: Operand::Imm(7) },
+            16,
+            4,
+        );
+        let probe = b.push(IrOp::Const(0x8000), 20, 5);
+        let addr2 = b.push(
+            IrOp::Alu { op: AluOp::Add, a: Operand::Value(probe), b: Operand::Value(shifted) },
+            20,
+            5,
+        );
+        let leak = b.push(
+            IrOp::Load { width: MemWidth::BYTE_U, base: Operand::Value(addr2), offset: 0 },
+            24,
+            6,
+        );
+        b.push(IrOp::WriteReg { reg: Reg::A1, value: Operand::Value(leak) }, 24, 6);
+        b.push(IrOp::Jump { target: 0x28 }, 28, 7);
+        b
+    }
+
+    #[test]
+    fn speculative_loads_are_poisoned() {
+        let block = v1_block();
+        let graph = DepGraph::build(&block, DfgOptions::aggressive());
+        let analysis = PoisonAnalysis::run(&block, &graph);
+        let loads = block.loads();
+        assert!(analysis.is_poisoned(loads[0]), "the bounds-bypassing load is poisoned");
+        assert!(analysis.is_poisoned(loads[1]), "poison propagates to the probe load");
+        assert!(analysis.is_speculative(loads[0]));
+        assert!(analysis.is_speculative(loads[1]));
+        // The constant and the size are not poisoned.
+        assert!(!analysis.is_poisoned(InstId(0)));
+        assert!(analysis.poisoned_count() >= 4);
+    }
+
+    #[test]
+    fn poison_propagates_through_alu_chain() {
+        let block = v1_block();
+        let graph = DepGraph::build(&block, DfgOptions::aggressive());
+        let analysis = PoisonAnalysis::run(&block, &graph);
+        // shifted (id 5) and addr2 (id 7) are derived from the secret load.
+        assert!(analysis.is_poisoned(InstId(5)));
+        assert!(analysis.is_poisoned(InstId(7)));
+    }
+
+    #[test]
+    fn nothing_is_poisoned_without_speculation() {
+        let block = v1_block();
+        let graph = DepGraph::build(&block, DfgOptions::no_speculation());
+        let analysis = PoisonAnalysis::run(&block, &graph);
+        assert_eq!(analysis.poisoned_count(), 0);
+        for load in block.loads() {
+            assert!(!analysis.is_speculative(load));
+        }
+    }
+
+    #[test]
+    fn speculation_sources_identify_the_branch() {
+        let block = v1_block();
+        let graph = DepGraph::build(&block, DfgOptions::aggressive());
+        let analysis = PoisonAnalysis::run(&block, &graph);
+        let exit = block.side_exits()[0];
+        let first_load = block.loads()[0];
+        assert!(analysis
+            .speculation_sources(first_load)
+            .iter()
+            .any(|s| s.source == exit && s.kind == DepKind::Control));
+    }
+}

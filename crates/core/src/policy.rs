@@ -1,0 +1,84 @@
+//! Mitigation policies compared in the paper's evaluation.
+
+use std::fmt;
+
+/// Which countermeasure the DBT engine applies before scheduling a block.
+///
+/// The paper's Figure 4 compares `FineGrained` ("our approach") against
+/// `NoSpeculation`; the text additionally evaluates `Fence` and, of course,
+/// the `Unprotected` baseline against which slowdowns are reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MitigationPolicy {
+    /// No countermeasure: the engine speculates freely (the unsafe
+    /// baseline).
+    Unprotected,
+    /// The paper's contribution: detect Spectre patterns with the poisoning
+    /// analysis and constrain only the risky accesses (re-insert the control
+    /// dependency between the speculative access and the instruction that
+    /// causes the speculation).
+    FineGrained,
+    /// Detect Spectre patterns and insert a fence at the pattern: nothing
+    /// originally after the risky access may be hoisted above anything
+    /// originally before it.
+    Fence,
+    /// Disable both speculation mechanisms entirely (the naive
+    /// countermeasure the paper uses as comparison point).
+    NoSpeculation,
+}
+
+impl MitigationPolicy {
+    /// All policies, in the order used by the evaluation harness.
+    pub const ALL: [MitigationPolicy; 4] = [
+        MitigationPolicy::Unprotected,
+        MitigationPolicy::FineGrained,
+        MitigationPolicy::Fence,
+        MitigationPolicy::NoSpeculation,
+    ];
+
+    /// Short label used in benchmark tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            MitigationPolicy::Unprotected => "unsafe",
+            MitigationPolicy::FineGrained => "our-approach",
+            MitigationPolicy::Fence => "fence",
+            MitigationPolicy::NoSpeculation => "no-speculation",
+        }
+    }
+
+    /// Whether this policy protects against the Spectre variants studied in
+    /// the paper.
+    pub fn is_protective(self) -> bool {
+        !matches!(self, MitigationPolicy::Unprotected)
+    }
+}
+
+impl fmt::Display for MitigationPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::BTreeSet<_> =
+            MitigationPolicy::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), MitigationPolicy::ALL.len());
+    }
+
+    #[test]
+    fn protection_classification() {
+        assert!(!MitigationPolicy::Unprotected.is_protective());
+        assert!(MitigationPolicy::FineGrained.is_protective());
+        assert!(MitigationPolicy::Fence.is_protective());
+        assert!(MitigationPolicy::NoSpeculation.is_protective());
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(MitigationPolicy::FineGrained.to_string(), "our-approach");
+    }
+}

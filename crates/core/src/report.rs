@@ -1,0 +1,130 @@
+//! Mitigation reports: what the analysis found and what was constrained.
+
+use crate::pattern::SpectrePattern;
+use crate::policy::MitigationPolicy;
+use std::fmt;
+
+/// Summary of applying a mitigation policy to one IR block.
+///
+/// Reports are accumulated per translated block by the DBT engine; the
+/// benchmark harness uses them to explain *why* the fine-grained approach is
+/// cheap (the pattern is rare in ordinary code, and even when it fires only
+/// a handful of edges get hardened).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MitigationReport {
+    /// The policy that was applied.
+    pub policy: MitigationPolicy,
+    /// Number of instructions in the analysed block.
+    pub block_len: usize,
+    /// Number of values the poisoning analysis marked as poisoned.
+    pub poisoned_values: usize,
+    /// The detected Spectre patterns.
+    pub patterns: Vec<SpectrePattern>,
+    /// Number of relaxable (speculation) edges that were hardened.
+    pub hardened_edges: usize,
+    /// Number of relaxable edges remaining after mitigation.
+    pub remaining_relaxable_edges: usize,
+}
+
+impl MitigationReport {
+    /// Returns `true` if the block contained at least one Spectre pattern.
+    pub fn has_pattern(&self) -> bool {
+        !self.patterns.is_empty()
+    }
+}
+
+impl fmt::Display for MitigationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} pattern(s), {} poisoned value(s), {} edge(s) hardened, {} speculation edge(s) left",
+            self.policy,
+            self.patterns.len(),
+            self.poisoned_values,
+            self.hardened_edges,
+            self.remaining_relaxable_edges
+        )
+    }
+}
+
+/// Aggregate of many [`MitigationReport`]s (one per translated block).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MitigationSummary {
+    /// Number of blocks analysed.
+    pub blocks: usize,
+    /// Number of blocks in which at least one pattern was found.
+    pub blocks_with_patterns: usize,
+    /// Total number of patterns.
+    pub patterns: usize,
+    /// Total number of edges hardened.
+    pub hardened_edges: usize,
+}
+
+impl MitigationSummary {
+    /// Creates an empty summary.
+    pub fn new() -> MitigationSummary {
+        MitigationSummary::default()
+    }
+
+    /// Folds one block report into the summary.
+    pub fn record(&mut self, report: &MitigationReport) {
+        self.blocks += 1;
+        if report.has_pattern() {
+            self.blocks_with_patterns += 1;
+        }
+        self.patterns += report.patterns.len();
+        self.hardened_edges += report.hardened_edges;
+    }
+}
+
+impl fmt::Display for MitigationSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} block(s) analysed, {} with Spectre patterns ({} pattern(s), {} edge(s) hardened)",
+            self.blocks, self.blocks_with_patterns, self.patterns, self.hardened_edges
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_report(patterns: usize, hardened: usize) -> MitigationReport {
+        MitigationReport {
+            policy: MitigationPolicy::FineGrained,
+            block_len: 10,
+            poisoned_values: patterns * 2,
+            patterns: (0..patterns)
+                .map(|i| SpectrePattern {
+                    risky_access: dbt_ir::InstId(i),
+                    speculation_sources: vec![],
+                    poisoned_address: dbt_ir::Operand::Imm(0),
+                })
+                .collect(),
+            hardened_edges: hardened,
+            remaining_relaxable_edges: 3,
+        }
+    }
+
+    #[test]
+    fn summary_accumulates() {
+        let mut summary = MitigationSummary::new();
+        summary.record(&dummy_report(0, 0));
+        summary.record(&dummy_report(2, 3));
+        assert_eq!(summary.blocks, 2);
+        assert_eq!(summary.blocks_with_patterns, 1);
+        assert_eq!(summary.patterns, 2);
+        assert_eq!(summary.hardened_edges, 3);
+        let text = summary.to_string();
+        assert!(text.contains("2 block(s)"));
+    }
+
+    #[test]
+    fn report_display_mentions_policy() {
+        let r = dummy_report(1, 2);
+        assert!(r.has_pattern());
+        assert!(r.to_string().contains("our-approach"));
+    }
+}

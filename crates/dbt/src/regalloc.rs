@@ -1,0 +1,73 @@
+//! Physical register allocation for block-local IR values.
+//!
+//! Every value-producing IR instruction receives its own physical register.
+//! This matches the paper's description of *hidden registers*: the VLIW
+//! register file is larger than the guest's 32 architectural registers, and
+//! the extra registers hold speculative or temporary results that are never
+//! architecturally visible. Values die at block boundaries, so a dense
+//! per-block numbering is sufficient and keeps rollback simple.
+
+use dbt_ir::{InstId, IrBlock};
+use dbt_vliw::PhysReg;
+
+/// Result of register allocation for one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegAlloc {
+    assignment: Vec<Option<PhysReg>>,
+    count: u16,
+}
+
+impl RegAlloc {
+    /// Allocates one physical register per value-producing instruction.
+    pub fn allocate(block: &IrBlock) -> RegAlloc {
+        let mut assignment = vec![None; block.len()];
+        let mut next = 0u16;
+        for inst in block.insts() {
+            if inst.op.produces_value() {
+                assignment[inst.id.index()] = Some(PhysReg(next));
+                next += 1;
+            }
+        }
+        RegAlloc { assignment, count: next }
+    }
+
+    /// The physical register holding the value of `id`, if it produces one.
+    pub fn reg(&self, id: InstId) -> Option<PhysReg> {
+        self.assignment[id.index()]
+    }
+
+    /// Number of physical registers used by the block.
+    pub fn count(&self) -> u16 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbt_ir::{BlockKind, IrOp, MemWidth, Operand};
+    use dbt_riscv::Reg;
+
+    #[test]
+    fn values_get_dense_unique_registers() {
+        let mut b = IrBlock::new(0, BlockKind::Basic);
+        let c = b.push(IrOp::Const(1), 0, 0);
+        let l = b.push(IrOp::Load { width: MemWidth::DOUBLE, base: Operand::Value(c), offset: 0 }, 4, 1);
+        b.push(IrOp::WriteReg { reg: Reg::A0, value: Operand::Value(l) }, 4, 1);
+        b.push(IrOp::Halt, 8, 2);
+        let alloc = RegAlloc::allocate(&b);
+        assert_eq!(alloc.count(), 2);
+        assert_eq!(alloc.reg(c), Some(PhysReg(0)));
+        assert_eq!(alloc.reg(l), Some(PhysReg(1)));
+        assert_eq!(alloc.reg(InstId(2)), None);
+        assert_eq!(alloc.reg(InstId(3)), None);
+    }
+
+    #[test]
+    fn empty_value_set_uses_no_registers() {
+        let mut b = IrBlock::new(0, BlockKind::Basic);
+        b.push(IrOp::Halt, 0, 0);
+        let alloc = RegAlloc::allocate(&b);
+        assert_eq!(alloc.count(), 0);
+    }
+}

@@ -1,0 +1,372 @@
+//! List scheduler: maps IR instructions to (cycle, slot) positions on the
+//! VLIW core, honouring every non-relaxable dependency edge.
+//!
+//! Relaxable edges are *ignored*: that is where the speculation happens. The
+//! code generator later inspects which ignored edges were actually bypassed
+//! by the chosen placement and marks the corresponding loads as speculative.
+
+use dbt_ir::{DepGraph, DepKind, InstId, IrBlock, IrOp};
+// (IrOp is matched on below for side exits, loads and cycle-counter reads.)
+use dbt_riscv::inst::AluOp;
+use std::fmt;
+
+/// Scheduling failure (defensive: a well-formed block always schedules).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The scheduler could not make progress (dependency cycle).
+    NoProgress {
+        /// Number of instructions left unscheduled.
+        unscheduled: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NoProgress { unscheduled } => {
+                write!(f, "scheduler made no progress with {unscheduled} instructions left")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Placement of one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Placement {
+    /// Issue cycle (relative to block entry).
+    pub cycle: u64,
+    /// Slot within the bundle.
+    pub slot: usize,
+}
+
+/// A complete schedule for one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    placements: Vec<Placement>,
+    cycles: u64,
+}
+
+impl Schedule {
+    /// Placement of instruction `id`.
+    pub fn placement(&self, id: InstId) -> Placement {
+        self.placements[id.index()]
+    }
+
+    /// Number of cycles (bundles) the schedule occupies.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// All placements, indexed by instruction id.
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Returns `true` if `a` is placed strictly before `b`.
+    pub fn is_before(&self, a: InstId, b: InstId) -> bool {
+        self.placement(a) < self.placement(b)
+    }
+}
+
+/// Latency estimate used both for priorities and for honouring data edges.
+fn latency(op: &IrOp) -> u64 {
+    match op {
+        IrOp::Load { .. } => 3,
+        IrOp::Alu { op, .. } => match op {
+            AluOp::Mul | AluOp::Mulh | AluOp::Mulw => 3,
+            AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu => 12,
+            _ => 1,
+        },
+        _ => 1,
+    }
+}
+
+/// Schedules `block` under the hard edges of `graph`, with at most
+/// `issue_width` operations per cycle.
+///
+/// The scheduler is a classic priority-list scheduler: instruction priority
+/// is the critical-path length to the end of the block; ready instructions
+/// are placed greedily each cycle.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::NoProgress`] if the hard-edge graph contains a
+/// cycle, which cannot happen for graphs built by [`DepGraph::build`].
+pub fn schedule(block: &IrBlock, graph: &DepGraph, issue_width: usize) -> Result<Schedule, ScheduleError> {
+    let n = block.len();
+    let hard_edges: Vec<_> = graph.edges().iter().filter(|e| !e.relaxable).collect();
+
+    // Critical-path priorities over hard edges (edges always go from a lower
+    // to a higher instruction id).
+    let mut priority = vec![0u64; n];
+    for index in (0..n).rev() {
+        let own = latency(&block.inst(InstId(index)).op);
+        let mut best = own;
+        for edge in hard_edges.iter().filter(|e| e.from.index() == index) {
+            let contribution = match edge.kind {
+                DepKind::Data => own + priority[edge.to.index()],
+                _ => 1 + priority[edge.to.index()],
+            };
+            best = best.max(contribution);
+        }
+        priority[index] = best;
+    }
+
+    // Aggressive trace-scheduling policy: a side exit is kept *late* so that
+    // the loads the engine wants to hoist above it (those with a remaining
+    // relaxable control edge from the exit) can actually be placed first.
+    // This is exactly the speculation the paper describes; once GhostBusters
+    // hardens an edge, the corresponding load no longer holds the exit back
+    // and ends up after it. A fallback disables the rule if it ever blocks
+    // progress (it cannot for graphs produced by this crate's passes, but we
+    // stay defensive).
+    let hoist_before_exit: Vec<Vec<usize>> = (0..n)
+        .map(|exit_index| {
+            if !block.inst(InstId(exit_index)).op.is_side_exit() {
+                return Vec::new();
+            }
+            graph
+                .edges()
+                .iter()
+                .filter(|e| {
+                    e.relaxable
+                        && e.kind == DepKind::Control
+                        && e.from.index() == exit_index
+                        && block.inst(e.to).op.is_load()
+                })
+                .map(|e| e.to.index())
+                .collect()
+        })
+        .collect();
+
+    let mut placements = vec![None::<Placement>; n];
+    let mut scheduled_count = 0usize;
+    let mut cycle = 0u64;
+    let mut idle_cycles = 0u64;
+    let mut hoist_rule_enabled = true;
+    let terminator_index = n - 1;
+
+    while scheduled_count < n {
+        let mut slot = 0usize;
+        let mut placed_this_cycle = true;
+        let mut placed_any_this_cycle = false;
+        while slot < issue_width && placed_this_cycle {
+            placed_this_cycle = false;
+            // Collect ready candidates for the current (cycle, slot).
+            let mut candidates: Vec<usize> = (0..n)
+                .filter(|&i| placements[i].is_none())
+                .filter(|&i| {
+                    // The unconditional terminator is placed only when
+                    // everything else has been scheduled, so no operation can
+                    // land after the end of the block.
+                    if i == terminator_index && scheduled_count < n - 1 {
+                        return false;
+                    }
+                    if hoist_rule_enabled
+                        && hoist_before_exit[i].iter().any(|&load| placements[load].is_none())
+                    {
+                        return false;
+                    }
+                    hard_edges.iter().filter(|e| e.to.index() == i).all(|e| {
+                        match placements[e.from.index()] {
+                            None => false,
+                            Some(p) => match e.kind {
+                                DepKind::Data => {
+                                    cycle >= p.cycle + latency(&block.inst(e.from).op)
+                                }
+                                _ => {
+                                    let from_is_exit = block.inst(e.from).op.is_side_exit();
+                                    let involves_rdcycle = matches!(block.inst(e.from).op, IrOp::RdCycle)
+                                        || matches!(block.inst(InstId(i)).op, IrOp::RdCycle);
+                                    if from_is_exit || involves_rdcycle {
+                                        // Taken exits must not share a cycle
+                                        // with later commits, and timed memory
+                                        // accesses must not share a cycle with
+                                        // the cycle-counter reads around them.
+                                        cycle > p.cycle
+                                    } else {
+                                        // Same-cycle is allowed as long as the
+                                        // predecessor sits in an earlier slot,
+                                        // which is guaranteed because it was
+                                        // placed before this candidate.
+                                        cycle > p.cycle || (cycle == p.cycle && p.slot < slot)
+                                    }
+                                }
+                            },
+                        }
+                    })
+                })
+                .collect();
+            candidates.sort_by_key(|&i| (std::cmp::Reverse(priority[i]), block.inst(InstId(i)).original_seq, i));
+            if let Some(&chosen) = candidates.first() {
+                placements[chosen] = Some(Placement { cycle, slot });
+                scheduled_count += 1;
+                slot += 1;
+                placed_this_cycle = true;
+                placed_any_this_cycle = true;
+            }
+        }
+        cycle += 1;
+        if placed_any_this_cycle {
+            idle_cycles = 0;
+        } else {
+            idle_cycles += 1;
+            if idle_cycles > 16 && hoist_rule_enabled {
+                // Defensive: never let the hoisting preference stall the
+                // scheduler (cannot happen for graphs built by this crate).
+                hoist_rule_enabled = false;
+                idle_cycles = 0;
+            }
+        }
+        if cycle > (n as u64 + 32) * 32 {
+            return Err(ScheduleError::NoProgress { unscheduled: n - scheduled_count });
+        }
+    }
+
+    let placements: Vec<Placement> = placements.into_iter().map(|p| p.expect("all scheduled")).collect();
+    let cycles = placements.iter().map(|p| p.cycle).max().map_or(0, |c| c + 1);
+    Ok(Schedule { placements, cycles })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbt_ir::{BlockKind, DfgOptions, MemWidth, Operand};
+    use dbt_riscv::{BranchCond, Reg};
+
+    /// slow-value store [a0] ; load addrBuf ; load buffer[v] ; halt — the
+    /// Spectre v4 shape of the paper's Figure 2 (the stored value requires a
+    /// long computation, so aggressive scheduling hoists the later loads
+    /// above the store).
+    fn spec_block() -> IrBlock {
+        let mut b = IrBlock::new(0, BlockKind::Basic);
+        let slow = b.push(
+            IrOp::Alu { op: AluOp::Div, a: Operand::LiveIn(Reg::A2), b: Operand::LiveIn(Reg::A3) },
+            0,
+            0,
+        );
+        b.push(
+            IrOp::Store {
+                width: MemWidth::DOUBLE,
+                value: Operand::Value(slow),
+                base: Operand::LiveIn(Reg::A0),
+                offset: 0,
+            },
+            4,
+            1,
+        );
+        let c = b.push(IrOp::Const(0x2000), 8, 2);
+        let a = b.push(IrOp::Load { width: MemWidth::DOUBLE, base: Operand::Value(c), offset: 0 }, 8, 2);
+        let addr = b.push(
+            IrOp::Alu { op: AluOp::Add, a: Operand::Value(a), b: Operand::Imm(0x3000) },
+            12,
+            3,
+        );
+        let l = b.push(IrOp::Load { width: MemWidth::BYTE_U, base: Operand::Value(addr), offset: 0 }, 12, 3);
+        b.push(IrOp::WriteReg { reg: Reg::A1, value: Operand::Value(l) }, 12, 3);
+        b.push(IrOp::Halt, 16, 4);
+        b
+    }
+
+    #[test]
+    fn schedule_respects_hard_edges() {
+        let block = spec_block();
+        let graph = DepGraph::build(&block, DfgOptions::no_speculation());
+        let sched = schedule(&block, &graph, 4).unwrap();
+        for edge in graph.edges().iter().filter(|e| !e.relaxable) {
+            let from = sched.placement(edge.from);
+            let to = sched.placement(edge.to);
+            assert!(
+                (from.cycle, from.slot) < (to.cycle, to.slot),
+                "edge {:?} violated: {from:?} !< {to:?}",
+                edge
+            );
+        }
+    }
+
+    #[test]
+    fn speculation_shortens_the_schedule() {
+        let block = spec_block();
+        let unsafe_graph = DepGraph::build(&block, DfgOptions::aggressive());
+        let safe_graph = DepGraph::build(&block, DfgOptions::no_speculation());
+        let unsafe_sched = schedule(&block, &unsafe_graph, 4).unwrap();
+        let safe_sched = schedule(&block, &safe_graph, 4).unwrap();
+        assert!(
+            unsafe_sched.cycles() < safe_sched.cycles(),
+            "speculation must shorten the schedule of the v4 block"
+        );
+        // With speculation the loads move above the slow store.
+        let store = block.stores()[0];
+        let first_load = block.loads()[0];
+        assert!(unsafe_sched.is_before(first_load, store));
+        assert!(!safe_sched.is_before(first_load, store));
+    }
+
+    #[test]
+    fn terminator_is_scheduled_last() {
+        let block = spec_block();
+        let graph = DepGraph::build(&block, DfgOptions::aggressive());
+        let sched = schedule(&block, &graph, 2).unwrap();
+        let last = InstId(block.len() - 1);
+        for i in 0..block.len() - 1 {
+            assert!(sched.placement(InstId(i)) < sched.placement(last));
+        }
+    }
+
+    #[test]
+    fn issue_width_is_respected() {
+        let block = spec_block();
+        let graph = DepGraph::build(&block, DfgOptions::aggressive());
+        for width in [1usize, 2, 4, 8] {
+            let sched = schedule(&block, &graph, width).unwrap();
+            let mut per_cycle = std::collections::HashMap::new();
+            for p in sched.placements() {
+                *per_cycle.entry(p.cycle).or_insert(0usize) += 1;
+                assert!(p.slot < width);
+            }
+            assert!(per_cycle.values().all(|&count| count <= width));
+        }
+    }
+
+    #[test]
+    fn narrow_machine_needs_more_cycles() {
+        let block = spec_block();
+        let graph = DepGraph::build(&block, DfgOptions::aggressive());
+        let wide = schedule(&block, &graph, 8).unwrap();
+        let narrow = schedule(&block, &graph, 1).unwrap();
+        assert!(narrow.cycles() >= wide.cycles());
+    }
+
+    #[test]
+    fn side_exit_order_is_strict() {
+        let mut b = IrBlock::new(0, BlockKind::Superblock { merged_blocks: 2 });
+        b.push(
+            IrOp::SideExit {
+                cond: BranchCond::Eq,
+                a: Operand::LiveIn(Reg::A0),
+                b: Operand::Imm(0),
+                target: 0x100,
+            },
+            0,
+            0,
+        );
+        b.push(
+            IrOp::Store {
+                width: MemWidth::DOUBLE,
+                value: Operand::Imm(1),
+                base: Operand::LiveIn(Reg::A1),
+                offset: 0,
+            },
+            4,
+            1,
+        );
+        b.push(IrOp::Jump { target: 0x8 }, 8, 2);
+        let graph = DepGraph::build(&b, DfgOptions::aggressive());
+        let sched = schedule(&b, &graph, 4).unwrap();
+        // The store (a committing op) must be in a strictly later cycle than
+        // the side exit, so a taken exit can never let it commit.
+        assert!(sched.placement(InstId(1)).cycle > sched.placement(InstId(0)).cycle);
+    }
+}

@@ -1,0 +1,108 @@
+//! Translation cache: maps guest entry addresses to translated blocks.
+
+use dbt_vliw::TranslatedBlock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The tier of a cached translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// First-pass translation of a single basic block, no speculation.
+    Basic,
+    /// Profile-guided superblock with speculation (and mitigation) applied.
+    Optimized,
+}
+
+/// Cache of translated blocks, two tiers deep.
+///
+/// An optimised translation always shadows the basic one for the same entry
+/// address.
+#[derive(Debug, Clone, Default)]
+pub struct TranslationCache {
+    basic: HashMap<u64, Arc<TranslatedBlock>>,
+    optimized: HashMap<u64, Arc<TranslatedBlock>>,
+}
+
+impl TranslationCache {
+    /// Creates an empty cache.
+    pub fn new() -> TranslationCache {
+        TranslationCache::default()
+    }
+
+    /// Looks up the best available translation for `pc`.
+    pub fn lookup(&self, pc: u64) -> Option<(Arc<TranslatedBlock>, Tier)> {
+        if let Some(block) = self.optimized.get(&pc) {
+            return Some((Arc::clone(block), Tier::Optimized));
+        }
+        self.basic.get(&pc).map(|block| (Arc::clone(block), Tier::Basic))
+    }
+
+    /// Returns `true` if an optimised translation exists for `pc`.
+    pub fn has_optimized(&self, pc: u64) -> bool {
+        self.optimized.contains_key(&pc)
+    }
+
+    /// Inserts a translation at the given tier, returning a shared handle.
+    pub fn insert(&mut self, pc: u64, tier: Tier, block: TranslatedBlock) -> Arc<TranslatedBlock> {
+        let block = Arc::new(block);
+        match tier {
+            Tier::Basic => self.basic.insert(pc, Arc::clone(&block)),
+            Tier::Optimized => self.optimized.insert(pc, Arc::clone(&block)),
+        };
+        block
+    }
+
+    /// Number of cached translations (both tiers).
+    pub fn len(&self) -> usize {
+        self.basic.len() + self.optimized.len()
+    }
+
+    /// Returns `true` if nothing has been translated yet.
+    pub fn is_empty(&self) -> bool {
+        self.basic.is_empty() && self.optimized.is_empty()
+    }
+
+    /// Removes every cached translation (used when the mitigation policy is
+    /// changed at run time).
+    pub fn clear(&mut self) {
+        self.basic.clear();
+        self.optimized.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_block(pc: u64) -> TranslatedBlock {
+        TranslatedBlock {
+            entry_pc: pc,
+            bundles: vec![],
+            phys_reg_count: 0,
+            recovery: vec![],
+            guest_inst_count: 0,
+        }
+    }
+
+    #[test]
+    fn optimized_shadows_basic() {
+        let mut cache = TranslationCache::new();
+        assert!(cache.lookup(0x100).is_none());
+        cache.insert(0x100, Tier::Basic, dummy_block(0x100));
+        assert_eq!(cache.lookup(0x100).unwrap().1, Tier::Basic);
+        cache.insert(0x100, Tier::Optimized, dummy_block(0x100));
+        assert_eq!(cache.lookup(0x100).unwrap().1, Tier::Optimized);
+        assert!(cache.has_optimized(0x100));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties_both_tiers() {
+        let mut cache = TranslationCache::new();
+        cache.insert(0x100, Tier::Basic, dummy_block(0x100));
+        cache.insert(0x200, Tier::Optimized, dummy_block(0x200));
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

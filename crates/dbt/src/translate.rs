@@ -1,0 +1,333 @@
+//! Translation of guest paths into the block-scoped IR.
+//!
+//! The translator performs a simple local value numbering: each guest
+//! register write becomes an IR value plus an explicit architectural commit
+//! ([`IrOp::WriteReg`]); later reads of the register inside the same block
+//! use the IR value directly, so the data-flow graph reflects true
+//! dependencies rather than register names.
+
+use crate::trace_builder::GuestPath;
+use dbt_ir::{BlockKind, InstId, IrBlock, IrOp, MemWidth, Operand};
+use dbt_riscv::inst::{AluImmOp, AluOp};
+use dbt_riscv::{Inst, LoadWidth, Reg, StoreWidth};
+
+fn mem_width_of_load(width: LoadWidth) -> MemWidth {
+    MemWidth::new(width.bytes() as u8, width.sign_extends())
+}
+
+fn mem_width_of_store(width: StoreWidth) -> MemWidth {
+    MemWidth::new(width.bytes() as u8, false)
+}
+
+fn alu_of_imm(op: AluImmOp) -> AluOp {
+    match op {
+        AluImmOp::Addi => AluOp::Add,
+        AluImmOp::Slti => AluOp::Slt,
+        AluImmOp::Sltiu => AluOp::Sltu,
+        AluImmOp::Xori => AluOp::Xor,
+        AluImmOp::Ori => AluOp::Or,
+        AluImmOp::Andi => AluOp::And,
+        AluImmOp::Slli => AluOp::Sll,
+        AluImmOp::Srli => AluOp::Srl,
+        AluImmOp::Srai => AluOp::Sra,
+        AluImmOp::Addiw => AluOp::Addw,
+    }
+}
+
+/// Register-to-operand map used during translation.
+#[derive(Debug, Clone)]
+struct RegMap {
+    values: [Option<Operand>; Reg::COUNT],
+}
+
+impl RegMap {
+    fn new() -> RegMap {
+        RegMap { values: [None; Reg::COUNT] }
+    }
+
+    fn read(&self, reg: Reg) -> Operand {
+        if reg.is_zero() {
+            Operand::Imm(0)
+        } else {
+            self.values[reg.index() as usize].unwrap_or(Operand::LiveIn(reg))
+        }
+    }
+
+    fn write(&mut self, reg: Reg, value: Operand) {
+        if !reg.is_zero() {
+            self.values[reg.index() as usize] = Some(value);
+        }
+    }
+}
+
+/// Translates a guest path into an IR block.
+///
+/// Conditional branches the path follows become side exits towards the
+/// *other* direction; a path-ending branch becomes a side exit plus a jump
+/// to its fall-through. The block always ends with a terminator.
+pub fn translate_path(path: &GuestPath, kind: BlockKind) -> IrBlock {
+    let mut block = IrBlock::new(path.entry_pc, kind);
+    let mut regs = RegMap::new();
+    let mut terminated = false;
+
+    for (seq, element) in path.elements.iter().enumerate() {
+        let pc = element.pc;
+        let mut define = |block: &mut IrBlock, regs: &mut RegMap, rd: Reg, op: IrOp| {
+            let id: InstId = block.push(op, pc, seq);
+            if !rd.is_zero() {
+                block.push(IrOp::WriteReg { reg: rd, value: Operand::Value(id) }, pc, seq);
+                regs.write(rd, Operand::Value(id));
+            }
+        };
+        match element.inst {
+            Inst::Nop | Inst::Fence => {
+                if matches!(element.inst, Inst::Fence) {
+                    block.push(IrOp::Fence, pc, seq);
+                }
+            }
+            Inst::Lui { rd, imm } => define(&mut block, &mut regs, rd, IrOp::Const(imm)),
+            Inst::Auipc { rd, imm } => {
+                define(&mut block, &mut regs, rd, IrOp::Const(pc.wrapping_add(imm as u64) as i64))
+            }
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                let a = regs.read(rs1);
+                let b = regs.read(rs2);
+                define(&mut block, &mut regs, rd, IrOp::Alu { op, a, b });
+            }
+            Inst::AluImm { op, rd, rs1, imm } => {
+                let a = regs.read(rs1);
+                define(&mut block, &mut regs, rd, IrOp::Alu { op: alu_of_imm(op), a, b: Operand::Imm(imm) });
+            }
+            Inst::Load { width, rd, rs1, offset } => {
+                let base = regs.read(rs1);
+                define(
+                    &mut block,
+                    &mut regs,
+                    rd,
+                    IrOp::Load { width: mem_width_of_load(width), base, offset },
+                );
+            }
+            Inst::Store { width, rs2, rs1, offset } => {
+                let base = regs.read(rs1);
+                let value = regs.read(rs2);
+                block.push(
+                    IrOp::Store { width: mem_width_of_store(width), value, base, offset },
+                    pc,
+                    seq,
+                );
+            }
+            Inst::Branch { cond, rs1, rs2, offset } => {
+                let a = regs.read(rs1);
+                let b = regs.read(rs2);
+                let taken_target = pc.wrapping_add(offset as u64);
+                match element.follow_taken {
+                    Some(true) => {
+                        // Trace follows the taken direction: exit when the
+                        // condition does NOT hold, towards the fall-through.
+                        block.push(
+                            IrOp::SideExit { cond: cond.negate(), a, b, target: pc + 4 },
+                            pc,
+                            seq,
+                        );
+                    }
+                    Some(false) | None => {
+                        // Exit when the condition holds, towards the taken
+                        // target. For a path-ending branch the fall-through
+                        // jump is appended after the loop.
+                        block.push(IrOp::SideExit { cond, a, b, target: taken_target }, pc, seq);
+                    }
+                }
+            }
+            Inst::Jal { rd, offset } => {
+                if !rd.is_zero() {
+                    let link = block.push(IrOp::Const((pc + 4) as i64), pc, seq);
+                    block.push(IrOp::WriteReg { reg: rd, value: Operand::Value(link) }, pc, seq);
+                    regs.write(rd, Operand::Value(link));
+                }
+                // Whether the jump is followed or ends the path is already
+                // encoded in `path.fallthrough`.
+                let _ = offset;
+            }
+            Inst::Jalr { rd, rs1, offset } => {
+                let base = regs.read(rs1);
+                let target = block.push(IrOp::Alu { op: AluOp::Add, a: base, b: Operand::Imm(offset) }, pc, seq);
+                if !rd.is_zero() {
+                    let link = block.push(IrOp::Const((pc + 4) as i64), pc, seq);
+                    block.push(IrOp::WriteReg { reg: rd, value: Operand::Value(link) }, pc, seq);
+                    regs.write(rd, Operand::Value(link));
+                }
+                block.push(IrOp::JumpIndirect { target: Operand::Value(target) }, pc, seq);
+                terminated = true;
+            }
+            Inst::Ecall | Inst::Ebreak => {
+                block.push(IrOp::Halt, pc, seq);
+                terminated = true;
+            }
+            Inst::RdCycle { rd } => {
+                define(&mut block, &mut regs, rd, IrOp::RdCycle);
+            }
+            Inst::CacheFlush { rs1, offset } => {
+                let base = regs.read(rs1);
+                block.push(IrOp::CacheFlush { base, offset }, pc, seq);
+            }
+        }
+    }
+
+    if !terminated {
+        let seq = path.elements.len();
+        let target = path
+            .fallthrough
+            .expect("path without terminating instruction must provide a fallthrough");
+        let pc = path.elements.last().map(|e| e.pc).unwrap_or(path.entry_pc);
+        block.push(IrOp::Jump { target }, pc, seq);
+    }
+    block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DbtConfig;
+    use crate::profile::Profile;
+    use crate::trace_builder::{build_basic_block, build_superblock};
+    use dbt_riscv::{Assembler, BranchCond};
+
+    fn block_for(asm: Assembler) -> IrBlock {
+        let program = asm.assemble().unwrap();
+        let mem = program.build_memory().unwrap();
+        let path = build_basic_block(&mem, program.entry(), &DbtConfig::default()).unwrap();
+        translate_path(&path, BlockKind::Basic)
+    }
+
+    #[test]
+    fn straight_line_translation_is_valid() {
+        let mut asm = Assembler::new();
+        let buf = asm.alloc_data("buf", 64);
+        asm.li(Reg::T0, 5);
+        asm.la(Reg::A0, buf);
+        asm.ld(Reg::A1, Reg::A0, 8);
+        asm.add(Reg::A2, Reg::A1, Reg::T0);
+        asm.sd(Reg::A2, Reg::A0, 16);
+        asm.ecall();
+        let block = block_for(asm);
+        assert_eq!(block.validate(), Ok(()));
+        assert_eq!(block.loads().len(), 1);
+        assert_eq!(block.stores().len(), 1);
+        // Every register write has a commit.
+        let commits = block
+            .insts()
+            .iter()
+            .filter(|i| matches!(i.op, IrOp::WriteReg { .. }))
+            .count();
+        assert!(commits >= 4);
+        assert!(matches!(block.insts().last().unwrap().op, IrOp::Halt));
+    }
+
+    #[test]
+    fn register_reuse_becomes_data_dependency() {
+        let mut asm = Assembler::new();
+        asm.li(Reg::T0, 3);
+        asm.addi(Reg::T0, Reg::T0, 4);
+        asm.ecall();
+        let block = block_for(asm);
+        // The second addi must read the value of the first as an IR value,
+        // not as a live-in.
+        let adds: Vec<_> = block
+            .insts()
+            .iter()
+            .filter(|i| matches!(i.op, IrOp::Alu { .. } | IrOp::Const(_)))
+            .collect();
+        assert!(adds.len() >= 2);
+        let last_add = adds.last().unwrap();
+        assert!(last_add
+            .op
+            .operands()
+            .iter()
+            .any(|o| matches!(o, Operand::Value(_))));
+    }
+
+    #[test]
+    fn path_ending_branch_gets_exit_plus_jump() {
+        let mut asm = Assembler::new();
+        let out = asm.new_label();
+        asm.li(Reg::T0, 1);
+        asm.beqz(Reg::T0, out);
+        asm.nop();
+        asm.bind(out);
+        asm.ecall();
+        let block = block_for(asm);
+        assert_eq!(block.validate(), Ok(()));
+        assert_eq!(block.side_exits().len(), 1);
+        assert!(matches!(block.insts().last().unwrap().op, IrOp::Jump { .. }));
+    }
+
+    #[test]
+    fn followed_taken_branch_exits_on_negated_condition() {
+        // Build a trace where the branch is biased taken.
+        let mut asm = Assembler::new();
+        let target = asm.new_label();
+        asm.li(Reg::T0, 0);
+        asm.beqz(Reg::T0, target); // always taken during warm-up
+        asm.li(Reg::A0, 1); // skipped
+        asm.bind(target);
+        asm.li(Reg::A1, 2);
+        asm.ecall();
+        let program = asm.assemble().unwrap();
+        let mem = program.build_memory().unwrap();
+        let config = DbtConfig::default();
+        let basic = build_basic_block(&mem, program.entry(), &config).unwrap();
+        let branch_pc = basic.elements.last().unwrap().pc;
+        let mut profile = Profile::new();
+        for _ in 0..32 {
+            profile.record_branch(branch_pc, true);
+        }
+        let trace = build_superblock(&mem, program.entry(), &profile, &config).unwrap();
+        let block = translate_path(&trace, BlockKind::Superblock { merged_blocks: trace.merged_blocks });
+        assert_eq!(block.validate(), Ok(()));
+        let exit = block.side_exits()[0];
+        match &block.inst(exit).op {
+            IrOp::SideExit { cond, target, .. } => {
+                // Guest condition is `beq`; the trace follows taken, so the
+                // exit fires on `bne` towards the fall-through.
+                assert_eq!(*cond, BranchCond::Ne);
+                assert_eq!(*target, branch_pc + 4);
+            }
+            other => panic!("expected side exit, got {other:?}"),
+        }
+        // The skipped `li a0, 1` must not be part of the trace.
+        assert!(block.insts().iter().all(|i| !matches!(
+            i.op,
+            IrOp::WriteReg { reg: Reg::A0, .. }
+        )));
+        assert!(matches!(block.insts().last().unwrap().op, IrOp::Halt));
+    }
+
+    #[test]
+    fn jalr_produces_indirect_jump_and_link() {
+        let mut asm = Assembler::new();
+        asm.li(Reg::T0, 0x1_0040);
+        asm.emit(Inst::Jalr { rd: Reg::RA, rs1: Reg::T0, offset: 0 });
+        asm.ecall();
+        let block = block_for(asm);
+        assert_eq!(block.validate(), Ok(()));
+        assert!(matches!(block.insts().last().unwrap().op, IrOp::JumpIndirect { .. }));
+        assert!(block
+            .insts()
+            .iter()
+            .any(|i| matches!(i.op, IrOp::WriteReg { reg: Reg::RA, .. })));
+    }
+
+    #[test]
+    fn rdcycle_and_cflush_are_translated() {
+        let mut asm = Assembler::new();
+        let buf = asm.alloc_data("buf", 64);
+        asm.rdcycle(Reg::A0);
+        asm.la(Reg::A1, buf);
+        asm.cflush(Reg::A1, 0);
+        asm.ecall();
+        let block = block_for(asm);
+        assert_eq!(block.validate(), Ok(()));
+        assert!(block.insts().iter().any(|i| matches!(i.op, IrOp::RdCycle)));
+        assert!(block.insts().iter().any(|i| matches!(i.op, IrOp::CacheFlush { .. })));
+    }
+}

@@ -1,0 +1,244 @@
+//! IR instructions.
+
+use crate::value::{InstId, Operand};
+use dbt_riscv::{BranchCond, Reg};
+use dbt_riscv::inst::AluOp;
+use std::fmt;
+
+/// Width of an IR memory access, with sign-extension information for loads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemWidth {
+    /// Number of bytes (1, 2, 4 or 8).
+    pub bytes: u8,
+    /// Whether a load of this width sign-extends to 64 bits.
+    pub sign_extend: bool,
+}
+
+impl MemWidth {
+    /// 1-byte access, zero-extended.
+    pub const BYTE_U: MemWidth = MemWidth { bytes: 1, sign_extend: false };
+    /// 8-byte access.
+    pub const DOUBLE: MemWidth = MemWidth { bytes: 8, sign_extend: false };
+
+    /// Builds a width descriptor.
+    pub fn new(bytes: u8, sign_extend: bool) -> MemWidth {
+        MemWidth { bytes, sign_extend }
+    }
+}
+
+/// Operation performed by an IR instruction.
+///
+/// Each instruction produces at most one value, named by its [`InstId`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrOp {
+    /// Materialise a 64-bit constant.
+    Const(i64),
+    /// Two-operand ALU operation (same semantics as the guest [`AluOp`]).
+    Alu { op: AluOp, a: Operand, b: Operand },
+    /// Load `width` bytes from `base + offset`.
+    Load { width: MemWidth, base: Operand, offset: i64 },
+    /// Store `value` (`width` bytes) to `base + offset`.
+    Store { width: MemWidth, value: Operand, base: Operand, offset: i64 },
+    /// Commit a value to a guest architectural register.
+    WriteReg { reg: Reg, value: Operand },
+    /// Conditional side exit: if `cond(a, b)` holds, leave the block towards
+    /// guest address `target`. Otherwise fall through to the next IR
+    /// instruction.
+    SideExit { cond: BranchCond, a: Operand, b: Operand, target: u64 },
+    /// Unconditional end of the block, continuing at guest address `target`.
+    Jump { target: u64 },
+    /// Unconditional end of the block, continuing at the guest address held
+    /// in `target` (translated from `jalr`).
+    JumpIndirect { target: Operand },
+    /// End of the whole program (guest `ecall`).
+    Halt,
+    /// Read the cycle CSR.
+    RdCycle,
+    /// Flush the data-cache line containing `base + offset`.
+    CacheFlush { base: Operand, offset: i64 },
+    /// Memory/speculation fence.
+    Fence,
+}
+
+impl IrOp {
+    /// Returns `true` if the operation produces a value.
+    pub fn produces_value(&self) -> bool {
+        matches!(
+            self,
+            IrOp::Const(_) | IrOp::Alu { .. } | IrOp::Load { .. } | IrOp::RdCycle
+        )
+    }
+
+    /// Returns `true` for loads.
+    pub fn is_load(&self) -> bool {
+        matches!(self, IrOp::Load { .. })
+    }
+
+    /// Returns `true` for stores.
+    pub fn is_store(&self) -> bool {
+        matches!(self, IrOp::Store { .. })
+    }
+
+    /// Returns `true` for memory accesses (loads, stores, cache flushes).
+    pub fn is_memory(&self) -> bool {
+        matches!(self, IrOp::Load { .. } | IrOp::Store { .. } | IrOp::CacheFlush { .. })
+    }
+
+    /// Returns `true` for operations with architecturally visible effects
+    /// that must stay in program order (stores, register commits, exits,
+    /// halts, flushes, fences).
+    pub fn is_committing(&self) -> bool {
+        matches!(
+            self,
+            IrOp::Store { .. }
+                | IrOp::WriteReg { .. }
+                | IrOp::SideExit { .. }
+                | IrOp::Jump { .. }
+                | IrOp::JumpIndirect { .. }
+                | IrOp::Halt
+                | IrOp::CacheFlush { .. }
+                | IrOp::Fence
+        )
+    }
+
+    /// Returns `true` for side exits.
+    pub fn is_side_exit(&self) -> bool {
+        matches!(self, IrOp::SideExit { .. })
+    }
+
+    /// Returns `true` if this operation ends the block unconditionally.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, IrOp::Jump { .. } | IrOp::JumpIndirect { .. } | IrOp::Halt)
+    }
+
+    /// The operands read by this operation.
+    pub fn operands(&self) -> Vec<Operand> {
+        match self {
+            IrOp::Const(_) | IrOp::RdCycle | IrOp::Fence | IrOp::Halt | IrOp::Jump { .. } => vec![],
+            IrOp::JumpIndirect { target } => vec![*target],
+            IrOp::Alu { a, b, .. } => vec![*a, *b],
+            IrOp::Load { base, .. } => vec![*base],
+            IrOp::Store { value, base, .. } => vec![*value, *base],
+            IrOp::WriteReg { value, .. } => vec![*value],
+            IrOp::SideExit { a, b, .. } => vec![*a, *b],
+            IrOp::CacheFlush { base, .. } => vec![*base],
+        }
+    }
+
+    /// Address operand of a memory operation (`Load`, `Store`, `CacheFlush`).
+    pub fn address_base(&self) -> Option<Operand> {
+        match self {
+            IrOp::Load { base, .. } | IrOp::Store { base, .. } | IrOp::CacheFlush { base, .. } => {
+                Some(*base)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// An IR instruction: an operation plus its position in the original guest
+/// instruction stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrInst {
+    /// Identifier (index) of this instruction in its block.
+    pub id: InstId,
+    /// The operation.
+    pub op: IrOp,
+    /// Guest PC of the instruction this IR op was translated from.
+    pub guest_pc: u64,
+    /// Position in the original (sequential) guest order. Several IR ops
+    /// translated from the same guest instruction share the same sequence
+    /// number.
+    pub original_seq: usize,
+}
+
+impl IrInst {
+    /// Creates an instruction.
+    pub fn new(id: InstId, op: IrOp, guest_pc: u64, original_seq: usize) -> IrInst {
+        IrInst { id, op, guest_pc, original_seq }
+    }
+}
+
+impl fmt::Display for IrInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let id = self.id;
+        match &self.op {
+            IrOp::Const(v) => write!(f, "{id} = const {v:#x}"),
+            IrOp::Alu { op, a, b } => write!(f, "{id} = {} {a}, {b}", op.mnemonic()),
+            IrOp::Load { width, base, offset } => {
+                write!(f, "{id} = load.{} {base}+{offset}", width.bytes)
+            }
+            IrOp::Store { width, value, base, offset } => {
+                write!(f, "store.{} {value} -> {base}+{offset}", width.bytes)
+            }
+            IrOp::WriteReg { reg, value } => write!(f, "commit {reg} <- {value}"),
+            IrOp::SideExit { cond, a, b, target } => {
+                write!(f, "exit.{} {a}, {b} -> {target:#x}", cond.mnemonic())
+            }
+            IrOp::Jump { target } => write!(f, "jump -> {target:#x}"),
+            IrOp::JumpIndirect { target } => write!(f, "jump -> [{target}]"),
+            IrOp::Halt => write!(f, "halt"),
+            IrOp::RdCycle => write!(f, "{id} = rdcycle"),
+            IrOp::CacheFlush { base, offset } => write!(f, "cflush {base}+{offset}"),
+            IrOp::Fence => write!(f, "fence"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_of_ops() {
+        let load = IrOp::Load { width: MemWidth::BYTE_U, base: Operand::Imm(0), offset: 0 };
+        assert!(load.is_load());
+        assert!(load.produces_value());
+        assert!(!load.is_committing());
+
+        let store = IrOp::Store {
+            width: MemWidth::DOUBLE,
+            value: Operand::Imm(1),
+            base: Operand::Imm(0),
+            offset: 0,
+        };
+        assert!(store.is_store());
+        assert!(store.is_committing());
+        assert!(!store.produces_value());
+
+        assert!(IrOp::Halt.is_terminator());
+        assert!(IrOp::Jump { target: 0 }.is_terminator());
+        assert!(IrOp::SideExit {
+            cond: BranchCond::Eq,
+            a: Operand::Imm(0),
+            b: Operand::Imm(0),
+            target: 0
+        }
+        .is_side_exit());
+    }
+
+    #[test]
+    fn operands_are_enumerated() {
+        let op = IrOp::Store {
+            width: MemWidth::DOUBLE,
+            value: Operand::Value(InstId(1)),
+            base: Operand::LiveIn(Reg::A0),
+            offset: 8,
+        };
+        assert_eq!(op.operands().len(), 2);
+        assert_eq!(op.address_base(), Some(Operand::LiveIn(Reg::A0)));
+        assert_eq!(IrOp::Halt.operands(), vec![]);
+        assert_eq!(IrOp::Halt.address_base(), None);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let inst = IrInst::new(
+            InstId(4),
+            IrOp::Alu { op: AluOp::Add, a: Operand::LiveIn(Reg::A0), b: Operand::Imm(3) },
+            0x1000,
+            2,
+        );
+        assert_eq!(inst.to_string(), "v4 = add in:a0, 3");
+    }
+}

@@ -1,0 +1,33 @@
+//! Intermediate representation of the Dynamic Binary Translation engine.
+//!
+//! The DBT engine translates guest (RISC-V) basic blocks and superblocks
+//! into a small, block-scoped IR before scheduling them onto the VLIW
+//! back-end. This crate defines that IR and — crucially for the paper being
+//! reproduced — the **dependency graph** over it, including which
+//! dependencies the engine is allowed to *relax* (speculate on):
+//!
+//! * control dependencies from a side exit (conditional branch) to the
+//!   loads that follow it — relaxing them is the trace-scheduling
+//!   speculation behind the Spectre v1 analogue;
+//! * memory dependencies from a store to the loads that follow it —
+//!   relaxing them is the Memory-Conflict-Buffer speculation behind the
+//!   Spectre v4 analogue.
+//!
+//! The GhostBusters countermeasure (crate `ghostbusters`) operates purely on
+//! this representation: it inspects the relaxable edges, runs its poisoning
+//! analysis, and turns dangerous relaxable edges back into hard ones before
+//! the scheduler sees them.
+//!
+//! No speculation ever crosses an [`IrBlock`] boundary, mirroring the paper:
+//! temporary values die at the end of the block, so the analysis is local.
+
+pub mod block;
+pub mod dfg;
+pub mod dot;
+pub mod inst;
+pub mod value;
+
+pub use block::{BlockExit, BlockKind, IrBlock};
+pub use dfg::{DepEdge, DepGraph, DepKind, DfgOptions};
+pub use inst::{IrInst, IrOp, MemWidth};
+pub use value::{InstId, Operand};

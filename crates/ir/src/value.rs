@@ -1,0 +1,103 @@
+//! IR values and operands.
+
+use dbt_riscv::Reg;
+use std::fmt;
+
+/// Identifier of an IR instruction inside its block.
+///
+/// The instruction at index `i` in [`IrBlock::insts`](crate::IrBlock::insts)
+/// has `InstId(i)`; value-producing instructions define exactly one value,
+/// which is named by the same id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstId(pub usize);
+
+impl InstId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An operand of an IR instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// The value produced by another instruction in the same block.
+    Value(InstId),
+    /// The value of a guest architectural register at block entry
+    /// (a live-in). Live-ins are never redefined inside a block: once a
+    /// guest register is written, later uses refer to the producing
+    /// [`Operand::Value`].
+    LiveIn(Reg),
+    /// An immediate constant.
+    Imm(i64),
+}
+
+impl Operand {
+    /// The defining instruction, if the operand is a block-local value.
+    pub fn def(self) -> Option<InstId> {
+        match self {
+            Operand::Value(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for immediate operands.
+    pub fn is_imm(self) -> bool {
+        matches!(self, Operand::Imm(_))
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Value(id) => write!(f, "{id}"),
+            Operand::LiveIn(r) => write!(f, "in:{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<InstId> for Operand {
+    fn from(id: InstId) -> Self {
+        Operand::Value(id)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_def_only_for_values() {
+        assert_eq!(Operand::Value(InstId(3)).def(), Some(InstId(3)));
+        assert_eq!(Operand::LiveIn(Reg::A0).def(), None);
+        assert_eq!(Operand::Imm(5).def(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Operand::Value(InstId(2)).to_string(), "v2");
+        assert_eq!(Operand::LiveIn(Reg::A0).to_string(), "in:a0");
+        assert_eq!(Operand::Imm(-7).to_string(), "-7");
+    }
+
+    #[test]
+    fn conversions() {
+        let o: Operand = InstId(1).into();
+        assert_eq!(o, Operand::Value(InstId(1)));
+        let o: Operand = 42i64.into();
+        assert!(o.is_imm());
+    }
+}

@@ -1,0 +1,43 @@
+//! Full-system simulator of the DBT-based processor.
+//!
+//! [`DbtProcessor`] wires together the three pieces built in the substrate
+//! crates — the [DBT engine](dbt_engine::DbtEngine), the in-order
+//! [VLIW core](dbt_vliw::VliwCore) with its data cache, and a guest memory
+//! image — and drives a guest [`Program`](dbt_riscv::Program) to completion,
+//! exactly like Hybrid-DBT runs RISC-V binaries on its VLIW.
+//!
+//! It is the crate the attack proof-of-concepts, the Polybench-style
+//! workloads and the benchmark harness all run against.
+//!
+//! # Example
+//!
+//! ```
+//! use dbt_platform::{DbtProcessor, PlatformConfig};
+//! use dbt_riscv::{Assembler, Reg};
+//! use ghostbusters::MitigationPolicy;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut asm = Assembler::new();
+//! let out = asm.alloc_data("out", 8);
+//! asm.li(Reg::A0, 6);
+//! asm.li(Reg::A1, 7);
+//! asm.mul(Reg::A2, Reg::A0, Reg::A1);
+//! asm.la(Reg::A3, out);
+//! asm.sd(Reg::A2, Reg::A3, 0);
+//! asm.ecall();
+//! let program = asm.assemble()?;
+//!
+//! let config = PlatformConfig::for_policy(MitigationPolicy::FineGrained);
+//! let mut processor = DbtProcessor::new(&program, config)?;
+//! let summary = processor.run()?;
+//! assert!(summary.halted);
+//! assert_eq!(processor.load_symbol_u64("out")?, 42);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod processor;
+pub mod run;
+
+pub use processor::{DbtProcessor, PlatformConfig, PlatformError, RunSummary};
+pub use run::{run_program, run_with_policy, PolicyComparison};

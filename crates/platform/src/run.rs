@@ -1,0 +1,134 @@
+//! Convenience helpers for the evaluation harness: run one program under
+//! one or several mitigation policies and compare cycle counts.
+
+use crate::processor::{DbtProcessor, PlatformConfig, PlatformError, RunSummary};
+use dbt_riscv::Program;
+use ghostbusters::MitigationPolicy;
+use std::fmt;
+
+/// Runs `program` on a freshly constructed platform with `config`.
+///
+/// # Errors
+///
+/// Propagates any [`PlatformError`] from construction or execution.
+pub fn run_program(program: &Program, config: PlatformConfig) -> Result<RunSummary, PlatformError> {
+    let mut processor = DbtProcessor::new(program, config)?;
+    processor.run()
+}
+
+/// Runs `program` under a given mitigation policy with the default platform
+/// parameters.
+///
+/// # Errors
+///
+/// Propagates any [`PlatformError`] from construction or execution.
+pub fn run_with_policy(program: &Program, policy: MitigationPolicy) -> Result<RunSummary, PlatformError> {
+    run_program(program, PlatformConfig::for_policy(policy))
+}
+
+/// Cycle counts of one workload under every mitigation policy, relative to
+/// the unprotected baseline — the rows of the paper's Figure 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyComparison {
+    /// Workload name.
+    pub name: String,
+    /// Cycles of the unprotected (unsafe) run.
+    pub unprotected_cycles: u64,
+    /// Cycles with the fine-grained countermeasure ("our approach").
+    pub fine_grained_cycles: u64,
+    /// Cycles with the fence-on-detection countermeasure.
+    pub fence_cycles: u64,
+    /// Cycles with speculation disabled.
+    pub no_speculation_cycles: u64,
+}
+
+impl PolicyComparison {
+    /// Runs `program` under all four policies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`PlatformError`].
+    pub fn measure(name: &str, program: &Program) -> Result<PolicyComparison, PlatformError> {
+        Ok(PolicyComparison {
+            name: name.to_string(),
+            unprotected_cycles: run_with_policy(program, MitigationPolicy::Unprotected)?.cycles,
+            fine_grained_cycles: run_with_policy(program, MitigationPolicy::FineGrained)?.cycles,
+            fence_cycles: run_with_policy(program, MitigationPolicy::Fence)?.cycles,
+            no_speculation_cycles: run_with_policy(program, MitigationPolicy::NoSpeculation)?.cycles,
+        })
+    }
+
+    /// Slowdown of a policy relative to the unprotected baseline
+    /// (1.0 = no slowdown).
+    pub fn slowdown(&self, policy: MitigationPolicy) -> f64 {
+        let cycles = match policy {
+            MitigationPolicy::Unprotected => self.unprotected_cycles,
+            MitigationPolicy::FineGrained => self.fine_grained_cycles,
+            MitigationPolicy::Fence => self.fence_cycles,
+            MitigationPolicy::NoSpeculation => self.no_speculation_cycles,
+        };
+        cycles as f64 / self.unprotected_cycles as f64
+    }
+}
+
+impl fmt::Display for PolicyComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<14} unsafe={:>10} our-approach={:>6.1}% fence={:>6.1}% no-spec={:>6.1}%",
+            self.name,
+            self.unprotected_cycles,
+            self.slowdown(MitigationPolicy::FineGrained) * 100.0,
+            self.slowdown(MitigationPolicy::Fence) * 100.0,
+            self.slowdown(MitigationPolicy::NoSpeculation) * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbt_riscv::{Assembler, Reg};
+
+    fn tiny_program() -> Program {
+        let mut asm = Assembler::new();
+        let a = asm.alloc_data_u64("a", &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let out = asm.alloc_data("out", 8);
+        let head = asm.new_label();
+        asm.li(Reg::S0, 0);
+        asm.li(Reg::S1, 0);
+        asm.la(Reg::S2, a);
+        asm.li(Reg::S3, 8);
+        asm.bind(head);
+        asm.slli(Reg::T0, Reg::S0, 3);
+        asm.add(Reg::T0, Reg::S2, Reg::T0);
+        asm.ld(Reg::T1, Reg::T0, 0);
+        asm.add(Reg::S1, Reg::S1, Reg::T1);
+        asm.addi(Reg::S0, Reg::S0, 1);
+        asm.blt(Reg::S0, Reg::S3, head);
+        asm.la(Reg::T0, out);
+        asm.sd(Reg::S1, Reg::T0, 0);
+        asm.ecall();
+        asm.assemble().unwrap()
+    }
+
+    #[test]
+    fn comparison_covers_all_policies() {
+        let program = tiny_program();
+        let comparison = PolicyComparison::measure("tiny", &program).unwrap();
+        assert!(comparison.unprotected_cycles > 0);
+        assert!((comparison.slowdown(MitigationPolicy::Unprotected) - 1.0).abs() < 1e-12);
+        assert!(comparison.slowdown(MitigationPolicy::NoSpeculation) >= 1.0);
+        let text = comparison.to_string();
+        assert!(text.contains("tiny"));
+    }
+
+    #[test]
+    fn run_with_policy_produces_same_architectural_result() {
+        let program = tiny_program();
+        for policy in MitigationPolicy::ALL {
+            let summary = run_with_policy(&program, policy).unwrap();
+            assert!(summary.halted);
+        }
+    }
+}

@@ -1,0 +1,657 @@
+//! A small label-resolving assembler used to build guest programs
+//! programmatically.
+//!
+//! The Spectre proof-of-concept attacks and the Polybench-style workloads
+//! are all written against this builder, which plays the role of the C
+//! compiler + assembler toolchain of the original evaluation.
+
+use crate::inst::{AluImmOp, AluOp, BranchCond, Inst, LoadWidth, StoreWidth};
+use crate::program::Program;
+use crate::reg::Reg;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A forward-referencable code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// A named data allocation returned by [`Assembler::alloc_data`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DataRef {
+    addr: u64,
+    len: u64,
+}
+
+impl DataRef {
+    /// Guest address of the first byte of the allocation.
+    pub fn addr(self) -> u64 {
+        self.addr
+    }
+
+    /// Length of the allocation in bytes.
+    pub fn len(self) -> u64 {
+        self.len
+    }
+
+    /// Returns `true` for zero-sized allocations.
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Error produced while assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound with [`Assembler::bind`].
+    UnboundLabel {
+        /// Index of the offending label.
+        label: usize,
+    },
+    /// A resolved branch offset does not fit the B-type immediate.
+    BranchOutOfRange {
+        /// Index of the offending instruction.
+        at: usize,
+        /// The offset that did not fit.
+        offset: i64,
+    },
+    /// A resolved jump offset does not fit the J-type immediate.
+    JumpOutOfRange {
+        /// Index of the offending instruction.
+        at: usize,
+        /// The offset that did not fit.
+        offset: i64,
+    },
+    /// An immediate operand does not fit its 12-bit field.
+    ImmOutOfRange {
+        /// The offending immediate.
+        imm: i64,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel { label } => write!(f, "label {label} was never bound"),
+            AsmError::BranchOutOfRange { at, offset } => {
+                write!(f, "branch at instruction {at} has out-of-range offset {offset}")
+            }
+            AsmError::JumpOutOfRange { at, offset } => {
+                write!(f, "jump at instruction {at} has out-of-range offset {offset}")
+            }
+            AsmError::ImmOutOfRange { imm } => write!(f, "immediate {imm} does not fit 12 bits"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum Pending {
+    /// A fully resolved instruction.
+    Ready(Inst),
+    /// A conditional branch to a label.
+    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, target: Label },
+    /// An unconditional jump (`jal`) to a label.
+    Jump { rd: Reg, target: Label },
+}
+
+/// Builder for guest [`Program`]s.
+///
+/// The assembler keeps a code stream, a data section and a symbol table.
+/// Labels may be referenced before they are bound; all label arithmetic is
+/// resolved by [`Assembler::assemble`].
+///
+/// Code is placed at [`Assembler::CODE_BASE`] and data at
+/// [`Assembler::DATA_BASE`], mirroring a simple embedded memory map.
+///
+/// # Example
+///
+/// ```
+/// use dbt_riscv::{Assembler, Reg};
+/// # fn main() -> Result<(), dbt_riscv::AsmError> {
+/// let mut asm = Assembler::new();
+/// let loop_head = asm.new_label();
+/// asm.li(Reg::T0, 10);
+/// asm.li(Reg::T1, 0);
+/// asm.bind(loop_head);
+/// asm.addi(Reg::T1, Reg::T1, 3);
+/// asm.addi(Reg::T0, Reg::T0, -1);
+/// asm.bnez(Reg::T0, loop_head);
+/// asm.ecall();
+/// let program = asm.assemble()?;
+/// assert!(program.len() >= 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Assembler {
+    code: Vec<Pending>,
+    labels: Vec<Option<usize>>,
+    data: Vec<u8>,
+    symbols: BTreeMap<String, u64>,
+    extra_memory: u64,
+}
+
+impl Assembler {
+    /// Guest address where the code section starts.
+    pub const CODE_BASE: u64 = 0x1_0000;
+    /// Guest address where the data section starts.
+    pub const DATA_BASE: u64 = 0x10_0000;
+    /// Default amount of scratch memory beyond code and data.
+    pub const DEFAULT_EXTRA_MEMORY: u64 = 0x1_0000;
+
+    /// Creates an empty assembler.
+    pub fn new() -> Assembler {
+        Assembler {
+            code: Vec::new(),
+            labels: Vec::new(),
+            data: Vec::new(),
+            symbols: BTreeMap::new(),
+            extra_memory: Self::DEFAULT_EXTRA_MEMORY,
+        }
+    }
+
+    /// Reserves `extra` bytes of zeroed guest memory beyond code and data
+    /// (for stacks or eviction buffers).
+    pub fn reserve_extra_memory(&mut self, extra: u64) {
+        self.extra_memory = self.extra_memory.max(extra);
+    }
+
+    // ------------------------------------------------------------------
+    // Labels and data
+    // ------------------------------------------------------------------
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current end of the code stream.
+    pub fn bind(&mut self, label: Label) {
+        self.labels[label.0] = Some(self.code.len());
+    }
+
+    /// Allocates `len` bytes of zero-initialised data under `name`.
+    ///
+    /// The allocation is 8-byte aligned; the name is recorded in the symbol
+    /// table of the assembled program.
+    pub fn alloc_data(&mut self, name: &str, len: u64) -> DataRef {
+        self.alloc_data_aligned(name, len, 8)
+    }
+
+    /// Allocates `len` bytes of zero-initialised data under `name`, aligned
+    /// to `align` bytes (rounded up to at least 8; must be a power of two).
+    ///
+    /// Cache-line alignment matters for side-channel experiments: a probe
+    /// array that shares a line with unrelated victim data would produce
+    /// false hits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc_data_aligned(&mut self, name: &str, len: u64, align: u64) -> DataRef {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let align = align.max(8);
+        let aligned = (self.data.len() as u64 + align - 1) & !(align - 1);
+        self.data.resize(aligned as usize, 0);
+        let addr = Self::DATA_BASE + aligned;
+        self.data.resize((aligned + len) as usize, 0);
+        self.symbols.insert(name.to_string(), addr);
+        DataRef { addr, len }
+    }
+
+    /// Allocates and initialises a named data buffer.
+    pub fn alloc_data_init(&mut self, name: &str, bytes: &[u8]) -> DataRef {
+        let r = self.alloc_data(name, bytes.len() as u64);
+        let start = (r.addr - Self::DATA_BASE) as usize;
+        self.data[start..start + bytes.len()].copy_from_slice(bytes);
+        r
+    }
+
+    /// Allocates a named buffer of 64-bit little-endian words.
+    pub fn alloc_data_u64(&mut self, name: &str, words: &[u64]) -> DataRef {
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        self.alloc_data_init(name, &bytes)
+    }
+
+    /// Records `name` as an alias for an arbitrary guest address.
+    pub fn define_symbol(&mut self, name: &str, addr: u64) {
+        self.symbols.insert(name.to_string(), addr);
+    }
+
+    /// Current guest address of the next emitted instruction.
+    pub fn here(&self) -> u64 {
+        Self::CODE_BASE + 4 * self.code.len() as u64
+    }
+
+    // ------------------------------------------------------------------
+    // Raw emission
+    // ------------------------------------------------------------------
+
+    /// Emits an already-formed instruction.
+    pub fn emit(&mut self, inst: Inst) {
+        self.code.push(Pending::Ready(inst));
+    }
+
+    // ------------------------------------------------------------------
+    // ALU helpers
+    // ------------------------------------------------------------------
+
+    /// `addi rd, rs1, imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst::AluImm { op: AluImmOp::Addi, rd, rs1, imm });
+    }
+
+    /// `andi rd, rs1, imm`
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst::AluImm { op: AluImmOp::Andi, rd, rs1, imm });
+    }
+
+    /// `slli rd, rs1, shamt`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: i64) {
+        self.emit(Inst::AluImm { op: AluImmOp::Slli, rd, rs1, imm: shamt });
+    }
+
+    /// `srli rd, rs1, shamt`
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: i64) {
+        self.emit(Inst::AluImm { op: AluImmOp::Srli, rd, rs1, imm: shamt });
+    }
+
+    /// `add rd, rs1, rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Add, rd, rs1, rs2 });
+    }
+
+    /// `sub rd, rs1, rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Sub, rd, rs1, rs2 });
+    }
+
+    /// `mul rd, rs1, rs2`
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Mul, rd, rs1, rs2 });
+    }
+
+    /// `div rd, rs1, rs2` (signed)
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Div, rd, rs1, rs2 });
+    }
+
+    /// `rem rd, rs1, rs2` (signed)
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Rem, rd, rs1, rs2 });
+    }
+
+    /// `xor rd, rs1, rs2`
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Xor, rd, rs1, rs2 });
+    }
+
+    /// `and rd, rs1, rs2`
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Alu { op: AluOp::And, rd, rs1, rs2 });
+    }
+
+    /// `or rd, rs1, rs2`
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Or, rd, rs1, rs2 });
+    }
+
+    /// `sltu rd, rs1, rs2`
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Alu { op: AluOp::Sltu, rd, rs1, rs2 });
+    }
+
+    /// `mv rd, rs` (pseudo-instruction, `addi rd, rs, 0`).
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.addi(rd, rs, 0);
+    }
+
+    /// `nop`
+    pub fn nop(&mut self) {
+        self.emit(Inst::Nop);
+    }
+
+    /// Loads an arbitrary 64-bit constant into `rd`.
+    ///
+    /// Small constants use a single `addi`; 32-bit constants use
+    /// `lui`+`addi`; larger constants are built with shift/or sequences.
+    pub fn li(&mut self, rd: Reg, value: i64) {
+        if (-2048..=2047).contains(&value) {
+            self.addi(rd, Reg::ZERO, value);
+            return;
+        }
+        if (i32::MIN as i64..=i32::MAX as i64).contains(&value) {
+            let low = ((value << 52) >> 52) as i64; // low 12 bits, sign-extended
+            let high = value - low;
+            self.emit(Inst::Lui { rd, imm: high });
+            if low != 0 {
+                self.addi(rd, rd, low);
+            }
+            return;
+        }
+        // General case: build the upper 32 bits then shift and add lower bits
+        // 12 bits at a time.
+        let upper = value >> 32;
+        self.li(rd, upper);
+        let low32 = value & 0xffff_ffff;
+        self.slli(rd, rd, 12);
+        self.addi(rd, rd, (low32 >> 20) & 0xfff);
+        self.slli(rd, rd, 12);
+        self.addi(rd, rd, (low32 >> 8) & 0xfff);
+        self.slli(rd, rd, 8);
+        self.addi(rd, rd, low32 & 0xff);
+    }
+
+    /// Loads the address of a data allocation into `rd`.
+    pub fn la(&mut self, rd: Reg, data: DataRef) {
+        self.li(rd, data.addr() as i64);
+    }
+
+    // ------------------------------------------------------------------
+    // Memory helpers
+    // ------------------------------------------------------------------
+
+    /// `lb rd, offset(rs1)`
+    pub fn lb(&mut self, rd: Reg, rs1: Reg, offset: i64) {
+        self.emit(Inst::Load { width: LoadWidth::Byte, rd, rs1, offset });
+    }
+
+    /// `lbu rd, offset(rs1)`
+    pub fn lbu(&mut self, rd: Reg, rs1: Reg, offset: i64) {
+        self.emit(Inst::Load { width: LoadWidth::ByteU, rd, rs1, offset });
+    }
+
+    /// `lw rd, offset(rs1)`
+    pub fn lw(&mut self, rd: Reg, rs1: Reg, offset: i64) {
+        self.emit(Inst::Load { width: LoadWidth::Word, rd, rs1, offset });
+    }
+
+    /// `ld rd, offset(rs1)`
+    pub fn ld(&mut self, rd: Reg, rs1: Reg, offset: i64) {
+        self.emit(Inst::Load { width: LoadWidth::Double, rd, rs1, offset });
+    }
+
+    /// `sb rs2, offset(rs1)`
+    pub fn sb(&mut self, rs2: Reg, rs1: Reg, offset: i64) {
+        self.emit(Inst::Store { width: StoreWidth::Byte, rs2, rs1, offset });
+    }
+
+    /// `sw rs2, offset(rs1)`
+    pub fn sw(&mut self, rs2: Reg, rs1: Reg, offset: i64) {
+        self.emit(Inst::Store { width: StoreWidth::Word, rs2, rs1, offset });
+    }
+
+    /// `sd rs2, offset(rs1)`
+    pub fn sd(&mut self, rs2: Reg, rs1: Reg, offset: i64) {
+        self.emit(Inst::Store { width: StoreWidth::Double, rs2, rs1, offset });
+    }
+
+    /// Flush the cache line containing `offset(rs1)`.
+    pub fn cflush(&mut self, rs1: Reg, offset: i64) {
+        self.emit(Inst::CacheFlush { rs1, offset });
+    }
+
+    /// Read the cycle counter into `rd`.
+    pub fn rdcycle(&mut self, rd: Reg) {
+        self.emit(Inst::RdCycle { rd });
+    }
+
+    /// `fence`
+    pub fn fence(&mut self) {
+        self.emit(Inst::Fence);
+    }
+
+    // ------------------------------------------------------------------
+    // Control flow
+    // ------------------------------------------------------------------
+
+    /// Conditional branch to a label.
+    pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, target: Label) {
+        self.code.push(Pending::Branch { cond, rs1, rs2, target });
+    }
+
+    /// `beq rs1, rs2, target`
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(BranchCond::Eq, rs1, rs2, target);
+    }
+
+    /// `bne rs1, rs2, target`
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(BranchCond::Ne, rs1, rs2, target);
+    }
+
+    /// `blt rs1, rs2, target`
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(BranchCond::Lt, rs1, rs2, target);
+    }
+
+    /// `bge rs1, rs2, target`
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(BranchCond::Ge, rs1, rs2, target);
+    }
+
+    /// `bltu rs1, rs2, target`
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(BranchCond::Ltu, rs1, rs2, target);
+    }
+
+    /// `bgeu rs1, rs2, target`
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(BranchCond::Geu, rs1, rs2, target);
+    }
+
+    /// `bnez rs1, target` (pseudo-instruction)
+    pub fn bnez(&mut self, rs1: Reg, target: Label) {
+        self.bne(rs1, Reg::ZERO, target);
+    }
+
+    /// `beqz rs1, target` (pseudo-instruction)
+    pub fn beqz(&mut self, rs1: Reg, target: Label) {
+        self.beq(rs1, Reg::ZERO, target);
+    }
+
+    /// Unconditional jump to a label (`jal x0, target`).
+    pub fn jump(&mut self, target: Label) {
+        self.code.push(Pending::Jump { rd: Reg::ZERO, target });
+    }
+
+    /// Call a label (`jal ra, target`).
+    pub fn call(&mut self, target: Label) {
+        self.code.push(Pending::Jump { rd: Reg::RA, target });
+    }
+
+    /// Return from a call (`jalr x0, ra, 0`).
+    pub fn ret(&mut self) {
+        self.emit(Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 });
+    }
+
+    /// `ecall` — the platform's exit convention.
+    pub fn ecall(&mut self) {
+        self.emit(Inst::Ecall);
+    }
+
+    /// `ebreak`
+    pub fn ebreak(&mut self) {
+        self.emit(Inst::Ebreak);
+    }
+
+    // ------------------------------------------------------------------
+    // Assembly
+    // ------------------------------------------------------------------
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Returns `true` if no instruction has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Resolves labels and produces the final [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] if a referenced label was never bound or a
+    /// resolved offset does not fit its encoding.
+    pub fn assemble(self) -> Result<Program, AsmError> {
+        let Assembler { code, labels, data, symbols, extra_memory } = self;
+        let resolve = |label: Label| -> Result<usize, AsmError> {
+            labels[label.0].ok_or(AsmError::UnboundLabel { label: label.0 })
+        };
+        let mut out = Vec::with_capacity(code.len());
+        for (index, pending) in code.iter().enumerate() {
+            let inst = match *pending {
+                Pending::Ready(inst) => inst,
+                Pending::Branch { cond, rs1, rs2, target } => {
+                    let dest = resolve(target)?;
+                    let offset = (dest as i64 - index as i64) * 4;
+                    if !(-4096..=4094).contains(&offset) {
+                        return Err(AsmError::BranchOutOfRange { at: index, offset });
+                    }
+                    Inst::Branch { cond, rs1, rs2, offset }
+                }
+                Pending::Jump { rd, target } => {
+                    let dest = resolve(target)?;
+                    let offset = (dest as i64 - index as i64) * 4;
+                    if !(-(1 << 20)..(1 << 20)).contains(&offset) {
+                        return Err(AsmError::JumpOutOfRange { at: index, offset });
+                    }
+                    Inst::Jal { rd, offset }
+                }
+            };
+            out.push(inst);
+        }
+        let code_end = Self::CODE_BASE + 4 * out.len() as u64;
+        let data_end = Self::DATA_BASE + data.len() as u64;
+        let memory_size = code_end.max(data_end) + extra_memory;
+        Ok(Program::new(
+            Self::CODE_BASE,
+            out,
+            Self::DATA_BASE,
+            data,
+            Self::CODE_BASE,
+            memory_size,
+            symbols,
+        ))
+    }
+}
+
+impl Default for Assembler {
+    fn default() -> Self {
+        Assembler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{ExitReason, Interpreter};
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut asm = Assembler::new();
+        let skip = asm.new_label();
+        let back = asm.new_label();
+        asm.li(Reg::T0, 2);
+        asm.bind(back);
+        asm.addi(Reg::T0, Reg::T0, -1);
+        asm.bnez(Reg::T0, back);
+        asm.beqz(Reg::T0, skip);
+        asm.li(Reg::A0, 99); // skipped
+        asm.bind(skip);
+        asm.ecall();
+        let program = asm.assemble().unwrap();
+        let mut interp = Interpreter::new(&program);
+        assert_eq!(interp.run(100).unwrap(), ExitReason::Ecall);
+        assert_eq!(interp.reg(Reg::A0), 0);
+        assert_eq!(interp.reg(Reg::T0), 0);
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut asm = Assembler::new();
+        let l = asm.new_label();
+        asm.jump(l);
+        assert!(matches!(asm.assemble(), Err(AsmError::UnboundLabel { .. })));
+    }
+
+    #[test]
+    fn li_covers_all_ranges() {
+        for value in [
+            0i64,
+            1,
+            -1,
+            2047,
+            -2048,
+            2048,
+            0x1234,
+            -0x1234,
+            0x7fff_ffff,
+            -0x8000_0000,
+            0x1_0000_0000,
+            0x1234_5678_9abc_def0u64 as i64,
+            -0x1234_5678_9abc_def0,
+            i64::MAX,
+            i64::MIN,
+        ] {
+            let mut asm = Assembler::new();
+            asm.li(Reg::A0, value);
+            asm.ecall();
+            let program = asm.assemble().unwrap();
+            let mut interp = Interpreter::new(&program);
+            interp.run(1000).unwrap();
+            assert_eq!(interp.reg(Reg::A0) as i64, value, "li {value:#x}");
+        }
+    }
+
+    #[test]
+    fn data_allocations_are_aligned_and_named() {
+        let mut asm = Assembler::new();
+        let a = asm.alloc_data("a", 3);
+        let b = asm.alloc_data("b", 16);
+        assert_eq!(a.addr() % 8, 0);
+        assert_eq!(b.addr() % 8, 0);
+        assert!(b.addr() >= a.addr() + 3);
+        asm.ecall();
+        let program = asm.assemble().unwrap();
+        assert_eq!(program.symbol("a"), Some(a.addr()));
+        assert_eq!(program.symbol("b"), Some(b.addr()));
+    }
+
+    #[test]
+    fn initialised_data_appears_in_memory() {
+        let mut asm = Assembler::new();
+        let buf = asm.alloc_data_u64("buf", &[0xdead_beef, 42]);
+        asm.ecall();
+        let program = asm.assemble().unwrap();
+        let mem = program.build_memory().unwrap();
+        assert_eq!(mem.load_u64(buf.addr()).unwrap(), 0xdead_beef);
+        assert_eq!(mem.load_u64(buf.addr() + 8).unwrap(), 42);
+    }
+
+    #[test]
+    fn call_and_ret_work() {
+        let mut asm = Assembler::new();
+        let func = asm.new_label();
+        let done = asm.new_label();
+        asm.li(Reg::A0, 5);
+        asm.call(func);
+        asm.jump(done);
+        asm.bind(func);
+        asm.addi(Reg::A0, Reg::A0, 10);
+        asm.ret();
+        asm.bind(done);
+        asm.ecall();
+        let program = asm.assemble().unwrap();
+        let mut interp = Interpreter::new(&program);
+        interp.run(100).unwrap();
+        assert_eq!(interp.reg(Reg::A0), 15);
+    }
+}

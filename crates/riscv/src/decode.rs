@@ -1,0 +1,304 @@
+//! Decoding of 32-bit instruction words back into [`Inst`] values.
+
+use crate::encode::{
+    branch_funct3, load_funct3, store_funct3, CSR_CYCLE, OPCODE_AUIPC, OPCODE_BRANCH,
+    OPCODE_CUSTOM0, OPCODE_JAL, OPCODE_JALR, OPCODE_LOAD, OPCODE_LUI, OPCODE_MISC_MEM, OPCODE_OP,
+    OPCODE_OP_32, OPCODE_OP_IMM, OPCODE_OP_IMM_32, OPCODE_STORE, OPCODE_SYSTEM,
+};
+use crate::inst::{AluImmOp, AluOp, BranchCond, Inst, LoadWidth, StoreWidth};
+use crate::reg::Reg;
+use std::fmt;
+
+/// Error returned when a 32-bit word does not correspond to a supported
+/// guest instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn reg(bits: u32) -> Reg {
+    Reg::from_index((bits & 0x1f) as u8).expect("5-bit field is always a valid register")
+}
+
+fn sign_extend(value: u32, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    (((value as u64) << shift) as i64) >> shift
+}
+
+fn i_imm(word: u32) -> i64 {
+    sign_extend(word >> 20, 12)
+}
+
+fn s_imm(word: u32) -> i64 {
+    let imm = ((word >> 25) << 5) | ((word >> 7) & 0x1f);
+    sign_extend(imm, 12)
+}
+
+fn b_imm(word: u32) -> i64 {
+    let imm = (((word >> 31) & 0x1) << 12)
+        | (((word >> 7) & 0x1) << 11)
+        | (((word >> 25) & 0x3f) << 5)
+        | (((word >> 8) & 0xf) << 1);
+    sign_extend(imm, 13)
+}
+
+fn u_imm(word: u32) -> i64 {
+    sign_extend(word & 0xffff_f000, 32)
+}
+
+fn j_imm(word: u32) -> i64 {
+    let imm = (((word >> 31) & 0x1) << 20)
+        | (((word >> 12) & 0xff) << 12)
+        | (((word >> 20) & 0x1) << 11)
+        | (((word >> 21) & 0x3ff) << 1);
+    sign_extend(imm, 21)
+}
+
+fn decode_load_width(funct3: u32) -> Option<LoadWidth> {
+    [
+        LoadWidth::Byte,
+        LoadWidth::Half,
+        LoadWidth::Word,
+        LoadWidth::Double,
+        LoadWidth::ByteU,
+        LoadWidth::HalfU,
+        LoadWidth::WordU,
+    ]
+    .into_iter()
+    .find(|w| load_funct3(*w) == funct3)
+}
+
+fn decode_store_width(funct3: u32) -> Option<StoreWidth> {
+    [StoreWidth::Byte, StoreWidth::Half, StoreWidth::Word, StoreWidth::Double]
+        .into_iter()
+        .find(|w| store_funct3(*w) == funct3)
+}
+
+fn decode_branch_cond(funct3: u32) -> Option<BranchCond> {
+    [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ge,
+        BranchCond::Ltu,
+        BranchCond::Geu,
+    ]
+    .into_iter()
+    .find(|c| branch_funct3(*c) == funct3)
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the word does not encode an instruction in the
+/// supported rv64im subset (plus the platform-specific instructions).
+///
+/// # Example
+///
+/// ```
+/// use dbt_riscv::{decode, Inst};
+/// assert_eq!(decode(0x0000_0013).unwrap(), Inst::Nop);
+/// assert!(decode(0xffff_ffff).is_err());
+/// ```
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let opcode = word & 0x7f;
+    let rd = reg(word >> 7);
+    let rs1 = reg(word >> 15);
+    let rs2 = reg(word >> 20);
+    let funct3 = (word >> 12) & 0x7;
+    let funct7 = word >> 25;
+    let err = Err(DecodeError { word });
+
+    let inst = match opcode {
+        OPCODE_LUI => Inst::Lui { rd, imm: u_imm(word) },
+        OPCODE_AUIPC => Inst::Auipc { rd, imm: u_imm(word) },
+        OPCODE_JAL => Inst::Jal { rd, offset: j_imm(word) },
+        OPCODE_JALR => {
+            if funct3 != 0 {
+                return err;
+            }
+            Inst::Jalr { rd, rs1, offset: i_imm(word) }
+        }
+        OPCODE_BRANCH => match decode_branch_cond(funct3) {
+            Some(cond) => Inst::Branch { cond, rs1, rs2, offset: b_imm(word) },
+            None => return err,
+        },
+        OPCODE_LOAD => match decode_load_width(funct3) {
+            Some(width) => Inst::Load { width, rd, rs1, offset: i_imm(word) },
+            None => return err,
+        },
+        OPCODE_STORE => match decode_store_width(funct3) {
+            Some(width) => Inst::Store { width, rs2, rs1, offset: s_imm(word) },
+            None => return err,
+        },
+        OPCODE_OP_IMM => {
+            if word == 0x0000_0013 {
+                return Ok(Inst::Nop);
+            }
+            let op = match funct3 {
+                0b000 => AluImmOp::Addi,
+                0b010 => AluImmOp::Slti,
+                0b011 => AluImmOp::Sltiu,
+                0b100 => AluImmOp::Xori,
+                0b110 => AluImmOp::Ori,
+                0b111 => AluImmOp::Andi,
+                0b001 => {
+                    if (word >> 26) != 0 {
+                        return err;
+                    }
+                    return Ok(Inst::AluImm {
+                        op: AluImmOp::Slli,
+                        rd,
+                        rs1,
+                        imm: ((word >> 20) & 0x3f) as i64,
+                    });
+                }
+                0b101 => {
+                    let shamt = ((word >> 20) & 0x3f) as i64;
+                    let op = match word >> 26 {
+                        0x00 => AluImmOp::Srli,
+                        0x10 => AluImmOp::Srai,
+                        _ => return err,
+                    };
+                    return Ok(Inst::AluImm { op, rd, rs1, imm: shamt });
+                }
+                _ => return err,
+            };
+            Inst::AluImm { op, rd, rs1, imm: i_imm(word) }
+        }
+        OPCODE_OP_IMM_32 => {
+            if funct3 != 0 {
+                return err;
+            }
+            Inst::AluImm { op: AluImmOp::Addiw, rd, rs1, imm: i_imm(word) }
+        }
+        OPCODE_OP => {
+            let op = match (funct7, funct3) {
+                (0x00, 0b000) => AluOp::Add,
+                (0x20, 0b000) => AluOp::Sub,
+                (0x00, 0b001) => AluOp::Sll,
+                (0x00, 0b010) => AluOp::Slt,
+                (0x00, 0b011) => AluOp::Sltu,
+                (0x00, 0b100) => AluOp::Xor,
+                (0x00, 0b101) => AluOp::Srl,
+                (0x20, 0b101) => AluOp::Sra,
+                (0x00, 0b110) => AluOp::Or,
+                (0x00, 0b111) => AluOp::And,
+                (0x01, 0b000) => AluOp::Mul,
+                (0x01, 0b001) => AluOp::Mulh,
+                (0x01, 0b100) => AluOp::Div,
+                (0x01, 0b101) => AluOp::Divu,
+                (0x01, 0b110) => AluOp::Rem,
+                (0x01, 0b111) => AluOp::Remu,
+                _ => return err,
+            };
+            Inst::Alu { op, rd, rs1, rs2 }
+        }
+        OPCODE_OP_32 => {
+            let op = match (funct7, funct3) {
+                (0x00, 0b000) => AluOp::Addw,
+                (0x20, 0b000) => AluOp::Subw,
+                (0x01, 0b000) => AluOp::Mulw,
+                _ => return err,
+            };
+            Inst::Alu { op, rd, rs1, rs2 }
+        }
+        OPCODE_MISC_MEM => Inst::Fence,
+        OPCODE_SYSTEM => match funct3 {
+            0b000 => match word >> 20 {
+                0 => Inst::Ecall,
+                1 => Inst::Ebreak,
+                _ => return err,
+            },
+            0b010 => {
+                if (word >> 20) != CSR_CYCLE || !rs1.is_zero() {
+                    return err;
+                }
+                Inst::RdCycle { rd }
+            }
+            _ => return err,
+        },
+        OPCODE_CUSTOM0 => {
+            if funct3 != 0 || !rd.is_zero() {
+                return err;
+            }
+            Inst::CacheFlush { rs1, offset: i_imm(word) }
+        }
+        _ => return err,
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    fn roundtrip(inst: Inst) {
+        let word = encode(&inst);
+        let back = decode(word).unwrap_or_else(|e| panic!("decode failed for {inst}: {e}"));
+        assert_eq!(back, inst, "roundtrip mismatch for word {word:#010x}");
+    }
+
+    #[test]
+    fn roundtrip_representative_instructions() {
+        use crate::inst::{AluImmOp::*, AluOp::*, BranchCond::*};
+        let a0 = Reg::A0;
+        let a1 = Reg::A1;
+        let t0 = Reg::T0;
+        let cases = vec![
+            Inst::Lui { rd: a0, imm: 0x12345 << 12 },
+            Inst::Auipc { rd: a1, imm: -(0x1000i64) },
+            Inst::Alu { op: Add, rd: a0, rs1: a1, rs2: t0 },
+            Inst::Alu { op: Sub, rd: a0, rs1: a1, rs2: t0 },
+            Inst::Alu { op: Mul, rd: a0, rs1: a1, rs2: t0 },
+            Inst::Alu { op: Divu, rd: a0, rs1: a1, rs2: t0 },
+            Inst::Alu { op: Addw, rd: a0, rs1: a1, rs2: t0 },
+            Inst::Alu { op: Mulw, rd: a0, rs1: a1, rs2: t0 },
+            Inst::AluImm { op: Addi, rd: a0, rs1: a1, imm: -42 },
+            Inst::AluImm { op: Slli, rd: a0, rs1: a1, imm: 17 },
+            Inst::AluImm { op: Srai, rd: a0, rs1: a1, imm: 33 },
+            Inst::AluImm { op: Addiw, rd: a0, rs1: a1, imm: 100 },
+            Inst::Load { width: LoadWidth::ByteU, rd: a0, rs1: a1, offset: -8 },
+            Inst::Load { width: LoadWidth::Double, rd: a0, rs1: a1, offset: 2040 },
+            Inst::Store { width: StoreWidth::Word, rs2: a0, rs1: a1, offset: -16 },
+            Inst::Branch { cond: Ltu, rs1: a0, rs2: a1, offset: -256 },
+            Inst::Branch { cond: Geu, rs1: a0, rs2: a1, offset: 4094 },
+            Inst::Jal { rd: Reg::RA, offset: -1048576 },
+            Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 },
+            Inst::Ecall,
+            Inst::Ebreak,
+            Inst::Fence,
+            Inst::RdCycle { rd: a0 },
+            Inst::CacheFlush { rs1: a1, offset: 64 },
+            Inst::Nop,
+        ];
+        for inst in cases {
+            roundtrip(inst);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode(0xffff_ffff).is_err());
+        assert!(decode(0x0000_0000).is_err());
+        // Unsupported CSR.
+        assert!(decode(0xc020_2573).is_err());
+    }
+
+    #[test]
+    fn decode_error_display_mentions_word() {
+        let e = decode(0xffff_ffff).unwrap_err();
+        assert!(e.to_string().contains("0xffffffff"));
+    }
+}

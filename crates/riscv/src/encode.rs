@@ -1,0 +1,250 @@
+//! Binary encoding of guest instructions to 32-bit RISC-V words.
+//!
+//! The encodings follow the RV64IM base formats (R/I/S/B/U/J). The two
+//! platform-specific instructions use a reserved encoding space:
+//! [`Inst::RdCycle`] is the standard `csrrs rd, cycle, x0` and
+//! [`Inst::CacheFlush`] lives in the *custom-0* opcode.
+
+use crate::inst::{AluImmOp, AluOp, BranchCond, Inst, LoadWidth, StoreWidth};
+use crate::reg::Reg;
+
+pub(crate) const OPCODE_LUI: u32 = 0x37;
+pub(crate) const OPCODE_AUIPC: u32 = 0x17;
+pub(crate) const OPCODE_JAL: u32 = 0x6f;
+pub(crate) const OPCODE_JALR: u32 = 0x67;
+pub(crate) const OPCODE_BRANCH: u32 = 0x63;
+pub(crate) const OPCODE_LOAD: u32 = 0x03;
+pub(crate) const OPCODE_STORE: u32 = 0x23;
+pub(crate) const OPCODE_OP_IMM: u32 = 0x13;
+pub(crate) const OPCODE_OP: u32 = 0x33;
+pub(crate) const OPCODE_OP_IMM_32: u32 = 0x1b;
+pub(crate) const OPCODE_OP_32: u32 = 0x3b;
+pub(crate) const OPCODE_MISC_MEM: u32 = 0x0f;
+pub(crate) const OPCODE_SYSTEM: u32 = 0x73;
+pub(crate) const OPCODE_CUSTOM0: u32 = 0x0b;
+
+pub(crate) const CSR_CYCLE: u32 = 0xc00;
+
+fn r_type(opcode: u32, funct3: u32, funct7: u32, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    opcode
+        | ((rd.index() as u32) << 7)
+        | (funct3 << 12)
+        | ((rs1.index() as u32) << 15)
+        | ((rs2.index() as u32) << 20)
+        | (funct7 << 25)
+}
+
+fn i_type(opcode: u32, funct3: u32, rd: Reg, rs1: Reg, imm: i64) -> u32 {
+    let imm12 = (imm as u32) & 0xfff;
+    opcode
+        | ((rd.index() as u32) << 7)
+        | (funct3 << 12)
+        | ((rs1.index() as u32) << 15)
+        | (imm12 << 20)
+}
+
+fn s_type(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, imm: i64) -> u32 {
+    let imm = imm as u32;
+    opcode
+        | ((imm & 0x1f) << 7)
+        | (funct3 << 12)
+        | ((rs1.index() as u32) << 15)
+        | ((rs2.index() as u32) << 20)
+        | (((imm >> 5) & 0x7f) << 25)
+}
+
+fn b_type(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, imm: i64) -> u32 {
+    let imm = imm as u32;
+    opcode
+        | (((imm >> 11) & 0x1) << 7)
+        | (((imm >> 1) & 0xf) << 8)
+        | (funct3 << 12)
+        | ((rs1.index() as u32) << 15)
+        | ((rs2.index() as u32) << 20)
+        | (((imm >> 5) & 0x3f) << 25)
+        | (((imm >> 12) & 0x1) << 31)
+}
+
+fn u_type(opcode: u32, rd: Reg, imm: i64) -> u32 {
+    // `imm` carries the full (already shifted) upper-immediate value.
+    opcode | ((rd.index() as u32) << 7) | ((imm as u32) & 0xffff_f000)
+}
+
+fn j_type(opcode: u32, rd: Reg, imm: i64) -> u32 {
+    let imm = imm as u32;
+    opcode
+        | ((rd.index() as u32) << 7)
+        | (((imm >> 12) & 0xff) << 12)
+        | (((imm >> 11) & 0x1) << 20)
+        | (((imm >> 1) & 0x3ff) << 21)
+        | (((imm >> 20) & 0x1) << 31)
+}
+
+pub(crate) fn load_funct3(width: LoadWidth) -> u32 {
+    match width {
+        LoadWidth::Byte => 0b000,
+        LoadWidth::Half => 0b001,
+        LoadWidth::Word => 0b010,
+        LoadWidth::Double => 0b011,
+        LoadWidth::ByteU => 0b100,
+        LoadWidth::HalfU => 0b101,
+        LoadWidth::WordU => 0b110,
+    }
+}
+
+pub(crate) fn store_funct3(width: StoreWidth) -> u32 {
+    match width {
+        StoreWidth::Byte => 0b000,
+        StoreWidth::Half => 0b001,
+        StoreWidth::Word => 0b010,
+        StoreWidth::Double => 0b011,
+    }
+}
+
+pub(crate) fn branch_funct3(cond: BranchCond) -> u32 {
+    match cond {
+        BranchCond::Eq => 0b000,
+        BranchCond::Ne => 0b001,
+        BranchCond::Lt => 0b100,
+        BranchCond::Ge => 0b101,
+        BranchCond::Ltu => 0b110,
+        BranchCond::Geu => 0b111,
+    }
+}
+
+/// Encodes a guest instruction to its 32-bit word.
+///
+/// # Panics
+///
+/// Does not panic: out-of-range immediates are truncated to the bits the
+/// format can carry (callers that need validation use the
+/// [`Assembler`](crate::Assembler), which checks ranges during assembly).
+///
+/// # Example
+///
+/// ```
+/// use dbt_riscv::{encode, decode, Inst, Reg};
+/// let word = encode(&Inst::Jal { rd: Reg::RA, offset: 16 });
+/// assert_eq!(decode(word).unwrap(), Inst::Jal { rd: Reg::RA, offset: 16 });
+/// ```
+pub fn encode(inst: &Inst) -> u32 {
+    match *inst {
+        Inst::Lui { rd, imm } => u_type(OPCODE_LUI, rd, imm),
+        Inst::Auipc { rd, imm } => u_type(OPCODE_AUIPC, rd, imm),
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            let (opcode, funct3, funct7) = match op {
+                AluOp::Add => (OPCODE_OP, 0b000, 0x00),
+                AluOp::Sub => (OPCODE_OP, 0b000, 0x20),
+                AluOp::Sll => (OPCODE_OP, 0b001, 0x00),
+                AluOp::Slt => (OPCODE_OP, 0b010, 0x00),
+                AluOp::Sltu => (OPCODE_OP, 0b011, 0x00),
+                AluOp::Xor => (OPCODE_OP, 0b100, 0x00),
+                AluOp::Srl => (OPCODE_OP, 0b101, 0x00),
+                AluOp::Sra => (OPCODE_OP, 0b101, 0x20),
+                AluOp::Or => (OPCODE_OP, 0b110, 0x00),
+                AluOp::And => (OPCODE_OP, 0b111, 0x00),
+                AluOp::Mul => (OPCODE_OP, 0b000, 0x01),
+                AluOp::Mulh => (OPCODE_OP, 0b001, 0x01),
+                AluOp::Div => (OPCODE_OP, 0b100, 0x01),
+                AluOp::Divu => (OPCODE_OP, 0b101, 0x01),
+                AluOp::Rem => (OPCODE_OP, 0b110, 0x01),
+                AluOp::Remu => (OPCODE_OP, 0b111, 0x01),
+                AluOp::Addw => (OPCODE_OP_32, 0b000, 0x00),
+                AluOp::Subw => (OPCODE_OP_32, 0b000, 0x20),
+                AluOp::Mulw => (OPCODE_OP_32, 0b000, 0x01),
+            };
+            r_type(opcode, funct3, funct7, rd, rs1, rs2)
+        }
+        Inst::AluImm { op, rd, rs1, imm } => match op {
+            AluImmOp::Addi => i_type(OPCODE_OP_IMM, 0b000, rd, rs1, imm),
+            AluImmOp::Slti => i_type(OPCODE_OP_IMM, 0b010, rd, rs1, imm),
+            AluImmOp::Sltiu => i_type(OPCODE_OP_IMM, 0b011, rd, rs1, imm),
+            AluImmOp::Xori => i_type(OPCODE_OP_IMM, 0b100, rd, rs1, imm),
+            AluImmOp::Ori => i_type(OPCODE_OP_IMM, 0b110, rd, rs1, imm),
+            AluImmOp::Andi => i_type(OPCODE_OP_IMM, 0b111, rd, rs1, imm),
+            AluImmOp::Slli => i_type(OPCODE_OP_IMM, 0b001, rd, rs1, imm & 0x3f),
+            AluImmOp::Srli => i_type(OPCODE_OP_IMM, 0b101, rd, rs1, imm & 0x3f),
+            AluImmOp::Srai => i_type(OPCODE_OP_IMM, 0b101, rd, rs1, (imm & 0x3f) | 0x400),
+            AluImmOp::Addiw => i_type(OPCODE_OP_IMM_32, 0b000, rd, rs1, imm),
+        },
+        Inst::Load { width, rd, rs1, offset } => {
+            i_type(OPCODE_LOAD, load_funct3(width), rd, rs1, offset)
+        }
+        Inst::Store { width, rs2, rs1, offset } => {
+            s_type(OPCODE_STORE, store_funct3(width), rs1, rs2, offset)
+        }
+        Inst::Branch { cond, rs1, rs2, offset } => {
+            b_type(OPCODE_BRANCH, branch_funct3(cond), rs1, rs2, offset)
+        }
+        Inst::Jal { rd, offset } => j_type(OPCODE_JAL, rd, offset),
+        Inst::Jalr { rd, rs1, offset } => i_type(OPCODE_JALR, 0b000, rd, rs1, offset),
+        Inst::Ecall => i_type(OPCODE_SYSTEM, 0b000, Reg::ZERO, Reg::ZERO, 0),
+        Inst::Ebreak => i_type(OPCODE_SYSTEM, 0b000, Reg::ZERO, Reg::ZERO, 1),
+        Inst::Fence => i_type(OPCODE_MISC_MEM, 0b000, Reg::ZERO, Reg::ZERO, 0x0ff),
+        Inst::RdCycle { rd } => i_type(OPCODE_SYSTEM, 0b010, rd, Reg::ZERO, CSR_CYCLE as i64),
+        Inst::CacheFlush { rs1, offset } => i_type(OPCODE_CUSTOM0, 0b000, Reg::ZERO, rs1, offset),
+        Inst::Nop => i_type(OPCODE_OP_IMM, 0b000, Reg::ZERO, Reg::ZERO, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_nop_is_addi_x0_x0_0() {
+        assert_eq!(encode(&Inst::Nop), 0x0000_0013);
+    }
+
+    #[test]
+    fn known_encodings() {
+        // addi a0, a0, 1  => 0x00150513
+        assert_eq!(
+            encode(&Inst::AluImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::A0, imm: 1 }),
+            0x0015_0513
+        );
+        // add a0, a1, a2 => 0x00c58533
+        assert_eq!(
+            encode(&Inst::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }),
+            0x00c5_8533
+        );
+        // lw a0, 4(sp) => 0x00412503
+        assert_eq!(
+            encode(&Inst::Load { width: LoadWidth::Word, rd: Reg::A0, rs1: Reg::SP, offset: 4 }),
+            0x0041_2503
+        );
+        // sd a0, 8(sp) => 0x00a13423
+        assert_eq!(
+            encode(&Inst::Store {
+                width: StoreWidth::Double,
+                rs2: Reg::A0,
+                rs1: Reg::SP,
+                offset: 8
+            }),
+            0x00a1_3423
+        );
+        // ecall => 0x00000073
+        assert_eq!(encode(&Inst::Ecall), 0x0000_0073);
+        // ebreak => 0x00100073
+        assert_eq!(encode(&Inst::Ebreak), 0x0010_0073);
+    }
+
+    #[test]
+    fn branch_offset_bits_are_scattered_correctly() {
+        // beq x0, x0, -4 (backwards by one instruction)
+        let w = encode(&Inst::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            offset: -4,
+        });
+        assert_eq!(w, 0xfe00_0ee3);
+    }
+
+    #[test]
+    fn rdcycle_uses_cycle_csr() {
+        let w = encode(&Inst::RdCycle { rd: Reg::A0 });
+        assert_eq!(w >> 20, CSR_CYCLE);
+        assert_eq!(w & 0x7f, OPCODE_SYSTEM);
+    }
+}

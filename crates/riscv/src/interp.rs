@@ -1,0 +1,316 @@
+//! Reference instruction-set simulator.
+//!
+//! The interpreter executes guest programs instruction by instruction, in
+//! strict program order, with no cache or pipeline model. Its purpose is
+//! twofold:
+//!
+//! * it defines the *architectural* semantics the DBT engine must preserve
+//!   (every translation/speculation/mitigation configuration is checked
+//!   against it by differential tests);
+//! * it gives a simple baseline instruction count.
+//!
+//! The `rdcycle` instruction returns the retired-instruction count here — the
+//! reference machine has no micro-architectural timing, which is exactly why
+//! the Spectre attacks cannot be expressed on it.
+
+use crate::inst::Inst;
+use crate::memory::{GuestMemory, MemError};
+use crate::program::{Program, ProgramError};
+use crate::reg::Reg;
+use std::fmt;
+
+/// Why the interpreter stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// The program executed `ecall` (normal termination).
+    Ecall,
+    /// The program executed `ebreak`.
+    Ebreak,
+    /// The step/instruction budget was exhausted before termination.
+    BudgetExhausted,
+}
+
+/// Error raised while executing a guest program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Guest memory fault.
+    Mem(MemError),
+    /// Instruction fetch fault.
+    Program(ProgramError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Mem(e) => write!(f, "{e}"),
+            ExecError::Program(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<MemError> for ExecError {
+    fn from(e: MemError) -> Self {
+        ExecError::Mem(e)
+    }
+}
+
+impl From<ProgramError> for ExecError {
+    fn from(e: ProgramError) -> Self {
+        ExecError::Program(e)
+    }
+}
+
+/// Architectural state + executor for the reference machine.
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    program: Program,
+    regs: [u64; Reg::COUNT],
+    pc: u64,
+    memory: GuestMemory,
+    retired: u64,
+}
+
+impl Interpreter {
+    /// Creates an interpreter with the program loaded and the PC at its
+    /// entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program's memory image cannot be built (inconsistent
+    /// `memory_size`, which cannot happen for assembler-produced programs).
+    pub fn new(program: &Program) -> Interpreter {
+        let memory = program.build_memory().expect("program memory image");
+        let mut regs = [0u64; Reg::COUNT];
+        // Give the guest a stack at the top of memory, as the platform does.
+        regs[Reg::SP.index() as usize] = (memory.len() as u64) & !0xf;
+        Interpreter { program: program.clone(), regs, pc: program.entry(), memory, retired: 0 }
+    }
+
+    /// Current value of a register.
+    pub fn reg(&self, reg: Reg) -> u64 {
+        self.regs[reg.index() as usize]
+    }
+
+    /// Overwrites a register (x0 writes are ignored).
+    pub fn set_reg(&mut self, reg: Reg, value: u64) {
+        if !reg.is_zero() {
+            self.regs[reg.index() as usize] = value;
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Number of retired instructions.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Guest memory.
+    pub fn memory(&self) -> &GuestMemory {
+        &self.memory
+    }
+
+    /// Mutable guest memory (useful to plant secrets before running).
+    pub fn memory_mut(&mut self) -> &mut GuestMemory {
+        &mut self.memory
+    }
+
+    /// Executes a single instruction.
+    ///
+    /// Returns `Some(reason)` if the instruction terminated the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on a fetch or memory fault.
+    pub fn step(&mut self) -> Result<Option<ExitReason>, ExecError> {
+        let inst = self.program.fetch(self.pc)?;
+        let mut next_pc = self.pc.wrapping_add(4);
+        match inst {
+            Inst::Lui { rd, imm } => self.set_reg(rd, imm as u64),
+            Inst::Auipc { rd, imm } => self.set_reg(rd, self.pc.wrapping_add(imm as u64)),
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                let v = op.apply(self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+            }
+            Inst::AluImm { op, rd, rs1, imm } => {
+                let v = op.apply(self.reg(rs1), imm);
+                self.set_reg(rd, v);
+            }
+            Inst::Load { width, rd, rs1, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u64);
+                let raw = self.memory.load(addr, width.bytes())?;
+                let value = if width.sign_extends() {
+                    let bits = width.bytes() * 8;
+                    (((raw << (64 - bits)) as i64) >> (64 - bits)) as u64
+                } else {
+                    raw
+                };
+                self.set_reg(rd, value);
+            }
+            Inst::Store { width, rs2, rs1, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u64);
+                self.memory.store(addr, width.bytes(), self.reg(rs2))?;
+            }
+            Inst::Branch { cond, rs1, rs2, offset } => {
+                if cond.eval(self.reg(rs1), self.reg(rs2)) {
+                    next_pc = self.pc.wrapping_add(offset as u64);
+                }
+            }
+            Inst::Jal { rd, offset } => {
+                self.set_reg(rd, self.pc.wrapping_add(4));
+                next_pc = self.pc.wrapping_add(offset as u64);
+            }
+            Inst::Jalr { rd, rs1, offset } => {
+                let target = self.reg(rs1).wrapping_add(offset as u64) & !1;
+                self.set_reg(rd, self.pc.wrapping_add(4));
+                next_pc = target;
+            }
+            Inst::Ecall => {
+                self.retired += 1;
+                return Ok(Some(ExitReason::Ecall));
+            }
+            Inst::Ebreak => {
+                self.retired += 1;
+                return Ok(Some(ExitReason::Ebreak));
+            }
+            Inst::Fence | Inst::Nop => {}
+            Inst::RdCycle { rd } => {
+                // The reference machine has no cycle-level timing; expose the
+                // retired-instruction count so programs still observe a
+                // monotonically increasing counter.
+                self.set_reg(rd, self.retired);
+            }
+            Inst::CacheFlush { .. } => {
+                // No cache on the reference machine.
+            }
+        }
+        self.retired += 1;
+        self.pc = next_pc;
+        Ok(None)
+    }
+
+    /// Runs until termination or until `max_steps` instructions have retired.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on a fetch or memory fault.
+    pub fn run(&mut self, max_steps: u64) -> Result<ExitReason, ExecError> {
+        for _ in 0..max_steps {
+            if let Some(reason) = self.step()? {
+                return Ok(reason);
+            }
+        }
+        Ok(ExitReason::BudgetExhausted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::inst::BranchCond;
+
+    #[test]
+    fn arithmetic_and_memory_program() {
+        let mut asm = Assembler::new();
+        let buf = asm.alloc_data("buf", 64);
+        asm.li(Reg::T0, 6);
+        asm.li(Reg::T1, 7);
+        asm.mul(Reg::T2, Reg::T0, Reg::T1);
+        asm.la(Reg::A0, buf);
+        asm.sd(Reg::T2, Reg::A0, 0);
+        asm.ld(Reg::A1, Reg::A0, 0);
+        asm.ecall();
+        let program = asm.assemble().unwrap();
+        let mut interp = Interpreter::new(&program);
+        assert_eq!(interp.run(100).unwrap(), ExitReason::Ecall);
+        assert_eq!(interp.reg(Reg::A1), 42);
+        assert_eq!(interp.memory().load_u64(buf.addr()).unwrap(), 42);
+    }
+
+    #[test]
+    fn sign_extension_on_byte_loads() {
+        let mut asm = Assembler::new();
+        let buf = asm.alloc_data_init("buf", &[0xff]);
+        asm.la(Reg::A0, buf);
+        asm.lb(Reg::A1, Reg::A0, 0);
+        asm.lbu(Reg::A2, Reg::A0, 0);
+        asm.ecall();
+        let program = asm.assemble().unwrap();
+        let mut interp = Interpreter::new(&program);
+        interp.run(100).unwrap();
+        assert_eq!(interp.reg(Reg::A1), u64::MAX);
+        assert_eq!(interp.reg(Reg::A2), 0xff);
+    }
+
+    #[test]
+    fn taken_and_not_taken_branches() {
+        let mut asm = Assembler::new();
+        let over = asm.new_label();
+        asm.li(Reg::T0, 1);
+        asm.li(Reg::T1, 2);
+        asm.branch(BranchCond::Lt, Reg::T0, Reg::T1, over);
+        asm.li(Reg::A0, 111); // skipped
+        asm.bind(over);
+        asm.addi(Reg::A0, Reg::A0, 1);
+        asm.ecall();
+        let program = asm.assemble().unwrap();
+        let mut interp = Interpreter::new(&program);
+        interp.run(100).unwrap();
+        assert_eq!(interp.reg(Reg::A0), 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let mut asm = Assembler::new();
+        let spin = asm.new_label();
+        asm.bind(spin);
+        asm.jump(spin);
+        let program = asm.assemble().unwrap();
+        let mut interp = Interpreter::new(&program);
+        assert_eq!(interp.run(10).unwrap(), ExitReason::BudgetExhausted);
+        assert_eq!(interp.retired(), 10);
+    }
+
+    #[test]
+    fn memory_fault_is_reported() {
+        let mut asm = Assembler::new();
+        asm.li(Reg::A0, -8);
+        asm.ld(Reg::A1, Reg::A0, 0);
+        asm.ecall();
+        let program = asm.assemble().unwrap();
+        let mut interp = Interpreter::new(&program);
+        assert!(matches!(interp.run(100), Err(ExecError::Mem(_))));
+    }
+
+    #[test]
+    fn rdcycle_is_monotonic() {
+        let mut asm = Assembler::new();
+        asm.rdcycle(Reg::A0);
+        asm.nop();
+        asm.nop();
+        asm.rdcycle(Reg::A1);
+        asm.ecall();
+        let program = asm.assemble().unwrap();
+        let mut interp = Interpreter::new(&program);
+        interp.run(100).unwrap();
+        assert!(interp.reg(Reg::A1) > interp.reg(Reg::A0));
+    }
+
+    #[test]
+    fn x0_stays_zero() {
+        let mut asm = Assembler::new();
+        asm.li(Reg::T0, 5);
+        asm.add(Reg::ZERO, Reg::T0, Reg::T0);
+        asm.ecall();
+        let program = asm.assemble().unwrap();
+        let mut interp = Interpreter::new(&program);
+        interp.run(100).unwrap();
+        assert_eq!(interp.reg(Reg::ZERO), 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Guest-side ISA model for the DBT-based processor reproduction of
+//! *GhostBusters: Mitigating Spectre Attacks on a DBT-Based Processor*
+//! (Rokicki, DATE 2020).
+//!
+//! This crate models the **guest** architecture that the Dynamic Binary
+//! Translation (DBT) engine consumes: a pragmatic subset of RISC-V rv64im
+//! extended with the two instructions the paper's proof-of-concept attacks
+//! rely on (reading the cycle CSR and flushing a data-cache line).
+//!
+//! It provides:
+//!
+//! * [`Reg`], [`Inst`] — the instruction set ([`inst`]);
+//! * [`encode`] / [`decode`] — binary encoding to and from 32-bit words;
+//! * [`Assembler`] — a label-resolving program builder used by the attack
+//!   proof-of-concepts and the Polybench-style workloads ([`asm`]);
+//! * [`GuestMemory`] — a flat little-endian guest memory image ([`memory`]);
+//! * [`Program`] — a loadable guest program (code + data + symbols);
+//! * [`Interpreter`] — a simple reference instruction-set simulator used for
+//!   differential testing of the DBT engine ([`interp`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dbt_riscv::{Assembler, Reg, Interpreter, ExitReason};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut asm = Assembler::new();
+//! let result = asm.alloc_data("result", 8);
+//! asm.li(Reg::A0, 21);
+//! asm.addi(Reg::A0, Reg::A0, 21);
+//! asm.la(Reg::A1, result);
+//! asm.sd(Reg::A0, Reg::A1, 0);
+//! asm.ecall();
+//! let program = asm.assemble()?;
+//!
+//! let mut interp = Interpreter::new(&program);
+//! let exit = interp.run(1_000)?;
+//! assert_eq!(exit, ExitReason::Ecall);
+//! assert_eq!(interp.memory().load_u64(program.symbol("result").unwrap())?, 42);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod decode;
+pub mod encode;
+pub mod inst;
+pub mod interp;
+pub mod memory;
+pub mod program;
+pub mod reg;
+
+pub use asm::{AsmError, Assembler, DataRef, Label};
+pub use decode::{decode, DecodeError};
+pub use encode::encode;
+pub use inst::{BranchCond, Inst, LoadWidth, StoreWidth};
+pub use interp::{ExecError, ExitReason, Interpreter};
+pub use memory::{GuestMemory, MemError};
+pub use program::{Program, ProgramError};
+pub use reg::Reg;

@@ -1,0 +1,192 @@
+//! Guest architectural registers.
+
+use std::fmt;
+
+/// One of the 32 RISC-V integer registers.
+///
+/// The newtype wraps the architectural index (0..=31). `x0` is hard-wired to
+/// zero everywhere in this workspace (interpreter, DBT translation, VLIW
+/// back-end).
+///
+/// # Example
+///
+/// ```
+/// use dbt_riscv::Reg;
+/// assert_eq!(Reg::ZERO.index(), 0);
+/// assert_eq!(Reg::A0.to_string(), "a0");
+/// assert_eq!(Reg::from_index(10), Some(Reg::A0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hard-wired zero register (`x0`).
+    pub const ZERO: Reg = Reg(0);
+    /// Return address (`x1`).
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer (`x2`).
+    pub const SP: Reg = Reg(2);
+    /// Global pointer (`x3`).
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer (`x4`).
+    pub const TP: Reg = Reg(4);
+    /// Temporary 0 (`x5`).
+    pub const T0: Reg = Reg(5);
+    /// Temporary 1 (`x6`).
+    pub const T1: Reg = Reg(6);
+    /// Temporary 2 (`x7`).
+    pub const T2: Reg = Reg(7);
+    /// Saved register / frame pointer (`x8`).
+    pub const S0: Reg = Reg(8);
+    /// Saved register 1 (`x9`).
+    pub const S1: Reg = Reg(9);
+    /// Argument/return 0 (`x10`).
+    pub const A0: Reg = Reg(10);
+    /// Argument/return 1 (`x11`).
+    pub const A1: Reg = Reg(11);
+    /// Argument 2 (`x12`).
+    pub const A2: Reg = Reg(12);
+    /// Argument 3 (`x13`).
+    pub const A3: Reg = Reg(13);
+    /// Argument 4 (`x14`).
+    pub const A4: Reg = Reg(14);
+    /// Argument 5 (`x15`).
+    pub const A5: Reg = Reg(15);
+    /// Argument 6 (`x16`).
+    pub const A6: Reg = Reg(16);
+    /// Argument 7 (`x17`).
+    pub const A7: Reg = Reg(17);
+    /// Saved register 2 (`x18`).
+    pub const S2: Reg = Reg(18);
+    /// Saved register 3 (`x19`).
+    pub const S3: Reg = Reg(19);
+    /// Saved register 4 (`x20`).
+    pub const S4: Reg = Reg(20);
+    /// Saved register 5 (`x21`).
+    pub const S5: Reg = Reg(21);
+    /// Saved register 6 (`x22`).
+    pub const S6: Reg = Reg(22);
+    /// Saved register 7 (`x23`).
+    pub const S7: Reg = Reg(23);
+    /// Saved register 8 (`x24`).
+    pub const S8: Reg = Reg(24);
+    /// Saved register 9 (`x25`).
+    pub const S9: Reg = Reg(25);
+    /// Saved register 10 (`x26`).
+    pub const S10: Reg = Reg(26);
+    /// Saved register 11 (`x27`).
+    pub const S11: Reg = Reg(27);
+    /// Temporary 3 (`x28`).
+    pub const T3: Reg = Reg(28);
+    /// Temporary 4 (`x29`).
+    pub const T4: Reg = Reg(29);
+    /// Temporary 5 (`x30`).
+    pub const T5: Reg = Reg(30);
+    /// Temporary 6 (`x31`).
+    pub const T6: Reg = Reg(31);
+
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Builds a register from its architectural index.
+    ///
+    /// Returns `None` if `index >= 32`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dbt_riscv::Reg;
+    /// assert_eq!(Reg::from_index(5), Some(Reg::T0));
+    /// assert_eq!(Reg::from_index(32), None);
+    /// ```
+    pub fn from_index(index: u8) -> Option<Reg> {
+        if index < 32 {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// Architectural register index (0..=31).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` for `x0`, the hard-wired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterator over every architectural register, `x0` first.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32u8).map(Reg)
+    }
+
+    /// ABI mnemonic for this register (`zero`, `ra`, `sp`, `a0`, ...).
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.0 as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl Default for Reg {
+    fn default() -> Self {
+        Reg::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for r in Reg::all() {
+            assert_eq!(Reg::from_index(r.index()), Some(r));
+        }
+    }
+
+    #[test]
+    fn from_index_rejects_out_of_range() {
+        assert_eq!(Reg::from_index(32), None);
+        assert_eq!(Reg::from_index(255), None);
+    }
+
+    #[test]
+    fn abi_names_match_known_registers() {
+        assert_eq!(Reg::ZERO.abi_name(), "zero");
+        assert_eq!(Reg::SP.abi_name(), "sp");
+        assert_eq!(Reg::A0.abi_name(), "a0");
+        assert_eq!(Reg::T6.abi_name(), "t6");
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::A0.is_zero());
+    }
+
+    #[test]
+    fn all_yields_32_unique_registers() {
+        let v: Vec<Reg> = Reg::all().collect();
+        assert_eq!(v.len(), 32);
+        for (i, r) in v.iter().enumerate() {
+            assert_eq!(r.index() as usize, i);
+        }
+    }
+
+    #[test]
+    fn display_uses_abi_name() {
+        assert_eq!(format!("{}", Reg::S11), "s11");
+    }
+}

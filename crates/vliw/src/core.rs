@@ -1,0 +1,827 @@
+//! The in-order VLIW core.
+//!
+//! The core executes [`TranslatedBlock`]s bundle by bundle. Timing follows a
+//! simple scoreboarded in-order model:
+//!
+//! * one bundle issues per cycle, but a bundle whose operands are not ready
+//!   (typically because they come from an outstanding load) stalls until
+//!   they are;
+//! * load results become available after the data-cache latency (hit or
+//!   miss);
+//! * `rdcycle` waits for all outstanding memory accesses, like the
+//!   serialising CSR read of the real core.
+//!
+//! Speculation support is limited to the two mechanisms the paper
+//! describes: results of operations hoisted above a side exit live in
+//! physical (hidden) registers and are dropped when the exit is taken, and
+//! speculative loads are checked by the [`MemoryConflictBuffer`]; a conflict
+//! rolls the block back and re-executes its sequential recovery code.
+//! In both cases the data cache keeps whatever lines the misspeculated
+//! accesses fetched — the micro-architectural trace the attacks exploit.
+
+use crate::isa::{AccessWidth, Op, Operand, TranslatedBlock};
+use crate::mcb::MemoryConflictBuffer;
+use crate::regfile::ArchState;
+use crate::stats::CoreStats;
+use dbt_cache::{CacheConfig, DataCache};
+use dbt_riscv::inst::AluOp;
+use dbt_riscv::GuestMemory;
+#[cfg(test)]
+use dbt_riscv::Reg;
+use std::fmt;
+
+/// Configuration of the VLIW core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Maximum operations per bundle (checked when executing).
+    pub issue_width: usize,
+    /// Capacity of the Memory Conflict Buffer.
+    pub mcb_capacity: usize,
+    /// Fixed penalty, in cycles, charged when a memory conflict forces a
+    /// rollback (pipeline flush + recovery dispatch).
+    pub rollback_penalty: u64,
+    /// Data-cache configuration.
+    pub cache: CacheConfig,
+}
+
+impl CoreConfig {
+    /// A 4-wide core with a 16-entry MCB and the default cache.
+    pub fn new() -> CoreConfig {
+        CoreConfig {
+            issue_width: 4,
+            mcb_capacity: 16,
+            rollback_penalty: 24,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::new()
+    }
+}
+
+/// Why executing a block failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A non-speculative memory access touched an address outside guest
+    /// memory.
+    MemFault {
+        /// Faulting guest address.
+        addr: u64,
+        /// Size of the access.
+        bytes: u8,
+    },
+    /// The block ran out of bundles without reaching a terminator.
+    MissingTerminator {
+        /// Entry PC of the offending block.
+        entry_pc: u64,
+    },
+    /// A bundle exceeds the configured issue width.
+    IssueWidthExceeded {
+        /// Entry PC of the offending block.
+        entry_pc: u64,
+        /// Number of slots in the offending bundle.
+        slots: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::MemFault { addr, bytes } => {
+                write!(f, "memory fault: {bytes}-byte access at {addr:#x}")
+            }
+            CoreError::MissingTerminator { entry_pc } => {
+                write!(f, "translated block at {entry_pc:#x} has no terminator")
+            }
+            CoreError::IssueWidthExceeded { entry_pc, slots } => {
+                write!(f, "bundle with {slots} slots in block at {entry_pc:#x} exceeds issue width")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Result of executing one translated block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockOutcome {
+    /// Guest address to continue at, or `None` if the program halted.
+    pub next_pc: Option<u64>,
+    /// Cycles spent in the block (including any rollback and recovery).
+    pub cycles: u64,
+    /// Whether a Memory Conflict Buffer rollback occurred.
+    pub rolled_back: bool,
+}
+
+/// The in-order VLIW core with its data cache, MCB and architectural state.
+#[derive(Debug, Clone)]
+pub struct VliwCore {
+    config: CoreConfig,
+    arch: ArchState,
+    dcache: DataCache,
+    mcb: MemoryConflictBuffer,
+    cycles: u64,
+    stats: CoreStats,
+}
+
+fn alu_latency(op: AluOp) -> u64 {
+    match op {
+        AluOp::Mul | AluOp::Mulh | AluOp::Mulw => 3,
+        AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu => 12,
+        _ => 1,
+    }
+}
+
+fn sign_extend_load(raw: u64, width: AccessWidth) -> u64 {
+    if width.sign_extend {
+        let bits = width.bytes as u32 * 8;
+        (((raw << (64 - bits)) as i64) >> (64 - bits)) as u64
+    } else {
+        raw
+    }
+}
+
+impl VliwCore {
+    /// Creates a core with zeroed architectural state and a cold cache.
+    pub fn new(config: CoreConfig, entry_pc: u64) -> VliwCore {
+        VliwCore {
+            config,
+            arch: ArchState::new(entry_pc),
+            dcache: DataCache::new(config.cache),
+            mcb: MemoryConflictBuffer::new(config.mcb_capacity),
+            cycles: 0,
+            stats: CoreStats::new(),
+        }
+    }
+
+    /// The core configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Architectural state (registers + PC).
+    pub fn arch(&self) -> &ArchState {
+        &self.arch
+    }
+
+    /// Mutable architectural state (used by the platform to seed arguments).
+    pub fn arch_mut(&mut self) -> &mut ArchState {
+        &mut self.arch
+    }
+
+    /// Total elapsed cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// The data cache (exposed for statistics and residency checks).
+    pub fn dcache(&self) -> &DataCache {
+        &self.dcache
+    }
+
+    /// Mutable access to the data cache (used by tests and by the platform
+    /// to pre-warm or flush lines).
+    pub fn dcache_mut(&mut self) -> &mut DataCache {
+        &mut self.dcache
+    }
+
+    fn read_operand(&self, phys: &[u64], operand: Operand) -> u64 {
+        match operand {
+            Operand::Phys(p) => phys[p.index()],
+            Operand::Arch(r) => self.arch.reg(r),
+            Operand::Imm(v) => v as u64,
+        }
+    }
+
+    fn operand_ready(&self, ready: &[u64], operand: Operand) -> u64 {
+        match operand {
+            Operand::Phys(p) => ready[p.index()],
+            _ => 0,
+        }
+    }
+
+    /// Executes one translated block against `mem`.
+    ///
+    /// On return the architectural state reflects every commit the guest
+    /// program performed up to the exit that was taken; the data cache
+    /// additionally reflects every speculative access, successful or not.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] if a non-speculative access faults, a bundle
+    /// exceeds the issue width, or the block is malformed.
+    pub fn execute_block(
+        &mut self,
+        block: &TranslatedBlock,
+        mem: &mut GuestMemory,
+    ) -> Result<BlockOutcome, CoreError> {
+        let entry_snapshot = self.arch.clone();
+        let mut phys = vec![0u64; block.phys_reg_count as usize];
+        let mut ready = vec![0u64; block.phys_reg_count as usize];
+        let mut last_mem_complete = 0u64;
+        let mut issue_time = 0u64;
+        let mut first = true;
+        self.mcb.clear();
+        self.stats.blocks_executed += 1;
+
+        for bundle in &block.bundles {
+            if bundle.slots.len() > self.config.issue_width {
+                return Err(CoreError::IssueWidthExceeded {
+                    entry_pc: block.entry_pc,
+                    slots: bundle.slots.len(),
+                });
+            }
+            // In-order issue with scoreboard stalls.
+            let earliest = if first { 0 } else { issue_time + 1 };
+            first = false;
+            let mut t = earliest;
+            for op in &bundle.slots {
+                match op {
+                    Op::Alu { a, b, .. } => {
+                        t = t.max(self.operand_ready(&ready, *a)).max(self.operand_ready(&ready, *b));
+                    }
+                    Op::Load { base, .. } | Op::CacheFlush { base, .. } => {
+                        t = t.max(self.operand_ready(&ready, *base));
+                    }
+                    Op::Store { value, base, .. } => {
+                        t = t.max(self.operand_ready(&ready, *value)).max(self.operand_ready(&ready, *base));
+                    }
+                    Op::CommitReg { src, .. } => t = t.max(self.operand_ready(&ready, *src)),
+                    Op::SideExit { a, b, .. } => {
+                        t = t.max(self.operand_ready(&ready, *a)).max(self.operand_ready(&ready, *b));
+                    }
+                    Op::RdCycle { .. } => t = t.max(last_mem_complete),
+                    Op::JumpIndirect { target } => t = t.max(self.operand_ready(&ready, *target)),
+                    Op::Nop | Op::Jump { .. } | Op::Halt | Op::Fence => {}
+                }
+            }
+            issue_time = t;
+            self.stats.bundles_issued += 1;
+
+            for op in &bundle.slots {
+                match op {
+                    Op::Nop | Op::Fence => {}
+                    Op::Alu { op: alu, dst, a, b } => {
+                        let va = self.read_operand(&phys, *a);
+                        let vb = self.read_operand(&phys, *b);
+                        phys[dst.index()] = alu.apply(va, vb);
+                        ready[dst.index()] = t + alu_latency(*alu);
+                        self.stats.ops_executed += 1;
+                    }
+                    Op::RdCycle { dst } => {
+                        phys[dst.index()] = self.cycles + t;
+                        ready[dst.index()] = t + 1;
+                        self.stats.ops_executed += 1;
+                    }
+                    Op::Load { width, dst, base, offset, speculative, original_seq } => {
+                        self.stats.ops_executed += 1;
+                        let addr = self.read_operand(&phys, *base).wrapping_add(*offset as u64);
+                        let in_bounds =
+                            addr.checked_add(width.bytes as u64).map_or(false, |end| end <= mem.len() as u64);
+                        if !in_bounds {
+                            if *speculative {
+                                // Faults raised by misspeculated loads are
+                                // squashed; the destination gets a dummy
+                                // value and the cache is untouched.
+                                phys[dst.index()] = 0;
+                                ready[dst.index()] = t + 1;
+                                continue;
+                            }
+                            return Err(CoreError::MemFault { addr, bytes: width.bytes });
+                        }
+                        let outcome = self.dcache.access(addr, false);
+                        let raw = mem.load(addr, width.bytes as u64).expect("bounds checked");
+                        phys[dst.index()] = sign_extend_load(raw, *width);
+                        let done = t + outcome.latency;
+                        ready[dst.index()] = done;
+                        last_mem_complete = last_mem_complete.max(done);
+                        if *speculative {
+                            self.stats.speculative_loads += 1;
+                            self.mcb.record_load(addr, width.bytes, *original_seq);
+                        }
+                    }
+                    Op::Store { width, value, base, offset, checks_mcb, original_seq } => {
+                        self.stats.ops_executed += 1;
+                        let addr = self.read_operand(&phys, *base).wrapping_add(*offset as u64);
+                        if *checks_mcb && self.mcb.store_conflicts(addr, width.bytes, *original_seq) {
+                            // Memory-dependency misspeculation: roll back and
+                            // re-execute sequentially. Cache contents are
+                            // intentionally NOT restored.
+                            self.stats.rollbacks += 1;
+                            self.arch = entry_snapshot;
+                            self.mcb.clear();
+                            let penalty = t + self.config.rollback_penalty;
+                            let (next_pc, recovery_cycles) = self.execute_recovery(block, mem)?;
+                            let total = penalty + recovery_cycles;
+                            self.cycles += total;
+                            return Ok(BlockOutcome { next_pc, cycles: total, rolled_back: true });
+                        }
+                        let in_bounds =
+                            addr.checked_add(width.bytes as u64).map_or(false, |end| end <= mem.len() as u64);
+                        if !in_bounds {
+                            return Err(CoreError::MemFault { addr, bytes: width.bytes });
+                        }
+                        let value = self.read_operand(&phys, *value);
+                        mem.store(addr, width.bytes as u64, value).expect("bounds checked");
+                        self.dcache.access(addr, true);
+                    }
+                    Op::CacheFlush { base, offset } => {
+                        self.stats.ops_executed += 1;
+                        let addr = self.read_operand(&phys, *base).wrapping_add(*offset as u64);
+                        self.dcache.flush_line(addr);
+                    }
+                    Op::CommitReg { reg, src } => {
+                        self.stats.ops_executed += 1;
+                        let value = self.read_operand(&phys, *src);
+                        self.arch.set_reg(*reg, value);
+                    }
+                    Op::SideExit { cond, a, b, target } => {
+                        self.stats.ops_executed += 1;
+                        let va = self.read_operand(&phys, *a);
+                        let vb = self.read_operand(&phys, *b);
+                        if cond.eval(va, vb) {
+                            self.stats.side_exits_taken += 1;
+                            let total = t + 1;
+                            self.cycles += total;
+                            self.mcb.clear();
+                            return Ok(BlockOutcome {
+                                next_pc: Some(*target),
+                                cycles: total,
+                                rolled_back: false,
+                            });
+                        }
+                    }
+                    Op::Jump { target } => {
+                        self.stats.ops_executed += 1;
+                        let total = t + 1;
+                        self.cycles += total;
+                        self.mcb.clear();
+                        return Ok(BlockOutcome {
+                            next_pc: Some(*target),
+                            cycles: total,
+                            rolled_back: false,
+                        });
+                    }
+                    Op::JumpIndirect { target } => {
+                        self.stats.ops_executed += 1;
+                        let target = self.read_operand(&phys, *target);
+                        let total = t + 1;
+                        self.cycles += total;
+                        self.mcb.clear();
+                        return Ok(BlockOutcome {
+                            next_pc: Some(target),
+                            cycles: total,
+                            rolled_back: false,
+                        });
+                    }
+                    Op::Halt => {
+                        self.stats.ops_executed += 1;
+                        let total = t + 1;
+                        self.cycles += total;
+                        self.mcb.clear();
+                        return Ok(BlockOutcome { next_pc: None, cycles: total, rolled_back: false });
+                    }
+                }
+            }
+        }
+        Err(CoreError::MissingTerminator { entry_pc: block.entry_pc })
+    }
+
+    /// Sequentially executes the recovery code of `block` (original program
+    /// order, no speculation), returning the continuation PC and the cycles
+    /// spent.
+    fn execute_recovery(
+        &mut self,
+        block: &TranslatedBlock,
+        mem: &mut GuestMemory,
+    ) -> Result<(Option<u64>, u64), CoreError> {
+        let mut phys = vec![0u64; block.phys_reg_count as usize];
+        let mut t = 0u64;
+        for op in &block.recovery {
+            self.stats.recovery_ops += 1;
+            t += 1;
+            match op {
+                Op::Nop | Op::Fence => {}
+                Op::Alu { op: alu, dst, a, b } => {
+                    let va = self.read_operand(&phys, *a);
+                    let vb = self.read_operand(&phys, *b);
+                    phys[dst.index()] = alu.apply(va, vb);
+                    t += alu_latency(*alu) - 1;
+                }
+                Op::RdCycle { dst } => {
+                    phys[dst.index()] = self.cycles + t;
+                }
+                Op::Load { width, dst, base, offset, .. } => {
+                    let addr = self.read_operand(&phys, *base).wrapping_add(*offset as u64);
+                    let in_bounds =
+                        addr.checked_add(width.bytes as u64).map_or(false, |end| end <= mem.len() as u64);
+                    if !in_bounds {
+                        return Err(CoreError::MemFault { addr, bytes: width.bytes });
+                    }
+                    let outcome = self.dcache.access(addr, false);
+                    t += outcome.latency;
+                    let raw = mem.load(addr, width.bytes as u64).expect("bounds checked");
+                    phys[dst.index()] = sign_extend_load(raw, *width);
+                }
+                Op::Store { width, value, base, offset, .. } => {
+                    let addr = self.read_operand(&phys, *base).wrapping_add(*offset as u64);
+                    let in_bounds =
+                        addr.checked_add(width.bytes as u64).map_or(false, |end| end <= mem.len() as u64);
+                    if !in_bounds {
+                        return Err(CoreError::MemFault { addr, bytes: width.bytes });
+                    }
+                    let value = self.read_operand(&phys, *value);
+                    mem.store(addr, width.bytes as u64, value).expect("bounds checked");
+                    self.dcache.access(addr, true);
+                }
+                Op::CacheFlush { base, offset } => {
+                    let addr = self.read_operand(&phys, *base).wrapping_add(*offset as u64);
+                    self.dcache.flush_line(addr);
+                }
+                Op::CommitReg { reg, src } => {
+                    let value = self.read_operand(&phys, *src);
+                    self.arch.set_reg(*reg, value);
+                }
+                Op::SideExit { cond, a, b, target } => {
+                    let va = self.read_operand(&phys, *a);
+                    let vb = self.read_operand(&phys, *b);
+                    if cond.eval(va, vb) {
+                        self.stats.side_exits_taken += 1;
+                        return Ok((Some(*target), t));
+                    }
+                }
+                Op::Jump { target } => return Ok((Some(*target), t)),
+                Op::JumpIndirect { target } => {
+                    let target = self.read_operand(&phys, *target);
+                    return Ok((Some(target), t));
+                }
+                Op::Halt => return Ok((None, t)),
+            }
+        }
+        Err(CoreError::MissingTerminator { entry_pc: block.entry_pc })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Bundle, PhysReg};
+    use dbt_riscv::BranchCond;
+
+    fn mk_core() -> (VliwCore, GuestMemory) {
+        (VliwCore::new(CoreConfig::default(), 0x1000), GuestMemory::new(0x10000))
+    }
+
+    fn bundle(slots: Vec<Op>) -> Bundle {
+        Bundle { slots }
+    }
+
+    #[test]
+    fn straight_line_block_commits_registers() {
+        let (mut core, mut mem) = mk_core();
+        let block = TranslatedBlock {
+            entry_pc: 0x1000,
+            bundles: vec![
+                bundle(vec![Op::Alu {
+                    op: AluOp::Add,
+                    dst: PhysReg(0),
+                    a: Operand::Imm(40),
+                    b: Operand::Imm(2),
+                }]),
+                bundle(vec![
+                    Op::CommitReg { reg: Reg::A0, src: Operand::Phys(PhysReg(0)) },
+                    Op::Jump { target: 0x2000 },
+                ]),
+            ],
+            phys_reg_count: 1,
+            recovery: vec![],
+            guest_inst_count: 2,
+        };
+        let outcome = core.execute_block(&block, &mut mem).unwrap();
+        assert_eq!(outcome.next_pc, Some(0x2000));
+        assert!(!outcome.rolled_back);
+        assert_eq!(core.arch().reg(Reg::A0), 42);
+        assert!(outcome.cycles >= 2);
+    }
+
+    #[test]
+    fn load_latency_stalls_consumer() {
+        let (mut core, mut mem) = mk_core();
+        mem.store_u64(0x100, 7).unwrap();
+        let block = TranslatedBlock {
+            entry_pc: 0,
+            bundles: vec![
+                bundle(vec![Op::Load {
+                    width: AccessWidth::DOUBLE,
+                    dst: PhysReg(0),
+                    base: Operand::Imm(0x100),
+                    offset: 0,
+                    speculative: false,
+                    original_seq: 0,
+                }]),
+                bundle(vec![Op::Alu {
+                    op: AluOp::Add,
+                    dst: PhysReg(1),
+                    a: Operand::Phys(PhysReg(0)),
+                    b: Operand::Imm(1),
+                }]),
+                bundle(vec![
+                    Op::CommitReg { reg: Reg::A0, src: Operand::Phys(PhysReg(1)) },
+                    Op::Halt,
+                ]),
+            ],
+            phys_reg_count: 2,
+            recovery: vec![],
+            guest_inst_count: 3,
+        };
+        let outcome = core.execute_block(&block, &mut mem).unwrap();
+        assert_eq!(core.arch().reg(Reg::A0), 8);
+        // A cold-cache miss (60 cycles by default) must be visible.
+        assert!(outcome.cycles >= CacheConfig::default().miss_latency);
+    }
+
+    #[test]
+    fn cache_hits_are_faster_than_misses() {
+        let (mut core, mut mem) = mk_core();
+        let make_block = || TranslatedBlock {
+            entry_pc: 0,
+            bundles: vec![
+                bundle(vec![Op::Load {
+                    width: AccessWidth::DOUBLE,
+                    dst: PhysReg(0),
+                    base: Operand::Imm(0x200),
+                    offset: 0,
+                    speculative: false,
+                    original_seq: 0,
+                }]),
+                bundle(vec![Op::Alu {
+                    op: AluOp::Add,
+                    dst: PhysReg(1),
+                    a: Operand::Phys(PhysReg(0)),
+                    b: Operand::Imm(0),
+                }]),
+                bundle(vec![Op::Halt]),
+            ],
+            phys_reg_count: 2,
+            recovery: vec![],
+            guest_inst_count: 2,
+        };
+        let cold = core.execute_block(&make_block(), &mut mem).unwrap();
+        let warm = core.execute_block(&make_block(), &mut mem).unwrap();
+        assert!(cold.cycles > warm.cycles);
+    }
+
+    #[test]
+    fn taken_side_exit_skips_later_commits() {
+        let (mut core, mut mem) = mk_core();
+        let block = TranslatedBlock {
+            entry_pc: 0,
+            bundles: vec![
+                bundle(vec![Op::SideExit {
+                    cond: BranchCond::Eq,
+                    a: Operand::Imm(1),
+                    b: Operand::Imm(1),
+                    target: 0x3000,
+                }]),
+                bundle(vec![
+                    Op::CommitReg { reg: Reg::A0, src: Operand::Imm(99) },
+                    Op::Jump { target: 0x4000 },
+                ]),
+            ],
+            phys_reg_count: 0,
+            recovery: vec![],
+            guest_inst_count: 2,
+        };
+        let outcome = core.execute_block(&block, &mut mem).unwrap();
+        assert_eq!(outcome.next_pc, Some(0x3000));
+        assert_eq!(core.arch().reg(Reg::A0), 0, "commit after a taken exit must not happen");
+        assert_eq!(core.stats().side_exits_taken, 1);
+    }
+
+    #[test]
+    fn speculative_load_leaves_cache_trace_even_when_exit_taken() {
+        let (mut core, mut mem) = mk_core();
+        // The load is scheduled before the exit (hoisted), the exit is taken:
+        // architecturally nothing happens, but the line stays in the cache.
+        let block = TranslatedBlock {
+            entry_pc: 0,
+            bundles: vec![
+                bundle(vec![Op::Load {
+                    width: AccessWidth::BYTE_U,
+                    dst: PhysReg(0),
+                    base: Operand::Imm(0x5000),
+                    offset: 0,
+                    speculative: false,
+                    original_seq: 2,
+                }]),
+                bundle(vec![Op::SideExit {
+                    cond: BranchCond::Eq,
+                    a: Operand::Imm(0),
+                    b: Operand::Imm(0),
+                    target: 0x9000,
+                }]),
+                bundle(vec![Op::Halt]),
+            ],
+            phys_reg_count: 1,
+            recovery: vec![],
+            guest_inst_count: 3,
+        };
+        let outcome = core.execute_block(&block, &mut mem).unwrap();
+        assert_eq!(outcome.next_pc, Some(0x9000));
+        assert!(core.dcache().is_resident(0x5000));
+    }
+
+    #[test]
+    fn mcb_conflict_triggers_rollback_and_recovery() {
+        let (mut core, mut mem) = mk_core();
+        mem.store_u64(0x800, 111).unwrap();
+        // Guest order: store 222 -> [0x800] (seq 1); load [0x800] (seq 2);
+        // commit a0 <- load. The schedule hoists the load above the store.
+        let block = TranslatedBlock {
+            entry_pc: 0,
+            bundles: vec![
+                bundle(vec![Op::Load {
+                    width: AccessWidth::DOUBLE,
+                    dst: PhysReg(0),
+                    base: Operand::Imm(0x800),
+                    offset: 0,
+                    speculative: true,
+                    original_seq: 2,
+                }]),
+                bundle(vec![Op::Store {
+                    width: AccessWidth::DOUBLE,
+                    value: Operand::Imm(222),
+                    base: Operand::Imm(0x800),
+                    offset: 0,
+                    checks_mcb: true,
+                    original_seq: 1,
+                }]),
+                bundle(vec![
+                    Op::CommitReg { reg: Reg::A0, src: Operand::Phys(PhysReg(0)) },
+                    Op::Halt,
+                ]),
+            ],
+            phys_reg_count: 1,
+            recovery: vec![
+                Op::Store {
+                    width: AccessWidth::DOUBLE,
+                    value: Operand::Imm(222),
+                    base: Operand::Imm(0x800),
+                    offset: 0,
+                    checks_mcb: false,
+                    original_seq: 1,
+                },
+                Op::Load {
+                    width: AccessWidth::DOUBLE,
+                    dst: PhysReg(0),
+                    base: Operand::Imm(0x800),
+                    offset: 0,
+                    speculative: false,
+                    original_seq: 2,
+                },
+                Op::CommitReg { reg: Reg::A0, src: Operand::Phys(PhysReg(0)) },
+                Op::Halt,
+            ],
+            guest_inst_count: 3,
+        };
+        let outcome = core.execute_block(&block, &mut mem).unwrap();
+        assert!(outcome.rolled_back);
+        assert_eq!(outcome.next_pc, None);
+        // Recovery re-executed in order: the commit sees the stored value.
+        assert_eq!(core.arch().reg(Reg::A0), 222);
+        assert_eq!(core.stats().rollbacks, 1);
+        assert_eq!(mem.load_u64(0x800).unwrap(), 222);
+        // The rollback penalty makes this much slower than a plain block.
+        assert!(outcome.cycles >= core.config().rollback_penalty);
+    }
+
+    #[test]
+    fn speculative_load_fault_is_squashed() {
+        let (mut core, mut mem) = mk_core();
+        let block = TranslatedBlock {
+            entry_pc: 0,
+            bundles: vec![
+                bundle(vec![Op::Load {
+                    width: AccessWidth::DOUBLE,
+                    dst: PhysReg(0),
+                    base: Operand::Imm(-64i64),
+                    offset: 0,
+                    speculative: true,
+                    original_seq: 1,
+                }]),
+                bundle(vec![Op::Halt]),
+            ],
+            phys_reg_count: 1,
+            recovery: vec![Op::Halt],
+            guest_inst_count: 1,
+        };
+        assert!(core.execute_block(&block, &mut mem).is_ok());
+    }
+
+    #[test]
+    fn non_speculative_fault_is_an_error() {
+        let (mut core, mut mem) = mk_core();
+        let block = TranslatedBlock {
+            entry_pc: 0,
+            bundles: vec![
+                bundle(vec![Op::Load {
+                    width: AccessWidth::DOUBLE,
+                    dst: PhysReg(0),
+                    base: Operand::Imm(-64i64),
+                    offset: 0,
+                    speculative: false,
+                    original_seq: 1,
+                }]),
+                bundle(vec![Op::Halt]),
+            ],
+            phys_reg_count: 1,
+            recovery: vec![Op::Halt],
+            guest_inst_count: 1,
+        };
+        assert!(matches!(core.execute_block(&block, &mut mem), Err(CoreError::MemFault { .. })));
+    }
+
+    #[test]
+    fn rdcycle_observes_memory_latency() {
+        let (mut core, mut mem) = mk_core();
+        // rdcycle ; load (miss) ; rdcycle ; commit the difference.
+        let block = TranslatedBlock {
+            entry_pc: 0,
+            bundles: vec![
+                bundle(vec![Op::RdCycle { dst: PhysReg(0) }]),
+                bundle(vec![Op::Load {
+                    width: AccessWidth::BYTE_U,
+                    dst: PhysReg(1),
+                    base: Operand::Imm(0x900),
+                    offset: 0,
+                    speculative: false,
+                    original_seq: 1,
+                }]),
+                bundle(vec![Op::RdCycle { dst: PhysReg(2) }]),
+                bundle(vec![Op::Alu {
+                    op: AluOp::Sub,
+                    dst: PhysReg(3),
+                    a: Operand::Phys(PhysReg(2)),
+                    b: Operand::Phys(PhysReg(0)),
+                }]),
+                bundle(vec![
+                    Op::CommitReg { reg: Reg::A0, src: Operand::Phys(PhysReg(3)) },
+                    Op::Halt,
+                ]),
+            ],
+            phys_reg_count: 4,
+            recovery: vec![],
+            guest_inst_count: 5,
+        };
+        core.execute_block(&block, &mut mem).unwrap();
+        let miss_delta = core.arch().reg(Reg::A0);
+        assert!(miss_delta >= CacheConfig::default().miss_latency);
+
+        // Run again: the line is now cached, the delta must be small.
+        let mut warm = core.clone();
+        warm.execute_block(&block, &mut mem).unwrap();
+        let hit_delta = warm.arch().reg(Reg::A0);
+        assert!(hit_delta < miss_delta);
+    }
+
+    #[test]
+    fn issue_width_is_enforced() {
+        let (mut core, mut mem) = mk_core();
+        let too_wide = bundle(vec![Op::Nop, Op::Nop, Op::Nop, Op::Nop, Op::Halt]);
+        let block = TranslatedBlock {
+            entry_pc: 0,
+            bundles: vec![too_wide],
+            phys_reg_count: 0,
+            recovery: vec![],
+            guest_inst_count: 1,
+        };
+        assert!(matches!(
+            core.execute_block(&block, &mut mem),
+            Err(CoreError::IssueWidthExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_terminator_is_detected() {
+        let (mut core, mut mem) = mk_core();
+        let block = TranslatedBlock {
+            entry_pc: 0x42,
+            bundles: vec![bundle(vec![Op::Nop])],
+            phys_reg_count: 0,
+            recovery: vec![],
+            guest_inst_count: 1,
+        };
+        assert!(matches!(
+            core.execute_block(&block, &mut mem),
+            Err(CoreError::MissingTerminator { entry_pc: 0x42 })
+        ));
+    }
+}

@@ -1,0 +1,82 @@
+//! Architectural guest register state held by the VLIW core.
+
+use dbt_riscv::Reg;
+
+/// The guest-visible architectural state: the 32 integer registers and the
+/// program counter.
+///
+/// Physical (hidden) registers are *not* part of this state — they are
+/// block-local scratch inside the core and die at block boundaries, which is
+/// why the paper's analysis can stay block-local.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchState {
+    regs: [u64; Reg::COUNT],
+    pc: u64,
+}
+
+impl ArchState {
+    /// Creates a zeroed architectural state with the given entry PC.
+    pub fn new(entry_pc: u64) -> ArchState {
+        ArchState { regs: [0; Reg::COUNT], pc: entry_pc }
+    }
+
+    /// Reads a register (`x0` always reads zero).
+    pub fn reg(&self, reg: Reg) -> u64 {
+        self.regs[reg.index() as usize]
+    }
+
+    /// Writes a register (`x0` writes are ignored).
+    pub fn set_reg(&mut self, reg: Reg, value: u64) {
+        if !reg.is_zero() {
+            self.regs[reg.index() as usize] = value;
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Updates the program counter.
+    pub fn set_pc(&mut self, pc: u64) {
+        self.pc = pc;
+    }
+
+    /// All registers as a slice, indexed by architectural number.
+    pub fn regs(&self) -> &[u64; Reg::COUNT] {
+        &self.regs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x0_is_hardwired_to_zero() {
+        let mut s = ArchState::new(0x100);
+        s.set_reg(Reg::ZERO, 42);
+        assert_eq!(s.reg(Reg::ZERO), 0);
+        s.set_reg(Reg::A0, 42);
+        assert_eq!(s.reg(Reg::A0), 42);
+    }
+
+    #[test]
+    fn pc_tracks_updates() {
+        let mut s = ArchState::new(0x100);
+        assert_eq!(s.pc(), 0x100);
+        s.set_pc(0x200);
+        assert_eq!(s.pc(), 0x200);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut s = ArchState::new(0);
+        s.set_reg(Reg::A1, 7);
+        let snapshot = s.clone();
+        s.set_reg(Reg::A1, 9);
+        assert_ne!(s, snapshot);
+        s = snapshot;
+        assert_eq!(s.reg(Reg::A1), 7);
+    }
+}

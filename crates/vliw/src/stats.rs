@@ -1,0 +1,49 @@
+//! Execution statistics of the VLIW core.
+
+/// Counters accumulated by [`VliwCore`](crate::VliwCore) across block
+/// executions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Translated blocks executed (including re-executions after rollback).
+    pub blocks_executed: u64,
+    /// Bundles issued.
+    pub bundles_issued: u64,
+    /// Non-nop operations executed.
+    pub ops_executed: u64,
+    /// Speculative loads executed (recorded in the MCB).
+    pub speculative_loads: u64,
+    /// Memory Conflict Buffer rollbacks.
+    pub rollbacks: u64,
+    /// Side exits taken.
+    pub side_exits_taken: u64,
+    /// Operations re-executed sequentially from recovery code.
+    pub recovery_ops: u64,
+}
+
+impl CoreStats {
+    /// Creates zeroed counters.
+    pub fn new() -> CoreStats {
+        CoreStats::default()
+    }
+
+    /// Average useful operations per bundle (0 when nothing was issued).
+    pub fn ops_per_bundle(&self) -> f64 {
+        if self.bundles_issued == 0 {
+            0.0
+        } else {
+            self.ops_executed as f64 / self.bundles_issued as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_per_bundle_handles_zero() {
+        assert_eq!(CoreStats::new().ops_per_bundle(), 0.0);
+        let s = CoreStats { bundles_issued: 4, ops_executed: 10, ..CoreStats::default() };
+        assert!((s.ops_per_bundle() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,547 @@
+//! Polybench-style integer kernels, hand-written against the guest
+//! assembler.
+//!
+//! Register conventions shared by all kernels:
+//!
+//! * `s0` — problem size `n` (also available as a compile-time constant);
+//! * `s1` — checksum accumulator, stored to the `"checksum"` symbol at the
+//!   end;
+//! * `s2..s5` — loop counters;
+//! * `s6..s11`, `a0..a5` — array base addresses;
+//! * `t0..t3` — kernel-local values;
+//! * `a6`, `a7`, `t6` — scratch used by the addressing/loop helpers.
+
+use dbt_riscv::{Assembler, DataRef, Program, Reg};
+
+/// Helper wrapping an [`Assembler`] with matrix/vector addressing and
+/// counted loops.
+struct Kernel {
+    asm: Assembler,
+    checksum: DataRef,
+}
+
+impl Kernel {
+    fn new() -> Kernel {
+        let mut asm = Assembler::new();
+        let checksum = asm.alloc_data("checksum", 8);
+        asm.li(Reg::S1, 0);
+        Kernel { asm, checksum }
+    }
+
+    /// Allocates a `rows x cols` matrix of 64-bit integers with a small
+    /// deterministic initialisation pattern.
+    fn matrix(&mut self, name: &str, rows: u64, cols: u64) -> DataRef {
+        let data: Vec<u64> = (0..rows * cols).map(|i| (i * 7 + 3) % 13 + 1).collect();
+        self.asm.alloc_data_u64(name, &data)
+    }
+
+    /// Allocates a vector of 64-bit integers.
+    fn vector(&mut self, name: &str, len: u64) -> DataRef {
+        let data: Vec<u64> = (0..len).map(|i| (i * 5 + 1) % 11 + 1).collect();
+        self.asm.alloc_data_u64(name, &data)
+    }
+
+    /// Loads a base address into a register.
+    fn base(&mut self, reg: Reg, data: DataRef) {
+        self.asm.la(reg, data);
+    }
+
+    /// `for counter in 0..bound { body }`
+    fn for_range(&mut self, counter: Reg, bound: u64, body: impl FnOnce(&mut Kernel)) {
+        let head = self.asm.new_label();
+        self.asm.li(counter, 0);
+        self.asm.bind(head);
+        body(self);
+        self.asm.addi(counter, counter, 1);
+        self.asm.li(Reg::T6, bound as i64);
+        self.asm.blt(counter, Reg::T6, head);
+    }
+
+    /// Computes `&base[row * cols + col]` into `a7`.
+    fn elem_addr(&mut self, base: Reg, row: Reg, col: Reg, cols: u64) {
+        self.asm.li(Reg::A6, cols as i64);
+        self.asm.mul(Reg::A6, row, Reg::A6);
+        self.asm.add(Reg::A6, Reg::A6, col);
+        self.asm.slli(Reg::A6, Reg::A6, 3);
+        self.asm.add(Reg::A7, base, Reg::A6);
+    }
+
+    /// `dst = base[row * cols + col]`
+    fn load_elem(&mut self, dst: Reg, base: Reg, row: Reg, col: Reg, cols: u64) {
+        self.elem_addr(base, row, col, cols);
+        self.asm.ld(dst, Reg::A7, 0);
+    }
+
+    /// `base[row * cols + col] = src`
+    fn store_elem(&mut self, src: Reg, base: Reg, row: Reg, col: Reg, cols: u64) {
+        self.elem_addr(base, row, col, cols);
+        self.asm.sd(src, Reg::A7, 0);
+    }
+
+    /// `dst = base[index]`
+    fn load_vec(&mut self, dst: Reg, base: Reg, index: Reg) {
+        self.asm.slli(Reg::A6, index, 3);
+        self.asm.add(Reg::A7, base, Reg::A6);
+        self.asm.ld(dst, Reg::A7, 0);
+    }
+
+    /// `base[index] = src`
+    fn store_vec(&mut self, src: Reg, base: Reg, index: Reg) {
+        self.asm.slli(Reg::A6, index, 3);
+        self.asm.add(Reg::A7, base, Reg::A6);
+        self.asm.sd(src, Reg::A7, 0);
+    }
+
+    /// Adds `value` into the checksum accumulator.
+    fn accumulate(&mut self, value: Reg) {
+        self.asm.add(Reg::S1, Reg::S1, value);
+    }
+
+    /// Stores the checksum and terminates the program.
+    fn finish(mut self) -> Program {
+        self.asm.la(Reg::A7, self.checksum);
+        self.asm.sd(Reg::S1, Reg::A7, 0);
+        self.asm.ecall();
+        self.asm.assemble().expect("kernel assembles")
+    }
+}
+
+/// Plain matrix multiplication `C = A * B` (Polybench `gemm`, integer form).
+pub fn gemm(n: u64) -> Program {
+    let mut k = Kernel::new();
+    let a = k.matrix("a", n, n);
+    let b = k.matrix("b", n, n);
+    let c = k.matrix("c", n, n);
+    k.base(Reg::S6, a);
+    k.base(Reg::S7, b);
+    k.base(Reg::S8, c);
+    k.for_range(Reg::S2, n, |k| {
+        k.for_range(Reg::S3, n, |k| {
+            k.asm.li(Reg::T0, 0);
+            k.for_range(Reg::S4, n, |k| {
+                k.load_elem(Reg::T1, Reg::S6, Reg::S2, Reg::S4, n);
+                k.load_elem(Reg::T2, Reg::S7, Reg::S4, Reg::S3, n);
+                k.asm.mul(Reg::T1, Reg::T1, Reg::T2);
+                k.asm.add(Reg::T0, Reg::T0, Reg::T1);
+            });
+            k.store_elem(Reg::T0, Reg::S8, Reg::S2, Reg::S3, n);
+            k.accumulate(Reg::T0);
+        });
+    });
+    k.finish()
+}
+
+fn matmul_into(k: &mut Kernel, a: Reg, b: Reg, c: Reg, n: u64, accumulate: bool) {
+    k.for_range(Reg::S2, n, |k| {
+        k.for_range(Reg::S3, n, |k| {
+            k.asm.li(Reg::T0, 0);
+            k.for_range(Reg::S4, n, |k| {
+                k.load_elem(Reg::T1, a, Reg::S2, Reg::S4, n);
+                k.load_elem(Reg::T2, b, Reg::S4, Reg::S3, n);
+                k.asm.mul(Reg::T1, Reg::T1, Reg::T2);
+                k.asm.add(Reg::T0, Reg::T0, Reg::T1);
+            });
+            k.store_elem(Reg::T0, c, Reg::S2, Reg::S3, n);
+            if accumulate {
+                k.accumulate(Reg::T0);
+            }
+        });
+    });
+}
+
+/// Two chained matrix multiplications (Polybench `2mm`).
+pub fn two_mm(n: u64) -> Program {
+    let mut k = Kernel::new();
+    let a = k.matrix("a", n, n);
+    let b = k.matrix("b", n, n);
+    let c = k.matrix("c", n, n);
+    let tmp = k.matrix("tmp", n, n);
+    let d = k.matrix("d", n, n);
+    k.base(Reg::S6, a);
+    k.base(Reg::S7, b);
+    k.base(Reg::S8, tmp);
+    k.base(Reg::S9, c);
+    k.base(Reg::S10, d);
+    matmul_into(&mut k, Reg::S6, Reg::S7, Reg::S8, n, false);
+    matmul_into(&mut k, Reg::S8, Reg::S9, Reg::S10, n, true);
+    k.finish()
+}
+
+/// Three chained matrix multiplications (Polybench `3mm`).
+pub fn three_mm(n: u64) -> Program {
+    let mut k = Kernel::new();
+    let a = k.matrix("a", n, n);
+    let b = k.matrix("b", n, n);
+    let c = k.matrix("c", n, n);
+    let d = k.matrix("d", n, n);
+    let e = k.matrix("e", n, n);
+    let f = k.matrix("f", n, n);
+    let g = k.matrix("g", n, n);
+    k.base(Reg::S6, a);
+    k.base(Reg::S7, b);
+    k.base(Reg::S8, e);
+    matmul_into(&mut k, Reg::S6, Reg::S7, Reg::S8, n, false);
+    k.base(Reg::S6, c);
+    k.base(Reg::S7, d);
+    k.base(Reg::S9, f);
+    matmul_into(&mut k, Reg::S6, Reg::S7, Reg::S9, n, false);
+    k.base(Reg::S10, g);
+    matmul_into(&mut k, Reg::S8, Reg::S9, Reg::S10, n, true);
+    k.finish()
+}
+
+/// `y = A^T (A x)` (Polybench `atax`).
+pub fn atax(n: u64) -> Program {
+    let mut k = Kernel::new();
+    let a = k.matrix("a", n, n);
+    let x = k.vector("x", n);
+    let y = k.vector("y", n);
+    let tmp = k.vector("tmp", n);
+    k.base(Reg::S6, a);
+    k.base(Reg::S7, x);
+    k.base(Reg::S8, y);
+    k.base(Reg::S9, tmp);
+    k.for_range(Reg::S2, n, |k| {
+        k.asm.li(Reg::T0, 0);
+        k.for_range(Reg::S3, n, |k| {
+            k.load_elem(Reg::T1, Reg::S6, Reg::S2, Reg::S3, n);
+            k.load_vec(Reg::T2, Reg::S7, Reg::S3);
+            k.asm.mul(Reg::T1, Reg::T1, Reg::T2);
+            k.asm.add(Reg::T0, Reg::T0, Reg::T1);
+        });
+        k.store_vec(Reg::T0, Reg::S9, Reg::S2);
+    });
+    k.for_range(Reg::S2, n, |k| {
+        k.for_range(Reg::S3, n, |k| {
+            k.load_elem(Reg::T1, Reg::S6, Reg::S2, Reg::S3, n);
+            k.load_vec(Reg::T2, Reg::S9, Reg::S2);
+            k.asm.mul(Reg::T1, Reg::T1, Reg::T2);
+            k.load_vec(Reg::T3, Reg::S8, Reg::S3);
+            k.asm.add(Reg::T3, Reg::T3, Reg::T1);
+            k.store_vec(Reg::T3, Reg::S8, Reg::S3);
+        });
+    });
+    k.for_range(Reg::S2, n, |k| {
+        k.load_vec(Reg::T0, Reg::S8, Reg::S2);
+        k.accumulate(Reg::T0);
+    });
+    k.finish()
+}
+
+/// BiCG sub-kernel: `s = A^T r`, `q = A p` (Polybench `bicg`).
+pub fn bicg(n: u64) -> Program {
+    let mut k = Kernel::new();
+    let a = k.matrix("a", n, n);
+    let r = k.vector("r", n);
+    let p = k.vector("p", n);
+    let s = k.vector("s", n);
+    let q = k.vector("q", n);
+    k.base(Reg::S6, a);
+    k.base(Reg::S7, r);
+    k.base(Reg::S8, p);
+    k.base(Reg::S9, s);
+    k.base(Reg::S10, q);
+    k.for_range(Reg::S2, n, |k| {
+        k.asm.li(Reg::T0, 0); // q[i]
+        k.for_range(Reg::S3, n, |k| {
+            k.load_elem(Reg::T1, Reg::S6, Reg::S2, Reg::S3, n);
+            // s[j] += r[i] * A[i][j]
+            k.load_vec(Reg::T2, Reg::S7, Reg::S2);
+            k.asm.mul(Reg::T2, Reg::T2, Reg::T1);
+            k.load_vec(Reg::T3, Reg::S9, Reg::S3);
+            k.asm.add(Reg::T3, Reg::T3, Reg::T2);
+            k.store_vec(Reg::T3, Reg::S9, Reg::S3);
+            // q[i] += A[i][j] * p[j]
+            k.load_vec(Reg::T2, Reg::S8, Reg::S3);
+            k.asm.mul(Reg::T1, Reg::T1, Reg::T2);
+            k.asm.add(Reg::T0, Reg::T0, Reg::T1);
+        });
+        k.store_vec(Reg::T0, Reg::S10, Reg::S2);
+        k.accumulate(Reg::T0);
+    });
+    k.finish()
+}
+
+/// Matrix-vector product and transpose product (Polybench `mvt`).
+pub fn mvt(n: u64) -> Program {
+    let mut k = Kernel::new();
+    let a = k.matrix("a", n, n);
+    let x1 = k.vector("x1", n);
+    let x2 = k.vector("x2", n);
+    let y1 = k.vector("y1", n);
+    let y2 = k.vector("y2", n);
+    k.base(Reg::S6, a);
+    k.base(Reg::S7, x1);
+    k.base(Reg::S8, x2);
+    k.base(Reg::S9, y1);
+    k.base(Reg::S10, y2);
+    k.for_range(Reg::S2, n, |k| {
+        k.load_vec(Reg::T0, Reg::S7, Reg::S2);
+        k.for_range(Reg::S3, n, |k| {
+            k.load_elem(Reg::T1, Reg::S6, Reg::S2, Reg::S3, n);
+            k.load_vec(Reg::T2, Reg::S9, Reg::S3);
+            k.asm.mul(Reg::T1, Reg::T1, Reg::T2);
+            k.asm.add(Reg::T0, Reg::T0, Reg::T1);
+        });
+        k.store_vec(Reg::T0, Reg::S7, Reg::S2);
+        k.accumulate(Reg::T0);
+    });
+    k.for_range(Reg::S2, n, |k| {
+        k.load_vec(Reg::T0, Reg::S8, Reg::S2);
+        k.for_range(Reg::S3, n, |k| {
+            k.load_elem(Reg::T1, Reg::S6, Reg::S3, Reg::S2, n);
+            k.load_vec(Reg::T2, Reg::S10, Reg::S3);
+            k.asm.mul(Reg::T1, Reg::T1, Reg::T2);
+            k.asm.add(Reg::T0, Reg::T0, Reg::T1);
+        });
+        k.store_vec(Reg::T0, Reg::S8, Reg::S2);
+        k.accumulate(Reg::T0);
+    });
+    k.finish()
+}
+
+/// Scaled sum of two matrix-vector products (Polybench `gesummv`).
+pub fn gesummv(n: u64) -> Program {
+    let mut k = Kernel::new();
+    let a = k.matrix("a", n, n);
+    let b = k.matrix("b", n, n);
+    let x = k.vector("x", n);
+    let y = k.vector("y", n);
+    k.base(Reg::S6, a);
+    k.base(Reg::S7, b);
+    k.base(Reg::S8, x);
+    k.base(Reg::S9, y);
+    k.for_range(Reg::S2, n, |k| {
+        k.asm.li(Reg::T0, 0); // tmp
+        k.asm.li(Reg::T3, 0); // y[i]
+        k.for_range(Reg::S3, n, |k| {
+            k.load_vec(Reg::T2, Reg::S8, Reg::S3);
+            k.load_elem(Reg::T1, Reg::S6, Reg::S2, Reg::S3, n);
+            k.asm.mul(Reg::T1, Reg::T1, Reg::T2);
+            k.asm.add(Reg::T0, Reg::T0, Reg::T1);
+            k.load_elem(Reg::T1, Reg::S7, Reg::S2, Reg::S3, n);
+            k.asm.mul(Reg::T1, Reg::T1, Reg::T2);
+            k.asm.add(Reg::T3, Reg::T3, Reg::T1);
+        });
+        // y[i] = 3 * tmp + 2 * y_partial
+        k.asm.slli(Reg::T1, Reg::T0, 1);
+        k.asm.add(Reg::T0, Reg::T0, Reg::T1);
+        k.asm.slli(Reg::T3, Reg::T3, 1);
+        k.asm.add(Reg::T0, Reg::T0, Reg::T3);
+        k.store_vec(Reg::T0, Reg::S9, Reg::S2);
+        k.accumulate(Reg::T0);
+    });
+    k.finish()
+}
+
+/// Symmetric rank-k update `C += A * A^T` (Polybench `syrk`).
+pub fn syrk(n: u64) -> Program {
+    let mut k = Kernel::new();
+    let a = k.matrix("a", n, n);
+    let c = k.matrix("c", n, n);
+    k.base(Reg::S6, a);
+    k.base(Reg::S7, c);
+    k.for_range(Reg::S2, n, |k| {
+        k.for_range(Reg::S3, n, |k| {
+            k.load_elem(Reg::T0, Reg::S7, Reg::S2, Reg::S3, n);
+            k.for_range(Reg::S4, n, |k| {
+                k.load_elem(Reg::T1, Reg::S6, Reg::S2, Reg::S4, n);
+                k.load_elem(Reg::T2, Reg::S6, Reg::S3, Reg::S4, n);
+                k.asm.mul(Reg::T1, Reg::T1, Reg::T2);
+                k.asm.add(Reg::T0, Reg::T0, Reg::T1);
+            });
+            k.store_elem(Reg::T0, Reg::S7, Reg::S2, Reg::S3, n);
+            k.accumulate(Reg::T0);
+        });
+    });
+    k.finish()
+}
+
+/// Forward substitution on a lower-triangular system (Polybench `trisolv`).
+pub fn trisolv(n: u64) -> Program {
+    let mut k = Kernel::new();
+    let l = k.matrix("l", n, n);
+    let b = k.vector("b", n);
+    let x = k.vector("x", n);
+    k.base(Reg::S6, l);
+    k.base(Reg::S7, b);
+    k.base(Reg::S8, x);
+    k.for_range(Reg::S2, n, |k| {
+        k.load_vec(Reg::T0, Reg::S7, Reg::S2);
+        // subtract L[i][j] * x[j] for j < i
+        k.for_range(Reg::S3, n, |k| {
+            let done = k.asm.new_label();
+            k.asm.bge(Reg::S3, Reg::S2, done);
+            k.load_elem(Reg::T1, Reg::S6, Reg::S2, Reg::S3, n);
+            k.load_vec(Reg::T2, Reg::S8, Reg::S3);
+            k.asm.mul(Reg::T1, Reg::T1, Reg::T2);
+            k.asm.sub(Reg::T0, Reg::T0, Reg::T1);
+            k.asm.bind(done);
+        });
+        k.load_elem(Reg::T1, Reg::S6, Reg::S2, Reg::S2, n);
+        k.asm.div(Reg::T0, Reg::T0, Reg::T1);
+        k.store_vec(Reg::T0, Reg::S8, Reg::S2);
+        k.accumulate(Reg::T0);
+    });
+    k.finish()
+}
+
+/// Multi-resolution analysis kernel (Polybench `doitgen`, reduced to one
+/// `r` plane so the footprint stays small).
+pub fn doitgen(n: u64) -> Program {
+    let mut k = Kernel::new();
+    let a = k.matrix("a", n, n);
+    let c4 = k.matrix("c4", n, n);
+    let sum = k.vector("sum", n);
+    k.base(Reg::S6, a);
+    k.base(Reg::S7, c4);
+    k.base(Reg::S8, sum);
+    k.for_range(Reg::S2, n, |k| {
+        // sum[p] = sum_s A[q][s] * C4[s][p]
+        k.for_range(Reg::S3, n, |k| {
+            k.asm.li(Reg::T0, 0);
+            k.for_range(Reg::S4, n, |k| {
+                k.load_elem(Reg::T1, Reg::S6, Reg::S2, Reg::S4, n);
+                k.load_elem(Reg::T2, Reg::S7, Reg::S4, Reg::S3, n);
+                k.asm.mul(Reg::T1, Reg::T1, Reg::T2);
+                k.asm.add(Reg::T0, Reg::T0, Reg::T1);
+            });
+            k.store_vec(Reg::T0, Reg::S8, Reg::S3);
+        });
+        // A[q][p] = sum[p]
+        k.for_range(Reg::S3, n, |k| {
+            k.load_vec(Reg::T0, Reg::S8, Reg::S3);
+            k.store_elem(Reg::T0, Reg::S6, Reg::S2, Reg::S3, n);
+            k.accumulate(Reg::T0);
+        });
+    });
+    k.finish()
+}
+
+/// 1-D Jacobi stencil (Polybench `jacobi-1d`).
+pub fn jacobi_1d(steps: u64, n: u64) -> Program {
+    let mut k = Kernel::new();
+    let a = k.vector("a", n);
+    let b = k.vector("b", n);
+    k.base(Reg::S6, a);
+    k.base(Reg::S7, b);
+    k.for_range(Reg::S5, steps, |k| {
+        k.for_range(Reg::S2, n - 2, |k| {
+            k.asm.addi(Reg::S3, Reg::S2, 1);
+            k.load_vec(Reg::T0, Reg::S6, Reg::S2);
+            k.load_vec(Reg::T1, Reg::S6, Reg::S3);
+            k.asm.addi(Reg::S4, Reg::S3, 1);
+            k.load_vec(Reg::T2, Reg::S6, Reg::S4);
+            k.asm.add(Reg::T0, Reg::T0, Reg::T1);
+            k.asm.add(Reg::T0, Reg::T0, Reg::T2);
+            k.asm.li(Reg::T3, 3);
+            k.asm.div(Reg::T0, Reg::T0, Reg::T3);
+            k.store_vec(Reg::T0, Reg::S7, Reg::S3);
+        });
+        k.for_range(Reg::S2, n - 2, |k| {
+            k.asm.addi(Reg::S3, Reg::S2, 1);
+            k.load_vec(Reg::T0, Reg::S7, Reg::S3);
+            k.store_vec(Reg::T0, Reg::S6, Reg::S3);
+        });
+    });
+    k.for_range(Reg::S2, n, |k| {
+        k.load_vec(Reg::T0, Reg::S6, Reg::S2);
+        k.accumulate(Reg::T0);
+    });
+    k.finish()
+}
+
+/// 2-D Jacobi 5-point stencil (Polybench `jacobi-2d`).
+pub fn jacobi_2d(steps: u64, n: u64) -> Program {
+    let mut k = Kernel::new();
+    let a = k.matrix("a", n, n);
+    let b = k.matrix("b", n, n);
+    k.base(Reg::S6, a);
+    k.base(Reg::S7, b);
+    k.for_range(Reg::S5, steps, |k| {
+        k.for_range(Reg::S2, n - 2, |k| {
+            k.for_range(Reg::S3, n - 2, |k| {
+                // centre indexes are (S2+1, S3+1)
+                k.asm.addi(Reg::S8, Reg::S2, 1);
+                k.asm.addi(Reg::S9, Reg::S3, 1);
+                k.load_elem(Reg::T0, Reg::S6, Reg::S8, Reg::S9, n);
+                k.load_elem(Reg::T1, Reg::S6, Reg::S2, Reg::S9, n);
+                k.asm.add(Reg::T0, Reg::T0, Reg::T1);
+                k.load_elem(Reg::T1, Reg::S6, Reg::S8, Reg::S3, n);
+                k.asm.add(Reg::T0, Reg::T0, Reg::T1);
+                k.asm.addi(Reg::S10, Reg::S8, 1);
+                k.load_elem(Reg::T1, Reg::S6, Reg::S10, Reg::S9, n);
+                k.asm.add(Reg::T0, Reg::T0, Reg::T1);
+                k.asm.addi(Reg::S11, Reg::S9, 1);
+                k.load_elem(Reg::T1, Reg::S6, Reg::S8, Reg::S11, n);
+                k.asm.add(Reg::T0, Reg::T0, Reg::T1);
+                k.asm.li(Reg::T3, 5);
+                k.asm.div(Reg::T0, Reg::T0, Reg::T3);
+                k.store_elem(Reg::T0, Reg::S7, Reg::S8, Reg::S9, n);
+            });
+        });
+        k.for_range(Reg::S2, n - 2, |k| {
+            k.for_range(Reg::S3, n - 2, |k| {
+                k.asm.addi(Reg::S8, Reg::S2, 1);
+                k.asm.addi(Reg::S9, Reg::S3, 1);
+                k.load_elem(Reg::T0, Reg::S7, Reg::S8, Reg::S9, n);
+                k.store_elem(Reg::T0, Reg::S6, Reg::S8, Reg::S9, n);
+            });
+        });
+    });
+    k.for_range(Reg::S2, n, |k| {
+        k.load_elem(Reg::T0, Reg::S6, Reg::S2, Reg::S2, n);
+        k.accumulate(Reg::T0);
+    });
+    k.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbt_riscv::{ExitReason, Interpreter};
+
+    fn checksum(program: &Program) -> u64 {
+        let mut interp = Interpreter::new(program);
+        assert_eq!(interp.run(200_000_000).unwrap(), ExitReason::Ecall);
+        interp.memory().load_u64(program.symbol("checksum").unwrap()).unwrap()
+    }
+
+    #[test]
+    fn gemm_checksum_matches_host_computation() {
+        let n = 5u64;
+        let program = gemm(n);
+        let a: Vec<i64> = (0..n * n).map(|i| ((i * 7 + 3) % 13 + 1) as i64).collect();
+        let b = a.clone();
+        let mut expected = 0i64;
+        for i in 0..n as usize {
+            for j in 0..n as usize {
+                let mut acc = 0i64;
+                for kk in 0..n as usize {
+                    acc += a[i * n as usize + kk] * b[kk * n as usize + j];
+                }
+                expected += acc;
+            }
+        }
+        assert_eq!(checksum(&program) as i64, expected);
+    }
+
+    #[test]
+    fn kernels_are_deterministic() {
+        let p1 = atax(6);
+        let p2 = atax(6);
+        assert_eq!(checksum(&p1), checksum(&p2));
+    }
+
+    #[test]
+    fn trisolv_divides_without_faulting() {
+        let program = trisolv(8);
+        assert_ne!(checksum(&program), 0);
+    }
+
+    #[test]
+    fn stencils_terminate() {
+        assert_ne!(checksum(&jacobi_1d(2, 24)), 0);
+        assert_ne!(checksum(&jacobi_2d(2, 8)), 0);
+    }
+}

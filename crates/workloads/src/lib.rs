@@ -1,0 +1,141 @@
+//! Guest workloads for the performance evaluation (the paper's Figure 4).
+//!
+//! The paper runs Polybench kernels on Hybrid-DBT. Polybench is a C/float
+//! suite; here each kernel is hand-written against the [`dbt_riscv`]
+//! assembler with **integer** arrays, preserving what matters for the
+//! experiment: the loop nests, the memory-access patterns and therefore the
+//! scheduling/speculation opportunities the DBT engine sees. Every kernel
+//! accumulates a checksum into the guest symbol `"checksum"` so that
+//! differential tests can verify that translation (with or without
+//! speculation and mitigation) preserves the architectural result.
+//!
+//! [`ptr_matmul`] additionally provides the pointer-array 2-D matrix
+//! multiplication the paper uses to stress the countermeasures: every row
+//! access goes through a pointer load (double indirection), so speculative
+//! loads with attacker-influencable addresses — the Spectre pattern — occur
+//! in the hot loop.
+
+pub mod kernels;
+pub mod ptr_matmul;
+
+use dbt_riscv::Program;
+
+/// A named guest workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short kernel name (matches the Polybench kernel it mirrors).
+    pub name: &'static str,
+    /// The assembled guest program.
+    pub program: Program,
+}
+
+/// Problem-size preset for the workload suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadSize {
+    /// Very small instances, for unit tests.
+    Mini,
+    /// The default instances used by the benchmark harness.
+    Small,
+}
+
+impl WorkloadSize {
+    /// Matrix dimension used by the dense-linear-algebra kernels.
+    pub fn n(self) -> u64 {
+        match self {
+            WorkloadSize::Mini => 6,
+            WorkloadSize::Small => 14,
+        }
+    }
+
+    /// Vector length / time steps used by the stencil kernels.
+    pub fn stencil_n(self) -> u64 {
+        match self {
+            WorkloadSize::Mini => 32,
+            WorkloadSize::Small => 160,
+        }
+    }
+
+    /// Number of stencil time steps.
+    pub fn steps(self) -> u64 {
+        match self {
+            WorkloadSize::Mini => 2,
+            WorkloadSize::Small => 6,
+        }
+    }
+}
+
+/// Builds the whole Polybench-style suite at the given size.
+///
+/// The returned list matches the kernels reported in the paper's Figure 4 as
+/// closely as this integer re-implementation allows.
+pub fn suite(size: WorkloadSize) -> Vec<Workload> {
+    let n = size.n();
+    let sn = size.stencil_n();
+    let steps = size.steps();
+    vec![
+        Workload { name: "gemm", program: kernels::gemm(n) },
+        Workload { name: "2mm", program: kernels::two_mm(n) },
+        Workload { name: "3mm", program: kernels::three_mm(n) },
+        Workload { name: "atax", program: kernels::atax(n) },
+        Workload { name: "bicg", program: kernels::bicg(n) },
+        Workload { name: "mvt", program: kernels::mvt(n) },
+        Workload { name: "gesummv", program: kernels::gesummv(n) },
+        Workload { name: "syrk", program: kernels::syrk(n) },
+        Workload { name: "trisolv", program: kernels::trisolv(n) },
+        Workload { name: "doitgen", program: kernels::doitgen(n) },
+        Workload { name: "jacobi-1d", program: kernels::jacobi_1d(steps, sn) },
+        Workload { name: "jacobi-2d", program: kernels::jacobi_2d(steps, n + 4) },
+    ]
+}
+
+/// The pointer-array matrix multiplication used in the paper's last
+/// experiment (fine-grained vs fence overhead when the Spectre pattern is
+/// frequent).
+pub fn pointer_matmul(size: WorkloadSize) -> Workload {
+    Workload { name: "ptr-matmul", program: ptr_matmul::build(size.n()) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbt_riscv::{ExitReason, Interpreter};
+
+    #[test]
+    fn suite_has_twelve_distinct_kernels() {
+        let suite = suite(WorkloadSize::Mini);
+        assert_eq!(suite.len(), 12);
+        let names: std::collections::BTreeSet<_> = suite.iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn every_kernel_terminates_and_produces_a_checksum() {
+        for workload in suite(WorkloadSize::Mini) {
+            let mut interp = Interpreter::new(&workload.program);
+            assert_eq!(
+                interp.run(200_000_000).unwrap(),
+                ExitReason::Ecall,
+                "{} did not terminate",
+                workload.name
+            );
+            let checksum_addr = workload.program.symbol("checksum").unwrap();
+            let checksum = interp.memory().load_u64(checksum_addr).unwrap();
+            assert_ne!(checksum, 0, "{} produced a zero checksum", workload.name);
+        }
+    }
+
+    #[test]
+    fn pointer_matmul_terminates() {
+        let workload = pointer_matmul(WorkloadSize::Mini);
+        let mut interp = Interpreter::new(&workload.program);
+        assert_eq!(interp.run(200_000_000).unwrap(), ExitReason::Ecall);
+        let checksum_addr = workload.program.symbol("checksum").unwrap();
+        assert_ne!(interp.memory().load_u64(checksum_addr).unwrap(), 0);
+    }
+
+    #[test]
+    fn sizes_scale() {
+        assert!(WorkloadSize::Small.n() > WorkloadSize::Mini.n());
+        assert!(WorkloadSize::Small.stencil_n() > WorkloadSize::Mini.stencil_n());
+    }
+}

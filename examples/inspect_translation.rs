@@ -1,0 +1,35 @@
+//! Shows what the DBT engine actually produces for the Spectre v1 victim:
+//! the optimised superblock (with speculative loads marked) and the
+//! GhostBusters mitigation report, under the unsafe and fine-grained
+//! configurations.
+//!
+//! ```sh
+//! cargo run -p ghostbusters-examples --bin inspect_translation
+//! ```
+
+use dbt_attacks::spectre_v1;
+use dbt_platform::{DbtProcessor, PlatformConfig};
+use ghostbusters::MitigationPolicy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = spectre_v1::build(b"S").expect("attack program assembles");
+    // The victim function starts right after the initial jump to main.
+    let victim_pc = program.code_base() + 4;
+
+    for policy in [MitigationPolicy::Unprotected, MitigationPolicy::FineGrained] {
+        println!("=== policy: {} ===", policy.label());
+        let mut processor = DbtProcessor::new(&program, PlatformConfig::for_policy(policy))?;
+        processor.run()?;
+        if let Some((block, _)) = processor.engine().tcache().lookup(victim_pc) {
+            println!("{block}");
+            println!("speculative loads in the victim superblock: {}", block.speculative_load_count());
+        }
+        for (pc, report) in processor.engine().mitigation_reports() {
+            if *pc == victim_pc {
+                println!("mitigation report: {report}");
+            }
+        }
+        println!();
+    }
+    Ok(())
+}

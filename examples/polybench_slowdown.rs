@@ -1,0 +1,27 @@
+//! Measures the slowdown of the countermeasures on the Polybench-style
+//! suite (the shape of the paper's Figure 4), at the mini problem size so
+//! it finishes quickly even in debug builds.
+//!
+//! ```sh
+//! cargo run --release -p ghostbusters-examples --bin polybench_slowdown
+//! ```
+
+use dbt_platform::PolicyComparison;
+use dbt_workloads::{suite, WorkloadSize};
+use ghostbusters::MitigationPolicy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{:<12} {:>12} {:>14} {:>10} {:>16}", "kernel", "unsafe(cyc)", "our approach", "fence", "no speculation");
+    for workload in suite(WorkloadSize::Mini) {
+        let comparison = PolicyComparison::measure(workload.name, &workload.program)?;
+        println!(
+            "{:<12} {:>12} {:>13.1}% {:>9.1}% {:>15.1}%",
+            comparison.name,
+            comparison.unprotected_cycles,
+            comparison.slowdown(MitigationPolicy::FineGrained) * 100.0,
+            comparison.slowdown(MitigationPolicy::Fence) * 100.0,
+            comparison.slowdown(MitigationPolicy::NoSpeculation) * 100.0,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Quickstart: assemble a small guest program, run it on the simulated
+//! DBT-based processor under two mitigation policies, and compare cycles.
+//!
+//! ```sh
+//! cargo run -p ghostbusters-examples --bin quickstart
+//! ```
+
+use dbt_platform::{DbtProcessor, PlatformConfig};
+use dbt_riscv::{Assembler, Reg};
+use ghostbusters::MitigationPolicy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny guest program: sum an in-memory array into `result`.
+    let mut asm = Assembler::new();
+    let data = asm.alloc_data_u64("data", &(1..=64u64).collect::<Vec<_>>());
+    let result = asm.alloc_data("result", 8);
+    let head = asm.new_label();
+    asm.li(Reg::S0, 0); // index
+    asm.li(Reg::S1, 0); // sum
+    asm.la(Reg::S2, data);
+    asm.li(Reg::S3, 64);
+    asm.bind(head);
+    asm.slli(Reg::T0, Reg::S0, 3);
+    asm.add(Reg::T0, Reg::S2, Reg::T0);
+    asm.ld(Reg::T1, Reg::T0, 0);
+    asm.add(Reg::S1, Reg::S1, Reg::T1);
+    asm.addi(Reg::S0, Reg::S0, 1);
+    asm.blt(Reg::S0, Reg::S3, head);
+    asm.la(Reg::T0, result);
+    asm.sd(Reg::S1, Reg::T0, 0);
+    asm.ecall();
+    let program = asm.assemble()?;
+
+    for policy in MitigationPolicy::ALL {
+        let mut processor = DbtProcessor::new(&program, PlatformConfig::for_policy(policy))?;
+        let summary = processor.run()?;
+        println!(
+            "{:<15} {:>8} cycles, {:>3} blocks, result = {}",
+            policy.label(),
+            summary.cycles,
+            summary.blocks_executed,
+            processor.load_symbol_u64("result")?
+        );
+    }
+    Ok(())
+}

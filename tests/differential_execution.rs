@@ -1,0 +1,93 @@
+//! Differential testing: whatever speculation and mitigation configuration
+//! the DBT engine uses, the architectural result of every workload must be
+//! identical to the reference RISC-V interpreter.
+//!
+//! This is the core correctness invariant of the whole system (speculation
+//! and its mitigation may only change *timing* and cache state, never
+//! guest-visible results).
+
+use dbt_platform::{DbtProcessor, PlatformConfig};
+use dbt_riscv::{ExitReason, Interpreter};
+use dbt_workloads::{pointer_matmul, suite, WorkloadSize};
+use ghostbusters::MitigationPolicy;
+use proptest::prelude::*;
+
+fn reference_checksum(program: &dbt_riscv::Program) -> u64 {
+    let mut interp = Interpreter::new(program);
+    assert_eq!(interp.run(500_000_000).unwrap(), ExitReason::Ecall);
+    interp.memory().load_u64(program.symbol("checksum").unwrap()).unwrap()
+}
+
+#[test]
+fn every_workload_matches_the_reference_under_every_policy() {
+    let mut workloads = suite(WorkloadSize::Mini);
+    workloads.push(pointer_matmul(WorkloadSize::Mini));
+    for workload in workloads {
+        let expected = reference_checksum(&workload.program);
+        for policy in MitigationPolicy::ALL {
+            let mut processor =
+                DbtProcessor::new(&workload.program, PlatformConfig::for_policy(policy)).unwrap();
+            let summary = processor.run().unwrap();
+            assert!(summary.halted, "{} under {policy} did not halt", workload.name);
+            let got = processor.load_symbol_u64("checksum").unwrap();
+            assert_eq!(
+                got, expected,
+                "{} under {policy}: DBT result diverges from the reference",
+                workload.name
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random short straight-line-and-loop programs produce the same
+    /// architectural result on the DBT processor (any policy) and on the
+    /// reference interpreter.
+    #[test]
+    fn random_programs_execute_equivalently(
+        seed_values in proptest::collection::vec(0u64..1000, 4..16),
+        policy_index in 0usize..4,
+    ) {
+        use dbt_riscv::{Assembler, Reg};
+        let mut asm = Assembler::new();
+        let data = asm.alloc_data_u64("data", &seed_values);
+        let out = asm.alloc_data("out", 8);
+        let n = seed_values.len() as i64;
+        let head = asm.new_label();
+        let skip = asm.new_label();
+        asm.li(Reg::S0, 0);
+        asm.li(Reg::S1, 1);
+        asm.la(Reg::S2, data);
+        asm.li(Reg::S3, n);
+        asm.bind(head);
+        asm.slli(Reg::T0, Reg::S0, 3);
+        asm.add(Reg::T0, Reg::S2, Reg::T0);
+        asm.ld(Reg::T1, Reg::T0, 0);
+        // Data-dependent branch plus a store, so both speculation mechanisms
+        // have something to chew on.
+        asm.andi(Reg::T2, Reg::T1, 1);
+        asm.beqz(Reg::T2, skip);
+        asm.mul(Reg::S1, Reg::S1, Reg::T1);
+        asm.sd(Reg::S1, Reg::T0, 0);
+        asm.bind(skip);
+        asm.add(Reg::S1, Reg::S1, Reg::T1);
+        asm.addi(Reg::S0, Reg::S0, 1);
+        asm.blt(Reg::S0, Reg::S3, head);
+        asm.la(Reg::T0, out);
+        asm.sd(Reg::S1, Reg::T0, 0);
+        asm.ecall();
+        let program = asm.assemble().unwrap();
+
+        let mut interp = Interpreter::new(&program);
+        prop_assert_eq!(interp.run(10_000_000).unwrap(), ExitReason::Ecall);
+        let expected = interp.memory().load_u64(program.symbol("out").unwrap()).unwrap();
+
+        let policy = MitigationPolicy::ALL[policy_index];
+        let mut processor = DbtProcessor::new(&program, PlatformConfig::for_policy(policy)).unwrap();
+        let summary = processor.run().unwrap();
+        prop_assert!(summary.halted);
+        prop_assert_eq!(processor.load_symbol_u64("out").unwrap(), expected);
+    }
+}

@@ -1,0 +1,6 @@
+//! Cross-crate integration tests for the GhostBusters reproduction.
+//!
+//! The actual tests live in the sibling `*.rs` files (declared as `[[test]]`
+//! targets): end-to-end Spectre attacks and mitigations, differential
+//! execution of every workload against the reference interpreter, and the
+//! Figure-4 slowdown shape.
