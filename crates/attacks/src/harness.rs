@@ -30,11 +30,7 @@ pub struct AttackOutcome {
 impl AttackOutcome {
     /// Number of secret bytes recovered correctly.
     pub fn correct_bytes(&self) -> usize {
-        self.secret
-            .iter()
-            .zip(&self.recovered)
-            .filter(|(a, b)| a == b)
-            .count()
+        self.secret.iter().zip(&self.recovered).filter(|(a, b)| a == b).count()
     }
 
     /// Fraction of the secret recovered, in `[0, 1]`.
@@ -93,7 +89,10 @@ fn run_attack(
 /// # Errors
 ///
 /// Propagates assembly or platform errors.
-pub fn run_spectre_v1(policy: MitigationPolicy, secret: &[u8]) -> Result<AttackOutcome, PlatformError> {
+pub fn run_spectre_v1(
+    policy: MitigationPolicy,
+    secret: &[u8],
+) -> Result<AttackOutcome, PlatformError> {
     let program = spectre_v1::build(secret).expect("spectre v1 program assembles");
     run_attack("spectre-v1", &program, policy, secret)
 }
@@ -103,7 +102,10 @@ pub fn run_spectre_v1(policy: MitigationPolicy, secret: &[u8]) -> Result<AttackO
 /// # Errors
 ///
 /// Propagates assembly or platform errors.
-pub fn run_spectre_v4(policy: MitigationPolicy, secret: &[u8]) -> Result<AttackOutcome, PlatformError> {
+pub fn run_spectre_v4(
+    policy: MitigationPolicy,
+    secret: &[u8],
+) -> Result<AttackOutcome, PlatformError> {
     let program = spectre_v4::build(secret).expect("spectre v4 program assembles");
     run_attack("spectre-v4", &program, policy, secret)
 }

@@ -168,10 +168,7 @@ mod tests {
         let program = build(secret).unwrap();
         let mut interp = Interpreter::new(&program);
         interp.run(50_000_000).unwrap();
-        let recovered = interp
-            .memory()
-            .load_u8(program.symbol("recovered").unwrap())
-            .unwrap();
+        let recovered = interp.memory().load_u8(program.symbol("recovered").unwrap()).unwrap();
         assert_ne!(recovered, b'Z', "the reference machine must not leak");
     }
 }

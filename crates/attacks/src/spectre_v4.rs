@@ -139,10 +139,7 @@ mod tests {
         let program = build(b"K").unwrap();
         let mut interp = Interpreter::new(&program);
         assert_eq!(interp.run(50_000_000).unwrap(), ExitReason::Ecall);
-        let recovered = interp
-            .memory()
-            .load_u8(program.symbol("recovered").unwrap())
-            .unwrap();
+        let recovered = interp.memory().load_u8(program.symbol("recovered").unwrap()).unwrap();
         // Architecturally the stale index is overwritten before use, so the
         // reference machine must not report the secret.
         assert_ne!(recovered, b'K');

@@ -1,23 +1,19 @@
-//! Criterion bench of the two Spectre proof-of-concepts (one secret byte)
+//! Wall-clock bench of the two Spectre proof-of-concepts (one secret byte)
 //! under the unsafe and fine-grained configurations.
+//!
+//! Criterion is not available in the build environment, so this is a plain
+//! `harness = false` bench around [`dbt_bench::median_micros`].
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dbt_attacks::{run_spectre_v1, run_spectre_v4};
+use dbt_bench::median_micros;
 use ghostbusters::MitigationPolicy;
 
-fn bench_attacks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("attacks");
-    group.sample_size(10);
+fn main() {
+    println!("{:<12} {:<15} {:>14} {:>16}", "attack", "policy", "median (us)", "guest cycles");
     for policy in [MitigationPolicy::Unprotected, MitigationPolicy::FineGrained] {
-        group.bench_with_input(BenchmarkId::new("spectre-v1", policy.label()), &policy, |b, p| {
-            b.iter(|| run_spectre_v1(*p, b"G").expect("v1 runs").cycles)
-        });
-        group.bench_with_input(BenchmarkId::new("spectre-v4", policy.label()), &policy, |b, p| {
-            b.iter(|| run_spectre_v4(*p, b"G").expect("v4 runs").cycles)
-        });
+        let (us, cycles) = median_micros(|| run_spectre_v1(policy, b"G").expect("v1 runs").cycles);
+        println!("{:<12} {:<15} {:>14} {:>16}", "spectre-v1", policy.label(), us, cycles);
+        let (us, cycles) = median_micros(|| run_spectre_v4(policy, b"G").expect("v4 runs").cycles);
+        println!("{:<12} {:<15} {:>14} {:>16}", "spectre-v4", policy.label(), us, cycles);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_attacks);
-criterion_main!(benches);

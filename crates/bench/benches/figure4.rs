@@ -1,35 +1,32 @@
-//! Criterion bench over a representative subset of the Figure 4 workloads:
-//! wall-clock time of simulating each kernel under each mitigation policy.
-//! The interesting output is the relative ordering (our approach ≈ unsafe,
+//! Wall-clock bench over a representative subset of the Figure 4 workloads:
+//! time to *simulate* each kernel under each mitigation policy. The
+//! interesting output is the relative ordering (our approach ≈ unsafe,
 //! no-speculation slower in simulated cycles); the simulated cycle counts
 //! themselves are printed by `cargo run -p dbt-bench --bin figure4`.
+//!
+//! Criterion is not available in the build environment, so this is a plain
+//! `harness = false` bench around [`dbt_bench::median_micros`].
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbt_bench::median_micros;
 use dbt_platform::{run_program, PlatformConfig};
 use dbt_workloads::{suite, WorkloadSize};
 use ghostbusters::MitigationPolicy;
 
-fn bench_figure4(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure4");
-    group.sample_size(10);
+fn main() {
+    println!("{:<12} {:<15} {:>14} {:>16}", "kernel", "policy", "median (us)", "guest cycles");
     let workloads = suite(WorkloadSize::Mini);
     for workload in workloads.iter().filter(|w| matches!(w.name, "gemm" | "atax" | "jacobi-1d")) {
-        for policy in [MitigationPolicy::Unprotected, MitigationPolicy::FineGrained, MitigationPolicy::NoSpeculation] {
-            group.bench_with_input(
-                BenchmarkId::new(workload.name, policy.label()),
-                &policy,
-                |b, policy| {
-                    b.iter(|| {
-                        run_program(&workload.program, PlatformConfig::for_policy(*policy))
-                            .expect("workload runs")
-                            .cycles
-                    })
-                },
-            );
+        for policy in [
+            MitigationPolicy::Unprotected,
+            MitigationPolicy::FineGrained,
+            MitigationPolicy::NoSpeculation,
+        ] {
+            let (us, cycles) = median_micros(|| {
+                run_program(&workload.program, PlatformConfig::for_policy(policy))
+                    .expect("workload runs")
+                    .cycles
+            });
+            println!("{:<12} {:<15} {:>14} {:>16}", workload.name, policy.label(), us, cycles);
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_figure4);
-criterion_main!(benches);

@@ -2,46 +2,21 @@
 //!
 //! This regenerates the motivation behind the paper's "No speculation"
 //! comparison point by disabling branch speculation and memory speculation
-//! independently.
+//! independently — a platform-axis sweep (`ablation`) declared in
+//! [`dbt_lab::Registry::standard`]: every kernel runs unprotected on four
+//! platform variants (both mechanisms, branch off, memory off, both off),
+//! and cycles are reported relative to the both-enabled variant.
 
-use dbt_ir_options::run_all;
-
-mod dbt_ir_options {
-    use dbt_platform::{run_program, PlatformConfig};
-    use dbt_workloads::{suite, WorkloadSize};
-    use ghostbusters::MitigationPolicy;
-
-    pub fn run_all(size: WorkloadSize) {
-        println!(
-            "{:<12} {:>14} {:>18} {:>18} {:>16}",
-            "kernel", "both (cyc)", "no branch spec", "no memory spec", "no speculation"
-        );
-        for workload in suite(size) {
-            let mut configs = Vec::new();
-            for (branch, memory) in [(true, true), (false, true), (true, false), (false, false)] {
-                let mut config = PlatformConfig::for_policy(MitigationPolicy::Unprotected);
-                config.dbt.speculation.branch_speculation = branch;
-                config.dbt.speculation.memory_speculation = memory;
-                configs.push(run_program(&workload.program, config).map(|s| s.cycles).unwrap_or(0));
-            }
-            let base = configs[0].max(1) as f64;
-            println!(
-                "{:<12} {:>14} {:>17.1}% {:>17.1}% {:>15.1}%",
-                workload.name,
-                configs[0],
-                configs[1] as f64 / base * 100.0,
-                configs[2] as f64 / base * 100.0,
-                configs[3] as f64 / base * 100.0,
-            );
-        }
-    }
-}
+use dbt_bench::{exec_options, registry_from_args};
+use dbt_lab::{format_variant_table, run_sweep};
 
 fn main() {
-    let size = if std::env::args().any(|a| a == "--mini") {
-        dbt_workloads::WorkloadSize::Mini
-    } else {
-        dbt_workloads::WorkloadSize::Small
-    };
-    run_all(size);
+    let registry = registry_from_args();
+    let sweep = registry.find("ablation").expect("ablation sweep is registered");
+    let report = run_sweep(&sweep.name, &sweep.expand(), exec_options());
+    for (name, error) in report.failures() {
+        eprintln!("skipped {name} ({error})");
+    }
+    println!("Speculation ablation — cycles relative to both mechanisms enabled\n");
+    println!("{}", format_variant_table(&report));
 }

@@ -1,40 +1,20 @@
 //! Regenerates the Section V-A result: both Spectre variants under every
 //! mitigation policy, with the secret-recovery rate.
+//!
+//! This is a thin view over the `attack-table` sweep declared in
+//! [`dbt_lab::Registry::standard`], run on the parallel executor.
 
-use dbt_attacks::{run_spectre_v1, run_spectre_v4};
-use ghostbusters::MitigationPolicy;
+use dbt_bench::{exec_options, registry_from_args};
+use dbt_lab::{format_attack_table, run_sweep, DEFAULT_SECRET};
 
 fn main() {
-    let secret: &[u8] = b"GhostBusters";
-    println!("Attack results (secret = {:?}, {} bytes)\n", String::from_utf8_lossy(secret), secret.len());
+    let registry = registry_from_args();
+    let sweep = registry.find("attack-table").expect("attack-table sweep is registered");
+    let report = run_sweep(&sweep.name, &sweep.expand(), exec_options());
     println!(
-        "{:<12} {:<15} {:>10} {:>12} {:>11} {:>10}",
-        "attack", "policy", "recovered", "rate", "rollbacks", "patterns"
+        "Attack results (secret = {:?}, {} bytes)\n",
+        String::from_utf8_lossy(DEFAULT_SECRET),
+        DEFAULT_SECRET.len()
     );
-    for policy in MitigationPolicy::ALL {
-        let outcome = run_spectre_v1(policy, secret).expect("v1 run");
-        println!(
-            "{:<12} {:<15} {:>7}/{:<3} {:>11.0}% {:>11} {:>10}",
-            outcome.attack,
-            outcome.policy.label(),
-            outcome.correct_bytes(),
-            outcome.secret.len(),
-            outcome.recovery_rate() * 100.0,
-            outcome.rollbacks,
-            outcome.patterns_detected
-        );
-    }
-    for policy in MitigationPolicy::ALL {
-        let outcome = run_spectre_v4(policy, secret).expect("v4 run");
-        println!(
-            "{:<12} {:<15} {:>7}/{:<3} {:>11.0}% {:>11} {:>10}",
-            outcome.attack,
-            outcome.policy.label(),
-            outcome.correct_bytes(),
-            outcome.secret.len(),
-            outcome.recovery_rate() * 100.0,
-            outcome.rollbacks,
-            outcome.patterns_detected
-        );
-    }
+    println!("{}", format_attack_table(&report));
 }

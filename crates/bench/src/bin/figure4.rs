@@ -1,36 +1,20 @@
 //! Regenerates the paper's Figure 4: slowdown of the countermeasures
 //! relative to unsafe execution, per Polybench-style kernel plus the two
 //! Spectre proof-of-concept applications.
+//!
+//! This is a thin view over the `figure4` sweep declared in
+//! [`dbt_lab::Registry::standard`], run on the parallel executor.
 
-use dbt_bench::{format_table, measure_slowdowns, SlowdownRow};
-use dbt_workloads::{suite, WorkloadSize};
+use dbt_bench::{exec_options, registry_from_args};
+use dbt_lab::{format_table, run_sweep};
 
 fn main() {
-    let size = if std::env::args().any(|a| a == "--mini") {
-        WorkloadSize::Mini
-    } else {
-        WorkloadSize::Small
-    };
-    let mut rows: Vec<SlowdownRow> = Vec::new();
-    for workload in suite(size) {
-        eprintln!("measuring {} ...", workload.name);
-        match measure_slowdowns(workload.name, &workload.program) {
-            Ok(row) => rows.push(row),
-            Err(e) => eprintln!("  skipped ({e})"),
-        }
-    }
-    // The paper also reports the two attack applications in Figure 4.
-    let secret = b"GhostBusters";
-    for (name, program) in [
-        ("spectre-v1", dbt_attacks::spectre_v1::build(secret).expect("v1 assembles")),
-        ("spectre-v4", dbt_attacks::spectre_v4::build(secret).expect("v4 assembles")),
-    ] {
-        eprintln!("measuring {name} ...");
-        match measure_slowdowns(name, &program) {
-            Ok(row) => rows.push(row),
-            Err(e) => eprintln!("  skipped ({e})"),
-        }
+    let registry = registry_from_args();
+    let sweep = registry.find("figure4").expect("figure4 sweep is registered");
+    let report = run_sweep(&sweep.name, &sweep.expand(), exec_options());
+    for (name, error) in report.failures() {
+        eprintln!("skipped {name} ({error})");
     }
     println!("Figure 4 — slowdown vs. unsafe execution (100% = no slowdown)\n");
-    println!("{}", format_table(&rows));
+    println!("{}", format_table(&report.slowdown_rows()));
 }

@@ -2,23 +2,20 @@
 //! when the Spectre pattern is frequent (double indirections in the hot
 //! loop), the fine-grained countermeasure stays cheap while the fence-based
 //! one pays a visible penalty.
+//!
+//! This is a thin view over the `ptr-matmul` sweep declared in
+//! [`dbt_lab::Registry::standard`], run on the parallel executor.
 
-use dbt_bench::{format_table, measure_slowdowns};
-use dbt_workloads::{pointer_matmul, suite, WorkloadSize};
+use dbt_bench::{exec_options, registry_from_args};
+use dbt_lab::{format_table, run_sweep};
 
 fn main() {
-    let size = if std::env::args().any(|a| a == "--mini") {
-        WorkloadSize::Mini
-    } else {
-        WorkloadSize::Small
-    };
-    let mut rows = Vec::new();
-    // Plain gemm as the reference shape, then the pointer-array variant.
-    if let Some(gemm) = suite(size).into_iter().find(|w| w.name == "gemm") {
-        rows.push(measure_slowdowns("gemm (flat)", &gemm.program).expect("gemm measurement"));
+    let registry = registry_from_args();
+    let sweep = registry.find("ptr-matmul").expect("ptr-matmul sweep is registered");
+    let report = run_sweep(&sweep.name, &sweep.expand(), exec_options());
+    for (name, error) in report.failures() {
+        eprintln!("skipped {name} ({error})");
     }
-    let ptr = pointer_matmul(size);
-    rows.push(measure_slowdowns("gemm (ptr rows)", &ptr.program).expect("ptr-matmul measurement"));
     println!("Pointer-array matrix multiplication — slowdown vs. unsafe execution\n");
-    println!("{}", format_table(&rows));
+    println!("{}", format_table(&report.slowdown_rows()));
 }

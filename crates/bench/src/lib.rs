@@ -1,4 +1,5 @@
-//! Shared helpers for the evaluation harness.
+//! Paper-artifact binaries for the evaluation, as thin declarations over
+//! the [`dbt_lab`] sweep engine.
 //!
 //! The four binaries in `src/bin/` regenerate the paper's evaluation:
 //!
@@ -11,74 +12,56 @@
 //!   experiment (fine-grained vs fence when the Spectre pattern is common);
 //! * `ablation` — design-choice check: how much each speculation mechanism
 //!   contributes on its own.
+//!
+//! Each binary looks its sweep up in [`dbt_lab::Registry::standard`] and
+//! runs it through the parallel executor; measurement and formatting live
+//! in `dbt-lab`. The historic helpers ([`measure_slowdowns`],
+//! [`format_table`], [`SlowdownRow`]) are re-exported from there for
+//! backwards compatibility.
 
-use dbt_platform::{run_program, PlatformConfig, PlatformError};
-use dbt_riscv::Program;
-use ghostbusters::MitigationPolicy;
+pub use dbt_lab::{format_table, measure_slowdowns, SlowdownRow};
 
-/// One row of a slowdown table.
-#[derive(Debug, Clone)]
-pub struct SlowdownRow {
-    /// Workload name.
-    pub name: String,
-    /// Cycles of the unprotected baseline.
-    pub baseline_cycles: u64,
-    /// Slowdown (relative execution time, 1.0 = baseline) per policy, in the
-    /// order of [`MitigationPolicy::ALL`].
-    pub slowdown: [f64; 4],
+use dbt_lab::{ExecOptions, Registry};
+use dbt_workloads::WorkloadSize;
+
+/// Problem size selected by the shared `--mini` flag of the bench binaries.
+pub fn size_from_args() -> WorkloadSize {
+    if std::env::args().any(|a| a == "--mini") {
+        WorkloadSize::Mini
+    } else {
+        WorkloadSize::Small
+    }
 }
 
-/// Measures one workload under every mitigation policy.
-///
-/// # Errors
-///
-/// Propagates platform errors (translation faults, budget exhaustion).
-pub fn measure_slowdowns(name: &str, program: &Program) -> Result<SlowdownRow, PlatformError> {
-    let mut cycles = [0u64; 4];
-    for (i, policy) in MitigationPolicy::ALL.iter().enumerate() {
-        cycles[i] = run_program(program, PlatformConfig::for_policy(*policy))?.cycles;
-    }
-    let baseline = cycles[0].max(1);
-    let mut slowdown = [0.0; 4];
-    for i in 0..4 {
-        slowdown[i] = cycles[i] as f64 / baseline as f64;
-    }
-    Ok(SlowdownRow { name: name.to_string(), baseline_cycles: cycles[0], slowdown })
+/// The registry at the size selected on the command line.
+pub fn registry_from_args() -> Registry {
+    Registry::standard(size_from_args())
 }
 
-/// Formats a slowdown table in the layout of the paper's Figure 4.
-pub fn format_table(rows: &[SlowdownRow]) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:<12} {:>12} {:>14} {:>10} {:>16}",
-        "kernel", "unsafe (cyc)", "our approach", "fence", "no speculation"
-    );
-    let mut sums = [0.0f64; 4];
-    for row in rows {
-        let _ = writeln!(
-            out,
-            "{:<12} {:>12} {:>13.1}% {:>9.1}% {:>15.1}%",
-            row.name,
-            row.baseline_cycles,
-            row.slowdown[1] * 100.0,
-            row.slowdown[2] * 100.0,
-            row.slowdown[3] * 100.0,
-        );
-        for i in 0..4 {
-            sums[i] += row.slowdown[i];
-        }
+/// Executor options for the bench binaries: auto thread count, per-job
+/// progress on stderr (like the historic `measuring <kernel> ...` lines).
+pub fn exec_options() -> ExecOptions {
+    ExecOptions { threads: 0, verbose: true }
+}
+
+/// Shared timing helper for the `harness = false` benches (criterion is not
+/// available in the build environment): a couple of warm-up iterations, then
+/// the median wall-clock time of a small sample. Returns
+/// `(median microseconds, last simulated cycle count)`.
+pub fn median_micros(mut f: impl FnMut() -> u64) -> (u128, u64) {
+    const WARMUP: usize = 2;
+    const SAMPLES: usize = 10;
+    let mut cycles = 0;
+    for _ in 0..WARMUP {
+        cycles = f();
     }
-    let n = rows.len().max(1) as f64;
-    let _ = writeln!(
-        out,
-        "{:<12} {:>12} {:>13.1}% {:>9.1}% {:>15.1}%",
-        "geo-mean*", "",
-        sums[1] / n * 100.0,
-        sums[2] / n * 100.0,
-        sums[3] / n * 100.0,
-    );
-    let _ = writeln!(out, "(* arithmetic mean of relative execution times, as in the paper's text)");
-    out
+    let mut times: Vec<u128> = (0..SAMPLES)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            cycles = f();
+            start.elapsed().as_micros()
+        })
+        .collect();
+    times.sort_unstable();
+    (times[SAMPLES / 2], cycles)
 }

@@ -96,22 +96,17 @@ mod tests {
         let c = CacheConfig::default();
         assert_eq!(c.set_index(0x1000), c.set_index(0x103f));
         assert_eq!(c.tag(0x1000), c.tag(0x103f));
-        assert_ne!(
-            (c.set_index(0x1000), c.tag(0x1000)),
-            (c.set_index(0x1040), c.tag(0x1040))
-        );
+        assert_ne!((c.set_index(0x1000), c.tag(0x1000)), (c.set_index(0x1040), c.tag(0x1040)));
     }
 
     #[test]
     fn invalid_configs_detected() {
-        let mut c = CacheConfig::default();
-        c.line_size = 48;
+        let c = CacheConfig { line_size: 48, ..CacheConfig::default() };
         assert!(!c.is_valid());
         let mut c = CacheConfig::default();
         c.miss_latency = c.hit_latency;
         assert!(!c.is_valid());
-        let mut c = CacheConfig::default();
-        c.ways = 0;
+        let c = CacheConfig { ways: 0, ..CacheConfig::default() };
         assert!(!c.is_valid());
     }
 }

@@ -26,7 +26,11 @@ pub enum LatencyClass {
 /// let classes = classify_latencies(&[2, 60, 3], 2, 60);
 /// assert_eq!(classes, vec![LatencyClass::Hit, LatencyClass::Miss, LatencyClass::Hit]);
 /// ```
-pub fn classify_latencies(latencies: &[u64], hit_latency: u64, miss_latency: u64) -> Vec<LatencyClass> {
+pub fn classify_latencies(
+    latencies: &[u64],
+    hit_latency: u64,
+    miss_latency: u64,
+) -> Vec<LatencyClass> {
     let threshold = hit_latency + (miss_latency - hit_latency) / 2;
     latencies
         .iter()
@@ -55,11 +59,8 @@ pub fn recover_byte(latencies: &[u64], hit_latency: u64, miss_latency: u64) -> O
         return None;
     }
     let classes = classify_latencies(latencies, hit_latency, miss_latency);
-    let (best_index, best_latency) = latencies
-        .iter()
-        .enumerate()
-        .min_by_key(|(_, &l)| l)
-        .expect("non-empty latencies");
+    let (best_index, best_latency) =
+        latencies.iter().enumerate().min_by_key(|(_, &l)| l).expect("non-empty latencies");
     if classes[best_index] == LatencyClass::Miss {
         return None;
     }

@@ -131,7 +131,11 @@ mod tests {
             24,
             6,
         );
-        b.push(IrOp::Load { width: MemWidth::BYTE_U, base: Operand::Value(addr2), offset: 0 }, 28, 7);
+        b.push(
+            IrOp::Load { width: MemWidth::BYTE_U, base: Operand::Value(addr2), offset: 0 },
+            28,
+            7,
+        );
         b.push(IrOp::Jump { target: 0x30 }, 32, 8);
         b
     }
@@ -195,8 +199,13 @@ mod tests {
         let mut b = IrBlock::new(0, BlockKind::Basic);
         let a_base = b.push(IrOp::Const(0x1000), 0, 0);
         let b_base = b.push(IrOp::Const(0x2000), 0, 0);
-        let x = b.push(IrOp::Load { width: MemWidth::DOUBLE, base: Operand::Value(a_base), offset: 0 }, 4, 1);
-        let y = b.push(IrOp::Alu { op: AluOp::Add, a: Operand::Value(x), b: Operand::Imm(1) }, 8, 2);
+        let x = b.push(
+            IrOp::Load { width: MemWidth::DOUBLE, base: Operand::Value(a_base), offset: 0 },
+            4,
+            1,
+        );
+        let y =
+            b.push(IrOp::Alu { op: AluOp::Add, a: Operand::Value(x), b: Operand::Imm(1) }, 8, 2);
         b.push(
             IrOp::Store {
                 width: MemWidth::DOUBLE,
@@ -207,7 +216,11 @@ mod tests {
             12,
             3,
         );
-        let z = b.push(IrOp::Load { width: MemWidth::DOUBLE, base: Operand::Value(b_base), offset: 8 }, 16, 4);
+        let z = b.push(
+            IrOp::Load { width: MemWidth::DOUBLE, base: Operand::Value(b_base), offset: 8 },
+            16,
+            4,
+        );
         b.push(IrOp::WriteReg { reg: Reg::A1, value: Operand::Value(z) }, 16, 4);
         b.push(IrOp::Jump { target: 0x20 }, 20, 5);
 

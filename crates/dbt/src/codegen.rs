@@ -126,7 +126,7 @@ pub fn generate(
     }
     // Drop empty bundles at the end (a fence-only cycle, for example), but
     // keep interior ones so relative cycle counts stay meaningful.
-    while bundles.last().map_or(false, |b| b.slots.is_empty()) {
+    while bundles.last().is_some_and(|b| b.slots.is_empty()) {
         bundles.pop();
     }
 
@@ -136,12 +136,7 @@ pub fn generate(
         .filter_map(|inst| lower(block, graph, schedule, alloc, inst.id, true))
         .collect();
 
-    let guest_inst_count = block
-        .insts()
-        .iter()
-        .map(|i| i.original_seq + 1)
-        .max()
-        .unwrap_or(0);
+    let guest_inst_count = block.insts().iter().map(|i| i.original_seq + 1).max().unwrap_or(0);
 
     TranslatedBlock {
         entry_pc: block.entry_pc(),
@@ -165,7 +160,11 @@ mod tests {
     fn v4_like_block() -> IrBlock {
         let mut b = IrBlock::new(0x40, BlockKind::Basic);
         let slow = b.push(
-            IrOp::Alu { op: AluOp::Div, a: IrOperand::LiveIn(Reg::A2), b: IrOperand::LiveIn(Reg::A3) },
+            IrOp::Alu {
+                op: AluOp::Div,
+                a: IrOperand::LiveIn(Reg::A2),
+                b: IrOperand::LiveIn(Reg::A3),
+            },
             0x3c,
             0,
         );
@@ -180,13 +179,21 @@ mod tests {
             1,
         );
         let c = b.push(IrOp::Const(0x2000), 0x44, 2);
-        let v = b.push(IrOp::Load { width: MemWidth::DOUBLE, base: IrOperand::Value(c), offset: 0 }, 0x44, 2);
+        let v = b.push(
+            IrOp::Load { width: MemWidth::DOUBLE, base: IrOperand::Value(c), offset: 0 },
+            0x44,
+            2,
+        );
         let addr = b.push(
             IrOp::Alu { op: AluOp::Add, a: IrOperand::Value(v), b: IrOperand::Imm(0x3000) },
             0x48,
             3,
         );
-        let leak = b.push(IrOp::Load { width: MemWidth::BYTE_U, base: IrOperand::Value(addr), offset: 0 }, 0x48, 3);
+        let leak = b.push(
+            IrOp::Load { width: MemWidth::BYTE_U, base: IrOperand::Value(addr), offset: 0 },
+            0x48,
+            3,
+        );
         b.push(IrOp::WriteReg { reg: Reg::A1, value: IrOperand::Value(leak) }, 0x48, 3);
         b.push(IrOp::Jump { target: 0x4c }, 0x4c, 4);
         b
@@ -235,16 +242,10 @@ mod tests {
         )));
         assert!(matches!(translated.recovery.last(), Some(Op::Jump { .. })));
         // Recovery preserves original order: the store comes before the loads.
-        let store_pos = translated
-            .recovery
-            .iter()
-            .position(|op| matches!(op, Op::Store { .. }))
-            .unwrap();
-        let load_pos = translated
-            .recovery
-            .iter()
-            .position(|op| matches!(op, Op::Load { .. }))
-            .unwrap();
+        let store_pos =
+            translated.recovery.iter().position(|op| matches!(op, Op::Store { .. })).unwrap();
+        let load_pos =
+            translated.recovery.iter().position(|op| matches!(op, Op::Load { .. })).unwrap();
         assert!(store_pos < load_pos);
     }
 

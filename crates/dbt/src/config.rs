@@ -115,11 +115,9 @@ mod tests {
 
     #[test]
     fn invalid_ranges_are_detected() {
-        let mut c = DbtConfig::default();
-        c.branch_bias_threshold = 0.2;
+        let c = DbtConfig { branch_bias_threshold: 0.2, ..DbtConfig::default() };
         assert!(!c.is_valid());
-        let mut c = DbtConfig::default();
-        c.issue_width = 0;
+        let c = DbtConfig { issue_width: 0, ..DbtConfig::default() };
         assert!(!c.is_valid());
     }
 }

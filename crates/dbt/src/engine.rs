@@ -162,7 +162,8 @@ impl DbtEngine {
         // hence nothing for the mitigation to analyse. Only optimised
         // superblocks speculate and go through GhostBusters.
         let optimised = matches!(kind, BlockKind::Superblock { .. });
-        let options = if optimised { self.config.speculation } else { DfgOptions::no_speculation() };
+        let options =
+            if optimised { self.config.speculation } else { DfgOptions::no_speculation() };
         let mut graph = DepGraph::build(&block, options);
         if optimised {
             let report = apply(&block, &mut graph, self.config.policy);
@@ -201,7 +202,11 @@ impl DbtEngine {
     ///
     /// Returns a [`DbtError`] if guest code cannot be fetched, decoded or
     /// translated.
-    pub fn block_for(&mut self, pc: u64, mem: &GuestMemory) -> Result<Arc<TranslatedBlock>, DbtError> {
+    pub fn block_for(
+        &mut self,
+        pc: u64,
+        mem: &GuestMemory,
+    ) -> Result<Arc<TranslatedBlock>, DbtError> {
         if let Some((block, Tier::Optimized)) = self.tcache.lookup(pc) {
             return Ok(block);
         }

@@ -52,7 +52,11 @@ mod tests {
     fn values_get_dense_unique_registers() {
         let mut b = IrBlock::new(0, BlockKind::Basic);
         let c = b.push(IrOp::Const(1), 0, 0);
-        let l = b.push(IrOp::Load { width: MemWidth::DOUBLE, base: Operand::Value(c), offset: 0 }, 4, 1);
+        let l = b.push(
+            IrOp::Load { width: MemWidth::DOUBLE, base: Operand::Value(c), offset: 0 },
+            4,
+            1,
+        );
         b.push(IrOp::WriteReg { reg: Reg::A0, value: Operand::Value(l) }, 4, 1);
         b.push(IrOp::Halt, 8, 2);
         let alloc = RegAlloc::allocate(&b);

@@ -94,7 +94,11 @@ fn latency(op: &IrOp) -> u64 {
 ///
 /// Returns [`ScheduleError::NoProgress`] if the hard-edge graph contains a
 /// cycle, which cannot happen for graphs built by [`DepGraph::build`].
-pub fn schedule(block: &IrBlock, graph: &DepGraph, issue_width: usize) -> Result<Schedule, ScheduleError> {
+pub fn schedule(
+    block: &IrBlock,
+    graph: &DepGraph,
+    issue_width: usize,
+) -> Result<Schedule, ScheduleError> {
     let n = block.len();
     let hard_edges: Vec<_> = graph.edges().iter().filter(|e| !e.relaxable).collect();
 
@@ -173,13 +177,12 @@ pub fn schedule(block: &IrBlock, graph: &DepGraph, issue_width: usize) -> Result
                         match placements[e.from.index()] {
                             None => false,
                             Some(p) => match e.kind {
-                                DepKind::Data => {
-                                    cycle >= p.cycle + latency(&block.inst(e.from).op)
-                                }
+                                DepKind::Data => cycle >= p.cycle + latency(&block.inst(e.from).op),
                                 _ => {
                                     let from_is_exit = block.inst(e.from).op.is_side_exit();
-                                    let involves_rdcycle = matches!(block.inst(e.from).op, IrOp::RdCycle)
-                                        || matches!(block.inst(InstId(i)).op, IrOp::RdCycle);
+                                    let involves_rdcycle =
+                                        matches!(block.inst(e.from).op, IrOp::RdCycle)
+                                            || matches!(block.inst(InstId(i)).op, IrOp::RdCycle);
                                     if from_is_exit || involves_rdcycle {
                                         // Taken exits must not share a cycle
                                         // with later commits, and timed memory
@@ -199,7 +202,9 @@ pub fn schedule(block: &IrBlock, graph: &DepGraph, issue_width: usize) -> Result
                     })
                 })
                 .collect();
-            candidates.sort_by_key(|&i| (std::cmp::Reverse(priority[i]), block.inst(InstId(i)).original_seq, i));
+            candidates.sort_by_key(|&i| {
+                (std::cmp::Reverse(priority[i]), block.inst(InstId(i)).original_seq, i)
+            });
             if let Some(&chosen) = candidates.first() {
                 placements[chosen] = Some(Placement { cycle, slot });
                 scheduled_count += 1;
@@ -225,7 +230,8 @@ pub fn schedule(block: &IrBlock, graph: &DepGraph, issue_width: usize) -> Result
         }
     }
 
-    let placements: Vec<Placement> = placements.into_iter().map(|p| p.expect("all scheduled")).collect();
+    let placements: Vec<Placement> =
+        placements.into_iter().map(|p| p.expect("all scheduled")).collect();
     let cycles = placements.iter().map(|p| p.cycle).max().map_or(0, |c| c + 1);
     Ok(Schedule { placements, cycles })
 }
@@ -258,13 +264,21 @@ mod tests {
             1,
         );
         let c = b.push(IrOp::Const(0x2000), 8, 2);
-        let a = b.push(IrOp::Load { width: MemWidth::DOUBLE, base: Operand::Value(c), offset: 0 }, 8, 2);
+        let a = b.push(
+            IrOp::Load { width: MemWidth::DOUBLE, base: Operand::Value(c), offset: 0 },
+            8,
+            2,
+        );
         let addr = b.push(
             IrOp::Alu { op: AluOp::Add, a: Operand::Value(a), b: Operand::Imm(0x3000) },
             12,
             3,
         );
-        let l = b.push(IrOp::Load { width: MemWidth::BYTE_U, base: Operand::Value(addr), offset: 0 }, 12, 3);
+        let l = b.push(
+            IrOp::Load { width: MemWidth::BYTE_U, base: Operand::Value(addr), offset: 0 },
+            12,
+            3,
+        );
         b.push(IrOp::WriteReg { reg: Reg::A1, value: Operand::Value(l) }, 12, 3);
         b.push(IrOp::Halt, 16, 4);
         b

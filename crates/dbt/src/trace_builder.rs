@@ -58,23 +58,27 @@ fn fetch(mem: &GuestMemory, pc: u64) -> Result<Inst, DbtError> {
 /// # Errors
 ///
 /// Returns [`DbtError`] if an instruction cannot be fetched or decoded.
-pub fn build_basic_block(mem: &GuestMemory, entry_pc: u64, config: &DbtConfig) -> Result<GuestPath, DbtError> {
+pub fn build_basic_block(
+    mem: &GuestMemory,
+    entry_pc: u64,
+    config: &DbtConfig,
+) -> Result<GuestPath, DbtError> {
     let mut elements = Vec::new();
     let mut pc = entry_pc;
     loop {
         if elements.len() >= config.max_trace_guest_insts {
-            return Ok(GuestPath {
-                entry_pc,
-                elements,
-                fallthrough: Some(pc),
-                merged_blocks: 1,
-            });
+            return Ok(GuestPath { entry_pc, elements, fallthrough: Some(pc), merged_blocks: 1 });
         }
         let inst = fetch(mem, pc)?;
         match inst {
             Inst::Branch { .. } => {
                 elements.push(PathElement { pc, inst, follow_taken: None });
-                return Ok(GuestPath { entry_pc, elements, fallthrough: Some(pc + 4), merged_blocks: 1 });
+                return Ok(GuestPath {
+                    entry_pc,
+                    elements,
+                    fallthrough: Some(pc + 4),
+                    merged_blocks: 1,
+                });
             }
             Inst::Jal { offset, .. } => {
                 elements.push(PathElement { pc, inst, follow_taken: None });
@@ -153,7 +157,12 @@ pub fn build_superblock(
                     merged_blocks += 1;
                     pc = target;
                 } else {
-                    return Ok(GuestPath { entry_pc, elements, fallthrough: Some(target), merged_blocks });
+                    return Ok(GuestPath {
+                        entry_pc,
+                        elements,
+                        fallthrough: Some(target),
+                        merged_blocks,
+                    });
                 }
             }
             Inst::Jalr { .. } | Inst::Ecall | Inst::Ebreak => {

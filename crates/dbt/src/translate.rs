@@ -72,7 +72,7 @@ pub fn translate_path(path: &GuestPath, kind: BlockKind) -> IrBlock {
 
     for (seq, element) in path.elements.iter().enumerate() {
         let pc = element.pc;
-        let mut define = |block: &mut IrBlock, regs: &mut RegMap, rd: Reg, op: IrOp| {
+        let define = |block: &mut IrBlock, regs: &mut RegMap, rd: Reg, op: IrOp| {
             let id: InstId = block.push(op, pc, seq);
             if !rd.is_zero() {
                 block.push(IrOp::WriteReg { reg: rd, value: Operand::Value(id) }, pc, seq);
@@ -96,7 +96,12 @@ pub fn translate_path(path: &GuestPath, kind: BlockKind) -> IrBlock {
             }
             Inst::AluImm { op, rd, rs1, imm } => {
                 let a = regs.read(rs1);
-                define(&mut block, &mut regs, rd, IrOp::Alu { op: alu_of_imm(op), a, b: Operand::Imm(imm) });
+                define(
+                    &mut block,
+                    &mut regs,
+                    rd,
+                    IrOp::Alu { op: alu_of_imm(op), a, b: Operand::Imm(imm) },
+                );
             }
             Inst::Load { width, rd, rs1, offset } => {
                 let base = regs.read(rs1);
@@ -150,7 +155,11 @@ pub fn translate_path(path: &GuestPath, kind: BlockKind) -> IrBlock {
             }
             Inst::Jalr { rd, rs1, offset } => {
                 let base = regs.read(rs1);
-                let target = block.push(IrOp::Alu { op: AluOp::Add, a: base, b: Operand::Imm(offset) }, pc, seq);
+                let target = block.push(
+                    IrOp::Alu { op: AluOp::Add, a: base, b: Operand::Imm(offset) },
+                    pc,
+                    seq,
+                );
                 if !rd.is_zero() {
                     let link = block.push(IrOp::Const((pc + 4) as i64), pc, seq);
                     block.push(IrOp::WriteReg { reg: rd, value: Operand::Value(link) }, pc, seq);
@@ -214,11 +223,8 @@ mod tests {
         assert_eq!(block.loads().len(), 1);
         assert_eq!(block.stores().len(), 1);
         // Every register write has a commit.
-        let commits = block
-            .insts()
-            .iter()
-            .filter(|i| matches!(i.op, IrOp::WriteReg { .. }))
-            .count();
+        let commits =
+            block.insts().iter().filter(|i| matches!(i.op, IrOp::WriteReg { .. })).count();
         assert!(commits >= 4);
         assert!(matches!(block.insts().last().unwrap().op, IrOp::Halt));
     }
@@ -239,11 +245,7 @@ mod tests {
             .collect();
         assert!(adds.len() >= 2);
         let last_add = adds.last().unwrap();
-        assert!(last_add
-            .op
-            .operands()
-            .iter()
-            .any(|o| matches!(o, Operand::Value(_))));
+        assert!(last_add.op.operands().iter().any(|o| matches!(o, Operand::Value(_))));
     }
 
     #[test]
@@ -282,7 +284,8 @@ mod tests {
             profile.record_branch(branch_pc, true);
         }
         let trace = build_superblock(&mem, program.entry(), &profile, &config).unwrap();
-        let block = translate_path(&trace, BlockKind::Superblock { merged_blocks: trace.merged_blocks });
+        let block =
+            translate_path(&trace, BlockKind::Superblock { merged_blocks: trace.merged_blocks });
         assert_eq!(block.validate(), Ok(()));
         let exit = block.side_exits()[0];
         match &block.inst(exit).op {
@@ -295,10 +298,7 @@ mod tests {
             other => panic!("expected side exit, got {other:?}"),
         }
         // The skipped `li a0, 1` must not be part of the trace.
-        assert!(block.insts().iter().all(|i| !matches!(
-            i.op,
-            IrOp::WriteReg { reg: Reg::A0, .. }
-        )));
+        assert!(block.insts().iter().all(|i| !matches!(i.op, IrOp::WriteReg { reg: Reg::A0, .. })));
         assert!(matches!(block.insts().last().unwrap().op, IrOp::Halt));
     }
 
@@ -311,10 +311,7 @@ mod tests {
         let block = block_for(asm);
         assert_eq!(block.validate(), Ok(()));
         assert!(matches!(block.insts().last().unwrap().op, IrOp::JumpIndirect { .. }));
-        assert!(block
-            .insts()
-            .iter()
-            .any(|i| matches!(i.op, IrOp::WriteReg { reg: Reg::RA, .. })));
+        assert!(block.insts().iter().any(|i| matches!(i.op, IrOp::WriteReg { reg: Reg::RA, .. })));
     }
 
     #[test]

@@ -185,7 +185,11 @@ mod tests {
             0x1004,
             1,
         );
-        let l = b.push(IrOp::Load { width: MemWidth::DOUBLE, base: Operand::Value(a), offset: 0 }, 0x1008, 2);
+        let l = b.push(
+            IrOp::Load { width: MemWidth::DOUBLE, base: Operand::Value(a), offset: 0 },
+            0x1008,
+            2,
+        );
         b.push(IrOp::WriteReg { reg: Reg::A1, value: Operand::Value(l) }, 0x1008, 2);
         b.push(
             IrOp::Store {

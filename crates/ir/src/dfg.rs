@@ -162,20 +162,27 @@ impl DepGraph {
         for inst in insts {
             for operand in inst.op.operands() {
                 if let Some(def) = operand.def() {
-                    edges.push(DepEdge { from: def, to: inst.id, kind: DepKind::Data, relaxable: false });
+                    edges.push(DepEdge {
+                        from: def,
+                        to: inst.id,
+                        kind: DepKind::Data,
+                        relaxable: false,
+                    });
                 }
             }
         }
 
         // Memory dependencies.
         for (i, earlier) in insts.iter().enumerate() {
-            let earlier_writes = earlier.op.is_store() || matches!(earlier.op, IrOp::CacheFlush { .. });
+            let earlier_writes =
+                earlier.op.is_store() || matches!(earlier.op, IrOp::CacheFlush { .. });
             let earlier_reads = earlier.op.is_load();
             if !earlier_writes && !earlier_reads {
                 continue;
             }
             for later in &insts[i + 1..] {
-                let later_writes = later.op.is_store() || matches!(later.op, IrOp::CacheFlush { .. });
+                let later_writes =
+                    later.op.is_store() || matches!(later.op, IrOp::CacheFlush { .. });
                 let later_reads = later.op.is_load();
                 if !later_writes && !later_reads {
                     continue;
@@ -267,7 +274,12 @@ impl DepGraph {
         for inst in insts {
             if inst.op.is_committing() || matches!(inst.op, IrOp::RdCycle) {
                 if let Some(prev) = previous {
-                    edges.push(DepEdge { from: prev, to: inst.id, kind: DepKind::Order, relaxable: false });
+                    edges.push(DepEdge {
+                        from: prev,
+                        to: inst.id,
+                        kind: DepKind::Order,
+                        relaxable: false,
+                    });
                 }
                 previous = Some(inst.id);
             }
@@ -458,9 +470,7 @@ mod tests {
         let last_load = *block.loads().last().unwrap();
         assert!(graph.is_speculation_candidate(last_load));
         assert_eq!(graph.harden(store, last_load), 1);
-        assert!(graph
-            .preds(last_load)
-            .all(|e| e.from != store || !e.relaxable));
+        assert!(graph.preds(last_load).all(|e| e.from != store || !e.relaxable));
     }
 
     #[test]
@@ -483,7 +493,11 @@ mod tests {
             8,
             2,
         );
-        let load = b.push(IrOp::Load { width: MemWidth::BYTE_U, base: Operand::Value(addr), offset: 0 }, 12, 3);
+        let load = b.push(
+            IrOp::Load { width: MemWidth::BYTE_U, base: Operand::Value(addr), offset: 0 },
+            12,
+            3,
+        );
         b.push(IrOp::WriteReg { reg: Reg::A1, value: Operand::Value(load) }, 12, 3);
         b.push(IrOp::Jump { target: 0x10 }, 16, 4);
         assert_eq!(b.validate(), Ok(()));
@@ -494,7 +508,8 @@ mod tests {
             .preds(load)
             .any(|e| e.from == exit && e.kind == DepKind::Control && e.relaxable));
 
-        let graph = DepGraph::build(&b, DfgOptions { branch_speculation: false, memory_speculation: true });
+        let graph =
+            DepGraph::build(&b, DfgOptions { branch_speculation: false, memory_speculation: true });
         assert!(graph
             .preds(load)
             .any(|e| e.from == exit && e.kind == DepKind::Control && !e.relaxable));
@@ -502,9 +517,7 @@ mod tests {
         // The register commit is protected by the order chain, not by a
         // relaxable control edge.
         let commit = InstId(5);
-        assert!(DepGraph::build(&b, DfgOptions::aggressive())
-            .preds(commit)
-            .all(|e| !e.relaxable));
+        assert!(DepGraph::build(&b, DfgOptions::aggressive()).preds(commit).all(|e| !e.relaxable));
     }
 
     #[test]
@@ -595,8 +608,6 @@ mod tests {
         b.push(IrOp::Halt, 8, 2);
         let graph = DepGraph::build(&b, DfgOptions::aggressive());
         // store→store must never be relaxable.
-        assert!(graph
-            .preds(s2)
-            .any(|e| e.from == s1 && !e.relaxable));
+        assert!(graph.preds(s2).any(|e| e.from == s1 && !e.relaxable));
     }
 }

@@ -72,7 +72,12 @@ mod tests {
             1,
         );
         block.push(
-            IrOp::Store { width: MemWidth::DOUBLE, value: Operand::Value(l), base: Operand::Value(c), offset: 8 },
+            IrOp::Store {
+                width: MemWidth::DOUBLE,
+                value: Operand::Value(l),
+                base: Operand::Value(c),
+                offset: 8,
+            },
             8,
             2,
         );

@@ -1,8 +1,8 @@
 //! IR instructions.
 
 use crate::value::{InstId, Operand};
-use dbt_riscv::{BranchCond, Reg};
 use dbt_riscv::inst::AluOp;
+use dbt_riscv::{BranchCond, Reg};
 use std::fmt;
 
 /// Width of an IR memory access, with sign-extension information for loads.
@@ -63,10 +63,7 @@ pub enum IrOp {
 impl IrOp {
     /// Returns `true` if the operation produces a value.
     pub fn produces_value(&self) -> bool {
-        matches!(
-            self,
-            IrOp::Const(_) | IrOp::Alu { .. } | IrOp::Load { .. } | IrOp::RdCycle
-        )
+        matches!(self, IrOp::Const(_) | IrOp::Alu { .. } | IrOp::Load { .. } | IrOp::RdCycle)
     }
 
     /// Returns `true` for loads.

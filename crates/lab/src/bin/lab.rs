@@ -1,0 +1,184 @@
+//! The `lab` CLI: list, run and sweep the declared scenarios.
+//!
+//! ```sh
+//! cargo run --release -p dbt-lab -- list
+//! cargo run --release -p dbt-lab -- run figure4/gemm/our-approach/default
+//! cargo run --release -p dbt-lab -- sweep                 # every sweep
+//! cargo run --release -p dbt-lab -- sweep figure4 --size small --threads 8
+//! ```
+//!
+//! `sweep` writes one `BENCH_<sweep>.json` per sweep (stable bytes, diffable
+//! across PRs) next to the human tables on stdout.
+
+use dbt_lab::{
+    format_attack_table, format_table, format_variant_table, run_sweep, ExecOptions, Registry,
+    ScenarioKind,
+};
+use dbt_workloads::WorkloadSize;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    positional: Vec<String>,
+    size: WorkloadSize,
+    threads: usize,
+    json_dir: Option<String>,
+    quiet: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: lab <command> [options]\n\
+     \n\
+     commands:\n\
+     \x20 list                     list declared sweeps and their scenarios\n\
+     \x20 run <scenario>           run one scenario by full name\n\
+     \x20 sweep [name ...]         run the named sweeps (default: all)\n\
+     \n\
+     options:\n\
+     \x20 --size mini|small        problem-size preset (default: mini)\n\
+     \x20 --threads N              worker threads (default: one per CPU)\n\
+     \x20 --json-dir DIR           write BENCH_<sweep>.json files to DIR\n\
+     \x20 --quiet                  no per-job progress on stderr\n"
+}
+
+fn parse(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        command: args.first().cloned().ok_or_else(|| "missing command".to_string())?,
+        positional: Vec::new(),
+        size: WorkloadSize::Mini,
+        threads: 0,
+        json_dir: None,
+        quiet: false,
+    };
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--size" => {
+                parsed.size = match it.next().map(String::as_str) {
+                    Some("mini") => WorkloadSize::Mini,
+                    Some("small") => WorkloadSize::Small,
+                    other => return Err(format!("--size expects mini|small, got {other:?}")),
+                };
+            }
+            "--threads" => {
+                parsed.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| "--threads expects a number".to_string())?;
+            }
+            "--json-dir" => {
+                parsed.json_dir =
+                    Some(it.next().ok_or_else(|| "--json-dir expects a path".to_string())?.clone());
+            }
+            "--quiet" => parsed.quiet = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
+            positional => parsed.positional.push(positional.to_string()),
+        }
+    }
+    Ok(parsed)
+}
+
+fn cmd_list(registry: &Registry) {
+    for sweep in registry.sweeps() {
+        println!("{} — {} ({} scenarios)", sweep.name, sweep.description, sweep.job_count());
+        for scenario in sweep.expand() {
+            println!("  {}", scenario.name);
+        }
+    }
+}
+
+fn cmd_run(registry: &Registry, args: &Args) -> Result<(), String> {
+    let name = args
+        .positional
+        .first()
+        .ok_or_else(|| "run expects a scenario name (see `lab list`)".to_string())?;
+    let scenario = registry
+        .find_scenario(name)
+        .ok_or_else(|| format!("unknown scenario `{name}` (see `lab list`)"))?;
+    let opts = ExecOptions { threads: 1, verbose: !args.quiet };
+    let report = run_sweep(name, std::slice::from_ref(&scenario), opts);
+    print!("{}", report.to_json());
+    Ok(())
+}
+
+fn cmd_sweep(registry: &Registry, args: &Args) -> Result<(), String> {
+    let sweeps: Vec<_> = if args.positional.is_empty() {
+        registry.sweeps().iter().collect()
+    } else {
+        args.positional
+            .iter()
+            .map(|name| registry.find(name).ok_or_else(|| format!("unknown sweep `{name}`")))
+            .collect::<Result<_, _>>()?
+    };
+    let opts = ExecOptions { threads: args.threads, verbose: !args.quiet };
+    let mut total_jobs = 0;
+    for sweep in sweeps {
+        let scenarios = sweep.expand();
+        if !args.quiet {
+            eprintln!(
+                "[lab] sweep `{}`: {} scenarios on {} thread(s)",
+                sweep.name,
+                scenarios.len(),
+                opts.effective_threads(scenarios.len())
+            );
+        }
+        let report = run_sweep(&sweep.name, &scenarios, opts);
+        total_jobs += report.stats.jobs;
+        for (name, error) in report.failures() {
+            eprintln!("[lab] skipped {name} ({error})");
+        }
+
+        println!("== {} — {}\n", sweep.name, sweep.description);
+        match sweep.kind {
+            // A perf sweep with one policy and several platform variants
+            // compares machines, not countermeasures — use the variant
+            // layout (e.g. the speculation ablation).
+            ScenarioKind::Perf if sweep.policies.len() == 1 && sweep.platforms.len() > 1 => {
+                println!("{}", format_variant_table(&report));
+            }
+            ScenarioKind::Perf => println!("{}", format_table(&report.slowdown_rows())),
+            ScenarioKind::Attack => println!("{}", format_attack_table(&report)),
+        }
+
+        if let Some(dir) = &args.json_dir {
+            let path = format!("{dir}/BENCH_{}.json", sweep.name);
+            std::fs::write(&path, report.to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            if !args.quiet {
+                eprintln!("[lab] wrote {path}");
+            }
+        }
+    }
+    if !args.quiet {
+        eprintln!("[lab] {total_jobs} scenario(s) executed");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse(&raw) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let registry = Registry::standard(args.size);
+    let result = match args.command.as_str() {
+        "list" => {
+            cmd_list(&registry);
+            Ok(())
+        }
+        "run" => cmd_run(&registry, &args),
+        "sweep" => cmd_sweep(&registry, &args),
+        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

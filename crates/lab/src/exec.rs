@@ -1,0 +1,396 @@
+//! The parallel sweep executor.
+//!
+//! Jobs are pulled from a shared queue by `std::thread::scope` workers;
+//! results land in the slot of their job index, so the report order is the
+//! expansion order regardless of which worker finished first. Unprotected
+//! baseline runs are deduplicated through a [`BaselineCache`] keyed by
+//! `(program, platform)`: each workload's baseline is simulated exactly
+//! once per sweep, not once per comparison.
+
+use crate::scenario::{Scenario, ScenarioKind};
+use dbt_platform::DbtProcessor;
+use ghostbusters::MitigationPolicy;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Executor knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecOptions {
+    /// Number of worker threads; `0` means one per available CPU.
+    pub threads: usize,
+    /// Print one line per finished job to stderr.
+    pub verbose: bool,
+}
+
+impl ExecOptions {
+    /// Resolves `threads == 0` to the machine's parallelism, capped by the
+    /// number of jobs (never below 1). Auto mode uses at least two workers
+    /// when there is more than one job, so the parallel path (work queue,
+    /// baseline-cache contention) is exercised even on single-CPU machines;
+    /// output is deterministic either way.
+    pub fn effective_threads(&self, jobs: usize) -> usize {
+        let auto = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .max(2);
+        let t = if self.threads == 0 { auto } else { self.threads };
+        t.min(jobs).max(1)
+    }
+}
+
+/// Raw observables of one simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimOut {
+    /// Total cycles of the run.
+    pub cycles: u64,
+    /// MCB rollbacks.
+    pub rollbacks: u64,
+    /// Guest instructions retired.
+    pub guest_insts: u64,
+    /// Spectre patterns reported by the GhostBusters analysis.
+    pub patterns: usize,
+}
+
+/// Measurements of a [`ScenarioKind::Perf`] job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfMetrics {
+    /// Cycles under the scenario's policy.
+    pub cycles: u64,
+    /// Cycles of the unprotected baseline on the same program and platform.
+    pub baseline_cycles: u64,
+    /// MCB rollbacks under the scenario's policy.
+    pub rollbacks: u64,
+    /// Guest instructions retired.
+    pub guest_insts: u64,
+    /// Spectre patterns detected by the analysis.
+    pub patterns: usize,
+}
+
+impl PerfMetrics {
+    /// Relative execution time (1.0 = baseline speed).
+    pub fn slowdown(&self) -> f64 {
+        self.cycles as f64 / self.baseline_cycles.max(1) as f64
+    }
+}
+
+/// Measurements of a [`ScenarioKind::Attack`] job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackMetrics {
+    /// The planted secret.
+    pub secret: Vec<u8>,
+    /// What the attacker read back through the side channel.
+    pub recovered: Vec<u8>,
+    /// Total cycles of the run.
+    pub cycles: u64,
+    /// MCB rollbacks.
+    pub rollbacks: u64,
+    /// Spectre patterns detected by the analysis.
+    pub patterns: usize,
+}
+
+impl AttackMetrics {
+    /// Number of secret bytes recovered correctly.
+    pub fn correct_bytes(&self) -> usize {
+        self.secret.iter().zip(&self.recovered).filter(|(a, b)| a == b).count()
+    }
+
+    /// Fraction of the secret recovered, in `[0, 1]`.
+    pub fn recovery_rate(&self) -> f64 {
+        if self.secret.is_empty() {
+            0.0
+        } else {
+            self.correct_bytes() as f64 / self.secret.len() as f64
+        }
+    }
+}
+
+/// What one job produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// Performance measurements.
+    Perf(PerfMetrics),
+    /// Attack measurements.
+    Attack(AttackMetrics),
+    /// The job failed (build error, platform fault, budget exhaustion).
+    Failed {
+        /// Human-readable cause.
+        error: String,
+    },
+}
+
+/// One finished job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// The scenario that was run.
+    pub scenario: Scenario,
+    /// What it produced.
+    pub outcome: JobOutcome,
+}
+
+/// Executor counters (all deterministic for a given job list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Number of jobs run.
+    pub jobs: usize,
+    /// Total simulations, including deduplicated baselines.
+    pub simulations: usize,
+    /// Unprotected baseline simulations (one per distinct
+    /// `(program, platform)` pair among the perf jobs).
+    pub baseline_simulations: usize,
+}
+
+/// The ordered results of one sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabReport {
+    /// Name of the sweep that was run.
+    pub sweep: String,
+    /// One result per job, in expansion order (independent of completion
+    /// order and worker count).
+    pub results: Vec<JobResult>,
+    /// Executor counters.
+    pub stats: ExecStats,
+}
+
+/// One cache entry: filled exactly once, shared between waiting workers.
+type BaselineSlot = Arc<OnceLock<Result<SimOut, String>>>;
+
+/// Deduplicates unprotected baseline simulations across a sweep.
+///
+/// Keys are [`Scenario::baseline_key`]; each key's simulation runs exactly
+/// once even when several workers ask for it concurrently (late askers block
+/// on the `OnceLock` until the first finishes).
+pub struct BaselineCache {
+    slots: Mutex<HashMap<String, BaselineSlot>>,
+    baseline_sims: AtomicUsize,
+}
+
+impl BaselineCache {
+    /// An empty cache.
+    pub fn new() -> BaselineCache {
+        BaselineCache { slots: Mutex::new(HashMap::new()), baseline_sims: AtomicUsize::new(0) }
+    }
+
+    /// Number of baseline simulations actually run.
+    pub fn simulations(&self) -> usize {
+        self.baseline_sims.load(Ordering::SeqCst)
+    }
+
+    /// Returns the cached baseline for `key`, running `simulate` (once,
+    /// globally) if it is not cached yet.
+    pub fn get_or_simulate(
+        &self,
+        key: String,
+        simulate: impl FnOnce() -> Result<SimOut, String>,
+    ) -> Result<SimOut, String> {
+        let slot =
+            self.slots.lock().expect("baseline cache poisoned").entry(key).or_default().clone();
+        slot.get_or_init(|| {
+            self.baseline_sims.fetch_add(1, Ordering::SeqCst);
+            simulate()
+        })
+        .clone()
+    }
+}
+
+impl Default for BaselineCache {
+    fn default() -> Self {
+        BaselineCache::new()
+    }
+}
+
+fn simulate(
+    program: &dbt_riscv::Program,
+    config: dbt_platform::PlatformConfig,
+    sims: &AtomicUsize,
+) -> Result<SimOut, String> {
+    sims.fetch_add(1, Ordering::SeqCst);
+    let mut processor = DbtProcessor::new(program, config).map_err(|e| e.to_string())?;
+    let summary = processor.run().map_err(|e| e.to_string())?;
+    Ok(SimOut {
+        cycles: summary.cycles,
+        rollbacks: summary.rollbacks,
+        guest_insts: summary.guest_insts,
+        patterns: processor.engine().mitigation_summary().patterns,
+    })
+}
+
+fn run_job(scenario: &Scenario, cache: &BaselineCache, sims: &AtomicUsize) -> JobOutcome {
+    let program = match scenario.program.build() {
+        Ok(p) => p,
+        Err(e) => return JobOutcome::Failed { error: e },
+    };
+    let config = scenario.platform.overrides.apply(scenario.policy);
+    match scenario.kind {
+        ScenarioKind::Perf => {
+            let baseline = cache.get_or_simulate(scenario.baseline_key(), || {
+                simulate(
+                    &program,
+                    scenario.platform.overrides.apply(MitigationPolicy::Unprotected),
+                    sims,
+                )
+            });
+            let baseline = match baseline {
+                Ok(b) => b,
+                Err(e) => return JobOutcome::Failed { error: format!("baseline: {e}") },
+            };
+            let run = if scenario.policy == MitigationPolicy::Unprotected {
+                baseline.clone()
+            } else {
+                match simulate(&program, config, sims) {
+                    Ok(r) => r,
+                    Err(e) => return JobOutcome::Failed { error: e },
+                }
+            };
+            JobOutcome::Perf(PerfMetrics {
+                cycles: run.cycles,
+                baseline_cycles: baseline.cycles,
+                rollbacks: run.rollbacks,
+                guest_insts: run.guest_insts,
+                patterns: run.patterns,
+            })
+        }
+        ScenarioKind::Attack => {
+            let Some(secret) = scenario.program.secret().map(<[u8]>::to_vec) else {
+                return JobOutcome::Failed {
+                    error: format!("`{}` is not an attack program", scenario.program_label),
+                };
+            };
+            sims.fetch_add(1, Ordering::SeqCst);
+            let outcome = (|| {
+                let mut processor =
+                    DbtProcessor::new(&program, config).map_err(|e| e.to_string())?;
+                let summary = processor.run().map_err(|e| e.to_string())?;
+                let recovered = processor
+                    .load_symbol_bytes("recovered", secret.len())
+                    .map_err(|e| e.to_string())?;
+                Ok::<_, String>(AttackMetrics {
+                    secret,
+                    recovered,
+                    cycles: summary.cycles,
+                    rollbacks: summary.rollbacks,
+                    patterns: processor.engine().mitigation_summary().patterns,
+                })
+            })();
+            match outcome {
+                Ok(metrics) => JobOutcome::Attack(metrics),
+                Err(error) => JobOutcome::Failed { error },
+            }
+        }
+    }
+}
+
+/// Runs `scenarios` on a worker pool and returns the report in expansion
+/// order.
+///
+/// Output is deterministic: the same scenario list produces the same report
+/// (and therefore byte-identical JSON) for any worker count.
+pub fn run_sweep(sweep: &str, scenarios: &[Scenario], opts: ExecOptions) -> LabReport {
+    let jobs = scenarios.len();
+    let threads = opts.effective_threads(jobs);
+    let cache = BaselineCache::new();
+    let sims = AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<JobResult>> = Vec::new();
+    slots.resize_with(jobs, || None);
+    let slots = Mutex::new(slots);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= jobs {
+                    break;
+                }
+                let scenario = &scenarios[i];
+                let outcome = run_job(scenario, &cache, &sims);
+                if opts.verbose {
+                    eprintln!("[lab] {} done", scenario.name);
+                }
+                slots.lock().expect("result slots poisoned")[i] =
+                    Some(JobResult { scenario: scenario.clone(), outcome });
+            });
+        }
+    });
+
+    let results: Vec<JobResult> = slots
+        .into_inner()
+        .expect("result slots poisoned")
+        .into_iter()
+        .map(|r| r.expect("every job slot must be filled"))
+        .collect();
+    LabReport {
+        sweep: sweep.to_string(),
+        results,
+        stats: ExecStats {
+            jobs,
+            simulations: sims.load(Ordering::SeqCst),
+            baseline_simulations: cache.simulations(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Sweep;
+    use crate::scenario::ProgramSpec;
+    use dbt_workloads::WorkloadSize;
+
+    fn tiny_sweep() -> Sweep {
+        Sweep::new("tiny", "two kernels under every policy", ScenarioKind::Perf)
+            .program("gemm", ProgramSpec::Workload { name: "gemm", size: WorkloadSize::Mini })
+            .program("atax", ProgramSpec::Workload { name: "atax", size: WorkloadSize::Mini })
+    }
+
+    #[test]
+    fn baseline_is_simulated_once_per_program() {
+        let scenarios = tiny_sweep().expand();
+        let report = run_sweep("tiny", &scenarios, ExecOptions { threads: 4, verbose: false });
+        assert_eq!(report.stats.jobs, 8);
+        // 2 programs ⇒ 2 baselines; the 2×3 protected runs add one
+        // simulation each; the 2 unprotected jobs reuse the cached baseline.
+        assert_eq!(report.stats.baseline_simulations, 2);
+        assert_eq!(report.stats.simulations, 8);
+    }
+
+    #[test]
+    fn report_order_is_expansion_order_for_any_worker_count() {
+        let scenarios = tiny_sweep().expand();
+        let serial = run_sweep("tiny", &scenarios, ExecOptions { threads: 1, verbose: false });
+        let parallel = run_sweep("tiny", &scenarios, ExecOptions { threads: 4, verbose: false });
+        assert_eq!(serial.results, parallel.results);
+        for (slot, scenario) in serial.results.iter().zip(&scenarios) {
+            assert_eq!(&slot.scenario, scenario);
+        }
+    }
+
+    #[test]
+    fn unprotected_rows_have_unit_slowdown() {
+        let scenarios = tiny_sweep().expand();
+        let report = run_sweep("tiny", &scenarios, ExecOptions::default());
+        for result in &report.results {
+            let JobOutcome::Perf(metrics) = &result.outcome else {
+                panic!("{}: expected perf outcome", result.scenario.name);
+            };
+            if result.scenario.policy == MitigationPolicy::Unprotected {
+                assert_eq!(metrics.cycles, metrics.baseline_cycles);
+                assert!((metrics.slowdown() - 1.0).abs() < 1e-12);
+            } else {
+                assert!(metrics.slowdown() >= 1.0 - 1e-9, "{}", result.scenario.name);
+            }
+        }
+    }
+
+    #[test]
+    fn broken_jobs_fail_soft() {
+        let scenarios = Sweep::new("broken", "unknown kernel", ScenarioKind::Perf)
+            .program("nope", ProgramSpec::Workload { name: "nope", size: WorkloadSize::Mini })
+            .expand();
+        let report = run_sweep("broken", &scenarios, ExecOptions::default());
+        assert_eq!(report.results.len(), 4);
+        for result in &report.results {
+            assert!(matches!(result.outcome, JobOutcome::Failed { .. }));
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! **dbt-lab** — the declarative, parallel scenario-sweep engine that
+//! drives every experiment in the GhostBusters reproduction.
+//!
+//! The paper's evaluation consists of four artifacts (attack table,
+//! Figure-4 slowdowns, pointer matmul, speculation ablation). Instead of
+//! four serial one-off binaries, each artifact is declared here as a
+//! [`Sweep`] — a cartesian product of programs × mitigation policies ×
+//! platform variants — and executed by a multi-threaded work-queue
+//! executor:
+//!
+//! * [`scenario`] — the model: [`ProgramSpec`] (what to build),
+//!   [`PlatformOverrides`] (what machine to simulate), [`Scenario`]
+//!   (one concrete job);
+//! * [`registry`] — [`Registry::standard`] declares the paper's sweeps;
+//!   new experiments are new declarations, not new binaries;
+//! * [`exec`] — [`run_sweep`] fans jobs out over `std::thread::scope`
+//!   workers with deterministic output ordering and a [`BaselineCache`]
+//!   that simulates each workload's unprotected baseline exactly once;
+//! * [`json`] — stable, dependency-free JSON (`BENCH_<sweep>.json`)
+//!   suitable for diffing across PRs;
+//! * [`table`] — the human-readable tables of the paper (Figure 4 layout,
+//!   Section V-A attack table).
+//!
+//! # Example
+//!
+//! ```
+//! use dbt_lab::{run_sweep, ExecOptions, ProgramSpec, ScenarioKind, Sweep};
+//! use dbt_workloads::WorkloadSize;
+//!
+//! let sweep = Sweep::new("demo", "one kernel, every policy", ScenarioKind::Perf)
+//!     .program("gemm", ProgramSpec::Workload { name: "gemm", size: WorkloadSize::Mini });
+//! let report = run_sweep(&sweep.name, &sweep.expand(), ExecOptions::default());
+//! assert_eq!(report.results.len(), 4);
+//! assert_eq!(report.stats.baseline_simulations, 1);
+//! println!("{}", report.to_json());
+//! ```
+
+pub mod exec;
+pub mod json;
+pub mod registry;
+pub mod scenario;
+pub mod table;
+
+pub use exec::{
+    run_sweep, AttackMetrics, BaselineCache, ExecOptions, ExecStats, JobOutcome, JobResult,
+    LabReport, PerfMetrics, SimOut,
+};
+pub use registry::{Registry, Sweep, DEFAULT_SECRET};
+pub use scenario::{
+    AttackVariant, PlatformOverrides, PlatformVariant, ProgramSpec, Scenario, ScenarioKind,
+};
+pub use table::{
+    format_attack_table, format_table, format_variant_table, geometric_mean, measure_slowdowns,
+    SlowdownRow,
+};

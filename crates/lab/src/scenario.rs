@@ -1,0 +1,294 @@
+//! The scenario model: what to run (program), how to harden it (policy),
+//! on which machine (platform overrides) and what to measure (kind).
+
+use dbt_cache::CacheConfig;
+use dbt_platform::PlatformConfig;
+use dbt_riscv::Program;
+use dbt_workloads::{pointer_matmul, suite, WorkloadSize};
+use ghostbusters::MitigationPolicy;
+
+/// What a scenario measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Cycle counts and slowdown relative to the unprotected baseline.
+    Perf,
+    /// Secret-recovery rate of a Spectre proof-of-concept.
+    Attack,
+}
+
+impl ScenarioKind {
+    /// Lower-case label used in scenario names and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScenarioKind::Perf => "perf",
+            ScenarioKind::Attack => "attack",
+        }
+    }
+}
+
+/// Which Spectre proof-of-concept program to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackVariant {
+    /// Bounds-check bypass via trace-scheduling speculation.
+    SpectreV1,
+    /// Store-bypass via Memory Conflict Buffer speculation.
+    SpectreV4,
+}
+
+impl AttackVariant {
+    /// Label used in tables and scenario names.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackVariant::SpectreV1 => "spectre-v1",
+            AttackVariant::SpectreV4 => "spectre-v4",
+        }
+    }
+}
+
+/// A recipe for building one guest program.
+///
+/// Programs are described declaratively so scenarios can be listed, named
+/// and expanded without assembling anything; the executor builds the actual
+/// [`Program`] only when the job runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramSpec {
+    /// A kernel from the Polybench-style suite, by name.
+    Workload {
+        /// Kernel name as reported by [`dbt_workloads::suite`].
+        name: &'static str,
+        /// Problem-size preset.
+        size: WorkloadSize,
+    },
+    /// The pointer-array matrix multiplication experiment.
+    PointerMatmul {
+        /// Problem-size preset.
+        size: WorkloadSize,
+    },
+    /// A Spectre proof-of-concept program with a planted secret.
+    Attack {
+        /// Which variant to build.
+        variant: AttackVariant,
+        /// The secret the victim holds (and the attacker tries to leak).
+        secret: Vec<u8>,
+    },
+}
+
+impl ProgramSpec {
+    /// Short display label (the row name in tables).
+    pub fn label(&self) -> String {
+        match self {
+            ProgramSpec::Workload { name, .. } => (*name).to_string(),
+            ProgramSpec::PointerMatmul { .. } => "ptr-matmul".to_string(),
+            ProgramSpec::Attack { variant, .. } => variant.label().to_string(),
+        }
+    }
+
+    /// Stable identity of the *built program* — two specs with equal keys
+    /// assemble byte-identical guest programs, so baseline cycles measured
+    /// for one are valid for the other.
+    pub fn key(&self) -> String {
+        match self {
+            ProgramSpec::Workload { name, size } => format!("workload:{name}@{size:?}"),
+            ProgramSpec::PointerMatmul { size } => format!("ptr-matmul@{size:?}"),
+            ProgramSpec::Attack { variant, secret } => {
+                format!("{}@secret-len-{}:{secret:?}", variant.label(), secret.len())
+            }
+        }
+    }
+
+    /// The planted secret, for [`ScenarioKind::Attack`] scenarios.
+    pub fn secret(&self) -> Option<&[u8]> {
+        match self {
+            ProgramSpec::Attack { secret, .. } => Some(secret),
+            _ => None,
+        }
+    }
+
+    /// Assembles the guest program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message if the kernel name is unknown or
+    /// assembly fails.
+    pub fn build(&self) -> Result<Program, String> {
+        match self {
+            ProgramSpec::Workload { name, size } => suite(*size)
+                .into_iter()
+                .find(|w| w.name == *name)
+                .map(|w| w.program)
+                .ok_or_else(|| format!("unknown workload `{name}`")),
+            ProgramSpec::PointerMatmul { size } => Ok(pointer_matmul(*size).program),
+            ProgramSpec::Attack { variant, secret } => match variant {
+                AttackVariant::SpectreV1 => dbt_attacks::spectre_v1::build(secret)
+                    .map_err(|e| format!("spectre-v1 does not assemble: {e}")),
+                AttackVariant::SpectreV4 => dbt_attacks::spectre_v4::build(secret)
+                    .map_err(|e| format!("spectre-v4 does not assemble: {e}")),
+            },
+        }
+    }
+}
+
+/// Sparse overrides on top of the per-policy default platform.
+///
+/// `None` fields keep the value of [`PlatformConfig::for_policy`]; `Some`
+/// fields replace it. This is the "platform axis" of a sweep: issue width,
+/// cache geometry, speculation toggles.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlatformOverrides {
+    /// VLIW issue width (applied to both the scheduler and the core).
+    pub issue_width: Option<usize>,
+    /// Hot threshold of the DBT profiler.
+    pub hot_threshold: Option<u64>,
+    /// Enable/disable branch (trace-scheduling) speculation.
+    pub branch_speculation: Option<bool>,
+    /// Enable/disable memory (MCB) speculation.
+    pub memory_speculation: Option<bool>,
+    /// Data-cache geometry and latencies.
+    pub cache: Option<CacheConfig>,
+    /// Memory Conflict Buffer capacity.
+    pub mcb_capacity: Option<usize>,
+    /// Rollback penalty in cycles.
+    pub rollback_penalty: Option<u64>,
+    /// Block budget of one run.
+    pub max_blocks: Option<u64>,
+}
+
+impl PlatformOverrides {
+    /// Materialises the platform configuration for `policy` with these
+    /// overrides applied.
+    pub fn apply(&self, policy: MitigationPolicy) -> PlatformConfig {
+        let mut config = PlatformConfig::for_policy(policy);
+        if let Some(w) = self.issue_width {
+            config.dbt.issue_width = w;
+            config.core.issue_width = w;
+        }
+        if let Some(t) = self.hot_threshold {
+            config.dbt.hot_threshold = t;
+        }
+        if let Some(b) = self.branch_speculation {
+            config.dbt.speculation.branch_speculation = b;
+        }
+        if let Some(m) = self.memory_speculation {
+            config.dbt.speculation.memory_speculation = m;
+        }
+        if let Some(c) = self.cache {
+            config.core.cache = c;
+        }
+        if let Some(m) = self.mcb_capacity {
+            config.core.mcb_capacity = m;
+        }
+        if let Some(p) = self.rollback_penalty {
+            config.core.rollback_penalty = p;
+        }
+        if let Some(b) = self.max_blocks {
+            config.max_blocks = b;
+        }
+        config
+    }
+}
+
+/// A named point on the platform axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformVariant {
+    /// Short name ("default", "issue-2", "no-branch-spec", ...).
+    pub name: String,
+    /// The overrides this variant applies.
+    pub overrides: PlatformOverrides,
+}
+
+impl PlatformVariant {
+    /// The default platform: no overrides.
+    pub fn default_platform() -> PlatformVariant {
+        PlatformVariant { name: "default".to_string(), overrides: PlatformOverrides::default() }
+    }
+
+    /// A named variant with the given overrides.
+    pub fn new(name: &str, overrides: PlatformOverrides) -> PlatformVariant {
+        PlatformVariant { name: name.to_string(), overrides }
+    }
+}
+
+/// One fully-specified experiment: a program, a mitigation policy, a
+/// platform and what to measure. This is the unit of work of the executor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Globally unique name: `sweep/program/policy/platform`.
+    pub name: String,
+    /// Row label of the program (may differ from the spec's default label,
+    /// e.g. "gemm (flat)" vs "gemm (ptr rows)").
+    pub program_label: String,
+    /// How to build the guest program.
+    pub program: ProgramSpec,
+    /// The countermeasure the DBT engine applies.
+    pub policy: MitigationPolicy,
+    /// The simulated machine.
+    pub platform: PlatformVariant,
+    /// What to measure.
+    pub kind: ScenarioKind,
+}
+
+impl Scenario {
+    /// Cache key identifying this scenario's unprotected baseline: same
+    /// program, same platform ⇒ same baseline cycles.
+    pub fn baseline_key(&self) -> String {
+        format!("{}|{:?}", self.program.key(), self.platform.overrides)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_specs_build() {
+        let spec = ProgramSpec::Workload { name: "gemm", size: WorkloadSize::Mini };
+        assert_eq!(spec.label(), "gemm");
+        assert!(spec.build().is_ok());
+        let bad = ProgramSpec::Workload { name: "nope", size: WorkloadSize::Mini };
+        assert!(bad.build().is_err());
+    }
+
+    #[test]
+    fn attack_specs_build_and_expose_the_secret() {
+        for variant in [AttackVariant::SpectreV1, AttackVariant::SpectreV4] {
+            let spec = ProgramSpec::Attack { variant, secret: b"GB".to_vec() };
+            assert!(spec.build().is_ok(), "{} must assemble", variant.label());
+            assert_eq!(spec.secret(), Some(&b"GB"[..]));
+        }
+    }
+
+    #[test]
+    fn overrides_apply_on_top_of_the_policy_defaults() {
+        let overrides = PlatformOverrides {
+            issue_width: Some(2),
+            branch_speculation: Some(false),
+            ..PlatformOverrides::default()
+        };
+        let config = overrides.apply(MitigationPolicy::Unprotected);
+        assert_eq!(config.dbt.issue_width, 2);
+        assert_eq!(config.core.issue_width, 2);
+        assert!(!config.dbt.speculation.branch_speculation);
+        assert!(config.dbt.speculation.memory_speculation, "untouched field keeps its default");
+    }
+
+    #[test]
+    fn baseline_key_depends_on_program_and_platform_but_not_policy() {
+        let make = |policy, platform: PlatformVariant| Scenario {
+            name: "t".into(),
+            program_label: "gemm".into(),
+            program: ProgramSpec::Workload { name: "gemm", size: WorkloadSize::Mini },
+            policy,
+            platform,
+            kind: ScenarioKind::Perf,
+        };
+        let a = make(MitigationPolicy::Unprotected, PlatformVariant::default_platform());
+        let b = make(MitigationPolicy::Fence, PlatformVariant::default_platform());
+        assert_eq!(a.baseline_key(), b.baseline_key());
+        let narrow = PlatformVariant::new(
+            "issue-2",
+            PlatformOverrides { issue_width: Some(2), ..PlatformOverrides::default() },
+        );
+        let c = make(MitigationPolicy::Unprotected, narrow);
+        assert_ne!(a.baseline_key(), c.baseline_key());
+    }
+}

@@ -1,0 +1,368 @@
+//! Human-readable emitters (moved here from `dbt-bench`): the Figure-4
+//! slowdown table and the Section V-A attack table, both derivable from a
+//! [`LabReport`].
+
+use crate::exec::{JobOutcome, LabReport};
+use crate::scenario::ScenarioKind;
+use dbt_platform::{run_program, PlatformError};
+use dbt_riscv::Program;
+use ghostbusters::MitigationPolicy;
+
+/// One row of a slowdown table.
+#[derive(Debug, Clone)]
+pub struct SlowdownRow {
+    /// Workload name.
+    pub name: String,
+    /// Cycles of the unprotected baseline.
+    pub baseline_cycles: u64,
+    /// Slowdown (relative execution time, 1.0 = baseline) per policy, in the
+    /// order of [`MitigationPolicy::ALL`].
+    pub slowdown: [f64; 4],
+}
+
+/// Measures one workload under every mitigation policy, serially.
+///
+/// The sweep executor is the preferred way to produce [`SlowdownRow`]s (it
+/// parallelises and caches baselines); this helper remains for one-off
+/// measurements and backwards compatibility.
+///
+/// # Errors
+///
+/// Propagates platform errors (translation faults, budget exhaustion).
+pub fn measure_slowdowns(name: &str, program: &Program) -> Result<SlowdownRow, PlatformError> {
+    let mut cycles = [0u64; 4];
+    for (i, policy) in MitigationPolicy::ALL.iter().enumerate() {
+        cycles[i] = run_program(program, dbt_platform::PlatformConfig::for_policy(*policy))?.cycles;
+    }
+    let baseline = cycles[0].max(1);
+    let mut slowdown = [0.0; 4];
+    for i in 0..4 {
+        slowdown[i] = cycles[i] as f64 / baseline as f64;
+    }
+    Ok(SlowdownRow { name: name.to_string(), baseline_cycles: cycles[0], slowdown })
+}
+
+/// Geometric mean of strictly positive samples (1.0 for an empty slice).
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    (xs.iter().map(|x| x.max(f64::MIN_POSITIVE).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Formats a slowdown table in the layout of the paper's Figure 4.
+///
+/// The summary reports both the arithmetic mean of relative execution times
+/// (what the paper's text quotes) and the true geometric mean, each labeled
+/// honestly. Missing measurements (NaN slowdowns, e.g. from failed jobs)
+/// render as `n/a` and are excluded from both means.
+pub fn format_table(rows: &[SlowdownRow]) -> String {
+    use std::fmt::Write as _;
+    fn cell(x: f64, width: usize) -> String {
+        if x.is_finite() {
+            format!("{:>width$.1}%", x * 100.0, width = width)
+        } else {
+            format!("{:>width$}", "n/a", width = width + 1)
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>14} {:>10} {:>16}",
+        "kernel", "unsafe (cyc)", "our approach", "fence", "no speculation"
+    );
+    let mut samples: [Vec<f64>; 4] = Default::default();
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12} {} {} {}",
+            row.name,
+            row.baseline_cycles,
+            cell(row.slowdown[1], 13),
+            cell(row.slowdown[2], 9),
+            cell(row.slowdown[3], 15),
+        );
+        for (column, slowdown) in samples.iter_mut().zip(row.slowdown) {
+            if slowdown.is_finite() {
+                column.push(slowdown);
+            }
+        }
+    }
+    let arith = |xs: &[f64]| {
+        if xs.is_empty() {
+            f64::NAN
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    };
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {} {} {}",
+        "arith-mean*",
+        "",
+        cell(arith(&samples[1]), 13),
+        cell(arith(&samples[2]), 9),
+        cell(arith(&samples[3]), 15),
+    );
+    let geo = |xs: &[f64]| if xs.is_empty() { f64::NAN } else { geometric_mean(xs) };
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {} {} {}",
+        "geo-mean",
+        "",
+        cell(geo(&samples[1]), 13),
+        cell(geo(&samples[2]), 9),
+        cell(geo(&samples[3]), 15),
+    );
+    let _ =
+        writeln!(out, "(* arithmetic mean of relative execution times, as in the paper's text)");
+    out
+}
+
+/// Formats a platform-axis table: one row per program, one column per
+/// platform variant, cycles relative to the first variant (100% = equal).
+///
+/// This is the natural layout for sweeps with a single policy and several
+/// platform variants (e.g. the speculation ablation).
+pub fn format_variant_table(report: &LabReport) -> String {
+    use std::fmt::Write as _;
+    let mut variants: Vec<String> = Vec::new();
+    let mut rows: Vec<(String, Vec<u64>)> = Vec::new();
+    for result in &report.results {
+        let JobOutcome::Perf(metrics) = &result.outcome else { continue };
+        let variant = &result.scenario.platform.name;
+        if !variants.iter().any(|v| v == variant) {
+            variants.push(variant.clone());
+        }
+        let column = variants.iter().position(|v| v == variant).expect("just inserted");
+        let label = &result.scenario.program_label;
+        let index = rows.iter().position(|(name, _)| name == label).unwrap_or_else(|| {
+            rows.push((label.clone(), Vec::new()));
+            rows.len() - 1
+        });
+        let row = &mut rows[index].1;
+        if row.len() <= column {
+            row.resize(column + 1, 0);
+        }
+        row[column] = metrics.cycles;
+    }
+
+    let mut out = String::new();
+    let _ = write!(out, "{:<16}", "kernel");
+    for (i, variant) in variants.iter().enumerate() {
+        if i == 0 {
+            let _ = write!(out, " {:>16}", format!("{variant} (cyc)"));
+        } else {
+            let _ = write!(out, " {:>16}", variant);
+        }
+    }
+    out.push('\n');
+    for (name, cycles) in rows {
+        let _ = write!(out, "{name:<16}");
+        let base = cycles.first().copied().unwrap_or(0).max(1) as f64;
+        for (i, &c) in cycles.iter().enumerate() {
+            if i == 0 {
+                let _ = write!(out, " {c:>16}");
+            } else {
+                let _ = write!(out, " {:>15.1}%", c as f64 / base * 100.0);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats the Section V-A attack table from an attack-sweep report.
+pub fn format_attack_table(report: &LabReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:<15} {:>10} {:>12} {:>11} {:>10}",
+        "attack", "policy", "recovered", "rate", "rollbacks", "patterns"
+    );
+    for result in &report.results {
+        match &result.outcome {
+            JobOutcome::Attack(m) => {
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:<15} {:>7}/{:<3} {:>11.0}% {:>11} {:>10}",
+                    result.scenario.program_label,
+                    result.scenario.policy.label(),
+                    m.correct_bytes(),
+                    m.secret.len(),
+                    m.recovery_rate() * 100.0,
+                    m.rollbacks,
+                    m.patterns
+                );
+            }
+            JobOutcome::Failed { error } => {
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:<15} failed: {error}",
+                    result.scenario.program_label,
+                    result.scenario.policy.label(),
+                );
+            }
+            JobOutcome::Perf(_) => {}
+        }
+    }
+    out
+}
+
+impl LabReport {
+    /// Collapses the perf results into Figure-4-style rows.
+    ///
+    /// Rows are keyed by `(program label, platform)` in first-appearance
+    /// order; the platform name is appended to the row label whenever the
+    /// sweep has a non-trivial platform axis. Attack-kind jobs are skipped;
+    /// failed jobs leave their slot at NaN, which [`format_table`] renders
+    /// as `n/a` and excludes from the means (see [`LabReport::failures`]).
+    pub fn slowdown_rows(&self) -> Vec<SlowdownRow> {
+        let multi_platform = {
+            let mut platforms: Vec<&str> =
+                self.results.iter().map(|r| r.scenario.platform.name.as_str()).collect();
+            platforms.sort_unstable();
+            platforms.dedup();
+            platforms.len() > 1
+        };
+        let mut rows: Vec<SlowdownRow> = Vec::new();
+        let mut keys: Vec<(String, String)> = Vec::new();
+        for result in &self.results {
+            let metrics = match &result.outcome {
+                JobOutcome::Perf(metrics) => Some(metrics),
+                JobOutcome::Failed { .. } if result.scenario.kind == ScenarioKind::Perf => None,
+                _ => continue,
+            };
+            let key =
+                (result.scenario.program_label.clone(), result.scenario.platform.name.clone());
+            let index = match keys.iter().position(|k| *k == key) {
+                Some(i) => i,
+                None => {
+                    let name = if multi_platform {
+                        format!("{} [{}]", key.0, key.1)
+                    } else {
+                        key.0.clone()
+                    };
+                    keys.push(key);
+                    rows.push(SlowdownRow { name, baseline_cycles: 0, slowdown: [f64::NAN; 4] });
+                    rows.len() - 1
+                }
+            };
+            if let Some(metrics) = metrics {
+                let policy_index = MitigationPolicy::ALL
+                    .iter()
+                    .position(|p| *p == result.scenario.policy)
+                    .expect("policy is one of ALL");
+                rows[index].baseline_cycles = metrics.baseline_cycles;
+                rows[index].slowdown[policy_index] = metrics.slowdown();
+            }
+        }
+        rows
+    }
+
+    /// Failed jobs of this sweep, as `(scenario name, error)` pairs — for
+    /// surfacing on stderr next to tables that only mark failures as `n/a`.
+    pub fn failures(&self) -> Vec<(&str, &str)> {
+        self.results
+            .iter()
+            .filter_map(|r| match &r.outcome {
+                JobOutcome::Failed { error } => Some((r.scenario.name.as_str(), error.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, slowdown: [f64; 4]) -> SlowdownRow {
+        SlowdownRow { name: name.to_string(), baseline_cycles: 1000, slowdown }
+    }
+
+    #[test]
+    fn geometric_mean_is_the_geometric_mean() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_reports_both_means_honestly() {
+        // Arithmetic mean of [1.0, 4.0] is 2.5; geometric mean is 2.0 — the
+        // table must show both, labeled.
+        let rows = [row("a", [1.0, 1.0, 1.0, 1.0]), row("b", [1.0, 4.0, 4.0, 4.0])];
+        let table = format_table(&rows);
+        assert!(table.contains("arith-mean*"), "{table}");
+        assert!(table.contains("geo-mean"), "{table}");
+        let arith = table.lines().find(|l| l.starts_with("arith-mean*")).unwrap();
+        let geo = table.lines().find(|l| l.starts_with("geo-mean")).unwrap();
+        assert!(arith.contains("250.0%"), "{arith}");
+        assert!(geo.contains("200.0%"), "{geo}");
+    }
+
+    #[test]
+    fn failed_jobs_render_as_na_and_do_not_poison_the_means() {
+        use crate::exec::{ExecStats, JobResult, PerfMetrics};
+        use crate::scenario::{PlatformVariant, ProgramSpec, Scenario};
+        use dbt_workloads::WorkloadSize;
+        use ghostbusters::MitigationPolicy;
+
+        let scenario = |policy| Scenario {
+            name: format!("t/gemm/{policy}/default"),
+            program_label: "gemm".into(),
+            program: ProgramSpec::Workload { name: "gemm", size: WorkloadSize::Mini },
+            policy,
+            platform: PlatformVariant::default_platform(),
+            kind: ScenarioKind::Perf,
+        };
+        let ok = |policy, cycles| JobResult {
+            scenario: scenario(policy),
+            outcome: JobOutcome::Perf(PerfMetrics {
+                cycles,
+                baseline_cycles: 1000,
+                rollbacks: 0,
+                guest_insts: 0,
+                patterns: 0,
+            }),
+        };
+        let report = LabReport {
+            sweep: "t".into(),
+            results: vec![
+                ok(MitigationPolicy::Unprotected, 1000),
+                ok(MitigationPolicy::FineGrained, 1100),
+                ok(MitigationPolicy::Fence, 1200),
+                JobResult {
+                    scenario: scenario(MitigationPolicy::NoSpeculation),
+                    outcome: JobOutcome::Failed { error: "budget exhausted".into() },
+                },
+            ],
+            stats: ExecStats { jobs: 4, simulations: 3, baseline_simulations: 1 },
+        };
+        let rows = report.slowdown_rows();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].slowdown[3].is_nan(), "failed slot must be NaN, not 0.0");
+        let table = format_table(&rows);
+        let gemm = table.lines().find(|l| l.starts_with("gemm")).unwrap();
+        assert!(gemm.contains("n/a"), "{table}");
+        assert!(!table.contains(" 0.0%"), "failure must not read as a 0% slowdown: {table}");
+        let geo = table.lines().find(|l| l.starts_with("geo-mean")).unwrap();
+        assert!(geo.trim_end().ends_with("n/a"), "all-failed column mean must be n/a: {geo}");
+        assert_eq!(report.failures(), vec![("t/gemm/no-speculation/default", "budget exhausted")]);
+    }
+
+    #[test]
+    fn measure_slowdowns_has_unit_baseline() {
+        let program = crate::scenario::ProgramSpec::Workload {
+            name: "gemm",
+            size: dbt_workloads::WorkloadSize::Mini,
+        }
+        .build()
+        .unwrap();
+        let row = measure_slowdowns("gemm", &program).unwrap();
+        assert!((row.slowdown[0] - 1.0).abs() < 1e-12);
+        assert!(row.baseline_cycles > 0);
+    }
+}

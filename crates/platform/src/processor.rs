@@ -308,9 +308,11 @@ mod tests {
         let mut unprotected =
             DbtProcessor::new(&program, PlatformConfig::for_policy(MitigationPolicy::Unprotected))
                 .unwrap();
-        let mut nospec =
-            DbtProcessor::new(&program, PlatformConfig::for_policy(MitigationPolicy::NoSpeculation))
-                .unwrap();
+        let mut nospec = DbtProcessor::new(
+            &program,
+            PlatformConfig::for_policy(MitigationPolicy::NoSpeculation),
+        )
+        .unwrap();
         let fast = unprotected.run().unwrap();
         let slow = nospec.run().unwrap();
         assert!(fast.cycles <= slow.cycles);
@@ -334,8 +336,7 @@ mod tests {
         asm.nop();
         asm.jump(spin);
         let program = asm.assemble().unwrap();
-        let mut config = PlatformConfig::default();
-        config.max_blocks = 10;
+        let config = PlatformConfig { max_blocks: 10, ..PlatformConfig::default() };
         let mut processor = DbtProcessor::new(&program, config).unwrap();
         assert!(matches!(processor.run(), Err(PlatformError::BudgetExhausted { .. })));
     }

@@ -22,7 +22,10 @@ pub fn run_program(program: &Program, config: PlatformConfig) -> Result<RunSumma
 /// # Errors
 ///
 /// Propagates any [`PlatformError`] from construction or execution.
-pub fn run_with_policy(program: &Program, policy: MitigationPolicy) -> Result<RunSummary, PlatformError> {
+pub fn run_with_policy(
+    program: &Program,
+    policy: MitigationPolicy,
+) -> Result<RunSummary, PlatformError> {
     run_program(program, PlatformConfig::for_policy(policy))
 }
 
@@ -54,7 +57,8 @@ impl PolicyComparison {
             unprotected_cycles: run_with_policy(program, MitigationPolicy::Unprotected)?.cycles,
             fine_grained_cycles: run_with_policy(program, MitigationPolicy::FineGrained)?.cycles,
             fence_cycles: run_with_policy(program, MitigationPolicy::Fence)?.cycles,
-            no_speculation_cycles: run_with_policy(program, MitigationPolicy::NoSpeculation)?.cycles,
+            no_speculation_cycles: run_with_policy(program, MitigationPolicy::NoSpeculation)?
+                .cycles,
         })
     }
 

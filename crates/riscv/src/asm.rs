@@ -326,7 +326,7 @@ impl Assembler {
             return;
         }
         if (i32::MIN as i64..=i32::MAX as i64).contains(&value) {
-            let low = ((value << 52) >> 52) as i64; // low 12 bits, sign-extended
+            let low = (value << 52) >> 52; // low 12 bits, sign-extended
             let high = value - low;
             self.emit(Inst::Lui { rd, imm: high });
             if low != 0 {

@@ -36,10 +36,7 @@ impl LoadWidth {
 
     /// Whether the loaded value is sign-extended to 64 bits.
     pub fn sign_extends(self) -> bool {
-        matches!(
-            self,
-            LoadWidth::Byte | LoadWidth::Half | LoadWidth::Word | LoadWidth::Double
-        )
+        matches!(self, LoadWidth::Byte | LoadWidth::Half | LoadWidth::Word | LoadWidth::Double)
     }
 }
 
@@ -191,13 +188,7 @@ impl AluOp {
                     ((a as i64).wrapping_div(b as i64)) as u64
                 }
             }
-            AluOp::Divu => {
-                if b == 0 {
-                    u64::MAX
-                } else {
-                    a / b
-                }
-            }
+            AluOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
             AluOp::Rem => {
                 if b == 0 {
                     a
@@ -363,10 +354,7 @@ impl Inst {
 
     /// Returns `true` for memory accesses (loads, stores, cache flushes).
     pub fn is_memory(&self) -> bool {
-        matches!(
-            self,
-            Inst::Load { .. } | Inst::Store { .. } | Inst::CacheFlush { .. }
-        )
+        matches!(self, Inst::Load { .. } | Inst::Store { .. } | Inst::CacheFlush { .. })
     }
 
     /// Destination register, if the instruction writes one.
@@ -528,8 +516,9 @@ mod tests {
     fn classification() {
         assert!(Inst::Ecall.is_control_flow());
         assert!(Inst::Jal { rd: Reg::ZERO, offset: 8 }.is_control_flow());
-        assert!(Inst::Load { width: LoadWidth::Byte, rd: Reg::A0, rs1: Reg::A1, offset: 0 }
-            .is_memory());
+        assert!(
+            Inst::Load { width: LoadWidth::Byte, rd: Reg::A0, rs1: Reg::A1, offset: 0 }.is_memory()
+        );
         assert!(!Inst::Nop.is_memory());
     }
 

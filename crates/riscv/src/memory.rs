@@ -75,7 +75,7 @@ impl GuestMemory {
 
     fn check(&self, addr: u64, size: u64) -> Result<usize, MemError> {
         let limit = self.bytes.len() as u64;
-        if addr.checked_add(size).map_or(true, |end| end > limit) {
+        if addr.checked_add(size).is_none_or(|end| end > limit) {
             return Err(MemError::OutOfBounds { addr, size, limit });
         }
         Ok(addr as usize)

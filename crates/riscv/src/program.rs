@@ -132,7 +132,8 @@ impl Program {
     /// Returns [`ProgramError::PcOutOfRange`] if `pc` is outside the code
     /// section or not 4-byte aligned.
     pub fn fetch(&self, pc: u64) -> Result<Inst, ProgramError> {
-        if pc < self.code_base || pc >= self.code_end() || (pc - self.code_base) % 4 != 0 {
+        if pc < self.code_base || pc >= self.code_end() || !(pc - self.code_base).is_multiple_of(4)
+        {
             return Err(ProgramError::PcOutOfRange { pc });
         }
         let index = ((pc - self.code_base) / 4) as usize;
@@ -171,7 +172,11 @@ impl Program {
     ///
     /// Returns a [`ProgramError::Decode`] error if a word in the given range
     /// is not a valid instruction.
-    pub fn decode_range(mem: &GuestMemory, base: u64, len_words: usize) -> Result<Vec<Inst>, ProgramError> {
+    pub fn decode_range(
+        mem: &GuestMemory,
+        base: u64,
+        len_words: usize,
+    ) -> Result<Vec<Inst>, ProgramError> {
         let mut out = Vec::with_capacity(len_words);
         for i in 0..len_words {
             let word = mem

@@ -246,17 +246,23 @@ impl VliwCore {
             for op in &bundle.slots {
                 match op {
                     Op::Alu { a, b, .. } => {
-                        t = t.max(self.operand_ready(&ready, *a)).max(self.operand_ready(&ready, *b));
+                        t = t
+                            .max(self.operand_ready(&ready, *a))
+                            .max(self.operand_ready(&ready, *b));
                     }
                     Op::Load { base, .. } | Op::CacheFlush { base, .. } => {
                         t = t.max(self.operand_ready(&ready, *base));
                     }
                     Op::Store { value, base, .. } => {
-                        t = t.max(self.operand_ready(&ready, *value)).max(self.operand_ready(&ready, *base));
+                        t = t
+                            .max(self.operand_ready(&ready, *value))
+                            .max(self.operand_ready(&ready, *base));
                     }
                     Op::CommitReg { src, .. } => t = t.max(self.operand_ready(&ready, *src)),
                     Op::SideExit { a, b, .. } => {
-                        t = t.max(self.operand_ready(&ready, *a)).max(self.operand_ready(&ready, *b));
+                        t = t
+                            .max(self.operand_ready(&ready, *a))
+                            .max(self.operand_ready(&ready, *b));
                     }
                     Op::RdCycle { .. } => t = t.max(last_mem_complete),
                     Op::JumpIndirect { target } => t = t.max(self.operand_ready(&ready, *target)),
@@ -284,8 +290,9 @@ impl VliwCore {
                     Op::Load { width, dst, base, offset, speculative, original_seq } => {
                         self.stats.ops_executed += 1;
                         let addr = self.read_operand(&phys, *base).wrapping_add(*offset as u64);
-                        let in_bounds =
-                            addr.checked_add(width.bytes as u64).map_or(false, |end| end <= mem.len() as u64);
+                        let in_bounds = addr
+                            .checked_add(width.bytes as u64)
+                            .is_some_and(|end| end <= mem.len() as u64);
                         if !in_bounds {
                             if *speculative {
                                 // Faults raised by misspeculated loads are
@@ -311,7 +318,8 @@ impl VliwCore {
                     Op::Store { width, value, base, offset, checks_mcb, original_seq } => {
                         self.stats.ops_executed += 1;
                         let addr = self.read_operand(&phys, *base).wrapping_add(*offset as u64);
-                        if *checks_mcb && self.mcb.store_conflicts(addr, width.bytes, *original_seq) {
+                        if *checks_mcb && self.mcb.store_conflicts(addr, width.bytes, *original_seq)
+                        {
                             // Memory-dependency misspeculation: roll back and
                             // re-execute sequentially. Cache contents are
                             // intentionally NOT restored.
@@ -324,8 +332,9 @@ impl VliwCore {
                             self.cycles += total;
                             return Ok(BlockOutcome { next_pc, cycles: total, rolled_back: true });
                         }
-                        let in_bounds =
-                            addr.checked_add(width.bytes as u64).map_or(false, |end| end <= mem.len() as u64);
+                        let in_bounds = addr
+                            .checked_add(width.bytes as u64)
+                            .is_some_and(|end| end <= mem.len() as u64);
                         if !in_bounds {
                             return Err(CoreError::MemFault { addr, bytes: width.bytes });
                         }
@@ -387,7 +396,11 @@ impl VliwCore {
                         let total = t + 1;
                         self.cycles += total;
                         self.mcb.clear();
-                        return Ok(BlockOutcome { next_pc: None, cycles: total, rolled_back: false });
+                        return Ok(BlockOutcome {
+                            next_pc: None,
+                            cycles: total,
+                            rolled_back: false,
+                        });
                     }
                 }
             }
@@ -421,8 +434,9 @@ impl VliwCore {
                 }
                 Op::Load { width, dst, base, offset, .. } => {
                     let addr = self.read_operand(&phys, *base).wrapping_add(*offset as u64);
-                    let in_bounds =
-                        addr.checked_add(width.bytes as u64).map_or(false, |end| end <= mem.len() as u64);
+                    let in_bounds = addr
+                        .checked_add(width.bytes as u64)
+                        .is_some_and(|end| end <= mem.len() as u64);
                     if !in_bounds {
                         return Err(CoreError::MemFault { addr, bytes: width.bytes });
                     }
@@ -433,8 +447,9 @@ impl VliwCore {
                 }
                 Op::Store { width, value, base, offset, .. } => {
                     let addr = self.read_operand(&phys, *base).wrapping_add(*offset as u64);
-                    let in_bounds =
-                        addr.checked_add(width.bytes as u64).map_or(false, |end| end <= mem.len() as u64);
+                    let in_bounds = addr
+                        .checked_add(width.bytes as u64)
+                        .is_some_and(|end| end <= mem.len() as u64);
                     if !in_bounds {
                         return Err(CoreError::MemFault { addr, bytes: width.bytes });
                     }

@@ -298,7 +298,8 @@ mod tests {
 
     #[test]
     fn op_dst_and_classification() {
-        let alu = Op::Alu { op: AluOp::Add, dst: PhysReg(3), a: Operand::Imm(1), b: Operand::Imm(2) };
+        let alu =
+            Op::Alu { op: AluOp::Add, dst: PhysReg(3), a: Operand::Imm(1), b: Operand::Imm(2) };
         assert_eq!(alu.dst(), Some(PhysReg(3)));
         assert!(!alu.is_memory());
         let ld = Op::Load {

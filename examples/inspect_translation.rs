@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         processor.run()?;
         if let Some((block, _)) = processor.engine().tcache().lookup(victim_pc) {
             println!("{block}");
-            println!("speculative loads in the victim superblock: {}", block.speculative_load_count());
+            println!(
+                "speculative loads in the victim superblock: {}",
+                block.speculative_load_count()
+            );
         }
         for (pc, report) in processor.engine().mitigation_reports() {
             if *pc == victim_pc {

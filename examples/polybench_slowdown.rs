@@ -11,7 +11,10 @@ use dbt_workloads::{suite, WorkloadSize};
 use ghostbusters::MitigationPolicy;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{:<12} {:>12} {:>14} {:>10} {:>16}", "kernel", "unsafe(cyc)", "our approach", "fence", "no speculation");
+    println!(
+        "{:<12} {:>12} {:>14} {:>10} {:>16}",
+        "kernel", "unsafe(cyc)", "our approach", "fence", "no speculation"
+    );
     for workload in suite(WorkloadSize::Mini) {
         let comparison = PolicyComparison::measure(workload.name, &workload.program)?;
         println!(

@@ -23,11 +23,9 @@ fn spectre_v4_full_secret_recovery_when_unsafe() {
 
 #[test]
 fn every_countermeasure_stops_both_variants() {
-    for policy in [
-        MitigationPolicy::FineGrained,
-        MitigationPolicy::Fence,
-        MitigationPolicy::NoSpeculation,
-    ] {
+    for policy in
+        [MitigationPolicy::FineGrained, MitigationPolicy::Fence, MitigationPolicy::NoSpeculation]
+    {
         let v1 = run_spectre_v1(policy, SECRET).unwrap();
         assert_eq!(v1.correct_bytes(), 0, "{v1}");
         let v4 = run_spectre_v4(policy, SECRET).unwrap();

@@ -1,0 +1,101 @@
+//! Integration tests of the `dbt-lab` sweep engine: deterministic output
+//! under parallelism, baseline-cycle caching, and agreement with the legacy
+//! serial measurement path.
+
+use dbt_lab::{
+    measure_slowdowns, run_sweep, AttackVariant, ExecOptions, JobOutcome, ProgramSpec, Registry,
+    ScenarioKind, Sweep,
+};
+use dbt_workloads::WorkloadSize;
+use ghostbusters::MitigationPolicy;
+
+fn mixed_sweep() -> Sweep {
+    Sweep::new("mixed", "kernels and one attack", ScenarioKind::Perf)
+        .program("gemm", ProgramSpec::Workload { name: "gemm", size: WorkloadSize::Mini })
+        .program("atax", ProgramSpec::Workload { name: "atax", size: WorkloadSize::Mini })
+        .program("jacobi-1d", ProgramSpec::Workload { name: "jacobi-1d", size: WorkloadSize::Mini })
+        .program(
+            "spectre-v1",
+            ProgramSpec::Attack { variant: AttackVariant::SpectreV1, secret: b"GB".to_vec() },
+        )
+}
+
+#[test]
+fn same_sweep_twice_is_byte_identical_json_even_multithreaded() {
+    let scenarios = mixed_sweep().expand();
+    let opts = ExecOptions { threads: 4, verbose: false };
+    let first = run_sweep("mixed", &scenarios, opts).to_json();
+    let second = run_sweep("mixed", &scenarios, opts).to_json();
+    assert_eq!(first, second, "same sweep must serialise to byte-identical JSON");
+
+    // ... and the worker count must not leak into the output either.
+    let serial = run_sweep("mixed", &scenarios, ExecOptions { threads: 1, verbose: false });
+    assert_eq!(first, serial.to_json(), "thread count must not affect the report");
+}
+
+#[test]
+fn baseline_is_simulated_once_per_workload() {
+    let scenarios = mixed_sweep().expand();
+    let report = run_sweep("mixed", &scenarios, ExecOptions { threads: 4, verbose: false });
+    // 4 programs × 4 policies, all Perf kind (the attack program is measured
+    // as a workload here).
+    assert_eq!(report.stats.jobs, 16);
+    assert_eq!(
+        report.stats.baseline_simulations, 4,
+        "one baseline per distinct (program, platform), not one per comparison"
+    );
+    // Each program: 1 shared baseline + 3 protected runs.
+    assert_eq!(report.stats.simulations, 16);
+}
+
+#[test]
+fn sweep_slowdowns_agree_with_the_legacy_serial_path() {
+    let scenarios = Sweep::new("legacy", "gemm only", ScenarioKind::Perf)
+        .program("gemm", ProgramSpec::Workload { name: "gemm", size: WorkloadSize::Mini })
+        .expand();
+    let report = run_sweep("legacy", &scenarios, ExecOptions::default());
+    let rows = report.slowdown_rows();
+    assert_eq!(rows.len(), 1);
+
+    let program = ProgramSpec::Workload { name: "gemm", size: WorkloadSize::Mini }.build().unwrap();
+    let legacy = measure_slowdowns("gemm", &program).unwrap();
+    assert_eq!(rows[0].baseline_cycles, legacy.baseline_cycles);
+    for i in 0..4 {
+        assert!(
+            (rows[0].slowdown[i] - legacy.slowdown[i]).abs() < 1e-12,
+            "policy {i}: sweep {} vs legacy {}",
+            rows[0].slowdown[i],
+            legacy.slowdown[i]
+        );
+    }
+}
+
+#[test]
+fn attack_sweep_reproduces_the_leak_and_the_mitigation() {
+    let registry = Registry::standard(WorkloadSize::Mini);
+    let sweep = registry.find("attack-table").unwrap();
+    // Use a short secret so the test stays fast in debug builds.
+    let mut sweep = sweep.clone();
+    for (_, spec) in &mut sweep.programs {
+        if let ProgramSpec::Attack { secret, .. } = spec {
+            *secret = b"GB".to_vec();
+        }
+    }
+    let report = run_sweep(&sweep.name, &sweep.expand(), ExecOptions::default());
+    assert_eq!(report.results.len(), 8);
+    for result in &report.results {
+        let JobOutcome::Attack(metrics) = &result.outcome else {
+            panic!("{}: expected attack outcome", result.scenario.name);
+        };
+        if result.scenario.policy == MitigationPolicy::Unprotected {
+            assert_eq!(
+                metrics.correct_bytes(),
+                metrics.secret.len(),
+                "{} must leak the full secret",
+                result.scenario.name
+            );
+        } else {
+            assert_eq!(metrics.correct_bytes(), 0, "{} must stop the leak", result.scenario.name);
+        }
+    }
+}

@@ -69,5 +69,8 @@ fn pointer_matmul_pays_more_with_the_fence_than_with_fine_grained() {
     // a visible cost, and the fence is at least as expensive as the
     // fine-grained constraint (the paper reports 15 % vs 4 %).
     assert!(fine > 1.0, "fine-grained should have a measurable cost here (got {fine:.3})");
-    assert!(fence >= fine, "fence must not be cheaper than fine-grained (got {fence:.3} vs {fine:.3})");
+    assert!(
+        fence >= fine,
+        "fence must not be cheaper than fine-grained (got {fence:.3} vs {fine:.3})"
+    );
 }
