@@ -16,5 +16,5 @@ fn main() {
         eprintln!("skipped {name} ({error})");
     }
     println!("Figure 4 — slowdown vs. unsafe execution (100% = no slowdown)\n");
-    println!("{}", format_table(&report.slowdown_rows()));
+    println!("{}", format_table(&report.slowdown_table()));
 }

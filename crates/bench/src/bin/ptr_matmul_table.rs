@@ -17,5 +17,5 @@ fn main() {
         eprintln!("skipped {name} ({error})");
     }
     println!("Pointer-array matrix multiplication — slowdown vs. unsafe execution\n");
-    println!("{}", format_table(&report.slowdown_rows()));
+    println!("{}", format_table(&report.slowdown_table()));
 }

@@ -67,7 +67,7 @@ pub mod poison;
 pub mod policy;
 pub mod report;
 
-pub use mitigation::apply;
+pub use mitigation::{apply, apply_with_verdict};
 pub use pattern::{detect_patterns, SpectrePattern};
 pub use poison::{PoisonAnalysis, SpeculationSource};
 pub use policy::MitigationPolicy;

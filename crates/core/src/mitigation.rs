@@ -10,6 +10,7 @@ use crate::poison::PoisonAnalysis;
 use crate::policy::MitigationPolicy;
 use crate::report::MitigationReport;
 use dbt_ir::{DepGraph, IrBlock};
+use spectaint::LeakageVerdict;
 
 /// Runs the GhostBusters analysis on `block` and constrains `graph`
 /// according to `policy`.
@@ -17,6 +18,10 @@ use dbt_ir::{DepGraph, IrBlock};
 /// * [`MitigationPolicy::Unprotected`] — analysis only, nothing hardened
 ///   (the report still lists the patterns, which is how the attack
 ///   experiments verify that the unsafe configuration is indeed exposed);
+/// * [`MitigationPolicy::Selective`] — consult the `spectaint` leakage
+///   verdict; on blocks with a confirmed gadget, apply the fine-grained
+///   hardening (patterns plus the verdict's transmitters), on leak-free
+///   blocks do nothing;
 /// * [`MitigationPolicy::FineGrained`] — for every detected pattern, every
 ///   relaxable edge into the risky access is hardened, re-inserting the
 ///   dependency on the instruction that causes the speculation;
@@ -27,13 +32,57 @@ use dbt_ir::{DepGraph, IrBlock};
 ///   is hardened.
 ///
 /// Returns a [`MitigationReport`] describing what was found and constrained.
+///
+/// The `Selective` arm runs the taint analysis itself; when the caller has
+/// already computed the block's verdict (the DBT engine caches it in the
+/// translation cache), use [`apply_with_verdict`] to avoid analysing twice.
 pub fn apply(block: &IrBlock, graph: &mut DepGraph, policy: MitigationPolicy) -> MitigationReport {
+    apply_with_verdict(block, graph, policy, None)
+}
+
+/// [`apply`], reusing a precomputed leakage verdict for the `Selective`
+/// policy.
+///
+/// `verdict` must have been computed on this `block`/`graph` pair *before*
+/// any hardening (the analysis reads the relaxable edges). It is ignored by
+/// every policy other than [`MitigationPolicy::Selective`]; passing `None`
+/// makes `Selective` run the analysis itself.
+pub fn apply_with_verdict(
+    block: &IrBlock,
+    graph: &mut DepGraph,
+    policy: MitigationPolicy,
+    verdict: Option<&LeakageVerdict>,
+) -> MitigationReport {
     let analysis = PoisonAnalysis::run(block, graph);
     let patterns = detect_patterns(block, graph, &analysis);
     let mut hardened = 0usize;
+    let mut gadgets = 0usize;
 
     match policy {
         MitigationPolicy::Unprotected => {}
+        MitigationPolicy::Selective => {
+            let computed;
+            let verdict = match verdict {
+                Some(v) => v,
+                None => {
+                    computed = spectaint::analyze(block, graph);
+                    &computed
+                }
+            };
+            gadgets = verdict.gadgets.len();
+            if !verdict.is_leak_free() {
+                // Flagged block: fall back to the fine-grained semantics,
+                // constraining the blanket patterns plus every confirmed
+                // transmitter (normally a subset of the patterns — the
+                // union keeps the fallback at least as strong).
+                for pattern in &patterns {
+                    hardened += graph.harden_all_preds(pattern.risky_access);
+                }
+                for transmitter in &verdict.transmitters {
+                    hardened += graph.harden_all_preds(*transmitter);
+                }
+            }
+        }
         MitigationPolicy::FineGrained => {
             for pattern in &patterns {
                 hardened += graph.harden_all_preds(pattern.risky_access);
@@ -69,6 +118,7 @@ pub fn apply(block: &IrBlock, graph: &mut DepGraph, policy: MitigationPolicy) ->
         block_len: block.len(),
         poisoned_values: analysis.poisoned_count(),
         patterns,
+        gadgets,
         hardened_edges: hardened,
         remaining_relaxable_edges: graph.relaxable_edge_count(),
     }
@@ -224,7 +274,9 @@ mod tests {
         b.push(IrOp::WriteReg { reg: Reg::A1, value: Operand::Value(z) }, 16, 4);
         b.push(IrOp::Jump { target: 0x20 }, 20, 5);
 
-        for policy in [MitigationPolicy::FineGrained, MitigationPolicy::Fence] {
+        for policy in
+            [MitigationPolicy::Selective, MitigationPolicy::FineGrained, MitigationPolicy::Fence]
+        {
             let mut graph = DepGraph::build(&b, DfgOptions::aggressive());
             let before = graph.relaxable_edge_count();
             let report = apply(&b, &mut graph, policy);
@@ -232,5 +284,79 @@ mod tests {
             assert_eq!(report.hardened_edges, 0, "{policy} must not constrain clean code");
             assert_eq!(graph.relaxable_edge_count(), before);
         }
+    }
+
+    #[test]
+    fn selective_hardens_confirmed_gadgets_like_fine_grained() {
+        let block = mixed_block();
+        let mut graph = DepGraph::build(&block, DfgOptions::aggressive());
+        let report = apply(&block, &mut graph, MitigationPolicy::Selective);
+        assert!(report.gadgets > 0, "the bounds-checked double load is a confirmed gadget");
+        assert!(report.hardened_edges > 0);
+        let risky = risky_load(&block);
+        assert!(!graph.is_speculation_candidate(risky));
+        // The benign speculative load keeps its speculation opportunity.
+        let benign = block.loads()[0];
+        assert!(graph.is_speculation_candidate(benign));
+    }
+
+    /// A block the blanket analysis flags but the taint analysis clears:
+    /// the guard constrains a mode flag, not the accessed index, so the
+    /// bypass hands the attacker nothing. `FineGrained` pays here,
+    /// `Selective` does not — the whole point of the policy.
+    fn spuriously_flagged_block() -> IrBlock {
+        let mut b = IrBlock::new(0, BlockKind::Superblock { merged_blocks: 2 });
+        b.push(
+            IrOp::SideExit {
+                cond: BranchCond::Ne,
+                a: Operand::LiveIn(Reg::A5),
+                b: Operand::Imm(0),
+                target: 0x9000,
+            },
+            0,
+            0,
+        );
+        let table = b.push(IrOp::Const(0x3000), 4, 1);
+        let addr1 = b.push(
+            IrOp::Alu { op: AluOp::Add, a: Operand::Value(table), b: Operand::LiveIn(Reg::A0) },
+            4,
+            1,
+        );
+        let v = b.push(
+            IrOp::Load { width: MemWidth::DOUBLE, base: Operand::Value(addr1), offset: 0 },
+            8,
+            2,
+        );
+        let lut = b.push(IrOp::Const(0x8000), 12, 3);
+        let addr2 = b.push(
+            IrOp::Alu { op: AluOp::Add, a: Operand::Value(lut), b: Operand::Value(v) },
+            12,
+            3,
+        );
+        let w = b.push(
+            IrOp::Load { width: MemWidth::BYTE_U, base: Operand::Value(addr2), offset: 0 },
+            16,
+            4,
+        );
+        b.push(IrOp::WriteReg { reg: Reg::A1, value: Operand::Value(w) }, 16, 4);
+        b.push(IrOp::Jump { target: 0x20 }, 20, 5);
+        b
+    }
+
+    #[test]
+    fn selective_leaves_spuriously_flagged_blocks_untouched() {
+        let block = spuriously_flagged_block();
+
+        let mut fine = DepGraph::build(&block, DfgOptions::aggressive());
+        let fine_report = apply(&block, &mut fine, MitigationPolicy::FineGrained);
+        assert!(fine_report.has_pattern(), "the blanket analysis must flag this block");
+        assert!(fine_report.hardened_edges > 0, "FineGrained pays for the false positive");
+
+        let mut selective = DepGraph::build(&block, DfgOptions::aggressive());
+        let before = selective.relaxable_edge_count();
+        let selective_report = apply(&block, &mut selective, MitigationPolicy::Selective);
+        assert_eq!(selective_report.gadgets, 0, "taint analysis proves the block leak-free");
+        assert_eq!(selective_report.hardened_edges, 0);
+        assert_eq!(selective.relaxable_edge_count(), before);
     }
 }

@@ -7,11 +7,20 @@ use std::fmt;
 /// The paper's Figure 4 compares `FineGrained` ("our approach") against
 /// `NoSpeculation`; the text additionally evaluates `Fence` and, of course,
 /// the `Unprotected` baseline against which slowdowns are reported.
+/// `Selective` is this repository's extension beyond the paper: the same
+/// fine-grained hardening, but gated on the `spectaint` leakage verdict, so
+/// blocks the taint analysis proves leak-free keep their full speculation
+/// freedom.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MitigationPolicy {
     /// No countermeasure: the engine speculates freely (the unsafe
     /// baseline).
     Unprotected,
+    /// Verdict-gated hardening: consult the `spectaint` speculative taint
+    /// analysis and constrain only blocks with a confirmed leakage gadget
+    /// (falling back to [`MitigationPolicy::FineGrained`] semantics there);
+    /// leak-free blocks are left untouched.
+    Selective,
     /// The paper's contribution: detect Spectre patterns with the poisoning
     /// analysis and constrain only the risky accesses (re-insert the control
     /// dependency between the speculative access and the instruction that
@@ -27,9 +36,11 @@ pub enum MitigationPolicy {
 }
 
 impl MitigationPolicy {
-    /// All policies, in the order used by the evaluation harness.
-    pub const ALL: [MitigationPolicy; 4] = [
+    /// All policies, in the order used by the evaluation harness: from the
+    /// unsafe baseline through increasingly blunt countermeasures.
+    pub const ALL: [MitigationPolicy; 5] = [
         MitigationPolicy::Unprotected,
+        MitigationPolicy::Selective,
         MitigationPolicy::FineGrained,
         MitigationPolicy::Fence,
         MitigationPolicy::NoSpeculation,
@@ -39,6 +50,7 @@ impl MitigationPolicy {
     pub fn label(self) -> &'static str {
         match self {
             MitigationPolicy::Unprotected => "unsafe",
+            MitigationPolicy::Selective => "selective",
             MitigationPolicy::FineGrained => "our-approach",
             MitigationPolicy::Fence => "fence",
             MitigationPolicy::NoSpeculation => "no-speculation",
@@ -72,6 +84,7 @@ mod tests {
     #[test]
     fn protection_classification() {
         assert!(!MitigationPolicy::Unprotected.is_protective());
+        assert!(MitigationPolicy::Selective.is_protective());
         assert!(MitigationPolicy::FineGrained.is_protective());
         assert!(MitigationPolicy::Fence.is_protective());
         assert!(MitigationPolicy::NoSpeculation.is_protective());

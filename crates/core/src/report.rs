@@ -20,6 +20,9 @@ pub struct MitigationReport {
     pub poisoned_values: usize,
     /// The detected Spectre patterns.
     pub patterns: Vec<SpectrePattern>,
+    /// Number of leakage gadgets confirmed by the `spectaint` taint
+    /// analysis (only populated under [`MitigationPolicy::Selective`]).
+    pub gadgets: usize,
     /// Number of relaxable (speculation) edges that were hardened.
     pub hardened_edges: usize,
     /// Number of relaxable edges remaining after mitigation.
@@ -56,6 +59,8 @@ pub struct MitigationSummary {
     pub blocks_with_patterns: usize,
     /// Total number of patterns.
     pub patterns: usize,
+    /// Total number of confirmed leakage gadgets (taint analysis).
+    pub gadgets: usize,
     /// Total number of edges hardened.
     pub hardened_edges: usize,
 }
@@ -73,6 +78,7 @@ impl MitigationSummary {
             self.blocks_with_patterns += 1;
         }
         self.patterns += report.patterns.len();
+        self.gadgets += report.gadgets;
         self.hardened_edges += report.hardened_edges;
     }
 }
@@ -103,6 +109,7 @@ mod tests {
                     poisoned_address: dbt_ir::Operand::Imm(0),
                 })
                 .collect(),
+            gadgets: 0,
             hardened_edges: hardened,
             remaining_relaxable_edges: 3,
         }

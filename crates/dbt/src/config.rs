@@ -45,6 +45,12 @@ impl DbtConfig {
         DbtConfig { policy: MitigationPolicy::FineGrained, ..DbtConfig::unprotected() }
     }
 
+    /// Verdict-gated hardening on top of aggressive speculation: only
+    /// blocks the `spectaint` analysis flags are constrained.
+    pub fn selective() -> DbtConfig {
+        DbtConfig { policy: MitigationPolicy::Selective, ..DbtConfig::unprotected() }
+    }
+
     /// Fence-on-detection variant.
     pub fn fence() -> DbtConfig {
         DbtConfig { policy: MitigationPolicy::Fence, ..DbtConfig::unprotected() }
@@ -64,6 +70,7 @@ impl DbtConfig {
     pub fn for_policy(policy: MitigationPolicy) -> DbtConfig {
         match policy {
             MitigationPolicy::Unprotected => DbtConfig::unprotected(),
+            MitigationPolicy::Selective => DbtConfig::selective(),
             MitigationPolicy::FineGrained => DbtConfig::fine_grained(),
             MitigationPolicy::Fence => DbtConfig::fence(),
             MitigationPolicy::NoSpeculation => DbtConfig::no_speculation(),
@@ -93,6 +100,7 @@ mod tests {
     fn presets_are_valid_and_distinct() {
         for config in [
             DbtConfig::unprotected(),
+            DbtConfig::selective(),
             DbtConfig::fine_grained(),
             DbtConfig::fence(),
             DbtConfig::no_speculation(),

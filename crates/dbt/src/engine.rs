@@ -13,7 +13,8 @@ use dbt_ir::{BlockKind, DepGraph, DfgOptions};
 use dbt_riscv::{DecodeError, GuestMemory, Inst};
 use dbt_vliw::TranslatedBlock;
 use ghostbusters::report::MitigationSummary;
-use ghostbusters::{apply, MitigationReport};
+use ghostbusters::{apply_with_verdict, MitigationReport};
+use spectaint::LeakageVerdict;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -153,26 +154,40 @@ impl DbtEngine {
         &self.tcache
     }
 
-    fn compile(&mut self, path: &GuestPath, kind: BlockKind) -> Result<TranslatedBlock, DbtError> {
+    fn compile(
+        &mut self,
+        path: &GuestPath,
+        kind: BlockKind,
+    ) -> Result<(TranslatedBlock, Option<(dbt_ir::IrBlock, LeakageVerdict)>), DbtError> {
         let block = translate_path(path, kind);
         block
             .validate()
             .map_err(|reason| DbtError::InvalidBlock { pc: block.entry_pc(), reason })?;
         // First-pass (basic) translations are conservative: no speculation,
-        // hence nothing for the mitigation to analyse. Only optimised
-        // superblocks speculate and go through GhostBusters.
+        // hence nothing for the mitigation or the taint analysis to see.
+        // Only optimised superblocks speculate and go through GhostBusters.
         let optimised = matches!(kind, BlockKind::Superblock { .. });
         let options =
             if optimised { self.config.speculation } else { DfgOptions::no_speculation() };
         let mut graph = DepGraph::build(&block, options);
+        let mut analysed = None;
         if optimised {
-            let report = apply(&block, &mut graph, self.config.policy);
+            // The taint analysis must see the original relaxable edges, so
+            // it runs before the mitigation hardens the graph. The verdict
+            // is computed exactly once per translation: the Selective
+            // policy consumes it here and the translation cache keeps it —
+            // together with the analysed IR block — for later inspection
+            // (`lab analyze`, differential tests).
+            let verdict = spectaint::analyze(&block, &graph);
+            let report = apply_with_verdict(&block, &mut graph, self.config.policy, Some(&verdict));
             self.summary.record(&report);
             self.reports.push((block.entry_pc(), report));
+            analysed = Some(verdict);
         }
         let sched = schedule(&block, &graph, self.config.issue_width)?;
         let alloc = RegAlloc::allocate(&block);
-        Ok(generate(&block, &graph, &sched, &alloc))
+        let code = generate(&block, &graph, &sched, &alloc);
+        Ok((code, analysed.map(|verdict| (block, verdict))))
     }
 
     fn remember_branch_meta(&mut self, path: &GuestPath) {
@@ -214,20 +229,27 @@ impl DbtEngine {
         if entries >= self.config.hot_threshold {
             let path = build_superblock(mem, pc, &self.profile, &self.config)?;
             let kind = BlockKind::Superblock { merged_blocks: path.merged_blocks };
-            let translated = self.compile(&path, kind)?;
+            let (translated, analysed) = self.compile(&path, kind)?;
             self.stats.superblock_translations += 1;
             self.stats.guest_insts_translated += path.len() as u64;
-            return Ok(self.tcache.insert(pc, Tier::Optimized, translated));
+            let (ir, verdict) = analysed.expect("optimised translations always carry a verdict");
+            return Ok(self.tcache.insert_optimized(pc, translated, ir, verdict));
         }
         if let Some((block, Tier::Basic)) = self.tcache.lookup(pc) {
             return Ok(block);
         }
         let path = build_basic_block(mem, pc, &self.config)?;
         self.remember_branch_meta(&path);
-        let translated = self.compile(&path, BlockKind::Basic)?;
+        let (translated, _) = self.compile(&path, BlockKind::Basic)?;
         self.stats.basic_translations += 1;
         self.stats.guest_insts_translated += path.len() as u64;
         Ok(self.tcache.insert(pc, Tier::Basic, translated))
+    }
+
+    /// The leakage verdicts of every optimised translation, sorted by
+    /// guest entry address.
+    pub fn verdicts(&self) -> Vec<(u64, Arc<LeakageVerdict>)> {
+        self.tcache.verdicts()
     }
 
     /// Feeds the outcome of one block execution back into the branch
@@ -330,6 +352,54 @@ mod tests {
             let _ = engine.block_for(entry, &mem).unwrap();
         }
         assert!(engine.mitigation_summary().blocks >= 1);
+    }
+
+    /// Heats the loop-head block (where the loop counter is a live-in, so
+    /// the bounds check genuinely constrains the buffer index) and biases
+    /// its bounds check towards fall-through.
+    fn heat_loop_head(engine: &mut DbtEngine, mem: &GuestMemory, entry: u64) -> u64 {
+        let loop_head = entry + 4; // past `li s0, 40`
+        let _ = engine.block_for(loop_head, mem).unwrap();
+        for _ in 0..40 {
+            engine.note_block_exit(loop_head, Some(entry + 4 * 6));
+        }
+        for _ in 0..DbtConfig::default().hot_threshold + 1 {
+            let _ = engine.block_for(loop_head, mem).unwrap();
+        }
+        loop_head
+    }
+
+    #[test]
+    fn optimized_translations_cache_their_verdicts() {
+        let (mem, entry) = victim_memory();
+        let mut engine = DbtEngine::new(DbtConfig::unprotected());
+        let _ = engine.block_for(entry, &mem).unwrap();
+        assert!(engine.verdicts().is_empty(), "basic translations carry no verdict");
+        let loop_head = heat_loop_head(&mut engine, &mem, entry);
+        let verdicts = engine.verdicts();
+        assert!(!verdicts.is_empty());
+        // The loop body is the bounds-checked double load with a live-in
+        // index: once the superblock merges past the check, the taint
+        // analysis confirms the gadget.
+        assert!(
+            verdicts.iter().any(|(_, v)| !v.is_leak_free()),
+            "the v1-shaped loop body must be flagged"
+        );
+        assert!(engine.tcache().verdict(loop_head).is_some());
+        // Re-requesting the block must reuse the cache, not re-analyse.
+        let before = engine.stats().superblock_translations;
+        let _ = engine.block_for(loop_head, &mem).unwrap();
+        assert_eq!(engine.stats().superblock_translations, before);
+    }
+
+    #[test]
+    fn selective_policy_hardens_the_flagged_victim() {
+        let (mem, entry) = victim_memory();
+        let mut engine = DbtEngine::new(DbtConfig::selective());
+        let _ = heat_loop_head(&mut engine, &mem, entry);
+        let summary = engine.mitigation_summary();
+        assert!(summary.gadgets > 0, "the victim loop carries a confirmed gadget");
+        assert!(summary.hardened_edges > 0, "selective must constrain the flagged block");
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub use config::DbtConfig;
 pub use engine::{DbtEngine, DbtError, EngineStats};
 pub use profile::Profile;
 pub use schedule::{Schedule, ScheduleError};
-pub use tcache::TranslationCache;
+pub use tcache::{CachedTranslation, Tier, TranslationCache};
 pub use trace_builder::{GuestPath, PathElement};
 pub use translate::translate_path;

@@ -6,7 +6,31 @@
 
 use crate::block::IrBlock;
 use crate::dfg::{DepGraph, DepKind};
+use crate::value::InstId;
 use std::fmt::Write as _;
+
+/// Optional taint coloring applied on top of the structural rendering.
+///
+/// The overlay is deliberately analysis-agnostic: it names instruction ids,
+/// not analysis types, so any client (the `spectaint` verdicts being the
+/// intended one) can project its result onto the graph without this crate
+/// depending on it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaintOverlay {
+    /// Taint sources: filled gold.
+    pub sources: Vec<InstId>,
+    /// Values carrying taint: filled orange.
+    pub tainted: Vec<InstId>,
+    /// Transmitting accesses (confirmed gadgets): filled red, bold border.
+    pub transmitters: Vec<InstId>,
+}
+
+impl TaintOverlay {
+    /// Returns `true` if the overlay colors nothing.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty() && self.tainted.is_empty() && self.transmitters.is_empty()
+    }
+}
 
 /// Renders `block` and `graph` as a Graphviz `digraph`.
 ///
@@ -25,13 +49,31 @@ use std::fmt::Write as _;
 /// assert!(text.starts_with("digraph"));
 /// ```
 pub fn render(block: &IrBlock, graph: &DepGraph) -> String {
+    render_with_overlay(block, graph, &TaintOverlay::default())
+}
+
+/// [`render`], coloring the nodes named by `overlay`: taint sources gold,
+/// tainted values orange, transmitters (gadgets) red with a bold border.
+/// Relaxable edges into a transmitter — the edges a selective mitigation
+/// hardens — are drawn bold red.
+pub fn render_with_overlay(block: &IrBlock, graph: &DepGraph, overlay: &TaintOverlay) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph ir_block {{");
     let _ = writeln!(out, "  rankdir=TB;");
     let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
     for inst in block.insts() {
         let label = format!("{inst}").replace('"', "'");
-        let _ = writeln!(out, "  n{} [label=\"{}\"];", inst.id.index(), label);
+        // Transmitter wins over source wins over mere taint.
+        let decoration = if overlay.transmitters.contains(&inst.id) {
+            ", style=filled, fillcolor=\"#e57373\", penwidth=2"
+        } else if overlay.sources.contains(&inst.id) {
+            ", style=filled, fillcolor=\"#ffd54f\""
+        } else if overlay.tainted.contains(&inst.id) {
+            ", style=filled, fillcolor=\"#ffb74d\""
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  n{} [label=\"{}\"{}];", inst.id.index(), label, decoration);
     }
     for edge in graph.edges() {
         let (style, color) = match edge.kind {
@@ -41,13 +83,17 @@ pub fn render(block: &IrBlock, graph: &DepGraph) -> String {
             DepKind::Order => ("solid", "grey"),
         };
         let color = if edge.relaxable { "blue" } else { color };
+        let feeds_transmitter = edge.relaxable && overlay.transmitters.contains(&edge.to);
+        let color = if feeds_transmitter { "red" } else { color };
+        let weight = if feeds_transmitter { ", penwidth=2" } else { "" };
         let _ = writeln!(
             out,
-            "  n{} -> n{} [style={}, color={}];",
+            "  n{} -> n{} [style={}, color={}{}];",
             edge.from.index(),
             edge.to.index(),
             style,
-            color
+            color,
+            weight
         );
     }
     let _ = writeln!(out, "}}");
@@ -87,5 +133,44 @@ mod tests {
         assert!(text.contains("digraph"));
         assert!(text.contains("n0 -> n1"));
         assert!(text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn overlay_colors_nodes_and_gadget_edges() {
+        use crate::value::InstId;
+        let mut block = IrBlock::new(0, BlockKind::Basic);
+        let c = block.push(IrOp::Const(0x100), 0, 0);
+        block.push(
+            IrOp::Store {
+                width: MemWidth::DOUBLE,
+                value: Operand::Imm(1),
+                base: Operand::LiveIn(dbt_riscv::Reg::A0),
+                offset: 0,
+            },
+            4,
+            1,
+        );
+        let l = block.push(
+            IrOp::Load { width: MemWidth::DOUBLE, base: Operand::Value(c), offset: 0 },
+            8,
+            2,
+        );
+        block.push(IrOp::Halt, 12, 3);
+        let graph = DepGraph::build(&block, DfgOptions::aggressive());
+
+        let plain = render_with_overlay(&block, &graph, &TaintOverlay::default());
+        assert!(!plain.contains("fillcolor"));
+
+        let overlay =
+            TaintOverlay { sources: vec![l], tainted: vec![InstId(0)], transmitters: vec![l] };
+        assert!(!overlay.is_empty());
+        let colored = render_with_overlay(&block, &graph, &overlay);
+        // The transmitter coloring wins over the source coloring on v2.
+        assert!(colored.contains(
+            "n2 [label=\"v2 = load.8 v0+0\", style=filled, fillcolor=\"#e57373\", penwidth=2]"
+        ));
+        assert!(colored.contains("fillcolor=\"#ffb74d\""), "tainted const is orange");
+        // The relaxable store→load edge feeding the transmitter is bold red.
+        assert!(colored.contains("n1 -> n2 [style=dashed, color=red, penwidth=2]"));
     }
 }

@@ -29,5 +29,6 @@ pub mod value;
 
 pub use block::{BlockExit, BlockKind, IrBlock};
 pub use dfg::{DepEdge, DepGraph, DepKind, DfgOptions};
+pub use dot::TaintOverlay;
 pub use inst::{IrInst, IrOp, MemWidth};
 pub use value::{InstId, Operand};

@@ -5,14 +5,16 @@
 //! cargo run --release -p dbt-lab -- run figure4/gemm/our-approach/default
 //! cargo run --release -p dbt-lab -- sweep                 # every sweep
 //! cargo run --release -p dbt-lab -- sweep figure4 --size small --threads 8
+//! cargo run --release -p dbt-lab -- analyze histogram    # taint verdicts
+//! cargo run --release -p dbt-lab -- analyze spectre-v1 --dot | dot -Tsvg
 //! ```
 //!
 //! `sweep` writes one `BENCH_<sweep>.json` per sweep (stable bytes, diffable
 //! across PRs) next to the human tables on stdout.
 
 use dbt_lab::{
-    format_attack_table, format_table, format_variant_table, run_sweep, ExecOptions, Registry,
-    ScenarioKind,
+    analyze_program, format_attack_table, format_table, format_variant_table, run_sweep,
+    ExecOptions, Registry, ScenarioKind,
 };
 use dbt_workloads::WorkloadSize;
 use std::process::ExitCode;
@@ -24,6 +26,8 @@ struct Args {
     threads: usize,
     json_dir: Option<String>,
     quiet: bool,
+    json: bool,
+    dot: bool,
 }
 
 fn usage() -> &'static str {
@@ -33,11 +37,16 @@ fn usage() -> &'static str {
      \x20 list                     list declared sweeps and their scenarios\n\
      \x20 run <scenario>           run one scenario by full name\n\
      \x20 sweep [name ...]         run the named sweeps (default: all)\n\
+     \x20 analyze <program>        per-block speculative-taint verdicts\n\
+     \x20                          (a workload name, ptr-matmul, spectre-v1\n\
+     \x20                          or spectre-v4)\n\
      \n\
      options:\n\
      \x20 --size mini|small        problem-size preset (default: mini)\n\
      \x20 --threads N              worker threads (default: one per CPU)\n\
      \x20 --json-dir DIR           write BENCH_<sweep>.json files to DIR\n\
+     \x20 --json                   analyze: stable machine-readable output\n\
+     \x20 --dot                    analyze: Graphviz with the taint overlay\n\
      \x20 --quiet                  no per-job progress on stderr\n"
 }
 
@@ -49,6 +58,8 @@ fn parse(args: &[String]) -> Result<Args, String> {
         threads: 0,
         json_dir: None,
         quiet: false,
+        json: false,
+        dot: false,
     };
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -71,6 +82,8 @@ fn parse(args: &[String]) -> Result<Args, String> {
                     Some(it.next().ok_or_else(|| "--json-dir expects a path".to_string())?.clone());
             }
             "--quiet" => parsed.quiet = true,
+            "--json" => parsed.json = true,
+            "--dot" => parsed.dot = true,
             flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
             positional => parsed.positional.push(positional.to_string()),
         }
@@ -129,15 +142,18 @@ fn cmd_sweep(registry: &Registry, args: &Args) -> Result<(), String> {
         }
 
         println!("== {} — {}\n", sweep.name, sweep.description);
-        match sweep.kind {
-            // A perf sweep with one policy and several platform variants
-            // compares machines, not countermeasures — use the variant
-            // layout (e.g. the speculation ablation).
-            ScenarioKind::Perf if sweep.policies.len() == 1 && sweep.platforms.len() > 1 => {
-                println!("{}", format_variant_table(&report));
-            }
-            ScenarioKind::Perf => println!("{}", format_table(&report.slowdown_rows())),
-            ScenarioKind::Attack => println!("{}", format_attack_table(&report)),
+        let has_perf = report.results.iter().any(|r| r.scenario.kind == ScenarioKind::Perf);
+        let has_attack = report.results.iter().any(|r| r.scenario.kind == ScenarioKind::Attack);
+        // A perf sweep with one policy and several platform variants
+        // compares machines, not countermeasures — use the variant layout
+        // (e.g. the speculation ablation).
+        if has_perf && sweep.policies.len() == 1 && sweep.platforms.len() > 1 {
+            println!("{}", format_variant_table(&report));
+        } else if has_perf {
+            println!("{}", format_table(&report.slowdown_table()));
+        }
+        if has_attack {
+            println!("{}", format_attack_table(&report));
         }
 
         if let Some(dir) = &args.json_dir {
@@ -151,6 +167,22 @@ fn cmd_sweep(registry: &Registry, args: &Args) -> Result<(), String> {
     }
     if !args.quiet {
         eprintln!("[lab] {total_jobs} scenario(s) executed");
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let program = args
+        .positional
+        .first()
+        .ok_or_else(|| "analyze expects a program name (e.g. `lab analyze gemm`)".to_string())?;
+    let report = analyze_program(program, args.size)?;
+    if args.json {
+        print!("{}", report.to_json());
+    } else if args.dot {
+        print!("{}", report.to_dot());
+    } else {
+        print!("{report}");
     }
     Ok(())
 }
@@ -172,6 +204,7 @@ fn main() -> ExitCode {
         }
         "run" => cmd_run(&registry, &args),
         "sweep" => cmd_sweep(&registry, &args),
+        "analyze" => cmd_analyze(&args),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
     };
     match result {

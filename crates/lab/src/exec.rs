@@ -347,11 +347,11 @@ mod tests {
     fn baseline_is_simulated_once_per_program() {
         let scenarios = tiny_sweep().expand();
         let report = run_sweep("tiny", &scenarios, ExecOptions { threads: 4, verbose: false });
-        assert_eq!(report.stats.jobs, 8);
-        // 2 programs ⇒ 2 baselines; the 2×3 protected runs add one
+        assert_eq!(report.stats.jobs, 10);
+        // 2 programs ⇒ 2 baselines; the 2×4 protected runs add one
         // simulation each; the 2 unprotected jobs reuse the cached baseline.
         assert_eq!(report.stats.baseline_simulations, 2);
-        assert_eq!(report.stats.simulations, 8);
+        assert_eq!(report.stats.simulations, 10);
     }
 
     #[test]
@@ -388,7 +388,7 @@ mod tests {
             .program("nope", ProgramSpec::Workload { name: "nope", size: WorkloadSize::Mini })
             .expand();
         let report = run_sweep("broken", &scenarios, ExecOptions::default());
-        assert_eq!(report.results.len(), 4);
+        assert_eq!(report.results.len(), 5);
         for result in &report.results {
             assert!(matches!(result.outcome, JobOutcome::Failed { .. }));
         }

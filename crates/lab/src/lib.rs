@@ -30,26 +30,28 @@
 //! let sweep = Sweep::new("demo", "one kernel, every policy", ScenarioKind::Perf)
 //!     .program("gemm", ProgramSpec::Workload { name: "gemm", size: WorkloadSize::Mini });
 //! let report = run_sweep(&sweep.name, &sweep.expand(), ExecOptions::default());
-//! assert_eq!(report.results.len(), 4);
+//! assert_eq!(report.results.len(), 5);
 //! assert_eq!(report.stats.baseline_simulations, 1);
 //! println!("{}", report.to_json());
 //! ```
 
+pub mod analyze;
 pub mod exec;
 pub mod json;
 pub mod registry;
 pub mod scenario;
 pub mod table;
 
+pub use analyze::{analyze_program, AnalyzeReport, BlockAnalysis};
 pub use exec::{
     run_sweep, AttackMetrics, BaselineCache, ExecOptions, ExecStats, JobOutcome, JobResult,
     LabReport, PerfMetrics, SimOut,
 };
-pub use registry::{Registry, Sweep, DEFAULT_SECRET};
+pub use registry::{Registry, Sweep, SweepProgram, DEFAULT_SECRET};
 pub use scenario::{
     AttackVariant, PlatformOverrides, PlatformVariant, ProgramSpec, Scenario, ScenarioKind,
 };
 pub use table::{
     format_attack_table, format_table, format_variant_table, geometric_mean, measure_slowdowns,
-    SlowdownRow,
+    SlowdownRow, SlowdownTable,
 };

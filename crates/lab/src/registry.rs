@@ -15,6 +15,19 @@ use ghostbusters::MitigationPolicy;
 /// artifact.
 pub const DEFAULT_SECRET: &[u8] = b"GhostBusters";
 
+/// One entry on a sweep's program axis.
+#[derive(Debug, Clone)]
+pub struct SweepProgram {
+    /// Row label.
+    pub label: String,
+    /// How to build the guest program.
+    pub spec: ProgramSpec,
+    /// Per-program measurement override; `None` inherits the sweep's kind.
+    /// This is what lets one sweep mix slowdown rows (workloads) with
+    /// secret-recovery rows (the attack programs).
+    pub kind: Option<ScenarioKind>,
+}
+
 /// A declarative cartesian sweep.
 #[derive(Debug, Clone)]
 pub struct Sweep {
@@ -22,10 +35,10 @@ pub struct Sweep {
     pub name: String,
     /// One-line description shown by `lab list`.
     pub description: String,
-    /// What the expanded scenarios measure.
+    /// What the expanded scenarios measure (per-program overrides allowed).
     pub kind: ScenarioKind,
-    /// Program axis: `(row label, program recipe)`.
-    pub programs: Vec<(String, ProgramSpec)>,
+    /// Program axis.
+    pub programs: Vec<SweepProgram>,
     /// Policy axis.
     pub policies: Vec<MitigationPolicy>,
     /// Platform axis.
@@ -45,9 +58,15 @@ impl Sweep {
         }
     }
 
-    /// Adds one program to the program axis.
+    /// Adds one program to the program axis, measured as the sweep's kind.
     pub fn program(mut self, label: &str, spec: ProgramSpec) -> Sweep {
-        self.programs.push((label.to_string(), spec));
+        self.programs.push(SweepProgram { label: label.to_string(), spec, kind: None });
+        self
+    }
+
+    /// Adds one program measured as `kind`, overriding the sweep's kind.
+    pub fn program_as(mut self, label: &str, spec: ProgramSpec, kind: ScenarioKind) -> Sweep {
+        self.programs.push(SweepProgram { label: label.to_string(), spec, kind: Some(kind) });
         self
     }
 
@@ -74,22 +93,22 @@ impl Sweep {
     /// then policy), so tables group naturally by row.
     pub fn expand(&self) -> Vec<Scenario> {
         let mut jobs = Vec::with_capacity(self.job_count());
-        for (label, spec) in &self.programs {
+        for program in &self.programs {
             for platform in &self.platforms {
                 for &policy in &self.policies {
                     jobs.push(Scenario {
                         name: format!(
                             "{}/{}/{}/{}",
                             self.name,
-                            label,
+                            program.label,
                             policy.label(),
                             platform.name
                         ),
-                        program_label: label.clone(),
-                        program: spec.clone(),
+                        program_label: program.label.clone(),
+                        program: program.spec.clone(),
                         policy,
                         platform: platform.clone(),
-                        kind: self.kind,
+                        kind: program.kind.unwrap_or(self.kind),
                     });
                 }
             }
@@ -126,7 +145,11 @@ impl Registry {
     /// * `ablation` — contribution of each speculation mechanism
     ///   (platform-axis sweep over the speculation toggles);
     /// * `issue-width` — scaling of the countermeasure cost with the VLIW
-    ///   issue width (platform-axis sweep).
+    ///   issue width (platform-axis sweep);
+    /// * `selective-vs-blanket` — the `spectaint` extension: every workload
+    ///   plus both attack programs under every policy, showing that the
+    ///   verdict-gated `selective` policy blocks both attacks while beating
+    ///   the blanket fine-grained mitigation on leak-free kernels.
     pub fn standard(size: WorkloadSize) -> Registry {
         let mut registry = Registry::empty();
 
@@ -222,6 +245,26 @@ impl Registry {
             ),
         );
 
+        let mut selective = Sweep::new(
+            "selective-vs-blanket",
+            "Selective (taint-verdict gated) vs blanket mitigations: \
+             slowdowns on leak-free workloads, secret recovery on both attacks",
+            ScenarioKind::Perf,
+        );
+        for workload in suite(size) {
+            selective = selective
+                .program(workload.name, ProgramSpec::Workload { name: workload.name, size });
+        }
+        selective = selective.program("ptr-matmul", ProgramSpec::PointerMatmul { size });
+        for variant in [AttackVariant::SpectreV1, AttackVariant::SpectreV4] {
+            selective = selective.program_as(
+                variant.label(),
+                ProgramSpec::Attack { variant, secret: DEFAULT_SECRET.to_vec() },
+                ScenarioKind::Attack,
+            );
+        }
+        registry.push(selective);
+
         registry
     }
 
@@ -258,10 +301,11 @@ mod tests {
             .program("b", ProgramSpec::Workload { name: "atax", size: WorkloadSize::Mini });
         let jobs = sweep.expand();
         assert_eq!(jobs.len(), sweep.job_count());
-        assert_eq!(jobs.len(), 8);
+        assert_eq!(jobs.len(), 10);
         assert_eq!(jobs[0].name, "t/a/unsafe/default");
-        assert_eq!(jobs[3].name, "t/a/no-speculation/default");
-        assert_eq!(jobs[4].name, "t/b/unsafe/default");
+        assert_eq!(jobs[1].name, "t/a/selective/default");
+        assert_eq!(jobs[4].name, "t/a/no-speculation/default");
+        assert_eq!(jobs[5].name, "t/b/unsafe/default");
         let names: std::collections::BTreeSet<_> = jobs.iter().map(|j| j.name.clone()).collect();
         assert_eq!(names.len(), jobs.len(), "scenario names must be unique");
     }
@@ -270,15 +314,40 @@ mod tests {
     fn standard_registry_matches_the_paper_artifacts() {
         let registry = Registry::standard(WorkloadSize::Mini);
         let names: Vec<_> = registry.sweeps().iter().map(|s| s.name.as_str()).collect();
-        assert_eq!(names, ["figure4", "attack-table", "ptr-matmul", "ablation", "issue-width"]);
-        // ≥ 6 workloads × 4 policies plus both attacks × 4 policies, as the
-        // acceptance criterion requires.
-        assert!(registry.find("figure4").unwrap().job_count() >= 24);
-        assert_eq!(registry.find("attack-table").unwrap().job_count(), 8);
+        assert_eq!(
+            names,
+            [
+                "figure4",
+                "attack-table",
+                "ptr-matmul",
+                "ablation",
+                "issue-width",
+                "selective-vs-blanket"
+            ]
+        );
+        // ≥ 6 workloads × every policy plus both attacks × every policy.
+        assert!(registry.find("figure4").unwrap().job_count() >= 30);
+        assert_eq!(registry.find("attack-table").unwrap().job_count(), 10);
         assert_eq!(registry.find("ablation").unwrap().platforms.len(), 4);
         let all = registry.all_scenarios();
         let names: std::collections::BTreeSet<_> = all.iter().map(|s| s.name.clone()).collect();
         assert_eq!(names.len(), all.len(), "scenario names must be unique across sweeps");
+    }
+
+    #[test]
+    fn selective_sweep_mixes_perf_workloads_with_attack_rows() {
+        let registry = Registry::standard(WorkloadSize::Mini);
+        let sweep = registry.find("selective-vs-blanket").unwrap();
+        assert_eq!(sweep.policies, MitigationPolicy::ALL.to_vec());
+        let jobs = sweep.expand();
+        let perf = jobs.iter().filter(|j| j.kind == ScenarioKind::Perf).count();
+        let attack = jobs.iter().filter(|j| j.kind == ScenarioKind::Attack).count();
+        assert_eq!(attack, 2 * MitigationPolicy::ALL.len(), "both attacks under every policy");
+        assert!(perf >= 14 * MitigationPolicy::ALL.len(), "all suite kernels plus ptr-matmul");
+        // The new leak-free-but-flagged kernels ride in this sweep.
+        for name in ["histogram", "stream-lut"] {
+            assert!(jobs.iter().any(|j| j.program_label == name), "{name} missing");
+        }
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! Human-readable emitters (moved here from `dbt-bench`): the Figure-4
-//! slowdown table and the Section V-A attack table, both derivable from a
+//! Human-readable emitters: the Figure-4 slowdown table (with a dynamic
+//! policy axis) and the Section V-A attack table, both derivable from a
 //! [`LabReport`].
 
 use crate::exec::{JobOutcome, LabReport};
@@ -15,12 +15,26 @@ pub struct SlowdownRow {
     pub name: String,
     /// Cycles of the unprotected baseline.
     pub baseline_cycles: u64,
-    /// Slowdown (relative execution time, 1.0 = baseline) per policy, in the
-    /// order of [`MitigationPolicy::ALL`].
-    pub slowdown: [f64; 4],
+    /// Slowdown (relative execution time, 1.0 = baseline) per policy, in
+    /// the column order of the owning [`SlowdownTable`] (for the legacy
+    /// [`measure_slowdowns`] helper: the order of [`MitigationPolicy::ALL`]).
+    pub slowdown: Vec<f64>,
 }
 
-/// Measures one workload under every mitigation policy, serially.
+/// A complete slowdown table: the policy axis plus one row per workload.
+///
+/// The policy axis is data, not a constant: sweeps choose their own policy
+/// lists, and the table renders whatever columns the report contains.
+#[derive(Debug, Clone)]
+pub struct SlowdownTable {
+    /// The column axis, in first-appearance order of the report.
+    pub policies: Vec<MitigationPolicy>,
+    /// One row per `(program, platform)` pair, in first-appearance order.
+    pub rows: Vec<SlowdownRow>,
+}
+
+/// Measures one workload under every mitigation policy
+/// ([`MitigationPolicy::ALL`] order), serially.
 ///
 /// The sweep executor is the preferred way to produce [`SlowdownRow`]s (it
 /// parallelises and caches baselines); this helper remains for one-off
@@ -30,15 +44,12 @@ pub struct SlowdownRow {
 ///
 /// Propagates platform errors (translation faults, budget exhaustion).
 pub fn measure_slowdowns(name: &str, program: &Program) -> Result<SlowdownRow, PlatformError> {
-    let mut cycles = [0u64; 4];
-    for (i, policy) in MitigationPolicy::ALL.iter().enumerate() {
-        cycles[i] = run_program(program, dbt_platform::PlatformConfig::for_policy(*policy))?.cycles;
+    let mut cycles = Vec::with_capacity(MitigationPolicy::ALL.len());
+    for policy in MitigationPolicy::ALL {
+        cycles.push(run_program(program, dbt_platform::PlatformConfig::for_policy(policy))?.cycles);
     }
     let baseline = cycles[0].max(1);
-    let mut slowdown = [0.0; 4];
-    for i in 0..4 {
-        slowdown[i] = cycles[i] as f64 / baseline as f64;
-    }
+    let slowdown = cycles.iter().map(|&c| c as f64 / baseline as f64).collect();
     Ok(SlowdownRow { name: name.to_string(), baseline_cycles: cycles[0], slowdown })
 }
 
@@ -50,14 +61,25 @@ pub fn geometric_mean(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| x.max(f64::MIN_POSITIVE).ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 
-/// Formats a slowdown table in the layout of the paper's Figure 4.
+/// Formats a slowdown table in the layout of the paper's Figure 4, one
+/// column per protective policy in the table's axis.
 ///
 /// The summary reports both the arithmetic mean of relative execution times
 /// (what the paper's text quotes) and the true geometric mean, each labeled
 /// honestly. Missing measurements (NaN slowdowns, e.g. from failed jobs)
 /// render as `n/a` and are excluded from both means.
-pub fn format_table(rows: &[SlowdownRow]) -> String {
+pub fn format_table(table: &SlowdownTable) -> String {
     use std::fmt::Write as _;
+    // Column 0 (the unprotected baseline) renders as raw cycles; every
+    // other policy gets a percentage column wide enough for its label.
+    let columns: Vec<(usize, usize)> = table
+        .policies
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| **p != MitigationPolicy::Unprotected)
+        .map(|(i, p)| (i, p.label().len().max(9)))
+        .collect();
+
     fn cell(x: f64, width: usize) -> String {
         if x.is_finite() {
             format!("{:>width$.1}%", x * 100.0, width = width)
@@ -65,29 +87,29 @@ pub fn format_table(rows: &[SlowdownRow]) -> String {
             format!("{:>width$}", "n/a", width = width + 1)
         }
     }
+
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:<16} {:>12} {:>14} {:>10} {:>16}",
-        "kernel", "unsafe (cyc)", "our approach", "fence", "no speculation"
-    );
-    let mut samples: [Vec<f64>; 4] = Default::default();
-    for row in rows {
-        let _ = writeln!(
-            out,
-            "{:<16} {:>12} {} {} {}",
-            row.name,
-            row.baseline_cycles,
-            cell(row.slowdown[1], 13),
-            cell(row.slowdown[2], 9),
-            cell(row.slowdown[3], 15),
-        );
-        for (column, slowdown) in samples.iter_mut().zip(row.slowdown) {
+    let _ = write!(out, "{:<16} {:>12}", "kernel", "unsafe (cyc)");
+    for (index, width) in &columns {
+        let _ = write!(out, " {:>w$}", table.policies[*index].label(), w = width + 1);
+    }
+    out.push('\n');
+
+    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); table.policies.len()];
+    for row in &table.rows {
+        let _ = write!(out, "{:<16} {:>12}", row.name, row.baseline_cycles);
+        for (index, width) in &columns {
+            let slowdown = row.slowdown.get(*index).copied().unwrap_or(f64::NAN);
+            let _ = write!(out, " {}", cell(slowdown, *width));
+        }
+        out.push('\n');
+        for (column, &slowdown) in samples.iter_mut().zip(&row.slowdown) {
             if slowdown.is_finite() {
                 column.push(slowdown);
             }
         }
     }
+
     let arith = |xs: &[f64]| {
         if xs.is_empty() {
             f64::NAN
@@ -95,25 +117,14 @@ pub fn format_table(rows: &[SlowdownRow]) -> String {
             xs.iter().sum::<f64>() / xs.len() as f64
         }
     };
-    let _ = writeln!(
-        out,
-        "{:<16} {:>12} {} {} {}",
-        "arith-mean*",
-        "",
-        cell(arith(&samples[1]), 13),
-        cell(arith(&samples[2]), 9),
-        cell(arith(&samples[3]), 15),
-    );
     let geo = |xs: &[f64]| if xs.is_empty() { f64::NAN } else { geometric_mean(xs) };
-    let _ = writeln!(
-        out,
-        "{:<16} {:>12} {} {} {}",
-        "geo-mean",
-        "",
-        cell(geo(&samples[1]), 13),
-        cell(geo(&samples[2]), 9),
-        cell(geo(&samples[3]), 15),
-    );
+    for (label, mean) in [("arith-mean*", &arith as &dyn Fn(&[f64]) -> f64), ("geo-mean", &geo)] {
+        let _ = write!(out, "{:<16} {:>12}", label, "");
+        for (index, width) in &columns {
+            let _ = write!(out, " {}", cell(mean(&samples[*index]), *width));
+        }
+        out.push('\n');
+    }
     let _ =
         writeln!(out, "(* arithmetic mean of relative execution times, as in the paper's text)");
     out
@@ -196,7 +207,7 @@ pub fn format_attack_table(report: &LabReport) -> String {
                     m.patterns
                 );
             }
-            JobOutcome::Failed { error } => {
+            JobOutcome::Failed { error } if result.scenario.kind == ScenarioKind::Attack => {
                 let _ = writeln!(
                     out,
                     "{:<12} {:<15} failed: {error}",
@@ -204,21 +215,30 @@ pub fn format_attack_table(report: &LabReport) -> String {
                     result.scenario.policy.label(),
                 );
             }
-            JobOutcome::Perf(_) => {}
+            _ => {}
         }
     }
     out
 }
 
 impl LabReport {
-    /// Collapses the perf results into Figure-4-style rows.
+    /// Collapses the perf results into a Figure-4-style table.
     ///
-    /// Rows are keyed by `(program label, platform)` in first-appearance
-    /// order; the platform name is appended to the row label whenever the
-    /// sweep has a non-trivial platform axis. Attack-kind jobs are skipped;
+    /// The policy axis is collected in first-appearance order; rows are
+    /// keyed by `(program label, platform)` in first-appearance order, and
+    /// the platform name is appended to the row label whenever the sweep
+    /// has a non-trivial platform axis. Attack-kind jobs are skipped;
     /// failed jobs leave their slot at NaN, which [`format_table`] renders
     /// as `n/a` and excludes from the means (see [`LabReport::failures`]).
-    pub fn slowdown_rows(&self) -> Vec<SlowdownRow> {
+    pub fn slowdown_table(&self) -> SlowdownTable {
+        let mut policies: Vec<MitigationPolicy> = Vec::new();
+        for result in &self.results {
+            if result.scenario.kind == ScenarioKind::Perf
+                && !policies.contains(&result.scenario.policy)
+            {
+                policies.push(result.scenario.policy);
+            }
+        }
         let multi_platform = {
             let mut platforms: Vec<&str> =
                 self.results.iter().map(|r| r.scenario.platform.name.as_str()).collect();
@@ -245,20 +265,24 @@ impl LabReport {
                         key.0.clone()
                     };
                     keys.push(key);
-                    rows.push(SlowdownRow { name, baseline_cycles: 0, slowdown: [f64::NAN; 4] });
+                    rows.push(SlowdownRow {
+                        name,
+                        baseline_cycles: 0,
+                        slowdown: vec![f64::NAN; policies.len()],
+                    });
                     rows.len() - 1
                 }
             };
             if let Some(metrics) = metrics {
-                let policy_index = MitigationPolicy::ALL
+                let policy_index = policies
                     .iter()
                     .position(|p| *p == result.scenario.policy)
-                    .expect("policy is one of ALL");
+                    .expect("policy was collected above");
                 rows[index].baseline_cycles = metrics.baseline_cycles;
                 rows[index].slowdown[policy_index] = metrics.slowdown();
             }
         }
-        rows
+        SlowdownTable { policies, rows }
     }
 
     /// Failed jobs of this sweep, as `(scenario name, error)` pairs — for
@@ -278,8 +302,12 @@ impl LabReport {
 mod tests {
     use super::*;
 
-    fn row(name: &str, slowdown: [f64; 4]) -> SlowdownRow {
-        SlowdownRow { name: name.to_string(), baseline_cycles: 1000, slowdown }
+    fn table(rows: Vec<SlowdownRow>) -> SlowdownTable {
+        SlowdownTable { policies: MitigationPolicy::ALL.to_vec(), rows }
+    }
+
+    fn row(name: &str, slowdown: &[f64]) -> SlowdownRow {
+        SlowdownRow { name: name.to_string(), baseline_cycles: 1000, slowdown: slowdown.to_vec() }
     }
 
     #[test]
@@ -293,14 +321,26 @@ mod tests {
     fn table_reports_both_means_honestly() {
         // Arithmetic mean of [1.0, 4.0] is 2.5; geometric mean is 2.0 — the
         // table must show both, labeled.
-        let rows = [row("a", [1.0, 1.0, 1.0, 1.0]), row("b", [1.0, 4.0, 4.0, 4.0])];
-        let table = format_table(&rows);
-        assert!(table.contains("arith-mean*"), "{table}");
-        assert!(table.contains("geo-mean"), "{table}");
-        let arith = table.lines().find(|l| l.starts_with("arith-mean*")).unwrap();
-        let geo = table.lines().find(|l| l.starts_with("geo-mean")).unwrap();
+        let t =
+            table(vec![row("a", &[1.0, 1.0, 1.0, 1.0, 1.0]), row("b", &[1.0, 1.0, 4.0, 4.0, 4.0])]);
+        let text = format_table(&t);
+        assert!(text.contains("arith-mean*"), "{text}");
+        assert!(text.contains("geo-mean"), "{text}");
+        let arith = text.lines().find(|l| l.starts_with("arith-mean*")).unwrap();
+        let geo = text.lines().find(|l| l.starts_with("geo-mean")).unwrap();
         assert!(arith.contains("250.0%"), "{arith}");
         assert!(geo.contains("200.0%"), "{geo}");
+    }
+
+    #[test]
+    fn every_protective_policy_gets_a_labeled_column() {
+        let t = table(vec![row("a", &[1.0, 1.0, 1.1, 1.2, 1.3])]);
+        let text = format_table(&t);
+        let header = text.lines().next().unwrap();
+        for policy in &MitigationPolicy::ALL[1..] {
+            assert!(header.contains(policy.label()), "missing column {policy}: {header}");
+        }
+        assert!(header.contains("unsafe (cyc)"));
     }
 
     #[test]
@@ -332,6 +372,7 @@ mod tests {
             sweep: "t".into(),
             results: vec![
                 ok(MitigationPolicy::Unprotected, 1000),
+                ok(MitigationPolicy::Selective, 1000),
                 ok(MitigationPolicy::FineGrained, 1100),
                 ok(MitigationPolicy::Fence, 1200),
                 JobResult {
@@ -339,16 +380,17 @@ mod tests {
                     outcome: JobOutcome::Failed { error: "budget exhausted".into() },
                 },
             ],
-            stats: ExecStats { jobs: 4, simulations: 3, baseline_simulations: 1 },
+            stats: ExecStats { jobs: 5, simulations: 4, baseline_simulations: 1 },
         };
-        let rows = report.slowdown_rows();
-        assert_eq!(rows.len(), 1);
-        assert!(rows[0].slowdown[3].is_nan(), "failed slot must be NaN, not 0.0");
-        let table = format_table(&rows);
-        let gemm = table.lines().find(|l| l.starts_with("gemm")).unwrap();
-        assert!(gemm.contains("n/a"), "{table}");
-        assert!(!table.contains(" 0.0%"), "failure must not read as a 0% slowdown: {table}");
-        let geo = table.lines().find(|l| l.starts_with("geo-mean")).unwrap();
+        let t = report.slowdown_table();
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.policies.len(), 5);
+        assert!(t.rows[0].slowdown[4].is_nan(), "failed slot must be NaN, not 0.0");
+        let text = format_table(&t);
+        let gemm = text.lines().find(|l| l.starts_with("gemm")).unwrap();
+        assert!(gemm.contains("n/a"), "{text}");
+        assert!(!text.contains(" 0.0%"), "failure must not read as a 0% slowdown: {text}");
+        let geo = text.lines().find(|l| l.starts_with("geo-mean")).unwrap();
         assert!(geo.trim_end().ends_with("n/a"), "all-failed column mean must be n/a: {geo}");
         assert_eq!(report.failures(), vec![("t/gemm/no-speculation/default", "budget exhausted")]);
     }
@@ -362,6 +404,7 @@ mod tests {
         .build()
         .unwrap();
         let row = measure_slowdowns("gemm", &program).unwrap();
+        assert_eq!(row.slowdown.len(), MitigationPolicy::ALL.len());
         assert!((row.slowdown[0] - 1.0).abs() < 1e-12);
         assert!(row.baseline_cycles > 0);
     }

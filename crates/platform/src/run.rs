@@ -37,6 +37,8 @@ pub struct PolicyComparison {
     pub name: String,
     /// Cycles of the unprotected (unsafe) run.
     pub unprotected_cycles: u64,
+    /// Cycles with the verdict-gated selective countermeasure.
+    pub selective_cycles: u64,
     /// Cycles with the fine-grained countermeasure ("our approach").
     pub fine_grained_cycles: u64,
     /// Cycles with the fence-on-detection countermeasure.
@@ -46,7 +48,7 @@ pub struct PolicyComparison {
 }
 
 impl PolicyComparison {
-    /// Runs `program` under all four policies.
+    /// Runs `program` under every policy.
     ///
     /// # Errors
     ///
@@ -55,6 +57,7 @@ impl PolicyComparison {
         Ok(PolicyComparison {
             name: name.to_string(),
             unprotected_cycles: run_with_policy(program, MitigationPolicy::Unprotected)?.cycles,
+            selective_cycles: run_with_policy(program, MitigationPolicy::Selective)?.cycles,
             fine_grained_cycles: run_with_policy(program, MitigationPolicy::FineGrained)?.cycles,
             fence_cycles: run_with_policy(program, MitigationPolicy::Fence)?.cycles,
             no_speculation_cycles: run_with_policy(program, MitigationPolicy::NoSpeculation)?
@@ -67,6 +70,7 @@ impl PolicyComparison {
     pub fn slowdown(&self, policy: MitigationPolicy) -> f64 {
         let cycles = match policy {
             MitigationPolicy::Unprotected => self.unprotected_cycles,
+            MitigationPolicy::Selective => self.selective_cycles,
             MitigationPolicy::FineGrained => self.fine_grained_cycles,
             MitigationPolicy::Fence => self.fence_cycles,
             MitigationPolicy::NoSpeculation => self.no_speculation_cycles,
@@ -79,9 +83,10 @@ impl fmt::Display for PolicyComparison {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:<14} unsafe={:>10} our-approach={:>6.1}% fence={:>6.1}% no-spec={:>6.1}%",
+            "{:<14} unsafe={:>10} selective={:>6.1}% our-approach={:>6.1}% fence={:>6.1}% no-spec={:>6.1}%",
             self.name,
             self.unprotected_cycles,
+            self.slowdown(MitigationPolicy::Selective) * 100.0,
             self.slowdown(MitigationPolicy::FineGrained) * 100.0,
             self.slowdown(MitigationPolicy::Fence) * 100.0,
             self.slowdown(MitigationPolicy::NoSpeculation) * 100.0,

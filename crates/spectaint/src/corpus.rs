@@ -1,0 +1,473 @@
+//! Deterministic gadget corpus: seeded generation of complete guest
+//! programs (attack-harness shaped) and of random IR blocks.
+//!
+//! The corpus is the analysis' empirical ground truth. Each generated
+//! program is a full side-channel harness — victim, training loop, probe
+//! flush, attack call, timed reload, `recovered` output buffer — around one
+//! of four planted shapes:
+//!
+//! * [`PlantedShape::V1Gadget`] / [`PlantedShape::V4Gadget`] — genuine
+//!   Spectre v1 / v4 gadgets that leak the planted secret on the simulated
+//!   processor when unprotected;
+//! * [`PlantedShape::V1Benign`] / [`PlantedShape::V4Benign`] — the same
+//!   code shapes with the attacker's handle removed (guard unrelated to the
+//!   accessed index; bypassed store on a disjoint region). The blanket
+//!   poisoning analysis still flags them; the taint analysis must prove
+//!   them leak-free, and the differential test checks that they indeed do
+//!   not leak.
+//!
+//! Everything is derived from a caller-provided seed through a xorshift
+//! PRNG — no wall clock, no global state — so the corpus is byte-stable
+//! across runs, threads and machines.
+
+use dbt_ir::{BlockKind, InstId, IrBlock, IrOp, MemWidth, Operand};
+use dbt_riscv::inst::AluOp;
+use dbt_riscv::{AsmError, Assembler, BranchCond, DataRef, Program, Reg};
+
+/// Number of distinct values a leaked byte can take.
+const PROBE_ENTRIES: u64 = 256;
+/// One probe entry per cache line (see `dbt_attacks::probe`).
+const PROBE_STRIDE: u64 = 64;
+/// log2 of [`PROBE_STRIDE`].
+const PROBE_SHIFT: i64 = 6;
+
+/// A tiny xorshift64 PRNG: deterministic, seedable, `no_std`-grade.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a non-zero seed (zero is mapped away).
+    pub fn new(seed: u64) -> XorShift64 {
+        XorShift64 { state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed } }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// A value in `0..bound` (`bound` ≥ 1).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+
+    /// A value in `lo..=hi`.
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_below(hi - lo + 1)
+    }
+}
+
+/// What a corpus program has planted in its victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlantedShape {
+    /// A real bound-check-bypass gadget (leaks when unprotected).
+    V1Gadget,
+    /// A guard unrelated to the accessed index (must not leak).
+    V1Benign,
+    /// A real store-bypass gadget (leaks when unprotected).
+    V4Gadget,
+    /// The bypassed store targets a disjoint region (must not leak).
+    V4Benign,
+}
+
+impl PlantedShape {
+    /// All shapes, in generation rotation order.
+    pub const ALL: [PlantedShape; 4] = [
+        PlantedShape::V1Gadget,
+        PlantedShape::V1Benign,
+        PlantedShape::V4Gadget,
+        PlantedShape::V4Benign,
+    ];
+
+    /// Stable label used in corpus program names.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlantedShape::V1Gadget => "v1-gadget",
+            PlantedShape::V1Benign => "v1-benign",
+            PlantedShape::V4Gadget => "v4-gadget",
+            PlantedShape::V4Benign => "v4-benign",
+        }
+    }
+
+    /// Whether the planted shape is a genuine gadget.
+    pub fn is_gadget(self) -> bool {
+        matches!(self, PlantedShape::V1Gadget | PlantedShape::V4Gadget)
+    }
+}
+
+/// One generated corpus program.
+#[derive(Debug, Clone)]
+pub struct CorpusProgram {
+    /// Stable name: `corpus-<index>-<shape>`.
+    pub name: String,
+    /// What the victim contains.
+    pub shape: PlantedShape,
+    /// The planted secret (what a successful attack recovers).
+    pub secret: Vec<u8>,
+    /// The assembled guest program (defines the `recovered` symbol).
+    pub program: Program,
+}
+
+/// Generates `count` corpus programs from `seed`, rotating through the four
+/// shapes so every prefix of the corpus covers gadgets and benign programs.
+///
+/// # Panics
+///
+/// Panics if a generated program fails to assemble (a corpus bug, not an
+/// input condition).
+pub fn generate(seed: u64, count: usize) -> Vec<CorpusProgram> {
+    let mut rng = XorShift64::new(seed);
+    (0..count)
+        .map(|i| {
+            let shape = PlantedShape::ALL[i % PlantedShape::ALL.len()];
+            let secret_len = rng.next_range(1, 2) as usize;
+            let secret: Vec<u8> =
+                (0..secret_len).map(|_| rng.next_range(b'A' as u64, b'Z' as u64) as u8).collect();
+            let program = build_program(shape, &secret, &mut rng).unwrap_or_else(|e| {
+                panic!("corpus program {i} ({}) assembles: {e}", shape.label())
+            });
+            CorpusProgram { name: format!("corpus-{i}-{}", shape.label()), shape, secret, program }
+        })
+        .collect()
+}
+
+/// Builds one harness program around the given victim shape.
+fn build_program(
+    shape: PlantedShape,
+    secret: &[u8],
+    rng: &mut XorShift64,
+) -> Result<Program, AsmError> {
+    let mut asm = Assembler::new();
+    let buffer_size = 1u64 << rng.next_range(4, 5); // 16 or 32 bytes
+    let training_calls = rng.next_range(20, 32) as i64;
+    let filler_adds = rng.next_below(3);
+
+    let addr_buf = asm.alloc_data("addr_buf", 8 * 8);
+    let scratch = asm.alloc_data("scratch", 8 * 8);
+    let buffer = asm.alloc_data("buffer", buffer_size);
+    let size_var = asm.alloc_data_u64("size", &[buffer_size]);
+    let secret_ref = asm.alloc_data_init("secret", secret);
+    let recovered = asm.alloc_data("recovered", secret.len() as u64);
+    let probe = asm.alloc_data_aligned("probe", PROBE_ENTRIES * PROBE_STRIDE, PROBE_STRIDE);
+
+    let victim = asm.new_label();
+    let main = asm.new_label();
+    asm.jump(main);
+
+    // ------------------------------------------------------------------
+    // The victim. Arguments: A0 = index, A1 = benign store value,
+    // A5 = mode flag (always 0). Clobbers T0..T6.
+    // ------------------------------------------------------------------
+    asm.bind(victim);
+    for _ in 0..filler_adds {
+        asm.addi(Reg::T6, Reg::T6, 1);
+    }
+    match shape {
+        PlantedShape::V1Gadget => {
+            // if (index < size) { v = buffer[index]; probe[v << S]; }
+            let skip = asm.new_label();
+            asm.la(Reg::T0, size_var);
+            asm.ld(Reg::T0, Reg::T0, 0);
+            asm.bgeu(Reg::A0, Reg::T0, skip);
+            asm.la(Reg::T1, buffer);
+            asm.add(Reg::T1, Reg::T1, Reg::A0);
+            asm.lbu(Reg::T2, Reg::T1, 0);
+            asm.slli(Reg::T2, Reg::T2, PROBE_SHIFT);
+            asm.la(Reg::T3, probe);
+            asm.add(Reg::T3, Reg::T3, Reg::T2);
+            asm.lbu(Reg::T4, Reg::T3, 0);
+            asm.bind(skip);
+        }
+        PlantedShape::V1Benign => {
+            // if (mode == 0) { v = buffer[index & mask]; probe[v << S]; }
+            // The guard constrains the mode flag, not the index, and the
+            // index is masked in-bounds: bypassing the guard reveals
+            // nothing the architectural execution could not produce.
+            let skip = asm.new_label();
+            asm.bnez(Reg::A5, skip);
+            asm.andi(Reg::T2, Reg::A0, (buffer_size - 1) as i64);
+            asm.la(Reg::T1, buffer);
+            asm.add(Reg::T1, Reg::T1, Reg::T2);
+            asm.lbu(Reg::T2, Reg::T1, 0);
+            asm.slli(Reg::T2, Reg::T2, PROBE_SHIFT);
+            asm.la(Reg::T3, probe);
+            asm.add(Reg::T3, Reg::T3, Reg::T2);
+            asm.lbu(Reg::T4, Reg::T3, 0);
+            asm.bind(skip);
+        }
+        PlantedShape::V4Gadget | PlantedShape::V4Benign => {
+            // slot = A0 / 7 / 9 (slow); store <target>[slot] = A1;
+            // a = addr_buf[0]; v = buffer[a]; probe[v << S];
+            // The gadget stores into addr_buf (the store the load bypasses
+            // can forward); the benign variant stores into a disjoint
+            // scratch region, so the bypass cannot change the loaded value.
+            let target = if shape == PlantedShape::V4Gadget { addr_buf } else { scratch };
+            asm.li(Reg::T5, 7);
+            asm.div(Reg::T0, Reg::A0, Reg::T5);
+            asm.li(Reg::T5, 9);
+            asm.div(Reg::T0, Reg::T0, Reg::T5);
+            asm.slli(Reg::T0, Reg::T0, 3);
+            asm.la(Reg::T6, target);
+            asm.add(Reg::T0, Reg::T6, Reg::T0);
+            asm.sd(Reg::A1, Reg::T0, 0);
+            asm.la(Reg::T6, addr_buf);
+            asm.ld(Reg::T1, Reg::T6, 0);
+            asm.la(Reg::T2, buffer);
+            asm.add(Reg::T2, Reg::T2, Reg::T1);
+            asm.lbu(Reg::T3, Reg::T2, 0);
+            asm.slli(Reg::T3, Reg::T3, PROBE_SHIFT);
+            asm.la(Reg::T4, probe);
+            asm.add(Reg::T4, Reg::T4, Reg::T3);
+            asm.lbu(Reg::T4, Reg::T4, 0);
+        }
+    }
+    asm.ret();
+
+    // ------------------------------------------------------------------
+    // main: per secret byte — train, plant, flush, attack, probe, record.
+    // ------------------------------------------------------------------
+    asm.bind(main);
+    asm.li(Reg::S0, 0);
+    asm.li(Reg::S1, secret.len() as i64);
+    let outer = asm.new_label();
+    asm.bind(outer);
+
+    // Benign value in addr_buf[0] before training.
+    asm.la(Reg::T0, addr_buf);
+    asm.li(Reg::T1, 3);
+    asm.sd(Reg::T1, Reg::T0, 0);
+
+    // Training loop: in-bounds calls make the victim hot and bias its
+    // branch (for the v1 shapes). The training index is a *constant*: an
+    // index derived from the loop counter would itself look like a
+    // bound-check-bypass chain once the trace scheduler merges the loop
+    // with the inlined victim (the loop exit constrains the counter), and
+    // the benign shapes must stay leak-free end to end.
+    {
+        let head = asm.new_label();
+        asm.li(Reg::S6, 0);
+        asm.bind(head);
+        asm.li(Reg::A0, 3);
+        asm.li(Reg::A1, 3);
+        asm.li(Reg::A5, 0);
+        asm.call(victim);
+        asm.addi(Reg::S6, Reg::S6, 1);
+        asm.li(Reg::T0, training_calls);
+        asm.blt(Reg::S6, Reg::T0, head);
+    }
+
+    // Plant the malicious value. The v1 shapes pass it as the index; the
+    // v4 shapes write it into addr_buf[0] (the gadget's store then
+    // architecturally overwrites it, the benign store does not need to —
+    // its victim never exposes addr_buf contents to an attacker handle, so
+    // planting would turn the run into an *architectural* disclosure, not a
+    // speculation leak; the benign variant therefore keeps addr_buf benign).
+    asm.li(Reg::T0, secret_ref.addr() as i64);
+    asm.add(Reg::T0, Reg::T0, Reg::S0);
+    asm.li(Reg::T1, buffer.addr() as i64);
+    asm.sub(Reg::S7, Reg::T0, Reg::T1); // S7 = malicious index
+    if shape == PlantedShape::V4Gadget {
+        asm.la(Reg::T0, addr_buf);
+        asm.sd(Reg::S7, Reg::T0, 0);
+    }
+
+    emit_flush_probe(&mut asm, probe);
+
+    // The attack call.
+    match shape {
+        PlantedShape::V1Gadget | PlantedShape::V1Benign => {
+            asm.mv(Reg::A0, Reg::S7);
+        }
+        PlantedShape::V4Gadget | PlantedShape::V4Benign => {
+            asm.li(Reg::A0, 0);
+        }
+    }
+    asm.li(Reg::A1, 3);
+    asm.li(Reg::A5, 0);
+    asm.call(victim);
+
+    emit_probe_loop(&mut asm, probe);
+    asm.la(Reg::T0, recovered);
+    asm.add(Reg::T0, Reg::T0, Reg::S0);
+    asm.sb(Reg::S4, Reg::T0, 0);
+
+    asm.addi(Reg::S0, Reg::S0, 1);
+    asm.blt(Reg::S0, Reg::S1, outer);
+    asm.ecall();
+    asm.assemble()
+}
+
+/// Flush every probe line. Clobbers `S2`, `S3`, `T0`, `T1`.
+fn emit_flush_probe(asm: &mut Assembler, probe: DataRef) {
+    let head = asm.new_label();
+    asm.li(Reg::S2, 0);
+    asm.la(Reg::S3, probe);
+    asm.bind(head);
+    asm.slli(Reg::T0, Reg::S2, PROBE_SHIFT);
+    asm.add(Reg::T0, Reg::S3, Reg::T0);
+    asm.cflush(Reg::T0, 0);
+    asm.addi(Reg::S2, Reg::S2, 1);
+    asm.li(Reg::T1, PROBE_ENTRIES as i64);
+    asm.blt(Reg::S2, Reg::T1, head);
+}
+
+/// Timed reload of every probe entry; fastest index lands in `S4`.
+/// Clobbers `S2`..=`S5`, `T0`..=`T3`.
+fn emit_probe_loop(asm: &mut Assembler, probe: DataRef) {
+    let head = asm.new_label();
+    let next = asm.new_label();
+    asm.li(Reg::S4, 0);
+    asm.li(Reg::S5, 1 << 30);
+    asm.li(Reg::S2, 1);
+    asm.la(Reg::S3, probe);
+    asm.bind(head);
+    asm.slli(Reg::T0, Reg::S2, PROBE_SHIFT);
+    asm.add(Reg::T0, Reg::S3, Reg::T0);
+    asm.rdcycle(Reg::T1);
+    asm.lbu(Reg::T2, Reg::T0, 0);
+    asm.rdcycle(Reg::T3);
+    asm.sub(Reg::T3, Reg::T3, Reg::T1);
+    asm.bgeu(Reg::T3, Reg::S5, next);
+    asm.mv(Reg::S5, Reg::T3);
+    asm.mv(Reg::S4, Reg::S2);
+    asm.bind(next);
+    asm.addi(Reg::S2, Reg::S2, 1);
+    asm.li(Reg::T1, PROBE_ENTRIES as i64);
+    asm.blt(Reg::S2, Reg::T1, head);
+}
+
+/// Generates a random, structurally valid IR block for property tests:
+/// a mix of constants, ALU chains, loads, stores and side exits, ending
+/// with a terminator. Every `Operand::Value` refers to an earlier
+/// value-producing instruction, so `IrBlock::validate` holds.
+pub fn random_block(rng: &mut XorShift64) -> IrBlock {
+    let mut block = IrBlock::new(0x1000 + rng.next_below(0x1000), BlockKind::Basic);
+    let mut values: Vec<InstId> = Vec::new();
+    let len = rng.next_range(4, 24);
+    let mut pc = block.entry_pc();
+    for seq in 0..len {
+        let pick_operand = |rng: &mut XorShift64, values: &[InstId]| -> Operand {
+            if values.is_empty() || rng.next_below(3) == 0 {
+                if rng.next_below(2) == 0 {
+                    const LIVE_INS: [Reg; 4] = [Reg::A0, Reg::A1, Reg::A2, Reg::A3];
+                    Operand::LiveIn(LIVE_INS[rng.next_below(4) as usize])
+                } else {
+                    Operand::Imm(rng.next_below(0x4000) as i64)
+                }
+            } else {
+                Operand::Value(values[rng.next_below(values.len() as u64) as usize])
+            }
+        };
+        match rng.next_below(6) {
+            0 => {
+                let id = block.push(IrOp::Const(rng.next_below(0x8000) as i64), pc, seq as usize);
+                values.push(id);
+            }
+            1 | 2 => {
+                let a = pick_operand(rng, &values);
+                let b = pick_operand(rng, &values);
+                let op =
+                    [AluOp::Add, AluOp::Xor, AluOp::Sll, AluOp::And][rng.next_below(4) as usize];
+                let id = block.push(IrOp::Alu { op, a, b }, pc, seq as usize);
+                values.push(id);
+            }
+            3 => {
+                let base = pick_operand(rng, &values);
+                let id = block.push(
+                    IrOp::Load { width: MemWidth::DOUBLE, base, offset: 0 },
+                    pc,
+                    seq as usize,
+                );
+                values.push(id);
+            }
+            4 => {
+                let value = pick_operand(rng, &values);
+                let base = pick_operand(rng, &values);
+                block.push(
+                    IrOp::Store { width: MemWidth::DOUBLE, value, base, offset: 0 },
+                    pc,
+                    seq as usize,
+                );
+            }
+            _ => {
+                let a = pick_operand(rng, &values);
+                let b = pick_operand(rng, &values);
+                block.push(
+                    IrOp::SideExit { cond: BranchCond::Geu, a, b, target: 0x9000 },
+                    pc,
+                    seq as usize,
+                );
+            }
+        }
+        pc += 4;
+    }
+    block.push(IrOp::Halt, pc, len as usize);
+    block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbt_riscv::{ExitReason, Interpreter};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(42, 8);
+        let b = generate(42, 8);
+        assert_eq!(a.len(), 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.secret, y.secret);
+            assert_eq!(x.shape, y.shape);
+        }
+        let c = generate(43, 8);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.secret != y.secret),
+            "different seeds should vary the corpus"
+        );
+    }
+
+    #[test]
+    fn every_prefix_rotates_through_the_shapes() {
+        let corpus = generate(7, 4);
+        let shapes: Vec<_> = corpus.iter().map(|p| p.shape).collect();
+        assert_eq!(shapes, PlantedShape::ALL);
+    }
+
+    #[test]
+    fn corpus_programs_terminate_and_do_not_leak_architecturally() {
+        for program in generate(11, 4) {
+            let mut interp = Interpreter::new(&program.program);
+            assert_eq!(
+                interp.run(100_000_000).unwrap(),
+                ExitReason::Ecall,
+                "{} must terminate on the reference machine",
+                program.name
+            );
+            let recovered_addr = program.program.symbol("recovered").unwrap();
+            let recovered =
+                interp.memory().read_bytes(recovered_addr, program.secret.len()).unwrap();
+            assert_ne!(
+                recovered, program.secret,
+                "{}: the reference machine must never leak",
+                program.name
+            );
+        }
+    }
+
+    #[test]
+    fn random_blocks_are_valid() {
+        let mut rng = XorShift64::new(0xfeed);
+        for _ in 0..64 {
+            let block = random_block(&mut rng);
+            assert_eq!(block.validate(), Ok(()), "{block}");
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The taint lattice: which speculation sources influence a value.
+//!
+//! Each IR value carries an element of a finite join-semilattice: the set of
+//! *taint sources* (instruction ids of attacker-influencable speculative
+//! loads) whose result may flow into it. `⊥` is the empty set ("clean");
+//! join is set union. The lattice has finite height (bounded by the number
+//! of instructions in the block), so the forward propagation in
+//! [`TaintAnalysis`](crate::TaintAnalysis) reaches its fixed point in one
+//! pass over the def-before-use-ordered instruction list.
+
+use dbt_ir::InstId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A lattice element: the set of taint sources influencing one value.
+///
+/// Sources are kept in a [`BTreeSet`] so iteration order — and therefore
+/// every rendered verdict — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Taint {
+    sources: BTreeSet<InstId>,
+}
+
+impl Taint {
+    /// The bottom element: no attacker influence.
+    pub fn clean() -> Taint {
+        Taint::default()
+    }
+
+    /// The element tainted by exactly one source.
+    pub fn source(id: InstId) -> Taint {
+        let mut sources = BTreeSet::new();
+        sources.insert(id);
+        Taint { sources }
+    }
+
+    /// Returns `true` if no source influences the value.
+    pub fn is_clean(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Returns `true` if at least one source influences the value.
+    pub fn is_tainted(&self) -> bool {
+        !self.sources.is_empty()
+    }
+
+    /// The least upper bound (set union) of `self` and `other`.
+    pub fn join(&self, other: &Taint) -> Taint {
+        Taint { sources: self.sources.union(&other.sources).copied().collect() }
+    }
+
+    /// Joins `other` into `self` in place. Returns `true` if `self` grew.
+    pub fn join_in_place(&mut self, other: &Taint) -> bool {
+        let before = self.sources.len();
+        self.sources.extend(other.sources.iter().copied());
+        self.sources.len() != before
+    }
+
+    /// Adds one source. Returns `true` if it was not already present.
+    pub fn add_source(&mut self, id: InstId) -> bool {
+        self.sources.insert(id)
+    }
+
+    /// Partial order of the lattice: `self ⊑ other`.
+    pub fn le(&self, other: &Taint) -> bool {
+        self.sources.is_subset(&other.sources)
+    }
+
+    /// The sources, in ascending instruction order.
+    pub fn sources(&self) -> impl Iterator<Item = InstId> + '_ {
+        self.sources.iter().copied()
+    }
+
+    /// Number of distinct sources.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+}
+
+impl fmt::Display for Taint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return f.write_str("clean");
+        }
+        f.write_str("tainted{")?;
+        for (i, source) in self.sources.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{source}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ids: &[usize]) -> Taint {
+        let mut taint = Taint::clean();
+        for &id in ids {
+            taint.add_source(InstId(id));
+        }
+        taint
+    }
+
+    #[test]
+    fn join_is_union() {
+        assert_eq!(t(&[1]).join(&t(&[2])), t(&[1, 2]));
+        assert_eq!(t(&[]).join(&t(&[])), Taint::clean());
+    }
+
+    #[test]
+    fn join_laws_hold_on_samples() {
+        // Idempotent, commutative, associative, ⊥ is the identity.
+        let samples = [t(&[]), t(&[0]), t(&[1, 3]), t(&[0, 1, 2]), t(&[7])];
+        for a in &samples {
+            assert_eq!(a.join(a), *a);
+            assert_eq!(a.join(&Taint::clean()), *a);
+            for b in &samples {
+                assert_eq!(a.join(b), b.join(a));
+                assert!(a.le(&a.join(b)), "join is an upper bound");
+                for c in &samples {
+                    assert_eq!(a.join(&b.join(c)), a.join(b).join(c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_order_is_subset() {
+        assert!(t(&[1]).le(&t(&[1, 2])));
+        assert!(!t(&[1, 2]).le(&t(&[1])));
+        assert!(Taint::clean().le(&t(&[5])));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(t(&[]).to_string(), "clean");
+        assert_eq!(t(&[3, 1]).to_string(), "tainted{v1,v3}");
+    }
+}

@@ -1,0 +1,73 @@
+//! **spectaint** — speculative taint / information-flow analysis over the
+//! DBT IR, in the spirit of SPECTECTOR (Guarnieri et al.) and Venkman
+//! (Shen et al.).
+//!
+//! The GhostBusters poisoning analysis (crate `ghostbusters`) hardens every
+//! detected risky pattern: any speculative load poisons, any
+//! poisoned-address access is constrained, and the slowdown is paid even in
+//! blocks that cannot leak. This crate computes the precise question
+//! instead: **can this block carry an attacker-influenced value into the
+//! address of a speculative access?**
+//!
+//! * [`lattice`] — the taint join-semilattice (sets of taint sources);
+//! * [`analysis`] — the analysis itself: taint sources are speculative
+//!   loads the attacker has a real handle on (a bound check whose bypass
+//!   steers the address, or a bypassed store that can actually forward);
+//!   taint propagates through the data-flow graph to *transmitters*
+//!   (address-forming operands of speculative memory accesses);
+//! * [`verdict`] — the per-block [`LeakageVerdict`]: sources, tainted
+//!   values, transmitters and confirmed [`Gadget`]s, with stable JSON;
+//! * [`corpus`] — seeded generation of gadget/benign harness programs and
+//!   random IR blocks, the ground truth for the differential tests.
+//!
+//! The verdict feeds `MitigationPolicy::Selective`: blocks with gadgets
+//! fall back to the fine-grained hardening, leak-free blocks keep their
+//! full speculation freedom.
+//!
+//! # Example
+//!
+//! ```
+//! use dbt_ir::{BlockKind, DepGraph, DfgOptions, IrBlock, IrOp, MemWidth, Operand};
+//! use dbt_riscv::{BranchCond, Reg};
+//! use spectaint::analyze;
+//!
+//! // if (a0 < 16) { v = buffer[a0]; probe[v]; }  — the v1 gadget shape.
+//! let mut block = IrBlock::new(0, BlockKind::Superblock { merged_blocks: 2 });
+//! let size = block.push(IrOp::Const(16), 0, 0);
+//! block.push(IrOp::SideExit {
+//!     cond: BranchCond::Geu,
+//!     a: Operand::LiveIn(Reg::A0),
+//!     b: Operand::Value(size),
+//!     target: 0x900,
+//! }, 4, 1);
+//! let buffer = block.push(IrOp::Const(0x3000), 8, 2);
+//! let addr = block.push(IrOp::Alu {
+//!     op: dbt_riscv::inst::AluOp::Add,
+//!     a: Operand::Value(buffer),
+//!     b: Operand::LiveIn(Reg::A0),
+//! }, 8, 2);
+//! let v = block.push(IrOp::Load { width: MemWidth::BYTE_U, base: Operand::Value(addr), offset: 0 }, 12, 3);
+//! let probe = block.push(IrOp::Const(0x8000), 16, 4);
+//! let addr2 = block.push(IrOp::Alu {
+//!     op: dbt_riscv::inst::AluOp::Add,
+//!     a: Operand::Value(probe),
+//!     b: Operand::Value(v),
+//! }, 16, 4);
+//! block.push(IrOp::Load { width: MemWidth::BYTE_U, base: Operand::Value(addr2), offset: 0 }, 20, 5);
+//! block.push(IrOp::Jump { target: 0x24 }, 24, 6);
+//!
+//! let graph = DepGraph::build(&block, DfgOptions::aggressive());
+//! let verdict = analyze(&block, &graph);
+//! assert!(!verdict.is_leak_free());
+//! assert_eq!(verdict.gadgets.len(), 1);
+//! ```
+
+pub mod analysis;
+pub mod corpus;
+pub mod lattice;
+pub mod verdict;
+
+pub use analysis::{analyze, TaintAnalysis};
+pub use corpus::{generate as generate_corpus, CorpusProgram, PlantedShape, XorShift64};
+pub use lattice::Taint;
+pub use verdict::{Gadget, LeakageVerdict, TaintSource, TaintSourceKind};

@@ -1,0 +1,199 @@
+//! The per-block result of the speculative taint analysis.
+
+use dbt_ir::InstId;
+use std::fmt;
+
+/// Why a speculative load is considered attacker-influencable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaintSourceKind {
+    /// The load sits behind a bypassable bound check (relaxable control
+    /// dependency on a side exit) and its address is influenced by a value
+    /// the bypassed guard constrains — bypassing the guard steers the load
+    /// out of its architecturally-reachable range (Spectre v1 shape).
+    BoundCheckBypass,
+    /// The load may bypass an earlier store to the same region (relaxable
+    /// memory dependency) — the speculative value can differ from the
+    /// architectural one, handing the attacker a stale value (Spectre v4 /
+    /// store-to-load-forwarding shape).
+    StoreBypass,
+}
+
+impl TaintSourceKind {
+    /// Stable lower-case label used in JSON and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaintSourceKind::BoundCheckBypass => "bound-check-bypass",
+            TaintSourceKind::StoreBypass => "store-bypass",
+        }
+    }
+}
+
+/// One taint source: a speculative load whose result the attacker can
+/// influence, together with the instruction enabling the influence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaintSource {
+    /// The influencable load.
+    pub load: InstId,
+    /// Why it is influencable.
+    pub kind: TaintSourceKind,
+    /// The bypassed instruction (the side exit for
+    /// [`TaintSourceKind::BoundCheckBypass`], the store for
+    /// [`TaintSourceKind::StoreBypass`]).
+    pub cause: InstId,
+}
+
+/// A confirmed leakage gadget: a speculative memory access whose address
+/// carries attacker-influenced data into the cache side channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gadget {
+    /// The transmitting access (load, store or flush) whose address is
+    /// tainted and which may execute speculatively.
+    pub transmitter: InstId,
+    /// The taint sources reaching the transmitter's address, ascending.
+    pub sources: Vec<InstId>,
+}
+
+/// The verdict of analysing one IR block.
+///
+/// A block is **leak-free** when no gadget was found: no attacker-influenced
+/// value reaches the address of a speculative access, so no mitigation is
+/// needed ([`MitigationPolicy::Selective`] leaves such blocks untouched).
+///
+/// [`MitigationPolicy::Selective`]: https://docs.rs/ghostbusters
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeakageVerdict {
+    /// Guest entry address of the analysed block.
+    pub entry_pc: u64,
+    /// Number of IR instructions analysed.
+    pub block_len: usize,
+    /// The discovered taint sources, in ascending load order.
+    pub sources: Vec<TaintSource>,
+    /// Every value with a non-clean taint, ascending.
+    pub tainted_values: Vec<InstId>,
+    /// The transmitting accesses, ascending (one per gadget).
+    pub transmitters: Vec<InstId>,
+    /// The confirmed gadgets, ascending by transmitter.
+    pub gadgets: Vec<Gadget>,
+}
+
+impl LeakageVerdict {
+    /// Returns `true` if the block cannot carry an attacker-influenced
+    /// value into a speculative access.
+    pub fn is_leak_free(&self) -> bool {
+        self.gadgets.is_empty()
+    }
+
+    /// Renders the verdict as a stable JSON object (fixed key order, no
+    /// whitespace variance), suitable for machine consumption and diffing.
+    pub fn to_json(&self) -> String {
+        let ids = |ids: &[InstId]| {
+            let inner: Vec<String> = ids.iter().map(|id| id.index().to_string()).collect();
+            format!("[{}]", inner.join(", "))
+        };
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"entry_pc\": {},\n", self.entry_pc));
+        out.push_str(&format!("  \"block_len\": {},\n", self.block_len));
+        out.push_str(&format!("  \"leak_free\": {},\n", self.is_leak_free()));
+        out.push_str("  \"sources\": [");
+        for (i, source) in self.sources.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"value\": {}, \"kind\": \"{}\", \"cause\": {}}}",
+                source.load.index(),
+                source.kind.label(),
+                source.cause.index()
+            ));
+        }
+        out.push_str(if self.sources.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str(&format!("  \"tainted\": {},\n", ids(&self.tainted_values)));
+        out.push_str(&format!("  \"transmitters\": {},\n", ids(&self.transmitters)));
+        out.push_str("  \"gadgets\": [");
+        for (i, gadget) in self.gadgets.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"transmitter\": {}, \"sources\": {}}}",
+                gadget.transmitter.index(),
+                ids(&gadget.sources)
+            ));
+        }
+        out.push_str(if self.gadgets.is_empty() { "]\n" } else { "\n  ]\n" });
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for LeakageVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_leak_free() {
+            return write!(
+                f,
+                "block @{:#x}: leak-free ({} source(s), {} tainted value(s), no transmitter)",
+                self.entry_pc,
+                self.sources.len(),
+                self.tainted_values.len()
+            );
+        }
+        writeln!(
+            f,
+            "block @{:#x}: {} gadget(s), {} source(s), {} tainted value(s)",
+            self.entry_pc,
+            self.gadgets.len(),
+            self.sources.len(),
+            self.tainted_values.len()
+        )?;
+        for source in &self.sources {
+            writeln!(f, "  source {} ({} via {})", source.load, source.kind.label(), source.cause)?;
+        }
+        for gadget in &self.gadgets {
+            let sources: Vec<String> = gadget.sources.iter().map(|s| s.to_string()).collect();
+            writeln!(f, "  gadget: transmitter {} <- {}", gadget.transmitter, sources.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LeakageVerdict {
+        LeakageVerdict {
+            entry_pc: 0x1000,
+            block_len: 9,
+            sources: vec![TaintSource {
+                load: InstId(3),
+                kind: TaintSourceKind::BoundCheckBypass,
+                cause: InstId(1),
+            }],
+            tainted_values: vec![InstId(3), InstId(4), InstId(6)],
+            transmitters: vec![InstId(7)],
+            gadgets: vec![Gadget { transmitter: InstId(7), sources: vec![InstId(3)] }],
+        }
+    }
+
+    #[test]
+    fn leak_free_reflects_gadgets() {
+        let mut verdict = sample();
+        assert!(!verdict.is_leak_free());
+        verdict.gadgets.clear();
+        assert!(verdict.is_leak_free());
+    }
+
+    #[test]
+    fn json_is_stable_and_contains_the_fields() {
+        let verdict = sample();
+        let a = verdict.to_json();
+        assert_eq!(a, verdict.to_json());
+        assert!(a.contains("\"leak_free\": false"));
+        assert!(a.contains("\"kind\": \"bound-check-bypass\""));
+        assert!(a.contains("\"transmitter\": 7"));
+    }
+
+    #[test]
+    fn display_mentions_the_gadget() {
+        let text = sample().to_string();
+        assert!(text.contains("gadget"));
+        assert!(text.contains("v7"));
+    }
+}

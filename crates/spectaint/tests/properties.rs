@@ -1,0 +1,108 @@
+//! Property tests of the taint lattice and the analysis, over seeded random
+//! IR blocks (no external property-testing crate: the corpus PRNG drives
+//! the case generation, so failures are reproducible from the seed).
+
+use dbt_ir::{DepGraph, DfgOptions, InstId};
+use spectaint::corpus::{random_block, XorShift64};
+use spectaint::{analyze, Taint, TaintAnalysis};
+
+const CASES: usize = 128;
+const SEED: u64 = 0x5eed_5eed_5eed_5eed;
+
+#[test]
+fn analysis_is_idempotent_and_byte_stable() {
+    let mut rng = XorShift64::new(SEED);
+    for case in 0..CASES {
+        let block = random_block(&mut rng);
+        let graph = DepGraph::build(&block, DfgOptions::aggressive());
+        let first = analyze(&block, &graph);
+        let second = analyze(&block, &graph);
+        assert_eq!(first, second, "case {case}: verdicts must be identical");
+        assert_eq!(
+            first.to_json(),
+            second.to_json(),
+            "case {case}: serialised verdicts must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn propagation_is_monotone_in_the_sources() {
+    // Forcing extra taint sources must never shrink any value's taint:
+    // the transfer functions are monotone over the source-set lattice.
+    let mut rng = XorShift64::new(SEED ^ 0xa5a5);
+    for case in 0..CASES {
+        let block = random_block(&mut rng);
+        let graph = DepGraph::build(&block, DfgOptions::aggressive());
+        let plain = TaintAnalysis::run(&block, &graph);
+        let extra: Vec<InstId> = (0..block.len())
+            .map(InstId)
+            .filter(|id| block.inst(*id).op.produces_value() && rng.next_below(3) == 0)
+            .collect();
+        let forced = TaintAnalysis::run_with_extra_sources(&block, &graph, &extra);
+        for id in (0..block.len()).map(InstId) {
+            assert!(
+                plain.taint(id).le(forced.taint(id)),
+                "case {case}: taint of {id} shrank when sources were added\n\
+                 plain: {}\nforced: {}",
+                plain.taint(id),
+                forced.taint(id)
+            );
+        }
+    }
+}
+
+#[test]
+fn join_laws_hold_on_random_elements() {
+    let mut rng = XorShift64::new(SEED ^ 0x1234);
+    let random_taint = |rng: &mut XorShift64| {
+        let mut taint = Taint::clean();
+        for _ in 0..rng.next_below(5) {
+            taint.add_source(InstId(rng.next_below(16) as usize));
+        }
+        taint
+    };
+    for _ in 0..CASES {
+        let a = random_taint(&mut rng);
+        let b = random_taint(&mut rng);
+        let c = random_taint(&mut rng);
+        assert_eq!(a.join(&a), a, "idempotent");
+        assert_eq!(a.join(&b), b.join(&a), "commutative");
+        assert_eq!(a.join(&b.join(&c)), a.join(&b).join(&c), "associative");
+        assert_eq!(a.join(&Taint::clean()), a, "bottom is the identity");
+        assert!(a.le(&a.join(&b)), "join is an upper bound");
+        assert!(b.le(&a.join(&b)), "join is an upper bound");
+    }
+}
+
+#[test]
+fn relaxing_nothing_means_no_taint_anywhere() {
+    let mut rng = XorShift64::new(SEED ^ 0x9999);
+    for _ in 0..CASES {
+        let block = random_block(&mut rng);
+        let graph = DepGraph::build(&block, DfgOptions::no_speculation());
+        let verdict = analyze(&block, &graph);
+        assert!(verdict.is_leak_free());
+        assert!(verdict.tainted_values.is_empty());
+    }
+}
+
+#[test]
+fn taint_never_exceeds_the_speculative_frontier_roots() {
+    // Every taint source reported in a verdict must be a load that the
+    // graph actually allows to execute speculatively.
+    let mut rng = XorShift64::new(SEED ^ 0x7777);
+    for _ in 0..CASES {
+        let block = random_block(&mut rng);
+        let graph = DepGraph::build(&block, DfgOptions::aggressive());
+        let verdict = analyze(&block, &graph);
+        for source in &verdict.sources {
+            assert!(block.inst(source.load).op.is_load());
+            assert!(
+                graph.is_speculation_candidate(source.load),
+                "source {} is not even speculative",
+                source.load
+            );
+        }
+    }
+}

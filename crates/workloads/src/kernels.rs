@@ -496,6 +496,82 @@ pub fn jacobi_2d(steps: u64, n: u64) -> Program {
     k.finish()
 }
 
+/// Byte-offset walk helper: materialises `&base[A0]` (with `A0` a running
+/// *byte* offset) into `dst` by loading the array base inside the loop body.
+///
+/// Rematerialising the base constant per iteration mirrors what compilers
+/// do and is load-bearing for the analyses: the base resolves to a static
+/// region inside every superblock, instead of being an opaque live-in.
+fn walk_addr(asm: &mut Assembler, dst: Reg, base: DataRef, offset: Reg) {
+    asm.la(dst, base);
+    asm.add(dst, dst, offset);
+}
+
+/// Histogram over a precomputed index stream: `hist[idx[i]] += 1`.
+///
+/// The hot loop carries a store→load pair on `hist` whose addresses cannot
+/// be disambiguated at translation time, plus an index load feeding a
+/// dependent address. The blanket poisoning analysis therefore flags the
+/// `hist` load as a Spectre pattern in every merged superblock and the
+/// fine-grained mitigation serialises the loop — yet no attacker-influenced
+/// value can reach a speculative address: the index stream is read through
+/// a plain pointer walk (no bypassable bound check constrains it) and the
+/// bypassed store targets `hist`, a region disjoint from `idx`. The
+/// speculative taint analysis proves the loop leak-free, which is exactly
+/// the gap the `Selective` policy exploits.
+pub fn histogram(passes: u64, entries: u64, bins: u64) -> Program {
+    let mut k = Kernel::new();
+    let idx_data: Vec<u64> = (0..entries).map(|i| (i * 7 + 3) % bins).collect();
+    let idx = k.asm.alloc_data_u64("idx", &idx_data);
+    let hist = k.asm.alloc_data_u64("hist", &vec![0u64; bins as usize]);
+    k.for_range(Reg::S2, passes, |k| {
+        k.asm.li(Reg::A0, 0); // running byte offset into idx
+        k.for_range(Reg::S3, entries, |k| {
+            walk_addr(&mut k.asm, Reg::T5, idx, Reg::A0);
+            k.asm.ld(Reg::T0, Reg::T5, 0); // x = idx[i]
+            k.asm.slli(Reg::T2, Reg::T0, 3);
+            walk_addr(&mut k.asm, Reg::T1, hist, Reg::T2);
+            k.asm.ld(Reg::T2, Reg::T1, 0); // h = hist[x]
+            k.asm.addi(Reg::T2, Reg::T2, 1);
+            k.asm.sd(Reg::T2, Reg::T1, 0); // hist[x] = h + 1
+            k.accumulate(Reg::T2);
+            k.asm.addi(Reg::A0, Reg::A0, 8);
+        });
+    });
+    k.finish()
+}
+
+/// Streaming table lookup: `sum += lut[a[i] & (LUT_SIZE - 1)]`.
+///
+/// Double indirection in the hot loop: the `lut` address is derived from a
+/// loaded value, so once trace scheduling merges iterations, the blanket
+/// analysis sees a control-speculative load feeding a speculative address —
+/// a Spectre pattern — and the fine-grained mitigation re-serialises the
+/// lookup behind the loop's side exits. The taint analysis instead observes
+/// that the bypassed exits constrain only the loop counter, never the
+/// pointer walk that forms the addresses: no attacker handle, leak-free.
+pub fn stream_lut(passes: u64, entries: u64) -> Program {
+    const LUT_SIZE: u64 = 64;
+    let mut k = Kernel::new();
+    let a = k.vector("a", entries);
+    let lut_data: Vec<u64> = (0..LUT_SIZE).map(|i| (i * 11 + 5) % 17 + 1).collect();
+    let lut = k.asm.alloc_data_u64("lut", &lut_data);
+    k.for_range(Reg::S2, passes, |k| {
+        k.asm.li(Reg::A0, 0); // running byte offset into a
+        k.for_range(Reg::S3, entries, |k| {
+            walk_addr(&mut k.asm, Reg::T5, a, Reg::A0);
+            k.asm.ld(Reg::T0, Reg::T5, 0); // v = a[i]
+            k.asm.andi(Reg::T2, Reg::T0, (LUT_SIZE - 1) as i64);
+            k.asm.slli(Reg::T2, Reg::T2, 3);
+            walk_addr(&mut k.asm, Reg::T1, lut, Reg::T2);
+            k.asm.ld(Reg::T3, Reg::T1, 0); // w = lut[v & 63]
+            k.accumulate(Reg::T3);
+            k.asm.addi(Reg::A0, Reg::A0, 8);
+        });
+    });
+    k.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -543,5 +619,31 @@ mod tests {
     fn stencils_terminate() {
         assert_ne!(checksum(&jacobi_1d(2, 24)), 0);
         assert_ne!(checksum(&jacobi_2d(2, 8)), 0);
+    }
+
+    #[test]
+    fn histogram_checksum_matches_host_computation() {
+        let (passes, entries, bins) = (3u64, 24u64, 16u64);
+        let program = histogram(passes, entries, bins);
+        let idx: Vec<usize> = (0..entries as usize).map(|i| (i * 7 + 3) % bins as usize).collect();
+        let mut hist = vec![0u64; bins as usize];
+        let mut expected = 0u64;
+        for _ in 0..passes {
+            for &x in &idx {
+                hist[x] += 1;
+                expected += hist[x];
+            }
+        }
+        assert_eq!(checksum(&program), expected);
+    }
+
+    #[test]
+    fn stream_lut_checksum_matches_host_computation() {
+        let (passes, entries) = (2u64, 24u64);
+        let program = stream_lut(passes, entries);
+        let a: Vec<u64> = (0..entries).map(|i| (i * 5 + 1) % 11 + 1).collect();
+        let lut: Vec<u64> = (0..64).map(|i| (i * 11 + 5) % 17 + 1).collect();
+        let expected: u64 = passes * a.iter().map(|v| lut[(v & 63) as usize]).sum::<u64>();
+        assert_eq!(checksum(&program), expected);
     }
 }

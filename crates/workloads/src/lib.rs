@@ -64,6 +64,25 @@ impl WorkloadSize {
     }
 }
 
+/// The kernel names of [`suite`], in suite order — for name validation and
+/// listings without assembling any guest program.
+pub const SUITE_NAMES: [&str; 14] = [
+    "gemm",
+    "2mm",
+    "3mm",
+    "atax",
+    "bicg",
+    "mvt",
+    "gesummv",
+    "syrk",
+    "trisolv",
+    "doitgen",
+    "jacobi-1d",
+    "jacobi-2d",
+    "histogram",
+    "stream-lut",
+];
+
 /// Builds the whole Polybench-style suite at the given size.
 ///
 /// The returned list matches the kernels reported in the paper's Figure 4 as
@@ -85,6 +104,8 @@ pub fn suite(size: WorkloadSize) -> Vec<Workload> {
         Workload { name: "doitgen", program: kernels::doitgen(n) },
         Workload { name: "jacobi-1d", program: kernels::jacobi_1d(steps, sn) },
         Workload { name: "jacobi-2d", program: kernels::jacobi_2d(steps, n + 4) },
+        Workload { name: "histogram", program: kernels::histogram(steps + 1, sn, 16) },
+        Workload { name: "stream-lut", program: kernels::stream_lut(steps + 1, sn) },
     ]
 }
 
@@ -101,11 +122,13 @@ mod tests {
     use dbt_riscv::{ExitReason, Interpreter};
 
     #[test]
-    fn suite_has_twelve_distinct_kernels() {
+    fn suite_has_fourteen_distinct_kernels() {
         let suite = suite(WorkloadSize::Mini);
-        assert_eq!(suite.len(), 12);
+        assert_eq!(suite.len(), 14);
         let names: std::collections::BTreeSet<_> = suite.iter().map(|w| w.name).collect();
-        assert_eq!(names.len(), 12);
+        assert_eq!(names.len(), 14);
+        let listed: Vec<&str> = suite.iter().map(|w| w.name).collect();
+        assert_eq!(listed, SUITE_NAMES, "SUITE_NAMES must mirror the built suite");
     }
 
     #[test]

@@ -62,7 +62,7 @@ fn random_programs_execute_equivalently() {
     for case in 0..16 {
         let len = 4 + (rng.next() % 12) as usize;
         let seed_values: Vec<u64> = (0..len).map(|_| rng.next() % 1000).collect();
-        let policy_index = (rng.next() % 4) as usize;
+        let policy_index = (rng.next() as usize) % MitigationPolicy::ALL.len();
         check_random_program(case, &seed_values, policy_index);
     }
 }

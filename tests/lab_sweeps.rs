@@ -37,15 +37,15 @@ fn same_sweep_twice_is_byte_identical_json_even_multithreaded() {
 fn baseline_is_simulated_once_per_workload() {
     let scenarios = mixed_sweep().expand();
     let report = run_sweep("mixed", &scenarios, ExecOptions { threads: 4, verbose: false });
-    // 4 programs × 4 policies, all Perf kind (the attack program is measured
+    // 4 programs × 5 policies, all Perf kind (the attack program is measured
     // as a workload here).
-    assert_eq!(report.stats.jobs, 16);
+    assert_eq!(report.stats.jobs, 20);
     assert_eq!(
         report.stats.baseline_simulations, 4,
         "one baseline per distinct (program, platform), not one per comparison"
     );
-    // Each program: 1 shared baseline + 3 protected runs.
-    assert_eq!(report.stats.simulations, 16);
+    // Each program: 1 shared baseline + 4 protected runs.
+    assert_eq!(report.stats.simulations, 20);
 }
 
 #[test]
@@ -54,17 +54,18 @@ fn sweep_slowdowns_agree_with_the_legacy_serial_path() {
         .program("gemm", ProgramSpec::Workload { name: "gemm", size: WorkloadSize::Mini })
         .expand();
     let report = run_sweep("legacy", &scenarios, ExecOptions::default());
-    let rows = report.slowdown_rows();
-    assert_eq!(rows.len(), 1);
+    let table = report.slowdown_table();
+    assert_eq!(table.rows.len(), 1);
+    assert_eq!(table.policies, MitigationPolicy::ALL.to_vec());
 
     let program = ProgramSpec::Workload { name: "gemm", size: WorkloadSize::Mini }.build().unwrap();
     let legacy = measure_slowdowns("gemm", &program).unwrap();
-    assert_eq!(rows[0].baseline_cycles, legacy.baseline_cycles);
-    for i in 0..4 {
+    assert_eq!(table.rows[0].baseline_cycles, legacy.baseline_cycles);
+    for i in 0..MitigationPolicy::ALL.len() {
         assert!(
-            (rows[0].slowdown[i] - legacy.slowdown[i]).abs() < 1e-12,
+            (table.rows[0].slowdown[i] - legacy.slowdown[i]).abs() < 1e-12,
             "policy {i}: sweep {} vs legacy {}",
-            rows[0].slowdown[i],
+            table.rows[0].slowdown[i],
             legacy.slowdown[i]
         );
     }
@@ -76,13 +77,13 @@ fn attack_sweep_reproduces_the_leak_and_the_mitigation() {
     let sweep = registry.find("attack-table").unwrap();
     // Use a short secret so the test stays fast in debug builds.
     let mut sweep = sweep.clone();
-    for (_, spec) in &mut sweep.programs {
-        if let ProgramSpec::Attack { secret, .. } = spec {
+    for program in &mut sweep.programs {
+        if let ProgramSpec::Attack { secret, .. } = &mut program.spec {
             *secret = b"GB".to_vec();
         }
     }
     let report = run_sweep(&sweep.name, &sweep.expand(), ExecOptions::default());
-    assert_eq!(report.results.len(), 8);
+    assert_eq!(report.results.len(), 10);
     for result in &report.results {
         let JobOutcome::Attack(metrics) = &result.outcome else {
             panic!("{}: expected attack outcome", result.scenario.name);

@@ -1,0 +1,129 @@
+//! Differential validation of the speculative taint analysis against the
+//! attack harness, over the seeded gadget corpus:
+//!
+//! * **soundness (dynamic)** — every corpus program whose translations the
+//!   analyzer marks entirely leak-free must also fail to leak on the
+//!   unprotected simulated processor;
+//! * **coverage** — every program with a marked gadget is hardened under
+//!   `MitigationPolicy::Selective`: edges get constrained and the attack
+//!   recovers nothing;
+//! * **corpus sanity** — the planted gadget shapes really leak when
+//!   unprotected (otherwise the corpus would prove nothing).
+
+use dbt_platform::{DbtProcessor, PlatformConfig};
+use ghostbusters::MitigationPolicy;
+use spectaint::corpus::generate;
+use spectaint::PlantedShape;
+
+const CORPUS_SEED: u64 = 0xdead_beef_cafe_f00d;
+const CORPUS_SIZE: usize = 8;
+
+struct RunOutcome {
+    recovered: Vec<u8>,
+    flagged_blocks: usize,
+    hardened_edges: usize,
+}
+
+fn run(program: &dbt_riscv::Program, secret_len: usize, policy: MitigationPolicy) -> RunOutcome {
+    let mut processor = DbtProcessor::new(program, PlatformConfig::for_policy(policy)).unwrap();
+    processor.run().unwrap();
+    let engine = processor.engine();
+    RunOutcome {
+        recovered: processor.load_symbol_bytes("recovered", secret_len).unwrap(),
+        flagged_blocks: engine.verdicts().iter().filter(|(_, v)| !v.is_leak_free()).count(),
+        hardened_edges: engine.mitigation_summary().hardened_edges,
+    }
+}
+
+fn leaked(secret: &[u8], recovered: &[u8]) -> usize {
+    secret.iter().zip(recovered).filter(|(a, b)| a == b).count()
+}
+
+#[test]
+fn leak_free_verdicts_imply_no_leak_when_unprotected() {
+    for program in generate(CORPUS_SEED, CORPUS_SIZE) {
+        let outcome = run(&program.program, program.secret.len(), MitigationPolicy::Unprotected);
+        if outcome.flagged_blocks == 0 {
+            assert_eq!(
+                leaked(&program.secret, &outcome.recovered),
+                0,
+                "{}: marked leak-free but leaked {:?} (secret {:?})",
+                program.name,
+                outcome.recovered,
+                program.secret
+            );
+        }
+    }
+}
+
+#[test]
+fn benign_shapes_are_marked_leak_free() {
+    // The benign shapes are the precision claim: the blanket analysis
+    // flags them (it poisons every speculative load), the taint analysis
+    // must not.
+    for program in generate(CORPUS_SEED, CORPUS_SIZE) {
+        if program.shape.is_gadget() {
+            continue;
+        }
+        let outcome = run(&program.program, program.secret.len(), MitigationPolicy::Unprotected);
+        assert_eq!(
+            outcome.flagged_blocks, 0,
+            "{}: benign shape must analyse leak-free",
+            program.name
+        );
+    }
+}
+
+#[test]
+fn gadget_shapes_leak_when_unprotected_and_are_marked() {
+    for program in generate(CORPUS_SEED, CORPUS_SIZE) {
+        if !program.shape.is_gadget() {
+            continue;
+        }
+        let outcome = run(&program.program, program.secret.len(), MitigationPolicy::Unprotected);
+        assert_eq!(
+            leaked(&program.secret, &outcome.recovered),
+            program.secret.len(),
+            "{}: the planted gadget must actually leak",
+            program.name
+        );
+        assert!(
+            outcome.flagged_blocks > 0,
+            "{}: a leaking program must carry a marked gadget",
+            program.name
+        );
+    }
+}
+
+#[test]
+fn marked_gadgets_are_hardened_under_selective() {
+    for program in generate(CORPUS_SEED, CORPUS_SIZE) {
+        let unprotected =
+            run(&program.program, program.secret.len(), MitigationPolicy::Unprotected);
+        let selective = run(&program.program, program.secret.len(), MitigationPolicy::Selective);
+        if unprotected.flagged_blocks > 0 {
+            assert!(
+                selective.hardened_edges > 0,
+                "{}: flagged blocks must be constrained under Selective",
+                program.name
+            );
+        }
+        assert_eq!(
+            leaked(&program.secret, &selective.recovered),
+            0,
+            "{}: Selective must stop any leak",
+            program.name
+        );
+    }
+}
+
+#[test]
+fn corpus_covers_all_shapes_deterministically() {
+    let corpus = generate(CORPUS_SEED, CORPUS_SIZE);
+    for shape in PlantedShape::ALL {
+        assert!(corpus.iter().any(|p| p.shape == shape), "missing shape {}", shape.label());
+    }
+    let names: Vec<_> = corpus.iter().map(|p| p.name.clone()).collect();
+    let again: Vec<_> = generate(CORPUS_SEED, CORPUS_SIZE).iter().map(|p| p.name.clone()).collect();
+    assert_eq!(names, again);
+}
