@@ -3,7 +3,7 @@
 //! much of the secret was recovered.
 
 use crate::{spectre_v1, spectre_v4};
-use dbt_platform::{DbtProcessor, PlatformConfig, PlatformError};
+use dbt_platform::{PlatformError, Session};
 use dbt_riscv::Program;
 use ghostbusters::MitigationPolicy;
 use std::fmt;
@@ -70,9 +70,9 @@ fn run_attack(
     policy: MitigationPolicy,
     secret: &[u8],
 ) -> Result<AttackOutcome, PlatformError> {
-    let mut processor = DbtProcessor::new(program, PlatformConfig::for_policy(policy))?;
-    let summary = processor.run()?;
-    let recovered = processor.load_symbol_bytes("recovered", secret.len())?;
+    let mut session = Session::builder().program(program).policy(policy).build()?;
+    let summary = session.run()?;
+    let recovered = session.load_symbol_bytes("recovered", secret.len())?;
     Ok(AttackOutcome {
         attack,
         policy,
@@ -80,7 +80,7 @@ fn run_attack(
         recovered,
         cycles: summary.cycles,
         rollbacks: summary.rollbacks,
-        patterns_detected: processor.engine().mitigation_summary().patterns,
+        patterns_detected: session.engine().mitigation_summary().patterns,
     })
 }
 

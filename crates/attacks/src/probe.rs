@@ -76,7 +76,7 @@ pub fn emit_probe_loop(asm: &mut Assembler, probe: DataRef) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbt_platform::{DbtProcessor, PlatformConfig};
+    use dbt_platform::Session;
     use dbt_riscv::Reg;
 
     /// End-to-end check of the side channel itself: touch one probe entry,
@@ -97,8 +97,8 @@ mod tests {
         asm.sd(Reg::S4, Reg::T0, 0);
         asm.ecall();
         let program = asm.assemble().unwrap();
-        let mut processor = DbtProcessor::new(&program, PlatformConfig::unprotected()).unwrap();
-        processor.run().unwrap();
-        assert_eq!(processor.load_symbol_u64("found").unwrap(), 0xab);
+        let mut session = Session::builder().program(&program).build().unwrap();
+        session.run().unwrap();
+        assert_eq!(session.load_symbol_u64("found").unwrap(), 0xab);
     }
 }

@@ -1,19 +1,17 @@
 //! The DBT engine: ties decoding, profiling, trace construction, mitigation,
 //! scheduling and code generation together.
 
-use crate::codegen::generate;
 use crate::config::DbtConfig;
 use crate::profile::Profile;
-use crate::regalloc::RegAlloc;
-use crate::schedule::{schedule, ScheduleError};
+use crate::schedule::ScheduleError;
+use crate::service::{compile_path, CompileProduct, TranslationService};
 use crate::tcache::{Tier, TranslationCache};
 use crate::trace_builder::{build_basic_block, build_superblock, GuestPath};
-use crate::translate::translate_path;
-use dbt_ir::{BlockKind, DepGraph, DfgOptions};
+use dbt_ir::BlockKind;
 use dbt_riscv::{DecodeError, GuestMemory, Inst};
 use dbt_vliw::TranslatedBlock;
 use ghostbusters::report::MitigationSummary;
-use ghostbusters::{apply_with_verdict, MitigationReport};
+use ghostbusters::MitigationReport;
 use spectaint::LeakageVerdict;
 use std::collections::HashMap;
 use std::fmt;
@@ -68,6 +66,12 @@ impl From<ScheduleError> for DbtError {
 }
 
 /// Translation-side counters.
+///
+/// `basic_translations` and `superblock_translations` count per-run
+/// translation *events* — they are identical whether or not a
+/// [`TranslationService`] is attached, so per-run observables stay
+/// byte-stable. `service_hits` / `service_misses` record how many of those
+/// events were served from the shared memo vs. compiled here.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// First-pass (basic block) translations performed.
@@ -76,6 +80,11 @@ pub struct EngineStats {
     pub superblock_translations: u64,
     /// Guest instructions covered by all translations.
     pub guest_insts_translated: u64,
+    /// Translation events answered by the attached service's memo.
+    pub service_hits: u64,
+    /// Translation events this engine had to compile (or that had no
+    /// service attached).
+    pub service_misses: u64,
 }
 
 /// Metadata remembered about a translated basic block so branch outcomes can
@@ -102,10 +111,20 @@ pub struct DbtEngine {
     summary: MitigationSummary,
     reports: Vec<(u64, MitigationReport)>,
     stats: EngineStats,
+    service: Option<ServiceBinding>,
+}
+
+/// A [`TranslationService`] attachment: the shared memo plus the identity
+/// of the program this engine translates.
+#[derive(Debug, Clone)]
+struct ServiceBinding {
+    service: Arc<TranslationService>,
+    program_fingerprint: u64,
 }
 
 impl DbtEngine {
-    /// Creates an engine with the given configuration.
+    /// Creates an engine with the given configuration and no shared
+    /// translation service (every translation is compiled locally).
     ///
     /// # Panics
     ///
@@ -121,7 +140,35 @@ impl DbtEngine {
             summary: MitigationSummary::new(),
             reports: Vec::new(),
             stats: EngineStats::default(),
+            service: None,
         }
+    }
+
+    /// Creates an engine that resolves translations through a shared
+    /// [`TranslationService`], memoized under `program_fingerprint` (see
+    /// [`dbt_riscv::Program::fingerprint`]).
+    ///
+    /// Attaching a service never changes what a run computes — memoized
+    /// products are pure functions of the same inputs a local compile would
+    /// see — it only removes redundant compile work across engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is out of range (see
+    /// [`DbtConfig::is_valid`]).
+    pub fn with_service(
+        config: DbtConfig,
+        service: Arc<TranslationService>,
+        program_fingerprint: u64,
+    ) -> DbtEngine {
+        let mut engine = DbtEngine::new(config);
+        engine.service = Some(ServiceBinding { service, program_fingerprint });
+        engine
+    }
+
+    /// The attached translation service, if any.
+    pub fn service(&self) -> Option<&Arc<TranslationService>> {
+        self.service.as_ref().map(|binding| &binding.service)
     }
 
     /// The engine configuration.
@@ -154,40 +201,36 @@ impl DbtEngine {
         &self.tcache
     }
 
-    fn compile(
-        &mut self,
-        path: &GuestPath,
-        kind: BlockKind,
-    ) -> Result<(TranslatedBlock, Option<(dbt_ir::IrBlock, LeakageVerdict)>), DbtError> {
-        let block = translate_path(path, kind);
-        block
-            .validate()
-            .map_err(|reason| DbtError::InvalidBlock { pc: block.entry_pc(), reason })?;
-        // First-pass (basic) translations are conservative: no speculation,
-        // hence nothing for the mitigation or the taint analysis to see.
-        // Only optimised superblocks speculate and go through GhostBusters.
-        let optimised = matches!(kind, BlockKind::Superblock { .. });
-        let options =
-            if optimised { self.config.speculation } else { DfgOptions::no_speculation() };
-        let mut graph = DepGraph::build(&block, options);
-        let mut analysed = None;
-        if optimised {
-            // The taint analysis must see the original relaxable edges, so
-            // it runs before the mitigation hardens the graph. The verdict
-            // is computed exactly once per translation: the Selective
-            // policy consumes it here and the translation cache keeps it —
-            // together with the analysed IR block — for later inspection
-            // (`lab analyze`, differential tests).
-            let verdict = spectaint::analyze(&block, &graph);
-            let report = apply_with_verdict(&block, &mut graph, self.config.policy, Some(&verdict));
-            self.summary.record(&report);
-            self.reports.push((block.entry_pc(), report));
-            analysed = Some(verdict);
+    /// Resolves one compile: through the attached service's memo when one
+    /// is bound, locally otherwise. Records the mitigation report (for
+    /// optimised blocks) and the service counters; the products are
+    /// identical either way, since both paths run the same pure pipeline.
+    fn obtain(&mut self, path: &GuestPath, kind: BlockKind) -> Result<CompileProduct, DbtError> {
+        let product = match &self.service {
+            Some(binding) => {
+                let translated = binding.service.translate(
+                    binding.program_fingerprint,
+                    &self.config,
+                    path,
+                    kind,
+                )?;
+                if translated.cache_hit {
+                    self.stats.service_hits += 1;
+                } else {
+                    self.stats.service_misses += 1;
+                }
+                translated.product
+            }
+            None => {
+                self.stats.service_misses += 1;
+                compile_path(&self.config, path, kind)?
+            }
+        };
+        if let Some(analysed) = &product.analysed {
+            self.summary.record(&analysed.report);
+            self.reports.push((analysed.ir.entry_pc(), (*analysed.report).clone()));
         }
-        let sched = schedule(&block, &graph, self.config.issue_width)?;
-        let alloc = RegAlloc::allocate(&block);
-        let code = generate(&block, &graph, &sched, &alloc);
-        Ok((code, analysed.map(|verdict| (block, verdict))))
+        Ok(product)
     }
 
     fn remember_branch_meta(&mut self, path: &GuestPath) {
@@ -229,21 +272,26 @@ impl DbtEngine {
         if entries >= self.config.hot_threshold {
             let path = build_superblock(mem, pc, &self.profile, &self.config)?;
             let kind = BlockKind::Superblock { merged_blocks: path.merged_blocks };
-            let (translated, analysed) = self.compile(&path, kind)?;
+            let product = self.obtain(&path, kind)?;
             self.stats.superblock_translations += 1;
             self.stats.guest_insts_translated += path.len() as u64;
-            let (ir, verdict) = analysed.expect("optimised translations always carry a verdict");
-            return Ok(self.tcache.insert_optimized(pc, translated, ir, verdict));
+            let analysed = product.analysed.expect("optimised translations always carry a verdict");
+            return Ok(self.tcache.insert_optimized_shared(
+                pc,
+                product.code,
+                analysed.ir,
+                analysed.verdict,
+            ));
         }
         if let Some((block, Tier::Basic)) = self.tcache.lookup(pc) {
             return Ok(block);
         }
         let path = build_basic_block(mem, pc, &self.config)?;
         self.remember_branch_meta(&path);
-        let (translated, _) = self.compile(&path, BlockKind::Basic)?;
+        let product = self.obtain(&path, BlockKind::Basic)?;
         self.stats.basic_translations += 1;
         self.stats.guest_insts_translated += path.len() as u64;
-        Ok(self.tcache.insert(pc, Tier::Basic, translated))
+        Ok(self.tcache.insert_shared(pc, Tier::Basic, product.code))
     }
 
     /// The leakage verdicts of every optimised translation, sorted by

@@ -20,7 +20,13 @@
 //! [`DbtConfig::policy`]; the scheduler then honours whatever constraints
 //! the mitigation re-inserted.
 //!
-//! The main entry point is [`DbtEngine`].
+//! The main entry point is [`DbtEngine`]. Engines created through
+//! [`DbtEngine::with_service`] share a process-wide, thread-safe
+//! [`TranslationService`]: a memoizing query layer that compiles each
+//! distinct (program, path, speculation options, policy, issue width)
+//! translation exactly once and hands every later run the cached product,
+//! so a multi-policy sweep does not redo identical decode/trace/analysis
+//! work per run.
 
 pub mod codegen;
 pub mod config;
@@ -28,6 +34,7 @@ pub mod engine;
 pub mod profile;
 pub mod regalloc;
 pub mod schedule;
+pub mod service;
 pub mod tcache;
 pub mod trace_builder;
 pub mod translate;
@@ -36,6 +43,10 @@ pub use config::DbtConfig;
 pub use engine::{DbtEngine, DbtError, EngineStats};
 pub use profile::Profile;
 pub use schedule::{Schedule, ScheduleError};
+pub use service::{
+    AnalysedProduct, AnalysisProduct, CompileProduct, ServiceStats, Translated, TranslationService,
+    DEFAULT_SERVICE_CAPACITY,
+};
 pub use tcache::{CachedTranslation, Tier, TranslationCache};
 pub use trace_builder::{GuestPath, PathElement};
 pub use translate::translate_path;

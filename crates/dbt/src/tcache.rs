@@ -71,7 +71,18 @@ impl TranslationCache {
     /// Optimised translations inserted through this method carry no
     /// verdict; the engine uses [`TranslationCache::insert_optimized`].
     pub fn insert(&mut self, pc: u64, tier: Tier, block: TranslatedBlock) -> Arc<TranslatedBlock> {
-        let block = Arc::new(block);
+        self.insert_shared(pc, tier, Arc::new(block))
+    }
+
+    /// Inserts an already-shared translation at the given tier (the
+    /// engine's path when a translation comes out of the cross-run
+    /// [`TranslationService`](crate::TranslationService) memo).
+    pub fn insert_shared(
+        &mut self,
+        pc: u64,
+        tier: Tier,
+        block: Arc<TranslatedBlock>,
+    ) -> Arc<TranslatedBlock> {
         match tier {
             Tier::Basic => {
                 self.basic.insert(pc, Arc::clone(&block));
@@ -95,16 +106,23 @@ impl TranslationCache {
         ir: IrBlock,
         verdict: LeakageVerdict,
     ) -> Arc<TranslatedBlock> {
-        let block = Arc::new(block);
+        self.insert_optimized_shared(pc, Arc::new(block), Arc::new(ir), Arc::new(verdict))
+    }
+
+    /// [`TranslationCache::insert_optimized`] for products that are already
+    /// behind `Arc`s (shared with the cross-run service memo).
+    pub fn insert_optimized_shared(
+        &mut self,
+        pc: u64,
+        code: Arc<TranslatedBlock>,
+        ir: Arc<IrBlock>,
+        verdict: Arc<LeakageVerdict>,
+    ) -> Arc<TranslatedBlock> {
         self.optimized.insert(
             pc,
-            CachedTranslation {
-                code: Arc::clone(&block),
-                ir: Some(Arc::new(ir)),
-                verdict: Some(Arc::new(verdict)),
-            },
+            CachedTranslation { code: Arc::clone(&code), ir: Some(ir), verdict: Some(verdict) },
         );
-        block
+        code
     }
 
     /// The cached verdict of the optimised translation at `pc`, if any.

@@ -6,7 +6,7 @@ use crate::value::{InstId, Operand};
 use std::fmt;
 
 /// How the block was formed by the DBT engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BlockKind {
     /// A single guest basic block, translated one-to-one.
     Basic,

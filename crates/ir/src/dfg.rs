@@ -51,7 +51,7 @@ pub struct DepEdge {
 /// Which speculation mechanisms the DBT engine has enabled.
 ///
 /// Turning both off is the paper's naive "No speculation" countermeasure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DfgOptions {
     /// Allow loads and computations to be hoisted above biased conditional
     /// branches (side exits) during trace scheduling.

@@ -6,7 +6,7 @@
 use crate::registry::DEFAULT_SECRET;
 use crate::scenario::{AttackVariant, ProgramSpec};
 use dbt_ir::{dot, DepGraph, TaintOverlay};
-use dbt_platform::{DbtProcessor, PlatformConfig};
+use dbt_platform::{PlatformConfig, Session};
 use dbt_workloads::WorkloadSize;
 use ghostbusters::MitigationPolicy;
 use spectaint::LeakageVerdict;
@@ -77,10 +77,11 @@ pub fn analyze_program(label: &str, size: WorkloadSize) -> Result<AnalyzeReport,
     let spec = resolve_program(label, size)?;
     let program = spec.build()?;
     let config = PlatformConfig::for_policy(MitigationPolicy::Unprotected);
-    let mut processor = DbtProcessor::new(&program, config).map_err(|e| e.to_string())?;
-    processor.run().map_err(|e| e.to_string())?;
+    let mut session =
+        Session::builder().program(&program).config(config).build().map_err(|e| e.to_string())?;
+    session.run().map_err(|e| e.to_string())?;
 
-    let engine = processor.engine();
+    let engine = session.engine();
     let mut blocks = Vec::new();
     for (pc, ir, verdict) in engine.tcache().analyzed() {
         // Rebuild the *unconstrained* dependency graph of the cached IR

@@ -2,16 +2,26 @@
 //!
 //! Jobs are pulled from a shared queue by `std::thread::scope` workers;
 //! results land in the slot of their job index, so the report order is the
-//! expansion order regardless of which worker finished first. Unprotected
-//! baseline runs are deduplicated through a [`BaselineCache`] keyed by
-//! `(program, platform)`: each workload's baseline is simulated exactly
-//! once per sweep, not once per comparison.
+//! expansion order regardless of which worker finished first.
+//!
+//! Redundant work is deduplicated at two levels through a sweep-wide
+//! shared context:
+//!
+//! * **runs** — unprotected baseline runs are memoized per
+//!   `(program, platform)`, so each workload's baseline is simulated
+//!   exactly once per sweep, not once per comparison;
+//! * **translations** — every session of the sweep shares one
+//!   [`TranslationService`], so each distinct translation (per program,
+//!   path, speculation options, policy and issue width) is compiled
+//!   exactly once per sweep regardless of how many jobs and threads demand
+//!   it. The service's hit/miss counters land in [`ExecStats`] (and hence
+//!   in the sweep JSON), so the reuse is visible in the artifacts.
 
 use crate::scenario::{Scenario, ScenarioKind};
-use dbt_platform::DbtProcessor;
+use dbt_platform::{Session, TranslationService};
 use ghostbusters::MitigationPolicy;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Executor knobs.
@@ -138,6 +148,12 @@ pub struct ExecStats {
     /// Unprotected baseline simulations (one per distinct
     /// `(program, platform)` pair among the perf jobs).
     pub baseline_simulations: usize,
+    /// Translation events of this sweep's sessions answered from the
+    /// shared [`TranslationService`] memo.
+    pub translation_hits: u64,
+    /// Translation events that compiled — one per distinct translated
+    /// block, however many jobs and threads demanded it.
+    pub translation_misses: u64,
 }
 
 /// The ordered results of one sweep.
@@ -152,39 +168,83 @@ pub struct LabReport {
     pub stats: ExecStats,
 }
 
-/// One cache entry: filled exactly once, shared between waiting workers.
+/// One run-cache entry: filled exactly once, shared between waiting
+/// workers.
 type BaselineSlot = Arc<OnceLock<Result<SimOut, String>>>;
 
-/// Deduplicates unprotected baseline simulations across a sweep.
+/// Shared state of one sweep: the translation service every session of the
+/// sweep attaches to, the memoized unprotected baseline runs (the historic
+/// standalone `BaselineCache`, folded in here), and the simulation
+/// counters.
 ///
-/// Keys are [`Scenario::baseline_key`]; each key's simulation runs exactly
-/// once even when several workers ask for it concurrently (late askers block
-/// on the `OnceLock` until the first finishes).
-pub struct BaselineCache {
-    slots: Mutex<HashMap<String, BaselineSlot>>,
+/// Both memo levels are exactly-once under concurrency: late askers block
+/// on the winner's `OnceLock`, so the counters are deterministic for a
+/// given job list regardless of worker count.
+struct SweepContext {
+    service: Arc<TranslationService>,
+    baselines: Mutex<HashMap<String, BaselineSlot>>,
     baseline_sims: AtomicUsize,
+    sims: AtomicUsize,
+    translation_hits: AtomicU64,
+    translation_misses: AtomicU64,
 }
 
-impl BaselineCache {
-    /// An empty cache.
-    pub fn new() -> BaselineCache {
-        BaselineCache { slots: Mutex::new(HashMap::new()), baseline_sims: AtomicUsize::new(0) }
+impl SweepContext {
+    fn new(service: Arc<TranslationService>) -> SweepContext {
+        SweepContext {
+            service,
+            baselines: Mutex::new(HashMap::new()),
+            baseline_sims: AtomicUsize::new(0),
+            sims: AtomicUsize::new(0),
+            translation_hits: AtomicU64::new(0),
+            translation_misses: AtomicU64::new(0),
+        }
     }
 
-    /// Number of baseline simulations actually run.
-    pub fn simulations(&self) -> usize {
-        self.baseline_sims.load(Ordering::SeqCst)
+    /// Folds one finished session's translation counters into the sweep's.
+    ///
+    /// The sweep report attributes only the queries *this sweep's sessions*
+    /// issued (summed from each engine's own counters), so sharing the
+    /// service with other concurrent users never inflates these numbers.
+    fn record_translations(&self, session: &Session) {
+        let stats = session.engine().stats();
+        self.translation_hits.fetch_add(stats.service_hits, Ordering::SeqCst);
+        self.translation_misses.fetch_add(stats.service_misses, Ordering::SeqCst);
     }
 
-    /// Returns the cached baseline for `key`, running `simulate` (once,
-    /// globally) if it is not cached yet.
-    pub fn get_or_simulate(
+    /// Runs `program` under `config` through a [`Session`] attached to the
+    /// sweep's shared translation service.
+    fn simulate(
+        &self,
+        program: &dbt_riscv::Program,
+        config: dbt_platform::PlatformConfig,
+    ) -> Result<SimOut, String> {
+        self.sims.fetch_add(1, Ordering::SeqCst);
+        let mut session = Session::builder()
+            .program(program)
+            .config(config)
+            .service(&self.service)
+            .build()
+            .map_err(|e| e.to_string())?;
+        let summary = session.run().map_err(|e| e.to_string())?;
+        self.record_translations(&session);
+        Ok(SimOut {
+            cycles: summary.cycles,
+            rollbacks: summary.rollbacks,
+            guest_insts: summary.guest_insts,
+            patterns: session.engine().mitigation_summary().patterns,
+        })
+    }
+
+    /// Returns the memoized unprotected baseline for `key`, simulating it
+    /// (once, sweep-wide) if it is not cached yet.
+    fn baseline(
         &self,
         key: String,
         simulate: impl FnOnce() -> Result<SimOut, String>,
     ) -> Result<SimOut, String> {
         let slot =
-            self.slots.lock().expect("baseline cache poisoned").entry(key).or_default().clone();
+            self.baselines.lock().expect("baseline cache poisoned").entry(key).or_default().clone();
         slot.get_or_init(|| {
             self.baseline_sims.fetch_add(1, Ordering::SeqCst);
             simulate()
@@ -193,29 +253,7 @@ impl BaselineCache {
     }
 }
 
-impl Default for BaselineCache {
-    fn default() -> Self {
-        BaselineCache::new()
-    }
-}
-
-fn simulate(
-    program: &dbt_riscv::Program,
-    config: dbt_platform::PlatformConfig,
-    sims: &AtomicUsize,
-) -> Result<SimOut, String> {
-    sims.fetch_add(1, Ordering::SeqCst);
-    let mut processor = DbtProcessor::new(program, config).map_err(|e| e.to_string())?;
-    let summary = processor.run().map_err(|e| e.to_string())?;
-    Ok(SimOut {
-        cycles: summary.cycles,
-        rollbacks: summary.rollbacks,
-        guest_insts: summary.guest_insts,
-        patterns: processor.engine().mitigation_summary().patterns,
-    })
-}
-
-fn run_job(scenario: &Scenario, cache: &BaselineCache, sims: &AtomicUsize) -> JobOutcome {
+fn run_job(scenario: &Scenario, ctx: &SweepContext) -> JobOutcome {
     let program = match scenario.program.build() {
         Ok(p) => p,
         Err(e) => return JobOutcome::Failed { error: e },
@@ -223,11 +261,10 @@ fn run_job(scenario: &Scenario, cache: &BaselineCache, sims: &AtomicUsize) -> Jo
     let config = scenario.platform.overrides.apply(scenario.policy);
     match scenario.kind {
         ScenarioKind::Perf => {
-            let baseline = cache.get_or_simulate(scenario.baseline_key(), || {
-                simulate(
+            let baseline = ctx.baseline(scenario.baseline_key(), || {
+                ctx.simulate(
                     &program,
                     scenario.platform.overrides.apply(MitigationPolicy::Unprotected),
-                    sims,
                 )
             });
             let baseline = match baseline {
@@ -237,7 +274,7 @@ fn run_job(scenario: &Scenario, cache: &BaselineCache, sims: &AtomicUsize) -> Jo
             let run = if scenario.policy == MitigationPolicy::Unprotected {
                 baseline.clone()
             } else {
-                match simulate(&program, config, sims) {
+                match ctx.simulate(&program, config) {
                     Ok(r) => r,
                     Err(e) => return JobOutcome::Failed { error: e },
                 }
@@ -256,12 +293,17 @@ fn run_job(scenario: &Scenario, cache: &BaselineCache, sims: &AtomicUsize) -> Jo
                     error: format!("`{}` is not an attack program", scenario.program_label),
                 };
             };
-            sims.fetch_add(1, Ordering::SeqCst);
+            ctx.sims.fetch_add(1, Ordering::SeqCst);
             let outcome = (|| {
-                let mut processor =
-                    DbtProcessor::new(&program, config).map_err(|e| e.to_string())?;
-                let summary = processor.run().map_err(|e| e.to_string())?;
-                let recovered = processor
+                let mut session = Session::builder()
+                    .program(&program)
+                    .config(config)
+                    .service(&ctx.service)
+                    .build()
+                    .map_err(|e| e.to_string())?;
+                let summary = session.run().map_err(|e| e.to_string())?;
+                ctx.record_translations(&session);
+                let recovered = session
                     .load_symbol_bytes("recovered", secret.len())
                     .map_err(|e| e.to_string())?;
                 Ok::<_, String>(AttackMetrics {
@@ -269,7 +311,7 @@ fn run_job(scenario: &Scenario, cache: &BaselineCache, sims: &AtomicUsize) -> Jo
                     recovered,
                     cycles: summary.cycles,
                     rollbacks: summary.rollbacks,
-                    patterns: processor.engine().mitigation_summary().patterns,
+                    patterns: session.engine().mitigation_summary().patterns,
                 })
             })();
             match outcome {
@@ -281,15 +323,35 @@ fn run_job(scenario: &Scenario, cache: &BaselineCache, sims: &AtomicUsize) -> Jo
 }
 
 /// Runs `scenarios` on a worker pool and returns the report in expansion
-/// order.
+/// order, with a fresh per-sweep [`TranslationService`].
 ///
 /// Output is deterministic: the same scenario list produces the same report
-/// (and therefore byte-identical JSON) for any worker count.
+/// (and therefore byte-identical JSON) for any worker count — including
+/// the translation hit/miss counters, since every translation resolves
+/// exactly once sweep-wide.
 pub fn run_sweep(sweep: &str, scenarios: &[Scenario], opts: ExecOptions) -> LabReport {
+    run_sweep_with(sweep, scenarios, opts, &TranslationService::new())
+}
+
+/// [`run_sweep`] against a caller-provided [`TranslationService`], so
+/// several sweeps (or repeated invocations) can share one memo.
+///
+/// The report's translation counters cover exactly the queries issued by
+/// *this sweep's sessions* (summed from each engine's own counters, never
+/// read off the shared service's globals — another concurrent user of the
+/// service cannot inflate them). Against a pre-warmed service they shift
+/// towards hits, while cycle counts and recovery rates stay identical —
+/// memoized translations are pure functions of the same inputs a fresh
+/// compile would see.
+pub fn run_sweep_with(
+    sweep: &str,
+    scenarios: &[Scenario],
+    opts: ExecOptions,
+    service: &Arc<TranslationService>,
+) -> LabReport {
     let jobs = scenarios.len();
     let threads = opts.effective_threads(jobs);
-    let cache = BaselineCache::new();
-    let sims = AtomicUsize::new(0);
+    let ctx = SweepContext::new(Arc::clone(service));
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<JobResult>> = Vec::new();
     slots.resize_with(jobs, || None);
@@ -303,7 +365,7 @@ pub fn run_sweep(sweep: &str, scenarios: &[Scenario], opts: ExecOptions) -> LabR
                     break;
                 }
                 let scenario = &scenarios[i];
-                let outcome = run_job(scenario, &cache, &sims);
+                let outcome = run_job(scenario, &ctx);
                 if opts.verbose {
                     eprintln!("[lab] {} done", scenario.name);
                 }
@@ -324,8 +386,10 @@ pub fn run_sweep(sweep: &str, scenarios: &[Scenario], opts: ExecOptions) -> LabR
         results,
         stats: ExecStats {
             jobs,
-            simulations: sims.load(Ordering::SeqCst),
-            baseline_simulations: cache.simulations(),
+            simulations: ctx.sims.load(Ordering::SeqCst),
+            baseline_simulations: ctx.baseline_sims.load(Ordering::SeqCst),
+            translation_hits: ctx.translation_hits.load(Ordering::SeqCst),
+            translation_misses: ctx.translation_misses.load(Ordering::SeqCst),
         },
     }
 }
@@ -352,6 +416,12 @@ mod tests {
         // simulation each; the 2 unprotected jobs reuse the cached baseline.
         assert_eq!(report.stats.baseline_simulations, 2);
         assert_eq!(report.stats.simulations, 10);
+        // The shared translation service pays off even across policies:
+        // first-pass translations (and superblock analyses under equal
+        // speculation options) are policy-independent, so later runs of the
+        // same program hit the memo.
+        assert!(report.stats.translation_hits > 0, "{:?}", report.stats);
+        assert!(report.stats.translation_misses > 0, "{:?}", report.stats);
     }
 
     #[test]

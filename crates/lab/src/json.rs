@@ -92,9 +92,11 @@ impl LabReport {
         out.push_str(&format!("    \"jobs\": {},\n", self.stats.jobs));
         out.push_str(&format!("    \"simulations\": {},\n", self.stats.simulations));
         out.push_str(&format!(
-            "    \"baseline_simulations\": {}\n",
+            "    \"baseline_simulations\": {},\n",
             self.stats.baseline_simulations
         ));
+        out.push_str(&format!("    \"translation_hits\": {},\n", self.stats.translation_hits));
+        out.push_str(&format!("    \"translation_misses\": {}\n", self.stats.translation_misses));
         out.push_str("  }\n");
         out.push_str("}\n");
         out
@@ -146,13 +148,21 @@ mod tests {
                     patterns: 0,
                 }),
             }],
-            stats: ExecStats { jobs: 1, simulations: 1, baseline_simulations: 1 },
+            stats: ExecStats {
+                jobs: 1,
+                simulations: 1,
+                baseline_simulations: 1,
+                translation_hits: 3,
+                translation_misses: 2,
+            },
         };
         let a = report.to_json();
         let b = report.to_json();
         assert_eq!(a, b);
         assert!(a.contains("\"slowdown\": 1.000000"));
         assert!(a.contains("\"schema\": \"dbt-lab/v1\""));
+        assert!(a.contains("\"translation_hits\": 3"));
+        assert!(a.contains("\"translation_misses\": 2"));
         assert!(a.ends_with("}\n"));
     }
 }

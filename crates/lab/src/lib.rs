@@ -14,8 +14,11 @@
 //! * [`registry`] — [`Registry::standard`] declares the paper's sweeps;
 //!   new experiments are new declarations, not new binaries;
 //! * [`exec`] — [`run_sweep`] fans jobs out over `std::thread::scope`
-//!   workers with deterministic output ordering and a [`BaselineCache`]
-//!   that simulates each workload's unprotected baseline exactly once;
+//!   workers with deterministic output ordering; every job runs through a
+//!   [`dbt_platform::Session`] attached to one shared
+//!   [`TranslationService`], so each workload's unprotected baseline is
+//!   simulated exactly once and each distinct translation is compiled
+//!   exactly once per sweep (the hit/miss counters land in the JSON);
 //! * [`json`] — stable, dependency-free JSON (`BENCH_<sweep>.json`)
 //!   suitable for diffing across PRs;
 //! * [`table`] — the human-readable tables of the paper (Figure 4 layout,
@@ -43,8 +46,9 @@ pub mod scenario;
 pub mod table;
 
 pub use analyze::{analyze_program, AnalyzeReport, BlockAnalysis};
+pub use dbt_platform::{ServiceStats, TranslationService};
 pub use exec::{
-    run_sweep, AttackMetrics, BaselineCache, ExecOptions, ExecStats, JobOutcome, JobResult,
+    run_sweep, run_sweep_with, AttackMetrics, ExecOptions, ExecStats, JobOutcome, JobResult,
     LabReport, PerfMetrics, SimOut,
 };
 pub use registry::{Registry, Sweep, SweepProgram, DEFAULT_SECRET};

@@ -4,7 +4,7 @@
 
 use crate::exec::{JobOutcome, LabReport};
 use crate::scenario::ScenarioKind;
-use dbt_platform::{run_program, PlatformError};
+use dbt_platform::{PlatformError, PolicyComparison, TranslationService};
 use dbt_riscv::Program;
 use ghostbusters::MitigationPolicy;
 
@@ -44,13 +44,15 @@ pub struct SlowdownTable {
 ///
 /// Propagates platform errors (translation faults, budget exhaustion).
 pub fn measure_slowdowns(name: &str, program: &Program) -> Result<SlowdownRow, PlatformError> {
-    let mut cycles = Vec::with_capacity(MitigationPolicy::ALL.len());
-    for policy in MitigationPolicy::ALL {
-        cycles.push(run_program(program, dbt_platform::PlatformConfig::for_policy(policy))?.cycles);
-    }
-    let baseline = cycles[0].max(1);
-    let slowdown = cycles.iter().map(|&c| c as f64 / baseline as f64).collect();
-    Ok(SlowdownRow { name: name.to_string(), baseline_cycles: cycles[0], slowdown })
+    let service = TranslationService::new();
+    let comparison = PolicyComparison::measure_with(name, program, &service)?;
+    let slowdown =
+        MitigationPolicy::ALL.iter().map(|&policy| comparison.slowdown(policy)).collect();
+    Ok(SlowdownRow {
+        name: name.to_string(),
+        baseline_cycles: comparison.unprotected_cycles(),
+        slowdown,
+    })
 }
 
 /// Geometric mean of strictly positive samples (1.0 for an empty slice).
@@ -380,7 +382,12 @@ mod tests {
                     outcome: JobOutcome::Failed { error: "budget exhausted".into() },
                 },
             ],
-            stats: ExecStats { jobs: 5, simulations: 4, baseline_simulations: 1 },
+            stats: ExecStats {
+                jobs: 5,
+                simulations: 4,
+                baseline_simulations: 1,
+                ..ExecStats::default()
+            },
         };
         let t = report.slowdown_table();
         assert_eq!(t.rows.len(), 1);

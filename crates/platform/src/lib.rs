@@ -6,13 +6,16 @@
 //! image — and drives a guest [`Program`](dbt_riscv::Program) to completion,
 //! exactly like Hybrid-DBT runs RISC-V binaries on its VLIW.
 //!
-//! It is the crate the attack proof-of-concepts, the Polybench-style
-//! workloads and the benchmark harness all run against.
+//! Runs are created through the [`Session`] builder — the single public
+//! entry point the attack proof-of-concepts, the Polybench-style workloads
+//! and the benchmark harness all go through. Sessions can share a
+//! [`TranslationService`], the process-wide memo that translates each
+//! `(program, config)` exactly once however many runs demand it.
 //!
 //! # Example
 //!
 //! ```
-//! use dbt_platform::{DbtProcessor, PlatformConfig};
+//! use dbt_platform::{Session, TranslationService};
 //! use dbt_riscv::{Assembler, Reg};
 //! use ghostbusters::MitigationPolicy;
 //!
@@ -27,17 +30,24 @@
 //! asm.ecall();
 //! let program = asm.assemble()?;
 //!
-//! let config = PlatformConfig::for_policy(MitigationPolicy::FineGrained);
-//! let mut processor = DbtProcessor::new(&program, config)?;
-//! let summary = processor.run()?;
+//! let service = TranslationService::new();
+//! let mut session = Session::builder()
+//!     .program(&program)
+//!     .policy(MitigationPolicy::FineGrained)
+//!     .service(&service)
+//!     .build()?;
+//! let summary = session.run()?;
 //! assert!(summary.halted);
-//! assert_eq!(processor.load_symbol_u64("out")?, 42);
+//! assert_eq!(session.load_symbol_u64("out")?, 42);
 //! # Ok(())
 //! # }
 //! ```
 
 pub mod processor;
 pub mod run;
+pub mod session;
 
+pub use dbt_engine::{ServiceStats, TranslationService};
 pub use processor::{DbtProcessor, PlatformConfig, PlatformError, RunSummary};
-pub use run::{run_program, run_with_policy, PolicyComparison};
+pub use run::PolicyComparison;
+pub use session::{Session, SessionBuilder};

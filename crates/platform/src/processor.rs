@@ -1,10 +1,11 @@
 //! The DBT-based processor: engine + core + memory.
 
-use dbt_engine::{DbtConfig, DbtEngine, DbtError};
+use dbt_engine::{DbtConfig, DbtEngine, DbtError, TranslationService};
 use dbt_riscv::{GuestMemory, MemError, Program, Reg};
 use dbt_vliw::{CoreConfig, CoreError, VliwCore};
 use ghostbusters::MitigationPolicy;
 use std::fmt;
+use std::sync::Arc;
 
 /// Configuration of the whole platform.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,6 +54,8 @@ pub enum PlatformError {
         /// Number of blocks executed.
         blocks: u64,
     },
+    /// A [`Session`](crate::Session) was built without a guest program.
+    MissingProgram,
     /// A named symbol is missing from the guest program.
     UnknownSymbol {
         /// The requested symbol name.
@@ -68,6 +71,9 @@ impl fmt::Display for PlatformError {
             PlatformError::Mem(e) => write!(f, "{e}"),
             PlatformError::BudgetExhausted { blocks } => {
                 write!(f, "block budget exhausted after {blocks} blocks")
+            }
+            PlatformError::MissingProgram => {
+                write!(f, "session built without a guest program (call `.program(..)`)")
             }
             PlatformError::UnknownSymbol { name } => write!(f, "unknown guest symbol `{name}`"),
         }
@@ -122,12 +128,22 @@ pub struct DbtProcessor {
 
 impl DbtProcessor {
     /// Creates a processor with `program` loaded and ready to run from its
-    /// entry point.
+    /// entry point, with an optional shared translation service (the
+    /// engine memoizes its translations there under the program's
+    /// fingerprint).
+    ///
+    /// Construction is crate-internal: external callers go through the
+    /// [`Session`](crate::Session) builder, which is also where a shared
+    /// [`TranslationService`] is attached.
     ///
     /// # Errors
     ///
     /// Returns [`PlatformError::Mem`] if the program image cannot be built.
-    pub fn new(program: &Program, config: PlatformConfig) -> Result<DbtProcessor, PlatformError> {
+    pub(crate) fn new(
+        program: &Program,
+        config: PlatformConfig,
+        service: Option<Arc<TranslationService>>,
+    ) -> Result<DbtProcessor, PlatformError> {
         let memory = program.build_memory().map_err(|_| {
             PlatformError::Mem(MemError::OutOfBounds {
                 addr: 0,
@@ -139,13 +155,11 @@ impl DbtProcessor {
         // Same calling convention as the reference interpreter: stack at the
         // top of guest memory.
         core.arch_mut().set_reg(Reg::SP, (memory.len() as u64) & !0xf);
-        Ok(DbtProcessor {
-            program: program.clone(),
-            config,
-            engine: DbtEngine::new(config.dbt),
-            core,
-            memory,
-        })
+        let engine = match service {
+            Some(service) => DbtEngine::with_service(config.dbt, service, program.fingerprint()),
+            None => DbtEngine::new(config.dbt),
+        };
+        Ok(DbtProcessor { program: program.clone(), config, engine, core, memory })
     }
 
     /// The loaded guest program.
@@ -289,7 +303,7 @@ mod tests {
 
         for policy in MitigationPolicy::ALL {
             let mut processor =
-                DbtProcessor::new(&program, PlatformConfig::for_policy(policy)).unwrap();
+                DbtProcessor::new(&program, PlatformConfig::for_policy(policy), None).unwrap();
             let summary = processor.run().unwrap();
             assert!(summary.halted, "{policy}: program must halt");
             assert!(summary.cycles > 0);
@@ -305,12 +319,16 @@ mod tests {
     #[test]
     fn speculation_is_not_slower_than_no_speculation() {
         let program = loop_program();
-        let mut unprotected =
-            DbtProcessor::new(&program, PlatformConfig::for_policy(MitigationPolicy::Unprotected))
-                .unwrap();
+        let mut unprotected = DbtProcessor::new(
+            &program,
+            PlatformConfig::for_policy(MitigationPolicy::Unprotected),
+            None,
+        )
+        .unwrap();
         let mut nospec = DbtProcessor::new(
             &program,
             PlatformConfig::for_policy(MitigationPolicy::NoSpeculation),
+            None,
         )
         .unwrap();
         let fast = unprotected.run().unwrap();
@@ -321,7 +339,7 @@ mod tests {
     #[test]
     fn unknown_symbol_is_an_error() {
         let program = loop_program();
-        let processor = DbtProcessor::new(&program, PlatformConfig::default()).unwrap();
+        let processor = DbtProcessor::new(&program, PlatformConfig::default(), None).unwrap();
         assert!(matches!(
             processor.load_symbol_u64("nope"),
             Err(PlatformError::UnknownSymbol { .. })
@@ -337,7 +355,7 @@ mod tests {
         asm.jump(spin);
         let program = asm.assemble().unwrap();
         let config = PlatformConfig { max_blocks: 10, ..PlatformConfig::default() };
-        let mut processor = DbtProcessor::new(&program, config).unwrap();
+        let mut processor = DbtProcessor::new(&program, config, None).unwrap();
         assert!(matches!(processor.run(), Err(PlatformError::BudgetExhausted { .. })));
     }
 }

@@ -1,96 +1,116 @@
-//! Convenience helpers for the evaluation harness: run one program under
-//! one or several mitigation policies and compare cycle counts.
+//! Cross-policy comparison of one workload, driven by [`Session`] runs.
+//!
+//! The historic `run_program` / `run_with_policy` free functions and the
+//! five hardcoded cycle fields of `PolicyComparison` are gone: runs go
+//! through the [`Session`] builder, and the comparison is data-driven over
+//! whatever policy axis it was measured with (by default
+//! [`MitigationPolicy::ALL`]).
 
-use crate::processor::{DbtProcessor, PlatformConfig, PlatformError, RunSummary};
+use crate::processor::PlatformError;
+use crate::session::Session;
+use dbt_engine::TranslationService;
 use dbt_riscv::Program;
 use ghostbusters::MitigationPolicy;
 use std::fmt;
+use std::sync::Arc;
 
-/// Runs `program` on a freshly constructed platform with `config`.
-///
-/// # Errors
-///
-/// Propagates any [`PlatformError`] from construction or execution.
-pub fn run_program(program: &Program, config: PlatformConfig) -> Result<RunSummary, PlatformError> {
-    let mut processor = DbtProcessor::new(program, config)?;
-    processor.run()
-}
-
-/// Runs `program` under a given mitigation policy with the default platform
-/// parameters.
-///
-/// # Errors
-///
-/// Propagates any [`PlatformError`] from construction or execution.
-pub fn run_with_policy(
-    program: &Program,
-    policy: MitigationPolicy,
-) -> Result<RunSummary, PlatformError> {
-    run_program(program, PlatformConfig::for_policy(policy))
-}
-
-/// Cycle counts of one workload under every mitigation policy, relative to
-/// the unprotected baseline — the rows of the paper's Figure 4.
+/// Cycle counts of one workload under a policy axis, relative to the
+/// unprotected baseline — the rows of the paper's Figure 4.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PolicyComparison {
     /// Workload name.
     pub name: String,
-    /// Cycles of the unprotected (unsafe) run.
-    pub unprotected_cycles: u64,
-    /// Cycles with the verdict-gated selective countermeasure.
-    pub selective_cycles: u64,
-    /// Cycles with the fine-grained countermeasure ("our approach").
-    pub fine_grained_cycles: u64,
-    /// Cycles with the fence-on-detection countermeasure.
-    pub fence_cycles: u64,
-    /// Cycles with speculation disabled.
-    pub no_speculation_cycles: u64,
+    /// `(policy, cycles)` per measured policy, in measurement order.
+    pub cycles: Vec<(MitigationPolicy, u64)>,
 }
 
 impl PolicyComparison {
-    /// Runs `program` under every policy.
+    /// Runs `program` under every policy in [`MitigationPolicy::ALL`],
+    /// each on a fresh platform.
     ///
     /// # Errors
     ///
     /// Propagates any [`PlatformError`].
     pub fn measure(name: &str, program: &Program) -> Result<PolicyComparison, PlatformError> {
-        Ok(PolicyComparison {
-            name: name.to_string(),
-            unprotected_cycles: run_with_policy(program, MitigationPolicy::Unprotected)?.cycles,
-            selective_cycles: run_with_policy(program, MitigationPolicy::Selective)?.cycles,
-            fine_grained_cycles: run_with_policy(program, MitigationPolicy::FineGrained)?.cycles,
-            fence_cycles: run_with_policy(program, MitigationPolicy::Fence)?.cycles,
-            no_speculation_cycles: run_with_policy(program, MitigationPolicy::NoSpeculation)?
-                .cycles,
-        })
+        PolicyComparison::measure_policies(name, program, &MitigationPolicy::ALL, None)
+    }
+
+    /// [`PolicyComparison::measure`] with a shared [`TranslationService`],
+    /// so repeated measurements of the same program reuse translations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`PlatformError`].
+    pub fn measure_with(
+        name: &str,
+        program: &Program,
+        service: &Arc<TranslationService>,
+    ) -> Result<PolicyComparison, PlatformError> {
+        PolicyComparison::measure_policies(name, program, &MitigationPolicy::ALL, Some(service))
+    }
+
+    /// Runs `program` under an explicit policy axis, optionally sharing a
+    /// translation service across the runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`PlatformError`].
+    pub fn measure_policies(
+        name: &str,
+        program: &Program,
+        policies: &[MitigationPolicy],
+        service: Option<&Arc<TranslationService>>,
+    ) -> Result<PolicyComparison, PlatformError> {
+        let mut cycles = Vec::with_capacity(policies.len());
+        for &policy in policies {
+            let mut builder = Session::builder().program(program).policy(policy);
+            if let Some(service) = service {
+                builder = builder.service(service);
+            }
+            cycles.push((policy, builder.run()?.cycles));
+        }
+        Ok(PolicyComparison { name: name.to_string(), cycles })
+    }
+
+    /// The measured policy axis, in measurement order.
+    pub fn policies(&self) -> impl Iterator<Item = MitigationPolicy> + '_ {
+        self.cycles.iter().map(|(policy, _)| *policy)
+    }
+
+    /// Cycles measured for `policy`, if it is on the axis.
+    pub fn cycles_for(&self, policy: MitigationPolicy) -> Option<u64> {
+        self.cycles.iter().find(|(p, _)| *p == policy).map(|(_, c)| *c)
+    }
+
+    /// Cycles of the unprotected baseline (0 if it was not measured).
+    pub fn unprotected_cycles(&self) -> u64 {
+        self.cycles_for(MitigationPolicy::Unprotected).unwrap_or(0)
     }
 
     /// Slowdown of a policy relative to the unprotected baseline
-    /// (1.0 = no slowdown).
+    /// (1.0 = no slowdown; `NaN` if either the policy or the unprotected
+    /// baseline is absent from the measured axis).
+    ///
+    /// A measured baseline is clamped to at least one cycle, so a
+    /// degenerate measurement can never divide by zero into `inf`/`NaN`.
     pub fn slowdown(&self, policy: MitigationPolicy) -> f64 {
-        let cycles = match policy {
-            MitigationPolicy::Unprotected => self.unprotected_cycles,
-            MitigationPolicy::Selective => self.selective_cycles,
-            MitigationPolicy::FineGrained => self.fine_grained_cycles,
-            MitigationPolicy::Fence => self.fence_cycles,
-            MitigationPolicy::NoSpeculation => self.no_speculation_cycles,
-        };
-        cycles as f64 / self.unprotected_cycles as f64
+        match (self.cycles_for(policy), self.cycles_for(MitigationPolicy::Unprotected)) {
+            (Some(cycles), Some(baseline)) => cycles as f64 / baseline.max(1) as f64,
+            _ => f64::NAN,
+        }
     }
 }
 
 impl fmt::Display for PolicyComparison {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{:<14} unsafe={:>10} selective={:>6.1}% our-approach={:>6.1}% fence={:>6.1}% no-spec={:>6.1}%",
-            self.name,
-            self.unprotected_cycles,
-            self.slowdown(MitigationPolicy::Selective) * 100.0,
-            self.slowdown(MitigationPolicy::FineGrained) * 100.0,
-            self.slowdown(MitigationPolicy::Fence) * 100.0,
-            self.slowdown(MitigationPolicy::NoSpeculation) * 100.0,
-        )
+        write!(f, "{:<14} unsafe={:>10}", self.name, self.unprotected_cycles())?;
+        for policy in self.policies() {
+            if policy == MitigationPolicy::Unprotected {
+                continue;
+            }
+            write!(f, " {}={:>6.1}%", policy.label(), self.slowdown(policy) * 100.0)?;
+        }
+        Ok(())
     }
 }
 
@@ -125,19 +145,56 @@ mod tests {
     fn comparison_covers_all_policies() {
         let program = tiny_program();
         let comparison = PolicyComparison::measure("tiny", &program).unwrap();
-        assert!(comparison.unprotected_cycles > 0);
+        assert_eq!(comparison.cycles.len(), MitigationPolicy::ALL.len());
+        assert!(comparison.unprotected_cycles() > 0);
         assert!((comparison.slowdown(MitigationPolicy::Unprotected) - 1.0).abs() < 1e-12);
         assert!(comparison.slowdown(MitigationPolicy::NoSpeculation) >= 1.0);
         let text = comparison.to_string();
         assert!(text.contains("tiny"));
+        for policy in &MitigationPolicy::ALL[1..] {
+            assert!(text.contains(policy.label()), "missing column {policy}: {text}");
+        }
     }
 
     #[test]
-    fn run_with_policy_produces_same_architectural_result() {
+    fn degenerate_baselines_never_divide_by_zero() {
+        let comparison = PolicyComparison {
+            name: "degenerate".into(),
+            cycles: vec![(MitigationPolicy::Unprotected, 0), (MitigationPolicy::Fence, 100)],
+        };
+        let slowdown = comparison.slowdown(MitigationPolicy::Fence);
+        assert!(slowdown.is_finite(), "clamped baseline must keep slowdowns finite");
+        assert_eq!(slowdown, 100.0);
+        assert!(comparison.slowdown(MitigationPolicy::Selective).is_nan(), "unmeasured policy");
+        // A missing baseline is NaN, not a plausible-looking raw ratio.
+        let no_baseline = PolicyComparison {
+            name: "no-baseline".into(),
+            cycles: vec![(MitigationPolicy::Fence, 100)],
+        };
+        assert!(no_baseline.slowdown(MitigationPolicy::Fence).is_nan(), "unmeasured baseline");
+    }
+
+    #[test]
+    fn measure_with_a_shared_service_agrees_with_fresh_runs() {
+        let program = tiny_program();
+        let fresh = PolicyComparison::measure("tiny", &program).unwrap();
+        let service = TranslationService::new();
+        let warm_a = PolicyComparison::measure_with("tiny", &program, &service).unwrap();
+        let warm_b = PolicyComparison::measure_with("tiny", &program, &service).unwrap();
+        assert_eq!(fresh, warm_a);
+        assert_eq!(fresh, warm_b);
+        let stats = service.stats();
+        assert!(stats.hits > 0, "the second measurement must reuse the memo: {stats:?}");
+    }
+
+    #[test]
+    fn sessions_produce_the_same_architectural_result_under_every_policy() {
         let program = tiny_program();
         for policy in MitigationPolicy::ALL {
-            let summary = run_with_policy(&program, policy).unwrap();
+            let mut session = Session::builder().program(&program).policy(policy).build().unwrap();
+            let summary = session.run().unwrap();
             assert!(summary.halted);
+            assert_eq!(session.load_symbol_u64("out").unwrap(), 36);
         }
     }
 }

@@ -1,0 +1,307 @@
+//! The [`Session`] API: the one way to run a guest program on the
+//! simulated DBT processor.
+//!
+//! A session is built declaratively — program, mitigation policy (or a
+//! full [`PlatformConfig`]), optional shared [`TranslationService`], block
+//! budget — and then either run in one shot or stepped through manually
+//! (plant a secret, run, read symbols back):
+//!
+//! ```
+//! use dbt_platform::{Session, TranslationService};
+//! use dbt_riscv::{Assembler, Reg};
+//! use ghostbusters::MitigationPolicy;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut asm = Assembler::new();
+//! let out = asm.alloc_data("out", 8);
+//! asm.li(Reg::A0, 6);
+//! asm.li(Reg::A1, 7);
+//! asm.mul(Reg::A2, Reg::A0, Reg::A1);
+//! asm.la(Reg::A3, out);
+//! asm.sd(Reg::A2, Reg::A3, 0);
+//! asm.ecall();
+//! let program = asm.assemble()?;
+//!
+//! // One-shot: build + run.
+//! let service = TranslationService::new();
+//! let summary = Session::builder()
+//!     .program(&program)
+//!     .policy(MitigationPolicy::Selective)
+//!     .service(&service)
+//!     .max_blocks(10_000)
+//!     .run()?;
+//! assert!(summary.halted);
+//!
+//! // Stepped: build, inspect, run, read back.
+//! let mut session = Session::builder()
+//!     .program(&program)
+//!     .policy(MitigationPolicy::FineGrained)
+//!     .service(&service)
+//!     .build()?;
+//! session.run()?;
+//! assert_eq!(session.load_symbol_u64("out")?, 42);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Sharing one [`TranslationService`] across sessions lets every run of the
+//! same program reuse translation products instead of recompiling them —
+//! the sweep engine passes one service to all of its worker threads, so
+//! each `(program, config)` is translated exactly once per sweep.
+
+use crate::processor::{DbtProcessor, PlatformConfig, PlatformError, RunSummary};
+use dbt_engine::{DbtEngine, TranslationService};
+use dbt_riscv::{GuestMemory, Program};
+use dbt_vliw::VliwCore;
+use ghostbusters::MitigationPolicy;
+use std::sync::Arc;
+
+/// Declarative builder for a [`Session`].
+///
+/// Created by [`Session::builder`]. `program` is mandatory; everything
+/// else defaults to the unprotected platform with no shared service.
+#[derive(Debug, Clone, Default)]
+pub struct SessionBuilder<'p> {
+    program: Option<&'p Program>,
+    config: Option<PlatformConfig>,
+    max_blocks: Option<u64>,
+    service: Option<Arc<TranslationService>>,
+}
+
+impl<'p> SessionBuilder<'p> {
+    /// Sets the guest program to run (mandatory).
+    pub fn program(mut self, program: &'p Program) -> SessionBuilder<'p> {
+        self.program = Some(program);
+        self
+    }
+
+    /// Selects the default platform for a mitigation policy
+    /// (equivalent to `.config(PlatformConfig::for_policy(policy))`).
+    pub fn policy(mut self, policy: MitigationPolicy) -> SessionBuilder<'p> {
+        self.config = Some(PlatformConfig::for_policy(policy));
+        self
+    }
+
+    /// Sets the complete platform configuration (overrides any earlier
+    /// [`SessionBuilder::policy`] call and vice versa — the last one wins).
+    pub fn config(mut self, config: PlatformConfig) -> SessionBuilder<'p> {
+        self.config = Some(config);
+        self
+    }
+
+    /// Overrides the block budget of the run (applies on top of whatever
+    /// `policy`/`config` selected, in any call order).
+    pub fn max_blocks(mut self, max_blocks: u64) -> SessionBuilder<'p> {
+        self.max_blocks = Some(max_blocks);
+        self
+    }
+
+    /// Attaches a shared [`TranslationService`]: translations of this run
+    /// are looked up in (and published to) the service's memo instead of
+    /// being compiled from scratch.
+    pub fn service(mut self, service: &Arc<TranslationService>) -> SessionBuilder<'p> {
+        self.service = Some(Arc::clone(service));
+        self
+    }
+
+    /// Builds the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::MissingProgram`] if no program was given,
+    /// or [`PlatformError::Mem`] if the program image cannot be built.
+    pub fn build(self) -> Result<Session, PlatformError> {
+        let program = self.program.ok_or(PlatformError::MissingProgram)?;
+        let mut config = self.config.unwrap_or_default();
+        if let Some(max_blocks) = self.max_blocks {
+            config.max_blocks = max_blocks;
+        }
+        Ok(Session { processor: DbtProcessor::new(program, config, self.service)? })
+    }
+
+    /// Builds the session and runs it to completion in one shot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`PlatformError`] from construction or execution.
+    pub fn run(self) -> Result<RunSummary, PlatformError> {
+        self.build()?.run()
+    }
+}
+
+/// One run of one guest program on the simulated DBT processor.
+///
+/// This wraps the underlying [`DbtProcessor`] and is the only public way
+/// to construct one; see the [module docs](self) for the builder idiom.
+#[derive(Debug, Clone)]
+pub struct Session {
+    processor: DbtProcessor,
+}
+
+impl Session {
+    /// Starts building a session.
+    pub fn builder<'p>() -> SessionBuilder<'p> {
+        SessionBuilder::default()
+    }
+
+    /// Runs the guest program until it halts or the block budget runs out.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlatformError`] on translation or execution faults.
+    pub fn run(&mut self) -> Result<RunSummary, PlatformError> {
+        self.processor.run()
+    }
+
+    /// The underlying processor (engine, core, caches), for inspection.
+    pub fn processor(&self) -> &DbtProcessor {
+        &self.processor
+    }
+
+    /// The loaded guest program.
+    pub fn program(&self) -> &Program {
+        self.processor.program()
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        self.processor.config()
+    }
+
+    /// The DBT engine (profiles, translation cache, mitigation reports).
+    pub fn engine(&self) -> &DbtEngine {
+        self.processor.engine()
+    }
+
+    /// The VLIW core (cycle counter, cache, architectural state).
+    pub fn core(&self) -> &VliwCore {
+        self.processor.core()
+    }
+
+    /// Guest memory.
+    pub fn memory(&self) -> &GuestMemory {
+        self.processor.memory()
+    }
+
+    /// Mutable guest memory (e.g. to plant a secret before running).
+    pub fn memory_mut(&mut self) -> &mut GuestMemory {
+        self.processor.memory_mut()
+    }
+
+    /// Address of a named guest symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::UnknownSymbol`] if the program does not
+    /// define it.
+    pub fn symbol(&self, name: &str) -> Result<u64, PlatformError> {
+        self.processor.symbol(name)
+    }
+
+    /// Reads a 64-bit value at a named guest symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the symbol is unknown or out of bounds.
+    pub fn load_symbol_u64(&self, name: &str) -> Result<u64, PlatformError> {
+        self.processor.load_symbol_u64(name)
+    }
+
+    /// Reads `len` bytes at a named guest symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the symbol is unknown or out of bounds.
+    pub fn load_symbol_bytes(&self, name: &str, len: usize) -> Result<Vec<u8>, PlatformError> {
+        self.processor.load_symbol_bytes(name, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbt_riscv::{Assembler, Reg};
+
+    fn tiny_program() -> Program {
+        let mut asm = Assembler::new();
+        let out = asm.alloc_data("out", 8);
+        asm.li(Reg::A0, 21);
+        asm.add(Reg::A0, Reg::A0, Reg::A0);
+        asm.la(Reg::A1, out);
+        asm.sd(Reg::A0, Reg::A1, 0);
+        asm.ecall();
+        asm.assemble().unwrap()
+    }
+
+    #[test]
+    fn builder_requires_a_program() {
+        assert!(matches!(
+            Session::builder().policy(MitigationPolicy::Fence).build(),
+            Err(PlatformError::MissingProgram)
+        ));
+    }
+
+    #[test]
+    fn one_shot_run_and_stepped_run_agree() {
+        let program = tiny_program();
+        let one_shot =
+            Session::builder().program(&program).policy(MitigationPolicy::Selective).run().unwrap();
+        let mut session = Session::builder()
+            .program(&program)
+            .policy(MitigationPolicy::Selective)
+            .build()
+            .unwrap();
+        let stepped = session.run().unwrap();
+        assert_eq!(one_shot, stepped);
+        assert_eq!(session.load_symbol_u64("out").unwrap(), 42);
+    }
+
+    #[test]
+    fn max_blocks_applies_regardless_of_call_order() {
+        let program = tiny_program();
+        let before = Session::builder()
+            .program(&program)
+            .max_blocks(123)
+            .policy(MitigationPolicy::Unprotected)
+            .build()
+            .unwrap();
+        let after = Session::builder()
+            .program(&program)
+            .policy(MitigationPolicy::Unprotected)
+            .max_blocks(123)
+            .build()
+            .unwrap();
+        assert_eq!(before.config().max_blocks, 123);
+        assert_eq!(after.config().max_blocks, 123);
+    }
+
+    #[test]
+    fn shared_service_runs_are_cycle_identical_to_fresh_runs() {
+        let program = tiny_program();
+        let service = TranslationService::new();
+        let fresh = Session::builder()
+            .program(&program)
+            .policy(MitigationPolicy::FineGrained)
+            .run()
+            .unwrap();
+        let first = Session::builder()
+            .program(&program)
+            .policy(MitigationPolicy::FineGrained)
+            .service(&service)
+            .run()
+            .unwrap();
+        let mut warm = Session::builder()
+            .program(&program)
+            .policy(MitigationPolicy::FineGrained)
+            .service(&service)
+            .build()
+            .unwrap();
+        let second = warm.run().unwrap();
+        assert_eq!(fresh, first, "attaching a service must not change observables");
+        assert_eq!(first, second, "memo hits must not change observables");
+        let stats = warm.engine().stats();
+        assert!(stats.service_hits > 0, "the warm run must reuse the memo: {stats:?}");
+        assert_eq!(stats.service_misses, 0, "everything was already translated");
+        assert!(service.stats().hits > 0);
+    }
+}

@@ -10,7 +10,7 @@
 //! It provides:
 //!
 //! * [`Reg`], [`Inst`] — the instruction set ([`inst`]);
-//! * [`encode`] / [`decode`] — binary encoding to and from 32-bit words;
+//! * [`encode()`] / [`decode()`] — binary encoding to and from 32-bit words;
 //! * [`Assembler`] — a label-resolving program builder used by the attack
 //!   proof-of-concepts and the Polybench-style workloads ([`asm`]);
 //! * [`GuestMemory`] — a flat little-endian guest memory image ([`memory`]);

@@ -187,6 +187,28 @@ impl Program {
         Ok(out)
     }
 
+    /// A stable 64-bit fingerprint of the program's translation-relevant
+    /// content: code, data image, section bases, entry point and memory
+    /// footprint.
+    ///
+    /// Two programs with equal fingerprints assemble byte-identical guest
+    /// images, so any translation derived from one is valid for the other.
+    /// This is the program half of the memoization key used by the DBT
+    /// engine's cross-run translation service.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        // DefaultHasher with the default keys is deterministic within a
+        // process, which is the only scope the fingerprint is used in.
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.code_base.hash(&mut hasher);
+        self.code.hash(&mut hasher);
+        self.data_base.hash(&mut hasher);
+        self.data.hash(&mut hasher);
+        self.entry.hash(&mut hasher);
+        self.memory_size.hash(&mut hasher);
+        hasher.finish()
+    }
+
     /// Number of instructions in the code section.
     pub fn len(&self) -> usize {
         self.code.len()
@@ -255,6 +277,29 @@ mod tests {
         let code = vec![Inst::Ecall];
         let p = Program::new(0, code, 0x100, vec![0; 64], 0, 0, BTreeMap::new());
         assert!(p.memory_size() >= 0x140);
+    }
+
+    #[test]
+    fn fingerprint_tracks_translation_relevant_content() {
+        let a = sample_program();
+        let b = sample_program();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "equal programs share a fingerprint");
+        let code = vec![
+            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::ZERO, imm: 8 },
+            Inst::Ecall,
+        ];
+        let c = Program::new(0x1000, code, 0x2000, vec![1, 2, 3], 0x1000, 0x4000, BTreeMap::new());
+        assert_ne!(a.fingerprint(), c.fingerprint(), "code changes change the fingerprint");
+        let d = Program::new(
+            0x1000,
+            a.code().to_vec(),
+            0x2000,
+            vec![1, 2, 4],
+            0x1000,
+            0x4000,
+            BTreeMap::new(),
+        );
+        assert_ne!(a.fingerprint(), d.fingerprint(), "data changes change the fingerprint");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! ```
 
 use dbt_attacks::spectre_v1;
-use dbt_platform::{DbtProcessor, PlatformConfig};
+use dbt_platform::Session;
 use ghostbusters::MitigationPolicy;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,16 +18,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for policy in [MitigationPolicy::Unprotected, MitigationPolicy::FineGrained] {
         println!("=== policy: {} ===", policy.label());
-        let mut processor = DbtProcessor::new(&program, PlatformConfig::for_policy(policy))?;
-        processor.run()?;
-        if let Some((block, _)) = processor.engine().tcache().lookup(victim_pc) {
+        let mut session = Session::builder().program(&program).policy(policy).build()?;
+        session.run()?;
+        if let Some((block, _)) = session.engine().tcache().lookup(victim_pc) {
             println!("{block}");
             println!(
                 "speculative loads in the victim superblock: {}",
                 block.speculative_load_count()
             );
         }
-        for (pc, report) in processor.engine().mitigation_reports() {
+        for (pc, report) in session.engine().mitigation_reports() {
             if *pc == victim_pc {
                 println!("mitigation report: {report}");
             }

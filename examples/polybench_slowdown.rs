@@ -6,7 +6,7 @@
 //! cargo run --release -p ghostbusters-examples --bin polybench_slowdown
 //! ```
 
-use dbt_platform::PolicyComparison;
+use dbt_platform::{PolicyComparison, TranslationService};
 use dbt_workloads::{suite, WorkloadSize};
 use ghostbusters::MitigationPolicy;
 
@@ -15,12 +15,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<12} {:>12} {:>14} {:>10} {:>16}",
         "kernel", "unsafe(cyc)", "our approach", "fence", "no speculation"
     );
+    let service = TranslationService::new();
     for workload in suite(WorkloadSize::Mini) {
-        let comparison = PolicyComparison::measure(workload.name, &workload.program)?;
+        let comparison =
+            PolicyComparison::measure_with(workload.name, &workload.program, &service)?;
         println!(
             "{:<12} {:>12} {:>13.1}% {:>9.1}% {:>15.1}%",
             comparison.name,
-            comparison.unprotected_cycles,
+            comparison.unprotected_cycles(),
             comparison.slowdown(MitigationPolicy::FineGrained) * 100.0,
             comparison.slowdown(MitigationPolicy::Fence) * 100.0,
             comparison.slowdown(MitigationPolicy::NoSpeculation) * 100.0,

@@ -5,7 +5,7 @@
 //! cargo run -p ghostbusters-examples --bin quickstart
 //! ```
 
-use dbt_platform::{DbtProcessor, PlatformConfig};
+use dbt_platform::{Session, TranslationService};
 use dbt_riscv::{Assembler, Reg};
 use ghostbusters::MitigationPolicy;
 
@@ -31,16 +31,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     asm.ecall();
     let program = asm.assemble()?;
 
+    // All five runs share one translation service: policy-independent
+    // translation work (the whole first tier) is compiled once and reused.
+    let service = TranslationService::new();
     for policy in MitigationPolicy::ALL {
-        let mut processor = DbtProcessor::new(&program, PlatformConfig::for_policy(policy))?;
-        let summary = processor.run()?;
+        let mut session =
+            Session::builder().program(&program).policy(policy).service(&service).build()?;
+        let summary = session.run()?;
         println!(
             "{:<15} {:>8} cycles, {:>3} blocks, result = {}",
             policy.label(),
             summary.cycles,
             summary.blocks_executed,
-            processor.load_symbol_u64("result")?
+            session.load_symbol_u64("result")?
         );
     }
+    let stats = service.stats();
+    println!("translation service: {} hits / {} misses", stats.hits, stats.misses);
     Ok(())
 }

@@ -6,7 +6,7 @@
 //! and its mitigation may only change *timing* and cache state, never
 //! guest-visible results).
 
-use dbt_platform::{DbtProcessor, PlatformConfig};
+use dbt_platform::{Session, TranslationService};
 use dbt_riscv::{ExitReason, Interpreter};
 use dbt_workloads::{pointer_matmul, suite, WorkloadSize};
 use ghostbusters::MitigationPolicy;
@@ -21,14 +21,21 @@ fn reference_checksum(program: &dbt_riscv::Program) -> u64 {
 fn every_workload_matches_the_reference_under_every_policy() {
     let mut workloads = suite(WorkloadSize::Mini);
     workloads.push(pointer_matmul(WorkloadSize::Mini));
+    // Shared across every run: memoized translations must never change
+    // architectural results, whatever policy produced them first.
+    let service = TranslationService::new();
     for workload in workloads {
         let expected = reference_checksum(&workload.program);
         for policy in MitigationPolicy::ALL {
-            let mut processor =
-                DbtProcessor::new(&workload.program, PlatformConfig::for_policy(policy)).unwrap();
-            let summary = processor.run().unwrap();
+            let mut session = Session::builder()
+                .program(&workload.program)
+                .policy(policy)
+                .service(&service)
+                .build()
+                .unwrap();
+            let summary = session.run().unwrap();
             assert!(summary.halted, "{} under {policy} did not halt", workload.name);
-            let got = processor.load_symbol_u64("checksum").unwrap();
+            let got = session.load_symbol_u64("checksum").unwrap();
             assert_eq!(
                 got, expected,
                 "{} under {policy}: DBT result diverges from the reference",
@@ -103,11 +110,11 @@ fn check_random_program(case: usize, seed_values: &[u64], policy_index: usize) {
     let expected = interp.memory().load_u64(program.symbol("out").unwrap()).unwrap();
 
     let policy = MitigationPolicy::ALL[policy_index];
-    let mut processor = DbtProcessor::new(&program, PlatformConfig::for_policy(policy)).unwrap();
-    let summary = processor.run().unwrap();
+    let mut session = Session::builder().program(&program).policy(policy).build().unwrap();
+    let summary = session.run().unwrap();
     assert!(summary.halted, "case {case} under {policy} did not halt");
     assert_eq!(
-        processor.load_symbol_u64("out").unwrap(),
+        session.load_symbol_u64("out").unwrap(),
         expected,
         "case {case} under {policy}: DBT result diverges from the reference"
     );

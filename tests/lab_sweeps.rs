@@ -3,8 +3,8 @@
 //! serial measurement path.
 
 use dbt_lab::{
-    measure_slowdowns, run_sweep, AttackVariant, ExecOptions, JobOutcome, ProgramSpec, Registry,
-    ScenarioKind, Sweep,
+    measure_slowdowns, run_sweep, run_sweep_with, AttackVariant, ExecOptions, JobOutcome,
+    ProgramSpec, Registry, ScenarioKind, Sweep, TranslationService,
 };
 use dbt_workloads::WorkloadSize;
 use ghostbusters::MitigationPolicy;
@@ -69,6 +69,58 @@ fn sweep_slowdowns_agree_with_the_legacy_serial_path() {
             legacy.slowdown[i]
         );
     }
+}
+
+#[test]
+fn each_translation_is_compiled_exactly_once_per_service_even_multithreaded() {
+    let scenarios = mixed_sweep().expand();
+    let opts = ExecOptions { threads: 4, verbose: false };
+    let service = TranslationService::new();
+    let first = run_sweep_with("mixed", &scenarios, opts, &service);
+    assert!(
+        first.stats.translation_misses > 0,
+        "a cold service must compile something: {:?}",
+        first.stats
+    );
+    // The sweep counts engine-level translation events; the service counts
+    // its internal queries (codegen + the nested analysis stage), so it
+    // always compiled at least as much as the sweep observed as misses.
+    assert!(
+        service.stats().misses >= first.stats.translation_misses,
+        "sweep misses {} cannot exceed service compiles {}",
+        first.stats.translation_misses,
+        service.stats().misses
+    );
+    // Re-running the identical sweep against the same service must not
+    // compile a single translation again: each (program, config) was
+    // translated exactly once, and the counter proves it.
+    let second = run_sweep_with("mixed", &scenarios, opts, &service);
+    assert_eq!(
+        second.stats.translation_misses, 0,
+        "every translation of the second sweep must be a memo hit: {:?}",
+        second.stats
+    );
+    assert!(second.stats.translation_hits > 0);
+    assert_eq!(first.results, second.results, "memo hits must not change any measurement");
+}
+
+#[test]
+fn shared_and_fresh_services_produce_identical_cycles_and_stable_json() {
+    let scenarios = mixed_sweep().expand();
+    let opts = ExecOptions { threads: 4, verbose: false };
+    // Fresh-per-sweep services (the default path): byte-identical JSON,
+    // including the translation counters.
+    let fresh_a = run_sweep("mixed", &scenarios, opts);
+    let fresh_b = run_sweep("mixed", &scenarios, opts);
+    assert_eq!(fresh_a.to_json(), fresh_b.to_json());
+    // A pre-warmed shared service changes only the hit/miss split — every
+    // cycle count, rollback and recovery rate stays identical.
+    let service = TranslationService::new();
+    let _warmup = run_sweep_with("mixed", &scenarios, opts, &service);
+    let warm = run_sweep_with("mixed", &scenarios, opts, &service);
+    assert_eq!(fresh_a.results, warm.results);
+    assert_eq!(warm.stats.translation_misses, 0, "nothing left to compile: {:?}", warm.stats);
+    assert!(warm.stats.translation_hits > 0);
 }
 
 #[test]

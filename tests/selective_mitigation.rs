@@ -1,7 +1,7 @@
 //! End-to-end properties of the `selective-vs-blanket` sweep — the
 //! acceptance criteria of the `spectaint` extension, asserted at the mini
 //! problem size (the same configuration that produces the committed
-//! `artifacts/BENCH_selective.json`):
+//! `artifacts/BENCH_selective-vs-blanket.json`):
 //!
 //! 1. the `selective` policy blocks both Spectre variants (attack rows
 //!    recover nothing);
@@ -113,20 +113,14 @@ fn selective_sweep_is_byte_stable_across_thread_counts() {
 /// stable hand-rolled JSON of `dbt-lab`.
 #[test]
 fn committed_selective_artifact_embodies_the_acceptance_criteria() {
+    // The sweep emitter writes `BENCH_<sweep name>.json`; the historic
+    // short `BENCH_selective.json` alias has been collapsed into this one
+    // canonical artifact.
     let text = std::fs::read_to_string(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../artifacts/BENCH_selective.json"
-    ))
-    .expect("artifacts/BENCH_selective.json is committed");
-    // The sweep emitter writes `BENCH_<sweep name>.json`; the short
-    // `BENCH_selective.json` alias is committed alongside and must stay in
-    // sync byte-for-byte.
-    let emitted = std::fs::read_to_string(concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../artifacts/BENCH_selective-vs-blanket.json"
     ))
     .expect("artifacts/BENCH_selective-vs-blanket.json is committed");
-    assert_eq!(text, emitted, "the two committed selective artifacts must be identical");
 
     let mut selective = Vec::new();
     let mut fine = Vec::new();

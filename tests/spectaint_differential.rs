@@ -10,7 +10,7 @@
 //! * **corpus sanity** — the planted gadget shapes really leak when
 //!   unprotected (otherwise the corpus would prove nothing).
 
-use dbt_platform::{DbtProcessor, PlatformConfig};
+use dbt_platform::Session;
 use ghostbusters::MitigationPolicy;
 use spectaint::corpus::generate;
 use spectaint::PlantedShape;
@@ -25,11 +25,11 @@ struct RunOutcome {
 }
 
 fn run(program: &dbt_riscv::Program, secret_len: usize, policy: MitigationPolicy) -> RunOutcome {
-    let mut processor = DbtProcessor::new(program, PlatformConfig::for_policy(policy)).unwrap();
-    processor.run().unwrap();
-    let engine = processor.engine();
+    let mut session = Session::builder().program(program).policy(policy).build().unwrap();
+    session.run().unwrap();
+    let engine = session.engine();
     RunOutcome {
-        recovered: processor.load_symbol_bytes("recovered", secret_len).unwrap(),
+        recovered: session.load_symbol_bytes("recovered", secret_len).unwrap(),
         flagged_blocks: engine.verdicts().iter().filter(|(_, v)| !v.is_leak_free()).count(),
         hardened_edges: engine.mitigation_summary().hardened_edges,
     }
