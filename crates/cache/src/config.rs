@@ -7,7 +7,7 @@
 /// between hit and miss latency is what makes the flush+reload side channel
 /// trivially observable — the same property holds on the in-order cores the
 /// paper studies, where timing is very stable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Number of sets.
     pub sets: usize,

@@ -1,4 +1,5 @@
-//! The `lab` CLI: list, run and sweep the declared scenarios.
+//! The `lab` CLI: list, run and sweep the declared scenarios — locally or
+//! through the `dbt-serve` daemon.
 //!
 //! ```sh
 //! cargo run --release -p dbt-lab -- list
@@ -7,6 +8,16 @@
 //! cargo run --release -p dbt-lab -- sweep figure4 --size small --threads 8
 //! cargo run --release -p dbt-lab -- analyze histogram    # taint verdicts
 //! cargo run --release -p dbt-lab -- analyze spectre-v1 --dot | dot -Tsvg
+//!
+//! # The daemon (see docs/PROTOCOL.md for the wire protocol):
+//! cargo run --release -p dbt-lab -- serve --addr 127.0.0.1:4075 &
+//! cargo run --release -p dbt-lab -- submit sweep figure4 --addr 127.0.0.1:4075
+//! cargo run --release -p dbt-lab -- submit stats --addr 127.0.0.1:4075
+//! cargo run --release -p dbt-lab -- submit shutdown --addr 127.0.0.1:4075
+//!
+//! # Load-test an (in-process, unless --addr is given) daemon and emit the
+//! # throughput artifact:
+//! cargo run --release -p dbt-lab -- loadgen --clients 4 --iterations 8 --json-dir artifacts
 //! ```
 //!
 //! `sweep` writes one `BENCH_<sweep>.json` per sweep (stable bytes, diffable
@@ -14,10 +25,13 @@
 
 use dbt_lab::{
     analyze_program, format_attack_table, format_table, format_variant_table, run_sweep,
-    ExecOptions, Registry, ScenarioKind,
+    run_sweep_with, strip_stats, ExecOptions, LabDaemon, Registry, ScenarioKind,
+    TranslationService,
 };
+use dbt_serve::{Client, JsonValue, LoadOptions, Request, Response, ServerConfig};
 use dbt_workloads::WorkloadSize;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     command: String,
@@ -28,7 +42,15 @@ struct Args {
     quiet: bool,
     json: bool,
     dot: bool,
+    addr: Option<String>,
+    workers: usize,
+    queue_depth: usize,
+    clients: usize,
+    iterations: usize,
 }
+
+/// Default daemon address when `--addr` is not given.
+const DEFAULT_ADDR: &str = "127.0.0.1:4075";
 
 fn usage() -> &'static str {
     "usage: lab <command> [options]\n\
@@ -40,6 +62,13 @@ fn usage() -> &'static str {
      \x20 analyze <program>        per-block speculative-taint verdicts\n\
      \x20                          (a workload name, ptr-matmul, spectre-v1\n\
      \x20                          or spectre-v4)\n\
+     \x20 serve                    run the lab daemon (NDJSON over TCP)\n\
+     \x20 submit <op> [arg]        send one request to a running daemon\n\
+     \x20                          (run <scenario> | sweep <name> |\n\
+     \x20                           analyze <program> | stats | health |\n\
+     \x20                           shutdown) and print the response body\n\
+     \x20 loadgen                  drive N concurrent clients against a\n\
+     \x20                          daemon and emit BENCH_serve-throughput\n\
      \n\
      options:\n\
      \x20 --size mini|small        problem-size preset (default: mini)\n\
@@ -47,7 +76,13 @@ fn usage() -> &'static str {
      \x20 --json-dir DIR           write BENCH_<sweep>.json files to DIR\n\
      \x20 --json                   analyze: stable machine-readable output\n\
      \x20 --dot                    analyze: Graphviz with the taint overlay\n\
-     \x20 --quiet                  no per-job progress on stderr\n"
+     \x20 --quiet                  no per-job progress on stderr\n\
+     \x20 --addr HOST:PORT         daemon address (default: 127.0.0.1:4075;\n\
+     \x20                          loadgen: in-process daemon when omitted)\n\
+     \x20 --workers N              serve: worker pool size (default: 2)\n\
+     \x20 --queue-depth N          serve: job queue bound (default: 16)\n\
+     \x20 --clients N              loadgen: concurrent clients (default: 4)\n\
+     \x20 --iterations N           loadgen: passes per client (default: 8)\n"
 }
 
 fn parse(args: &[String]) -> Result<Args, String> {
@@ -60,8 +95,18 @@ fn parse(args: &[String]) -> Result<Args, String> {
         quiet: false,
         json: false,
         dot: false,
+        addr: None,
+        workers: 2,
+        queue_depth: 16,
+        clients: 4,
+        iterations: 8,
     };
     let mut it = args[1..].iter();
+    let number = |flag: &str, it: &mut std::slice::Iter<String>| {
+        it.next()
+            .and_then(|v| v.parse::<usize>().ok())
+            .ok_or_else(|| format!("{flag} expects a number"))
+    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--size" => {
@@ -71,15 +116,18 @@ fn parse(args: &[String]) -> Result<Args, String> {
                     other => return Err(format!("--size expects mini|small, got {other:?}")),
                 };
             }
-            "--threads" => {
-                parsed.threads = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(|| "--threads expects a number".to_string())?;
-            }
+            "--threads" => parsed.threads = number("--threads", &mut it)?,
+            "--workers" => parsed.workers = number("--workers", &mut it)?,
+            "--queue-depth" => parsed.queue_depth = number("--queue-depth", &mut it)?,
+            "--clients" => parsed.clients = number("--clients", &mut it)?,
+            "--iterations" => parsed.iterations = number("--iterations", &mut it)?,
             "--json-dir" => {
                 parsed.json_dir =
                     Some(it.next().ok_or_else(|| "--json-dir expects a path".to_string())?.clone());
+            }
+            "--addr" => {
+                parsed.addr =
+                    Some(it.next().ok_or_else(|| "--addr expects host:port".to_string())?.clone());
             }
             "--quiet" => parsed.quiet = true,
             "--json" => parsed.json = true,
@@ -124,7 +172,14 @@ fn cmd_sweep(registry: &Registry, args: &Args) -> Result<(), String> {
             .collect::<Result<_, _>>()?
     };
     let opts = ExecOptions { threads: args.threads, verbose: !args.quiet };
+    // One translation service for the whole invocation: later sweeps reuse
+    // every compile earlier sweeps already paid for (each report still
+    // counts only the queries its own sessions issued).
+    let service = TranslationService::new();
     let mut total_jobs = 0;
+    let mut total_hits = 0u64;
+    let mut total_misses = 0u64;
+    let sweep_count = sweeps.len();
     for sweep in sweeps {
         let scenarios = sweep.expand();
         if !args.quiet {
@@ -135,8 +190,10 @@ fn cmd_sweep(registry: &Registry, args: &Args) -> Result<(), String> {
                 opts.effective_threads(scenarios.len())
             );
         }
-        let report = run_sweep(&sweep.name, &scenarios, opts);
+        let report = run_sweep_with(&sweep.name, &scenarios, opts, &service);
         total_jobs += report.stats.jobs;
+        total_hits += report.stats.translation_hits;
+        total_misses += report.stats.translation_misses;
         for (name, error) in report.failures() {
             eprintln!("[lab] skipped {name} ({error})");
         }
@@ -166,7 +223,10 @@ fn cmd_sweep(registry: &Registry, args: &Args) -> Result<(), String> {
         }
     }
     if !args.quiet {
-        eprintln!("[lab] {total_jobs} scenario(s) executed");
+        eprintln!(
+            "[lab] {total_jobs} scenario(s) executed across {sweep_count} sweep(s); \
+             translation cache: {total_hits} hits / {total_misses} misses"
+        );
     }
     Ok(())
 }
@@ -183,6 +243,211 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         print!("{}", report.to_dot());
     } else {
         print!("{report}");
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let addr = args.addr.as_deref().unwrap_or(DEFAULT_ADDR);
+    let daemon = Arc::new(LabDaemon::with_threads(args.size, args.threads));
+    let config = ServerConfig { workers: args.workers, queue_depth: args.queue_depth };
+    let handle =
+        dbt_serve::serve(addr, daemon, config).map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    // The listening line goes to stdout so scripts can capture the bound
+    // (possibly ephemeral) port.
+    println!(
+        "[serve] listening on {} ({} workers, queue depth {}, size {:?})",
+        handle.addr(),
+        config.workers,
+        config.queue_depth,
+        args.size
+    );
+    use std::io::Write;
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    handle.wait();
+    if !args.quiet {
+        eprintln!("[serve] stopped");
+    }
+    Ok(())
+}
+
+fn cmd_submit(args: &Args) -> Result<(), String> {
+    let op = args.positional.first().ok_or_else(|| {
+        "submit expects an op (run|sweep|analyze|stats|health|shutdown)".to_string()
+    })?;
+    let arg = |what: &str| {
+        args.positional
+            .get(1)
+            .cloned()
+            .ok_or_else(|| format!("submit {op} expects a {what} argument"))
+    };
+    let request = match op.as_str() {
+        "run" => Request::Run { scenario: arg("scenario name")? },
+        "sweep" => Request::Sweep { name: arg("sweep name")?, threads: args.threads },
+        "analyze" => Request::Analyze { program: arg("program name")? },
+        "stats" => Request::Stats,
+        "health" => Request::Health,
+        "shutdown" => Request::Shutdown,
+        other => return Err(format!("unknown submit op `{other}`")),
+    };
+    let addr = args.addr.as_deref().unwrap_or(DEFAULT_ADDR);
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    match client.request(&request)? {
+        Response::Ok { body, .. } => {
+            print!("{body}");
+            if !body.ends_with('\n') {
+                println!();
+            }
+            Ok(())
+        }
+        Response::Busy { op } => Err(format!("server busy (op `{op}`), try again later")),
+        Response::Error { error, .. } => Err(error),
+    }
+}
+
+/// The loadgen request mix: repeated single-scenario queries across several
+/// policies plus one full sweep, so both the run-summary memo and the
+/// translation service see identical work from every client.
+fn loadgen_requests(threads: usize) -> Vec<Request> {
+    let scenarios = [
+        "figure4/gemm/our-approach/default",
+        "figure4/gemm/selective/default",
+        "figure4/atax/fence/default",
+        "attack-table/spectre-v1/selective/default",
+    ];
+    let mut requests: Vec<Request> =
+        scenarios.iter().map(|s| Request::Run { scenario: (*s).to_string() }).collect();
+    requests.push(Request::Sweep { name: "ptr-matmul".to_string(), threads });
+    requests
+}
+
+/// Extracts `path` (e.g. `["lab", "run_memo", "hits"]`) as a u64 from a
+/// parsed stats body.
+fn stat_u64(stats: &JsonValue, path: &[&str]) -> Result<u64, String> {
+    let mut value = stats;
+    for key in path {
+        value = value.get(key).ok_or_else(|| format!("stats body lacks `{}`", path.join(".")))?;
+    }
+    value.as_u64().ok_or_else(|| format!("`{}` is not a u64", path.join(".")))
+}
+
+fn cmd_loadgen(args: &Args) -> Result<(), String> {
+    // Without --addr, host an in-process daemon on an ephemeral port so the
+    // artifact can be regenerated with one command and no setup.
+    let local = match &args.addr {
+        Some(_) => None,
+        None => {
+            let daemon = Arc::new(LabDaemon::with_threads(args.size, args.threads));
+            let config = ServerConfig { workers: args.workers, queue_depth: args.queue_depth };
+            Some(
+                dbt_serve::serve("127.0.0.1:0", daemon, config)
+                    .map_err(|e| format!("cannot start in-process daemon: {e}"))?,
+            )
+        }
+    };
+    let addr = match (&local, &args.addr) {
+        (Some(handle), _) => handle.addr(),
+        (None, Some(addr)) => {
+            use std::net::ToSocketAddrs;
+            addr.to_socket_addrs()
+                .map_err(|e| format!("cannot resolve `{addr}`: {e}"))?
+                .next()
+                .ok_or_else(|| format!("`{addr}` resolves to nothing"))?
+        }
+        (None, None) => unreachable!("local daemon exists exactly when --addr is absent"),
+    };
+
+    let requests = loadgen_requests(args.threads);
+    if !args.quiet {
+        eprintln!(
+            "[loadgen] {} clients x {} iterations x {} requests against {addr}",
+            args.clients,
+            args.iterations,
+            requests.len()
+        );
+    }
+    let outcome = dbt_serve::drive(
+        addr,
+        &requests,
+        LoadOptions { clients: args.clients, iterations: args.iterations },
+        &|_, body| strip_stats(body),
+    )?;
+
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    let stats = match client.request(&Request::Stats)? {
+        Response::Ok { body, .. } => JsonValue::parse(&body)?,
+        other => return Err(format!("stats request failed: {other:?}")),
+    };
+    if let Some(handle) = local {
+        handle.shutdown();
+        handle.wait();
+    }
+
+    let memo_hits = stat_u64(&stats, &["lab", "run_memo", "hits"])?;
+    let memo_misses = stat_u64(&stats, &["lab", "run_memo", "misses"])?;
+    let translation_hits = stat_u64(&stats, &["lab", "translation", "hits"])?;
+    let translation_misses = stat_u64(&stats, &["lab", "translation", "misses"])?;
+    let rate = |hits: u64, misses: u64| {
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    };
+    let report = format!(
+        "{{\n  \"schema\": \"dbt-serve-loadgen/v1\",\n  \"clients\": {},\n  \
+         \"iterations\": {},\n  \"requests\": {},\n  \"ok\": {},\n  \"busy\": {},\n  \
+         \"errors\": {},\n  \"mismatches\": {},\n  \"elapsed_ms\": {},\n  \
+         \"requests_per_sec\": {:.1},\n  \"run_memo\": {{\"hits\": {}, \"misses\": {}, \
+         \"hit_rate\": {:.6}}},\n  \"translation\": {{\"hits\": {}, \"misses\": {}, \
+         \"hit_rate\": {:.6}}}\n}}\n",
+        args.clients,
+        args.iterations,
+        outcome.requests,
+        outcome.ok,
+        outcome.busy,
+        outcome.errors,
+        outcome.mismatches,
+        outcome.elapsed.as_millis(),
+        outcome.requests_per_sec(),
+        memo_hits,
+        memo_misses,
+        rate(memo_hits, memo_misses),
+        translation_hits,
+        translation_misses,
+        rate(translation_hits, translation_misses),
+    );
+    match &args.json_dir {
+        Some(dir) => {
+            let path = format!("{dir}/BENCH_serve-throughput.json");
+            std::fs::write(&path, &report).map_err(|e| format!("cannot write {path}: {e}"))?;
+            if !args.quiet {
+                eprintln!("[loadgen] wrote {path}");
+            }
+        }
+        None => print!("{report}"),
+    }
+    if outcome.mismatches > 0 {
+        return Err(format!(
+            "{} responses diverged from the first answer to the same request",
+            outcome.mismatches
+        ));
+    }
+    if outcome.errors > 0 {
+        return Err(format!("{} requests failed", outcome.errors));
+    }
+    if !args.quiet {
+        eprintln!(
+            "[loadgen] {} ok / {} busy in {:?}; run-memo hit rate {:.1}%, translation {:.1}%",
+            outcome.ok,
+            outcome.busy,
+            outcome.elapsed,
+            100.0 * rate(memo_hits, memo_misses),
+            100.0 * rate(translation_hits, translation_misses)
+        );
     }
     Ok(())
 }
@@ -205,6 +470,9 @@ fn main() -> ExitCode {
         "run" => cmd_run(&registry, &args),
         "sweep" => cmd_sweep(&registry, &args),
         "analyze" => cmd_analyze(&args),
+        "serve" => cmd_serve(&args),
+        "submit" => cmd_submit(&args),
+        "loadgen" => cmd_loadgen(&args),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
     };
     match result {

@@ -1,0 +1,209 @@
+//! The lab's [`LabBackend`] implementation: what `lab serve` actually runs.
+//!
+//! One [`LabDaemon`] owns the two process-wide cache levels every request
+//! amortizes:
+//!
+//! * a single shared [`TranslationService`] — every session of every
+//!   request resolves its compiles through one memo, so a client fleet
+//!   pays each distinct translation once per daemon lifetime, not once
+//!   per request;
+//! * a single content-addressed [`RunMemo`] — whole run summaries keyed by
+//!   `(program fingerprint, platform-config fingerprint)`, so a repeated
+//!   identical scenario skips the simulation entirely.
+//!
+//! Responses reuse the lab's byte-stable emitters verbatim: the body of a
+//! daemon answer for a *cold* cache is byte-identical — including the
+//! `stats` block — to what the `lab` CLI prints locally, and stays
+//! byte-identical in all cycle data once the caches are warm (only the
+//! warmth-dependent counters in `stats` shrink; [`strip_stats`] cuts the
+//! report at that block for comparisons).
+
+use crate::analyze::analyze_program;
+use crate::exec::{run_sweep_memo, ExecOptions};
+use crate::registry::Registry;
+use dbt_platform::{RunMemo, TranslationService};
+use dbt_serve::LabBackend;
+use dbt_workloads::WorkloadSize;
+use std::sync::Arc;
+
+/// Cuts a lab report JSON at its `stats` block.
+///
+/// Cycle counts, slowdowns and recovery rates are pure functions of the
+/// scenario; the executor counters (`simulations`, translation hits and
+/// misses) also depend on how warm the daemon's caches were when the
+/// request arrived. Comparisons across cache states therefore strip the
+/// `stats` block — exactly like the CI sweep-determinism check — and
+/// require byte-identity on everything before it.
+pub fn strip_stats(report_json: &str) -> String {
+    match report_json.find("  \"stats\": {") {
+        Some(index) => report_json[..index].to_string(),
+        None => report_json.to_string(),
+    }
+}
+
+/// The daemon state behind `lab serve`.
+#[derive(Debug)]
+pub struct LabDaemon {
+    registry: Registry,
+    size: WorkloadSize,
+    default_threads: usize,
+    service: Arc<TranslationService>,
+    memo: Arc<RunMemo>,
+}
+
+impl LabDaemon {
+    /// A daemon over the standard registry at `size`, with auto-sized
+    /// sweep executors (one thread per CPU).
+    pub fn new(size: WorkloadSize) -> LabDaemon {
+        LabDaemon::with_threads(size, 0)
+    }
+
+    /// A daemon whose sweep executors default to `default_threads` worker
+    /// threads (`0` = one per CPU); a request's `threads` member overrides
+    /// it per sweep.
+    pub fn with_threads(size: WorkloadSize, default_threads: usize) -> LabDaemon {
+        LabDaemon {
+            registry: Registry::standard(size),
+            size,
+            default_threads,
+            service: TranslationService::new(),
+            memo: RunMemo::new(),
+        }
+    }
+
+    /// The process-wide translation service all requests share.
+    pub fn service(&self) -> &Arc<TranslationService> {
+        &self.service
+    }
+
+    /// The content-addressed run-summary memo all requests share.
+    pub fn memo(&self) -> &Arc<RunMemo> {
+        &self.memo
+    }
+
+    fn exec_opts(&self, threads: usize) -> ExecOptions {
+        ExecOptions {
+            threads: if threads == 0 { self.default_threads } else { threads },
+            verbose: false,
+        }
+    }
+}
+
+impl LabBackend for LabDaemon {
+    fn run_scenario(&self, scenario: &str) -> Result<String, String> {
+        let found = self
+            .registry
+            .find_scenario(scenario)
+            .ok_or_else(|| format!("unknown scenario `{scenario}` (see `lab list`)"))?;
+        let report = run_sweep_memo(
+            scenario,
+            std::slice::from_ref(&found),
+            ExecOptions { threads: 1, verbose: false },
+            &self.service,
+            Some(&self.memo),
+        );
+        Ok(report.to_json())
+    }
+
+    fn sweep(&self, name: &str, threads: usize) -> Result<String, String> {
+        let sweep = self.registry.find(name).ok_or_else(|| format!("unknown sweep `{name}`"))?;
+        let report = run_sweep_memo(
+            &sweep.name,
+            &sweep.expand(),
+            self.exec_opts(threads),
+            &self.service,
+            Some(&self.memo),
+        );
+        Ok(report.to_json())
+    }
+
+    fn analyze(&self, program: &str) -> Result<String, String> {
+        analyze_program(program, self.size).map(|report| report.to_json())
+    }
+
+    fn stats_json(&self) -> String {
+        let memo = self.memo.stats();
+        let service = self.service.stats();
+        format!(
+            "{{\"run_memo\": {}, \"translation\": {{\"hits\": {}, \"misses\": {}, \
+             \"programs\": {}, \"evictions\": {}}}}}",
+            memo.to_json(),
+            service.hits,
+            service.misses,
+            service.programs,
+            service.evictions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_sweep;
+
+    #[test]
+    fn cold_daemon_sweep_is_byte_identical_to_a_fresh_lab_sweep() {
+        let daemon = LabDaemon::with_threads(WorkloadSize::Mini, 1);
+        let cold = daemon.sweep("ptr-matmul", 0).unwrap();
+        let registry = Registry::standard(WorkloadSize::Mini);
+        let sweep = registry.find("ptr-matmul").unwrap();
+        let fresh =
+            run_sweep(&sweep.name, &sweep.expand(), ExecOptions { threads: 1, verbose: false });
+        assert_eq!(cold, fresh.to_json(), "a cold daemon matches the CLI to the byte");
+    }
+
+    #[test]
+    fn warm_daemon_sweeps_keep_cycle_data_identical() {
+        let daemon = LabDaemon::with_threads(WorkloadSize::Mini, 1);
+        let cold = daemon.sweep("ptr-matmul", 0).unwrap();
+        let warm = daemon.sweep("ptr-matmul", 0).unwrap();
+        assert_eq!(strip_stats(&cold), strip_stats(&warm));
+        assert_ne!(cold, warm, "the stats block records the cache warmth");
+        assert!(warm.contains("\"simulations\": 0"), "warm sweeps never simulate: {warm}");
+        assert!(
+            warm.contains("\"baseline_simulations\": 0"),
+            "memo hits must not count as baseline simulations either: {warm}"
+        );
+        let memo = daemon.memo().stats();
+        assert!(memo.hits > 0, "{memo:?}");
+    }
+
+    #[test]
+    fn run_requests_share_the_memo_with_sweeps() {
+        let daemon = LabDaemon::with_threads(WorkloadSize::Mini, 1);
+        let first = daemon.run_scenario("ptr-matmul/gemm (flat)/fence/default").unwrap();
+        let again = daemon.run_scenario("ptr-matmul/gemm (flat)/fence/default").unwrap();
+        assert_eq!(strip_stats(&first), strip_stats(&again));
+        let stats = daemon.memo().stats();
+        assert_eq!(stats.misses, 2, "baseline + fence run, simulated once each");
+        assert_eq!(stats.hits, 2, "the repeat answered both from the memo");
+        // The sweep containing that scenario now partially hits too.
+        let sweep = daemon.sweep("ptr-matmul", 0).unwrap();
+        assert!(!sweep.is_empty());
+        assert!(daemon.memo().stats().hits > stats.hits);
+    }
+
+    #[test]
+    fn unknown_names_are_reported_not_panicked() {
+        let daemon = LabDaemon::new(WorkloadSize::Mini);
+        assert!(daemon.run_scenario("no/such/scenario").is_err());
+        assert!(daemon.sweep("no-such-sweep", 0).is_err());
+        assert!(daemon.analyze("no-such-program").is_err());
+    }
+
+    #[test]
+    fn stats_json_is_a_single_stable_line() {
+        let daemon = LabDaemon::new(WorkloadSize::Mini);
+        let stats = daemon.stats_json();
+        assert!(!stats.contains('\n'));
+        assert!(stats.contains("\"run_memo\": {\"hits\": 0, \"misses\": 0, \"entries\": 0}"));
+        assert!(stats.contains("\"translation\""));
+    }
+
+    #[test]
+    fn strip_stats_cuts_exactly_at_the_stats_block() {
+        let report = "{\n  \"jobs\": [\n  ],\n  \"stats\": {\n    \"jobs\": 1\n  }\n}\n";
+        assert_eq!(strip_stats(report), "{\n  \"jobs\": [\n  ],\n");
+        assert_eq!(strip_stats("no stats here"), "no stats here");
+    }
+}

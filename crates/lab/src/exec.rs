@@ -18,7 +18,7 @@
 //!   in the sweep JSON), so the reuse is visible in the artifacts.
 
 use crate::scenario::{Scenario, ScenarioKind};
-use dbt_platform::{Session, TranslationService};
+use dbt_platform::{CachedRun, RunKey, RunMemo, Session, TranslationService};
 use ghostbusters::MitigationPolicy;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -47,19 +47,6 @@ impl ExecOptions {
         let t = if self.threads == 0 { auto } else { self.threads };
         t.min(jobs).max(1)
     }
-}
-
-/// Raw observables of one simulation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SimOut {
-    /// Total cycles of the run.
-    pub cycles: u64,
-    /// MCB rollbacks.
-    pub rollbacks: u64,
-    /// Guest instructions retired.
-    pub guest_insts: u64,
-    /// Spectre patterns reported by the GhostBusters analysis.
-    pub patterns: usize,
 }
 
 /// Measurements of a [`ScenarioKind::Perf`] job.
@@ -170,18 +157,20 @@ pub struct LabReport {
 
 /// One run-cache entry: filled exactly once, shared between waiting
 /// workers.
-type BaselineSlot = Arc<OnceLock<Result<SimOut, String>>>;
+type BaselineSlot = Arc<OnceLock<Result<CachedRun, String>>>;
 
 /// Shared state of one sweep: the translation service every session of the
 /// sweep attaches to, the memoized unprotected baseline runs (the historic
-/// standalone `BaselineCache`, folded in here), and the simulation
-/// counters.
+/// standalone `BaselineCache`, folded in here), an optional cross-sweep
+/// [`RunMemo`] (the daemon's content-addressed run-summary cache), and the
+/// simulation counters.
 ///
-/// Both memo levels are exactly-once under concurrency: late askers block
+/// All memo levels are exactly-once under concurrency: late askers block
 /// on the winner's `OnceLock`, so the counters are deterministic for a
 /// given job list regardless of worker count.
 struct SweepContext {
     service: Arc<TranslationService>,
+    memo: Option<Arc<RunMemo>>,
     baselines: Mutex<HashMap<String, BaselineSlot>>,
     baseline_sims: AtomicUsize,
     sims: AtomicUsize,
@@ -190,9 +179,10 @@ struct SweepContext {
 }
 
 impl SweepContext {
-    fn new(service: Arc<TranslationService>) -> SweepContext {
+    fn new(service: Arc<TranslationService>, memo: Option<Arc<RunMemo>>) -> SweepContext {
         SweepContext {
             service,
+            memo,
             baselines: Mutex::new(HashMap::new()),
             baseline_sims: AtomicUsize::new(0),
             sims: AtomicUsize::new(0),
@@ -214,26 +204,54 @@ impl SweepContext {
 
     /// Runs `program` under `config` through a [`Session`] attached to the
     /// sweep's shared translation service.
+    ///
+    /// When the context carries a [`RunMemo`], the whole run is looked up
+    /// under its content address first — a repeated identical scenario is
+    /// answered from the memo without building a session at all (so memo
+    /// hits contribute neither simulations nor translation queries to the
+    /// sweep's counters). `secret_len` asks for the guest's `recovered`
+    /// symbol to be read back after the run, so attack observables are
+    /// part of the cached value whatever kind of job populated the entry.
+    ///
+    /// `is_baseline` tags the simulation for the `baseline_simulations`
+    /// counter; it is counted inside the closure so that, like `sims`, it
+    /// records simulations that actually ran (never memo hits).
     fn simulate(
         &self,
         program: &dbt_riscv::Program,
         config: dbt_platform::PlatformConfig,
-    ) -> Result<SimOut, String> {
-        self.sims.fetch_add(1, Ordering::SeqCst);
-        let mut session = Session::builder()
-            .program(program)
-            .config(config)
-            .service(&self.service)
-            .build()
-            .map_err(|e| e.to_string())?;
-        let summary = session.run().map_err(|e| e.to_string())?;
-        self.record_translations(&session);
-        Ok(SimOut {
-            cycles: summary.cycles,
-            rollbacks: summary.rollbacks,
-            guest_insts: summary.guest_insts,
-            patterns: session.engine().mitigation_summary().patterns,
-        })
+        secret_len: Option<usize>,
+        is_baseline: bool,
+    ) -> Result<CachedRun, String> {
+        let run = || {
+            self.sims.fetch_add(1, Ordering::SeqCst);
+            if is_baseline {
+                self.baseline_sims.fetch_add(1, Ordering::SeqCst);
+            }
+            let mut session = Session::builder()
+                .program(program)
+                .config(config)
+                .service(&self.service)
+                .build()
+                .map_err(|e| e.to_string())?;
+            let summary = session.run().map_err(|e| e.to_string())?;
+            self.record_translations(&session);
+            let recovered = match secret_len {
+                Some(len) => {
+                    Some(session.load_symbol_bytes("recovered", len).map_err(|e| e.to_string())?)
+                }
+                None => None,
+            };
+            Ok(CachedRun {
+                summary,
+                patterns: session.engine().mitigation_summary().patterns,
+                recovered,
+            })
+        };
+        match &self.memo {
+            Some(memo) => memo.get_or_run(RunKey::new(program, &config), run),
+            None => run(),
+        }
     }
 
     /// Returns the memoized unprotected baseline for `key`, simulating it
@@ -241,15 +259,11 @@ impl SweepContext {
     fn baseline(
         &self,
         key: String,
-        simulate: impl FnOnce() -> Result<SimOut, String>,
-    ) -> Result<SimOut, String> {
+        simulate: impl FnOnce() -> Result<CachedRun, String>,
+    ) -> Result<CachedRun, String> {
         let slot =
             self.baselines.lock().expect("baseline cache poisoned").entry(key).or_default().clone();
-        slot.get_or_init(|| {
-            self.baseline_sims.fetch_add(1, Ordering::SeqCst);
-            simulate()
-        })
-        .clone()
+        slot.get_or_init(simulate).clone()
     }
 }
 
@@ -259,12 +273,18 @@ fn run_job(scenario: &Scenario, ctx: &SweepContext) -> JobOutcome {
         Err(e) => return JobOutcome::Failed { error: e },
     };
     let config = scenario.platform.overrides.apply(scenario.policy);
+    // Attack programs carry their recovered bytes through every run —
+    // including perf runs — so a memo entry populated by either job kind
+    // serves both.
+    let secret_len = scenario.program.secret().map(<[u8]>::len);
     match scenario.kind {
         ScenarioKind::Perf => {
             let baseline = ctx.baseline(scenario.baseline_key(), || {
                 ctx.simulate(
                     &program,
                     scenario.platform.overrides.apply(MitigationPolicy::Unprotected),
+                    secret_len,
+                    true,
                 )
             });
             let baseline = match baseline {
@@ -274,16 +294,16 @@ fn run_job(scenario: &Scenario, ctx: &SweepContext) -> JobOutcome {
             let run = if scenario.policy == MitigationPolicy::Unprotected {
                 baseline.clone()
             } else {
-                match ctx.simulate(&program, config) {
+                match ctx.simulate(&program, config, secret_len, false) {
                     Ok(r) => r,
                     Err(e) => return JobOutcome::Failed { error: e },
                 }
             };
             JobOutcome::Perf(PerfMetrics {
-                cycles: run.cycles,
-                baseline_cycles: baseline.cycles,
-                rollbacks: run.rollbacks,
-                guest_insts: run.guest_insts,
+                cycles: run.summary.cycles,
+                baseline_cycles: baseline.summary.cycles,
+                rollbacks: run.summary.rollbacks,
+                guest_insts: run.summary.guest_insts,
                 patterns: run.patterns,
             })
         }
@@ -293,29 +313,14 @@ fn run_job(scenario: &Scenario, ctx: &SweepContext) -> JobOutcome {
                     error: format!("`{}` is not an attack program", scenario.program_label),
                 };
             };
-            ctx.sims.fetch_add(1, Ordering::SeqCst);
-            let outcome = (|| {
-                let mut session = Session::builder()
-                    .program(&program)
-                    .config(config)
-                    .service(&ctx.service)
-                    .build()
-                    .map_err(|e| e.to_string())?;
-                let summary = session.run().map_err(|e| e.to_string())?;
-                ctx.record_translations(&session);
-                let recovered = session
-                    .load_symbol_bytes("recovered", secret.len())
-                    .map_err(|e| e.to_string())?;
-                Ok::<_, String>(AttackMetrics {
+            match ctx.simulate(&program, config, Some(secret.len()), false) {
+                Ok(run) => JobOutcome::Attack(AttackMetrics {
                     secret,
-                    recovered,
-                    cycles: summary.cycles,
-                    rollbacks: summary.rollbacks,
-                    patterns: session.engine().mitigation_summary().patterns,
-                })
-            })();
-            match outcome {
-                Ok(metrics) => JobOutcome::Attack(metrics),
+                    recovered: run.recovered.unwrap_or_default(),
+                    cycles: run.summary.cycles,
+                    rollbacks: run.summary.rollbacks,
+                    patterns: run.patterns,
+                }),
                 Err(error) => JobOutcome::Failed { error },
             }
         }
@@ -349,9 +354,31 @@ pub fn run_sweep_with(
     opts: ExecOptions,
     service: &Arc<TranslationService>,
 ) -> LabReport {
+    run_sweep_memo(sweep, scenarios, opts, service, None)
+}
+
+/// [`run_sweep_with`] plus an optional content-addressed [`RunMemo`]: with
+/// a memo attached, every simulation is looked up under its
+/// `(program fingerprint, config fingerprint)` address first, so a
+/// scenario that an earlier sweep (or an earlier daemon request) already
+/// ran is answered without simulating — or even translating — anything.
+///
+/// Memo hits change only the *counters* of the report (`simulations` and
+/// the translation hit/miss pair shrink, since no session runs); the cycle
+/// data, recovery rates and every other observable are byte-identical to a
+/// memo-less run, because the platform is a deterministic simulator and
+/// the memo key covers every input it reads. This is the executor the
+/// `dbt-serve` daemon drives.
+pub fn run_sweep_memo(
+    sweep: &str,
+    scenarios: &[Scenario],
+    opts: ExecOptions,
+    service: &Arc<TranslationService>,
+    memo: Option<&Arc<RunMemo>>,
+) -> LabReport {
     let jobs = scenarios.len();
     let threads = opts.effective_threads(jobs);
-    let ctx = SweepContext::new(Arc::clone(service));
+    let ctx = SweepContext::new(Arc::clone(service), memo.map(Arc::clone));
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<JobResult>> = Vec::new();
     slots.resize_with(jobs, || None);
@@ -450,6 +477,35 @@ mod tests {
                 assert!(metrics.slowdown() >= 1.0 - 1e-9, "{}", result.scenario.name);
             }
         }
+    }
+
+    #[test]
+    fn a_shared_run_memo_answers_repeated_sweeps_without_simulating() {
+        let scenarios = tiny_sweep().expand();
+        let service = TranslationService::new();
+        let memo = RunMemo::new();
+        let opts = ExecOptions { threads: 4, verbose: false };
+        let first = run_sweep_memo("tiny", &scenarios, opts, &service, Some(&memo));
+        let cold = memo.stats();
+        assert_eq!(cold.hits, 0, "distinct scenarios cannot hit a cold memo");
+        assert_eq!(cold.misses, first.stats.simulations as u64, "one entry per simulation");
+
+        let second = run_sweep_memo("tiny", &scenarios, opts, &service, Some(&memo));
+        assert_eq!(first.results, second.results, "memo hits must not change observables");
+        assert_eq!(second.stats.simulations, 0, "every run was answered from the memo");
+        assert_eq!(
+            second.stats.translation_hits + second.stats.translation_misses,
+            0,
+            "memo hits never build a session, so no translation queries at all"
+        );
+        let warm = memo.stats();
+        assert_eq!(warm.misses, cold.misses, "nothing new to simulate");
+        assert_eq!(warm.hits, cold.misses, "same ask list, now fully cached");
+
+        // The memo-less report of the same job list agrees on every
+        // observable (only the counters differ).
+        let fresh = run_sweep("tiny", &scenarios, opts);
+        assert_eq!(fresh.results, first.results);
     }
 
     #[test]

@@ -8,22 +8,13 @@
 use crate::exec::{JobOutcome, JobResult, LabReport};
 
 /// Escapes `s` for use inside a JSON string literal.
+///
+/// Delegates to `dbt-serve`'s escaper so the whole workspace shares one
+/// set of escaping rules — the daemon's byte-identity contract (unescaped
+/// frame bodies == locally emitted reports) depends on the emitters and
+/// the protocol never diverging here.
 pub fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out
+    dbt_serve::json::escape(s)
 }
 
 /// Formats a float deterministically (fixed six fractional digits).

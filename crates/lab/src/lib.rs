@@ -21,6 +21,10 @@
 //!   exactly once per sweep (the hit/miss counters land in the JSON);
 //! * [`json`] — stable, dependency-free JSON (`BENCH_<sweep>.json`)
 //!   suitable for diffing across PRs;
+//! * [`daemon`] — the [`LabDaemon`] backend behind `lab serve`: one
+//!   process-wide [`TranslationService`] plus a content-addressed
+//!   [`RunMemo`] of whole run summaries, shared by every request the
+//!   `dbt-serve` worker pool executes;
 //! * [`table`] — the human-readable tables of the paper (Figure 4 layout,
 //!   Section V-A attack table).
 //!
@@ -39,6 +43,7 @@
 //! ```
 
 pub mod analyze;
+pub mod daemon;
 pub mod exec;
 pub mod json;
 pub mod registry;
@@ -46,10 +51,11 @@ pub mod scenario;
 pub mod table;
 
 pub use analyze::{analyze_program, AnalyzeReport, BlockAnalysis};
-pub use dbt_platform::{ServiceStats, TranslationService};
+pub use daemon::{strip_stats, LabDaemon};
+pub use dbt_platform::{MemoStats, RunMemo, ServiceStats, TranslationService};
 pub use exec::{
-    run_sweep, run_sweep_with, AttackMetrics, ExecOptions, ExecStats, JobOutcome, JobResult,
-    LabReport, PerfMetrics, SimOut,
+    run_sweep, run_sweep_memo, run_sweep_with, AttackMetrics, ExecOptions, ExecStats, JobOutcome,
+    JobResult, LabReport, PerfMetrics,
 };
 pub use registry::{Registry, Sweep, SweepProgram, DEFAULT_SECRET};
 pub use scenario::{

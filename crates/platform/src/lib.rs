@@ -43,11 +43,13 @@
 //! # }
 //! ```
 
+pub mod memo;
 pub mod processor;
 pub mod run;
 pub mod session;
 
 pub use dbt_engine::{ServiceStats, TranslationService};
+pub use memo::{CachedRun, MemoStats, RunKey, RunMemo};
 pub use processor::{DbtProcessor, PlatformConfig, PlatformError, RunSummary};
 pub use run::PolicyComparison;
 pub use session::{Session, SessionBuilder};

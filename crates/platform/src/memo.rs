@@ -1,0 +1,249 @@
+//! The content-addressed run-summary memo: whole simulated runs, cached.
+//!
+//! The [`TranslationService`](crate::TranslationService) already memoizes
+//! *translations* across runs, but a repeated identical scenario still pays
+//! the full simulation: every block is re-executed cycle by cycle. A run,
+//! however, is as pure as a compile — the platform is a deterministic
+//! simulator, so the observables of a run are a function of exactly two
+//! inputs: the guest program bytes and the platform configuration. The
+//! [`RunMemo`] closes that gap with a content-addressed cache:
+//!
+//! * the **key** ([`RunKey`]) is `(program fingerprint, config
+//!   fingerprint)` — the config fingerprint covers the mitigation policy,
+//!   every DBT and core parameter (speculation options, issue width, cache
+//!   geometry, MCB capacity, rollback penalty) and the block budget, so two
+//!   equal keys describe byte-identical simulations;
+//! * the **value** ([`CachedRun`]) is the [`RunSummary`] plus the
+//!   mitigation pattern count and (for attack programs) the bytes the
+//!   side channel recovered — everything a lab report needs from a run;
+//! * each key resolves to exactly **one simulation process-wide**: late
+//!   askers block on the winner's `OnceLock` slot, so the hit/miss
+//!   counters are deterministic for a given job list regardless of how
+//!   many clients and threads demand it.
+//!
+//! The memo is the second cache level of the `dbt-serve` daemon (the
+//! translation service being the first): a fleet of clients submitting the
+//! same scenarios pays one simulation per distinct scenario, and every
+//! repeat is answered from the memo.
+
+use crate::processor::RunSummary;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Content address of one run: program fingerprint × config fingerprint.
+///
+/// Built by [`RunKey::new`] from the actual program and configuration, so
+/// a key cannot be constructed from stale inputs by accident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// [`Program::fingerprint`](dbt_riscv::Program::fingerprint) of the
+    /// guest program.
+    pub program: u64,
+    /// [`PlatformConfig::fingerprint`](crate::PlatformConfig::fingerprint)
+    /// of the platform configuration.
+    pub config: u64,
+}
+
+impl RunKey {
+    /// The content address of running `program` under `config`.
+    pub fn new(program: &dbt_riscv::Program, config: &crate::PlatformConfig) -> RunKey {
+        RunKey { program: program.fingerprint(), config: config.fingerprint() }
+    }
+}
+
+/// Everything a cached run preserves about the simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedRun {
+    /// The run summary (cycles, blocks, rollbacks, halted, guest insts).
+    pub summary: RunSummary,
+    /// Spectre patterns reported by the GhostBusters analysis.
+    pub patterns: usize,
+    /// Bytes read back from the guest's `recovered` symbol after the run
+    /// (`None` for programs without a planted secret).
+    pub recovered: Option<Vec<u8>>,
+}
+
+/// Snapshot of the memo counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Runs answered from the memo.
+    pub hits: u64,
+    /// Runs that had to simulate (equals the number of distinct keys asked
+    /// for process-wide).
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl MemoStats {
+    /// Fraction of asks served from the memo, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Stable single-line JSON serialisation (fixed key order), used by the
+    /// daemon's `stats` response.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"hits\": {}, \"misses\": {}, \"entries\": {}}}",
+            self.hits, self.misses, self.entries
+        )
+    }
+}
+
+/// One memo slot: filled exactly once, shared between waiting threads.
+type Slot = Arc<OnceLock<Result<CachedRun, String>>>;
+
+/// The content-addressed, thread-safe run-summary memo.
+///
+/// Entries are tiny (a summary, two counters and at most a secret's worth
+/// of bytes), so the memo is unbounded: it grows with the number of
+/// *distinct* scenarios asked for, not with the number of requests.
+///
+/// ```
+/// use dbt_platform::{CachedRun, RunKey, RunMemo, RunSummary};
+///
+/// let memo = RunMemo::new();
+/// let key = RunKey { program: 1, config: 2 };
+/// let run = CachedRun {
+///     summary: RunSummary {
+///         cycles: 100,
+///         blocks_executed: 3,
+///         rollbacks: 0,
+///         halted: true,
+///         guest_insts: 12,
+///     },
+///     patterns: 0,
+///     recovered: None,
+/// };
+/// let first = memo.get_or_run(key, || Ok(run.clone())).unwrap();
+/// let second = memo.get_or_run(key, || panic!("must not re-simulate")).unwrap();
+/// assert_eq!(first, second);
+/// assert_eq!((memo.stats().hits, memo.stats().misses), (1, 1));
+/// ```
+#[derive(Debug, Default)]
+pub struct RunMemo {
+    slots: Mutex<HashMap<RunKey, Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RunMemo {
+    /// An empty memo behind an [`Arc`], ready to share across threads.
+    pub fn new() -> Arc<RunMemo> {
+        Arc::new(RunMemo::default())
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::SeqCst),
+            misses: self.misses.load(Ordering::SeqCst),
+            entries: self.slots.lock().expect("run memo poisoned").len(),
+        }
+    }
+
+    /// Returns the cached run for `key`, simulating it (exactly once
+    /// process-wide, via `run`) if it is not resident yet.
+    ///
+    /// Failed runs are memoized too: a scenario that errors once errors
+    /// identically — and cheaply — on every repeat.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (memoized) error of the failing simulation.
+    pub fn get_or_run(
+        &self,
+        key: RunKey,
+        run: impl FnOnce() -> Result<CachedRun, String>,
+    ) -> Result<CachedRun, String> {
+        let slot =
+            Arc::clone(self.slots.lock().expect("run memo poisoned").entry(key).or_default());
+        let mut computed = false;
+        let result = slot
+            .get_or_init(|| {
+                computed = true;
+                run()
+            })
+            .clone();
+        if computed {
+            self.misses.fetch_add(1, Ordering::SeqCst);
+        } else {
+            self.hits.fetch_add(1, Ordering::SeqCst);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn sample_run(cycles: u64) -> CachedRun {
+        CachedRun {
+            summary: RunSummary {
+                cycles,
+                blocks_executed: 1,
+                rollbacks: 0,
+                halted: true,
+                guest_insts: 4,
+            },
+            patterns: 1,
+            recovered: Some(b"GB".to_vec()),
+        }
+    }
+
+    #[test]
+    fn distinct_keys_do_not_share_entries() {
+        let memo = RunMemo::new();
+        let a = memo.get_or_run(RunKey { program: 1, config: 1 }, || Ok(sample_run(10))).unwrap();
+        let b = memo.get_or_run(RunKey { program: 1, config: 2 }, || Ok(sample_run(20))).unwrap();
+        assert_ne!(a.summary.cycles, b.summary.cycles);
+        let stats = memo.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 2));
+    }
+
+    #[test]
+    fn errors_are_memoized() {
+        let memo = RunMemo::new();
+        let key = RunKey { program: 7, config: 7 };
+        let first = memo.get_or_run(key, || Err("boom".to_string()));
+        assert_eq!(first, Err("boom".to_string()));
+        let second = memo.get_or_run(key, || panic!("must not re-run a failed key"));
+        assert_eq!(second, Err("boom".to_string()));
+        assert_eq!((memo.stats().hits, memo.stats().misses), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_askers_simulate_exactly_once() {
+        let memo = RunMemo::new();
+        let runs = AtomicUsize::new(0);
+        let key = RunKey { program: 3, config: 4 };
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let got = memo
+                        .get_or_run(key, || {
+                            runs.fetch_add(1, Ordering::SeqCst);
+                            Ok(sample_run(42))
+                        })
+                        .unwrap();
+                    assert_eq!(got.summary.cycles, 42);
+                });
+            }
+        });
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "late askers must block on the winner");
+        let stats = memo.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+        assert!((stats.hit_rate() - 7.0 / 8.0).abs() < 1e-12);
+        assert_eq!(stats.to_json(), "{\"hits\": 7, \"misses\": 1, \"entries\": 1}");
+    }
+}

@@ -32,6 +32,45 @@ impl PlatformConfig {
     pub fn unprotected() -> PlatformConfig {
         PlatformConfig::for_policy(MitigationPolicy::Unprotected)
     }
+
+    /// A stable 64-bit fingerprint of every simulation-relevant parameter:
+    /// the full DBT configuration (policy, speculation options, trace
+    /// formation), the core configuration (issue width, MCB, cache
+    /// geometry and latencies, rollback penalty) and the block budget.
+    ///
+    /// Two configurations with equal fingerprints drive byte-identical
+    /// simulations of the same program, so the fingerprint is the config
+    /// half of the [`RunMemo`](crate::RunMemo) key. `DbtConfig` carries an
+    /// `f64` (the branch-bias threshold), so the hash is written out by
+    /// hand over the bit pattern instead of derived.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        // Exhaustive destructuring (no `..`): adding a field to any of
+        // these structs must fail to compile here rather than silently
+        // produce colliding fingerprints — a collision would make the
+        // RunMemo serve one configuration's cached run as another's.
+        let PlatformConfig { dbt, core, max_blocks } = self;
+        let dbt_engine::DbtConfig {
+            issue_width,
+            hot_threshold,
+            branch_bias_threshold,
+            max_trace_guest_insts,
+            speculation,
+            policy,
+        } = dbt;
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        issue_width.hash(&mut hasher);
+        hot_threshold.hash(&mut hasher);
+        branch_bias_threshold.to_bits().hash(&mut hasher);
+        max_trace_guest_insts.hash(&mut hasher);
+        speculation.hash(&mut hasher);
+        policy.hash(&mut hasher);
+        // `CoreConfig` (and its `CacheConfig`) derive `Hash`, so new
+        // fields there are covered automatically.
+        core.hash(&mut hasher);
+        max_blocks.hash(&mut hasher);
+        hasher.finish()
+    }
 }
 
 impl Default for PlatformConfig {

@@ -1,0 +1,59 @@
+//! A blocking client for the daemon's NDJSON protocol.
+//!
+//! One [`Client`] wraps one TCP connection; requests are answered in
+//! order, so a client can be reused for any number of frames (`lab
+//! submit` sends one, the load generator thousands).
+
+use crate::protocol::{Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a running daemon.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the connection cannot be established.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sends one request frame and waits for its response frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the connection drops or the response does not
+    /// parse. Protocol-level failures are *not* errors: they come back as
+    /// [`Response::Busy`] / [`Response::Error`] values.
+    pub fn request(&mut self, request: &Request) -> Result<Response, String> {
+        self.raw_request(&request.encode())
+    }
+
+    /// Sends one already-encoded line and waits for the response frame
+    /// (used by tests to exercise the daemon's handling of bad frames).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Client::request`].
+    pub fn raw_request(&mut self, line: &str) -> Result<Response, String> {
+        writeln!(self.writer, "{line}")
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("cannot send request: {e}"))?;
+        let mut reply = String::new();
+        let read =
+            self.reader.read_line(&mut reply).map_err(|e| format!("cannot read response: {e}"))?;
+        if read == 0 {
+            return Err("connection closed before a response arrived".to_string());
+        }
+        Response::decode(reply.trim_end_matches('\n'))
+    }
+}

@@ -1,0 +1,45 @@
+//! **dbt-serve** — the concurrent lab daemon.
+//!
+//! Every experiment in this repo used to be a one-shot CLI process: each
+//! `lab` invocation paid full startup and its translation memo died with
+//! the process. This crate turns the lab into a long-lived service so that
+//! repeated analysis queries and sweep requests become cheap, cached,
+//! concurrent operations:
+//!
+//! * [`protocol`] — newline-delimited JSON frames over TCP (`run`,
+//!   `sweep`, `analyze`, `stats`, `health`, `shutdown`); multi-line lab
+//!   reports travel escaped inside single-line frames, byte-identical to
+//!   local CLI output once unescaped;
+//! * [`json`] — the dependency-free JSON reader the protocol needs (the
+//!   repo's emitters are hand-rolled writers; this is the matching
+//!   parser);
+//! * [`queue`] — a bounded MPMC job queue: admission control with an
+//!   explicit `busy` response when full, never unbounded buffering;
+//! * [`server`] — the daemon: acceptor, per-connection handlers, a fixed
+//!   `std::thread` worker pool, all generic over the [`LabBackend`] trait
+//!   (implemented by `dbt-lab`'s `LabDaemon`, which owns the process-wide
+//!   `TranslationService` and the content-addressed `RunMemo` — the two
+//!   cache levels a client fleet amortizes);
+//! * [`client`] — a blocking NDJSON client (`lab submit` is a thin
+//!   wrapper);
+//! * [`loadgen`] — N concurrent clients driving a request mix, with an
+//!   on-the-fly response-consistency check and throughput counters
+//!   (feeds the `BENCH_serve-throughput.json` artifact).
+//!
+//! The crate is `std`-only and knows nothing about the lab itself — the
+//! dependency points the other way (`dbt-lab` depends on `dbt-serve`), so
+//! the `lab` CLI can host both the daemon and the client subcommands.
+
+pub mod client;
+pub mod json;
+pub mod loadgen;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::Client;
+pub use json::JsonValue;
+pub use loadgen::{drive, LoadOptions, LoadOutcome};
+pub use protocol::{Request, Response};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{serve, LabBackend, ServerConfig, ServerHandle};

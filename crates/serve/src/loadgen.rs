@@ -1,0 +1,223 @@
+//! The in-repo load generator: N concurrent clients hammering a daemon.
+//!
+//! [`drive`] opens `clients` connections, each of which submits the given
+//! request list `iterations` times, and reports throughput plus outcome
+//! counts. A caller-supplied normalizer lets the driver check *response
+//! consistency* on the fly: every `ok` body is normalized (e.g. the lab
+//! strips the warmth-dependent `stats` block) and compared against the
+//! first body seen for the same request — so a sustained run proves not
+//! just that the daemon keeps up but that every client sees identical
+//! payloads.
+
+use crate::client::Client;
+use crate::protocol::{Request, Response};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Load shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadOptions {
+    /// Number of concurrent client connections.
+    pub clients: usize,
+    /// How many times each client submits the whole request list.
+    pub iterations: usize,
+}
+
+impl Default for LoadOptions {
+    fn default() -> LoadOptions {
+        LoadOptions { clients: 4, iterations: 8 }
+    }
+}
+
+/// What a load run produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadOutcome {
+    /// Total requests submitted.
+    pub requests: u64,
+    /// `ok` responses.
+    pub ok: u64,
+    /// `busy` responses (bounced by backpressure).
+    pub busy: u64,
+    /// `error` responses and transport failures.
+    pub errors: u64,
+    /// `ok` bodies whose normalized form differed from the first response
+    /// to the same request (must be 0 for a deterministic backend).
+    pub mismatches: u64,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+impl LoadOutcome {
+    /// Sustained request throughput (requests per wall-clock second).
+    pub fn requests_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.requests as f64 / secs
+        }
+    }
+}
+
+/// Drives `opts.clients` concurrent clients against the daemon at `addr`,
+/// each submitting `requests` in order `opts.iterations` times.
+///
+/// `normalize` maps an `ok` body to its comparison form before the
+/// cross-client consistency check (identity if every body is expected to
+/// be byte-identical as-is).
+///
+/// # Errors
+///
+/// Returns a message if a client cannot connect at all; per-request
+/// failures are counted in the outcome instead.
+pub fn drive(
+    addr: SocketAddr,
+    requests: &[Request],
+    opts: LoadOptions,
+    normalize: &(dyn Fn(&Request, &str) -> String + Sync),
+) -> Result<LoadOutcome, String> {
+    let ok = AtomicU64::new(0);
+    let busy = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let mismatches = AtomicU64::new(0);
+    let canonical: Vec<Mutex<Option<String>>> = requests.iter().map(|_| Mutex::new(None)).collect();
+
+    // Connect up front so a dead daemon is a hard error, not an error count.
+    let mut clients = Vec::with_capacity(opts.clients);
+    for i in 0..opts.clients {
+        clients.push(Client::connect(addr).map_err(|e| format!("client {i} cannot connect: {e}"))?);
+    }
+
+    let started = Instant::now();
+    {
+        let (ok, busy, errors, mismatches, canonical) =
+            (&ok, &busy, &errors, &mismatches, &canonical);
+        std::thread::scope(|scope| {
+            for mut client in clients.drain(..) {
+                scope.spawn(move || {
+                    for _ in 0..opts.iterations {
+                        for (index, request) in requests.iter().enumerate() {
+                            match client.request(request) {
+                                Ok(Response::Ok { body, .. }) => {
+                                    ok.fetch_add(1, Ordering::SeqCst);
+                                    let normalized = normalize(request, &body);
+                                    let mut slot =
+                                        canonical[index].lock().expect("canonical body poisoned");
+                                    match slot.as_ref() {
+                                        None => *slot = Some(normalized),
+                                        Some(first) if *first == normalized => {}
+                                        Some(_) => {
+                                            mismatches.fetch_add(1, Ordering::SeqCst);
+                                        }
+                                    }
+                                }
+                                Ok(Response::Busy { .. }) => {
+                                    busy.fetch_add(1, Ordering::SeqCst);
+                                }
+                                Ok(Response::Error { .. }) | Err(_) => {
+                                    errors.fetch_add(1, Ordering::SeqCst);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    Ok(LoadOutcome {
+        requests: (opts.clients * opts.iterations * requests.len()) as u64,
+        ok: ok.into_inner(),
+        busy: busy.into_inner(),
+        errors: errors.into_inner(),
+        mismatches: mismatches.into_inner(),
+        elapsed: started.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{serve, LabBackend, ServerConfig};
+    use std::sync::Arc;
+
+    struct CountingBackend {
+        runs: AtomicU64,
+    }
+
+    impl LabBackend for CountingBackend {
+        fn run_scenario(&self, scenario: &str) -> Result<String, String> {
+            self.runs.fetch_add(1, Ordering::SeqCst);
+            Ok(format!("result for {scenario}"))
+        }
+        fn sweep(&self, _name: &str, _threads: usize) -> Result<String, String> {
+            Err("no sweeps here".to_string())
+        }
+        fn analyze(&self, _program: &str) -> Result<String, String> {
+            Err("no analyses here".to_string())
+        }
+        fn stats_json(&self) -> String {
+            format!("{{\"runs\": {}}}", self.runs.load(Ordering::SeqCst))
+        }
+    }
+
+    #[test]
+    fn drives_every_client_through_every_iteration() {
+        let backend = Arc::new(CountingBackend { runs: AtomicU64::new(0) });
+        let handle = serve(
+            "127.0.0.1:0",
+            Arc::clone(&backend) as Arc<dyn LabBackend>,
+            ServerConfig { workers: 3, queue_depth: 32 },
+        )
+        .unwrap();
+        let requests = [
+            Request::Run { scenario: "alpha".to_string() },
+            Request::Run { scenario: "beta".to_string() },
+            Request::Sweep { name: "nope".to_string(), threads: 0 },
+        ];
+        let outcome = drive(
+            handle.addr(),
+            &requests,
+            LoadOptions { clients: 3, iterations: 4 },
+            &|_, body| body.to_string(),
+        )
+        .unwrap();
+        assert_eq!(outcome.requests, 36);
+        assert_eq!(outcome.ok, 24, "both run requests succeed");
+        assert_eq!(outcome.errors, 12, "the sweep request errors every time");
+        assert_eq!(outcome.busy, 0);
+        assert_eq!(outcome.mismatches, 0, "a deterministic backend never diverges");
+        assert_eq!(backend.runs.load(Ordering::SeqCst), 24);
+        assert!(outcome.requests_per_sec() > 0.0);
+        handle.shutdown();
+        handle.wait();
+    }
+
+    #[test]
+    fn divergent_bodies_are_counted_as_mismatches() {
+        let backend = Arc::new(CountingBackend { runs: AtomicU64::new(0) });
+        let handle = serve(
+            "127.0.0.1:0",
+            backend as Arc<dyn LabBackend>,
+            ServerConfig { workers: 1, queue_depth: 8 },
+        )
+        .unwrap();
+        let requests = [Request::Run { scenario: "x".to_string() }];
+        // A normalizer that leaks the (monotonic) backend call count makes
+        // every response after the first "diverge".
+        let outcome =
+            drive(handle.addr(), &requests, LoadOptions { clients: 1, iterations: 3 }, &{
+                let calls = AtomicU64::new(0);
+                move |_: &Request, body: &str| {
+                    format!("{}#{body}", calls.fetch_add(1, Ordering::SeqCst))
+                }
+            })
+            .unwrap();
+        assert_eq!(outcome.ok, 3);
+        assert_eq!(outcome.mismatches, 2);
+        handle.shutdown();
+        handle.wait();
+    }
+}

@@ -1,0 +1,258 @@
+//! The wire protocol of the lab daemon: newline-delimited JSON frames.
+//!
+//! Every request and every response is exactly one line of JSON followed
+//! by `\n`. Multi-line payloads (the lab's byte-stable report JSON) travel
+//! *inside* a frame as an escaped string in the `body` member, so framing
+//! never depends on payload shape and the unescaped body is byte-identical
+//! to what the `lab` CLI would have printed locally.
+//!
+//! See `docs/PROTOCOL.md` for the full specification with examples; the
+//! summary:
+//!
+//! | request `op` | payload members        | answer                          |
+//! |--------------|------------------------|---------------------------------|
+//! | `run`        | `scenario`             | one-scenario lab report JSON    |
+//! | `sweep`      | `sweep`, `threads?`    | full sweep report JSON          |
+//! | `analyze`    | `program`              | taint-verdict report JSON       |
+//! | `stats`      | —                      | server + cache counters         |
+//! | `health`     | —                      | liveness + capacity             |
+//! | `shutdown`   | —                      | ack, then the daemon stops      |
+//!
+//! Responses carry `status`: `"ok"` (with `body`), `"busy"` (bounded job
+//! queue full — explicit backpressure, retry later) or `"error"` (with
+//! `error`).
+
+use crate::json::{escape, JsonValue};
+
+/// One request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run one scenario by its full `sweep/program/policy/platform` name.
+    Run {
+        /// The scenario name.
+        scenario: String,
+    },
+    /// Run one registered sweep.
+    Sweep {
+        /// The sweep name.
+        name: String,
+        /// Worker threads for this sweep's executor; `0` = daemon default.
+        threads: usize,
+    },
+    /// Per-block speculative-taint verdicts of one program.
+    Analyze {
+        /// Workload name, `ptr-matmul`, `spectre-v1` or `spectre-v4`.
+        program: String,
+    },
+    /// Server and cache counters.
+    Stats,
+    /// Liveness and capacity.
+    Health,
+    /// Stop the daemon (in-flight jobs finish first).
+    Shutdown,
+}
+
+impl Request {
+    /// The `op` tag of this request.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Run { .. } => "run",
+            Request::Sweep { .. } => "sweep",
+            Request::Analyze { .. } => "analyze",
+            Request::Stats => "stats",
+            Request::Health => "health",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// `true` if the request is executed on the worker pool (and therefore
+    /// subject to queue backpressure) rather than answered inline.
+    pub fn is_heavy(&self) -> bool {
+        matches!(self, Request::Run { .. } | Request::Sweep { .. } | Request::Analyze { .. })
+    }
+
+    /// Encodes the frame (one line, no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Run { scenario } => {
+                format!("{{\"op\": \"run\", \"scenario\": \"{}\"}}", escape(scenario))
+            }
+            Request::Sweep { name, threads } => format!(
+                "{{\"op\": \"sweep\", \"sweep\": \"{}\", \"threads\": {threads}}}",
+                escape(name)
+            ),
+            Request::Analyze { program } => {
+                format!("{{\"op\": \"analyze\", \"program\": \"{}\"}}", escape(program))
+            }
+            Request::Stats => "{\"op\": \"stats\"}".to_string(),
+            Request::Health => "{\"op\": \"health\"}".to_string(),
+            Request::Shutdown => "{\"op\": \"shutdown\"}".to_string(),
+        }
+    }
+
+    /// Decodes one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message suitable for an `error` response frame: malformed
+    /// JSON, missing/ill-typed members, or an unknown `op`.
+    pub fn decode(line: &str) -> Result<Request, String> {
+        let value = JsonValue::parse(line).map_err(|e| format!("malformed request: {e}"))?;
+        let op = value
+            .get("op")
+            .and_then(JsonValue::as_str)
+            .ok_or("request needs a string `op` member")?;
+        let need = |member: &str| {
+            value
+                .get(member)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or(format!("`{op}` needs a string `{member}` member"))
+        };
+        match op {
+            "run" => Ok(Request::Run { scenario: need("scenario")? }),
+            "sweep" => {
+                let threads = match value.get("threads") {
+                    None => 0,
+                    Some(t) => {
+                        t.as_u64().ok_or("`threads` must be a non-negative integer")? as usize
+                    }
+                };
+                Ok(Request::Sweep { name: need("sweep")?, threads })
+            }
+            "analyze" => Ok(Request::Analyze { program: need("program")? }),
+            "stats" => Ok(Request::Stats),
+            "health" => Ok(Request::Health),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!(
+                "unknown op `{other}` (expected run|sweep|analyze|stats|health|shutdown)"
+            )),
+        }
+    }
+}
+
+/// One response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The request succeeded; `body` is the payload (itself JSON text).
+    Ok {
+        /// Echo of the request's `op`.
+        op: String,
+        /// Payload, unescaped — for `run`/`sweep`/`analyze` this is the
+        /// exact multi-line JSON the `lab` CLI would print locally.
+        body: String,
+    },
+    /// The bounded job queue is full: explicit backpressure, retry later.
+    Busy {
+        /// Echo of the request's `op`.
+        op: String,
+    },
+    /// The request failed.
+    Error {
+        /// Echo of the request's `op` (`"invalid"` if it never parsed).
+        op: String,
+        /// Human-readable cause.
+        error: String,
+    },
+}
+
+impl Response {
+    /// Encodes the frame (one line, no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Ok { op, body } => format!(
+                "{{\"status\": \"ok\", \"op\": \"{}\", \"body\": \"{}\"}}",
+                escape(op),
+                escape(body)
+            ),
+            Response::Busy { op } => {
+                format!("{{\"status\": \"busy\", \"op\": \"{}\"}}", escape(op))
+            }
+            Response::Error { op, error } => format!(
+                "{{\"status\": \"error\", \"op\": \"{}\", \"error\": \"{}\"}}",
+                escape(op),
+                escape(error)
+            ),
+        }
+    }
+
+    /// Decodes one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the line is not a valid response frame.
+    pub fn decode(line: &str) -> Result<Response, String> {
+        let value = JsonValue::parse(line).map_err(|e| format!("malformed response: {e}"))?;
+        let member = |name: &str| {
+            value
+                .get(name)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or(format!("response needs a string `{name}` member"))
+        };
+        let op = member("op")?;
+        match member("status")?.as_str() {
+            "ok" => Ok(Response::Ok { op, body: member("body")? }),
+            "busy" => Ok(Response::Busy { op }),
+            "error" => Ok(Response::Error { op, error: member("error")? }),
+            other => Err(format!("unknown status `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::Run { scenario: "figure4/gemm (flat)/our-approach/default".to_string() },
+            Request::Sweep { name: "figure4".to_string(), threads: 7 },
+            Request::Analyze { program: "histogram".to_string() },
+            Request::Stats,
+            Request::Health,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = request.encode();
+            assert!(!line.contains('\n'), "frames are single lines: {line}");
+            assert_eq!(Request::decode(&line).unwrap(), request, "{line}");
+        }
+    }
+
+    #[test]
+    fn sweep_threads_default_to_zero() {
+        let request = Request::decode(r#"{"op": "sweep", "sweep": "figure4"}"#).unwrap();
+        assert_eq!(request, Request::Sweep { name: "figure4".to_string(), threads: 0 });
+    }
+
+    #[test]
+    fn responses_round_trip_with_multiline_bodies() {
+        let body = "{\n  \"schema\": \"dbt-lab/v1\",\n  \"jobs\": []\n}\n";
+        let responses = [
+            Response::Ok { op: "sweep".to_string(), body: body.to_string() },
+            Response::Busy { op: "run".to_string() },
+            Response::Error { op: "analyze".to_string(), error: "unknown program `x`".to_string() },
+        ];
+        for response in responses {
+            let line = response.encode();
+            assert!(!line.contains('\n'), "frames are single lines: {line}");
+            assert_eq!(Response::decode(&line).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_described() {
+        for (line, needle) in [
+            ("nonsense", "malformed"),
+            ("{}", "`op`"),
+            (r#"{"op": "run"}"#, "`scenario`"),
+            (r#"{"op": "sweep", "sweep": "x", "threads": -1}"#, "threads"),
+            (r#"{"op": "teleport"}"#, "unknown op"),
+        ] {
+            let error = Request::decode(line).unwrap_err();
+            assert!(error.contains(needle), "{line}: {error}");
+        }
+    }
+}

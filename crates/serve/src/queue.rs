@@ -1,0 +1,172 @@
+//! A bounded MPMC job queue with explicit backpressure.
+//!
+//! The daemon's admission control: producers (connection handlers) use the
+//! non-blocking [`BoundedQueue::try_push`] and translate [`PushError::Full`]
+//! into a `busy` response instead of queueing unboundedly or blocking the
+//! client; consumers (the worker pool) block on [`BoundedQueue::pop`].
+//! After [`BoundedQueue::close`], pushes fail with [`PushError::Closed`]
+//! and poppers drain the remaining items before receiving `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — backpressure, try again later.
+    Full,
+    /// The queue was closed — the server is shutting down.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer FIFO queue.
+///
+/// A capacity of `0` is legal and makes every push report [`PushError::Full`]
+/// — a server configured that way answers `busy` to every job, which the
+/// tests use to pin down the backpressure path deterministically.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items currently queued (racy by nature; for observability).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// `true` if nothing is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `item` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] after [`BoundedQueue::close`],
+    /// [`PushError::Full`] when at capacity (the item is dropped in both
+    /// cases — the caller still owns whatever reply channel it created).
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(item);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty and open.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: wakes all blocked poppers, fails all later pushes.
+    /// Items already queued are still handed out.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn rejects_pushes_beyond_capacity() {
+        let queue = BoundedQueue::new(2);
+        assert_eq!(queue.try_push(1), Ok(()));
+        assert_eq!(queue.try_push(2), Ok(()));
+        assert_eq!(queue.try_push(3), Err(PushError::Full));
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.try_push(3), Ok(()), "popping frees a slot");
+    }
+
+    #[test]
+    fn zero_capacity_is_always_full() {
+        let queue = BoundedQueue::new(0);
+        assert_eq!(queue.try_push(1), Err(PushError::Full));
+        assert!(queue.is_empty());
+        assert_eq!(queue.capacity(), 0);
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let queue = BoundedQueue::new(4);
+        queue.try_push(1).unwrap();
+        queue.try_push(2).unwrap();
+        queue.close();
+        assert_eq!(queue.try_push(3), Err(PushError::Closed));
+        assert_eq!(queue.pop(), Some(1), "queued items survive the close");
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let queue = BoundedQueue::<u32>::new(1);
+        std::thread::scope(|scope| {
+            let popper = scope.spawn(|| queue.pop());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            queue.close();
+            assert_eq!(popper.join().unwrap(), None);
+        });
+    }
+
+    #[test]
+    fn every_item_is_consumed_exactly_once_under_contention() {
+        let queue = BoundedQueue::new(64);
+        let consumed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    while queue.pop().is_some() {
+                        consumed.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            for i in 0..64 {
+                queue.try_push(i).unwrap();
+            }
+            queue.close();
+        });
+        assert_eq!(consumed.load(Ordering::SeqCst), 64);
+    }
+}

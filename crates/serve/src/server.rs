@@ -1,0 +1,472 @@
+//! The daemon itself: TCP listener, bounded job queue, fixed worker pool.
+//!
+//! The server is generic over a [`LabBackend`] — the object that actually
+//! runs scenarios, sweeps and analyses (in this repo: `dbt-lab`'s
+//! `LabDaemon`, which owns the process-wide `TranslationService` and the
+//! content-addressed `RunMemo`). Keeping the backend abstract keeps this
+//! crate `std`-only and lets the tests drive the concurrency machinery
+//! with a controllable mock.
+//!
+//! Request flow:
+//!
+//! 1. the acceptor thread hands each connection to a detached handler
+//!    thread that reads newline-delimited request frames;
+//! 2. cheap requests (`stats`, `health`, `shutdown`) are answered inline;
+//! 3. heavy requests (`run`, `sweep`, `analyze`) are pushed onto the
+//!    bounded [`BoundedQueue`]; a full queue answers `busy` immediately —
+//!    explicit backpressure instead of unbounded buffering;
+//! 4. the fixed pool of worker threads pops jobs, executes them on the
+//!    backend, and sends the result back to the waiting handler, which
+//!    writes the response frame.
+//!
+//! Shutdown (`shutdown` request or [`ServerHandle::shutdown`]) closes the
+//! queue — workers drain what was admitted, later pushes answer an error
+//! — and wakes the acceptor, so [`ServerHandle::wait`] returns once all
+//! admitted work is done.
+
+use crate::protocol::{Request, Response};
+use crate::queue::{BoundedQueue, PushError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// What the daemon delegates actual lab work to.
+///
+/// Implementations must be thread-safe: the worker pool calls these
+/// concurrently. Every method returns the *payload* of an `ok` response —
+/// for the three heavy operations that is expected to be the lab's
+/// byte-stable report JSON, so a daemon answer is byte-identical to what a
+/// local CLI invocation would have printed.
+pub trait LabBackend: Send + Sync {
+    /// Runs one scenario by full name, returning the report JSON.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for the `error` response frame.
+    fn run_scenario(&self, scenario: &str) -> Result<String, String>;
+
+    /// Runs one registered sweep (`threads == 0` = backend default),
+    /// returning the report JSON.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for the `error` response frame.
+    fn sweep(&self, name: &str, threads: usize) -> Result<String, String>;
+
+    /// Analyzes one program, returning the verdict report JSON.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for the `error` response frame.
+    fn analyze(&self, program: &str) -> Result<String, String>;
+
+    /// Single-line JSON object with the backend's cache/service counters
+    /// (embedded verbatim in the `stats` response body).
+    fn stats_json(&self) -> String;
+}
+
+/// Daemon sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Fixed number of worker threads executing heavy requests.
+    pub workers: usize,
+    /// Bound of the job queue; `0` makes every heavy request answer
+    /// `busy` (useful to exercise the backpressure path).
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    /// Two workers over a 16-deep queue: enough concurrency to overlap a
+    /// sweep with single-scenario queries without oversubscribing the
+    /// sweep executor's own threads.
+    fn default() -> ServerConfig {
+        ServerConfig { workers: 2, queue_depth: 16 }
+    }
+}
+
+/// One admitted job: the parsed request plus the channel its connection
+/// handler is waiting on.
+struct Job {
+    request: Request,
+    reply: mpsc::Sender<Result<String, String>>,
+}
+
+struct Shared {
+    backend: Arc<dyn LabBackend>,
+    queue: BoundedQueue<Job>,
+    config: ServerConfig,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    completed: AtomicU64,
+    busy_rejections: AtomicU64,
+}
+
+impl Shared {
+    /// Parses and answers one request line. Returns the response frame and
+    /// whether the server must begin shutting down after sending it.
+    fn respond(&self, line: &str) -> (Response, bool) {
+        self.requests.fetch_add(1, Ordering::SeqCst);
+        let request = match Request::decode(line) {
+            Ok(request) => request,
+            Err(error) => return (Response::Error { op: "invalid".to_string(), error }, false),
+        };
+        let op = request.op().to_string();
+        match request {
+            Request::Health => {
+                let body = format!(
+                    "{{\"workers\": {}, \"queue_depth\": {}, \"queued\": {}}}",
+                    self.config.workers,
+                    self.config.queue_depth,
+                    self.queue.len()
+                );
+                (Response::Ok { op, body }, false)
+            }
+            Request::Stats => {
+                let body = format!(
+                    "{{\"server\": {{\"requests\": {}, \"completed\": {}, \
+                     \"busy_rejections\": {}}}, \"lab\": {}}}",
+                    self.requests.load(Ordering::SeqCst),
+                    self.completed.load(Ordering::SeqCst),
+                    self.busy_rejections.load(Ordering::SeqCst),
+                    self.backend.stats_json()
+                );
+                (Response::Ok { op, body }, false)
+            }
+            Request::Shutdown => {
+                (Response::Ok { op, body: "{\"stopping\": true}".to_string() }, true)
+            }
+            request => {
+                let (reply, result) = mpsc::channel();
+                match self.queue.try_push(Job { request, reply }) {
+                    Ok(()) => match result.recv() {
+                        Ok(Ok(body)) => (Response::Ok { op, body }, false),
+                        Ok(Err(error)) => (Response::Error { op, error }, false),
+                        Err(_) => (
+                            Response::Error {
+                                op,
+                                error: "worker dropped the job (server shutting down)".to_string(),
+                            },
+                            false,
+                        ),
+                    },
+                    Err(PushError::Full) => {
+                        self.busy_rejections.fetch_add(1, Ordering::SeqCst);
+                        (Response::Busy { op }, false)
+                    }
+                    Err(PushError::Closed) => (
+                        Response::Error { op, error: "server is shutting down".to_string() },
+                        false,
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Idempotently starts the shutdown: closes the queue (workers drain
+    /// admitted jobs and exit) and pokes the acceptor awake.
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            self.queue.close();
+            // The acceptor blocks in `accept`; a throwaway connection to
+            // ourselves unblocks it so it can observe the flag and exit.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// Handle on a running daemon: address, counters, shutdown, join.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the daemon actually bound (resolves port `0` requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Number of jobs currently queued (racy by nature; for observability
+    /// and tests).
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Asks the daemon to stop, without waiting. Equivalent to a client
+    /// sending a `shutdown` request.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the daemon has stopped (acceptor and workers joined).
+    /// Connections still open at that point are served their remaining
+    /// cheap requests; heavy requests answer an error.
+    pub fn wait(self) {
+        let _ = self.acceptor.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn execute(backend: &dyn LabBackend, request: &Request) -> Result<String, String> {
+    match request {
+        Request::Run { scenario } => backend.run_scenario(scenario),
+        Request::Sweep { name, threads } => backend.sweep(name, *threads),
+        Request::Analyze { program } => backend.analyze(program),
+        // Cheap requests never reach the queue.
+        Request::Stats | Request::Health | Request::Shutdown => {
+            Err("internal: cheap request on the worker pool".to_string())
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut writer = write_half;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop) = shared.respond(&line);
+        if writeln!(writer, "{}", response.encode()).and_then(|()| writer.flush()).is_err() {
+            return;
+        }
+        if stop {
+            shared.begin_shutdown();
+            return;
+        }
+    }
+}
+
+/// Starts the daemon on `addr` (use port `0` for an ephemeral port; the
+/// bound address is available via [`ServerHandle::addr`]).
+///
+/// # Errors
+///
+/// Propagates the I/O error if the listener cannot bind.
+///
+/// ```
+/// use dbt_serve::{serve, Client, LabBackend, Request, Response, ServerConfig};
+/// use std::sync::Arc;
+///
+/// struct Echo;
+/// impl LabBackend for Echo {
+///     fn run_scenario(&self, scenario: &str) -> Result<String, String> {
+///         Ok(format!("ran {scenario}\n"))
+///     }
+///     fn sweep(&self, name: &str, _threads: usize) -> Result<String, String> {
+///         Ok(format!("swept {name}\n"))
+///     }
+///     fn analyze(&self, program: &str) -> Result<String, String> {
+///         Err(format!("unknown program `{program}`"))
+///     }
+///     fn stats_json(&self) -> String {
+///         "{}".to_string()
+///     }
+/// }
+///
+/// let handle = serve("127.0.0.1:0", Arc::new(Echo), ServerConfig::default()).unwrap();
+/// let mut client = Client::connect(handle.addr()).unwrap();
+/// let reply = client.request(&Request::Run { scenario: "x".to_string() }).unwrap();
+/// assert_eq!(reply, Response::Ok { op: "run".to_string(), body: "ran x\n".to_string() });
+/// client.request(&Request::Shutdown).unwrap();
+/// handle.wait();
+/// ```
+pub fn serve<A: ToSocketAddrs>(
+    addr: A,
+    backend: Arc<dyn LabBackend>,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    // The pool never runs empty: clamp here so both the spawn loop and the
+    // `health` response describe the same daemon.
+    let config = ServerConfig { workers: config.workers.max(1), ..config };
+    let shared = Arc::new(Shared {
+        backend,
+        queue: BoundedQueue::new(config.queue_depth),
+        config,
+        addr: listener.local_addr()?,
+        shutdown: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        completed: AtomicU64::new(0),
+        busy_rejections: AtomicU64::new(0),
+    });
+
+    let workers = (0..config.workers)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                while let Some(job) = shared.queue.pop() {
+                    let result = execute(&*shared.backend, &job.request);
+                    // A handler that gave up (client disconnected) is fine.
+                    let _ = job.reply.send(result);
+                    shared.completed.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        })
+        .collect();
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || loop {
+            // Check the flag on *every* iteration — including accept
+            // errors — so a failed or aborted wake-up connection (fd
+            // exhaustion, ECONNABORTED on the immediately-dropped socket)
+            // cannot leave the acceptor blocked forever, and persistent
+            // accept errors cannot busy-spin past a shutdown.
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(_) => {
+                    // Back off instead of spinning on persistent errors
+                    // (e.g. EMFILE while handlers hold every fd).
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                }
+            };
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || handle_connection(stream, &shared));
+        })
+    };
+
+    Ok(ServerHandle { shared, acceptor, workers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use std::sync::Mutex;
+
+    /// A backend whose `run_scenario` blocks until the test releases it,
+    /// so queue occupancy is fully under test control.
+    struct BlockingBackend {
+        started: mpsc::Sender<()>,
+        release: Mutex<mpsc::Receiver<()>>,
+    }
+
+    impl LabBackend for BlockingBackend {
+        fn run_scenario(&self, scenario: &str) -> Result<String, String> {
+            self.started.send(()).expect("test alive");
+            self.release.lock().expect("lock").recv().expect("release signal");
+            Ok(format!("done {scenario}"))
+        }
+        fn sweep(&self, name: &str, threads: usize) -> Result<String, String> {
+            Ok(format!("sweep {name} on {threads}"))
+        }
+        fn analyze(&self, program: &str) -> Result<String, String> {
+            Ok(format!("analyze {program}"))
+        }
+        fn stats_json(&self) -> String {
+            "{\"mock\": true}".to_string()
+        }
+    }
+
+    fn run_request(name: &str) -> Request {
+        Request::Run { scenario: name.to_string() }
+    }
+
+    #[test]
+    fn full_queue_answers_busy_not_hang() {
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel();
+        let backend = BlockingBackend { started: started_tx, release: Mutex::new(release_rx) };
+        let handle =
+            serve("127.0.0.1:0", Arc::new(backend), ServerConfig { workers: 1, queue_depth: 1 })
+                .unwrap();
+        let addr = handle.addr();
+
+        // Job A occupies the single worker (we *know* it was popped once
+        // the backend signals `started`).
+        let a = std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            client.request(&run_request("a")).unwrap()
+        });
+        started_rx.recv().expect("job a must reach the backend");
+
+        // Job B fills the single queue slot; wait until it is visibly
+        // queued before provoking the rejection.
+        let b = std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            client.request(&run_request("b")).unwrap()
+        });
+        while handle.queue_len() < 1 {
+            std::thread::yield_now();
+        }
+
+        // Job C must bounce immediately: the queue is full.
+        let mut client = Client::connect(addr).unwrap();
+        let c = client.request(&run_request("c")).unwrap();
+        assert_eq!(c, Response::Busy { op: "run".to_string() });
+
+        // Cheap requests are not subject to backpressure.
+        let health = client.request(&Request::Health).unwrap();
+        let Response::Ok { body, .. } = health else { panic!("health must answer ok") };
+        assert!(body.contains("\"queued\": 1"), "{body}");
+
+        // Release A and B; both complete normally.
+        release_tx.send(()).unwrap();
+        release_tx.send(()).unwrap();
+        assert_eq!(
+            a.join().unwrap(),
+            Response::Ok { op: "run".to_string(), body: "done a".to_string() }
+        );
+        assert_eq!(
+            b.join().unwrap(),
+            Response::Ok { op: "run".to_string(), body: "done b".to_string() }
+        );
+
+        let stats = client.request(&Request::Stats).unwrap();
+        let Response::Ok { body, .. } = stats else { panic!("stats must answer ok") };
+        assert!(body.contains("\"busy_rejections\": 1"), "{body}");
+        assert!(body.contains("\"mock\": true"), "backend stats embedded: {body}");
+
+        client.request(&Request::Shutdown).unwrap();
+        handle.wait();
+    }
+
+    #[test]
+    fn zero_depth_queue_bounces_every_heavy_request() {
+        let (started_tx, _started_rx) = mpsc::channel();
+        let (_release_tx, release_rx) = mpsc::channel();
+        let backend = BlockingBackend { started: started_tx, release: Mutex::new(release_rx) };
+        let handle =
+            serve("127.0.0.1:0", Arc::new(backend), ServerConfig { workers: 1, queue_depth: 0 })
+                .unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        for _ in 0..3 {
+            let reply = client.request(&run_request("x")).unwrap();
+            assert_eq!(reply, Response::Busy { op: "run".to_string() });
+        }
+        handle.shutdown();
+        handle.wait();
+    }
+
+    #[test]
+    fn invalid_lines_answer_an_error_frame() {
+        let (started_tx, _started_rx) = mpsc::channel();
+        let (_release_tx, release_rx) = mpsc::channel();
+        let backend = BlockingBackend { started: started_tx, release: Mutex::new(release_rx) };
+        let handle = serve("127.0.0.1:0", Arc::new(backend), ServerConfig::default()).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let reply = client.raw_request("this is not json").unwrap();
+        assert!(matches!(&reply, Response::Error { op, .. } if op == "invalid"), "{reply:?}");
+        // The connection survives a bad frame.
+        let reply = client.request(&Request::Health).unwrap();
+        assert!(matches!(reply, Response::Ok { .. }));
+        handle.shutdown();
+        handle.wait();
+    }
+}

@@ -31,7 +31,7 @@ use dbt_riscv::Reg;
 use std::fmt;
 
 /// Configuration of the VLIW core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CoreConfig {
     /// Maximum operations per bundle (checked when executing).
     pub issue_width: usize,
