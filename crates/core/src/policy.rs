@@ -62,6 +62,13 @@ impl MitigationPolicy {
     pub fn is_protective(self) -> bool {
         !matches!(self, MitigationPolicy::Unprotected)
     }
+
+    /// Parses a [`MitigationPolicy::label`] back into the policy — the
+    /// inverse used wherever policies arrive as data (CLI flags, daemon
+    /// requests).
+    pub fn from_label(label: &str) -> Option<MitigationPolicy> {
+        MitigationPolicy::ALL.into_iter().find(|p| p.label() == label)
+    }
 }
 
 impl fmt::Display for MitigationPolicy {
@@ -93,5 +100,13 @@ mod tests {
     #[test]
     fn display_matches_label() {
         assert_eq!(MitigationPolicy::FineGrained.to_string(), "our-approach");
+    }
+
+    #[test]
+    fn from_label_inverts_label() {
+        for policy in MitigationPolicy::ALL {
+            assert_eq!(MitigationPolicy::from_label(policy.label()), Some(policy));
+        }
+        assert_eq!(MitigationPolicy::from_label("nonsense"), None);
     }
 }

@@ -75,10 +75,23 @@ fn suite_name(name: &str) -> Result<&'static str, String> {
 /// Returns a message if the program cannot be built or the run faults.
 pub fn analyze_program(label: &str, size: WorkloadSize) -> Result<AnalyzeReport, String> {
     let spec = resolve_program(label, size)?;
-    let program = spec.build()?;
+    analyze_built(label, &spec.build()?)
+}
+
+/// [`analyze_program`] for an already-built program — the entry point for
+/// ad-hoc programs (uploaded over the daemon protocol or read from a `.s`
+/// or image file), which exist outside the registry namespace. `label` is
+/// only the report's display name; the analysis depends on nothing but
+/// the program bytes, so equal programs produce byte-identical reports
+/// whatever they are called from.
+///
+/// # Errors
+///
+/// Returns a message if the run faults.
+pub fn analyze_built(label: &str, program: &dbt_riscv::Program) -> Result<AnalyzeReport, String> {
     let config = PlatformConfig::for_policy(MitigationPolicy::Unprotected);
     let mut session =
-        Session::builder().program(&program).config(config).build().map_err(|e| e.to_string())?;
+        Session::builder().program(program).config(config).build().map_err(|e| e.to_string())?;
     session.run().map_err(|e| e.to_string())?;
 
     let engine = session.engine();

@@ -9,9 +9,15 @@
 //! cargo run --release -p dbt-lab -- analyze histogram    # taint verdicts
 //! cargo run --release -p dbt-lab -- analyze spectre-v1 --dot | dot -Tsvg
 //!
+//! # Ad-hoc guest programs from files (text assembly or image JSON):
+//! cargo run --release -p dbt-lab -- run-file examples/spectre_v1_gadget.s --policy fence
+//! cargo run --release -p dbt-lab -- analyze examples/spectre_v1_gadget.s
+//!
 //! # The daemon (see docs/PROTOCOL.md for the wire protocol):
 //! cargo run --release -p dbt-lab -- serve --addr 127.0.0.1:4075 &
 //! cargo run --release -p dbt-lab -- submit sweep figure4 --addr 127.0.0.1:4075
+//! cargo run --release -p dbt-lab -- submit upload examples/spectre_v1_gadget.s --addr 127.0.0.1:4075
+//! cargo run --release -p dbt-lab -- submit analyze fp:0123456789abcdef --addr 127.0.0.1:4075
 //! cargo run --release -p dbt-lab -- submit stats --addr 127.0.0.1:4075
 //! cargo run --release -p dbt-lab -- submit shutdown --addr 127.0.0.1:4075
 //!
@@ -24,12 +30,16 @@
 //! across PRs) next to the human tables on stdout.
 
 use dbt_lab::{
-    analyze_program, format_attack_table, format_table, format_variant_table, run_sweep,
-    run_sweep_with, strip_stats, ExecOptions, LabDaemon, Registry, ScenarioKind,
-    TranslationService,
+    adhoc_scenario, analyze_built, analyze_program, format_attack_table, format_table,
+    format_variant_table, run_sweep, run_sweep_with, strip_stats, ExecOptions, LabDaemon,
+    ProgramSpec, Registry, ScenarioKind, SourceKind, TranslationService,
 };
-use dbt_serve::{Client, JsonValue, LoadOptions, Request, Response, ServerConfig};
+use dbt_serve::{
+    Client, JsonValue, LoadOptions, ProgramSource, Request, Response, ServerConfig,
+    DEFAULT_RUN_POLICY,
+};
 use dbt_workloads::WorkloadSize;
+use ghostbusters::MitigationPolicy;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -47,6 +57,7 @@ struct Args {
     queue_depth: usize,
     clients: usize,
     iterations: usize,
+    policy: String,
 }
 
 /// Default daemon address when `--addr` is not given.
@@ -58,20 +69,27 @@ fn usage() -> &'static str {
      commands:\n\
      \x20 list                     list declared sweeps and their scenarios\n\
      \x20 run <scenario>           run one scenario by full name\n\
+     \x20 run-file <path>          run an ad-hoc guest program from a .s\n\
+     \x20                          assembly or .json program-image file\n\
+     \x20                          under --policy\n\
      \x20 sweep [name ...]         run the named sweeps (default: all)\n\
-     \x20 analyze <program>        per-block speculative-taint verdicts\n\
-     \x20                          (a workload name, ptr-matmul, spectre-v1\n\
-     \x20                          or spectre-v4)\n\
+     \x20 analyze <program|path>   per-block speculative-taint verdicts\n\
+     \x20                          (a workload name, ptr-matmul, spectre-v1,\n\
+     \x20                          spectre-v4, or a .s/.json file path)\n\
      \x20 serve                    run the lab daemon (NDJSON over TCP)\n\
      \x20 submit <op> [arg]        send one request to a running daemon\n\
-     \x20                          (run <scenario> | sweep <name> |\n\
-     \x20                           analyze <program> | stats | health |\n\
-     \x20                           shutdown) and print the response body\n\
+     \x20                          (run <scenario|ref> | sweep <name> |\n\
+     \x20                           analyze <program|ref> | upload <path> |\n\
+     \x20                           stats | health | shutdown) and print\n\
+     \x20                          the response body; refs are registry:<name>\n\
+     \x20                          or fp:<hex> from a previous upload\n\
      \x20 loadgen                  drive N concurrent clients against a\n\
      \x20                          daemon and emit BENCH_serve-throughput\n\
      \n\
      options:\n\
      \x20 --size mini|small        problem-size preset (default: mini)\n\
+     \x20 --policy LABEL           run-file / submit run <ref>: mitigation\n\
+     \x20                          policy (default: selective)\n\
      \x20 --threads N              worker threads (default: one per CPU)\n\
      \x20 --json-dir DIR           write BENCH_<sweep>.json files to DIR\n\
      \x20 --json                   analyze: stable machine-readable output\n\
@@ -100,6 +118,7 @@ fn parse(args: &[String]) -> Result<Args, String> {
         queue_depth: 16,
         clients: 4,
         iterations: 8,
+        policy: DEFAULT_RUN_POLICY.to_string(),
     };
     let mut it = args[1..].iter();
     let number = |flag: &str, it: &mut std::slice::Iter<String>| {
@@ -128,6 +147,10 @@ fn parse(args: &[String]) -> Result<Args, String> {
             "--addr" => {
                 parsed.addr =
                     Some(it.next().ok_or_else(|| "--addr expects host:port".to_string())?.clone());
+            }
+            "--policy" => {
+                parsed.policy =
+                    it.next().ok_or_else(|| "--policy expects a policy label".to_string())?.clone();
             }
             "--quiet" => parsed.quiet = true,
             "--json" => parsed.json = true,
@@ -231,12 +254,66 @@ fn cmd_sweep(registry: &Registry, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Reads an ad-hoc program source file: `.s` is text assembly, `.json` a
+/// program image; anything else is sniffed (a leading `{` means image).
+/// Returns the file stem (the report label), the source kind and the text.
+fn load_source(path: &str) -> Result<(String, SourceKind, String), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let kind = if path.ends_with(".json") {
+        SourceKind::Image
+    } else if path.ends_with(".s") {
+        SourceKind::Asm
+    } else if text.trim_start().starts_with('{') {
+        SourceKind::Image
+    } else {
+        SourceKind::Asm
+    };
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("program")
+        .to_string();
+    Ok((stem, kind, text))
+}
+
+/// `true` when an `analyze` argument names a source file rather than a
+/// registry program. Only the explicit `.s`/`.json` suffixes route to the
+/// filesystem — a stray local file must never shadow a registry name.
+fn looks_like_path(arg: &str) -> bool {
+    arg.ends_with(".s") || arg.ends_with(".json")
+}
+
+fn cmd_run_file(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| "run-file expects a path (e.g. `lab run-file gadget.s`)".to_string())?;
+    let policy = MitigationPolicy::from_label(&args.policy)
+        .ok_or_else(|| format!("unknown policy `{}` (see the sweep tables)", args.policy))?;
+    let (label, kind, text) = load_source(path)?;
+    // Build once up front so parse errors carry the source diagnostics
+    // instead of surfacing as a failed job row.
+    let spec = ProgramSpec::Source { label: label.clone(), kind, text };
+    let program = Arc::new(spec.build()?);
+    let scenario = adhoc_scenario(&label, program, policy);
+    let opts = ExecOptions { threads: 1, verbose: !args.quiet };
+    let report = run_sweep(&scenario.name, std::slice::from_ref(&scenario), opts);
+    print!("{}", report.to_json());
+    Ok(())
+}
+
 fn cmd_analyze(args: &Args) -> Result<(), String> {
     let program = args
         .positional
         .first()
         .ok_or_else(|| "analyze expects a program name (e.g. `lab analyze gemm`)".to_string())?;
-    let report = analyze_program(program, args.size)?;
+    let report = if looks_like_path(program) {
+        let (label, kind, text) = load_source(program)?;
+        let built = ProgramSpec::Source { label: label.clone(), kind, text }.build()?;
+        analyze_built(&label, &built)?
+    } else {
+        analyze_program(program, args.size)?
+    };
     if args.json {
         print!("{}", report.to_json());
     } else if args.dot {
@@ -250,7 +327,11 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let addr = args.addr.as_deref().unwrap_or(DEFAULT_ADDR);
     let daemon = Arc::new(LabDaemon::with_threads(args.size, args.threads));
-    let config = ServerConfig { workers: args.workers, queue_depth: args.queue_depth };
+    let config = ServerConfig {
+        workers: args.workers,
+        queue_depth: args.queue_depth,
+        ..ServerConfig::default()
+    };
     let handle =
         dbt_serve::serve(addr, daemon, config).map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
     // The listening line goes to stdout so scripts can capture the bound
@@ -273,7 +354,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 
 fn cmd_submit(args: &Args) -> Result<(), String> {
     let op = args.positional.first().ok_or_else(|| {
-        "submit expects an op (run|sweep|analyze|stats|health|shutdown)".to_string()
+        "submit expects an op (run|sweep|analyze|upload|stats|health|shutdown)".to_string()
     })?;
     let arg = |what: &str| {
         args.positional
@@ -282,9 +363,26 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
             .ok_or_else(|| format!("submit {op} expects a {what} argument"))
     };
     let request = match op.as_str() {
-        "run" => Request::Run { scenario: arg("scenario name")? },
+        // A ref-shaped argument (scheme prefix) runs an ad-hoc program
+        // under --policy; anything else is a scenario name as before.
+        "run" => {
+            let target = arg("scenario name or program ref")?;
+            if target.starts_with("registry:") || target.starts_with("fp:") {
+                Request::RunProgram { program: target, policy: args.policy.clone() }
+            } else {
+                Request::Run { scenario: target }
+            }
+        }
         "sweep" => Request::Sweep { name: arg("sweep name")?, threads: args.threads },
-        "analyze" => Request::Analyze { program: arg("program name")? },
+        "analyze" => Request::Analyze { program: arg("program name or ref")? },
+        "upload" => {
+            let (_, kind, text) = load_source(&arg("source file path")?)?;
+            let source = match kind {
+                SourceKind::Asm => ProgramSource::Asm(text),
+                SourceKind::Image => ProgramSource::Image(text),
+            };
+            Request::Upload { source }
+        }
         "stats" => Request::Stats,
         "health" => Request::Health,
         "shutdown" => Request::Shutdown,
@@ -339,7 +437,11 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
         Some(_) => None,
         None => {
             let daemon = Arc::new(LabDaemon::with_threads(args.size, args.threads));
-            let config = ServerConfig { workers: args.workers, queue_depth: args.queue_depth };
+            let config = ServerConfig {
+                workers: args.workers,
+                queue_depth: args.queue_depth,
+                ..ServerConfig::default()
+            };
             Some(
                 dbt_serve::serve("127.0.0.1:0", daemon, config)
                     .map_err(|e| format!("cannot start in-process daemon: {e}"))?,
@@ -468,6 +570,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         "run" => cmd_run(&registry, &args),
+        "run-file" => cmd_run_file(&args),
         "sweep" => cmd_sweep(&registry, &args),
         "analyze" => cmd_analyze(&args),
         "serve" => cmd_serve(&args),

@@ -1,7 +1,7 @@
 //! The lab's [`LabBackend`] implementation: what `lab serve` actually runs.
 //!
-//! One [`LabDaemon`] owns the two process-wide cache levels every request
-//! amortizes:
+//! One [`LabDaemon`] owns the three process-wide, content-addressed layers
+//! every request amortizes:
 //!
 //! * a single shared [`TranslationService`] — every session of every
 //!   request resolves its compiles through one memo, so a client fleet
@@ -9,21 +9,32 @@
 //!   per request;
 //! * a single content-addressed [`RunMemo`] — whole run summaries keyed by
 //!   `(program fingerprint, platform-config fingerprint)`, so a repeated
-//!   identical scenario skips the simulation entirely.
+//!   identical scenario skips the simulation entirely;
+//! * a single [`ProgramStore`] — the daemon's program namespace. Every
+//!   analyzable registry program is registered at construction and seeded
+//!   lazily; `upload` requests intern ad-hoc programs under their content
+//!   fingerprint (identical submissions deduplicate), and the `program`
+//!   members of `run`/`analyze` requests resolve through the
+//!   [`ProgramRef`] grammar (`registry:<name>`, bare names, `fp:<hex>`).
 //!
 //! Responses reuse the lab's byte-stable emitters verbatim: the body of a
 //! daemon answer for a *cold* cache is byte-identical — including the
 //! `stats` block — to what the `lab` CLI prints locally, and stays
 //! byte-identical in all cycle data once the caches are warm (only the
 //! warmth-dependent counters in `stats` shrink; [`strip_stats`] cuts the
-//! report at that block for comparisons).
+//! report at that block for comparisons). The same contract extends to
+//! ad-hoc programs: an uploaded program runs and analyzes byte-identically
+//! to the equal program built in-process.
 
-use crate::analyze::analyze_program;
+use crate::analyze::{analyze_built, resolve_program};
 use crate::exec::{run_sweep_memo, ExecOptions};
 use crate::registry::Registry;
-use dbt_platform::{RunMemo, TranslationService};
-use dbt_serve::LabBackend;
+use crate::scenario::{PlatformVariant, ProgramSpec, Scenario, ScenarioKind};
+use dbt_platform::{ProgramRef, ProgramStore, RunMemo, TranslationService};
+use dbt_riscv::Program;
+use dbt_serve::{LabBackend, ProgramSource};
 use dbt_workloads::WorkloadSize;
+use ghostbusters::MitigationPolicy;
 use std::sync::Arc;
 
 /// Cuts a lab report JSON at its `stats` block.
@@ -45,10 +56,10 @@ pub fn strip_stats(report_json: &str) -> String {
 #[derive(Debug)]
 pub struct LabDaemon {
     registry: Registry,
-    size: WorkloadSize,
     default_threads: usize,
     service: Arc<TranslationService>,
     memo: Arc<RunMemo>,
+    store: Arc<ProgramStore>,
 }
 
 impl LabDaemon {
@@ -62,12 +73,20 @@ impl LabDaemon {
     /// threads (`0` = one per CPU); a request's `threads` member overrides
     /// it per sweep.
     pub fn with_threads(size: WorkloadSize, default_threads: usize) -> LabDaemon {
+        let store = ProgramStore::new();
+        // Every analyzable program label becomes a lazily-seeded registry
+        // entry of the store, so `registry:<name>` refs (and bare names)
+        // resolve without building anything until first use.
+        for label in analyzable_labels() {
+            let spec = resolve_program(label, size).expect("registry labels resolve");
+            store.register(label, move || spec.build());
+        }
         LabDaemon {
             registry: Registry::standard(size),
-            size,
             default_threads,
             service: TranslationService::new(),
             memo: RunMemo::new(),
+            store,
         }
     }
 
@@ -81,12 +100,31 @@ impl LabDaemon {
         &self.memo
     }
 
+    /// The content-addressed program store all requests share.
+    pub fn store(&self) -> &Arc<ProgramStore> {
+        &self.store
+    }
+
     fn exec_opts(&self, threads: usize) -> ExecOptions {
         ExecOptions {
             threads: if threads == 0 { self.default_threads } else { threads },
             verbose: false,
         }
     }
+
+    /// Parses `text` as a program ref and resolves it through the store.
+    /// Returns the report label alongside the program.
+    fn resolve_ref(&self, text: &str) -> Result<(String, Arc<Program>), String> {
+        let program_ref = ProgramRef::parse(text)?;
+        let program = self.store.resolve(&program_ref)?;
+        Ok((program_ref.label(), program))
+    }
+}
+
+/// The labels the daemon registers in its program store: the whole
+/// analyzable namespace (suite kernels, `ptr-matmul`, both attacks).
+fn analyzable_labels() -> impl Iterator<Item = &'static str> {
+    dbt_workloads::SUITE_NAMES.iter().copied().chain(["ptr-matmul", "spectre-v1", "spectre-v4"])
 }
 
 impl LabBackend for LabDaemon {
@@ -118,7 +156,41 @@ impl LabBackend for LabDaemon {
     }
 
     fn analyze(&self, program: &str) -> Result<String, String> {
-        analyze_program(program, self.size).map(|report| report.to_json())
+        let (label, program) = self.resolve_ref(program)?;
+        analyze_built(&label, &program).map(|report| report.to_json())
+    }
+
+    fn upload(&self, source: &ProgramSource) -> Result<String, String> {
+        let program = match source {
+            ProgramSource::Asm(text) => dbt_riscv::parse_asm(text).map_err(|e| e.to_string())?,
+            ProgramSource::Image(text) => Program::from_image(text).map_err(|e| e.to_string())?,
+        };
+        let (fingerprint, dedup) = self.store.upload(program);
+        Ok(format!(
+            "{{\"fingerprint\": \"fp:{fingerprint:016x}\", \"dedup\": {dedup}, \
+             \"programs\": {}}}",
+            self.store.stats().programs
+        ))
+    }
+
+    fn run_program(&self, program: &str, policy: &str) -> Result<String, String> {
+        let policy = MitigationPolicy::from_label(policy).ok_or_else(|| {
+            format!(
+                "unknown policy `{policy}` (expected one of: {})",
+                MitigationPolicy::ALL.map(|p| p.label()).join(", ")
+            )
+        })?;
+        let (label, program) = self.resolve_ref(program)?;
+        let scenario = adhoc_scenario(&label, program, policy);
+        let name = scenario.name.clone();
+        let report = run_sweep_memo(
+            &name,
+            std::slice::from_ref(&scenario),
+            ExecOptions { threads: 1, verbose: false },
+            &self.service,
+            Some(&self.memo),
+        );
+        Ok(report.to_json())
     }
 
     fn stats_json(&self) -> String {
@@ -126,19 +198,37 @@ impl LabBackend for LabDaemon {
         let service = self.service.stats();
         format!(
             "{{\"run_memo\": {}, \"translation\": {{\"hits\": {}, \"misses\": {}, \
-             \"programs\": {}, \"evictions\": {}}}}}",
+             \"programs\": {}, \"evictions\": {}}}, \"store\": {}}}",
             memo.to_json(),
             service.hits,
             service.misses,
             service.programs,
-            service.evictions
+            service.evictions,
+            self.store.stats().to_json()
         )
+    }
+}
+
+/// The one-scenario job an ad-hoc `run` request expands to: the resolved
+/// program under `policy` on the default platform, measured as a perf row
+/// (cycles and slowdown against the unprotected baseline). The scenario
+/// name follows the registry convention with the reserved `adhoc` sweep
+/// prefix.
+pub fn adhoc_scenario(label: &str, program: Arc<Program>, policy: MitigationPolicy) -> Scenario {
+    Scenario {
+        name: format!("adhoc/{label}/{}/default", policy.label()),
+        program_label: label.to_string(),
+        program: ProgramSpec::Stored { label: label.to_string(), program },
+        policy,
+        platform: PlatformVariant::default_platform(),
+        kind: ScenarioKind::Perf,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::analyze::analyze_program;
     use crate::exec::run_sweep;
 
     #[test]
@@ -189,6 +279,9 @@ mod tests {
         assert!(daemon.run_scenario("no/such/scenario").is_err());
         assert!(daemon.sweep("no-such-sweep", 0).is_err());
         assert!(daemon.analyze("no-such-program").is_err());
+        assert!(daemon.analyze("fp:0000000000000000").is_err());
+        assert!(daemon.run_program("gemm", "no-such-policy").is_err());
+        assert!(daemon.run_program("scheme:odd", "selective").is_err());
     }
 
     #[test]
@@ -196,8 +289,65 @@ mod tests {
         let daemon = LabDaemon::new(WorkloadSize::Mini);
         let stats = daemon.stats_json();
         assert!(!stats.contains('\n'));
-        assert!(stats.contains("\"run_memo\": {\"hits\": 0, \"misses\": 0, \"entries\": 0}"));
+        assert!(stats.contains(
+            "\"run_memo\": {\"hits\": 0, \"misses\": 0, \"entries\": 0, \"evictions\": 0}"
+        ));
         assert!(stats.contains("\"translation\""));
+        assert!(stats.contains("\"store\": {\"programs\": 0"), "{stats}");
+    }
+
+    #[test]
+    fn uploads_intern_and_deduplicate_by_content() {
+        let daemon = LabDaemon::new(WorkloadSize::Mini);
+        let source = ProgramSource::Asm("li a0, 1\necall\n".to_string());
+        let first = daemon.upload(&source).unwrap();
+        assert!(first.contains("\"dedup\": false"), "{first}");
+        assert!(first.contains("\"fingerprint\": \"fp:"), "{first}");
+        let second = daemon.upload(&source).unwrap();
+        assert!(second.contains("\"dedup\": true"), "{second}");
+        assert_eq!(daemon.store().stats().programs, 1, "one entry for identical content");
+        assert!(daemon.upload(&ProgramSource::Asm("frobnicate".to_string())).is_err());
+        assert!(daemon.upload(&ProgramSource::Image("{}".to_string())).is_err());
+    }
+
+    #[test]
+    fn uploaded_programs_run_and_analyze_by_fingerprint() {
+        let daemon = LabDaemon::with_threads(WorkloadSize::Mini, 1);
+        let source = "\
+            .word table, 5, 6\n\
+            la t0, table\n\
+            ld a0, 0(t0)\n\
+            ld a1, 8(t0)\n\
+            mul a2, a0, a1\n\
+            ecall\n";
+        let body = daemon.upload(&ProgramSource::Asm(source.to_string())).unwrap();
+        let fp = body
+            .split("\"fp:")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .expect("fingerprint in upload body");
+        let fp = format!("fp:{fp}");
+
+        let report = daemon.run_program(&fp, "selective").unwrap();
+        assert!(report.contains(&format!("\"scenario\": \"adhoc/{fp}/selective/default\"")));
+        assert!(report.contains("\"status\": \"ok\""), "{report}");
+        let again = daemon.run_program(&fp, "selective").unwrap();
+        assert_eq!(strip_stats(&report), strip_stats(&again));
+        assert!(daemon.memo().stats().hits > 0, "the repeat must hit the run memo");
+
+        let verdicts = daemon.analyze(&fp).unwrap();
+        assert!(verdicts.contains(&format!("\"program\": \"{fp}\"")), "{verdicts}");
+    }
+
+    #[test]
+    fn registry_refs_and_bare_names_analyze_identically() {
+        let daemon = LabDaemon::new(WorkloadSize::Mini);
+        let bare = daemon.analyze("histogram").unwrap();
+        let cli = analyze_program("histogram", WorkloadSize::Mini).unwrap().to_json();
+        assert_eq!(bare, cli, "daemon bare names keep the v1 byte-identity contract");
+        let explicit = daemon.analyze("registry:histogram").unwrap();
+        assert_eq!(explicit, cli, "the explicit scheme names the same program");
+        assert_eq!(daemon.store().stats().seeded, 1, "one lazy seed for both forms");
     }
 
     #[test]

@@ -50,9 +50,11 @@ pub mod registry;
 pub mod scenario;
 pub mod table;
 
-pub use analyze::{analyze_program, AnalyzeReport, BlockAnalysis};
-pub use daemon::{strip_stats, LabDaemon};
-pub use dbt_platform::{MemoStats, RunMemo, ServiceStats, TranslationService};
+pub use analyze::{analyze_built, analyze_program, resolve_program, AnalyzeReport, BlockAnalysis};
+pub use daemon::{adhoc_scenario, strip_stats, LabDaemon};
+pub use dbt_platform::{
+    MemoStats, ProgramRef, ProgramStore, RunMemo, ServiceStats, StoreStats, TranslationService,
+};
 pub use exec::{
     run_sweep, run_sweep_memo, run_sweep_with, AttackMetrics, ExecOptions, ExecStats, JobOutcome,
     JobResult, LabReport, PerfMetrics,
@@ -60,6 +62,7 @@ pub use exec::{
 pub use registry::{Registry, Sweep, SweepProgram, DEFAULT_SECRET};
 pub use scenario::{
     AttackVariant, PlatformOverrides, PlatformVariant, ProgramSpec, Scenario, ScenarioKind,
+    SourceKind,
 };
 pub use table::{
     format_attack_table, format_table, format_variant_table, geometric_mean, measure_slowdowns,

@@ -6,6 +6,7 @@ use dbt_platform::PlatformConfig;
 use dbt_riscv::Program;
 use dbt_workloads::{pointer_matmul, suite, WorkloadSize};
 use ghostbusters::MitigationPolicy;
+use std::sync::Arc;
 
 /// What a scenario measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,11 +46,42 @@ impl AttackVariant {
     }
 }
 
+/// The textual form of an ad-hoc program source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// Text assembly ([`dbt_riscv::parse_asm`]).
+    Asm,
+    /// A program-image JSON document ([`dbt_riscv::Program::from_image`]).
+    Image,
+}
+
+impl SourceKind {
+    /// Lower-case label used in spec keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            SourceKind::Asm => "asm",
+            SourceKind::Image => "image",
+        }
+    }
+}
+
+/// Stable 64-bit content hash used in spec keys (the same in-process
+/// determinism contract as [`Program::fingerprint`]).
+fn hash64(bytes: &[u8]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    bytes.hash(&mut hasher);
+    hasher.finish()
+}
+
 /// A recipe for building one guest program.
 ///
 /// Programs are described declaratively so scenarios can be listed, named
 /// and expanded without assembling anything; the executor builds the actual
-/// [`Program`] only when the job runs.
+/// [`Program`] only when the job runs. Beyond the in-repo recipes, a spec
+/// can carry an *ad-hoc* program: one already resident in a
+/// [`ProgramStore`](dbt_platform::ProgramStore) ([`ProgramSpec::Stored`])
+/// or raw source text submitted by a client ([`ProgramSpec::Source`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProgramSpec {
     /// A kernel from the Polybench-style suite, by name.
@@ -71,6 +103,22 @@ pub enum ProgramSpec {
         /// The secret the victim holds (and the attacker tries to leak).
         secret: Vec<u8>,
     },
+    /// An already-built program (resolved from a program store).
+    Stored {
+        /// Row label (usually the program ref that named it).
+        label: String,
+        /// The program itself, shared with the store.
+        program: Arc<Program>,
+    },
+    /// Raw program source, built on demand.
+    Source {
+        /// Row label (usually the source file's stem).
+        label: String,
+        /// Whether `text` is assembly or an image document.
+        kind: SourceKind,
+        /// The source text.
+        text: String,
+    },
 }
 
 impl ProgramSpec {
@@ -80,18 +128,31 @@ impl ProgramSpec {
             ProgramSpec::Workload { name, .. } => (*name).to_string(),
             ProgramSpec::PointerMatmul { .. } => "ptr-matmul".to_string(),
             ProgramSpec::Attack { variant, .. } => variant.label().to_string(),
+            ProgramSpec::Stored { label, .. } | ProgramSpec::Source { label, .. } => label.clone(),
         }
     }
 
     /// Stable identity of the *built program* — two specs with equal keys
     /// assemble byte-identical guest programs, so baseline cycles measured
     /// for one are valid for the other.
+    ///
+    /// Content-carrying variants key on content fingerprints: the built
+    /// program's [`Program::fingerprint`] for [`ProgramSpec::Stored`], a
+    /// hash of the source text for [`ProgramSpec::Source`], and a hash of
+    /// the secret bytes for [`ProgramSpec::Attack`] (the secret is the
+    /// only input of the attack builders).
     pub fn key(&self) -> String {
         match self {
             ProgramSpec::Workload { name, size } => format!("workload:{name}@{size:?}"),
             ProgramSpec::PointerMatmul { size } => format!("ptr-matmul@{size:?}"),
             ProgramSpec::Attack { variant, secret } => {
-                format!("{}@secret-len-{}:{secret:?}", variant.label(), secret.len())
+                format!("{}@secret-fp:{:016x}", variant.label(), hash64(secret))
+            }
+            ProgramSpec::Stored { program, .. } => {
+                format!("stored:fp:{:016x}", program.fingerprint())
+            }
+            ProgramSpec::Source { kind, text, .. } => {
+                format!("source:{}:{:016x}", kind.label(), hash64(text.as_bytes()))
             }
         }
     }
@@ -108,8 +169,8 @@ impl ProgramSpec {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message if the kernel name is unknown or
-    /// assembly fails.
+    /// Returns a human-readable message if the kernel name is unknown,
+    /// assembly fails, or an ad-hoc source does not parse.
     pub fn build(&self) -> Result<Program, String> {
         match self {
             ProgramSpec::Workload { name, size } => suite(*size)
@@ -123,6 +184,11 @@ impl ProgramSpec {
                     .map_err(|e| format!("spectre-v1 does not assemble: {e}")),
                 AttackVariant::SpectreV4 => dbt_attacks::spectre_v4::build(secret)
                     .map_err(|e| format!("spectre-v4 does not assemble: {e}")),
+            },
+            ProgramSpec::Stored { program, .. } => Ok((**program).clone()),
+            ProgramSpec::Source { kind, text, .. } => match kind {
+                SourceKind::Asm => dbt_riscv::parse_asm(text).map_err(|e| e.to_string()),
+                SourceKind::Image => Program::from_image(text).map_err(|e| e.to_string()),
             },
         }
     }
@@ -255,6 +321,57 @@ mod tests {
             assert!(spec.build().is_ok(), "{} must assemble", variant.label());
             assert_eq!(spec.secret(), Some(&b"GB"[..]));
         }
+    }
+
+    #[test]
+    fn attack_keys_are_content_fingerprints_not_debug_dumps() {
+        let a = ProgramSpec::Attack { variant: AttackVariant::SpectreV1, secret: b"GB".to_vec() };
+        let b = ProgramSpec::Attack { variant: AttackVariant::SpectreV1, secret: b"GB".to_vec() };
+        let c = ProgramSpec::Attack { variant: AttackVariant::SpectreV1, secret: b"XY".to_vec() };
+        assert_eq!(a.key(), b.key(), "equal secrets, equal keys");
+        assert_ne!(a.key(), c.key(), "the secret is program content");
+        assert!(!a.key().contains('['), "no debug formatting in keys: {}", a.key());
+        assert!(a.key().contains("secret-fp:"), "{}", a.key());
+    }
+
+    #[test]
+    fn stored_and_source_specs_key_on_content() {
+        let program =
+            Arc::new(dbt_riscv::parse_asm("li a0, 9\necall\n").expect("tiny program parses"));
+        let stored =
+            ProgramSpec::Stored { label: "fp:whatever".to_string(), program: Arc::clone(&program) };
+        assert_eq!(stored.label(), "fp:whatever");
+        assert!(stored.key().contains(&format!("{:016x}", program.fingerprint())));
+        assert_eq!(stored.build().unwrap(), *program);
+        assert_eq!(stored.secret(), None);
+
+        let source = ProgramSpec::Source {
+            label: "gadget".to_string(),
+            kind: SourceKind::Asm,
+            text: "li a0, 9\necall\n".to_string(),
+        };
+        assert_eq!(source.build().unwrap(), *program, "source builds the same program");
+        let relabeled = ProgramSpec::Source {
+            label: "other-name".to_string(),
+            kind: SourceKind::Asm,
+            text: "li a0, 9\necall\n".to_string(),
+        };
+        assert_eq!(source.key(), relabeled.key(), "labels are not identity; content is");
+
+        let image = ProgramSpec::Source {
+            label: "gadget".to_string(),
+            kind: SourceKind::Image,
+            text: program.to_image(),
+        };
+        assert_eq!(image.build().unwrap(), *program);
+        assert_ne!(image.key(), source.key(), "distinct source forms, distinct keys");
+
+        let broken = ProgramSpec::Source {
+            label: "broken".to_string(),
+            kind: SourceKind::Asm,
+            text: "frobnicate a0".to_string(),
+        };
+        assert!(broken.build().is_err());
     }
 
     #[test]

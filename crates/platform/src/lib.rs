@@ -47,9 +47,11 @@ pub mod memo;
 pub mod processor;
 pub mod run;
 pub mod session;
+pub mod store;
 
 pub use dbt_engine::{ServiceStats, TranslationService};
-pub use memo::{CachedRun, MemoStats, RunKey, RunMemo};
+pub use memo::{CachedRun, MemoStats, RunKey, RunMemo, DEFAULT_MEMO_CAPACITY};
 pub use processor::{DbtProcessor, PlatformConfig, PlatformError, RunSummary};
 pub use run::PolicyComparison;
 pub use session::{Session, SessionBuilder};
+pub use store::{ProgramRef, ProgramStore, StoreStats};

@@ -70,10 +70,12 @@ pub struct MemoStats {
     /// Runs answered from the memo.
     pub hits: u64,
     /// Runs that had to simulate (equals the number of distinct keys asked
-    /// for process-wide).
+    /// for process-wide, while the working set fits the capacity bound).
     pub misses: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Entries evicted to honour the capacity bound.
+    pub evictions: u64,
 }
 
 impl MemoStats {
@@ -91,20 +93,36 @@ impl MemoStats {
     /// daemon's `stats` response.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"hits\": {}, \"misses\": {}, \"entries\": {}}}",
-            self.hits, self.misses, self.entries
+            "{{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"evictions\": {}}}",
+            self.hits, self.misses, self.entries, self.evictions
         )
     }
 }
 
-/// One memo slot: filled exactly once, shared between waiting threads.
-type Slot = Arc<OnceLock<Result<CachedRun, String>>>;
+/// One memo slot: filled exactly once, shared between waiting threads,
+/// with a last-use tick for LRU eviction.
+#[derive(Debug, Default)]
+struct MemoSlot {
+    cell: OnceLock<Result<CachedRun, String>>,
+    last_used: AtomicU64,
+}
+
+type Slot = Arc<MemoSlot>;
+
+/// Default bound on resident entries. Entries are tiny (a summary, two
+/// counters and at most a secret's worth of bytes), so the bound is far
+/// above any standard sweep — it exists so a daemon facing an unbounded
+/// scenario space (ad-hoc program uploads) cannot grow without limit.
+pub const DEFAULT_MEMO_CAPACITY: usize = 4096;
 
 /// The content-addressed, thread-safe run-summary memo.
 ///
-/// Entries are tiny (a summary, two counters and at most a secret's worth
-/// of bytes), so the memo is unbounded: it grows with the number of
-/// *distinct* scenarios asked for, not with the number of requests.
+/// The memo is bounded: beyond the capacity, the least recently used
+/// entry is evicted (the same scheme the `TranslationService` uses at
+/// program granularity). The hit/miss counters stay deterministic for a
+/// given job list as long as the distinct-key working set fits the
+/// capacity — once eviction engages under concurrency, the victim depends
+/// on thread timing and evicted keys re-miss.
 ///
 /// ```
 /// use dbt_platform::{CachedRun, RunKey, RunMemo, RunSummary};
@@ -127,17 +145,45 @@ type Slot = Arc<OnceLock<Result<CachedRun, String>>>;
 /// assert_eq!(first, second);
 /// assert_eq!((memo.stats().hits, memo.stats().misses), (1, 1));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RunMemo {
+    capacity: usize,
     slots: Mutex<HashMap<RunKey, Slot>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    tick: AtomicU64,
+}
+
+impl Default for RunMemo {
+    fn default() -> RunMemo {
+        RunMemo {
+            capacity: DEFAULT_MEMO_CAPACITY,
+            slots: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+        }
+    }
 }
 
 impl RunMemo {
-    /// An empty memo behind an [`Arc`], ready to share across threads.
+    /// An empty memo with the default capacity, behind an [`Arc`], ready
+    /// to share across threads.
     pub fn new() -> Arc<RunMemo> {
-        Arc::new(RunMemo::default())
+        RunMemo::with_capacity(DEFAULT_MEMO_CAPACITY)
+    }
+
+    /// A memo bounded to `capacity` resident entries (least recently used
+    /// entries are evicted beyond that).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Arc<RunMemo> {
+        assert!(capacity >= 1, "the run memo needs room for at least one entry");
+        Arc::new(RunMemo { capacity, ..RunMemo::default() })
     }
 
     /// Snapshot of the counters.
@@ -146,7 +192,29 @@ impl RunMemo {
             hits: self.hits.load(Ordering::SeqCst),
             misses: self.misses.load(Ordering::SeqCst),
             entries: self.slots.lock().expect("run memo poisoned").len(),
+            evictions: self.evictions.load(Ordering::SeqCst),
         }
+    }
+
+    /// The slot for `key`, creating it (and evicting the least recently
+    /// used *other* entry if the capacity bound is exceeded) as needed.
+    fn slot(&self, key: RunKey) -> Slot {
+        let mut slots = self.slots.lock().expect("run memo poisoned");
+        let tick = self.tick.fetch_add(1, Ordering::SeqCst);
+        let slot = Arc::clone(slots.entry(key).or_default());
+        slot.last_used.store(tick, Ordering::SeqCst);
+        if slots.len() > self.capacity {
+            let victim = slots
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(k, s)| (s.last_used.load(Ordering::SeqCst), k.program, k.config))
+                .map(|(k, _)| *k);
+            if let Some(victim) = victim {
+                slots.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        slot
     }
 
     /// Returns the cached run for `key`, simulating it (exactly once
@@ -163,10 +231,10 @@ impl RunMemo {
         key: RunKey,
         run: impl FnOnce() -> Result<CachedRun, String>,
     ) -> Result<CachedRun, String> {
-        let slot =
-            Arc::clone(self.slots.lock().expect("run memo poisoned").entry(key).or_default());
+        let slot = self.slot(key);
         let mut computed = false;
         let result = slot
+            .cell
             .get_or_init(|| {
                 computed = true;
                 run()
@@ -244,6 +312,36 @@ mod tests {
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 7);
         assert!((stats.hit_rate() - 7.0 / 8.0).abs() < 1e-12);
-        assert_eq!(stats.to_json(), "{\"hits\": 7, \"misses\": 1, \"entries\": 1}");
+        assert_eq!(
+            stats.to_json(),
+            "{\"hits\": 7, \"misses\": 1, \"entries\": 1, \"evictions\": 0}"
+        );
+    }
+
+    #[test]
+    fn capacity_bound_evicts_the_least_recently_used_entry() {
+        let memo = RunMemo::with_capacity(2);
+        for config in 1..=3u64 {
+            let _ = memo.get_or_run(RunKey { program: 1, config }, || Ok(sample_run(config)));
+        }
+        let stats = memo.stats();
+        assert_eq!(stats.entries, 2, "capacity bound holds");
+        assert_eq!(stats.evictions, 1);
+        // Key (1, 1) was the least recently used and must re-simulate.
+        let again =
+            memo.get_or_run(RunKey { program: 1, config: 1 }, || Ok(sample_run(10))).unwrap();
+        assert_eq!(again.summary.cycles, 10, "the evicted entry really re-ran");
+        assert_eq!(memo.stats().misses, 4);
+        // The recently used keys survived.
+        let kept = memo
+            .get_or_run(RunKey { program: 1, config: 3 }, || panic!("must still be resident"))
+            .unwrap();
+        assert_eq!(kept.summary.cycles, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_is_rejected() {
+        let _ = RunMemo::with_capacity(0);
     }
 }

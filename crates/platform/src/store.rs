@@ -1,0 +1,407 @@
+//! Program addressing: [`ProgramRef`] and the content-addressed, shared
+//! [`ProgramStore`].
+//!
+//! Until this layer existed, every consumer of a guest program named it by
+//! an ad-hoc string bound to the in-repo registry — there was no way to
+//! hand the platform a program it had not compiled in. The store makes
+//! **programs data**:
+//!
+//! * a [`ProgramRef`] is how requests *name* a program: a registry entry
+//!   (`registry:<name>`, or a bare name), an already-resident content
+//!   fingerprint (`fp:<16-hex>`), or inline source (text assembly or a
+//!   program-image JSON document);
+//! * the [`ProgramStore`] is where programs *live*: a thread-safe map from
+//!   [`Program::fingerprint`] to the immutable program behind an `Arc`.
+//!   Identical uploads deduplicate to one entry (the second submission is
+//!   a `dedup` hit); registry entries are seeded **lazily** — the builder
+//!   closure registered for a name runs at most once process-wide, on the
+//!   first resolve that asks for it.
+//!
+//! The store is the third process-wide cache level of the lab daemon,
+//! next to the `TranslationService` (translations) and the [`RunMemo`]
+//! (whole runs): all three key by the program's content fingerprint, so a
+//! program uploaded once is translated once and simulated once, however
+//! many requests name it.
+//!
+//! [`RunMemo`]: crate::RunMemo
+
+use dbt_riscv::Program;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// How a request names a guest program.
+///
+/// The textual grammar (parsed by [`ProgramRef::parse`]):
+///
+/// | form | meaning |
+/// |---|---|
+/// | `registry:<name>` (or a bare `<name>`) | a program the store can build by name |
+/// | `fp:<16-hex-digits>` | an already-resident content fingerprint |
+/// | `asm:<source>` | inline text assembly |
+/// | `image:<json>` | inline program-image JSON |
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramRef {
+    /// A named program the store knows how to build (lazily seeded).
+    Registry(String),
+    /// A content fingerprint of an already-resident program.
+    Fingerprint(u64),
+    /// Inline text-assembly source.
+    InlineAsm(String),
+    /// Inline program-image JSON.
+    InlineImage(String),
+}
+
+impl ProgramRef {
+    /// Parses the textual ref grammar. A bare name (no scheme prefix) is a
+    /// registry ref, so existing name-based requests keep working.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the `fp:` payload is not a 64-bit hex number
+    /// or the scheme is unknown.
+    pub fn parse(text: &str) -> Result<ProgramRef, String> {
+        if let Some(name) = text.strip_prefix("registry:") {
+            return Ok(ProgramRef::Registry(name.to_string()));
+        }
+        if let Some(hex) = text.strip_prefix("fp:") {
+            let fp = u64::from_str_radix(hex, 16)
+                .map_err(|_| format!("`{hex}` is not a hex fingerprint"))?;
+            return Ok(ProgramRef::Fingerprint(fp));
+        }
+        if let Some(source) = text.strip_prefix("asm:") {
+            return Ok(ProgramRef::InlineAsm(source.to_string()));
+        }
+        if let Some(source) = text.strip_prefix("image:") {
+            return Ok(ProgramRef::InlineImage(source.to_string()));
+        }
+        match text.split_once(':') {
+            Some((scheme, _)) => Err(format!(
+                "unknown program-ref scheme `{scheme}:` (expected registry:|fp:|asm:|image:)"
+            )),
+            None => Ok(ProgramRef::Registry(text.to_string())),
+        }
+    }
+
+    /// Short display label for reports: the registry name, `fp:<hex>`, or
+    /// an `inline-…` tag for source refs.
+    pub fn label(&self) -> String {
+        match self {
+            ProgramRef::Registry(name) => name.clone(),
+            ProgramRef::Fingerprint(fp) => format!("fp:{fp:016x}"),
+            ProgramRef::InlineAsm(_) => "inline-asm".to_string(),
+            ProgramRef::InlineImage(_) => "inline-image".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ProgramRef {
+    /// The canonical textual form ([`ProgramRef::parse`] round-trips it).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramRef::Registry(name) => write!(f, "registry:{name}"),
+            ProgramRef::Fingerprint(fp) => write!(f, "fp:{fp:016x}"),
+            ProgramRef::InlineAsm(source) => write!(f, "asm:{source}"),
+            ProgramRef::InlineImage(source) => write!(f, "image:{source}"),
+        }
+    }
+}
+
+/// Snapshot of the store counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Distinct programs currently resident.
+    pub programs: usize,
+    /// Programs submitted through [`ProgramStore::upload`].
+    pub uploads: u64,
+    /// Uploads whose content was already resident (answered by the
+    /// existing entry instead of storing a copy).
+    pub dedup_hits: u64,
+    /// Registry entries built by lazy seeding so far.
+    pub seeded: u64,
+}
+
+impl StoreStats {
+    /// Stable single-line JSON (fixed key order), for the daemon's `stats`
+    /// response.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"programs\": {}, \"uploads\": {}, \"dedup_hits\": {}, \"seeded\": {}}}",
+            self.programs, self.uploads, self.dedup_hits, self.seeded
+        )
+    }
+}
+
+/// Builds a named registry program on first use.
+type Builder = Box<dyn Fn() -> Result<Program, String> + Send + Sync>;
+
+/// One named entry: the builder plus a once-filled fingerprint slot, so
+/// lazy seeding happens exactly once process-wide even under concurrency.
+struct NamedEntry {
+    build: Builder,
+    seeded: OnceLock<Result<u64, String>>,
+}
+
+/// The thread-safe, content-addressed program store.
+///
+/// ```
+/// use dbt_platform::{ProgramRef, ProgramStore};
+/// use dbt_riscv::parse_asm;
+///
+/// let store = ProgramStore::new();
+/// let program = parse_asm("li a0, 42\necall\n").unwrap();
+/// let (fp, dedup) = store.upload(program.clone());
+/// assert!(!dedup, "first submission stores the program");
+/// let (again, dedup) = store.upload(program);
+/// assert_eq!(fp, again);
+/// assert!(dedup, "identical content deduplicates");
+///
+/// let resolved = store.resolve(&ProgramRef::Fingerprint(fp)).unwrap();
+/// assert_eq!(resolved.fingerprint(), fp);
+/// assert_eq!(store.stats().programs, 1);
+/// ```
+#[derive(Default)]
+pub struct ProgramStore {
+    programs: Mutex<HashMap<u64, Arc<Program>>>,
+    named: Mutex<HashMap<String, Arc<NamedEntry>>>,
+    uploads: AtomicU64,
+    dedup_hits: AtomicU64,
+    seeded: AtomicU64,
+}
+
+impl fmt::Debug for ProgramStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProgramStore").field("stats", &self.stats()).finish()
+    }
+}
+
+impl ProgramStore {
+    /// An empty store behind an [`Arc`], ready to share across threads.
+    pub fn new() -> Arc<ProgramStore> {
+        Arc::new(ProgramStore::default())
+    }
+
+    /// Registers a named registry entry. The builder runs lazily, at most
+    /// once, on the first [`ProgramStore::resolve`] that names it.
+    pub fn register(
+        &self,
+        name: &str,
+        build: impl Fn() -> Result<Program, String> + Send + Sync + 'static,
+    ) {
+        self.named.lock().expect("program store poisoned").insert(
+            name.to_string(),
+            Arc::new(NamedEntry { build: Box::new(build), seeded: OnceLock::new() }),
+        );
+    }
+
+    /// All registered names, sorted (for error messages and listings).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.named.lock().expect("program store poisoned").keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            programs: self.programs.lock().expect("program store poisoned").len(),
+            uploads: self.uploads.load(Ordering::SeqCst),
+            dedup_hits: self.dedup_hits.load(Ordering::SeqCst),
+            seeded: self.seeded.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Interns `program` under its content fingerprint. Returns the
+    /// fingerprint and whether the content was already resident.
+    fn intern(&self, program: Program) -> (u64, bool) {
+        let fp = program.fingerprint();
+        let mut programs = self.programs.lock().expect("program store poisoned");
+        let resident = programs.contains_key(&fp);
+        if !resident {
+            programs.insert(fp, Arc::new(program));
+        }
+        (fp, resident)
+    }
+
+    /// Submits a program (the `upload` operation). Returns its content
+    /// fingerprint and whether this was a dedup hit (identical content
+    /// already resident).
+    pub fn upload(&self, program: Program) -> (u64, bool) {
+        self.uploads.fetch_add(1, Ordering::SeqCst);
+        let (fp, dedup) = self.intern(program);
+        if dedup {
+            self.dedup_hits.fetch_add(1, Ordering::SeqCst);
+        }
+        (fp, dedup)
+    }
+
+    /// The resident program with content fingerprint `fp`, if any.
+    pub fn get(&self, fp: u64) -> Option<Arc<Program>> {
+        self.programs.lock().expect("program store poisoned").get(&fp).cloned()
+    }
+
+    /// Resolves a ref to its program: registry entries are lazily seeded
+    /// (built at most once), fingerprints looked up, inline sources parsed
+    /// and interned (so repeated identical sources share one entry).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown names, non-resident fingerprints, or
+    /// inline sources that do not parse.
+    pub fn resolve(&self, program_ref: &ProgramRef) -> Result<Arc<Program>, String> {
+        match program_ref {
+            ProgramRef::Registry(name) => {
+                // Look up, then drop the lock *before* any fallible work:
+                // both the error message (`names` re-locks) and the
+                // builder below must run lock-free.
+                let entry = self.named.lock().expect("program store poisoned").get(name).cloned();
+                let entry = entry.ok_or_else(|| {
+                    format!("unknown program `{name}`; valid programs: {}", self.names().join(", "))
+                })?;
+                let fp = entry
+                    .seeded
+                    .get_or_init(|| {
+                        let program = (entry.build)()?;
+                        self.seeded.fetch_add(1, Ordering::SeqCst);
+                        Ok(self.intern(program).0)
+                    })
+                    .clone()?;
+                self.get(fp).ok_or_else(|| format!("seeded program `{name}` vanished"))
+            }
+            ProgramRef::Fingerprint(fp) => self.get(*fp).ok_or_else(|| {
+                format!("no program with fingerprint fp:{fp:016x} is resident (upload it first)")
+            }),
+            ProgramRef::InlineAsm(source) => {
+                let program = dbt_riscv::parse_asm(source).map_err(|e| e.to_string())?;
+                let (fp, _) = self.intern(program);
+                Ok(self.get(fp).expect("just interned"))
+            }
+            ProgramRef::InlineImage(source) => {
+                let program = Program::from_image(source).map_err(|e| e.to_string())?;
+                let (fp, _) = self.intern(program);
+                Ok(self.get(fp).expect("just interned"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbt_riscv::{parse_asm, Assembler, Reg};
+    use std::sync::atomic::AtomicUsize;
+
+    fn tiny(value: i64) -> Program {
+        let mut asm = Assembler::new();
+        asm.li(Reg::A0, value);
+        asm.ecall();
+        asm.assemble().unwrap()
+    }
+
+    #[test]
+    fn ref_grammar_round_trips() {
+        for (text, parsed) in [
+            ("registry:gemm", ProgramRef::Registry("gemm".to_string())),
+            ("fp:00000000000000ff", ProgramRef::Fingerprint(0xff)),
+            ("asm:ecall", ProgramRef::InlineAsm("ecall".to_string())),
+            ("image:{}", ProgramRef::InlineImage("{}".to_string())),
+        ] {
+            let r = ProgramRef::parse(text).unwrap();
+            assert_eq!(r, parsed, "{text}");
+            assert_eq!(ProgramRef::parse(&r.to_string()).unwrap(), r, "canonical form parses");
+        }
+        assert_eq!(
+            ProgramRef::parse("gemm").unwrap(),
+            ProgramRef::Registry("gemm".to_string()),
+            "bare names are registry refs"
+        );
+        assert!(ProgramRef::parse("fp:xyz").is_err());
+        assert!(ProgramRef::parse("teleport:now").unwrap_err().contains("teleport"));
+    }
+
+    #[test]
+    fn uploads_deduplicate_by_content() {
+        let store = ProgramStore::new();
+        let (a, dedup_a) = store.upload(tiny(1));
+        let (b, dedup_b) = store.upload(tiny(1));
+        let (c, dedup_c) = store.upload(tiny(2));
+        assert_eq!(a, b, "identical content, identical address");
+        assert_ne!(a, c);
+        assert!(!dedup_a);
+        assert!(dedup_b);
+        assert!(!dedup_c);
+        let stats = store.stats();
+        assert_eq!((stats.programs, stats.uploads, stats.dedup_hits), (2, 3, 1));
+        assert_eq!(
+            stats.to_json(),
+            "{\"programs\": 2, \"uploads\": 3, \"dedup_hits\": 1, \"seeded\": 0}"
+        );
+    }
+
+    #[test]
+    fn registry_entries_seed_lazily_and_exactly_once() {
+        let store = ProgramStore::new();
+        let builds = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&builds);
+        store.register("tiny", move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+            Ok(tiny(7))
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 0, "registration must not build");
+        assert_eq!(store.stats().programs, 0);
+
+        let r = ProgramRef::parse("tiny").unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let program = store.resolve(&r).unwrap();
+                    assert_eq!(program.fingerprint(), tiny(7).fingerprint());
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "late askers share the winner's build");
+        assert_eq!(store.stats().seeded, 1);
+        assert_eq!(store.stats().programs, 1);
+
+        // Seeded programs are also addressable by fingerprint.
+        let fp = tiny(7).fingerprint();
+        assert!(store.resolve(&ProgramRef::Fingerprint(fp)).is_ok());
+    }
+
+    #[test]
+    fn unknown_names_and_fingerprints_are_described() {
+        let store = ProgramStore::new();
+        store.register("only", || Ok(tiny(0)));
+        let err = store.resolve(&ProgramRef::Registry("nope".to_string())).unwrap_err();
+        assert!(err.contains("nope") && err.contains("only"), "{err}");
+        let err = store.resolve(&ProgramRef::Fingerprint(0xdead)).unwrap_err();
+        assert!(err.contains("upload"), "{err}");
+        store.register("broken", || Err("no such kernel".to_string()));
+        let err = store.resolve(&ProgramRef::Registry("broken".to_string())).unwrap_err();
+        assert!(err.contains("no such kernel"), "{err}");
+    }
+
+    #[test]
+    fn inline_sources_parse_and_intern() {
+        let store = ProgramStore::new();
+        let asm_ref = ProgramRef::InlineAsm("li a0, 5\necall\n".to_string());
+        let first = store.resolve(&asm_ref).unwrap();
+        let second = store.resolve(&asm_ref).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "identical source shares one entry");
+
+        let image = parse_asm("li a0, 5\necall\n").unwrap().to_image();
+        let image_ref = ProgramRef::InlineImage(image);
+        let from_image = store.resolve(&image_ref).unwrap();
+        assert_eq!(
+            from_image.fingerprint(),
+            first.fingerprint(),
+            "asm and image forms of the same program share one content address"
+        );
+        assert_eq!(store.stats().programs, 1);
+
+        assert!(store.resolve(&ProgramRef::InlineAsm("bad!".to_string())).is_err());
+        assert!(store.resolve(&ProgramRef::InlineImage("{}".to_string())).is_err());
+    }
+}

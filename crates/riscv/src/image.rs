@@ -1,0 +1,316 @@
+//! The stable, versioned **program image** codec: a [`Program`] as a JSON
+//! document.
+//!
+//! The image is the wire format for shipping guest programs into a running
+//! lab daemon (`upload` frames) and for storing them next to experiments:
+//! code travels as the encoded 32-bit instruction words (so the document
+//! is exactly what a binary loader would see), data as a hex string, and
+//! the symbol table verbatim. [`Program::to_image`] emits a byte-stable
+//! document (fixed key order, sorted symbols) in the repo's hand-rolled
+//! JSON style; [`Program::from_image`] parses and *re-decodes* the code
+//! words, so a malformed or hostile image is rejected with a precise
+//! error instead of producing an undecodable program.
+//!
+//! The round-trip is lossless for every program within the
+//! [`MAX_INGEST_MEMORY`] bound — which is all of them in practice:
+//! `Program::from_image(&p.to_image()) == p`. A builder-made program
+//! whose geometry exceeds the bound still serialises, but its image is
+//! (deliberately) rejected on the way back in, like any other oversized
+//! ingestion.
+
+use crate::decode::decode;
+use crate::encode::encode;
+use crate::program::Program;
+use dbt_json::{escape, JsonValue};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Schema tag of the current image version.
+pub const IMAGE_SCHEMA: &str = "dbt-riscv/program-image/v1";
+
+/// Upper bound on any address or size an *ingested* program may declare
+/// (64 MiB — far above every in-repo guest, which needs ~1.2 MiB).
+///
+/// Program sources arrive from untrusted clients, and sizes are scalars:
+/// a 30-byte document declaring a petabyte guest would otherwise make the
+/// consumer allocate it. Both ingestion paths ([`Program::from_image`]
+/// and [`parse_asm`](crate::parse_asm)) enforce this bound; the Rust
+/// [`Assembler`](crate::Assembler) API is not subject to it.
+pub const MAX_INGEST_MEMORY: u64 = 64 << 20;
+
+/// Error produced while parsing a program image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// The document is not valid JSON.
+    Malformed(String),
+    /// The document's `schema` member is missing or names another format.
+    WrongSchema(String),
+    /// A required member is missing or has the wrong type.
+    BadMember(String),
+    /// A code word does not decode to a guest instruction.
+    BadCode {
+        /// Index of the offending word in the `code` array.
+        index: usize,
+        /// Why it does not decode.
+        error: String,
+    },
+    /// The `data` member is not a valid hex string.
+    BadData(String),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::Malformed(e) => write!(f, "malformed program image: {e}"),
+            ImageError::WrongSchema(found) => {
+                write!(f, "not a program image (schema `{found}`, expected `{IMAGE_SCHEMA}`)")
+            }
+            ImageError::BadMember(what) => write!(f, "program image: {what}"),
+            ImageError::BadCode { index, error } => {
+                write!(f, "program image: code word {index} does not decode: {error}")
+            }
+            ImageError::BadData(e) => write!(f, "program image: bad data section: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+fn member_u64(value: &JsonValue, name: &str) -> Result<u64, ImageError> {
+    let parsed = value
+        .get(name)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| ImageError::BadMember(format!("`{name}` must be a non-negative integer")))?;
+    if parsed > MAX_INGEST_MEMORY {
+        return Err(ImageError::BadMember(format!(
+            "`{name}` is {parsed}, above the {MAX_INGEST_MEMORY}-byte ingestion limit"
+        )));
+    }
+    Ok(parsed)
+}
+
+fn hex_decode(text: &str) -> Result<Vec<u8>, ImageError> {
+    if !text.len().is_multiple_of(2) {
+        return Err(ImageError::BadData("odd number of hex digits".to_string()));
+    }
+    let digit = |c: u8| -> Result<u8, ImageError> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            _ => Err(ImageError::BadData(format!("invalid hex digit `{}`", c as char))),
+        }
+    };
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push((digit(pair[0])? << 4) | digit(pair[1])?);
+    }
+    Ok(out)
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for byte in bytes {
+        out.push_str(&format!("{byte:02x}"));
+    }
+    out
+}
+
+impl Program {
+    /// Serialises the program as a versioned image document.
+    ///
+    /// The encoding is byte-stable: fixed key order, code as the encoded
+    /// instruction words, data as lowercase hex, symbols sorted by name —
+    /// the same program always produces the same bytes, so images can be
+    /// content-addressed and diffed.
+    pub fn to_image(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{IMAGE_SCHEMA}\",\n"));
+        out.push_str(&format!("  \"code_base\": {},\n", self.code_base()));
+        out.push_str(&format!("  \"entry\": {},\n", self.entry()));
+        out.push_str(&format!("  \"memory_size\": {},\n", self.memory_size()));
+        out.push_str("  \"code\": [");
+        for (i, inst) in self.code().iter().enumerate() {
+            out.push_str(if i == 0 { "" } else { ", " });
+            out.push_str(&encode(inst).to_string());
+        }
+        out.push_str("],\n");
+        out.push_str(&format!("  \"data_base\": {},\n", self.data_base()));
+        out.push_str(&format!("  \"data\": \"{}\",\n", hex_encode(self.data())));
+        out.push_str("  \"symbols\": {");
+        for (i, (name, addr)) in self.symbols().enumerate() {
+            out.push_str(if i == 0 { "" } else { ", " });
+            out.push_str(&format!("\"{}\": {addr}", escape(name)));
+        }
+        out.push_str("}\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a program image produced by [`Program::to_image`] (or by any
+    /// client speaking the same schema).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ImageError`] describing the first violation: malformed
+    /// JSON, wrong schema, missing/ill-typed members, undecodable code
+    /// words or a bad data hex string.
+    pub fn from_image(text: &str) -> Result<Program, ImageError> {
+        let value = JsonValue::parse(text).map_err(ImageError::Malformed)?;
+        let schema = value.get("schema").and_then(JsonValue::as_str).unwrap_or("<missing>");
+        if schema != IMAGE_SCHEMA {
+            return Err(ImageError::WrongSchema(schema.to_string()));
+        }
+        let code_base = member_u64(&value, "code_base")?;
+        let entry = member_u64(&value, "entry")?;
+        let memory_size = member_u64(&value, "memory_size")?;
+        let data_base = member_u64(&value, "data_base")?;
+        let Some(JsonValue::Array(words)) = value.get("code") else {
+            return Err(ImageError::BadMember("`code` must be an array of words".to_string()));
+        };
+        let mut code = Vec::with_capacity(words.len());
+        for (index, word) in words.iter().enumerate() {
+            let word = word
+                .as_u64()
+                .filter(|w| *w <= u64::from(u32::MAX))
+                .ok_or_else(|| ImageError::BadMember(format!("code word {index} is not a u32")))?;
+            code.push(
+                decode(word as u32)
+                    .map_err(|e| ImageError::BadCode { index, error: e.to_string() })?,
+            );
+        }
+        let data = value
+            .get("data")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ImageError::BadMember("`data` must be a hex string".to_string()))?;
+        let data = hex_decode(data)?;
+        let Some(JsonValue::Object(members)) = value.get("symbols") else {
+            return Err(ImageError::BadMember("`symbols` must be an object".to_string()));
+        };
+        let mut symbols = BTreeMap::new();
+        for (name, addr) in members {
+            let addr = addr.as_u64().filter(|a| *a <= MAX_INGEST_MEMORY).ok_or_else(|| {
+                ImageError::BadMember(format!("symbol `{name}` must map to a guest address"))
+            })?;
+            symbols.insert(name.clone(), addr);
+        }
+        Ok(Program::new(code_base, code, data_base, data, entry, memory_size, symbols))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::reg::Reg;
+
+    fn sample_program() -> Program {
+        let mut asm = Assembler::new();
+        let out = asm.alloc_data("out", 8);
+        let buf = asm.alloc_data_init("buf", &[1, 2, 3, 0xfe]);
+        let head = asm.new_label();
+        asm.li(Reg::T0, 3);
+        asm.bind(head);
+        asm.addi(Reg::T0, Reg::T0, -1);
+        asm.bnez(Reg::T0, head);
+        asm.la(Reg::A0, buf);
+        asm.lbu(Reg::A1, Reg::A0, 3);
+        asm.la(Reg::A2, out);
+        asm.sd(Reg::A1, Reg::A2, 0);
+        asm.ecall();
+        asm.assemble().unwrap()
+    }
+
+    #[test]
+    fn image_round_trips_losslessly_and_is_byte_stable() {
+        let program = sample_program();
+        let image = program.to_image();
+        assert_eq!(image, program.to_image(), "same program, same bytes");
+        let back = Program::from_image(&image).unwrap();
+        assert_eq!(back, program, "round trip must be lossless");
+        assert_eq!(back.fingerprint(), program.fingerprint());
+        assert_eq!(back.to_image(), image);
+    }
+
+    #[test]
+    fn image_carries_symbols_and_data() {
+        let program = sample_program();
+        let back = Program::from_image(&program.to_image()).unwrap();
+        assert_eq!(back.symbol("out"), program.symbol("out"));
+        assert_eq!(back.symbol("buf"), program.symbol("buf"));
+        let mem = back.build_memory().unwrap();
+        assert_eq!(mem.load_u8(back.symbol("buf").unwrap() + 3).unwrap(), 0xfe);
+    }
+
+    #[test]
+    fn malformed_images_are_rejected_with_precise_errors() {
+        assert!(matches!(Program::from_image("not json"), Err(ImageError::Malformed(_))));
+        assert!(matches!(
+            Program::from_image("{\"schema\": \"other/v9\"}"),
+            Err(ImageError::WrongSchema(s)) if s == "other/v9"
+        ));
+        assert!(matches!(
+            Program::from_image(&format!("{{\"schema\": \"{IMAGE_SCHEMA}\"}}")),
+            Err(ImageError::BadMember(_))
+        ));
+        let bad_word = format!(
+            "{{\"schema\": \"{IMAGE_SCHEMA}\", \"code_base\": 0, \"entry\": 0, \
+             \"memory_size\": 64, \"code\": [4294967295], \"data_base\": 32, \
+             \"data\": \"\", \"symbols\": {{}}}}"
+        );
+        assert!(matches!(
+            Program::from_image(&bad_word),
+            Err(ImageError::BadCode { index: 0, .. })
+        ));
+        let bad_data =
+            bad_word.replace("[4294967295]", "[115]").replace("\"data\": \"\"", "\"data\": \"0g\"");
+        assert!(matches!(Program::from_image(&bad_data), Err(ImageError::BadData(_))));
+        let odd_data = bad_word
+            .replace("[4294967295]", "[115]")
+            .replace("\"data\": \"\"", "\"data\": \"abc\"");
+        assert!(matches!(Program::from_image(&odd_data), Err(ImageError::BadData(_))));
+    }
+
+    #[test]
+    fn image_errors_render_for_humans() {
+        let err = Program::from_image("{\"schema\": \"x\"}").unwrap_err();
+        assert!(err.to_string().contains(IMAGE_SCHEMA), "{err}");
+    }
+
+    #[test]
+    fn hostile_geometry_is_rejected_before_any_allocation() {
+        // Sizes and addresses are scalars: a 100-byte document must not
+        // be able to demand a petabyte guest, and integers past the f64
+        // carrier's exact range must error instead of silently rounding.
+        let image = |member: &str, value: &str| {
+            format!(
+                "{{\"schema\": \"{IMAGE_SCHEMA}\", \"code_base\": 0, \"entry\": 0, \
+                 \"memory_size\": 64, \"code\": [115], \"data_base\": 32, \
+                 \"data\": \"\", \"symbols\": {{}}}}"
+            )
+            .replace(
+                &format!("\"{member}\": {}", if member == "memory_size" { "64" } else { "0" }),
+                &format!("\"{member}\": {value}"),
+            )
+        };
+        for (member, value) in [
+            ("memory_size", "9007199254740993"),
+            ("memory_size", "281474976710656"),
+            ("code_base", "281474976710656"),
+            ("entry", "281474976710656"),
+        ] {
+            let err = Program::from_image(&image(member, value)).unwrap_err();
+            assert!(
+                matches!(&err, ImageError::BadMember(m) if m.contains(member)),
+                "{member}={value}: {err}"
+            );
+        }
+        let huge_symbol = image("entry", "0")
+            .replace("\"symbols\": {}", "\"symbols\": {\"evil\": 281474976710656}");
+        assert!(matches!(
+            Program::from_image(&huge_symbol),
+            Err(ImageError::BadMember(m)) if m.contains("evil")
+        ));
+    }
+}

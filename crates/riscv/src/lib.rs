@@ -15,6 +15,10 @@
 //!   proof-of-concepts and the Polybench-style workloads ([`asm`]);
 //! * [`GuestMemory`] — a flat little-endian guest memory image ([`memory`]);
 //! * [`Program`] — a loadable guest program (code + data + symbols);
+//! * [`parse_asm()`] — a text-assembly frontend, so guest programs can
+//!   arrive as `.s` sources instead of Rust builder calls ([`text`]);
+//! * [`Program::to_image`] / [`Program::from_image`] — the stable,
+//!   versioned program-image JSON codec ([`image`]);
 //! * [`Interpreter`] — a simple reference instruction-set simulator used for
 //!   differential testing of the DBT engine ([`interp`]).
 //!
@@ -44,17 +48,21 @@
 pub mod asm;
 pub mod decode;
 pub mod encode;
+pub mod image;
 pub mod inst;
 pub mod interp;
 pub mod memory;
 pub mod program;
 pub mod reg;
+pub mod text;
 
 pub use asm::{AsmError, Assembler, DataRef, Label};
 pub use decode::{decode, DecodeError};
 pub use encode::encode;
+pub use image::{ImageError, IMAGE_SCHEMA, MAX_INGEST_MEMORY};
 pub use inst::{BranchCond, Inst, LoadWidth, StoreWidth};
 pub use interp::{ExecError, ExitReason, Interpreter};
 pub use memory::{GuestMemory, MemError};
 pub use program::{Program, ProgramError};
 pub use reg::Reg;
+pub use text::{parse_asm, TextAsmError};

@@ -105,6 +105,16 @@ impl Program {
         self.code_base + 4 * self.code.len() as u64
     }
 
+    /// Guest address of the first data byte.
+    pub fn data_base(&self) -> u64 {
+        self.data_base
+    }
+
+    /// Initial contents of the data section.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
     /// Entry point.
     pub fn entry(&self) -> u64 {
         self.entry
@@ -187,14 +197,17 @@ impl Program {
         Ok(out)
     }
 
-    /// A stable 64-bit fingerprint of the program's translation-relevant
-    /// content: code, data image, section bases, entry point and memory
-    /// footprint.
+    /// A stable 64-bit fingerprint of the program's entire content: code,
+    /// data image, section bases, entry point, memory footprint and
+    /// symbol table.
     ///
-    /// Two programs with equal fingerprints assemble byte-identical guest
-    /// images, so any translation derived from one is valid for the other.
-    /// This is the program half of the memoization key used by the DBT
-    /// engine's cross-run translation service.
+    /// Two programs with equal fingerprints are identical: they assemble
+    /// byte-identical guest images *and* locate observables (the symbol
+    /// table is how a run's outputs — e.g. the attacks' `recovered`
+    /// buffer — are read back) at the same names. This makes the
+    /// fingerprint a sound content address everywhere one is needed: the
+    /// program half of the translation-service and run-memo keys, and
+    /// the identity the `ProgramStore` deduplicates uploads by.
     pub fn fingerprint(&self) -> u64 {
         use std::hash::{Hash, Hasher};
         // DefaultHasher with the default keys is deterministic within a
@@ -206,6 +219,7 @@ impl Program {
         self.data.hash(&mut hasher);
         self.entry.hash(&mut hasher);
         self.memory_size.hash(&mut hasher);
+        self.symbols.hash(&mut hasher);
         hasher.finish()
     }
 
@@ -300,6 +314,15 @@ mod tests {
             BTreeMap::new(),
         );
         assert_ne!(a.fingerprint(), d.fingerprint(), "data changes change the fingerprint");
+        let mut symbols = BTreeMap::new();
+        symbols.insert("out".to_string(), 0x2000);
+        let e =
+            Program::new(0x1000, a.code().to_vec(), 0x2000, vec![1, 2, 3], 0x1000, 0x4000, symbols);
+        assert_ne!(
+            a.fingerprint(),
+            e.fingerprint(),
+            "symbols locate a run's observables, so they are identity too"
+        );
     }
 
     #[test]

@@ -1,0 +1,760 @@
+//! The text-assembly frontend: parse a `.s` source into a [`Program`].
+//!
+//! The [`Assembler`] builder is how the in-repo workloads and attack
+//! proof-of-concepts are written, but it only speaks Rust. This module is
+//! the matching *textual* surface, so guest programs can arrive as data —
+//! uploaded to the lab daemon, read from a file, pasted from a gadget
+//! corpus — without recompiling anything. [`parse_asm`] drives the exact
+//! same [`Assembler`] the Rust builders use, so a source file that mirrors
+//! a builder's emission sequence assembles to a **byte-identical**
+//! [`Program`] (same code words, same data layout, same symbols).
+//!
+//! # Syntax
+//!
+//! One statement per line; comments start with `#`, `;` or `//` and run to
+//! the end of the line. Labels are `name:` on their own or before an
+//! instruction. Registers use ABI names (`a0`, `t3`, `zero`, ...) or
+//! `x0`..`x31`. Immediates are decimal or `0x` hex, optionally negative.
+//!
+//! Data directives (addresses are assigned in directive order, exactly
+//! like the corresponding [`Assembler`] calls):
+//!
+//! | directive | effect |
+//! |---|---|
+//! | `.data name, len[, align]` | zeroed allocation ([`Assembler::alloc_data_aligned`]) |
+//! | `.word name, v, ...` | 64-bit little-endian words ([`Assembler::alloc_data_u64`]) |
+//! | `.byte name, b, ...` | raw bytes ([`Assembler::alloc_data_init`]) |
+//! | `.ascii name, "text"` | string bytes, `\n` `\t` `\0` `\\` `\"` escapes |
+//! | `.equ name, addr` | symbol alias ([`Assembler::define_symbol`]) |
+//! | `.reserve n` | extra scratch memory ([`Assembler::reserve_extra_memory`]) |
+//!
+//! Instructions cover everything the [`Assembler`] emits: the ALU ops,
+//! loads/stores (`offset(reg)` operands), `li`/`la`/`mv`/`nop` pseudo-ops,
+//! branches (label or raw byte-offset targets), `j`/`call`/`ret`,
+//! `ecall`/`ebreak`/`fence`, and the two platform instructions `rdcycle`
+//! and `cflush`.
+
+use crate::asm::{AsmError, Assembler, DataRef, Label};
+use crate::image::MAX_INGEST_MEMORY;
+use crate::inst::{AluImmOp, AluOp, BranchCond, Inst, LoadWidth, StoreWidth};
+use crate::program::Program;
+use crate::reg::Reg;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Largest alignment an untrusted source may request (cache lines are 64
+/// bytes; nothing in the repo aligns beyond that).
+const MAX_ALIGN: u64 = 4096;
+
+/// Validates an untrusted size/address operand against the ingestion
+/// bound (sources are client data: sizes are scalars, so a one-line
+/// program could otherwise demand a petabyte guest).
+fn bounded_size(value: i64, what: &str) -> Result<u64, String> {
+    if !(0..=MAX_INGEST_MEMORY as i64).contains(&value) {
+        return Err(format!(
+            "{what} {value} is out of range (0..={MAX_INGEST_MEMORY}-byte ingestion limit)"
+        ));
+    }
+    Ok(value as u64)
+}
+
+/// Error produced while parsing text assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextAsmError {
+    /// 1-based source line of the first violation (0 for assembly-stage
+    /// errors that have no single line, e.g. an unbound label).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TextAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "asm: {}", self.message)
+        } else {
+            write!(f, "asm line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for TextAsmError {}
+
+/// Parses a complete text-assembly source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`TextAsmError`] naming the offending line: unknown
+/// mnemonics or registers, malformed operands, duplicate or unbound
+/// labels, out-of-range offsets.
+pub fn parse_asm(source: &str) -> Result<Program, TextAsmError> {
+    let mut parser = TextAsm::new();
+    for (index, raw) in source.lines().enumerate() {
+        let line = index + 1;
+        let at = |message: String| TextAsmError { line, message };
+        let stripped = strip_comment(raw).trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        parser.statement(stripped).map_err(at)?;
+    }
+    if let Some(name) = parser.labels.keys().find(|name| !parser.bound.contains(name.as_str())) {
+        return Err(TextAsmError {
+            line: 0,
+            message: format!("label `{name}` is referenced but never defined"),
+        });
+    }
+    parser.asm.assemble().map_err(|e: AsmError| TextAsmError { line: 0, message: e.to_string() })
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Quotes may contain comment characters (`.ascii msg, "# no"`).
+    let mut in_string = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_string = !in_string,
+            b'\\' if in_string => i += 1,
+            b'#' | b';' if !in_string => return &line[..i],
+            b'/' if !in_string && bytes.get(i + 1) == Some(&b'/') => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+struct TextAsm {
+    asm: Assembler,
+    labels: HashMap<String, Label>,
+    bound: std::collections::HashSet<String>,
+    data: HashMap<String, DataRef>,
+}
+
+impl TextAsm {
+    fn new() -> TextAsm {
+        TextAsm {
+            asm: Assembler::new(),
+            labels: HashMap::new(),
+            bound: std::collections::HashSet::new(),
+            data: HashMap::new(),
+        }
+    }
+
+    fn statement(&mut self, text: &str) -> Result<(), String> {
+        // A leading `name:` binds a label; the rest of the line (if any) is
+        // parsed as a further statement.
+        if let Some((head, rest)) = text.split_once(':') {
+            let head = head.trim();
+            if is_ident(head) && !rest.starts_with(':') {
+                let label = self.label(head);
+                if !self.bound.insert(head.to_string()) {
+                    return Err(format!("label `{head}` is defined twice"));
+                }
+                self.asm.bind(label);
+                let rest = rest.trim();
+                if rest.is_empty() {
+                    return Ok(());
+                }
+                return self.statement(rest);
+            }
+        }
+        if let Some(directive) = text.strip_prefix('.') {
+            return self.directive(directive);
+        }
+        self.instruction(text)
+    }
+
+    /// Enforces the ingestion bound on the *cumulative* data section
+    /// (alignment padding included): many individually-legal allocations
+    /// must not add up past the limit either.
+    fn bound_data(&self, last: DataRef) -> Result<(), String> {
+        let end = last.addr() + last.len() - Assembler::DATA_BASE;
+        if end > MAX_INGEST_MEMORY {
+            return Err(format!(
+                "data section grows to {end} bytes, above the \
+                 {MAX_INGEST_MEMORY}-byte ingestion limit"
+            ));
+        }
+        Ok(())
+    }
+
+    fn label(&mut self, name: &str) -> Label {
+        if let Some(label) = self.labels.get(name) {
+            return *label;
+        }
+        let label = self.asm.new_label();
+        self.labels.insert(name.to_string(), label);
+        label
+    }
+
+    fn directive(&mut self, text: &str) -> Result<(), String> {
+        let (name, rest) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
+        let operands = split_operands(rest);
+        match name {
+            "data" => {
+                let (sym, rest) = take_ident(&operands, "`.data` needs a symbol name")?;
+                let (len, rest) = take_imm(rest, "`.data` needs a length")?;
+                let len = bounded_size(len, "`.data` length")?;
+                let align = match rest {
+                    [] => 8,
+                    [one] => {
+                        let align = parse_imm(one)?;
+                        if !(1..=MAX_ALIGN as i64).contains(&align) {
+                            return Err(format!(
+                                "alignment {align} is out of range (1..={MAX_ALIGN})"
+                            ));
+                        }
+                        align as u64
+                    }
+                    _ => return Err("`.data` takes name, len and an optional alignment".into()),
+                };
+                if !align.is_power_of_two() {
+                    return Err(format!("alignment {align} is not a power of two"));
+                }
+                let r = self.asm.alloc_data_aligned(sym, len, align);
+                self.bound_data(r)?;
+                self.data.insert(sym.to_string(), r);
+            }
+            "word" => {
+                let (sym, rest) = take_ident(&operands, "`.word` needs a symbol name")?;
+                let words =
+                    rest.iter()
+                        .map(|w| parse_imm(w).map(|v| v as u64))
+                        .collect::<Result<Vec<u64>, String>>()?;
+                let r = self.asm.alloc_data_u64(sym, &words);
+                self.bound_data(r)?;
+                self.data.insert(sym.to_string(), r);
+            }
+            "byte" => {
+                let (sym, rest) = take_ident(&operands, "`.byte` needs a symbol name")?;
+                let bytes = rest
+                    .iter()
+                    .map(|b| {
+                        let v = parse_imm(b)?;
+                        u8::try_from(v).map_err(|_| format!("`{b}` does not fit a byte"))
+                    })
+                    .collect::<Result<Vec<u8>, String>>()?;
+                let r = self.asm.alloc_data_init(sym, &bytes);
+                self.bound_data(r)?;
+                self.data.insert(sym.to_string(), r);
+            }
+            "ascii" => {
+                let (sym, rest) = take_ident(&operands, "`.ascii` needs a symbol name")?;
+                let [literal] = rest else {
+                    return Err("`.ascii` takes a symbol name and one quoted string".into());
+                };
+                let bytes = parse_string(literal)?;
+                let r = self.asm.alloc_data_init(sym, &bytes);
+                self.bound_data(r)?;
+                self.data.insert(sym.to_string(), r);
+            }
+            "equ" => {
+                let (sym, rest) = take_ident(&operands, "`.equ` needs a symbol name")?;
+                let (addr, rest) = take_imm(rest, "`.equ` needs an address")?;
+                if !rest.is_empty() {
+                    return Err("`.equ` takes a symbol name and one address".into());
+                }
+                self.asm.define_symbol(sym, bounded_size(addr, "`.equ` address")?);
+            }
+            "reserve" => {
+                let [amount] = operands.as_slice() else {
+                    return Err("`.reserve` takes one byte count".into());
+                };
+                let amount = bounded_size(parse_imm(amount)?, "`.reserve` amount")?;
+                self.asm.reserve_extra_memory(amount);
+            }
+            other => return Err(format!("unknown directive `.{other}`")),
+        }
+        Ok(())
+    }
+
+    fn instruction(&mut self, text: &str) -> Result<(), String> {
+        let (mnemonic, rest) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
+        let ops = split_operands(rest);
+        let ops: Vec<&str> = ops.iter().map(String::as_str).collect();
+
+        if let Some(op) = alu_op(mnemonic) {
+            let [rd, rs1, rs2] = expect(&ops, mnemonic)?;
+            self.asm.emit(Inst::Alu { op, rd: reg(rd)?, rs1: reg(rs1)?, rs2: reg(rs2)? });
+            return Ok(());
+        }
+        if let Some(op) = alu_imm_op(mnemonic) {
+            let [rd, rs1, imm] = expect(&ops, mnemonic)?;
+            self.asm.emit(Inst::AluImm { op, rd: reg(rd)?, rs1: reg(rs1)?, imm: parse_imm(imm)? });
+            return Ok(());
+        }
+        if let Some(width) = load_width(mnemonic) {
+            let [rd, mem] = expect(&ops, mnemonic)?;
+            let (offset, rs1) = parse_mem(mem)?;
+            self.asm.emit(Inst::Load { width, rd: reg(rd)?, rs1, offset });
+            return Ok(());
+        }
+        if let Some(width) = store_width(mnemonic) {
+            let [rs2, mem] = expect(&ops, mnemonic)?;
+            let (offset, rs1) = parse_mem(mem)?;
+            self.asm.emit(Inst::Store { width, rs2: reg(rs2)?, rs1, offset });
+            return Ok(());
+        }
+        if let Some(cond) = branch_cond(mnemonic) {
+            let [rs1, rs2, target] = expect(&ops, mnemonic)?;
+            return self.branch(cond, reg(rs1)?, reg(rs2)?, target);
+        }
+        match mnemonic {
+            "li" => {
+                let [rd, imm] = expect(&ops, mnemonic)?;
+                self.asm.li(reg(rd)?, parse_imm(imm)?);
+            }
+            "la" => {
+                let [rd, sym] = expect(&ops, mnemonic)?;
+                let rd = reg(rd)?;
+                match self.data.get(sym) {
+                    Some(data) => self.asm.la(rd, *data),
+                    None => return Err(format!("`la` target `{sym}` is not a data symbol")),
+                }
+            }
+            "mv" => {
+                let [rd, rs] = expect(&ops, mnemonic)?;
+                self.asm.mv(reg(rd)?, reg(rs)?);
+            }
+            "nop" => {
+                expect::<0>(&ops, mnemonic)?;
+                self.asm.nop();
+            }
+            "bnez" | "beqz" => {
+                let [rs1, target] = expect(&ops, mnemonic)?;
+                let cond = if mnemonic == "bnez" { BranchCond::Ne } else { BranchCond::Eq };
+                return self.branch(cond, reg(rs1)?, Reg::ZERO, target);
+            }
+            "j" => {
+                let [target] = expect(&ops, mnemonic)?;
+                match parse_imm(target) {
+                    Ok(offset) => self.asm.emit(Inst::Jal { rd: Reg::ZERO, offset }),
+                    Err(_) => {
+                        let label = self.jump_target(target)?;
+                        self.asm.jump(label);
+                    }
+                }
+            }
+            "call" => {
+                let [target] = expect(&ops, mnemonic)?;
+                let label = self.jump_target(target)?;
+                self.asm.call(label);
+            }
+            "jal" => {
+                let [rd, offset] = expect(&ops, mnemonic)?;
+                self.asm.emit(Inst::Jal { rd: reg(rd)?, offset: parse_imm(offset)? });
+            }
+            "jalr" => {
+                let [rd, mem] = expect(&ops, mnemonic)?;
+                let (offset, rs1) = parse_mem(mem)?;
+                self.asm.emit(Inst::Jalr { rd: reg(rd)?, rs1, offset });
+            }
+            "ret" => {
+                expect::<0>(&ops, mnemonic)?;
+                self.asm.ret();
+            }
+            "lui" | "auipc" => {
+                let [rd, imm] = expect(&ops, mnemonic)?;
+                let (rd, imm) = (reg(rd)?, parse_imm(imm)?);
+                self.asm.emit(if mnemonic == "lui" {
+                    Inst::Lui { rd, imm }
+                } else {
+                    Inst::Auipc { rd, imm }
+                });
+            }
+            "rdcycle" => {
+                let [rd] = expect(&ops, mnemonic)?;
+                self.asm.rdcycle(reg(rd)?);
+            }
+            "cflush" => {
+                let [mem] = expect(&ops, mnemonic)?;
+                let (offset, rs1) = parse_mem(mem)?;
+                self.asm.cflush(rs1, offset);
+            }
+            "ecall" => {
+                expect::<0>(&ops, mnemonic)?;
+                self.asm.ecall();
+            }
+            "ebreak" => {
+                expect::<0>(&ops, mnemonic)?;
+                self.asm.ebreak();
+            }
+            "fence" => {
+                expect::<0>(&ops, mnemonic)?;
+                self.asm.fence();
+            }
+            other => return Err(format!("unknown mnemonic `{other}`")),
+        }
+        Ok(())
+    }
+
+    /// A branch target: a label name, or a raw byte offset (the form the
+    /// instruction `Display` prints), emitted without label resolution.
+    fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, target: &str) -> Result<(), String> {
+        match parse_imm(target) {
+            Ok(offset) => self.asm.emit(Inst::Branch { cond, rs1, rs2, offset }),
+            Err(_) => {
+                let label = self.jump_target(target)?;
+                self.asm.branch(cond, rs1, rs2, label);
+            }
+        }
+        Ok(())
+    }
+
+    fn jump_target(&mut self, name: &str) -> Result<Label, String> {
+        if !is_ident(name) {
+            return Err(format!("`{name}` is not a label name"));
+        }
+        Ok(self.label(name))
+    }
+}
+
+fn is_ident(text: &str) -> bool {
+    !text.is_empty()
+        && text.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && text.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn split_operands(text: &str) -> Vec<String> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Vec::new();
+    }
+    // Commas inside string literals do not separate operands.
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut in_string = false;
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                in_string = !in_string;
+                current.push(c);
+            }
+            '\\' if in_string => {
+                current.push(c);
+                if let Some(next) = chars.next() {
+                    current.push(next);
+                }
+            }
+            ',' if !in_string => {
+                out.push(current.trim().to_string());
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    out.push(current.trim().to_string());
+    out
+}
+
+fn expect<'o, const N: usize>(ops: &[&'o str], mnemonic: &str) -> Result<[&'o str; N], String> {
+    if ops.len() != N {
+        return Err(format!("`{mnemonic}` takes {N} operand(s), got {}", ops.len()));
+    }
+    let mut out = [""; N];
+    out.copy_from_slice(ops);
+    Ok(out)
+}
+
+fn take_ident<'o>(
+    operands: &'o [String],
+    missing: &str,
+) -> Result<(&'o str, &'o [String]), String> {
+    let (first, rest) = operands.split_first().ok_or_else(|| missing.to_string())?;
+    if !is_ident(first) {
+        return Err(format!("`{first}` is not a symbol name"));
+    }
+    Ok((first, rest))
+}
+
+fn take_imm<'o>(operands: &'o [String], missing: &str) -> Result<(i64, &'o [String]), String> {
+    let (first, rest) = operands.split_first().ok_or_else(|| missing.to_string())?;
+    Ok((parse_imm(first)?, rest))
+}
+
+fn parse_imm(text: &str) -> Result<i64, String> {
+    let (negative, digits) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let value = match digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X")) {
+        Some(hex) => i64::from_str_radix(hex, 16),
+        None => digits.parse::<i64>(),
+    }
+    .map_err(|_| format!("`{text}` is not a number"))?;
+    Ok(if negative { -value } else { value })
+}
+
+fn parse_mem(text: &str) -> Result<(i64, Reg), String> {
+    let (offset, rest) =
+        text.split_once('(').ok_or_else(|| format!("`{text}` is not an `offset(reg)` operand"))?;
+    let base = rest
+        .strip_suffix(')')
+        .ok_or_else(|| format!("`{text}` is missing its closing parenthesis"))?;
+    let offset = if offset.trim().is_empty() { 0 } else { parse_imm(offset.trim())? };
+    Ok((offset, reg(base.trim())?))
+}
+
+fn reg(name: &str) -> Result<Reg, String> {
+    if let Some(index) = name.strip_prefix('x').and_then(|i| i.parse::<u8>().ok()) {
+        return Reg::from_index(index).ok_or_else(|| format!("register `{name}` out of range"));
+    }
+    Reg::all().find(|r| r.abi_name() == name).ok_or_else(|| format!("`{name}` is not a register"))
+}
+
+fn parse_string(literal: &str) -> Result<Vec<u8>, String> {
+    let inner = literal
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| format!("`{literal}` is not a quoted string"))?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push(b'\n'),
+            Some('t') => out.push(b'\t'),
+            Some('0') => out.push(0),
+            Some('\\') => out.push(b'\\'),
+            Some('"') => out.push(b'"'),
+            other => return Err(format!("unknown string escape `\\{}`", other.unwrap_or(' '))),
+        }
+    }
+    Ok(out)
+}
+
+fn alu_op(mnemonic: &str) -> Option<AluOp> {
+    Some(match mnemonic {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "sll" => AluOp::Sll,
+        "slt" => AluOp::Slt,
+        "sltu" => AluOp::Sltu,
+        "xor" => AluOp::Xor,
+        "srl" => AluOp::Srl,
+        "sra" => AluOp::Sra,
+        "or" => AluOp::Or,
+        "and" => AluOp::And,
+        "mul" => AluOp::Mul,
+        "mulh" => AluOp::Mulh,
+        "div" => AluOp::Div,
+        "divu" => AluOp::Divu,
+        "rem" => AluOp::Rem,
+        "remu" => AluOp::Remu,
+        "addw" => AluOp::Addw,
+        "subw" => AluOp::Subw,
+        "mulw" => AluOp::Mulw,
+        _ => return None,
+    })
+}
+
+fn alu_imm_op(mnemonic: &str) -> Option<AluImmOp> {
+    Some(match mnemonic {
+        "addi" => AluImmOp::Addi,
+        "slti" => AluImmOp::Slti,
+        "sltiu" => AluImmOp::Sltiu,
+        "xori" => AluImmOp::Xori,
+        "ori" => AluImmOp::Ori,
+        "andi" => AluImmOp::Andi,
+        "slli" => AluImmOp::Slli,
+        "srli" => AluImmOp::Srli,
+        "srai" => AluImmOp::Srai,
+        "addiw" => AluImmOp::Addiw,
+        _ => return None,
+    })
+}
+
+fn load_width(mnemonic: &str) -> Option<LoadWidth> {
+    Some(match mnemonic {
+        "lb" => LoadWidth::Byte,
+        "lbu" => LoadWidth::ByteU,
+        "lh" => LoadWidth::Half,
+        "lhu" => LoadWidth::HalfU,
+        "lw" => LoadWidth::Word,
+        "lwu" => LoadWidth::WordU,
+        "ld" => LoadWidth::Double,
+        _ => return None,
+    })
+}
+
+fn store_width(mnemonic: &str) -> Option<StoreWidth> {
+    Some(match mnemonic {
+        "sb" => StoreWidth::Byte,
+        "sh" => StoreWidth::Half,
+        "sw" => StoreWidth::Word,
+        "sd" => StoreWidth::Double,
+        _ => return None,
+    })
+}
+
+fn branch_cond(mnemonic: &str) -> Option<BranchCond> {
+    Some(match mnemonic {
+        "beq" => BranchCond::Eq,
+        "bne" => BranchCond::Ne,
+        "blt" => BranchCond::Lt,
+        "bge" => BranchCond::Ge,
+        "bltu" => BranchCond::Ltu,
+        "bgeu" => BranchCond::Geu,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{ExitReason, Interpreter};
+
+    #[test]
+    fn a_hand_written_source_mirrors_the_builder_byte_for_byte() {
+        let source = r#"
+            # The builder twin of this file lives right below.
+            .word table, 7, 9
+            .data out, 8
+
+            j main                   ; skip the helper
+        double:
+            slli a0, a0, 1
+            ret
+        main:
+            la t0, table
+            ld a0, 8(t0)
+            call double
+            la t1, out
+            sd a0, 0(t1)
+            ecall
+        "#;
+        let parsed = parse_asm(source).unwrap();
+
+        let mut asm = Assembler::new();
+        let table = asm.alloc_data_u64("table", &[7, 9]);
+        let out = asm.alloc_data("out", 8);
+        let double = asm.new_label();
+        let main = asm.new_label();
+        asm.jump(main);
+        asm.bind(double);
+        asm.slli(Reg::A0, Reg::A0, 1);
+        asm.ret();
+        asm.bind(main);
+        asm.la(Reg::T0, table);
+        asm.ld(Reg::A0, Reg::T0, 8);
+        asm.call(double);
+        asm.la(Reg::T1, out);
+        asm.sd(Reg::A0, Reg::T1, 0);
+        asm.ecall();
+        let built = asm.assemble().unwrap();
+
+        assert_eq!(parsed, built, "text and builder must produce identical programs");
+        assert_eq!(parsed.fingerprint(), built.fingerprint());
+
+        let mut interp = Interpreter::new(&parsed);
+        assert_eq!(interp.run(1_000).unwrap(), ExitReason::Ecall);
+        assert_eq!(interp.memory().load_u64(parsed.symbol("out").unwrap()).unwrap(), 18);
+    }
+
+    #[test]
+    fn directives_cover_every_allocation_form() {
+        let source = r#"
+            .data buf, 16, 64
+            .byte raw, 1, 2, 0xff
+            .ascii msg, "hi\n\0"
+            .equ alias, 0x2000
+            .reserve 0x20000
+            la a0, msg
+            lbu a1, 1(a0)
+            ecall
+        "#;
+        let program = parse_asm(source).unwrap();
+        assert_eq!(program.symbol("buf").unwrap() % 64, 0, "alignment honoured");
+        assert_eq!(program.symbol("alias"), Some(0x2000));
+        let mem = program.build_memory().unwrap();
+        let msg = program.symbol("msg").unwrap();
+        assert_eq!(mem.load_u8(msg).unwrap(), b'h');
+        assert_eq!(mem.load_u8(msg + 2).unwrap(), b'\n');
+        assert_eq!(mem.load_u8(msg + 3).unwrap(), 0);
+        let raw = program.symbol("raw").unwrap();
+        assert_eq!(mem.load_u8(raw + 2).unwrap(), 0xff);
+    }
+
+    #[test]
+    fn raw_offset_branches_match_display_output() {
+        // Every instruction Display prints must parse back (labels aside).
+        let source = "addi t0, zero, 2\nbne t0, zero, -4\nbltu a0, a1, 8\njal zero, 4\necall\n";
+        let program = parse_asm(source).unwrap();
+        assert_eq!(
+            program.code()[1],
+            Inst::Branch { cond: BranchCond::Ne, rs1: Reg::T0, rs2: Reg::ZERO, offset: -4 }
+        );
+        assert_eq!(program.code()[3], Inst::Jal { rd: Reg::ZERO, offset: 4 });
+    }
+
+    #[test]
+    fn numeric_registers_and_comments_parse() {
+        let program = parse_asm("addi x10, x0, 5 // five\nnop ; pad\necall").unwrap();
+        assert_eq!(
+            program.code()[0],
+            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::ZERO, imm: 5 }
+        );
+        assert_eq!(program.code()[1], Inst::Nop);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_asm("nop\nfrobnicate a0\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("frobnicate"), "{err}");
+
+        let err = parse_asm("addi a0, zero\n").unwrap_err();
+        assert!(err.message.contains("operand"), "{err}");
+
+        let err = parse_asm("lb a0, 4[t0]\n").unwrap_err();
+        assert!(err.message.contains("offset(reg)"), "{err}");
+
+        let err = parse_asm("beq a0, a1, nowhere\necall\n").unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.message.contains("nowhere"), "{err}");
+
+        let err = parse_asm("dup:\ndup:\necall\n").unwrap_err();
+        assert!(err.message.contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn la_of_an_unknown_symbol_is_rejected() {
+        let err = parse_asm("la a0, nothing\necall\n").unwrap_err();
+        assert!(err.message.contains("nothing"), "{err}");
+    }
+
+    #[test]
+    fn hostile_sizes_are_rejected_at_parse_time() {
+        // A tiny source must not be able to demand a huge guest: sizes
+        // are validated before anything is allocated.
+        for source in [
+            ".data x, 9223372036854775807\necall\n",
+            ".data x, -1\necall\n",
+            ".data x, 8, 9223372036854775807\necall\n",
+            ".data x, 8, -8\necall\n",
+            ".reserve 9223372036854775807\necall\n",
+            ".equ x, -1\necall\n",
+        ] {
+            let err = parse_asm(source).unwrap_err();
+            assert!(err.message.contains("out of range"), "{source}: {err}");
+        }
+        // Many individually-legal allocations must not add up past the
+        // bound either.
+        let mut source = String::new();
+        for i in 0..3 {
+            source.push_str(&format!(".data big{i}, {}\n", MAX_INGEST_MEMORY / 2));
+        }
+        source.push_str("ecall\n");
+        let err = parse_asm(&source).unwrap_err();
+        assert!(err.message.contains("ingestion limit"), "{err}");
+        // The bound leaves every realistic program untouched.
+        assert!(parse_asm(".data ok, 65536\necall\n").is_ok());
+    }
+}

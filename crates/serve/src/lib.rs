@@ -40,6 +40,6 @@ pub mod server;
 pub use client::Client;
 pub use json::JsonValue;
 pub use loadgen::{drive, LoadOptions, LoadOutcome};
-pub use protocol::{Request, Response};
+pub use protocol::{ProgramSource, Request, Response, DEFAULT_RUN_POLICY};
 pub use queue::{BoundedQueue, PushError};
-pub use server::{serve, LabBackend, ServerConfig, ServerHandle};
+pub use server::{serve, LabBackend, ServerConfig, ServerHandle, DEFAULT_MAX_FRAME_BYTES};

@@ -169,7 +169,7 @@ mod tests {
         let handle = serve(
             "127.0.0.1:0",
             Arc::clone(&backend) as Arc<dyn LabBackend>,
-            ServerConfig { workers: 3, queue_depth: 32 },
+            ServerConfig { workers: 3, queue_depth: 32, ..ServerConfig::default() },
         )
         .unwrap();
         let requests = [
@@ -201,7 +201,7 @@ mod tests {
         let handle = serve(
             "127.0.0.1:0",
             backend as Arc<dyn LabBackend>,
-            ServerConfig { workers: 1, queue_depth: 8 },
+            ServerConfig { workers: 1, queue_depth: 8, ..ServerConfig::default() },
         )
         .unwrap();
         let requests = [Request::Run { scenario: "x".to_string() }];

@@ -7,22 +7,62 @@
 //! to what the `lab` CLI would have printed locally.
 //!
 //! See `docs/PROTOCOL.md` for the full specification with examples; the
-//! summary:
+//! summary (protocol v2):
 //!
 //! | request `op` | payload members        | answer                          |
 //! |--------------|------------------------|---------------------------------|
 //! | `run`        | `scenario`             | one-scenario lab report JSON    |
+//! | `run`        | `program`, `policy?`   | ad-hoc program-ref report JSON  |
 //! | `sweep`      | `sweep`, `threads?`    | full sweep report JSON          |
 //! | `analyze`    | `program`              | taint-verdict report JSON       |
+//! | `upload`     | `asm` \| `image`       | content fingerprint + dedup     |
 //! | `stats`      | —                      | server + cache counters         |
 //! | `health`     | —                      | liveness + capacity             |
 //! | `shutdown`   | —                      | ack, then the daemon stops      |
+//!
+//! v2 turns programs into data: `upload` submits a guest program (text
+//! assembly or a program-image JSON document, both escaped into one frame
+//! member) into the daemon's content-addressed program store, and the
+//! `program` members of `run`/`analyze` accept the program-ref grammar
+//! (`registry:<name>` or a bare name, `fp:<16-hex>` for uploaded
+//! content).
 //!
 //! Responses carry `status`: `"ok"` (with `body`), `"busy"` (bounded job
 //! queue full — explicit backpressure, retry later) or `"error"` (with
 //! `error`).
 
 use crate::json::{escape, JsonValue};
+
+/// Mitigation-policy label applied when a program-ref `run` request does
+/// not name one: the verdict-gated selective policy, the flagship of this
+/// repo's analysis pipeline.
+pub const DEFAULT_RUN_POLICY: &str = "selective";
+
+/// The source form of an uploaded guest program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramSource {
+    /// Text assembly (the `dbt-riscv` `.s` grammar).
+    Asm(String),
+    /// A program-image JSON document (`dbt-riscv/program-image/v1`).
+    Image(String),
+}
+
+impl ProgramSource {
+    /// The frame member carrying this source form.
+    pub fn member(&self) -> &'static str {
+        match self {
+            ProgramSource::Asm(_) => "asm",
+            ProgramSource::Image(_) => "image",
+        }
+    }
+
+    /// The source text.
+    pub fn text(&self) -> &str {
+        match self {
+            ProgramSource::Asm(text) | ProgramSource::Image(text) => text,
+        }
+    }
+}
 
 /// One request frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +71,13 @@ pub enum Request {
     Run {
         /// The scenario name.
         scenario: String,
+    },
+    /// Run an ad-hoc program named by a program ref under one policy.
+    RunProgram {
+        /// Program ref (`registry:<name>`, bare name, or `fp:<16-hex>`).
+        program: String,
+        /// Mitigation-policy label (`unsafe`, `selective`, ...).
+        policy: String,
     },
     /// Run one registered sweep.
     Sweep {
@@ -41,8 +88,15 @@ pub enum Request {
     },
     /// Per-block speculative-taint verdicts of one program.
     Analyze {
-        /// Workload name, `ptr-matmul`, `spectre-v1` or `spectre-v4`.
+        /// Program ref: a registry name (a workload, `ptr-matmul`,
+        /// `spectre-v1`, `spectre-v4`) or `fp:<16-hex>` of uploaded
+        /// content.
         program: String,
+    },
+    /// Submit a guest program into the daemon's program store.
+    Upload {
+        /// The program source (text assembly or image JSON).
+        source: ProgramSource,
     },
     /// Server and cache counters.
     Stats,
@@ -56,9 +110,10 @@ impl Request {
     /// The `op` tag of this request.
     pub fn op(&self) -> &'static str {
         match self {
-            Request::Run { .. } => "run",
+            Request::Run { .. } | Request::RunProgram { .. } => "run",
             Request::Sweep { .. } => "sweep",
             Request::Analyze { .. } => "analyze",
+            Request::Upload { .. } => "upload",
             Request::Stats => "stats",
             Request::Health => "health",
             Request::Shutdown => "shutdown",
@@ -68,7 +123,14 @@ impl Request {
     /// `true` if the request is executed on the worker pool (and therefore
     /// subject to queue backpressure) rather than answered inline.
     pub fn is_heavy(&self) -> bool {
-        matches!(self, Request::Run { .. } | Request::Sweep { .. } | Request::Analyze { .. })
+        matches!(
+            self,
+            Request::Run { .. }
+                | Request::RunProgram { .. }
+                | Request::Sweep { .. }
+                | Request::Analyze { .. }
+                | Request::Upload { .. }
+        )
     }
 
     /// Encodes the frame (one line, no trailing newline).
@@ -77,6 +139,11 @@ impl Request {
             Request::Run { scenario } => {
                 format!("{{\"op\": \"run\", \"scenario\": \"{}\"}}", escape(scenario))
             }
+            Request::RunProgram { program, policy } => format!(
+                "{{\"op\": \"run\", \"program\": \"{}\", \"policy\": \"{}\"}}",
+                escape(program),
+                escape(policy)
+            ),
             Request::Sweep { name, threads } => format!(
                 "{{\"op\": \"sweep\", \"sweep\": \"{}\", \"threads\": {threads}}}",
                 escape(name)
@@ -84,6 +151,11 @@ impl Request {
             Request::Analyze { program } => {
                 format!("{{\"op\": \"analyze\", \"program\": \"{}\"}}", escape(program))
             }
+            Request::Upload { source } => format!(
+                "{{\"op\": \"upload\", \"{}\": \"{}\"}}",
+                source.member(),
+                escape(source.text())
+            ),
             Request::Stats => "{\"op\": \"stats\"}".to_string(),
             Request::Health => "{\"op\": \"health\"}".to_string(),
             Request::Shutdown => "{\"op\": \"shutdown\"}".to_string(),
@@ -110,7 +182,17 @@ impl Request {
                 .ok_or(format!("`{op}` needs a string `{member}` member"))
         };
         match op {
-            "run" => Ok(Request::Run { scenario: need("scenario")? }),
+            "run" => {
+                if value.get("program").is_some() {
+                    let policy = match value.get("policy") {
+                        None => DEFAULT_RUN_POLICY.to_string(),
+                        Some(_) => need("policy")?,
+                    };
+                    Ok(Request::RunProgram { program: need("program")?, policy })
+                } else {
+                    Ok(Request::Run { scenario: need("scenario")? })
+                }
+            }
             "sweep" => {
                 let threads = match value.get("threads") {
                     None => 0,
@@ -121,11 +203,19 @@ impl Request {
                 Ok(Request::Sweep { name: need("sweep")?, threads })
             }
             "analyze" => Ok(Request::Analyze { program: need("program")? }),
+            "upload" => match (value.get("asm"), value.get("image")) {
+                (Some(_), None) => Ok(Request::Upload { source: ProgramSource::Asm(need("asm")?) }),
+                (None, Some(_)) => {
+                    Ok(Request::Upload { source: ProgramSource::Image(need("image")?) })
+                }
+                (Some(_), Some(_)) => Err("`upload` takes `asm` or `image`, not both".to_string()),
+                (None, None) => Err("`upload` needs an `asm` or `image` string member".to_string()),
+            },
             "stats" => Ok(Request::Stats),
             "health" => Ok(Request::Health),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op `{other}` (expected run|sweep|analyze|stats|health|shutdown)"
+                "unknown op `{other}` (expected run|sweep|analyze|upload|stats|health|shutdown)"
             )),
         }
     }
@@ -208,8 +298,14 @@ mod tests {
     fn requests_round_trip() {
         let requests = [
             Request::Run { scenario: "figure4/gemm (flat)/our-approach/default".to_string() },
+            Request::RunProgram {
+                program: "fp:0123456789abcdef".to_string(),
+                policy: "selective".to_string(),
+            },
             Request::Sweep { name: "figure4".to_string(), threads: 7 },
             Request::Analyze { program: "histogram".to_string() },
+            Request::Upload { source: ProgramSource::Asm("li a0, 1\necall\n".to_string()) },
+            Request::Upload { source: ProgramSource::Image("{\"schema\": \"x\"}".to_string()) },
             Request::Stats,
             Request::Health,
             Request::Shutdown,
@@ -225,6 +321,30 @@ mod tests {
     fn sweep_threads_default_to_zero() {
         let request = Request::decode(r#"{"op": "sweep", "sweep": "figure4"}"#).unwrap();
         assert_eq!(request, Request::Sweep { name: "figure4".to_string(), threads: 0 });
+    }
+
+    #[test]
+    fn program_ref_runs_default_to_the_selective_policy() {
+        let request =
+            Request::decode(r#"{"op": "run", "program": "fp:00000000000000aa"}"#).unwrap();
+        assert_eq!(
+            request,
+            Request::RunProgram {
+                program: "fp:00000000000000aa".to_string(),
+                policy: DEFAULT_RUN_POLICY.to_string(),
+            }
+        );
+        // A scenario-form `run` still decodes as before.
+        let request = Request::decode(r#"{"op": "run", "scenario": "a/b/c/d"}"#).unwrap();
+        assert_eq!(request, Request::Run { scenario: "a/b/c/d".to_string() });
+    }
+
+    #[test]
+    fn upload_sources_carry_multiline_programs() {
+        let source = ProgramSource::Asm(".word table, 1, 2\nli a0, 3\necall\n".to_string());
+        let line = Request::Upload { source: source.clone() }.encode();
+        assert!(!line.contains('\n'), "frames are single lines: {line}");
+        assert_eq!(Request::decode(&line).unwrap(), Request::Upload { source });
     }
 
     #[test]
@@ -248,7 +368,10 @@ mod tests {
             ("nonsense", "malformed"),
             ("{}", "`op`"),
             (r#"{"op": "run"}"#, "`scenario`"),
+            (r#"{"op": "run", "program": "x", "policy": 3}"#, "`policy`"),
             (r#"{"op": "sweep", "sweep": "x", "threads": -1}"#, "threads"),
+            (r#"{"op": "upload"}"#, "`asm` or `image`"),
+            (r#"{"op": "upload", "asm": "ecall", "image": "{}"}"#, "not both"),
             (r#"{"op": "teleport"}"#, "unknown op"),
         ] {
             let error = Request::decode(line).unwrap_err();

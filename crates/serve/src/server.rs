@@ -12,9 +12,11 @@
 //! 1. the acceptor thread hands each connection to a detached handler
 //!    thread that reads newline-delimited request frames;
 //! 2. cheap requests (`stats`, `health`, `shutdown`) are answered inline;
-//! 3. heavy requests (`run`, `sweep`, `analyze`) are pushed onto the
-//!    bounded [`BoundedQueue`]; a full queue answers `busy` immediately —
-//!    explicit backpressure instead of unbounded buffering;
+//! 3. heavy requests (`run`, `sweep`, `analyze`, `upload`) are pushed onto
+//!    the bounded [`BoundedQueue`]; a full queue answers `busy` immediately
+//!    — explicit backpressure instead of unbounded buffering (request
+//!    lines themselves are bounded too: see
+//!    [`ServerConfig::max_frame_bytes`]);
 //! 4. the fixed pool of worker threads pops jobs, executes them on the
 //!    backend, and sends the result back to the waiting handler, which
 //!    writes the response frame.
@@ -24,9 +26,9 @@
 //! — and wakes the acceptor, so [`ServerHandle::wait`] returns once all
 //! admitted work is done.
 
-use crate::protocol::{Request, Response};
+use crate::protocol::{ProgramSource, Request, Response};
 use crate::queue::{BoundedQueue, PushError};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -36,7 +38,7 @@ use std::thread::JoinHandle;
 ///
 /// Implementations must be thread-safe: the worker pool calls these
 /// concurrently. Every method returns the *payload* of an `ok` response —
-/// for the three heavy operations that is expected to be the lab's
+/// for the report-producing operations that is expected to be the lab's
 /// byte-stable report JSON, so a daemon answer is byte-identical to what a
 /// local CLI invocation would have printed.
 pub trait LabBackend: Send + Sync {
@@ -55,17 +57,52 @@ pub trait LabBackend: Send + Sync {
     /// A human-readable message for the `error` response frame.
     fn sweep(&self, name: &str, threads: usize) -> Result<String, String>;
 
-    /// Analyzes one program, returning the verdict report JSON.
+    /// Analyzes one program (named by a program ref), returning the
+    /// verdict report JSON.
     ///
     /// # Errors
     ///
     /// A human-readable message for the `error` response frame.
     fn analyze(&self, program: &str) -> Result<String, String>;
 
+    /// Submits a guest program into the backend's program store,
+    /// returning a single-line JSON object with at least `fingerprint`
+    /// (the `fp:<16-hex>` content address) and `dedup` (whether identical
+    /// content was already resident).
+    ///
+    /// The default implementation rejects uploads, so backends without a
+    /// program store keep working unchanged.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for the `error` response frame.
+    fn upload(&self, source: &ProgramSource) -> Result<String, String> {
+        let _ = source;
+        Err("this backend does not accept program uploads".to_string())
+    }
+
+    /// Runs an ad-hoc program named by a program ref under `policy`,
+    /// returning the report JSON. Rejected by default, like
+    /// [`LabBackend::upload`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for the `error` response frame.
+    fn run_program(&self, program: &str, policy: &str) -> Result<String, String> {
+        let _ = (program, policy);
+        Err("this backend does not run ad-hoc programs".to_string())
+    }
+
     /// Single-line JSON object with the backend's cache/service counters
     /// (embedded verbatim in the `stats` response body).
     fn stats_json(&self) -> String;
 }
+
+/// Default bound on one request frame, in bytes. Large enough for any
+/// realistic program upload (the biggest in-repo image is a few hundred
+/// KiB), small enough that a hostile or broken client cannot make a
+/// handler buffer unboundedly.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 4 << 20;
 
 /// Daemon sizing knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,14 +112,19 @@ pub struct ServerConfig {
     /// Bound of the job queue; `0` makes every heavy request answer
     /// `busy` (useful to exercise the backpressure path).
     pub queue_depth: usize,
+    /// Bound on one request line: longer frames are answered with a clean
+    /// `error` frame and the connection is closed (the line's framing can
+    /// no longer be trusted), instead of buffering without limit.
+    pub max_frame_bytes: usize,
 }
 
 impl Default for ServerConfig {
     /// Two workers over a 16-deep queue: enough concurrency to overlap a
     /// sweep with single-scenario queries without oversubscribing the
-    /// sweep executor's own threads.
+    /// sweep executor's own threads. Frames are capped at
+    /// [`DEFAULT_MAX_FRAME_BYTES`].
     fn default() -> ServerConfig {
-        ServerConfig { workers: 2, queue_depth: 16 }
+        ServerConfig { workers: 2, queue_depth: 16, max_frame_bytes: DEFAULT_MAX_FRAME_BYTES }
     }
 }
 
@@ -216,8 +258,10 @@ impl ServerHandle {
 fn execute(backend: &dyn LabBackend, request: &Request) -> Result<String, String> {
     match request {
         Request::Run { scenario } => backend.run_scenario(scenario),
+        Request::RunProgram { program, policy } => backend.run_program(program, policy),
         Request::Sweep { name, threads } => backend.sweep(name, *threads),
         Request::Analyze { program } => backend.analyze(program),
+        Request::Upload { source } => backend.upload(source),
         // Cheap requests never reach the queue.
         Request::Stats | Request::Health | Request::Shutdown => {
             Err("internal: cheap request on the worker pool".to_string())
@@ -225,12 +269,75 @@ fn execute(backend: &dyn LabBackend, request: &Request) -> Result<String, String
     }
 }
 
+/// What one bounded frame read produced.
+enum Frame {
+    /// A complete line (without the trailing newline).
+    Line(String),
+    /// The peer closed the connection (or the read failed).
+    Eof,
+    /// The line exceeded the frame cap, or was not UTF-8: answer a clean
+    /// `error` frame and close — mid-line, the framing cannot be trusted
+    /// any further.
+    Fatal(String),
+}
+
+/// Reads one newline-terminated frame, never buffering more than
+/// `max_bytes` of it.
+fn read_frame(reader: &mut BufReader<TcpStream>, max_bytes: usize) -> Frame {
+    let mut buf = Vec::new();
+    let mut limited = (&mut *reader).take(max_bytes as u64 + 1);
+    match limited.read_until(b'\n', &mut buf) {
+        Err(_) | Ok(0) => return Frame::Eof,
+        Ok(_) => {}
+    }
+    // The newline is framing, not payload: drop it before checking the
+    // cap, so a line of exactly `max_bytes` is accepted.
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+    }
+    if buf.len() > max_bytes {
+        // Discard the rest of the line (bounded, never buffered) before
+        // answering: closing with unread bytes in the socket would RST
+        // the connection and destroy the error frame we promise. A peer
+        // that streams more than the drain cap without a newline gets
+        // cut off regardless.
+        let mut scratch = [0u8; 8192];
+        let mut drained = 0u64;
+        while drained <= 16 * max_bytes as u64 {
+            match reader.read(&mut scratch) {
+                Err(_) | Ok(0) => break,
+                Ok(n) => {
+                    drained += n as u64;
+                    if scratch[..n].contains(&b'\n') {
+                        break;
+                    }
+                }
+            }
+        }
+        return Frame::Fatal(format!(
+            "request frame exceeds the {max_bytes}-byte limit; closing the connection"
+        ));
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => Frame::Line(line),
+        Err(_) => Frame::Fatal("request frame is not valid UTF-8".to_string()),
+    }
+}
+
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     let Ok(write_half) = stream.try_clone() else { return };
     let mut writer = write_half;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { return };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_frame(&mut reader, shared.config.max_frame_bytes) {
+            Frame::Eof => return,
+            Frame::Fatal(error) => {
+                let response = Response::Error { op: "invalid".to_string(), error };
+                let _ = writeln!(writer, "{}", response.encode()).and_then(|()| writer.flush());
+                return;
+            }
+            Frame::Line(line) => line,
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -383,9 +490,12 @@ mod tests {
         let (started_tx, started_rx) = mpsc::channel();
         let (release_tx, release_rx) = mpsc::channel();
         let backend = BlockingBackend { started: started_tx, release: Mutex::new(release_rx) };
-        let handle =
-            serve("127.0.0.1:0", Arc::new(backend), ServerConfig { workers: 1, queue_depth: 1 })
-                .unwrap();
+        let handle = serve(
+            "127.0.0.1:0",
+            Arc::new(backend),
+            ServerConfig { workers: 1, queue_depth: 1, ..ServerConfig::default() },
+        )
+        .unwrap();
         let addr = handle.addr();
 
         // Job A occupies the single worker (we *know* it was popped once
@@ -442,9 +552,12 @@ mod tests {
         let (started_tx, _started_rx) = mpsc::channel();
         let (_release_tx, release_rx) = mpsc::channel();
         let backend = BlockingBackend { started: started_tx, release: Mutex::new(release_rx) };
-        let handle =
-            serve("127.0.0.1:0", Arc::new(backend), ServerConfig { workers: 1, queue_depth: 0 })
-                .unwrap();
+        let handle = serve(
+            "127.0.0.1:0",
+            Arc::new(backend),
+            ServerConfig { workers: 1, queue_depth: 0, ..ServerConfig::default() },
+        )
+        .unwrap();
         let mut client = Client::connect(handle.addr()).unwrap();
         for _ in 0..3 {
             let reply = client.request(&run_request("x")).unwrap();
@@ -466,6 +579,54 @@ mod tests {
         // The connection survives a bad frame.
         let reply = client.request(&Request::Health).unwrap();
         assert!(matches!(reply, Response::Ok { .. }));
+        handle.shutdown();
+        handle.wait();
+    }
+
+    #[test]
+    fn oversized_frames_answer_a_clean_error_and_close() {
+        let (started_tx, _started_rx) = mpsc::channel();
+        let (_release_tx, release_rx) = mpsc::channel();
+        let backend = BlockingBackend { started: started_tx, release: Mutex::new(release_rx) };
+        let handle = serve(
+            "127.0.0.1:0",
+            Arc::new(backend),
+            ServerConfig { max_frame_bytes: 64, ..ServerConfig::default() },
+        )
+        .unwrap();
+
+        // A frame under the cap still answers normally.
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let reply = client.request(&Request::Health).unwrap();
+        assert!(matches!(reply, Response::Ok { .. }));
+
+        // A line of *exactly* the cap is within the limit (the newline is
+        // framing, not payload): it fails as bad JSON, not as oversized,
+        // and the connection survives.
+        let exact = "x".repeat(64);
+        let reply = client.raw_request(&exact).unwrap();
+        let Response::Error { error, .. } = reply else { panic!("expected an error frame") };
+        assert!(!error.contains("limit"), "{error}");
+        let reply = client.request(&Request::Health).unwrap();
+        assert!(matches!(reply, Response::Ok { .. }));
+
+        // A frame over the cap gets one clean error frame, not a hang and
+        // not unbounded buffering...
+        let huge = format!("{{\"op\": \"analyze\", \"program\": \"{}\"}}", "x".repeat(256));
+        let reply = client.raw_request(&huge).unwrap();
+        let Response::Error { op, error } = reply else { panic!("expected an error frame") };
+        assert_eq!(op, "invalid");
+        assert!(error.contains("64-byte limit"), "{error}");
+
+        // ...and the connection is closed afterwards (mid-line, framing
+        // cannot be trusted).
+        assert!(client.request(&Request::Health).is_err(), "connection must be closed");
+
+        // Fresh connections keep working.
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let reply = client.request(&Request::Health).unwrap();
+        assert!(matches!(reply, Response::Ok { .. }));
+
         handle.shutdown();
         handle.wait();
     }

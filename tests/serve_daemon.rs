@@ -23,7 +23,7 @@ fn ok_body(response: Response) -> String {
 fn concurrent_clients_get_reports_byte_identical_to_a_serial_sweep() {
     let handle = start(
         LabDaemon::with_threads(WorkloadSize::Mini, 1),
-        ServerConfig { workers: 3, queue_depth: 16 },
+        ServerConfig { workers: 3, queue_depth: 16, ..ServerConfig::default() },
     );
     let addr = handle.addr();
 
@@ -75,7 +75,7 @@ fn concurrent_clients_get_reports_byte_identical_to_a_serial_sweep() {
 fn run_memo_counters_are_deterministic_for_a_fixed_job_list() {
     let handle = start(
         LabDaemon::with_threads(WorkloadSize::Mini, 1),
-        ServerConfig { workers: 2, queue_depth: 8 },
+        ServerConfig { workers: 2, queue_depth: 8, ..ServerConfig::default() },
     );
     let mut client = Client::connect(handle.addr()).expect("connect");
 
@@ -106,7 +106,7 @@ fn full_queue_answers_busy_instead_of_hanging() {
     // worker-occupancy variant lives in dbt-serve's own tests).
     let handle = start(
         LabDaemon::with_threads(WorkloadSize::Mini, 1),
-        ServerConfig { workers: 1, queue_depth: 0 },
+        ServerConfig { workers: 1, queue_depth: 0, ..ServerConfig::default() },
     );
     let mut client = Client::connect(handle.addr()).expect("connect");
     let request = Request::Sweep { name: "ptr-matmul".to_string(), threads: 1 };
