@@ -38,6 +38,7 @@ use crate::schedule::schedule;
 use crate::trace_builder::GuestPath;
 use crate::translate::translate_path;
 use dbt_ir::{BlockKind, DepGraph, DfgOptions, IrBlock};
+use dbt_obs::{Histogram, MetricsRegistry, Span, DEFAULT_LATENCY_BOUNDS_MICROS};
 use dbt_vliw::TranslatedBlock;
 use ghostbusters::{apply_with_verdict, MitigationPolicy, MitigationReport};
 use spectaint::LeakageVerdict;
@@ -112,6 +113,28 @@ impl ServiceStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Mirrors this snapshot into `registry` as the `dbt_translate_*`
+    /// metric families. Called at scrape time so the Prometheus
+    /// exposition and the `stats` JSON agree exactly on the same
+    /// snapshot.
+    pub fn export(&self, registry: &MetricsRegistry) {
+        registry
+            .counter("dbt_translate_hits_total", "Translation queries answered from the memo.")
+            .set(self.hits);
+        registry
+            .counter("dbt_translate_misses_total", "Translation queries that had to compile.")
+            .set(self.misses);
+        registry
+            .gauge("dbt_translate_programs", "Program entries resident in the service.")
+            .set(self.programs as i64);
+        registry
+            .counter(
+                "dbt_translate_evictions_total",
+                "Program entries evicted to honour the capacity bound.",
+            )
+            .set(self.evictions);
     }
 }
 
@@ -216,6 +239,31 @@ struct ProgramTranslations {
     last_used: AtomicU64,
 }
 
+/// Resolved phase-timing handles (one histogram per compile stage);
+/// present only on services built with
+/// [`TranslationService::with_metrics`].
+#[derive(Debug)]
+struct ServiceMetrics {
+    analysis_seconds: Arc<Histogram>,
+    codegen_seconds: Arc<Histogram>,
+}
+
+impl ServiceMetrics {
+    /// Resolves the `dbt_translate_phase_seconds{phase=...}` handles on
+    /// `registry`.
+    fn resolve(registry: &MetricsRegistry) -> ServiceMetrics {
+        let phase = |phase| {
+            registry.histogram_with(
+                "dbt_translate_phase_seconds",
+                "Wall-clock time of actual (non-memoized) compile-stage executions.",
+                DEFAULT_LATENCY_BOUNDS_MICROS,
+                &[("phase", phase)],
+            )
+        };
+        ServiceMetrics { analysis_seconds: phase("analysis"), codegen_seconds: phase("codegen") }
+    }
+}
+
 /// The memoizing, thread-safe translation query layer.
 ///
 /// Construct one per process (or per sweep, for deterministic per-sweep
@@ -238,6 +286,7 @@ pub struct TranslationService {
     misses: AtomicU64,
     evictions: AtomicU64,
     tick: AtomicU64,
+    metrics: Option<ServiceMetrics>,
 }
 
 /// Default bound on resident program entries. Far above any standard sweep
@@ -258,6 +307,21 @@ impl TranslationService {
     ///
     /// Panics if `capacity` is zero.
     pub fn with_capacity(capacity: usize) -> Arc<TranslationService> {
+        TranslationService::build(capacity, None)
+    }
+
+    /// A default-capacity service whose compile stages record wall-clock
+    /// phase timings into `registry` (the
+    /// `dbt_translate_phase_seconds{phase="analysis"|"codegen"}`
+    /// families). Only *actual* compiles are timed — memoized answers
+    /// never touch the clock — and the timings are pure observability:
+    /// deterministic products, counters and cycle outputs are identical
+    /// to an uninstrumented service.
+    pub fn with_metrics(registry: &MetricsRegistry) -> Arc<TranslationService> {
+        TranslationService::build(DEFAULT_SERVICE_CAPACITY, Some(ServiceMetrics::resolve(registry)))
+    }
+
+    fn build(capacity: usize, metrics: Option<ServiceMetrics>) -> Arc<TranslationService> {
         assert!(capacity >= 1, "the translation service needs room for at least one program");
         Arc::new(TranslationService {
             capacity,
@@ -266,6 +330,7 @@ impl TranslationService {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             tick: AtomicU64::new(0),
+            metrics,
         })
     }
 
@@ -355,9 +420,13 @@ impl TranslationService {
         let policy = optimised.then_some(config.policy);
         let codegen_key = hash64(&(analysis_key, policy, config.issue_width));
         let (product, cache_hit) = self.query(&entry.codegens, codegen_key, || {
-            let (analysis, _) =
-                self.query(&entry.analyses, analysis_key, || run_analysis(path, kind, options));
-            run_codegen(&analysis?, config.policy, config.issue_width)
+            let (analysis, _) = self.query(&entry.analyses, analysis_key, || {
+                let _span = self.metrics.as_ref().map(|m| Span::on(&m.analysis_seconds));
+                run_analysis(path, kind, options)
+            });
+            let analysis = analysis?;
+            let _span = self.metrics.as_ref().map(|m| Span::on(&m.codegen_seconds));
+            run_codegen(&analysis, config.policy, config.issue_width)
         });
         Ok(Translated { product: product?, cache_hit })
     }
@@ -475,5 +544,42 @@ mod tests {
     #[should_panic(expected = "at least one program")]
     fn zero_capacity_is_rejected() {
         let _ = TranslationService::with_capacity(0);
+    }
+
+    #[test]
+    fn metered_service_times_actual_compiles_only() {
+        let (mem, entry) = straightline_memory();
+        let registry = MetricsRegistry::new();
+        let service = TranslationService::with_metrics(&registry);
+        let path = basic_path(&mem, entry);
+        let config = DbtConfig::unprotected();
+        let _ = service.translate(1, &config, &path, BlockKind::Basic).unwrap();
+        let _ = service.translate(1, &config, &path, BlockKind::Basic).unwrap();
+        let text = registry.render();
+        assert!(
+            text.contains("dbt_translate_phase_seconds_count{phase=\"analysis\"} 1"),
+            "one actual analysis despite two asks:\n{text}"
+        );
+        assert!(
+            text.contains("dbt_translate_phase_seconds_count{phase=\"codegen\"} 1"),
+            "one actual codegen despite two asks:\n{text}"
+        );
+    }
+
+    #[test]
+    fn stats_export_mirrors_the_snapshot() {
+        let (mem, entry) = straightline_memory();
+        let registry = MetricsRegistry::new();
+        let service = TranslationService::new();
+        let path = basic_path(&mem, entry);
+        let config = DbtConfig::unprotected();
+        let _ = service.translate(1, &config, &path, BlockKind::Basic).unwrap();
+        let _ = service.translate(1, &config, &path, BlockKind::Basic).unwrap();
+        service.stats().export(&registry);
+        let text = registry.render();
+        assert!(text.contains("dbt_translate_hits_total 1"), "{text}");
+        assert!(text.contains("dbt_translate_misses_total 2"), "{text}");
+        assert!(text.contains("dbt_translate_programs 1"), "{text}");
+        assert!(text.contains("dbt_translate_evictions_total 0"), "{text}");
     }
 }

@@ -19,6 +19,7 @@
 //! cargo run --release -p dbt-lab -- submit upload examples/spectre_v1_gadget.s --addr 127.0.0.1:4075
 //! cargo run --release -p dbt-lab -- submit analyze fp:0123456789abcdef --addr 127.0.0.1:4075
 //! cargo run --release -p dbt-lab -- submit stats --addr 127.0.0.1:4075
+//! cargo run --release -p dbt-lab -- metrics --addr 127.0.0.1:4075
 //! cargo run --release -p dbt-lab -- submit shutdown --addr 127.0.0.1:4075
 //!
 //! # Load-test an (in-process, unless --addr is given) daemon and emit the
@@ -80,9 +81,12 @@ fn usage() -> &'static str {
      \x20 submit <op> [arg]        send one request to a running daemon\n\
      \x20                          (run <scenario|ref> | sweep <name> |\n\
      \x20                           analyze <program|ref> | upload <path> |\n\
-     \x20                           stats | health | shutdown) and print\n\
-     \x20                          the response body; refs are registry:<name>\n\
-     \x20                          or fp:<hex> from a previous upload\n\
+     \x20                           stats | metrics | health | shutdown) and\n\
+     \x20                          print the response body; refs are\n\
+     \x20                          registry:<name> or fp:<hex> from a\n\
+     \x20                          previous upload\n\
+     \x20 metrics                  scrape a running daemon's Prometheus\n\
+     \x20                          text exposition (alias of submit metrics)\n\
      \x20 loadgen                  drive N concurrent clients against a\n\
      \x20                          daemon and emit BENCH_serve-throughput\n\
      \n\
@@ -354,7 +358,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 
 fn cmd_submit(args: &Args) -> Result<(), String> {
     let op = args.positional.first().ok_or_else(|| {
-        "submit expects an op (run|sweep|analyze|upload|stats|health|shutdown)".to_string()
+        "submit expects an op (run|sweep|analyze|upload|stats|metrics|health|shutdown)".to_string()
     })?;
     let arg = |what: &str| {
         args.positional
@@ -384,6 +388,7 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
             Request::Upload { source }
         }
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
         "health" => Request::Health,
         "shutdown" => Request::Shutdown,
         other => return Err(format!("unknown submit op `{other}`")),
@@ -392,6 +397,25 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
     let mut client =
         Client::connect(addr).map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
     match client.request(&request)? {
+        Response::Ok { body, .. } => {
+            print!("{body}");
+            if !body.ends_with('\n') {
+                println!();
+            }
+            Ok(())
+        }
+        Response::Busy { op } => Err(format!("server busy (op `{op}`), try again later")),
+        Response::Error { error, .. } => Err(error),
+    }
+}
+
+/// `lab metrics`: scrape a running daemon's Prometheus text exposition
+/// (exactly what a scrape agent would collect from the `metrics` op).
+fn cmd_metrics(args: &Args) -> Result<(), String> {
+    let addr = args.addr.as_deref().unwrap_or(DEFAULT_ADDR);
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    match client.request(&Request::Metrics)? {
         Response::Ok { body, .. } => {
             print!("{body}");
             if !body.ends_with('\n') {
@@ -550,6 +574,20 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
             100.0 * rate(memo_hits, memo_misses),
             100.0 * rate(translation_hits, translation_misses)
         );
+        // Per-op client-observed latency percentiles (deterministic bucket
+        // upper bounds) and busy rate. Operator output only: this never
+        // enters the BENCH artifact, whose bytes stay timing-free.
+        for op in &outcome.per_op {
+            eprintln!(
+                "[loadgen] {}: {} requests, p50={}us p95={}us p99={}us, busy {:.1}%",
+                op.op,
+                op.requests,
+                op.p50_micros,
+                op.p95_micros,
+                op.p99_micros,
+                100.0 * op.busy_rate()
+            );
+        }
     }
     Ok(())
 }
@@ -575,6 +613,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&args),
         "serve" => cmd_serve(&args),
         "submit" => cmd_submit(&args),
+        "metrics" => cmd_metrics(&args),
         "loadgen" => cmd_loadgen(&args),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
     };

@@ -27,9 +27,10 @@
 //! to the equal program built in-process.
 
 use crate::analyze::{analyze_built, resolve_program};
-use crate::exec::{run_sweep_memo, ExecOptions};
+use crate::exec::{run_sweep_obs, ExecOptions};
 use crate::registry::Registry;
 use crate::scenario::{PlatformVariant, ProgramSpec, Scenario, ScenarioKind};
+use dbt_obs::MetricsRegistry;
 use dbt_platform::{ProgramRef, ProgramStore, RunMemo, TranslationService};
 use dbt_riscv::Program;
 use dbt_serve::{LabBackend, ProgramSource};
@@ -60,6 +61,12 @@ pub struct LabDaemon {
     service: Arc<TranslationService>,
     memo: Arc<RunMemo>,
     store: Arc<ProgramStore>,
+    /// The daemon's own metric registry: translation phase histograms,
+    /// the executor's simulate span, and — mirrored at scrape time — the
+    /// cache/service counters `stats_json` reports. Per daemon, not
+    /// process-global, so concurrent daemons (and tests) never bleed into
+    /// each other's expositions.
+    obs: Arc<MetricsRegistry>,
 }
 
 impl LabDaemon {
@@ -81,12 +88,14 @@ impl LabDaemon {
             let spec = resolve_program(label, size).expect("registry labels resolve");
             store.register(label, move || spec.build());
         }
+        let obs = MetricsRegistry::new();
         LabDaemon {
             registry: Registry::standard(size),
             default_threads,
-            service: TranslationService::new(),
+            service: TranslationService::with_metrics(&obs),
             memo: RunMemo::new(),
             store,
+            obs,
         }
     }
 
@@ -103,6 +112,11 @@ impl LabDaemon {
     /// The content-addressed program store all requests share.
     pub fn store(&self) -> &Arc<ProgramStore> {
         &self.store
+    }
+
+    /// The daemon's metric registry (what the `metrics` op renders).
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.obs
     }
 
     fn exec_opts(&self, threads: usize) -> ExecOptions {
@@ -133,24 +147,26 @@ impl LabBackend for LabDaemon {
             .registry
             .find_scenario(scenario)
             .ok_or_else(|| format!("unknown scenario `{scenario}` (see `lab list`)"))?;
-        let report = run_sweep_memo(
+        let report = run_sweep_obs(
             scenario,
             std::slice::from_ref(&found),
             ExecOptions { threads: 1, verbose: false },
             &self.service,
             Some(&self.memo),
+            Some(&self.obs),
         );
         Ok(report.to_json())
     }
 
     fn sweep(&self, name: &str, threads: usize) -> Result<String, String> {
         let sweep = self.registry.find(name).ok_or_else(|| format!("unknown sweep `{name}`"))?;
-        let report = run_sweep_memo(
+        let report = run_sweep_obs(
             &sweep.name,
             &sweep.expand(),
             self.exec_opts(threads),
             &self.service,
             Some(&self.memo),
+            Some(&self.obs),
         );
         Ok(report.to_json())
     }
@@ -183,12 +199,13 @@ impl LabBackend for LabDaemon {
         let (label, program) = self.resolve_ref(program)?;
         let scenario = adhoc_scenario(&label, program, policy);
         let name = scenario.name.clone();
-        let report = run_sweep_memo(
+        let report = run_sweep_obs(
             &name,
             std::slice::from_ref(&scenario),
             ExecOptions { threads: 1, verbose: false },
             &self.service,
             Some(&self.memo),
+            Some(&self.obs),
         );
         Ok(report.to_json())
     }
@@ -206,6 +223,20 @@ impl LabBackend for LabDaemon {
             service.evictions,
             self.store.stats().to_json()
         )
+    }
+
+    fn metrics_text(&self) -> String {
+        // Mirror the same snapshots `stats_json` reads into the registry at
+        // scrape time, so the counters in the two views agree exactly for
+        // any daemon state. The global registry rides along for families
+        // that cannot reach a per-daemon registry (free-standing spans and
+        // the feature-gated cache sampling counters); its family names are
+        // disjoint from the daemon's, so the concatenation stays a valid
+        // exposition.
+        self.memo.stats().export(&self.obs);
+        self.service.stats().export(&self.obs);
+        self.store.stats().export(&self.obs);
+        format!("{}{}", self.obs.render(), MetricsRegistry::global().render())
     }
 }
 
@@ -348,6 +379,76 @@ mod tests {
         let explicit = daemon.analyze("registry:histogram").unwrap();
         assert_eq!(explicit, cli, "the explicit scheme names the same program");
         assert_eq!(daemon.store().stats().seeded, 1, "one lazy seed for both forms");
+    }
+
+    /// Extracts the value of the sample line starting with `prefix ` from
+    /// a Prometheus exposition (pass `name{labels}` for labelled samples).
+    fn sample(text: &str, prefix: &str) -> u64 {
+        text.lines()
+            .find_map(|line| line.strip_prefix(&format!("{prefix} ")))
+            .unwrap_or_else(|| panic!("no `{prefix}` sample in:\n{text}"))
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("`{prefix}` is not an integer sample"))
+    }
+
+    #[test]
+    fn metrics_scrape_agrees_with_stats_json_exactly() {
+        let daemon = LabDaemon::with_threads(WorkloadSize::Mini, 1);
+        // A scripted sequence exercising every counter family: a cold and
+        // a warm sweep (memo misses then hits), a duplicated upload (dedup
+        // hit), and a bare-name analysis (lazy store seed).
+        daemon.sweep("ptr-matmul", 0).unwrap();
+        daemon.sweep("ptr-matmul", 0).unwrap();
+        let source = ProgramSource::Asm("li a0, 1\necall\n".to_string());
+        daemon.upload(&source).unwrap();
+        daemon.upload(&source).unwrap();
+        daemon.analyze("histogram").unwrap();
+
+        let stats = dbt_serve::JsonValue::parse(&daemon.stats_json()).unwrap();
+        let metrics = daemon.metrics_text();
+        let stat = |path: [&str; 2]| {
+            let mut value = &stats;
+            for key in path {
+                value = value.get(key).unwrap_or_else(|| panic!("stats lacks {path:?}"));
+            }
+            value.as_u64().unwrap_or_else(|| panic!("{path:?} is not a u64"))
+        };
+        for (name, path) in [
+            ("dbt_runmemo_hits_total", ["run_memo", "hits"]),
+            ("dbt_runmemo_misses_total", ["run_memo", "misses"]),
+            ("dbt_runmemo_entries", ["run_memo", "entries"]),
+            ("dbt_runmemo_evictions_total", ["run_memo", "evictions"]),
+            ("dbt_translate_hits_total", ["translation", "hits"]),
+            ("dbt_translate_misses_total", ["translation", "misses"]),
+            ("dbt_translate_programs", ["translation", "programs"]),
+            ("dbt_translate_evictions_total", ["translation", "evictions"]),
+            ("dbt_store_programs", ["store", "programs"]),
+            ("dbt_store_uploads_total", ["store", "uploads"]),
+            ("dbt_store_dedup_hits_total", ["store", "dedup_hits"]),
+            ("dbt_store_seeded_total", ["store", "seeded"]),
+        ] {
+            assert_eq!(sample(&metrics, name), stat(path), "`{name}` diverges from stats");
+        }
+        // The scripted sequence left every layer demonstrably nonzero.
+        assert!(sample(&metrics, "dbt_runmemo_hits_total") > 0);
+        assert!(sample(&metrics, "dbt_store_dedup_hits_total") > 0);
+        assert!(sample(&metrics, "dbt_store_seeded_total") > 0);
+
+        // Phase timings: the executor's simulate span and the translation
+        // service's analysis/codegen spans all saw the sweep's work.
+        assert!(sample(&metrics, "dbt_lab_phase_seconds_count{phase=\"simulate\"}") > 0);
+        assert!(sample(&metrics, "dbt_translate_phase_seconds_count{phase=\"analysis\"}") > 0);
+        assert!(sample(&metrics, "dbt_translate_phase_seconds_count{phase=\"codegen\"}") > 0);
+    }
+
+    #[test]
+    fn metrics_text_is_stable_between_scrapes() {
+        let daemon = LabDaemon::with_threads(WorkloadSize::Mini, 1);
+        daemon.run_scenario("ptr-matmul/gemm (flat)/fence/default").unwrap();
+        // Scraping is read-only: two back-to-back scrapes of an idle daemon
+        // render byte-identical expositions.
+        assert_eq!(daemon.metrics_text(), daemon.metrics_text());
     }
 
     #[test]

@@ -18,11 +18,18 @@
 //!   in the sweep JSON), so the reuse is visible in the artifacts.
 
 use crate::scenario::{Scenario, ScenarioKind};
+use dbt_obs::{Histogram, MetricsRegistry, Span, DEFAULT_LATENCY_BOUNDS_MICROS};
 use dbt_platform::{CachedRun, RunKey, RunMemo, Session, TranslationService};
 use ghostbusters::MitigationPolicy;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Metric family of the executor's wall-clock phase timings, labelled by
+/// `phase` (currently just `simulate`; the translation phases live under
+/// `dbt_translate_phase_seconds` in `dbt-engine`). Wall-clock only — no
+/// cycle count or any other deterministic observable depends on it.
+pub const LAB_PHASE_FAMILY: &str = "dbt_lab_phase_seconds";
 
 /// Executor knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -176,10 +183,18 @@ struct SweepContext {
     sims: AtomicUsize,
     translation_hits: AtomicU64,
     translation_misses: AtomicU64,
+    /// Wall-clock span histogram for the simulate phase, resolved from the
+    /// caller's registry (`None` outside the daemon). Timing never touches
+    /// the report — only the operator-facing metrics exposition.
+    simulate_seconds: Option<Arc<Histogram>>,
 }
 
 impl SweepContext {
-    fn new(service: Arc<TranslationService>, memo: Option<Arc<RunMemo>>) -> SweepContext {
+    fn new(
+        service: Arc<TranslationService>,
+        memo: Option<Arc<RunMemo>>,
+        metrics: Option<&Arc<MetricsRegistry>>,
+    ) -> SweepContext {
         SweepContext {
             service,
             memo,
@@ -188,6 +203,14 @@ impl SweepContext {
             sims: AtomicUsize::new(0),
             translation_hits: AtomicU64::new(0),
             translation_misses: AtomicU64::new(0),
+            simulate_seconds: metrics.map(|registry| {
+                registry.histogram_with(
+                    LAB_PHASE_FAMILY,
+                    "Wall-clock executor phase timings.",
+                    DEFAULT_LATENCY_BOUNDS_MICROS,
+                    &[("phase", "simulate")],
+                )
+            }),
         }
     }
 
@@ -224,6 +247,10 @@ impl SweepContext {
         is_baseline: bool,
     ) -> Result<CachedRun, String> {
         let run = || {
+            // The span times only simulations that actually run: memo hits
+            // never enter this closure, so the histogram's count stays in
+            // lockstep with the `simulations` counter.
+            let _span = self.simulate_seconds.as_ref().map(Span::on);
             self.sims.fetch_add(1, Ordering::SeqCst);
             if is_baseline {
                 self.baseline_sims.fetch_add(1, Ordering::SeqCst);
@@ -376,9 +403,25 @@ pub fn run_sweep_memo(
     service: &Arc<TranslationService>,
     memo: Option<&Arc<RunMemo>>,
 ) -> LabReport {
+    run_sweep_obs(sweep, scenarios, opts, service, memo, None)
+}
+
+/// [`run_sweep_memo`] plus an optional [`MetricsRegistry`]: with a registry
+/// attached, every simulation that actually runs (never a memo hit) is
+/// timed into a `dbt_lab_phase_seconds{phase="simulate"}` histogram. The
+/// timing is observation only — reports stay byte-identical with or
+/// without it.
+pub fn run_sweep_obs(
+    sweep: &str,
+    scenarios: &[Scenario],
+    opts: ExecOptions,
+    service: &Arc<TranslationService>,
+    memo: Option<&Arc<RunMemo>>,
+    metrics: Option<&Arc<MetricsRegistry>>,
+) -> LabReport {
     let jobs = scenarios.len();
     let threads = opts.effective_threads(jobs);
-    let ctx = SweepContext::new(Arc::clone(service), memo.map(Arc::clone));
+    let ctx = SweepContext::new(Arc::clone(service), memo.map(Arc::clone), metrics);
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<JobResult>> = Vec::new();
     slots.resize_with(jobs, || None);
@@ -506,6 +549,34 @@ mod tests {
         // observable (only the counters differ).
         let fresh = run_sweep("tiny", &scenarios, opts);
         assert_eq!(fresh.results, first.results);
+    }
+
+    #[test]
+    fn an_attached_registry_times_exactly_the_simulations_that_ran() {
+        let scenarios = tiny_sweep().expand();
+        let service = TranslationService::new();
+        let memo = RunMemo::new();
+        let registry = MetricsRegistry::new();
+        let opts = ExecOptions { threads: 2, verbose: false };
+        let timed = run_sweep_obs("tiny", &scenarios, opts, &service, Some(&memo), Some(&registry));
+        let histogram = registry.histogram_with(
+            LAB_PHASE_FAMILY,
+            "Wall-clock executor phase timings.",
+            DEFAULT_LATENCY_BOUNDS_MICROS,
+            &[("phase", "simulate")],
+        );
+        assert_eq!(histogram.count(), timed.stats.simulations as u64);
+
+        let warm = run_sweep_obs("tiny", &scenarios, opts, &service, Some(&memo), Some(&registry));
+        assert_eq!(warm.stats.simulations, 0, "the repeat is answered from the memo");
+        assert_eq!(
+            histogram.count(),
+            timed.stats.simulations as u64,
+            "memo hits never enter the simulate span"
+        );
+
+        let plain = run_sweep("tiny", &scenarios, opts);
+        assert_eq!(plain.results, timed.results, "timing must not perturb observables");
     }
 
     #[test]

@@ -24,7 +24,9 @@
 //! * [`daemon`] — the [`LabDaemon`] backend behind `lab serve`: one
 //!   process-wide [`TranslationService`] plus a content-addressed
 //!   [`RunMemo`] of whole run summaries, shared by every request the
-//!   `dbt-serve` worker pool executes;
+//!   `dbt-serve` worker pool executes; the daemon carries its own
+//!   `dbt-obs` registry (phase timings plus mirrored cache counters)
+//!   that the `metrics` op renders as Prometheus text;
 //! * [`table`] — the human-readable tables of the paper (Figure 4 layout,
 //!   Section V-A attack table).
 //!
@@ -56,8 +58,8 @@ pub use dbt_platform::{
     MemoStats, ProgramRef, ProgramStore, RunMemo, ServiceStats, StoreStats, TranslationService,
 };
 pub use exec::{
-    run_sweep, run_sweep_memo, run_sweep_with, AttackMetrics, ExecOptions, ExecStats, JobOutcome,
-    JobResult, LabReport, PerfMetrics,
+    run_sweep, run_sweep_memo, run_sweep_obs, run_sweep_with, AttackMetrics, ExecOptions,
+    ExecStats, JobOutcome, JobResult, LabReport, PerfMetrics, LAB_PHASE_FAMILY,
 };
 pub use registry::{Registry, Sweep, SweepProgram, DEFAULT_SECRET};
 pub use scenario::{

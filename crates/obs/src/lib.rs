@@ -1,0 +1,40 @@
+//! `dbt-obs` — the lab's observability layer: metrics and phase timing.
+//!
+//! Everything above the simulated platform wants the same three things:
+//! counters (requests, cache hits, rejections), gauges (queue depth,
+//! in-flight work, resident entries) and latency histograms (per-op
+//! request time, per-phase pipeline time). This crate provides exactly
+//! those, std-only like the rest of the workspace, plus:
+//!
+//! * a [`MetricsRegistry`] whose [`MetricsRegistry::render`] emits
+//!   **byte-stable Prometheus text-format exposition** — the body of the
+//!   daemon's protocol-v2 `metrics` op (see `docs/PROTOCOL.md`);
+//! * a [`Span`] RAII guard for wall-clock phase timing
+//!   (`Span::enter("translate.codegen")`), recording into a histogram on
+//!   drop;
+//! * fixed workspace-wide latency buckets
+//!   ([`DEFAULT_LATENCY_BOUNDS_MICROS`]) and deterministic bucket-edge
+//!   quantiles ([`Histogram::quantile_micros`]) for the load generator's
+//!   p50/p95/p99 reporting.
+//!
+//! Two invariants shape the design:
+//!
+//! 1. **Observability never perturbs determinism.** Metrics are written
+//!    by wall-clock instrumentation and read only at scrape time;
+//!    nothing in the simulation consumes them, and nothing timed ever
+//!    lands in a `BENCH_*.json` artifact.
+//! 2. **Hot paths stay hot.** Handles are resolved once at registration
+//!    (the only place a lock is taken) and updated with relaxed
+//!    atomics; per-access cache-model counters additionally sit behind a
+//!    cargo feature and a sampling interval in `dbt-cache`.
+//!
+//! Metric families follow the `dbt_<layer>_<name>` naming convention
+//! (`dbt_serve_requests_total`, `dbt_runmemo_hits_total`, …).
+
+mod metric;
+mod registry;
+mod span;
+
+pub use metric::{micros_as_seconds, Counter, Gauge, Histogram, DEFAULT_LATENCY_BOUNDS_MICROS};
+pub use registry::MetricsRegistry;
+pub use span::{Span, SPAN_FAMILY};

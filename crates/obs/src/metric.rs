@@ -1,0 +1,305 @@
+//! The three metric primitives: monotonic counters, signed gauges, and
+//! fixed-bucket latency histograms.
+//!
+//! All three are lock-free bags of atomics, cheap enough to update from
+//! the daemon's connection handlers and the lab's execution hot path.
+//! They carry *observability* state only — nothing in the deterministic
+//! simulation reads them back, so instrumenting a phase can never perturb
+//! cycle counts or report bytes.
+//!
+//! Histograms use **fixed bucket bounds in microseconds**, shared across
+//! the workspace via [`DEFAULT_LATENCY_BOUNDS_MICROS`]. Fixed bounds make
+//! two things deterministic: which bucket a boundary value lands in
+//! (bounds are *inclusive* upper edges, Prometheus `le` semantics), and
+//! the quantile estimate ([`Histogram::quantile_micros`] answers the
+//! bucket's upper bound, never an interpolation — stable however the
+//! observations were interleaved).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The workspace-default latency bucket bounds, in microseconds.
+///
+/// Spans 50µs — comfortably under a cheap inline op like `health` — to
+/// 10s, the slow tail of a cold multi-scenario sweep. The lowest bound
+/// being nonzero means every observed duration reports a nonzero
+/// quantile, which the load generator relies on.
+pub const DEFAULT_LATENCY_BOUNDS_MICROS: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000, 10_000_000,
+];
+
+/// A monotonically increasing `u64` counter.
+///
+/// `set` exists for *mirroring*: the daemon copies cache-layer stats
+/// (which keep their own counters) into the registry at scrape time so
+/// the `metrics` exposition and the `stats` JSON agree exactly. Mirrored
+/// values come from monotonic sources, so the counter stays monotonic.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value — for scrape-time mirroring of an external
+    /// monotonic counter, not for general use.
+    pub fn set(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge — a value that can go up and down (queue depth,
+/// in-flight requests, resident entries).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Adds `n` (which may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, n: i64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket duration histogram with inclusive upper bounds in
+/// microseconds (Prometheus `le` semantics) plus an implicit `+Inf`
+/// overflow bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Inclusive upper bounds, strictly increasing, in microseconds.
+    bounds: Vec<u64>,
+    /// One slot per bound plus the trailing `+Inf` bucket.
+    ///
+    /// Buckets are *non*-cumulative in memory; rendering and quantile
+    /// queries accumulate on the fly.
+    buckets: Vec<AtomicU64>,
+    /// Sum of every observation, in microseconds.
+    sum_micros: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given inclusive upper bounds (microseconds).
+    ///
+    /// # Panics
+    ///
+    /// If `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[u64]) -> Histogram {
+        assert!(!bounds.is_empty(), "a histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing: {bounds:?}"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket bounds this histogram was built with.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Records one observation of `micros` microseconds.
+    pub fn observe_micros(&self, micros: u64) {
+        let slot = self.bounds.partition_point(|&bound| bound < micros);
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Records one observation of a wall-clock duration (saturating to
+    /// `u64::MAX` microseconds, i.e. never for realistic spans).
+    pub fn observe(&self, elapsed: Duration) {
+        self.observe_micros(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observations, in microseconds.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) counts; the last entry is the `+Inf`
+    /// overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// A deterministic quantile estimate: the *upper bound* of the first
+    /// bucket whose cumulative count reaches `q` of the total (so e.g.
+    /// `quantile_micros(0.5)` on observations that all landed in the
+    /// `le=250` bucket answers exactly `250`). Observations past the last
+    /// finite bound answer that last bound; an empty histogram answers 0.
+    ///
+    /// Returning a bucket edge instead of interpolating keeps the answer
+    /// byte-stable across thread interleavings for a fixed multiset of
+    /// observations.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (slot, count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return self.bounds.get(slot).copied().unwrap_or(*self.bounds.last().unwrap());
+            }
+        }
+        *self.bounds.last().unwrap()
+    }
+}
+
+/// Formats a microsecond quantity as decimal seconds with exactly six
+/// fractional digits — the fixed-width form the Prometheus exposition
+/// uses for bucket bounds and sums, chosen so rendering is byte-stable
+/// (no float formatting is involved anywhere).
+pub fn micros_as_seconds(micros: u64) -> String {
+    format!("{}.{:06}", micros / 1_000_000, micros % 1_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.set(7);
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn gauge_goes_both_ways() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.add(-5);
+        assert_eq!(g.get(), -4);
+        g.set(12);
+        assert_eq!(g.get(), 12);
+    }
+
+    #[test]
+    fn boundary_values_land_in_deterministic_buckets() {
+        let h = Histogram::new(&[50, 100, 250]);
+        // `le` is inclusive: exactly-50 belongs to the first bucket.
+        h.observe_micros(50);
+        // 51 crosses into the second.
+        h.observe_micros(51);
+        h.observe_micros(100);
+        // 250 is the last finite bucket; 251 overflows to +Inf.
+        h.observe_micros(250);
+        h.observe_micros(251);
+        h.observe_micros(0);
+        assert_eq!(h.bucket_counts(), vec![2, 2, 1, 1]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum_micros(), 50 + 51 + 100 + 250 + 251);
+    }
+
+    #[test]
+    fn quantiles_answer_bucket_upper_bounds() {
+        let h = Histogram::new(&[50, 100, 250]);
+        assert_eq!(h.quantile_micros(0.5), 0, "empty histogram");
+        for _ in 0..9 {
+            h.observe_micros(60); // le=100 bucket
+        }
+        h.observe_micros(500); // +Inf bucket
+        assert_eq!(h.quantile_micros(0.5), 100);
+        assert_eq!(h.quantile_micros(0.9), 100);
+        // The +Inf overflow observation answers the last finite bound.
+        assert_eq!(h.quantile_micros(0.99), 250);
+        assert_eq!(h.quantile_micros(1.0), 250);
+    }
+
+    #[test]
+    fn quantile_of_all_overflow_is_last_finite_bound() {
+        let h = Histogram::new(&[50, 100]);
+        h.observe_micros(10_000);
+        assert_eq!(h.quantile_micros(0.5), 100);
+    }
+
+    #[test]
+    fn duration_observation_truncates_to_micros() {
+        let h = Histogram::new(DEFAULT_LATENCY_BOUNDS_MICROS);
+        h.observe(Duration::from_micros(75));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum_micros(), 75);
+        assert_eq!(h.quantile_micros(0.5), 100);
+    }
+
+    #[test]
+    fn seconds_formatting_is_fixed_width() {
+        assert_eq!(micros_as_seconds(0), "0.000000");
+        assert_eq!(micros_as_seconds(50), "0.000050");
+        assert_eq!(micros_as_seconds(1_000_000), "1.000000");
+        assert_eq!(micros_as_seconds(2_500_000), "2.500000");
+        assert_eq!(micros_as_seconds(10_000_007), "10.000007");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unordered_bounds_are_rejected() {
+        let _ = Histogram::new(&[100, 50]);
+    }
+
+    #[test]
+    fn default_bounds_are_strictly_increasing_and_start_nonzero() {
+        assert!(DEFAULT_LATENCY_BOUNDS_MICROS[0] > 0);
+        assert!(DEFAULT_LATENCY_BOUNDS_MICROS.windows(2).all(|w| w[0] < w[1]));
+    }
+}

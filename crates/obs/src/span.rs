@@ -1,0 +1,104 @@
+//! The span API: RAII wall-clock phase timing.
+//!
+//! A [`Span`] notes [`Instant::now`] when created and records the
+//! elapsed duration into its histogram when dropped — so timing a phase
+//! is one line at the top of the scope:
+//!
+//! ```
+//! # use dbt_obs::Span;
+//! let _span = Span::enter("translate.codegen");
+//! // ... the phase ...
+//! // drop records the elapsed wall-clock time
+//! ```
+//!
+//! `Span::enter` records into the process-wide registry's
+//! `dbt_span_seconds{span="..."}` family; [`Span::on`] records into any
+//! explicit histogram (what the daemon's per-op latency tracking uses).
+//! Spans read the clock and touch atomics only — they never feed back
+//! into the simulated platform, so deterministic cycle outputs are
+//! unaffected.
+
+use crate::metric::Histogram;
+use crate::registry::MetricsRegistry;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The family name `Span::enter` records under in the global registry.
+pub const SPAN_FAMILY: &str = "dbt_span_seconds";
+
+/// An in-flight phase timing; records on drop.
+#[derive(Debug)]
+#[must_use = "a span records when dropped; binding it to _ would record immediately"]
+pub struct Span {
+    histogram: Arc<Histogram>,
+    started: Instant,
+}
+
+impl Span {
+    /// Starts a span on the process-wide registry, labelled
+    /// `span="<name>"` in the [`SPAN_FAMILY`] histogram family.
+    pub fn enter(name: &str) -> Span {
+        MetricsRegistry::global().span(name)
+    }
+
+    /// Starts a span that records into the given histogram.
+    pub fn on(histogram: &Arc<Histogram>) -> Span {
+        Span { histogram: Arc::clone(histogram), started: Instant::now() }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.histogram.observe(self.started.elapsed());
+    }
+}
+
+impl MetricsRegistry {
+    /// Starts a span on *this* registry's [`SPAN_FAMILY`] family,
+    /// labelled `span="<name>"` — the per-daemon flavour of
+    /// [`Span::enter`].
+    pub fn span(&self, name: &str) -> Span {
+        let histogram = self.histogram_with(
+            SPAN_FAMILY,
+            "Wall-clock phase durations by span name.",
+            crate::metric::DEFAULT_LATENCY_BOUNDS_MICROS,
+            &[("span", name)],
+        );
+        Span::on(&histogram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_exactly_once_on_drop() {
+        let registry = MetricsRegistry::new();
+        let histogram =
+            registry.histogram("dbt_test_seconds", "t", crate::DEFAULT_LATENCY_BOUNDS_MICROS);
+        {
+            let _span = Span::on(&histogram);
+            assert_eq!(histogram.count(), 0, "nothing recorded while in flight");
+        }
+        assert_eq!(histogram.count(), 1);
+    }
+
+    #[test]
+    fn registry_span_lands_in_the_span_family() {
+        let registry = MetricsRegistry::new();
+        drop(registry.span("translate.codegen"));
+        drop(registry.span("translate.codegen"));
+        drop(registry.span("simulate"));
+        let text = registry.render();
+        assert!(text.contains("dbt_span_seconds_count{span=\"translate.codegen\"} 2"), "{text}");
+        assert!(text.contains("dbt_span_seconds_count{span=\"simulate\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn enter_records_into_the_global_registry() {
+        drop(Span::enter("obs.test.enter"));
+        let text = MetricsRegistry::global().render();
+        assert!(text.contains("dbt_span_seconds_count{span=\"obs.test.enter\"} 1"), "{text}");
+    }
+}

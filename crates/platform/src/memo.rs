@@ -97,6 +97,24 @@ impl MemoStats {
             self.hits, self.misses, self.entries, self.evictions
         )
     }
+
+    /// Mirrors this snapshot into `registry` as the `dbt_runmemo_*`
+    /// metric families. Called at scrape time so the Prometheus
+    /// exposition and the `stats` JSON agree exactly on the same
+    /// snapshot.
+    pub fn export(&self, registry: &dbt_obs::MetricsRegistry) {
+        registry.counter("dbt_runmemo_hits_total", "Runs answered from the memo.").set(self.hits);
+        registry.counter("dbt_runmemo_misses_total", "Runs that had to simulate.").set(self.misses);
+        registry
+            .gauge("dbt_runmemo_entries", "Run-summary entries currently resident.")
+            .set(self.entries as i64);
+        registry
+            .counter(
+                "dbt_runmemo_evictions_total",
+                "Run-summary entries evicted to honour the capacity bound.",
+            )
+            .set(self.evictions);
+    }
 }
 
 /// One memo slot: filled exactly once, shared between waiting threads,

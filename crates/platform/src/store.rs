@@ -131,6 +131,24 @@ impl StoreStats {
             self.programs, self.uploads, self.dedup_hits, self.seeded
         )
     }
+
+    /// Mirrors this snapshot into `registry` as the `dbt_store_*` metric
+    /// families. Called at scrape time so the Prometheus exposition and
+    /// the `stats` JSON agree exactly on the same snapshot.
+    pub fn export(&self, registry: &dbt_obs::MetricsRegistry) {
+        registry
+            .gauge("dbt_store_programs", "Distinct programs currently resident.")
+            .set(self.programs as i64);
+        registry
+            .counter("dbt_store_uploads_total", "Programs submitted through upload.")
+            .set(self.uploads);
+        registry
+            .counter("dbt_store_dedup_hits_total", "Uploads whose content was already resident.")
+            .set(self.dedup_hits);
+        registry
+            .counter("dbt_store_seeded_total", "Registry entries built by lazy seeding.")
+            .set(self.seeded);
+    }
 }
 
 /// Builds a named registry program on first use.

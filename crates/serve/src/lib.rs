@@ -7,9 +7,10 @@
 //! concurrent operations:
 //!
 //! * [`protocol`] — newline-delimited JSON frames over TCP (`run`,
-//!   `sweep`, `analyze`, `stats`, `health`, `shutdown`); multi-line lab
-//!   reports travel escaped inside single-line frames, byte-identical to
-//!   local CLI output once unescaped;
+//!   `sweep`, `analyze`, `upload`, `stats`, `metrics`, `health`,
+//!   `shutdown`); multi-line lab reports travel escaped inside
+//!   single-line frames, byte-identical to local CLI output once
+//!   unescaped;
 //! * [`json`] — the dependency-free JSON reader the protocol needs (the
 //!   repo's emitters are hand-rolled writers; this is the matching
 //!   parser);
@@ -23,8 +24,14 @@
 //! * [`client`] — a blocking NDJSON client (`lab submit` is a thin
 //!   wrapper);
 //! * [`loadgen`] — N concurrent clients driving a request mix, with an
-//!   on-the-fly response-consistency check and throughput counters
-//!   (feeds the `BENCH_serve-throughput.json` artifact).
+//!   on-the-fly response-consistency check, throughput counters (feeds
+//!   the `BENCH_serve-throughput.json` artifact) and per-op latency
+//!   percentiles from `dbt-obs` histograms (operator output only).
+//!
+//! The server instruments itself through `dbt-obs`: per-op request
+//! counters and latency histograms, in-flight and queue-depth gauges,
+//! busy/frame-cap/byte counters — scraped via the `metrics` op as
+//! Prometheus text exposition (see `docs/PROTOCOL.md`).
 //!
 //! The crate is `std`-only and knows nothing about the lab itself — the
 //! dependency points the other way (`dbt-lab` depends on `dbt-serve`), so
@@ -39,7 +46,7 @@ pub mod server;
 
 pub use client::Client;
 pub use json::JsonValue;
-pub use loadgen::{drive, LoadOptions, LoadOutcome};
+pub use loadgen::{drive, LoadOptions, LoadOutcome, OpLatency};
 pub use protocol::{ProgramSource, Request, Response, DEFAULT_RUN_POLICY};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{serve, LabBackend, ServerConfig, ServerHandle, DEFAULT_MAX_FRAME_BYTES};

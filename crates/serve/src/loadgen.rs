@@ -8,12 +8,20 @@
 //! first body seen for the same request — so a sustained run proves not
 //! just that the daemon keeps up but that every client sees identical
 //! payloads.
+//!
+//! Beyond aggregate throughput, the outcome carries client-observed
+//! latency percentiles and a busy rate *per op* ([`OpLatency`]): each
+//! request round trip is timed into a fixed-bucket histogram, and
+//! p50/p95/p99 are deterministic bucket upper bounds. Timing data stays
+//! out of the `BENCH_*.json` artifacts — it is operator output only, so
+//! byte-stable determinism checks keep passing.
 
 use crate::client::Client;
 use crate::protocol::{Request, Response};
+use dbt_obs::{Counter, Histogram, MetricsRegistry, Span, DEFAULT_LATENCY_BOUNDS_MICROS};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Load shape.
@@ -28,6 +36,40 @@ pub struct LoadOptions {
 impl Default for LoadOptions {
     fn default() -> LoadOptions {
         LoadOptions { clients: 4, iterations: 8 }
+    }
+}
+
+/// Per-op latency percentiles and busy rate, measured client-side over
+/// one load run.
+///
+/// Percentiles come from a fixed-bucket histogram
+/// ([`Histogram::quantile_micros`]), so they are deterministic bucket
+/// upper bounds — and, the buckets starting at 50µs, always nonzero once
+/// an op was exercised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpLatency {
+    /// The request op (`run`, `sweep`, ...).
+    pub op: String,
+    /// Requests submitted for this op (every outcome, not just `ok`).
+    pub requests: u64,
+    /// `busy` answers for this op.
+    pub busy: u64,
+    /// Median round-trip latency, microseconds.
+    pub p50_micros: u64,
+    /// 95th-percentile round-trip latency, microseconds.
+    pub p95_micros: u64,
+    /// 99th-percentile round-trip latency, microseconds.
+    pub p99_micros: u64,
+}
+
+impl OpLatency {
+    /// Fraction of this op's requests bounced with `busy`, in `[0, 1]`.
+    pub fn busy_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.busy as f64 / self.requests as f64
+        }
     }
 }
 
@@ -47,6 +89,9 @@ pub struct LoadOutcome {
     pub mismatches: u64,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
+    /// Client-side latency percentiles and busy rate per distinct op, in
+    /// op name order.
+    pub per_op: Vec<OpLatency>,
 }
 
 impl LoadOutcome {
@@ -84,6 +129,31 @@ pub fn drive(
     let mismatches = AtomicU64::new(0);
     let canonical: Vec<Mutex<Option<String>>> = requests.iter().map(|_| Mutex::new(None)).collect();
 
+    // Per-op measurement on a run-local registry: a latency histogram plus
+    // request/busy counters per distinct op, resolved once per request
+    // slot so the client threads only touch atomics.
+    let registry = MetricsRegistry::new();
+    let measures: Vec<(Arc<Histogram>, Arc<Counter>, Arc<Counter>)> = requests
+        .iter()
+        .map(|request| {
+            let labels = [("op", request.op())];
+            (
+                registry.histogram_with(
+                    "dbt_loadgen_request_seconds",
+                    "Client-observed round-trip latency, by op.",
+                    DEFAULT_LATENCY_BOUNDS_MICROS,
+                    &labels,
+                ),
+                registry.counter_with(
+                    "dbt_loadgen_requests_total",
+                    "Requests submitted, by op.",
+                    &labels,
+                ),
+                registry.counter_with("dbt_loadgen_busy_total", "Busy answers, by op.", &labels),
+            )
+        })
+        .collect();
+
     // Connect up front so a dead daemon is a hard error, not an error count.
     let mut clients = Vec::with_capacity(opts.clients);
     for i in 0..opts.clients {
@@ -92,14 +162,20 @@ pub fn drive(
 
     let started = Instant::now();
     {
-        let (ok, busy, errors, mismatches, canonical) =
-            (&ok, &busy, &errors, &mismatches, &canonical);
+        let (ok, busy, errors, mismatches, canonical, measures) =
+            (&ok, &busy, &errors, &mismatches, &canonical, &measures);
         std::thread::scope(|scope| {
             for mut client in clients.drain(..) {
                 scope.spawn(move || {
                     for _ in 0..opts.iterations {
                         for (index, request) in requests.iter().enumerate() {
-                            match client.request(request) {
+                            let (latency, submitted, busy_count) = &measures[index];
+                            submitted.inc();
+                            let response = {
+                                let _span = Span::on(latency);
+                                client.request(request)
+                            };
+                            match response {
                                 Ok(Response::Ok { body, .. }) => {
                                     ok.fetch_add(1, Ordering::SeqCst);
                                     let normalized = normalize(request, &body);
@@ -115,6 +191,7 @@ pub fn drive(
                                 }
                                 Ok(Response::Busy { .. }) => {
                                     busy.fetch_add(1, Ordering::SeqCst);
+                                    busy_count.inc();
                                 }
                                 Ok(Response::Error { .. }) | Err(_) => {
                                     errors.fetch_add(1, Ordering::SeqCst);
@@ -127,6 +204,27 @@ pub fn drive(
         });
     }
 
+    // One OpLatency per distinct op, in name order (deterministic output
+    // shape whatever the request mix order was).
+    let mut ops: Vec<&str> = requests.iter().map(Request::op).collect();
+    ops.sort_unstable();
+    ops.dedup();
+    let per_op = ops
+        .into_iter()
+        .map(|op| {
+            let index = requests.iter().position(|request| request.op() == op).expect("op known");
+            let (latency, submitted, busy_count) = &measures[index];
+            OpLatency {
+                op: op.to_string(),
+                requests: submitted.get(),
+                busy: busy_count.get(),
+                p50_micros: latency.quantile_micros(0.50),
+                p95_micros: latency.quantile_micros(0.95),
+                p99_micros: latency.quantile_micros(0.99),
+            }
+        })
+        .collect();
+
     Ok(LoadOutcome {
         requests: (opts.clients * opts.iterations * requests.len()) as u64,
         ok: ok.into_inner(),
@@ -134,6 +232,7 @@ pub fn drive(
         errors: errors.into_inner(),
         mismatches: mismatches.into_inner(),
         elapsed: started.elapsed(),
+        per_op,
     })
 }
 
@@ -191,6 +290,21 @@ mod tests {
         assert_eq!(outcome.mismatches, 0, "a deterministic backend never diverges");
         assert_eq!(backend.runs.load(Ordering::SeqCst), 24);
         assert!(outcome.requests_per_sec() > 0.0);
+
+        // Per-op latency: distinct ops in name order, counts per op, and
+        // nonzero monotone percentiles for every exercised op.
+        let ops: Vec<&str> = outcome.per_op.iter().map(|o| o.op.as_str()).collect();
+        assert_eq!(ops, ["run", "sweep"]);
+        let run = &outcome.per_op[0];
+        assert_eq!((run.requests, run.busy), (24, 0));
+        let sweep = &outcome.per_op[1];
+        assert_eq!(sweep.requests, 12, "errored requests are still measured");
+        for op in &outcome.per_op {
+            assert!(op.p50_micros > 0, "{op:?}");
+            assert!(op.p50_micros <= op.p95_micros && op.p95_micros <= op.p99_micros, "{op:?}");
+            assert_eq!(op.busy_rate(), 0.0);
+        }
+
         handle.shutdown();
         handle.wait();
     }

@@ -17,6 +17,7 @@
 //! | `analyze`    | `program`              | taint-verdict report JSON       |
 //! | `upload`     | `asm` \| `image`       | content fingerprint + dedup     |
 //! | `stats`      | —                      | server + cache counters         |
+//! | `metrics`    | —                      | Prometheus text exposition      |
 //! | `health`     | —                      | liveness + capacity             |
 //! | `shutdown`   | —                      | ack, then the daemon stops      |
 //!
@@ -100,6 +101,8 @@ pub enum Request {
     },
     /// Server and cache counters.
     Stats,
+    /// Prometheus text-format metrics exposition.
+    Metrics,
     /// Liveness and capacity.
     Health,
     /// Stop the daemon (in-flight jobs finish first).
@@ -115,6 +118,7 @@ impl Request {
             Request::Analyze { .. } => "analyze",
             Request::Upload { .. } => "upload",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
             Request::Health => "health",
             Request::Shutdown => "shutdown",
         }
@@ -157,6 +161,7 @@ impl Request {
                 escape(source.text())
             ),
             Request::Stats => "{\"op\": \"stats\"}".to_string(),
+            Request::Metrics => "{\"op\": \"metrics\"}".to_string(),
             Request::Health => "{\"op\": \"health\"}".to_string(),
             Request::Shutdown => "{\"op\": \"shutdown\"}".to_string(),
         }
@@ -212,10 +217,11 @@ impl Request {
                 (None, None) => Err("`upload` needs an `asm` or `image` string member".to_string()),
             },
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "health" => Ok(Request::Health),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op `{other}` (expected run|sweep|analyze|upload|stats|health|shutdown)"
+                "unknown op `{other}` (expected run|sweep|analyze|upload|stats|metrics|health|shutdown)"
             )),
         }
     }
@@ -307,6 +313,7 @@ mod tests {
             Request::Upload { source: ProgramSource::Asm("li a0, 1\necall\n".to_string()) },
             Request::Upload { source: ProgramSource::Image("{\"schema\": \"x\"}".to_string()) },
             Request::Stats,
+            Request::Metrics,
             Request::Health,
             Request::Shutdown,
         ];

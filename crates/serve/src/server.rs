@@ -28,11 +28,13 @@
 
 use crate::protocol::{ProgramSource, Request, Response};
 use crate::queue::{BoundedQueue, PushError};
+use dbt_obs::{Counter, Gauge, Histogram, MetricsRegistry, Span, DEFAULT_LATENCY_BOUNDS_MICROS};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// What the daemon delegates actual lab work to.
 ///
@@ -96,6 +98,16 @@ pub trait LabBackend: Send + Sync {
     /// Single-line JSON object with the backend's cache/service counters
     /// (embedded verbatim in the `stats` response body).
     fn stats_json(&self) -> String;
+
+    /// Prometheus text-format exposition of the backend's own metric
+    /// families, appended after the server's families in the `metrics`
+    /// response body. Backends are expected to mirror the *same*
+    /// snapshots [`LabBackend::stats_json`] reports, so the two views
+    /// agree exactly. The default is empty: backends without metrics
+    /// keep working unchanged.
+    fn metrics_text(&self) -> String {
+        String::new()
+    }
 }
 
 /// Default bound on one request frame, in bytes. Large enough for any
@@ -135,23 +147,126 @@ struct Job {
     reply: mpsc::Sender<Result<String, String>>,
 }
 
+/// The request `op` labels the server pre-registers, so every per-op
+/// sample renders (at zero) from the very first scrape. `invalid` labels
+/// frames that never decoded to an op.
+const OP_LABELS: [&str; 9] =
+    ["analyze", "health", "invalid", "metrics", "run", "shutdown", "stats", "sweep", "upload"];
+
+/// The server's own metric families, resolved once at startup on a
+/// per-daemon registry (a process can host several daemons — tests do —
+/// without their counters bleeding into each other).
+struct ServerMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// `dbt_serve_requests_total{op=...}`, parallel to [`OP_LABELS`].
+    requests: Vec<Arc<Counter>>,
+    /// `dbt_serve_request_seconds{op=...}`, parallel to [`OP_LABELS`].
+    latency: Vec<Arc<Histogram>>,
+    inflight: Arc<Gauge>,
+    queue_depth: Arc<Gauge>,
+    completed: Arc<Counter>,
+    busy_rejections: Arc<Counter>,
+    frame_cap_errors: Arc<Counter>,
+    bytes_read: Arc<Counter>,
+    bytes_written: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    fn new() -> ServerMetrics {
+        let registry = MetricsRegistry::new();
+        let requests = OP_LABELS
+            .iter()
+            .map(|op| {
+                registry.counter_with(
+                    "dbt_serve_requests_total",
+                    "Request frames seen, by op (`invalid` = never decoded).",
+                    &[("op", op)],
+                )
+            })
+            .collect();
+        let latency = OP_LABELS
+            .iter()
+            .map(|op| {
+                registry.histogram_with(
+                    "dbt_serve_request_seconds",
+                    "Wall-clock request latency as observed by the connection handler, by op.",
+                    DEFAULT_LATENCY_BOUNDS_MICROS,
+                    &[("op", op)],
+                )
+            })
+            .collect();
+        ServerMetrics {
+            requests,
+            latency,
+            inflight: registry.gauge("dbt_serve_inflight", "Requests currently being answered."),
+            queue_depth: registry
+                .gauge("dbt_serve_queue_depth", "Heavy jobs queued (sampled at scrape time)."),
+            completed: registry
+                .counter("dbt_serve_completed_total", "Heavy jobs completed by the worker pool."),
+            busy_rejections: registry.counter(
+                "dbt_serve_busy_rejections_total",
+                "Heavy requests bounced because the job queue was full.",
+            ),
+            frame_cap_errors: registry.counter(
+                "dbt_serve_frame_cap_errors_total",
+                "Request frames rejected for exceeding the size cap.",
+            ),
+            bytes_read: registry
+                .counter("dbt_serve_bytes_read_total", "Request frame payload bytes read."),
+            bytes_written: registry
+                .counter("dbt_serve_bytes_written_total", "Response frame bytes written."),
+            registry,
+        }
+    }
+
+    /// Index of `op` in [`OP_LABELS`]; unknown strings land on `invalid`
+    /// (cannot happen for responses the server itself produced).
+    fn op_index(op: &str) -> usize {
+        OP_LABELS.iter().position(|known| *known == op).unwrap_or_else(|| {
+            OP_LABELS.iter().position(|known| *known == "invalid").expect("invalid is registered")
+        })
+    }
+
+    /// Total request frames seen (the sum of every per-op counter) — what
+    /// the `stats` JSON reports as `server.requests`.
+    fn total_requests(&self) -> u64 {
+        self.requests.iter().map(|counter| counter.get()).sum()
+    }
+}
+
 struct Shared {
     backend: Arc<dyn LabBackend>,
     queue: BoundedQueue<Job>,
     config: ServerConfig,
     addr: SocketAddr,
     shutdown: AtomicBool,
-    requests: AtomicU64,
-    completed: AtomicU64,
-    busy_rejections: AtomicU64,
+    started: Instant,
+    metrics: ServerMetrics,
 }
 
 impl Shared {
-    /// Parses and answers one request line. Returns the response frame and
-    /// whether the server must begin shutting down after sending it.
+    /// Parses and answers one request line, timing it into the per-op
+    /// latency histogram. Returns the response frame and whether the
+    /// server must begin shutting down after sending it.
     fn respond(&self, line: &str) -> (Response, bool) {
-        self.requests.fetch_add(1, Ordering::SeqCst);
-        let request = match Request::decode(line) {
+        self.metrics.inflight.inc();
+        let decoded = Request::decode(line);
+        // Count the frame up front (under its op as soon as it is known),
+        // so a `stats` or `metrics` answer includes the very request that
+        // asked.
+        let op = decoded.as_ref().map(Request::op).unwrap_or("invalid");
+        let index = ServerMetrics::op_index(op);
+        self.metrics.requests[index].inc();
+        let span = Span::on(&self.metrics.latency[index]);
+        let answered = self.answer(decoded);
+        drop(span);
+        self.metrics.inflight.dec();
+        answered
+    }
+
+    /// The untimed request dispatch behind [`Shared::respond`].
+    fn answer(&self, decoded: Result<Request, String>) -> (Response, bool) {
+        let request = match decoded {
             Ok(request) => request,
             Err(error) => return (Response::Error { op: "invalid".to_string(), error }, false),
         };
@@ -159,10 +274,13 @@ impl Shared {
         match request {
             Request::Health => {
                 let body = format!(
-                    "{{\"workers\": {}, \"queue_depth\": {}, \"queued\": {}}}",
+                    "{{\"workers\": {}, \"queue_depth\": {}, \"queued\": {}, \
+                     \"uptime_secs\": {}, \"version\": \"{}\"}}",
                     self.config.workers,
                     self.config.queue_depth,
-                    self.queue.len()
+                    self.queue.len(),
+                    self.started.elapsed().as_secs(),
+                    env!("CARGO_PKG_VERSION")
                 );
                 (Response::Ok { op, body }, false)
             }
@@ -170,11 +288,17 @@ impl Shared {
                 let body = format!(
                     "{{\"server\": {{\"requests\": {}, \"completed\": {}, \
                      \"busy_rejections\": {}}}, \"lab\": {}}}",
-                    self.requests.load(Ordering::SeqCst),
-                    self.completed.load(Ordering::SeqCst),
-                    self.busy_rejections.load(Ordering::SeqCst),
+                    self.metrics.total_requests(),
+                    self.metrics.completed.get(),
+                    self.metrics.busy_rejections.get(),
                     self.backend.stats_json()
                 );
+                (Response::Ok { op, body }, false)
+            }
+            Request::Metrics => {
+                self.metrics.queue_depth.set(self.queue.len() as i64);
+                let body =
+                    format!("{}{}", self.metrics.registry.render(), self.backend.metrics_text());
                 (Response::Ok { op, body }, false)
             }
             Request::Shutdown => {
@@ -195,7 +319,7 @@ impl Shared {
                         ),
                     },
                     Err(PushError::Full) => {
-                        self.busy_rejections.fetch_add(1, Ordering::SeqCst);
+                        self.metrics.busy_rejections.inc();
                         (Response::Busy { op }, false)
                     }
                     Err(PushError::Closed) => (
@@ -263,7 +387,7 @@ fn execute(backend: &dyn LabBackend, request: &Request) -> Result<String, String
         Request::Analyze { program } => backend.analyze(program),
         Request::Upload { source } => backend.upload(source),
         // Cheap requests never reach the queue.
-        Request::Stats | Request::Health | Request::Shutdown => {
+        Request::Stats | Request::Metrics | Request::Health | Request::Shutdown => {
             Err("internal: cheap request on the worker pool".to_string())
         }
     }
@@ -275,9 +399,11 @@ enum Frame {
     Line(String),
     /// The peer closed the connection (or the read failed).
     Eof,
-    /// The line exceeded the frame cap, or was not UTF-8: answer a clean
-    /// `error` frame and close — mid-line, the framing cannot be trusted
-    /// any further.
+    /// The line exceeded the frame cap: answer a clean `error` frame,
+    /// count it, and close — mid-line, the framing cannot be trusted any
+    /// further.
+    TooLong(String),
+    /// The line was not UTF-8: answer a clean `error` frame and close.
     Fatal(String),
 }
 
@@ -314,7 +440,7 @@ fn read_frame(reader: &mut BufReader<TcpStream>, max_bytes: usize) -> Frame {
                 }
             }
         }
-        return Frame::Fatal(format!(
+        return Frame::TooLong(format!(
             "request frame exceeds the {max_bytes}-byte limit; closing the connection"
         ));
     }
@@ -331,18 +457,25 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     loop {
         let line = match read_frame(&mut reader, shared.config.max_frame_bytes) {
             Frame::Eof => return,
+            Frame::TooLong(error) => {
+                shared.metrics.frame_cap_errors.inc();
+                send_fatal(&mut writer, shared, error);
+                return;
+            }
             Frame::Fatal(error) => {
-                let response = Response::Error { op: "invalid".to_string(), error };
-                let _ = writeln!(writer, "{}", response.encode()).and_then(|()| writer.flush());
+                send_fatal(&mut writer, shared, error);
                 return;
             }
             Frame::Line(line) => line,
         };
+        shared.metrics.bytes_read.add(line.len() as u64 + 1);
         if line.trim().is_empty() {
             continue;
         }
         let (response, stop) = shared.respond(&line);
-        if writeln!(writer, "{}", response.encode()).and_then(|()| writer.flush()).is_err() {
+        let frame = response.encode();
+        shared.metrics.bytes_written.add(frame.len() as u64 + 1);
+        if writeln!(writer, "{frame}").and_then(|()| writer.flush()).is_err() {
             return;
         }
         if stop {
@@ -350,6 +483,13 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             return;
         }
     }
+}
+
+/// Writes the one `error` frame a connection gets before a fatal close.
+fn send_fatal(writer: &mut TcpStream, shared: &Shared, error: String) {
+    let frame = Response::Error { op: "invalid".to_string(), error }.encode();
+    shared.metrics.bytes_written.add(frame.len() as u64 + 1);
+    let _ = writeln!(writer, "{frame}").and_then(|()| writer.flush());
 }
 
 /// Starts the daemon on `addr` (use port `0` for an ephemeral port; the
@@ -401,9 +541,8 @@ pub fn serve<A: ToSocketAddrs>(
         config,
         addr: listener.local_addr()?,
         shutdown: AtomicBool::new(false),
-        requests: AtomicU64::new(0),
-        completed: AtomicU64::new(0),
-        busy_rejections: AtomicU64::new(0),
+        started: Instant::now(),
+        metrics: ServerMetrics::new(),
     });
 
     let workers = (0..config.workers)
@@ -414,7 +553,7 @@ pub fn serve<A: ToSocketAddrs>(
                     let result = execute(&*shared.backend, &job.request);
                     // A handler that gave up (client disconnected) is fine.
                     let _ = job.reply.send(result);
-                    shared.completed.fetch_add(1, Ordering::SeqCst);
+                    shared.metrics.completed.inc();
                 }
             })
         })
@@ -622,10 +761,102 @@ mod tests {
         // cannot be trusted).
         assert!(client.request(&Request::Health).is_err(), "connection must be closed");
 
-        // Fresh connections keep working.
+        // Fresh connections keep working, and the rejection is visible in
+        // the metrics exposition.
         let mut client = Client::connect(handle.addr()).unwrap();
         let reply = client.request(&Request::Health).unwrap();
         assert!(matches!(reply, Response::Ok { .. }));
+        let Response::Ok { body, .. } = client.request(&Request::Metrics).unwrap() else {
+            panic!("metrics must answer ok")
+        };
+        assert!(body.contains("dbt_serve_frame_cap_errors_total 1"), "{body}");
+
+        handle.shutdown();
+        handle.wait();
+    }
+
+    /// Extracts the value of the first sample line starting with `prefix`.
+    fn sample_value(text: &str, prefix: &str) -> u64 {
+        let line = text
+            .lines()
+            .find(|line| line.starts_with(prefix))
+            .unwrap_or_else(|| panic!("no `{prefix}` sample in:\n{text}"));
+        line.rsplit(' ').next().unwrap().parse().unwrap_or_else(|_| panic!("not a u64: {line}"))
+    }
+
+    #[test]
+    fn health_reports_uptime_version_and_pool_size() {
+        let (started_tx, _started_rx) = mpsc::channel();
+        let (_release_tx, release_rx) = mpsc::channel();
+        let backend = BlockingBackend { started: started_tx, release: Mutex::new(release_rx) };
+        let handle = serve(
+            "127.0.0.1:0",
+            Arc::new(backend),
+            ServerConfig { workers: 3, queue_depth: 5, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let Response::Ok { body, .. } = client.request(&Request::Health).unwrap() else {
+            panic!("health must answer ok")
+        };
+        assert!(body.contains("\"workers\": 3"), "{body}");
+        assert!(body.contains("\"queue_depth\": 5"), "{body}");
+        assert!(body.contains("\"uptime_secs\": "), "{body}");
+        assert!(
+            body.contains(&format!("\"version\": \"{}\"", env!("CARGO_PKG_VERSION"))),
+            "{body}"
+        );
+        handle.shutdown();
+        handle.wait();
+    }
+
+    #[test]
+    fn metrics_expose_per_op_counters_that_agree_with_stats() {
+        let (started_tx, _started_rx) = mpsc::channel();
+        let (_release_tx, release_rx) = mpsc::channel();
+        let backend = BlockingBackend { started: started_tx, release: Mutex::new(release_rx) };
+        let handle = serve("127.0.0.1:0", Arc::new(backend), ServerConfig::default()).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        // A scripted sequence: one analyze (heavy, completes), one health,
+        // one invalid frame, then the scrape itself.
+        assert!(matches!(
+            client.request(&Request::Analyze { program: "p".to_string() }).unwrap(),
+            Response::Ok { .. }
+        ));
+        assert!(matches!(client.request(&Request::Health).unwrap(), Response::Ok { .. }));
+        assert!(matches!(client.raw_request("not json").unwrap(), Response::Error { .. }));
+        let Response::Ok { body, .. } = client.request(&Request::Metrics).unwrap() else {
+            panic!("metrics must answer ok")
+        };
+
+        assert_eq!(sample_value(&body, "dbt_serve_requests_total{op=\"analyze\"}"), 1);
+        assert_eq!(sample_value(&body, "dbt_serve_requests_total{op=\"health\"}"), 1);
+        assert_eq!(sample_value(&body, "dbt_serve_requests_total{op=\"invalid\"}"), 1);
+        assert_eq!(
+            sample_value(&body, "dbt_serve_requests_total{op=\"metrics\"}"),
+            1,
+            "the scrape counts itself"
+        );
+        assert_eq!(
+            sample_value(&body, "dbt_serve_requests_total{op=\"run\"}"),
+            0,
+            "pre-registered ops render at zero"
+        );
+        assert_eq!(sample_value(&body, "dbt_serve_request_seconds_count{op=\"analyze\"}"), 1);
+        assert_eq!(sample_value(&body, "dbt_serve_completed_total"), 1);
+        assert_eq!(sample_value(&body, "dbt_serve_frame_cap_errors_total"), 0);
+        assert_eq!(sample_value(&body, "dbt_serve_inflight"), 1, "the scrape itself is in flight");
+        assert!(sample_value(&body, "dbt_serve_bytes_read_total") > 0);
+        assert!(sample_value(&body, "dbt_serve_bytes_written_total") > 0);
+
+        // The stats view counts the same frames: analyze + health +
+        // invalid + metrics + this stats request = 5.
+        let Response::Ok { body, .. } = client.request(&Request::Stats).unwrap() else {
+            panic!("stats must answer ok")
+        };
+        assert!(body.contains("\"requests\": 5"), "{body}");
+        assert!(body.contains("\"completed\": 1"), "{body}");
 
         handle.shutdown();
         handle.wait();
