@@ -9,6 +9,10 @@
 //! cargo run --release -p dbt-lab -- analyze histogram    # taint verdicts
 //! cargo run --release -p dbt-lab -- analyze spectre-v1 --dot | dot -Tsvg
 //!
+//! # The deterministic hot-path profiler and the throughput microbench:
+//! cargo run --release -p dbt-lab -- profile spectre_v1 --policy selective --trace trace.json
+//! cargo run --release -p dbt-lab -- bench --json-dir artifacts
+//!
 //! # Ad-hoc guest programs from files (text assembly or image JSON):
 //! cargo run --release -p dbt-lab -- run-file examples/spectre_v1_gadget.s --policy fence
 //! cargo run --release -p dbt-lab -- analyze examples/spectre_v1_gadget.s
@@ -32,11 +36,12 @@
 
 use dbt_lab::{
     adhoc_scenario, analyze_built, analyze_program, format_attack_table, format_table,
-    format_variant_table, run_sweep, run_sweep_with, strip_stats, ExecOptions, LabDaemon,
-    ProgramSpec, Registry, ScenarioKind, SourceKind, TranslationService,
+    format_variant_table, profile_program, run_bench, run_sweep, run_sweep_with, strip_stats,
+    ExecOptions, LabDaemon, PlatformOverrides, ProgramSpec, Registry, ScenarioKind, SourceKind,
+    TranslationService,
 };
 use dbt_serve::{
-    Client, JsonValue, LoadOptions, ProgramSource, Request, Response, ServerConfig,
+    Client, JsonValue, LoadOptions, ProgramSource, Request, Response, RunKnobs, ServerConfig,
     DEFAULT_RUN_POLICY,
 };
 use dbt_workloads::WorkloadSize;
@@ -59,6 +64,7 @@ struct Args {
     clients: usize,
     iterations: usize,
     policy: String,
+    trace: Option<String>,
 }
 
 /// Default daemon address when `--addr` is not given.
@@ -74,13 +80,21 @@ fn usage() -> &'static str {
      \x20                          assembly or .json program-image file\n\
      \x20                          under --policy\n\
      \x20 sweep [name ...]         run the named sweeps (default: all)\n\
+     \x20 profile <program>        deterministic hot-path profile of one\n\
+     \x20                          program under --policy: per-phase cycle\n\
+     \x20                          attribution, speculation events, and a\n\
+     \x20                          Chrome-trace export via --trace\n\
+     \x20 bench                    simulator-throughput microbenchmark over\n\
+     \x20                          every registry workload (writes\n\
+     \x20                          BENCH_sim-throughput.json with --json-dir)\n\
      \x20 analyze <program|path>   per-block speculative-taint verdicts\n\
      \x20                          (a workload name, ptr-matmul, spectre-v1,\n\
      \x20                          spectre-v4, or a .s/.json file path)\n\
      \x20 serve                    run the lab daemon (NDJSON over TCP)\n\
      \x20 submit <op> [arg]        send one request to a running daemon\n\
-     \x20                          (run <scenario|ref> | sweep <name> |\n\
-     \x20                           analyze <program|ref> | upload <path> |\n\
+     \x20                          (run <scenario|ref> | profile [ref] |\n\
+     \x20                           sweep <name> | analyze <program|ref> |\n\
+     \x20                           upload <path> |\n\
      \x20                           stats | metrics | health | shutdown) and\n\
      \x20                          print the response body; refs are\n\
      \x20                          registry:<name> or fp:<hex> from a\n\
@@ -96,7 +110,10 @@ fn usage() -> &'static str {
      \x20                          policy (default: selective)\n\
      \x20 --threads N              worker threads (default: one per CPU)\n\
      \x20 --json-dir DIR           write BENCH_<sweep>.json files to DIR\n\
-     \x20 --json                   analyze: stable machine-readable output\n\
+     \x20 --json                   analyze/profile: stable machine-readable\n\
+     \x20                          output\n\
+     \x20 --trace PATH             profile: write a Chrome trace_event JSON\n\
+     \x20                          file (chrome://tracing, ui.perfetto.dev)\n\
      \x20 --dot                    analyze: Graphviz with the taint overlay\n\
      \x20 --quiet                  no per-job progress on stderr\n\
      \x20 --addr HOST:PORT         daemon address (default: 127.0.0.1:4075;\n\
@@ -123,6 +140,7 @@ fn parse(args: &[String]) -> Result<Args, String> {
         clients: 4,
         iterations: 8,
         policy: DEFAULT_RUN_POLICY.to_string(),
+        trace: None,
     };
     let mut it = args[1..].iter();
     let number = |flag: &str, it: &mut std::slice::Iter<String>| {
@@ -155,6 +173,10 @@ fn parse(args: &[String]) -> Result<Args, String> {
             "--policy" => {
                 parsed.policy =
                     it.next().ok_or_else(|| "--policy expects a policy label".to_string())?.clone();
+            }
+            "--trace" => {
+                parsed.trace =
+                    Some(it.next().ok_or_else(|| "--trace expects a path".to_string())?.clone());
             }
             "--quiet" => parsed.quiet = true,
             "--json" => parsed.json = true,
@@ -299,7 +321,7 @@ fn cmd_run_file(args: &Args) -> Result<(), String> {
     // instead of surfacing as a failed job row.
     let spec = ProgramSpec::Source { label: label.clone(), kind, text };
     let program = Arc::new(spec.build()?);
-    let scenario = adhoc_scenario(&label, program, policy);
+    let scenario = adhoc_scenario(&label, program, policy, PlatformOverrides::default(), None);
     let opts = ExecOptions { threads: 1, verbose: !args.quiet };
     let report = run_sweep(&scenario.name, std::slice::from_ref(&scenario), opts);
     print!("{}", report.to_json());
@@ -324,6 +346,52 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         print!("{}", report.to_dot());
     } else {
         print!("{report}");
+    }
+    Ok(())
+}
+
+/// `lab profile`: the deterministic hot-path profile of one program —
+/// per-phase cycle attribution plus speculation events, with an optional
+/// Chrome-trace export for chrome://tracing / ui.perfetto.dev.
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let label = args
+        .positional
+        .first()
+        .ok_or_else(|| "profile expects a program (e.g. `lab profile spectre_v1`)".to_string())?;
+    let policy = MitigationPolicy::from_label(&args.policy)
+        .ok_or_else(|| format!("unknown policy `{}` (see the sweep tables)", args.policy))?;
+    let output = profile_program(label, policy, args.size)?;
+    if let Some(path) = &args.trace {
+        std::fs::write(path, &output.chrome_trace)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !args.quiet {
+            eprintln!("[profile] wrote {path} (open in chrome://tracing or ui.perfetto.dev)");
+        }
+    }
+    if args.json {
+        print!("{}", output.report.to_json());
+    } else {
+        print!("{}", output.report.to_text());
+    }
+    Ok(())
+}
+
+/// `lab bench`: simulator-throughput microbenchmark over every registry
+/// workload. The cycle/instruction columns are deterministic; the
+/// wall-clock throughput members live on their own lines so CI can diff
+/// the artifact with those lines excluded.
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    let report = run_bench(args.size)?;
+    let json = report.to_json();
+    match &args.json_dir {
+        Some(dir) => {
+            let path = format!("{dir}/BENCH_sim-throughput.json");
+            std::fs::write(&path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            if !args.quiet {
+                eprintln!("[bench] wrote {path}");
+            }
+        }
+        None => print!("{json}"),
     }
     Ok(())
 }
@@ -358,7 +426,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 
 fn cmd_submit(args: &Args) -> Result<(), String> {
     let op = args.positional.first().ok_or_else(|| {
-        "submit expects an op (run|sweep|analyze|upload|stats|metrics|health|shutdown)".to_string()
+        "submit expects an op (run|profile|sweep|analyze|upload|stats|metrics|health|shutdown)"
+            .to_string()
     })?;
     let arg = |what: &str| {
         args.positional
@@ -372,7 +441,11 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
         "run" => {
             let target = arg("scenario name or program ref")?;
             if target.starts_with("registry:") || target.starts_with("fp:") {
-                Request::RunProgram { program: target, policy: args.policy.clone() }
+                Request::RunProgram {
+                    program: target,
+                    policy: args.policy.clone(),
+                    knobs: RunKnobs::default(),
+                }
             } else {
                 Request::Run { scenario: target }
             }
@@ -387,6 +460,12 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
             };
             Request::Upload { source }
         }
+        // Without an argument, `profile` fetches the server's trace log;
+        // with one, it profiles the referenced program under --policy.
+        "profile" => Request::Profile {
+            program: args.positional.get(1).cloned(),
+            policy: args.policy.clone(),
+        },
         "stats" => Request::Stats,
         "metrics" => Request::Metrics,
         "health" => Request::Health,
@@ -610,6 +689,8 @@ fn main() -> ExitCode {
         "run" => cmd_run(&registry, &args),
         "run-file" => cmd_run_file(&args),
         "sweep" => cmd_sweep(&registry, &args),
+        "profile" => cmd_profile(&args),
+        "bench" => cmd_bench(&args),
         "analyze" => cmd_analyze(&args),
         "serve" => cmd_serve(&args),
         "submit" => cmd_submit(&args),

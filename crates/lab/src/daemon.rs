@@ -28,12 +28,13 @@
 
 use crate::analyze::{analyze_built, resolve_program};
 use crate::exec::{run_sweep_obs, ExecOptions};
+use crate::profile::profile_built;
 use crate::registry::Registry;
-use crate::scenario::{PlatformVariant, ProgramSpec, Scenario, ScenarioKind};
+use crate::scenario::{PlatformOverrides, PlatformVariant, ProgramSpec, Scenario, ScenarioKind};
 use dbt_obs::MetricsRegistry;
 use dbt_platform::{ProgramRef, ProgramStore, RunMemo, TranslationService};
 use dbt_riscv::Program;
-use dbt_serve::{LabBackend, ProgramSource};
+use dbt_serve::{LabBackend, ProgramSource, RunKnobs};
 use dbt_workloads::WorkloadSize;
 use ghostbusters::MitigationPolicy;
 use std::sync::Arc;
@@ -135,6 +136,31 @@ impl LabDaemon {
     }
 }
 
+/// Parses a wire policy label into a [`MitigationPolicy`].
+fn parse_policy(policy: &str) -> Result<MitigationPolicy, String> {
+    MitigationPolicy::from_label(policy).ok_or_else(|| {
+        format!(
+            "unknown policy `{policy}` (expected one of: {})",
+            MitigationPolicy::ALL.map(|p| p.label()).join(", ")
+        )
+    })
+}
+
+/// Maps wire-level [`RunKnobs`] onto the lab's [`PlatformOverrides`]
+/// (cache geometry is not wire-settable).
+fn knob_overrides(knobs: &RunKnobs) -> PlatformOverrides {
+    PlatformOverrides {
+        issue_width: knobs.issue_width.map(|w| w as usize),
+        hot_threshold: knobs.hot_threshold,
+        branch_speculation: knobs.branch_speculation,
+        memory_speculation: knobs.memory_speculation,
+        cache: None,
+        mcb_capacity: knobs.mcb_capacity.map(|c| c as usize),
+        rollback_penalty: knobs.rollback_penalty,
+        max_blocks: knobs.max_blocks,
+    }
+}
+
 /// The labels the daemon registers in its program store: the whole
 /// analyzable namespace (suite kernels, `ptr-matmul`, both attacks).
 fn analyzable_labels() -> impl Iterator<Item = &'static str> {
@@ -189,15 +215,11 @@ impl LabBackend for LabDaemon {
         ))
     }
 
-    fn run_program(&self, program: &str, policy: &str) -> Result<String, String> {
-        let policy = MitigationPolicy::from_label(policy).ok_or_else(|| {
-            format!(
-                "unknown policy `{policy}` (expected one of: {})",
-                MitigationPolicy::ALL.map(|p| p.label()).join(", ")
-            )
-        })?;
+    fn run_program(&self, program: &str, policy: &str, knobs: &RunKnobs) -> Result<String, String> {
+        let policy = parse_policy(policy)?;
         let (label, program) = self.resolve_ref(program)?;
-        let scenario = adhoc_scenario(&label, program, policy);
+        let secret = knobs.secret.as_ref().map(|secret| secret.as_bytes().to_vec());
+        let scenario = adhoc_scenario(&label, program, policy, knob_overrides(knobs), secret);
         let name = scenario.name.clone();
         let report = run_sweep_obs(
             &name,
@@ -208,6 +230,18 @@ impl LabBackend for LabDaemon {
             Some(&self.obs),
         );
         Ok(report.to_json())
+    }
+
+    fn profile(&self, program: &str, policy: &str) -> Result<String, String> {
+        let policy = parse_policy(policy)?;
+        let (label, program) = self.resolve_ref(program)?;
+        // Profiles run on a fresh session *without* the daemon's shared
+        // translation service: the report embeds translation counters, and
+        // a shared memo would make them depend on daemon warmth — the
+        // profile of a program must be byte-identical however often anyone
+        // asked before.
+        let output = profile_built(&label, &program, policy)?;
+        Ok(output.report.to_json())
     }
 
     fn stats_json(&self) -> String {
@@ -241,18 +275,32 @@ impl LabBackend for LabDaemon {
 }
 
 /// The one-scenario job an ad-hoc `run` request expands to: the resolved
-/// program under `policy` on the default platform, measured as a perf row
-/// (cycles and slowdown against the unprotected baseline). The scenario
-/// name follows the registry convention with the reserved `adhoc` sweep
-/// prefix.
-pub fn adhoc_scenario(label: &str, program: Arc<Program>, policy: MitigationPolicy) -> Scenario {
+/// program under `policy`, on the default platform when `overrides` is
+/// empty (a `custom` platform variant otherwise). Without a secret the
+/// run is measured as a perf row (cycles and slowdown against the
+/// unprotected baseline); planting a `secret` turns it into an attack row
+/// (recovery rate against the planted bytes). The scenario name follows
+/// the registry convention with the reserved `adhoc` sweep prefix.
+pub fn adhoc_scenario(
+    label: &str,
+    program: Arc<Program>,
+    policy: MitigationPolicy,
+    overrides: PlatformOverrides,
+    secret: Option<Vec<u8>>,
+) -> Scenario {
+    let platform = if overrides == PlatformOverrides::default() {
+        PlatformVariant::default_platform()
+    } else {
+        PlatformVariant::new("custom", overrides)
+    };
+    let kind = if secret.is_some() { ScenarioKind::Attack } else { ScenarioKind::Perf };
     Scenario {
-        name: format!("adhoc/{label}/{}/default", policy.label()),
+        name: format!("adhoc/{label}/{}/{}", policy.label(), platform.name),
         program_label: label.to_string(),
-        program: ProgramSpec::Stored { label: label.to_string(), program },
+        program: ProgramSpec::Stored { label: label.to_string(), program, secret },
         policy,
-        platform: PlatformVariant::default_platform(),
-        kind: ScenarioKind::Perf,
+        platform,
+        kind,
     }
 }
 
@@ -311,8 +359,10 @@ mod tests {
         assert!(daemon.sweep("no-such-sweep", 0).is_err());
         assert!(daemon.analyze("no-such-program").is_err());
         assert!(daemon.analyze("fp:0000000000000000").is_err());
-        assert!(daemon.run_program("gemm", "no-such-policy").is_err());
-        assert!(daemon.run_program("scheme:odd", "selective").is_err());
+        assert!(daemon.run_program("gemm", "no-such-policy", &RunKnobs::default()).is_err());
+        assert!(daemon.run_program("scheme:odd", "selective", &RunKnobs::default()).is_err());
+        assert!(daemon.profile("no-such-program", "selective").is_err());
+        assert!(daemon.profile("gemm", "no-such-policy").is_err());
     }
 
     #[test]
@@ -359,15 +409,72 @@ mod tests {
             .expect("fingerprint in upload body");
         let fp = format!("fp:{fp}");
 
-        let report = daemon.run_program(&fp, "selective").unwrap();
+        let report = daemon.run_program(&fp, "selective", &RunKnobs::default()).unwrap();
         assert!(report.contains(&format!("\"scenario\": \"adhoc/{fp}/selective/default\"")));
         assert!(report.contains("\"status\": \"ok\""), "{report}");
-        let again = daemon.run_program(&fp, "selective").unwrap();
+        let again = daemon.run_program(&fp, "selective", &RunKnobs::default()).unwrap();
         assert_eq!(strip_stats(&report), strip_stats(&again));
         assert!(daemon.memo().stats().hits > 0, "the repeat must hit the run memo");
 
         let verdicts = daemon.analyze(&fp).unwrap();
         assert!(verdicts.contains(&format!("\"program\": \"{fp}\"")), "{verdicts}");
+    }
+
+    #[test]
+    fn run_knobs_reshape_the_platform_and_name_it_custom() {
+        let daemon = LabDaemon::with_threads(WorkloadSize::Mini, 1);
+        let stock = daemon.run_program("gemm", "selective", &RunKnobs::default()).unwrap();
+        assert!(stock.contains("\"scenario\": \"adhoc/gemm/selective/default\""), "{stock}");
+        let narrow = RunKnobs { issue_width: Some(2), ..RunKnobs::default() };
+        let narrowed = daemon.run_program("gemm", "selective", &narrow).unwrap();
+        assert!(
+            narrowed.contains("\"scenario\": \"adhoc/gemm/selective/custom\""),
+            "non-default knobs must not masquerade as the default platform: {narrowed}"
+        );
+        assert_ne!(
+            strip_stats(&stock),
+            strip_stats(&narrowed),
+            "halving the issue width must change the cycle data"
+        );
+        // The knobbed run is memoized under its own platform config: the
+        // repeat hits, and equals the first to the byte outside `stats`.
+        let hits = daemon.memo().stats().hits;
+        let repeat = daemon.run_program("gemm", "selective", &narrow).unwrap();
+        assert_eq!(strip_stats(&narrowed), strip_stats(&repeat));
+        assert!(daemon.memo().stats().hits > hits);
+    }
+
+    #[test]
+    fn secret_knobs_turn_adhoc_runs_into_attack_measurements() {
+        let daemon = LabDaemon::with_threads(WorkloadSize::Mini, 1);
+        let knobs = RunKnobs { secret: Some("GB".to_string()), ..RunKnobs::default() };
+        let attack = daemon.run_program("spectre-v1", "unsafe", &knobs).unwrap();
+        assert!(attack.contains("\"kind\": \"attack\""), "{attack}");
+        assert!(attack.contains("\"secret_bytes\": 2,"), "{attack}");
+        assert!(
+            attack.contains("\"recovery_rate\": 1.000000"),
+            "v1 leaks the planted secret unprotected: {attack}"
+        );
+        assert!(attack.contains("\"recovered\": \"GB\""), "{attack}");
+        // The same request under the protective policy recovers nothing.
+        let protected = daemon.run_program("spectre-v1", "our-approach", &knobs).unwrap();
+        assert!(protected.contains("\"recovery_rate\": 0.000000"), "{protected}");
+        // A program without a `secret` symbol reports the plant failure.
+        let report = daemon.run_program("gemm", "unsafe", &knobs).unwrap();
+        assert!(report.contains("no `secret` symbol"), "{report}");
+    }
+
+    #[test]
+    fn daemon_profiles_are_byte_stable_whatever_the_cache_warmth() {
+        let daemon = LabDaemon::with_threads(WorkloadSize::Mini, 1);
+        let cold = daemon.profile("spectre-v1", "selective").unwrap();
+        // Warm every daemon cache with unrelated work, then ask again: the
+        // profile must be byte-identical (fresh un-shared sessions).
+        daemon.run_program("spectre-v1", "selective", &RunKnobs::default()).unwrap();
+        let warm = daemon.profile("spectre-v1", "selective").unwrap();
+        assert_eq!(cold, warm, "profiles must not depend on daemon warmth");
+        assert!(cold.contains("\"program\": \"spectre-v1\""), "{cold}");
+        assert!(cold.contains("\"phases\""), "{cold}");
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //!   `dbt-serve` worker pool executes; the daemon carries its own
 //!   `dbt-obs` registry (phase timings plus mirrored cache counters)
 //!   that the `metrics` op renders as Prometheus text;
+//! * [`profile`] — `lab profile`: the deterministic hot-path profile of
+//!   one program (per-phase cycle attribution, speculation events,
+//!   Chrome-trace export), byte-stable run to run;
+//! * [`mod@bench`] — `lab bench`: the simulator-throughput microbenchmark
+//!   behind the `BENCH_sim-throughput.json` artifact (deterministic
+//!   cycle data, clearly-separated wall-clock throughput lines);
 //! * [`table`] — the human-readable tables of the paper (Figure 4 layout,
 //!   Section V-A attack table).
 //!
@@ -45,14 +51,17 @@
 //! ```
 
 pub mod analyze;
+pub mod bench;
 pub mod daemon;
 pub mod exec;
 pub mod json;
+pub mod profile;
 pub mod registry;
 pub mod scenario;
 pub mod table;
 
 pub use analyze::{analyze_built, analyze_program, resolve_program, AnalyzeReport, BlockAnalysis};
+pub use bench::{run_bench, BenchReport, BenchRow};
 pub use daemon::{adhoc_scenario, strip_stats, LabDaemon};
 pub use dbt_platform::{
     MemoStats, ProgramRef, ProgramStore, RunMemo, ServiceStats, StoreStats, TranslationService,
@@ -61,6 +70,7 @@ pub use exec::{
     run_sweep, run_sweep_memo, run_sweep_obs, run_sweep_with, AttackMetrics, ExecOptions,
     ExecStats, JobOutcome, JobResult, LabReport, PerfMetrics, LAB_PHASE_FAMILY,
 };
+pub use profile::{canonical_label, profile_built, profile_program, ProfileOutput};
 pub use registry::{Registry, Sweep, SweepProgram, DEFAULT_SECRET};
 pub use scenario::{
     AttackVariant, PlatformOverrides, PlatformVariant, ProgramSpec, Scenario, ScenarioKind,

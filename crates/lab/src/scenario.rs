@@ -109,6 +109,10 @@ pub enum ProgramSpec {
         label: String,
         /// The program itself, shared with the store.
         program: Arc<Program>,
+        /// Optional secret planted in guest memory before the run — set
+        /// when an ad-hoc request asks for attack-style measurement of a
+        /// stored program.
+        secret: Option<Vec<u8>>,
     },
     /// Raw program source, built on demand.
     Source {
@@ -137,10 +141,12 @@ impl ProgramSpec {
     /// for one are valid for the other.
     ///
     /// Content-carrying variants key on content fingerprints: the built
-    /// program's [`Program::fingerprint`] for [`ProgramSpec::Stored`], a
-    /// hash of the source text for [`ProgramSpec::Source`], and a hash of
-    /// the secret bytes for [`ProgramSpec::Attack`] (the secret is the
-    /// only input of the attack builders).
+    /// program's [`Program::fingerprint`] for both [`ProgramSpec::Stored`]
+    /// and [`ProgramSpec::Source`] (so the asm, image and stored forms of
+    /// one program share a single baseline-cache and run-memo identity),
+    /// and a hash of the secret bytes for [`ProgramSpec::Attack`] (the
+    /// secret is the only input of the attack builders). A source that
+    /// does not build falls back to a hash of its raw text.
     pub fn key(&self) -> String {
         match self {
             ProgramSpec::Workload { name, size } => format!("workload:{name}@{size:?}"),
@@ -148,12 +154,18 @@ impl ProgramSpec {
             ProgramSpec::Attack { variant, secret } => {
                 format!("{}@secret-fp:{:016x}", variant.label(), hash64(secret))
             }
-            ProgramSpec::Stored { program, .. } => {
-                format!("stored:fp:{:016x}", program.fingerprint())
-            }
-            ProgramSpec::Source { kind, text, .. } => {
-                format!("source:{}:{:016x}", kind.label(), hash64(text.as_bytes()))
-            }
+            ProgramSpec::Stored { program, secret, .. } => match secret {
+                Some(secret) => format!(
+                    "stored:fp:{:016x}+secret-fp:{:016x}",
+                    program.fingerprint(),
+                    hash64(secret)
+                ),
+                None => format!("stored:fp:{:016x}", program.fingerprint()),
+            },
+            ProgramSpec::Source { kind, text, .. } => match self.build() {
+                Ok(program) => format!("stored:fp:{:016x}", program.fingerprint()),
+                Err(_) => format!("source:{}:{:016x}", kind.label(), hash64(text.as_bytes())),
+            },
         }
     }
 
@@ -161,6 +173,7 @@ impl ProgramSpec {
     pub fn secret(&self) -> Option<&[u8]> {
         match self {
             ProgramSpec::Attack { secret, .. } => Some(secret),
+            ProgramSpec::Stored { secret, .. } => secret.as_deref(),
             _ => None,
         }
     }
@@ -185,13 +198,56 @@ impl ProgramSpec {
                 AttackVariant::SpectreV4 => dbt_attacks::spectre_v4::build(secret)
                     .map_err(|e| format!("spectre-v4 does not assemble: {e}")),
             },
-            ProgramSpec::Stored { program, .. } => Ok((**program).clone()),
+            ProgramSpec::Stored { program, secret, .. } => match secret {
+                None => Ok((**program).clone()),
+                Some(secret) => plant_secret(program, secret),
+            },
             ProgramSpec::Source { kind, text, .. } => match kind {
                 SourceKind::Asm => dbt_riscv::parse_asm(text).map_err(|e| e.to_string()),
                 SourceKind::Image => Program::from_image(text).map_err(|e| e.to_string()),
             },
         }
     }
+}
+
+/// Rebuilds `program` with `secret` written into its data section at the
+/// `secret` symbol. The planted bytes are program content — the patched
+/// program's [`Program::fingerprint`] differs from the original's, so
+/// run-memo and baseline-cache entries never mix runs of different
+/// secrets.
+///
+/// # Errors
+///
+/// The program must define a `secret` data symbol with room for the
+/// planted bytes (the convention the in-repo attack builders follow).
+fn plant_secret(program: &Program, secret: &[u8]) -> Result<Program, String> {
+    let addr = program
+        .symbol("secret")
+        .ok_or_else(|| "program defines no `secret` symbol to plant into".to_string())?;
+    let offset = addr
+        .checked_sub(program.data_base())
+        .ok_or_else(|| "`secret` symbol lies outside the data section".to_string())?
+        as usize;
+    let mut data = program.data().to_vec();
+    let end =
+        offset.checked_add(secret.len()).filter(|&end| end <= data.len()).ok_or_else(|| {
+            format!(
+                "`secret` buffer too small: {} byte(s) do not fit at data offset {offset} \
+                 (data section is {} bytes)",
+                secret.len(),
+                data.len()
+            )
+        })?;
+    data[offset..end].copy_from_slice(secret);
+    Ok(Program::new(
+        program.code_base(),
+        program.code().to_vec(),
+        program.data_base(),
+        data,
+        program.entry(),
+        program.memory_size(),
+        program.symbols().map(|(name, addr)| (name.to_string(), addr)).collect(),
+    ))
 }
 
 /// Sparse overrides on top of the per-policy default platform.
@@ -338,12 +394,23 @@ mod tests {
     fn stored_and_source_specs_key_on_content() {
         let program =
             Arc::new(dbt_riscv::parse_asm("li a0, 9\necall\n").expect("tiny program parses"));
-        let stored =
-            ProgramSpec::Stored { label: "fp:whatever".to_string(), program: Arc::clone(&program) };
+        let stored = ProgramSpec::Stored {
+            label: "fp:whatever".to_string(),
+            program: Arc::clone(&program),
+            secret: None,
+        };
         assert_eq!(stored.label(), "fp:whatever");
         assert!(stored.key().contains(&format!("{:016x}", program.fingerprint())));
         assert_eq!(stored.build().unwrap(), *program);
         assert_eq!(stored.secret(), None);
+
+        let with_secret = ProgramSpec::Stored {
+            label: "fp:whatever".to_string(),
+            program: Arc::clone(&program),
+            secret: Some(b"GB".to_vec()),
+        };
+        assert_eq!(with_secret.secret(), Some(&b"GB"[..]));
+        assert_ne!(with_secret.key(), stored.key(), "a planted secret changes run identity");
 
         let source = ProgramSpec::Source {
             label: "gadget".to_string(),
@@ -364,7 +431,8 @@ mod tests {
             text: program.to_image(),
         };
         assert_eq!(image.build().unwrap(), *program);
-        assert_ne!(image.key(), source.key(), "distinct source forms, distinct keys");
+        assert_eq!(image.key(), source.key(), "same built program, same key across source forms");
+        assert_eq!(image.key(), stored.key(), "source forms share the stored form's identity");
 
         let broken = ProgramSpec::Source {
             label: "broken".to_string(),
@@ -372,6 +440,38 @@ mod tests {
             text: "frobnicate a0".to_string(),
         };
         assert!(broken.build().is_err());
+        assert!(broken.key().starts_with("source:asm:"), "unbuildable sources keep the text hash");
+    }
+
+    #[test]
+    fn stored_specs_plant_secrets_as_program_content() {
+        // Patching a stored attack image reproduces what the builder
+        // would have produced for that secret — byte for byte.
+        let base = Arc::new(dbt_attacks::spectre_v1::build(b"AA").unwrap());
+        let spec = ProgramSpec::Stored {
+            label: "v1".to_string(),
+            program: Arc::clone(&base),
+            secret: Some(b"GB".to_vec()),
+        };
+        let planted = spec.build().unwrap();
+        assert_eq!(planted, dbt_attacks::spectre_v1::build(b"GB").unwrap());
+        assert_ne!(planted.fingerprint(), base.fingerprint(), "the secret is program content");
+
+        // Programs without a secret buffer reject planting; oversized
+        // secrets are caught instead of clobbering neighbouring data.
+        let plain = Arc::new(dbt_riscv::parse_asm("li a0, 9\necall\n").unwrap());
+        let no_buffer = ProgramSpec::Stored {
+            label: "plain".to_string(),
+            program: plain,
+            secret: Some(b"GB".to_vec()),
+        };
+        assert!(no_buffer.build().unwrap_err().contains("no `secret` symbol"));
+        let oversized = ProgramSpec::Stored {
+            label: "v1".to_string(),
+            program: base,
+            secret: Some(vec![0u8; 1 << 20]),
+        };
+        assert!(oversized.build().unwrap_err().contains("too small"));
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //! * fixed workspace-wide latency buckets
 //!   ([`DEFAULT_LATENCY_BOUNDS_MICROS`]) and deterministic bucket-edge
 //!   quantiles ([`Histogram::quantile_micros`]) for the load generator's
-//!   p50/p95/p99 reporting.
+//!   p50/p95/p99 reporting;
+//! * a [`Profiler`] that lives *inside* the simulated core and counts in
+//!   the **cycle domain** only — per-phase cycle attribution, speculation
+//!   event counters, and a bounded flight recorder exporting Chrome
+//!   `trace_event` JSON (`lab profile … --trace`).
 //!
 //! Two invariants shape the design:
 //!
@@ -32,9 +36,11 @@
 //! (`dbt_serve_requests_total`, `dbt_runmemo_hits_total`, …).
 
 mod metric;
+mod profiler;
 mod registry;
 mod span;
 
 pub use metric::{micros_as_seconds, Counter, Gauge, Histogram, DEFAULT_LATENCY_BOUNDS_MICROS};
+pub use profiler::{Phase, PhaseCycles, Profiler, SpecEvents, TraceEvent, DEFAULT_TRACE_CAPACITY};
 pub use registry::MetricsRegistry;
 pub use span::{Span, SPAN_FAMILY};

@@ -274,6 +274,27 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_answers_its_own_bucket_at_every_quantile() {
+        let h = Histogram::new(&[50, 100, 250]);
+        h.observe_micros(75); // le=100 bucket
+                              // With exactly one observation, every quantile's rank clamps to 1,
+                              // so p0 through p100 all answer the sample's bucket bound.
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_micros(q), 100, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_zero_is_the_first_occupied_bucket() {
+        let h = Histogram::new(&[50, 100, 250]);
+        h.observe_micros(10); // le=50 bucket
+        h.observe_micros(200); // le=250 bucket
+                               // q=0 ranks to 0 but clamps to rank 1: the minimum's bucket, not 0.
+        assert_eq!(h.quantile_micros(0.0), 50);
+        assert_eq!(h.quantile_micros(1.0), 250);
+    }
+
+    #[test]
     fn duration_observation_truncates_to_micros() {
         let h = Histogram::new(DEFAULT_LATENCY_BOUNDS_MICROS);
         h.observe(Duration::from_micros(75));

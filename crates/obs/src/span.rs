@@ -96,6 +96,29 @@ mod tests {
     }
 
     #[test]
+    fn nested_spans_attribute_to_their_own_phases() {
+        // An outer phase span stays open while an inner sub-phase span
+        // opens and closes: each must record exactly once, into its own
+        // labelled series, and the inner drop must not close the outer.
+        let registry = MetricsRegistry::new();
+        {
+            let _outer = registry.span("phase.outer");
+            {
+                let _inner = registry.span("phase.inner");
+            }
+            let mid = registry.render();
+            assert!(mid.contains("dbt_span_seconds_count{span=\"phase.inner\"} 1"), "{mid}");
+            assert!(
+                mid.contains("dbt_span_seconds_count{span=\"phase.outer\"} 0"),
+                "outer span must still be in flight: {mid}"
+            );
+        }
+        let text = registry.render();
+        assert!(text.contains("dbt_span_seconds_count{span=\"phase.outer\"} 1"), "{text}");
+        assert!(text.contains("dbt_span_seconds_count{span=\"phase.inner\"} 1"), "{text}");
+    }
+
+    #[test]
     fn enter_records_into_the_global_registry() {
         drop(Span::enter("obs.test.enter"));
         let text = MetricsRegistry::global().render();

@@ -45,6 +45,7 @@
 
 pub mod memo;
 pub mod processor;
+pub mod profile;
 pub mod run;
 pub mod session;
 pub mod store;
@@ -52,6 +53,7 @@ pub mod store;
 pub use dbt_engine::{ServiceStats, TranslationService};
 pub use memo::{CachedRun, MemoStats, RunKey, RunMemo, DEFAULT_MEMO_CAPACITY};
 pub use processor::{DbtProcessor, PlatformConfig, PlatformError, RunSummary};
+pub use profile::ProfileReport;
 pub use run::PolicyComparison;
 pub use session::{Session, SessionBuilder};
 pub use store::{ProgramRef, ProgramStore, StoreStats};

@@ -261,6 +261,19 @@ impl DbtProcessor {
         Ok(self.memory.read_bytes(self.symbol(name)?, len)?)
     }
 
+    /// Assembles the deterministic cycle-domain profile of this
+    /// processor's execution so far (normally called once, after
+    /// [`DbtProcessor::run`] with the summary it returned).
+    pub fn profile_report(&self, program: &str, summary: &RunSummary) -> crate::ProfileReport {
+        crate::ProfileReport::assemble(
+            program,
+            self.config.dbt.policy.label(),
+            summary,
+            &self.core,
+            self.engine.stats(),
+        )
+    }
+
     /// Runs the guest program until it halts or the block budget runs out.
     ///
     /// # Errors

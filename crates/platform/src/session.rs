@@ -178,6 +178,14 @@ impl Session {
         self.processor.core()
     }
 
+    /// The deterministic cycle-domain profile of the run: per-phase cycle
+    /// attribution, speculation events, translation counters. `program`
+    /// is the label stamped into the report; `summary` is what
+    /// [`Session::run`] returned.
+    pub fn profile_report(&self, program: &str, summary: &RunSummary) -> crate::ProfileReport {
+        self.processor.profile_report(program, summary)
+    }
+
     /// Guest memory.
     pub fn memory(&self) -> &GuestMemory {
         self.processor.memory()

@@ -38,6 +38,26 @@ impl Client {
         self.raw_request(&request.encode())
     }
 
+    /// [`Client::request`] with request tracing: sends `trace_id` on the
+    /// frame when given (the server generates a deterministic one
+    /// otherwise) and returns the trace id the server echoed alongside
+    /// the response.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Client::request`].
+    pub fn request_traced(
+        &mut self,
+        request: &Request,
+        trace_id: Option<&str>,
+    ) -> Result<(Response, Option<String>), String> {
+        let line = match trace_id {
+            Some(trace_id) => request.encode_with_trace(trace_id),
+            None => request.encode(),
+        };
+        self.raw_request_traced(&line)
+    }
+
     /// Sends one already-encoded line and waits for the response frame
     /// (used by tests to exercise the daemon's handling of bad frames).
     ///
@@ -45,6 +65,11 @@ impl Client {
     ///
     /// Same contract as [`Client::request`].
     pub fn raw_request(&mut self, line: &str) -> Result<Response, String> {
+        self.raw_request_traced(line).map(|(response, _)| response)
+    }
+
+    /// [`Client::raw_request`], keeping the echoed `trace_id`.
+    fn raw_request_traced(&mut self, line: &str) -> Result<(Response, Option<String>), String> {
         writeln!(self.writer, "{line}")
             .and_then(|()| self.writer.flush())
             .map_err(|e| format!("cannot send request: {e}"))?;
@@ -54,6 +79,6 @@ impl Client {
         if read == 0 {
             return Err("connection closed before a response arrived".to_string());
         }
-        Response::decode(reply.trim_end_matches('\n'))
+        Response::decode_frame(reply.trim_end_matches('\n'))
     }
 }

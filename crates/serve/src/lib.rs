@@ -7,10 +7,12 @@
 //! concurrent operations:
 //!
 //! * [`protocol`] — newline-delimited JSON frames over TCP (`run`,
-//!   `sweep`, `analyze`, `upload`, `stats`, `metrics`, `health`,
-//!   `shutdown`); multi-line lab reports travel escaped inside
+//!   `profile`, `sweep`, `analyze`, `upload`, `stats`, `metrics`,
+//!   `health`, `shutdown`); multi-line lab reports travel escaped inside
 //!   single-line frames, byte-identical to local CLI output once
-//!   unescaped;
+//!   unescaped; ad-hoc `run` frames carry sparse platform knobs
+//!   ([`RunKnobs`]) and any frame may carry a `trace_id`, echoed on the
+//!   response;
 //! * [`json`] — the dependency-free JSON reader the protocol needs (the
 //!   repo's emitters are hand-rolled writers; this is the matching
 //!   parser);
@@ -47,6 +49,8 @@ pub mod server;
 pub use client::Client;
 pub use json::JsonValue;
 pub use loadgen::{drive, LoadOptions, LoadOutcome, OpLatency};
-pub use protocol::{ProgramSource, Request, Response, DEFAULT_RUN_POLICY};
+pub use protocol::{ProgramSource, Request, Response, RunKnobs, DEFAULT_RUN_POLICY};
 pub use queue::{BoundedQueue, PushError};
-pub use server::{serve, LabBackend, ServerConfig, ServerHandle, DEFAULT_MAX_FRAME_BYTES};
+pub use server::{
+    serve, LabBackend, ServerConfig, ServerHandle, DEFAULT_MAX_FRAME_BYTES, TRACE_LOG_CAPACITY,
+};

@@ -15,6 +15,12 @@
 //! p50/p95/p99 are deterministic bucket upper bounds. Timing data stays
 //! out of the `BENCH_*.json` artifacts — it is operator output only, so
 //! byte-stable determinism checks keep passing.
+//!
+//! Every request is tagged with a deterministic trace id
+//! (`c<client>-<seq>`) and the driver checks the server echoes it back
+//! verbatim on the matching response — under full concurrency, a wrong or
+//! missing echo means cross-request correlation broke, and is counted as
+//! an error.
 
 use crate::client::Client;
 use crate::protocol::{Request, Response};
@@ -165,16 +171,31 @@ pub fn drive(
         let (ok, busy, errors, mismatches, canonical, measures) =
             (&ok, &busy, &errors, &mismatches, &canonical, &measures);
         std::thread::scope(|scope| {
-            for mut client in clients.drain(..) {
+            for (client_index, mut client) in clients.drain(..).enumerate() {
                 scope.spawn(move || {
+                    let mut seq = 0u64;
                     for _ in 0..opts.iterations {
                         for (index, request) in requests.iter().enumerate() {
                             let (latency, submitted, busy_count) = &measures[index];
                             submitted.inc();
-                            let response = {
+                            let trace_id = format!("c{client_index}-{seq}");
+                            seq += 1;
+                            let traced = {
                                 let _span = Span::on(latency);
-                                client.request(request)
+                                client.request_traced(request, Some(&trace_id))
                             };
+                            // A wrong or missing trace echo is a broken
+                            // response correlation: count it as an error,
+                            // whatever the response status said.
+                            let response = traced.and_then(|(response, echoed)| {
+                                if echoed.as_deref() == Some(trace_id.as_str()) {
+                                    Ok(response)
+                                } else {
+                                    Err(format!(
+                                        "trace echo mismatch: sent `{trace_id}`, got {echoed:?}"
+                                    ))
+                                }
+                            });
                             match response {
                                 Ok(Response::Ok { body, .. }) => {
                                     ok.fetch_add(1, Ordering::SeqCst);

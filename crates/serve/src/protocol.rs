@@ -9,24 +9,29 @@
 //! See `docs/PROTOCOL.md` for the full specification with examples; the
 //! summary (protocol v2):
 //!
-//! | request `op` | payload members        | answer                          |
-//! |--------------|------------------------|---------------------------------|
-//! | `run`        | `scenario`             | one-scenario lab report JSON    |
-//! | `run`        | `program`, `policy?`   | ad-hoc program-ref report JSON  |
-//! | `sweep`      | `sweep`, `threads?`    | full sweep report JSON          |
-//! | `analyze`    | `program`              | taint-verdict report JSON       |
-//! | `upload`     | `asm` \| `image`       | content fingerprint + dedup     |
-//! | `stats`      | —                      | server + cache counters         |
-//! | `metrics`    | —                      | Prometheus text exposition      |
-//! | `health`     | —                      | liveness + capacity             |
-//! | `shutdown`   | —                      | ack, then the daemon stops      |
+//! | request `op` | payload members          | answer                          |
+//! |--------------|--------------------------|---------------------------------|
+//! | `run`        | `scenario`               | one-scenario lab report JSON    |
+//! | `run`        | `program`, `policy?`, knobs | ad-hoc program-ref report JSON |
+//! | `sweep`      | `sweep`, `threads?`      | full sweep report JSON          |
+//! | `analyze`    | `program`                | taint-verdict report JSON       |
+//! | `upload`     | `asm` \| `image`         | content fingerprint + dedup     |
+//! | `profile`    | `program?`, `policy?`    | cycle profile / server trace log|
+//! | `stats`      | —                        | server + cache counters         |
+//! | `metrics`    | —                        | Prometheus text exposition      |
+//! | `health`     | —                        | liveness + capacity             |
+//! | `shutdown`   | —                        | ack, then the daemon stops      |
 //!
 //! v2 turns programs into data: `upload` submits a guest program (text
 //! assembly or a program-image JSON document, both escaped into one frame
 //! member) into the daemon's content-addressed program store, and the
-//! `program` members of `run`/`analyze` accept the program-ref grammar
-//! (`registry:<name>` or a bare name, `fp:<16-hex>` for uploaded
-//! content).
+//! `program` members of `run`/`analyze`/`profile` accept the program-ref
+//! grammar (`registry:<name>` or a bare name, `fp:<16-hex>` for uploaded
+//! content). Program-ref `run` frames additionally accept the sparse
+//! platform knobs of [`RunKnobs`] plus a planted `secret`, and any
+//! request frame may carry a `trace_id` member — echoed verbatim on the
+//! response, generated deterministically by the server when absent (see
+//! [`Request::decode_frame`]).
 //!
 //! Responses carry `status`: `"ok"` (with `body`), `"busy"` (bounded job
 //! queue full — explicit backpressure, retry later) or `"error"` (with
@@ -65,6 +70,93 @@ impl ProgramSource {
     }
 }
 
+/// Sparse platform knobs an ad-hoc program-ref `run` request may carry,
+/// as flat optional frame members. `None` members keep the per-policy
+/// default platform — an all-`None` knob set is exactly the v2 behaviour.
+/// Cache geometry is not wire-settable (it is a structured object, not a
+/// scalar knob); sweeps over cache shapes stay a registry concern.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunKnobs {
+    /// VLIW issue width (scheduler and core).
+    pub issue_width: Option<u64>,
+    /// Hot threshold of the DBT profiler.
+    pub hot_threshold: Option<u64>,
+    /// Enable/disable branch (trace-scheduling) speculation.
+    pub branch_speculation: Option<bool>,
+    /// Enable/disable memory (MCB) speculation.
+    pub memory_speculation: Option<bool>,
+    /// Memory Conflict Buffer capacity.
+    pub mcb_capacity: Option<u64>,
+    /// Rollback penalty in cycles.
+    pub rollback_penalty: Option<u64>,
+    /// Block budget of the run.
+    pub max_blocks: Option<u64>,
+    /// Secret to plant into the program's `secret` buffer; its presence
+    /// turns the run into an attack-style measurement (recovery rate
+    /// against the planted bytes).
+    pub secret: Option<String>,
+}
+
+impl RunKnobs {
+    /// `true` when no knob is set (the frame needs no knob members).
+    pub fn is_default(&self) -> bool {
+        *self == RunKnobs::default()
+    }
+
+    /// Appends the set knobs as `, "name": value` members.
+    fn encode_members(&self, out: &mut String) {
+        fn number(out: &mut String, name: &str, value: Option<u64>) {
+            if let Some(value) = value {
+                out.push_str(&format!(", \"{name}\": {value}"));
+            }
+        }
+        fn boolean(out: &mut String, name: &str, value: Option<bool>) {
+            if let Some(value) = value {
+                out.push_str(&format!(", \"{name}\": {value}"));
+            }
+        }
+        number(out, "issue_width", self.issue_width);
+        number(out, "hot_threshold", self.hot_threshold);
+        boolean(out, "branch_speculation", self.branch_speculation);
+        boolean(out, "memory_speculation", self.memory_speculation);
+        number(out, "mcb_capacity", self.mcb_capacity);
+        number(out, "rollback_penalty", self.rollback_penalty);
+        number(out, "max_blocks", self.max_blocks);
+        if let Some(secret) = &self.secret {
+            out.push_str(&format!(", \"secret\": \"{}\"", escape(secret)));
+        }
+    }
+
+    /// Reads the knob members out of a parsed request frame.
+    fn decode(value: &JsonValue) -> Result<RunKnobs, String> {
+        let number = |name: &str| match value.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| format!("`{name}` must be a non-negative integer")),
+        };
+        let boolean = |name: &str| match value.get(name) {
+            None => Ok(None),
+            Some(v) => v.as_bool().map(Some).ok_or_else(|| format!("`{name}` must be a boolean")),
+        };
+        let secret = match value.get("secret") {
+            None => None,
+            Some(v) => Some(v.as_str().ok_or("`secret` must be a string")?.to_string()),
+        };
+        Ok(RunKnobs {
+            issue_width: number("issue_width")?,
+            hot_threshold: number("hot_threshold")?,
+            branch_speculation: boolean("branch_speculation")?,
+            memory_speculation: boolean("memory_speculation")?,
+            mcb_capacity: number("mcb_capacity")?,
+            rollback_penalty: number("rollback_penalty")?,
+            max_blocks: number("max_blocks")?,
+            secret,
+        })
+    }
+}
+
 /// One request frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -78,6 +170,17 @@ pub enum Request {
         /// Program ref (`registry:<name>`, bare name, or `fp:<16-hex>`).
         program: String,
         /// Mitigation-policy label (`unsafe`, `selective`, ...).
+        policy: String,
+        /// Sparse platform overrides and optional planted secret.
+        knobs: RunKnobs,
+    },
+    /// The deterministic cycle-domain profile of one program run
+    /// (`program` set), or the server's request trace log (no
+    /// `program`).
+    Profile {
+        /// Program ref to profile; absent = answer the trace log.
+        program: Option<String>,
+        /// Mitigation-policy label for the profiled run.
         policy: String,
     },
     /// Run one registered sweep.
@@ -114,6 +217,7 @@ impl Request {
     pub fn op(&self) -> &'static str {
         match self {
             Request::Run { .. } | Request::RunProgram { .. } => "run",
+            Request::Profile { .. } => "profile",
             Request::Sweep { .. } => "sweep",
             Request::Analyze { .. } => "analyze",
             Request::Upload { .. } => "upload",
@@ -125,16 +229,19 @@ impl Request {
     }
 
     /// `true` if the request is executed on the worker pool (and therefore
-    /// subject to queue backpressure) rather than answered inline.
+    /// subject to queue backpressure) rather than answered inline. A
+    /// `profile` request is heavy only when it actually profiles a
+    /// program; the trace-log form is answered inline.
     pub fn is_heavy(&self) -> bool {
-        matches!(
-            self,
+        match self {
             Request::Run { .. }
-                | Request::RunProgram { .. }
-                | Request::Sweep { .. }
-                | Request::Analyze { .. }
-                | Request::Upload { .. }
-        )
+            | Request::RunProgram { .. }
+            | Request::Sweep { .. }
+            | Request::Analyze { .. }
+            | Request::Upload { .. } => true,
+            Request::Profile { program, .. } => program.is_some(),
+            _ => false,
+        }
     }
 
     /// Encodes the frame (one line, no trailing newline).
@@ -143,11 +250,24 @@ impl Request {
             Request::Run { scenario } => {
                 format!("{{\"op\": \"run\", \"scenario\": \"{}\"}}", escape(scenario))
             }
-            Request::RunProgram { program, policy } => format!(
-                "{{\"op\": \"run\", \"program\": \"{}\", \"policy\": \"{}\"}}",
-                escape(program),
-                escape(policy)
-            ),
+            Request::RunProgram { program, policy, knobs } => {
+                let mut out = format!(
+                    "{{\"op\": \"run\", \"program\": \"{}\", \"policy\": \"{}\"",
+                    escape(program),
+                    escape(policy)
+                );
+                knobs.encode_members(&mut out);
+                out.push('}');
+                out
+            }
+            Request::Profile { program, policy } => match program {
+                Some(program) => format!(
+                    "{{\"op\": \"profile\", \"program\": \"{}\", \"policy\": \"{}\"}}",
+                    escape(program),
+                    escape(policy)
+                ),
+                None => "{\"op\": \"profile\"}".to_string(),
+            },
             Request::Sweep { name, threads } => format!(
                 "{{\"op\": \"sweep\", \"sweep\": \"{}\", \"threads\": {threads}}}",
                 escape(name)
@@ -167,14 +287,36 @@ impl Request {
         }
     }
 
-    /// Decodes one request line.
+    /// Decodes one request line, discarding any `trace_id`.
     ///
     /// # Errors
     ///
     /// Returns a message suitable for an `error` response frame: malformed
     /// JSON, missing/ill-typed members, or an unknown `op`.
     pub fn decode(line: &str) -> Result<Request, String> {
+        Request::decode_frame(line).map(|(request, _)| request)
+    }
+
+    /// Decodes one request line, extracting the optional `trace_id`
+    /// member alongside the request. The server echoes this id verbatim
+    /// on the response (and generates a deterministic per-connection one
+    /// when the frame carries none).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message suitable for an `error` response frame: malformed
+    /// JSON, missing/ill-typed members, or an unknown `op`.
+    pub fn decode_frame(line: &str) -> Result<(Request, Option<String>), String> {
         let value = JsonValue::parse(line).map_err(|e| format!("malformed request: {e}"))?;
+        let trace_id = match value.get("trace_id") {
+            None => None,
+            Some(v) => Some(v.as_str().ok_or("`trace_id` must be a string")?.to_string()),
+        };
+        Ok((Request::from_value(&value)?, trace_id))
+    }
+
+    /// Decodes an already-parsed request frame.
+    fn from_value(value: &JsonValue) -> Result<Request, String> {
         let op = value
             .get("op")
             .and_then(JsonValue::as_str)
@@ -186,18 +328,29 @@ impl Request {
                 .map(str::to_string)
                 .ok_or(format!("`{op}` needs a string `{member}` member"))
         };
+        let policy = |value: &JsonValue| match value.get("policy") {
+            None => Ok(DEFAULT_RUN_POLICY.to_string()),
+            Some(_) => need("policy"),
+        };
         match op {
             "run" => {
                 if value.get("program").is_some() {
-                    let policy = match value.get("policy") {
-                        None => DEFAULT_RUN_POLICY.to_string(),
-                        Some(_) => need("policy")?,
-                    };
-                    Ok(Request::RunProgram { program: need("program")?, policy })
+                    Ok(Request::RunProgram {
+                        program: need("program")?,
+                        policy: policy(value)?,
+                        knobs: RunKnobs::decode(value)?,
+                    })
                 } else {
                     Ok(Request::Run { scenario: need("scenario")? })
                 }
             }
+            "profile" => Ok(Request::Profile {
+                program: match value.get("program") {
+                    None => None,
+                    Some(_) => Some(need("program")?),
+                },
+                policy: policy(value)?,
+            }),
             "sweep" => {
                 let threads = match value.get("threads") {
                     None => 0,
@@ -221,10 +374,24 @@ impl Request {
             "health" => Ok(Request::Health),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op `{other}` (expected run|sweep|analyze|upload|stats|metrics|health|shutdown)"
+                "unknown op `{other}` (expected run|profile|sweep|analyze|upload|stats|metrics|health|shutdown)"
             )),
         }
     }
+
+    /// [`Request::encode`] with a `trace_id` member appended, for clients
+    /// that want to correlate responses with their own ids.
+    pub fn encode_with_trace(&self, trace_id: &str) -> String {
+        append_trace(self.encode(), trace_id)
+    }
+}
+
+/// Appends `, "trace_id": "..."` to an encoded frame (which always ends
+/// in `}`).
+fn append_trace(mut frame: String, trace_id: &str) -> String {
+    frame.pop();
+    frame.push_str(&format!(", \"trace_id\": \"{}\"}}", escape(trace_id)));
+    frame
 }
 
 /// One response frame.
@@ -272,12 +439,31 @@ impl Response {
         }
     }
 
-    /// Decodes one response line.
+    /// [`Response::encode`] with the request's `trace_id` echoed as the
+    /// frame's last member (when one is known).
+    pub fn encode_with_trace(&self, trace_id: Option<&str>) -> String {
+        match trace_id {
+            None => self.encode(),
+            Some(trace_id) => append_trace(self.encode(), trace_id),
+        }
+    }
+
+    /// Decodes one response line, discarding any echoed `trace_id`.
     ///
     /// # Errors
     ///
     /// Returns a message if the line is not a valid response frame.
     pub fn decode(line: &str) -> Result<Response, String> {
+        Response::decode_frame(line).map(|(response, _)| response)
+    }
+
+    /// Decodes one response line together with the echoed `trace_id`, if
+    /// the server attached one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the line is not a valid response frame.
+    pub fn decode_frame(line: &str) -> Result<(Response, Option<String>), String> {
         let value = JsonValue::parse(line).map_err(|e| format!("malformed response: {e}"))?;
         let member = |name: &str| {
             value
@@ -286,13 +472,18 @@ impl Response {
                 .map(str::to_string)
                 .ok_or(format!("response needs a string `{name}` member"))
         };
+        let trace_id = match value.get("trace_id") {
+            None => None,
+            Some(v) => Some(v.as_str().ok_or("`trace_id` must be a string")?.to_string()),
+        };
         let op = member("op")?;
-        match member("status")?.as_str() {
-            "ok" => Ok(Response::Ok { op, body: member("body")? }),
-            "busy" => Ok(Response::Busy { op }),
-            "error" => Ok(Response::Error { op, error: member("error")? }),
-            other => Err(format!("unknown status `{other}`")),
-        }
+        let response = match member("status")?.as_str() {
+            "ok" => Response::Ok { op, body: member("body")? },
+            "busy" => Response::Busy { op },
+            "error" => Response::Error { op, error: member("error")? },
+            other => return Err(format!("unknown status `{other}`")),
+        };
+        Ok((response, trace_id))
     }
 }
 
@@ -307,7 +498,27 @@ mod tests {
             Request::RunProgram {
                 program: "fp:0123456789abcdef".to_string(),
                 policy: "selective".to_string(),
+                knobs: RunKnobs::default(),
             },
+            Request::RunProgram {
+                program: "histogram".to_string(),
+                policy: "unsafe".to_string(),
+                knobs: RunKnobs {
+                    issue_width: Some(8),
+                    hot_threshold: Some(2),
+                    branch_speculation: Some(true),
+                    memory_speculation: Some(false),
+                    mcb_capacity: Some(16),
+                    rollback_penalty: Some(11),
+                    max_blocks: Some(50_000),
+                    secret: Some("GhostBusters!".to_string()),
+                },
+            },
+            Request::Profile {
+                program: Some("spectre-v1".to_string()),
+                policy: "selective".to_string(),
+            },
+            Request::Profile { program: None, policy: DEFAULT_RUN_POLICY.to_string() },
             Request::Sweep { name: "figure4".to_string(), threads: 7 },
             Request::Analyze { program: "histogram".to_string() },
             Request::Upload { source: ProgramSource::Asm("li a0, 1\necall\n".to_string()) },
@@ -325,6 +536,76 @@ mod tests {
     }
 
     #[test]
+    fn trace_ids_ride_any_frame_and_round_trip() {
+        // Requests: absent by default, extracted when present.
+        let request = Request::Analyze { program: "gemm".to_string() };
+        assert_eq!(Request::decode_frame(&request.encode()).unwrap(), (request.clone(), None));
+        let line = request.encode_with_trace("c3-17");
+        assert!(!line.contains('\n'), "{line}");
+        assert_eq!(Request::decode_frame(&line).unwrap(), (request, Some("c3-17".to_string())));
+        // Responses: the echo survives encode/decode, and plain `decode`
+        // (v2 clients) ignores it.
+        let response = Response::Ok { op: "analyze".to_string(), body: "{}\n".to_string() };
+        let line = response.encode_with_trace(Some("c3-17"));
+        assert_eq!(
+            Response::decode_frame(&line).unwrap(),
+            (response.clone(), Some("c3-17".to_string()))
+        );
+        assert_eq!(Response::decode(&line).unwrap(), response);
+        assert_eq!(response.encode_with_trace(None), response.encode());
+        // Ill-typed ids are rejected, not silently dropped.
+        assert!(Request::decode_frame(r#"{"op": "stats", "trace_id": 7}"#)
+            .unwrap_err()
+            .contains("trace_id"));
+    }
+
+    #[test]
+    fn run_knobs_default_to_empty_and_reject_ill_typed_members() {
+        let request = Request::decode(r#"{"op": "run", "program": "gemm"}"#).unwrap();
+        assert_eq!(
+            request,
+            Request::RunProgram {
+                program: "gemm".to_string(),
+                policy: DEFAULT_RUN_POLICY.to_string(),
+                knobs: RunKnobs::default(),
+            }
+        );
+        assert!(RunKnobs::default().is_default());
+        assert!(!RunKnobs { issue_width: Some(4), ..RunKnobs::default() }.is_default());
+        for (line, needle) in [
+            (r#"{"op": "run", "program": "gemm", "issue_width": "wide"}"#, "`issue_width`"),
+            (
+                r#"{"op": "run", "program": "gemm", "branch_speculation": 1}"#,
+                "`branch_speculation`",
+            ),
+            (r#"{"op": "run", "program": "gemm", "secret": 42}"#, "`secret`"),
+        ] {
+            let error = Request::decode(line).unwrap_err();
+            assert!(error.contains(needle), "{line}: {error}");
+        }
+    }
+
+    #[test]
+    fn profile_requests_default_policy_and_classify_weight() {
+        let heavy = Request::decode(r#"{"op": "profile", "program": "spectre-v1"}"#).unwrap();
+        assert_eq!(
+            heavy,
+            Request::Profile {
+                program: Some("spectre-v1".to_string()),
+                policy: DEFAULT_RUN_POLICY.to_string(),
+            }
+        );
+        assert!(heavy.is_heavy(), "profiling a program runs on the worker pool");
+        let light = Request::decode(r#"{"op": "profile"}"#).unwrap();
+        assert_eq!(
+            light,
+            Request::Profile { program: None, policy: DEFAULT_RUN_POLICY.to_string() }
+        );
+        assert!(!light.is_heavy(), "the trace-log form is answered inline");
+        assert_eq!(heavy.op(), "profile");
+    }
+
+    #[test]
     fn sweep_threads_default_to_zero() {
         let request = Request::decode(r#"{"op": "sweep", "sweep": "figure4"}"#).unwrap();
         assert_eq!(request, Request::Sweep { name: "figure4".to_string(), threads: 0 });
@@ -339,6 +620,7 @@ mod tests {
             Request::RunProgram {
                 program: "fp:00000000000000aa".to_string(),
                 policy: DEFAULT_RUN_POLICY.to_string(),
+                knobs: RunKnobs::default(),
             }
         );
         // A scenario-form `run` still decodes as before.

@@ -11,8 +11,10 @@
 //!
 //! 1. the acceptor thread hands each connection to a detached handler
 //!    thread that reads newline-delimited request frames;
-//! 2. cheap requests (`stats`, `health`, `shutdown`) are answered inline;
-//! 3. heavy requests (`run`, `sweep`, `analyze`, `upload`) are pushed onto
+//! 2. cheap requests (`stats`, `health`, `shutdown`, the trace-log form
+//!    of `profile`) are answered inline;
+//! 3. heavy requests (`run`, `sweep`, `analyze`, `upload`, the
+//!    program-profiling form of `profile`) are pushed onto
 //!    the bounded [`BoundedQueue`]; a full queue answers `busy` immediately
 //!    — explicit backpressure instead of unbounded buffering (request
 //!    lines themselves are bounded too: see
@@ -25,14 +27,22 @@
 //! queue — workers drain what was admitted, later pushes answer an error
 //! — and wakes the acceptor, so [`ServerHandle::wait`] returns once all
 //! admitted work is done.
+//!
+//! Every answered request is tagged with a trace id — the frame's own
+//! `trace_id` when the client sent one, a deterministic per-connection
+//! `t<n>` otherwise — echoed on the response frame and recorded in a
+//! bounded in-memory trace log that the inline form of the `profile`
+//! request reads back.
 
-use crate::protocol::{ProgramSource, Request, Response};
+use crate::json::escape;
+use crate::protocol::{ProgramSource, Request, Response, RunKnobs};
 use crate::queue::{BoundedQueue, PushError};
 use dbt_obs::{Counter, Gauge, Histogram, MetricsRegistry, Span, DEFAULT_LATENCY_BOUNDS_MICROS};
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -83,16 +93,28 @@ pub trait LabBackend: Send + Sync {
         Err("this backend does not accept program uploads".to_string())
     }
 
-    /// Runs an ad-hoc program named by a program ref under `policy`,
-    /// returning the report JSON. Rejected by default, like
-    /// [`LabBackend::upload`].
+    /// Runs an ad-hoc program named by a program ref under `policy` with
+    /// the request's sparse platform `knobs`, returning the report JSON.
+    /// Rejected by default, like [`LabBackend::upload`].
     ///
     /// # Errors
     ///
     /// A human-readable message for the `error` response frame.
-    fn run_program(&self, program: &str, policy: &str) -> Result<String, String> {
-        let _ = (program, policy);
+    fn run_program(&self, program: &str, policy: &str, knobs: &RunKnobs) -> Result<String, String> {
+        let _ = (program, policy, knobs);
         Err("this backend does not run ad-hoc programs".to_string())
+    }
+
+    /// Profiles one program (named by a program ref) under `policy`,
+    /// returning the deterministic cycle-domain profile report JSON.
+    /// Rejected by default, like [`LabBackend::upload`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for the `error` response frame.
+    fn profile(&self, program: &str, policy: &str) -> Result<String, String> {
+        let _ = (program, policy);
+        Err("this backend does not profile programs".to_string())
     }
 
     /// Single-line JSON object with the backend's cache/service counters
@@ -150,8 +172,13 @@ struct Job {
 /// The request `op` labels the server pre-registers, so every per-op
 /// sample renders (at zero) from the very first scrape. `invalid` labels
 /// frames that never decoded to an op.
-const OP_LABELS: [&str; 9] =
-    ["analyze", "health", "invalid", "metrics", "run", "shutdown", "stats", "sweep", "upload"];
+const OP_LABELS: [&str; 10] = [
+    "analyze", "health", "invalid", "metrics", "profile", "run", "shutdown", "stats", "sweep",
+    "upload",
+];
+
+/// Bound of the in-memory request trace log (oldest entries evicted).
+pub const TRACE_LOG_CAPACITY: usize = 256;
 
 /// The server's own metric families, resolved once at startup on a
 /// per-daemon registry (a process can host several daemons — tests do —
@@ -242,15 +269,24 @@ struct Shared {
     shutdown: AtomicBool,
     started: Instant,
     metrics: ServerMetrics,
+    /// The request trace log: `(trace_id, op, micros)` of the last
+    /// [`TRACE_LOG_CAPACITY`] answered requests, newest last. Latencies
+    /// are wall-clock and operator-facing, like the metrics exposition.
+    traces: Mutex<VecDeque<(String, String, u64)>>,
 }
 
 impl Shared {
     /// Parses and answers one request line, timing it into the per-op
-    /// latency histogram. Returns the response frame and whether the
-    /// server must begin shutting down after sending it.
-    fn respond(&self, line: &str) -> (Response, bool) {
+    /// latency histogram and the trace log. `generated` is the
+    /// connection's deterministic fallback trace id, used when the frame
+    /// carries none. Returns the response, whether the server must begin
+    /// shutting down after sending it, and the trace id to echo.
+    fn respond(&self, line: &str, generated: String) -> (Response, bool, String) {
         self.metrics.inflight.inc();
-        let decoded = Request::decode(line);
+        let (decoded, trace_id) = match Request::decode_frame(line) {
+            Ok((request, trace_id)) => (Ok(request), trace_id.unwrap_or(generated)),
+            Err(error) => (Err(error), generated),
+        };
         // Count the frame up front (under its op as soon as it is known),
         // so a `stats` or `metrics` answer includes the very request that
         // asked.
@@ -258,10 +294,44 @@ impl Shared {
         let index = ServerMetrics::op_index(op);
         self.metrics.requests[index].inc();
         let span = Span::on(&self.metrics.latency[index]);
-        let answered = self.answer(decoded);
+        let started = Instant::now();
+        let (response, stop) = self.answer(decoded);
         drop(span);
+        // Recorded *after* answering, so a trace-log answer describes only
+        // the requests before it, never itself.
+        self.record_trace(&trace_id, op, started.elapsed().as_micros() as u64);
         self.metrics.inflight.dec();
-        answered
+        (response, stop, trace_id)
+    }
+
+    /// Appends one entry to the bounded trace log.
+    fn record_trace(&self, trace_id: &str, op: &str, micros: u64) {
+        let mut traces = self.traces.lock().expect("trace log lock");
+        if traces.len() == TRACE_LOG_CAPACITY {
+            traces.pop_front();
+        }
+        traces.push_back((trace_id.to_string(), op.to_string(), micros));
+    }
+
+    /// The single-line JSON body of the inline (trace-log) `profile`
+    /// answer.
+    fn trace_log_json(&self) -> String {
+        let traces = self.traces.lock().expect("trace log lock");
+        let entries = traces
+            .iter()
+            .map(|(trace_id, op, micros)| {
+                format!(
+                    "{{\"trace_id\": \"{}\", \"op\": \"{}\", \"micros\": {micros}}}",
+                    escape(trace_id),
+                    escape(op)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"schema\": \"dbt-serve/trace-log/v1\", \"capacity\": {TRACE_LOG_CAPACITY}, \
+             \"entries\": [{entries}]}}"
+        )
     }
 
     /// The untimed request dispatch behind [`Shared::respond`].
@@ -303,6 +373,9 @@ impl Shared {
             }
             Request::Shutdown => {
                 (Response::Ok { op, body: "{\"stopping\": true}".to_string() }, true)
+            }
+            Request::Profile { program: None, .. } => {
+                (Response::Ok { op, body: self.trace_log_json() }, false)
             }
             request => {
                 let (reply, result) = mpsc::channel();
@@ -382,14 +455,19 @@ impl ServerHandle {
 fn execute(backend: &dyn LabBackend, request: &Request) -> Result<String, String> {
     match request {
         Request::Run { scenario } => backend.run_scenario(scenario),
-        Request::RunProgram { program, policy } => backend.run_program(program, policy),
+        Request::RunProgram { program, policy, knobs } => {
+            backend.run_program(program, policy, knobs)
+        }
+        Request::Profile { program: Some(program), policy } => backend.profile(program, policy),
         Request::Sweep { name, threads } => backend.sweep(name, *threads),
         Request::Analyze { program } => backend.analyze(program),
         Request::Upload { source } => backend.upload(source),
         // Cheap requests never reach the queue.
-        Request::Stats | Request::Metrics | Request::Health | Request::Shutdown => {
-            Err("internal: cheap request on the worker pool".to_string())
-        }
+        Request::Profile { program: None, .. }
+        | Request::Stats
+        | Request::Metrics
+        | Request::Health
+        | Request::Shutdown => Err("internal: cheap request on the worker pool".to_string()),
     }
 }
 
@@ -454,6 +532,9 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     let Ok(write_half) = stream.try_clone() else { return };
     let mut writer = write_half;
     let mut reader = BufReader::new(stream);
+    // Deterministic per-connection fallback trace ids: the n-th frame of a
+    // connection is `t<n>` unless the client chose its own.
+    let mut frame_seq = 0u64;
     loop {
         let line = match read_frame(&mut reader, shared.config.max_frame_bytes) {
             Frame::Eof => return,
@@ -472,8 +553,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         if line.trim().is_empty() {
             continue;
         }
-        let (response, stop) = shared.respond(&line);
-        let frame = response.encode();
+        let generated = format!("t{frame_seq}");
+        frame_seq += 1;
+        let (response, stop, trace_id) = shared.respond(&line, generated);
+        let frame = response.encode_with_trace(Some(&trace_id));
         shared.metrics.bytes_written.add(frame.len() as u64 + 1);
         if writeln!(writer, "{frame}").and_then(|()| writer.flush()).is_err() {
             return;
@@ -543,6 +626,7 @@ pub fn serve<A: ToSocketAddrs>(
         shutdown: AtomicBool::new(false),
         started: Instant::now(),
         metrics: ServerMetrics::new(),
+        traces: Mutex::new(VecDeque::new()),
     });
 
     let workers = (0..config.workers)
@@ -594,7 +678,7 @@ pub fn serve<A: ToSocketAddrs>(
 mod tests {
     use super::*;
     use crate::client::Client;
-    use std::sync::Mutex;
+    use crate::protocol::DEFAULT_RUN_POLICY;
 
     /// A backend whose `run_scenario` blocks until the test releases it,
     /// so queue occupancy is fully under test control.
@@ -718,6 +802,53 @@ mod tests {
         // The connection survives a bad frame.
         let reply = client.request(&Request::Health).unwrap();
         assert!(matches!(reply, Response::Ok { .. }));
+        handle.shutdown();
+        handle.wait();
+    }
+
+    #[test]
+    fn trace_ids_echo_and_fill_the_trace_log() {
+        let (started_tx, _started_rx) = mpsc::channel();
+        let (_release_tx, release_rx) = mpsc::channel();
+        let backend = BlockingBackend { started: started_tx, release: Mutex::new(release_rx) };
+        let handle = serve("127.0.0.1:0", Arc::new(backend), ServerConfig::default()).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        // Generated ids are deterministic per connection: frame n gets `t<n>`.
+        let (reply, trace) = client.request_traced(&Request::Health, None).unwrap();
+        assert!(matches!(reply, Response::Ok { .. }));
+        assert_eq!(trace.as_deref(), Some("t0"));
+        // Client-chosen ids are echoed verbatim.
+        let (_, trace) = client.request_traced(&Request::Health, Some("probe-1")).unwrap();
+        assert_eq!(trace.as_deref(), Some("probe-1"));
+
+        // The inline `profile` form answers the trace log — which records
+        // the earlier requests but never the answering request itself.
+        let log_request =
+            Request::Profile { program: None, policy: DEFAULT_RUN_POLICY.to_string() };
+        let (reply, trace) = client.request_traced(&log_request, Some("log-probe")).unwrap();
+        assert_eq!(trace.as_deref(), Some("log-probe"));
+        let Response::Ok { op, body } = reply else { panic!("profile must answer ok") };
+        assert_eq!(op, "profile");
+        assert!(body.contains("\"schema\": \"dbt-serve/trace-log/v1\""), "{body}");
+        assert!(body.contains("\"trace_id\": \"t0\", \"op\": \"health\""), "{body}");
+        assert!(body.contains("\"trace_id\": \"probe-1\""), "{body}");
+        assert!(!body.contains("log-probe"), "the trace-log answer excludes itself: {body}");
+
+        // The program-profiling form reaches the backend, which rejects it
+        // by default, and `request` (no trace) still works on trace-tagged
+        // response frames.
+        let reply = client
+            .request(&Request::Profile {
+                program: Some("gemm".to_string()),
+                policy: DEFAULT_RUN_POLICY.to_string(),
+            })
+            .unwrap();
+        assert!(
+            matches!(&reply, Response::Error { error, .. } if error.contains("does not profile")),
+            "{reply:?}"
+        );
+
         handle.shutdown();
         handle.wait();
     }

@@ -24,6 +24,7 @@ use crate::mcb::MemoryConflictBuffer;
 use crate::regfile::ArchState;
 use crate::stats::CoreStats;
 use dbt_cache::{CacheConfig, DataCache};
+use dbt_obs::{Phase, Profiler};
 use dbt_riscv::inst::AluOp;
 use dbt_riscv::GuestMemory;
 #[cfg(test)]
@@ -125,6 +126,7 @@ pub struct VliwCore {
     mcb: MemoryConflictBuffer,
     cycles: u64,
     stats: CoreStats,
+    profiler: Profiler,
 }
 
 fn alu_latency(op: AluOp) -> u64 {
@@ -132,6 +134,24 @@ fn alu_latency(op: AluOp) -> u64 {
         AluOp::Mul | AluOp::Mulh | AluOp::Mulw => 3,
         AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu => 12,
         _ => 1,
+    }
+}
+
+/// Folds one operand's readiness into the bundle's stall deadlines:
+/// memory-produced operands raise the memory deadline (`t_mem`, charged
+/// to the execute phase), everything else raises the scoreboard deadline
+/// (`t_alu`, charged to the issue phase).
+fn wait_operand(
+    ready: &[u64],
+    from_mem: &[bool],
+    operand: Operand,
+    t_alu: &mut u64,
+    t_mem: &mut u64,
+) {
+    if let Operand::Phys(p) = operand {
+        let i = p.index();
+        let deadline = if from_mem[i] { t_mem } else { t_alu };
+        *deadline = (*deadline).max(ready[i]);
     }
 }
 
@@ -154,6 +174,7 @@ impl VliwCore {
             mcb: MemoryConflictBuffer::new(config.mcb_capacity),
             cycles: 0,
             stats: CoreStats::new(),
+            profiler: Profiler::new(),
         }
     }
 
@@ -182,6 +203,13 @@ impl VliwCore {
         &self.stats
     }
 
+    /// The deterministic cycle-domain profiler: per-phase cycle
+    /// attribution, speculation event counts, and the flight-recorder
+    /// ring of recent block/rollback/mispredict events.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
     /// The data cache (exposed for statistics and residency checks).
     pub fn dcache(&self) -> &DataCache {
         &self.dcache
@@ -201,10 +229,14 @@ impl VliwCore {
         }
     }
 
-    fn operand_ready(&self, ready: &[u64], operand: Operand) -> u64 {
-        match operand {
-            Operand::Phys(p) => ready[p.index()],
-            _ => 0,
+    /// Counts one data-cache access outcome into the profiler; the
+    /// counts stay exactly equal to the cache's own hit/miss stats
+    /// because this is called at every access site.
+    fn profile_access(&mut self, hit: bool) {
+        if hit {
+            self.profiler.events.l1d_hits += 1;
+        } else {
+            self.profiler.events.l1d_misses += 1;
         }
     }
 
@@ -226,9 +258,15 @@ impl VliwCore {
         let entry_snapshot = self.arch.clone();
         let mut phys = vec![0u64; block.phys_reg_count as usize];
         let mut ready = vec![0u64; block.phys_reg_count as usize];
+        // Producer kind per physical register: memory-produced values
+        // charge their consumers' stalls to the execute phase, everything
+        // else to the issue (scoreboard interlock) phase. Pure profiling
+        // state — timing reads only `ready`.
+        let mut from_mem = vec![false; block.phys_reg_count as usize];
         let mut last_mem_complete = 0u64;
         let mut issue_time = 0u64;
         let mut first = true;
+        let block_start = self.cycles;
         self.mcb.clear();
         self.stats.blocks_executed += 1;
 
@@ -239,52 +277,68 @@ impl VliwCore {
                     slots: bundle.slots.len(),
                 });
             }
-            // In-order issue with scoreboard stalls.
+            // In-order issue with scoreboard stalls. `t_alu` and `t_mem`
+            // track the same deadline the pre-profiler code folded into a
+            // single `t`, split by what produced the awaited operand so
+            // every stall cycle is attributed to exactly one phase.
             let earliest = if first { 0 } else { issue_time + 1 };
+            if !first {
+                self.profiler.attribute(Phase::Fetch, 1);
+            }
             first = false;
-            let mut t = earliest;
+            let mut t_alu = earliest;
+            let mut t_mem = earliest;
             for op in &bundle.slots {
                 match op {
                     Op::Alu { a, b, .. } => {
-                        t = t
-                            .max(self.operand_ready(&ready, *a))
-                            .max(self.operand_ready(&ready, *b));
+                        wait_operand(&ready, &from_mem, *a, &mut t_alu, &mut t_mem);
+                        wait_operand(&ready, &from_mem, *b, &mut t_alu, &mut t_mem);
                     }
                     Op::Load { base, .. } | Op::CacheFlush { base, .. } => {
-                        t = t.max(self.operand_ready(&ready, *base));
+                        wait_operand(&ready, &from_mem, *base, &mut t_alu, &mut t_mem);
                     }
                     Op::Store { value, base, .. } => {
-                        t = t
-                            .max(self.operand_ready(&ready, *value))
-                            .max(self.operand_ready(&ready, *base));
+                        wait_operand(&ready, &from_mem, *value, &mut t_alu, &mut t_mem);
+                        wait_operand(&ready, &from_mem, *base, &mut t_alu, &mut t_mem);
                     }
-                    Op::CommitReg { src, .. } => t = t.max(self.operand_ready(&ready, *src)),
+                    Op::CommitReg { src, .. } => {
+                        wait_operand(&ready, &from_mem, *src, &mut t_alu, &mut t_mem);
+                    }
                     Op::SideExit { a, b, .. } => {
-                        t = t
-                            .max(self.operand_ready(&ready, *a))
-                            .max(self.operand_ready(&ready, *b));
+                        wait_operand(&ready, &from_mem, *a, &mut t_alu, &mut t_mem);
+                        wait_operand(&ready, &from_mem, *b, &mut t_alu, &mut t_mem);
                     }
-                    Op::RdCycle { .. } => t = t.max(last_mem_complete),
-                    Op::JumpIndirect { target } => t = t.max(self.operand_ready(&ready, *target)),
+                    Op::RdCycle { .. } => t_mem = t_mem.max(last_mem_complete),
+                    Op::JumpIndirect { target } => {
+                        wait_operand(&ready, &from_mem, *target, &mut t_alu, &mut t_mem);
+                    }
                     Op::Nop | Op::Jump { .. } | Op::Halt | Op::Fence => {}
                 }
             }
+            let t = t_alu.max(t_mem);
+            self.profiler.attribute(Phase::Issue, t_alu - earliest);
+            self.profiler.attribute(Phase::Execute, t - t_alu.max(earliest));
             issue_time = t;
             self.stats.bundles_issued += 1;
 
             for op in &bundle.slots {
                 match op {
-                    Op::Nop | Op::Fence => {}
+                    Op::Nop => {}
+                    Op::Fence => {
+                        self.profiler.events.fence_stalls += 1;
+                    }
                     Op::Alu { op: alu, dst, a, b } => {
                         let va = self.read_operand(&phys, *a);
                         let vb = self.read_operand(&phys, *b);
                         phys[dst.index()] = alu.apply(va, vb);
                         ready[dst.index()] = t + alu_latency(*alu);
+                        from_mem[dst.index()] = false;
                         self.stats.ops_executed += 1;
                     }
                     Op::RdCycle { dst } => {
                         phys[dst.index()] = self.cycles + t;
                         ready[dst.index()] = t + 1;
+                        from_mem[dst.index()] = false;
                         self.stats.ops_executed += 1;
                     }
                     Op::Load { width, dst, base, offset, speculative, original_seq } => {
@@ -300,18 +354,22 @@ impl VliwCore {
                                 // value and the cache is untouched.
                                 phys[dst.index()] = 0;
                                 ready[dst.index()] = t + 1;
+                                from_mem[dst.index()] = false;
                                 continue;
                             }
                             return Err(CoreError::MemFault { addr, bytes: width.bytes });
                         }
                         let outcome = self.dcache.access(addr, false);
+                        self.profile_access(outcome.hit);
                         let raw = mem.load(addr, width.bytes as u64).expect("bounds checked");
                         phys[dst.index()] = sign_extend_load(raw, *width);
                         let done = t + outcome.latency;
                         ready[dst.index()] = done;
+                        from_mem[dst.index()] = true;
                         last_mem_complete = last_mem_complete.max(done);
                         if *speculative {
                             self.stats.speculative_loads += 1;
+                            self.profiler.events.speculative_loads += 1;
                             self.mcb.record_load(addr, width.bytes, *original_seq);
                         }
                     }
@@ -324,11 +382,20 @@ impl VliwCore {
                             // re-execute sequentially. Cache contents are
                             // intentionally NOT restored.
                             self.stats.rollbacks += 1;
+                            self.profiler.events.mcb_hits += 1;
                             self.arch = entry_snapshot;
                             self.mcb.clear();
                             let penalty = t + self.config.rollback_penalty;
                             let (next_pc, recovery_cycles) = self.execute_recovery(block, mem)?;
                             let total = penalty + recovery_cycles;
+                            self.profiler.attribute(Phase::Rollback, total - t);
+                            self.profiler.record("block", block.entry_pc, block_start, total);
+                            self.profiler.record(
+                                "rollback",
+                                block.entry_pc,
+                                block_start + t,
+                                total - t,
+                            );
                             self.cycles += total;
                             return Ok(BlockOutcome { next_pc, cycles: total, rolled_back: true });
                         }
@@ -340,7 +407,8 @@ impl VliwCore {
                         }
                         let value = self.read_operand(&phys, *value);
                         mem.store(addr, width.bytes as u64, value).expect("bounds checked");
-                        self.dcache.access(addr, true);
+                        let outcome = self.dcache.access(addr, true);
+                        self.profile_access(outcome.hit);
                     }
                     Op::CacheFlush { base, offset } => {
                         self.stats.ops_executed += 1;
@@ -358,7 +426,11 @@ impl VliwCore {
                         let vb = self.read_operand(&phys, *b);
                         if cond.eval(va, vb) {
                             self.stats.side_exits_taken += 1;
+                            self.profiler.events.mispredicts += 1;
                             let total = t + 1;
+                            self.profiler.attribute(Phase::Commit, 1);
+                            self.profiler.record("block", block.entry_pc, block_start, total);
+                            self.profiler.record("mispredict", block.entry_pc, block_start + t, 1);
                             self.cycles += total;
                             self.mcb.clear();
                             return Ok(BlockOutcome {
@@ -371,6 +443,8 @@ impl VliwCore {
                     Op::Jump { target } => {
                         self.stats.ops_executed += 1;
                         let total = t + 1;
+                        self.profiler.attribute(Phase::Commit, 1);
+                        self.profiler.record("block", block.entry_pc, block_start, total);
                         self.cycles += total;
                         self.mcb.clear();
                         return Ok(BlockOutcome {
@@ -383,6 +457,8 @@ impl VliwCore {
                         self.stats.ops_executed += 1;
                         let target = self.read_operand(&phys, *target);
                         let total = t + 1;
+                        self.profiler.attribute(Phase::Commit, 1);
+                        self.profiler.record("block", block.entry_pc, block_start, total);
                         self.cycles += total;
                         self.mcb.clear();
                         return Ok(BlockOutcome {
@@ -394,6 +470,8 @@ impl VliwCore {
                     Op::Halt => {
                         self.stats.ops_executed += 1;
                         let total = t + 1;
+                        self.profiler.attribute(Phase::Commit, 1);
+                        self.profiler.record("block", block.entry_pc, block_start, total);
                         self.cycles += total;
                         self.mcb.clear();
                         return Ok(BlockOutcome {
@@ -420,9 +498,13 @@ impl VliwCore {
         let mut t = 0u64;
         for op in &block.recovery {
             self.stats.recovery_ops += 1;
+            self.profiler.events.squashed_insts += 1;
             t += 1;
             match op {
-                Op::Nop | Op::Fence => {}
+                Op::Nop => {}
+                Op::Fence => {
+                    self.profiler.events.fence_stalls += 1;
+                }
                 Op::Alu { op: alu, dst, a, b } => {
                     let va = self.read_operand(&phys, *a);
                     let vb = self.read_operand(&phys, *b);
@@ -441,6 +523,7 @@ impl VliwCore {
                         return Err(CoreError::MemFault { addr, bytes: width.bytes });
                     }
                     let outcome = self.dcache.access(addr, false);
+                    self.profile_access(outcome.hit);
                     t += outcome.latency;
                     let raw = mem.load(addr, width.bytes as u64).expect("bounds checked");
                     phys[dst.index()] = sign_extend_load(raw, *width);
@@ -455,7 +538,8 @@ impl VliwCore {
                     }
                     let value = self.read_operand(&phys, *value);
                     mem.store(addr, width.bytes as u64, value).expect("bounds checked");
-                    self.dcache.access(addr, true);
+                    let outcome = self.dcache.access(addr, true);
+                    self.profile_access(outcome.hit);
                 }
                 Op::CacheFlush { base, offset } => {
                     let addr = self.read_operand(&phys, *base).wrapping_add(*offset as u64);
@@ -470,6 +554,7 @@ impl VliwCore {
                     let vb = self.read_operand(&phys, *b);
                     if cond.eval(va, vb) {
                         self.stats.side_exits_taken += 1;
+                        self.profiler.events.mispredicts += 1;
                         return Ok((Some(*target), t));
                     }
                 }
@@ -838,5 +923,138 @@ mod tests {
             core.execute_block(&block, &mut mem),
             Err(CoreError::MissingTerminator { entry_pc: 0x42 })
         ));
+    }
+
+    /// A block that stalls on both a load (execute phase) and a slow ALU
+    /// result (issue phase), ending in a halt.
+    fn stall_block() -> TranslatedBlock {
+        TranslatedBlock {
+            entry_pc: 0x1000,
+            bundles: vec![
+                bundle(vec![Op::Load {
+                    width: AccessWidth::DOUBLE,
+                    dst: PhysReg(0),
+                    base: Operand::Imm(0x100),
+                    offset: 0,
+                    speculative: false,
+                    original_seq: 0,
+                }]),
+                bundle(vec![Op::Alu {
+                    op: AluOp::Mul,
+                    dst: PhysReg(1),
+                    a: Operand::Phys(PhysReg(0)),
+                    b: Operand::Imm(3),
+                }]),
+                bundle(vec![Op::Alu {
+                    op: AluOp::Add,
+                    dst: PhysReg(2),
+                    a: Operand::Phys(PhysReg(1)),
+                    b: Operand::Imm(1),
+                }]),
+                bundle(vec![
+                    Op::CommitReg { reg: Reg::A0, src: Operand::Phys(PhysReg(2)) },
+                    Op::Halt,
+                ]),
+            ],
+            phys_reg_count: 3,
+            recovery: vec![],
+            guest_inst_count: 4,
+        }
+    }
+
+    #[test]
+    fn profiler_phases_sum_to_total_cycles() {
+        let (mut core, mut mem) = mk_core();
+        core.execute_block(&stall_block(), &mut mem).unwrap();
+        core.execute_block(&stall_block(), &mut mem).unwrap();
+        let phases = core.profiler().phases;
+        assert_eq!(phases.total(), core.cycles(), "{phases:?}");
+        // The cold-run load miss stalls its consumer: execute cycles must
+        // dominate; the multiply interlock shows up as issue cycles; one
+        // commit cycle per block exit.
+        assert!(phases.execute >= CacheConfig::default().miss_latency - 1, "{phases:?}");
+        assert!(phases.issue >= 2, "the 3-cycle multiply interlocks: {phases:?}");
+        assert_eq!(phases.commit, 2);
+        assert_eq!(phases.rollback, 0);
+    }
+
+    #[test]
+    fn profiler_phases_include_rollback_and_events_match_stats() {
+        let (mut core, mut mem) = mk_core();
+        mem.store_u64(0x800, 111).unwrap();
+        // Reuse the MCB-conflict shape: hoisted load, conflicting store,
+        // sequential recovery.
+        let block = TranslatedBlock {
+            entry_pc: 0,
+            bundles: vec![
+                bundle(vec![Op::Load {
+                    width: AccessWidth::DOUBLE,
+                    dst: PhysReg(0),
+                    base: Operand::Imm(0x800),
+                    offset: 0,
+                    speculative: true,
+                    original_seq: 2,
+                }]),
+                bundle(vec![Op::Store {
+                    width: AccessWidth::DOUBLE,
+                    value: Operand::Imm(222),
+                    base: Operand::Imm(0x800),
+                    offset: 0,
+                    checks_mcb: true,
+                    original_seq: 1,
+                }]),
+                bundle(vec![
+                    Op::CommitReg { reg: Reg::A0, src: Operand::Phys(PhysReg(0)) },
+                    Op::Halt,
+                ]),
+            ],
+            phys_reg_count: 1,
+            recovery: vec![
+                Op::Fence,
+                Op::Load {
+                    width: AccessWidth::DOUBLE,
+                    dst: PhysReg(0),
+                    base: Operand::Imm(0x800),
+                    offset: 0,
+                    speculative: false,
+                    original_seq: 2,
+                },
+                Op::Halt,
+            ],
+            guest_inst_count: 3,
+        };
+        let outcome = core.execute_block(&block, &mut mem).unwrap();
+        assert!(outcome.rolled_back);
+        let profiler = core.profiler();
+        assert_eq!(profiler.phases.total(), core.cycles());
+        assert!(profiler.phases.rollback >= core.config().rollback_penalty);
+        // Every event counter agrees exactly with its CoreStats /
+        // CacheStats twin.
+        let stats = *core.stats();
+        assert_eq!(profiler.events.mcb_hits, stats.rollbacks);
+        assert_eq!(profiler.events.squashed_insts, stats.recovery_ops);
+        assert_eq!(profiler.events.mispredicts, stats.side_exits_taken);
+        assert_eq!(profiler.events.speculative_loads, stats.speculative_loads);
+        assert_eq!(profiler.events.fence_stalls, 1, "the recovery fence is counted");
+        let cache = core.dcache().stats();
+        assert_eq!(profiler.events.l1d_hits, cache.read_hits + cache.write_hits);
+        assert_eq!(profiler.events.l1d_misses, cache.read_misses + cache.write_misses);
+    }
+
+    #[test]
+    fn flight_recorder_captures_block_and_rollback_events() {
+        let (mut core, mut mem) = mk_core();
+        core.execute_block(&stall_block(), &mut mem).unwrap();
+        let kinds: Vec<&str> = core.profiler().trace_events().map(|e| e.kind).collect();
+        assert_eq!(kinds, ["block"]);
+        let event = *core.profiler().trace_events().next().unwrap();
+        assert_eq!(event.pc, 0x1000);
+        assert_eq!(event.start_cycle, 0);
+        assert_eq!(event.cycles, core.cycles());
+        // A second execution starts where the first ended.
+        core.execute_block(&stall_block(), &mut mem).unwrap();
+        let second = *core.profiler().trace_events().nth(1).unwrap();
+        assert_eq!(second.start_cycle, event.cycles);
+        assert_eq!(second.start_cycle + second.cycles, core.cycles());
     }
 }

@@ -9,9 +9,12 @@
 
 use dbt_lab::{
     adhoc_scenario, analyze_built, resolve_program, run_sweep, strip_stats, ExecOptions, LabDaemon,
+    PlatformOverrides,
 };
 use dbt_riscv::{parse_asm, Program};
-use dbt_serve::{serve, Client, JsonValue, ProgramSource, Request, Response, ServerConfig};
+use dbt_serve::{
+    serve, Client, JsonValue, ProgramSource, Request, Response, RunKnobs, ServerConfig,
+};
 use dbt_workloads::WorkloadSize;
 use ghostbusters::MitigationPolicy;
 use std::sync::Arc;
@@ -109,9 +112,19 @@ fn uploaded_programs_run_and_analyze_byte_identically_to_in_process_builds() {
 
     // `run` by fingerprint ref: byte-identical to the in-process run of
     // the same program under the same ad-hoc scenario.
-    let request = Request::RunProgram { program: fp.clone(), policy: "selective".to_string() };
+    let request = Request::RunProgram {
+        program: fp.clone(),
+        policy: "selective".to_string(),
+        knobs: RunKnobs::default(),
+    };
     let remote = ok_body(client.request(&request).expect("transport"));
-    let scenario = adhoc_scenario(&fp, Arc::new(program.clone()), MitigationPolicy::Selective);
+    let scenario = adhoc_scenario(
+        &fp,
+        Arc::new(program.clone()),
+        MitigationPolicy::Selective,
+        PlatformOverrides::default(),
+        None,
+    );
     let local = run_sweep(
         &scenario.name,
         std::slice::from_ref(&scenario),
@@ -176,6 +189,7 @@ fn bad_uploads_and_unknown_refs_answer_error_frames() {
         .request(&Request::RunProgram {
             program: "gemm".to_string(),
             policy: "warp-drive".to_string(),
+            knobs: RunKnobs::default(),
         })
         .expect("transport");
     assert!(
