@@ -95,6 +95,14 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for JsonValue {
@@ -383,6 +391,9 @@ mod tests {
         assert_eq!(flags.len(), 3);
         assert_eq!(flags[0].as_bool(), Some(true));
         assert_eq!(flags[2], JsonValue::Null);
+        let items = value.get("flags").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(items.len(), 3, "as_array sees the same elements");
+        assert_eq!(value.get("op").and_then(JsonValue::as_array), None);
     }
 
     #[test]

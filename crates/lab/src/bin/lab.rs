@@ -29,6 +29,13 @@
 //! # Load-test an (in-process, unless --addr is given) daemon and emit the
 //! # throughput artifact:
 //! cargo run --release -p dbt-lab -- loadgen --clients 4 --iterations 8 --json-dir artifacts
+//!
+//! # Fleet mode (see `dbt-router`): front several daemons with the
+//! # consistent-hash router, submit through it, and emit the scaling artifact:
+//! cargo run --release -p dbt-lab -- router --backends 127.0.0.1:4075,127.0.0.1:4077
+//! cargo run --release -p dbt-lab -- submit run figure4/gemm/selective/default --via-router
+//! cargo run --release -p dbt-lab -- loadgen --fleet 3
+//! cargo run --release -p dbt-lab -- router-bench --json-dir artifacts
 //! ```
 //!
 //! `sweep` writes one `BENCH_<sweep>.json` per sweep (stable bytes, diffable
@@ -40,9 +47,10 @@ use dbt_lab::{
     ExecOptions, LabDaemon, PlatformOverrides, ProgramSpec, Registry, ScenarioKind, SourceKind,
     TranslationService,
 };
+use dbt_router::{serve_router, QuotaConfig, RouterConfig, RouterHandle};
 use dbt_serve::{
-    Client, JsonValue, LoadOptions, ProgramSource, Request, Response, RunKnobs, ServerConfig,
-    DEFAULT_RUN_POLICY,
+    Client, FrameMeta, JsonValue, LoadOptions, ProgramSource, Request, Response, RunKnobs,
+    ServerConfig, ServerHandle, DEFAULT_RUN_POLICY,
 };
 use dbt_workloads::WorkloadSize;
 use ghostbusters::MitigationPolicy;
@@ -65,10 +73,19 @@ struct Args {
     iterations: usize,
     policy: String,
     trace: Option<String>,
+    backends: Option<String>,
+    auth: Option<String>,
+    rate: Option<u64>,
+    burst: Option<u64>,
+    fleet: usize,
+    via_router: bool,
 }
 
 /// Default daemon address when `--addr` is not given.
 const DEFAULT_ADDR: &str = "127.0.0.1:4075";
+
+/// Default router address for `lab router` and `--via-router`.
+const DEFAULT_ROUTER_ADDR: &str = "127.0.0.1:4076";
 
 fn usage() -> &'static str {
     "usage: lab <command> [options]\n\
@@ -103,6 +120,12 @@ fn usage() -> &'static str {
      \x20                          text exposition (alias of submit metrics)\n\
      \x20 loadgen                  drive N concurrent clients against a\n\
      \x20                          daemon and emit BENCH_serve-throughput\n\
+     \x20 router                   front a daemon fleet with the consistent-\n\
+     \x20                          hash router (requires --backends; optional\n\
+     \x20                          --auth/--rate/--burst enforce protocol v3)\n\
+     \x20 router-bench             loadgen through an in-process router at\n\
+     \x20                          1/2/4 in-process backends and emit\n\
+     \x20                          BENCH_router-scaling with --json-dir\n\
      \n\
      options:\n\
      \x20 --size mini|small        problem-size preset (default: mini)\n\
@@ -121,7 +144,18 @@ fn usage() -> &'static str {
      \x20 --workers N              serve: worker pool size (default: 2)\n\
      \x20 --queue-depth N          serve: job queue bound (default: 16)\n\
      \x20 --clients N              loadgen: concurrent clients (default: 4)\n\
-     \x20 --iterations N           loadgen: passes per client (default: 8)\n"
+     \x20 --iterations N           loadgen: passes per client (default: 8)\n\
+     \x20 --fleet N                loadgen: drive N in-process daemons behind\n\
+     \x20                          an in-process router instead of one daemon\n\
+     \x20 --backends LIST          router: comma-separated daemon addresses\n\
+     \x20 --via-router             submit/metrics: default --addr becomes the\n\
+     \x20                          router's 127.0.0.1:4076\n\
+     \x20 --auth TOKEN             router: the one accepted bearer token\n\
+     \x20                          (default: auth off); submit/metrics: the\n\
+     \x20                          token to present (protocol v3)\n\
+     \x20 --rate N                 router: quota refill, tokens/sec per\n\
+     \x20                          client (default: quota off)\n\
+     \x20 --burst N                router: quota burst (default: --rate)\n"
 }
 
 fn parse(args: &[String]) -> Result<Args, String> {
@@ -141,6 +175,12 @@ fn parse(args: &[String]) -> Result<Args, String> {
         iterations: 8,
         policy: DEFAULT_RUN_POLICY.to_string(),
         trace: None,
+        backends: None,
+        auth: None,
+        rate: None,
+        burst: None,
+        fleet: 0,
+        via_router: false,
     };
     let mut it = args[1..].iter();
     let number = |flag: &str, it: &mut std::slice::Iter<String>| {
@@ -162,6 +202,21 @@ fn parse(args: &[String]) -> Result<Args, String> {
             "--queue-depth" => parsed.queue_depth = number("--queue-depth", &mut it)?,
             "--clients" => parsed.clients = number("--clients", &mut it)?,
             "--iterations" => parsed.iterations = number("--iterations", &mut it)?,
+            "--fleet" => parsed.fleet = number("--fleet", &mut it)?,
+            "--rate" => parsed.rate = Some(number("--rate", &mut it)? as u64),
+            "--burst" => parsed.burst = Some(number("--burst", &mut it)? as u64),
+            "--backends" => {
+                parsed.backends = Some(
+                    it.next()
+                        .ok_or_else(|| "--backends expects host:port[,host:port...]".to_string())?
+                        .clone(),
+                );
+            }
+            "--auth" => {
+                parsed.auth =
+                    Some(it.next().ok_or_else(|| "--auth expects a token".to_string())?.clone());
+            }
+            "--via-router" => parsed.via_router = true,
             "--json-dir" => {
                 parsed.json_dir =
                     Some(it.next().ok_or_else(|| "--json-dir expects a path".to_string())?.clone());
@@ -472,29 +527,29 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
         "shutdown" => Request::Shutdown,
         other => return Err(format!("unknown submit op `{other}`")),
     };
-    let addr = args.addr.as_deref().unwrap_or(DEFAULT_ADDR);
-    let mut client =
-        Client::connect(addr).map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
-    match client.request(&request)? {
-        Response::Ok { body, .. } => {
-            print!("{body}");
-            if !body.ends_with('\n') {
-                println!();
-            }
-            Ok(())
-        }
-        Response::Busy { op } => Err(format!("server busy (op `{op}`), try again later")),
-        Response::Error { error, .. } => Err(error),
-    }
+    submit_one(args, &request)
 }
 
-/// `lab metrics`: scrape a running daemon's Prometheus text exposition
-/// (exactly what a scrape agent would collect from the `metrics` op).
+/// `lab metrics`: scrape a running daemon's (or, with `--via-router`, the
+/// whole fleet's merged) Prometheus text exposition.
 fn cmd_metrics(args: &Args) -> Result<(), String> {
-    let addr = args.addr.as_deref().unwrap_or(DEFAULT_ADDR);
+    submit_one(args, &Request::Metrics)
+}
+
+/// Sends one request to the daemon or router that `--addr`/`--via-router`
+/// select, carrying the `--auth` bearer token (protocol v3) when given,
+/// and prints the `ok` body.
+fn submit_one(args: &Args, request: &Request) -> Result<(), String> {
+    let addr = args.addr.as_deref().unwrap_or(if args.via_router {
+        DEFAULT_ROUTER_ADDR
+    } else {
+        DEFAULT_ADDR
+    });
     let mut client =
         Client::connect(addr).map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
-    match client.request(&Request::Metrics)? {
+    let meta = FrameMeta { trace_id: None, auth: args.auth.clone() };
+    let (response, _trace) = client.request_meta(request, &meta)?;
+    match response {
         Response::Ok { body, .. } => {
             print!("{body}");
             if !body.ends_with('\n') {
@@ -503,6 +558,9 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
             Ok(())
         }
         Response::Busy { op } => Err(format!("server busy (op `{op}`), try again later")),
+        Response::QuotaExceeded { op } => {
+            Err(format!("quota exceeded (op `{op}`), back off and retry"))
+        }
         Response::Error { error, .. } => Err(error),
     }
 }
@@ -533,34 +591,130 @@ fn stat_u64(stats: &JsonValue, path: &[&str]) -> Result<u64, String> {
     value.as_u64().ok_or_else(|| format!("`{}` is not a u64", path.join(".")))
 }
 
-fn cmd_loadgen(args: &Args) -> Result<(), String> {
-    // Without --addr, host an in-process daemon on an ephemeral port so the
-    // artifact can be regenerated with one command and no setup.
-    let local = match &args.addr {
-        Some(_) => None,
-        None => {
-            let daemon = Arc::new(LabDaemon::with_threads(args.size, args.threads));
-            let config = ServerConfig {
-                workers: args.workers,
-                queue_depth: args.queue_depth,
-                ..ServerConfig::default()
-            };
-            Some(
-                dbt_serve::serve("127.0.0.1:0", daemon, config)
-                    .map_err(|e| format!("cannot start in-process daemon: {e}"))?,
-            )
+fn resolve_addr(addr: &str) -> Result<std::net::SocketAddr, String> {
+    use std::net::ToSocketAddrs;
+    addr.to_socket_addrs()
+        .map_err(|e| format!("cannot resolve `{addr}`: {e}"))?
+        .next()
+        .ok_or_else(|| format!("`{addr}` resolves to nothing"))
+}
+
+/// Hosts one in-process daemon on an ephemeral port with the CLI's
+/// size/threads/workers/queue knobs.
+fn start_daemon(args: &Args) -> Result<ServerHandle, String> {
+    let daemon = Arc::new(LabDaemon::with_threads(args.size, args.threads));
+    let config = ServerConfig {
+        workers: args.workers,
+        queue_depth: args.queue_depth,
+        ..ServerConfig::default()
+    };
+    dbt_serve::serve("127.0.0.1:0", daemon, config)
+        .map_err(|e| format!("cannot start in-process daemon: {e}"))
+}
+
+/// Hosts `n` in-process daemons behind an in-process router (default
+/// config: pure relay) — the fleet that `loadgen --fleet` and
+/// `router-bench` drive.
+fn start_fleet(args: &Args, n: usize) -> Result<(Vec<ServerHandle>, RouterHandle), String> {
+    let mut daemons = Vec::with_capacity(n);
+    for _ in 0..n {
+        daemons.push(start_daemon(args)?);
+    }
+    let backends = daemons.iter().map(ServerHandle::addr).collect();
+    let router = serve_router("127.0.0.1:0", backends, RouterConfig::default())
+        .map_err(|e| format!("cannot start in-process router: {e}"))?;
+    Ok((daemons, router))
+}
+
+fn stop_fleet(daemons: Vec<ServerHandle>, router: RouterHandle) {
+    router.shutdown();
+    router.wait();
+    for daemon in daemons {
+        daemon.shutdown();
+        daemon.wait();
+    }
+}
+
+/// `lab router`: front a fleet of already-running daemons (`--backends`)
+/// with the consistent-hash router; `--auth`/`--rate`/`--burst` switch on
+/// the protocol-v3 enforcement, which is otherwise off (pure relay).
+fn cmd_router(args: &Args) -> Result<(), String> {
+    let list = args
+        .backends
+        .as_deref()
+        .ok_or_else(|| "router expects --backends host:port[,host:port...]".to_string())?;
+    let backends =
+        list.split(',').map(|part| resolve_addr(part.trim())).collect::<Result<Vec<_>, _>>()?;
+    let quota = match (args.rate, args.burst) {
+        (None, None) => None,
+        (None, Some(_)) => return Err("--burst needs --rate".to_string()),
+        (Some(rate), burst) => {
+            Some(QuotaConfig { rate_per_sec: rate, burst: burst.unwrap_or(rate) })
         }
     };
-    let addr = match (&local, &args.addr) {
-        (Some(handle), _) => handle.addr(),
-        (None, Some(addr)) => {
-            use std::net::ToSocketAddrs;
-            addr.to_socket_addrs()
-                .map_err(|e| format!("cannot resolve `{addr}`: {e}"))?
-                .next()
-                .ok_or_else(|| format!("`{addr}` resolves to nothing"))?
-        }
-        (None, None) => unreachable!("local daemon exists exactly when --addr is absent"),
+    let config = RouterConfig {
+        auth_tokens: args.auth.iter().cloned().collect(),
+        quota,
+        ..RouterConfig::default()
+    };
+    let auth = if config.auth_tokens.is_empty() { "off" } else { "on" };
+    let enforced = if config.quota.is_some() { "on" } else { "off" };
+    let addr = args.addr.as_deref().unwrap_or(DEFAULT_ROUTER_ADDR);
+    let handle = serve_router(addr, backends.clone(), config)
+        .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    // Stdout like `serve`, so scripts can capture the bound port.
+    println!(
+        "[router] listening on {} over {} backend(s) (auth {auth}, quota {enforced})",
+        handle.addr(),
+        backends.len(),
+    );
+    use std::io::Write;
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    handle.wait();
+    if !args.quiet {
+        eprintln!("[router] stopped");
+    }
+    Ok(())
+}
+
+/// Sums the per-backend `lab` cache counters out of the router's fleet
+/// `stats` body (`{"router": ..., "backends": [<daemon stats>, ...]}`).
+fn fleet_cache_sums(stats: &JsonValue) -> Result<(u64, u64, u64, u64), String> {
+    let members = stats
+        .get("backends")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "fleet stats body lacks a `backends` array".to_string())?;
+    let mut sums = (0, 0, 0, 0);
+    for member in members {
+        sums.0 += stat_u64(member, &["lab", "run_memo", "hits"])?;
+        sums.1 += stat_u64(member, &["lab", "run_memo", "misses"])?;
+        sums.2 += stat_u64(member, &["lab", "translation", "hits"])?;
+        sums.3 += stat_u64(member, &["lab", "translation", "misses"])?;
+    }
+    Ok(sums)
+}
+
+fn cmd_loadgen(args: &Args) -> Result<(), String> {
+    if args.fleet > 0 && args.addr.is_some() {
+        return Err("--fleet hosts its own daemons and router; drop --addr".to_string());
+    }
+    // Without --addr, host an in-process daemon (or, with --fleet N, N
+    // daemons behind an in-process router) on ephemeral ports so the
+    // artifact can be regenerated with one command and no setup.
+    let mut local = None;
+    let mut fleet = None;
+    let addr = if args.fleet > 0 {
+        let (daemons, router) = start_fleet(args, args.fleet)?;
+        let addr = router.addr();
+        fleet = Some((daemons, router));
+        addr
+    } else if let Some(addr) = &args.addr {
+        resolve_addr(addr)?
+    } else {
+        let handle = start_daemon(args)?;
+        let addr = handle.addr();
+        local = Some(handle);
+        addr
     };
 
     let requests = loadgen_requests(args.threads);
@@ -585,15 +739,27 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
         Response::Ok { body, .. } => JsonValue::parse(&body)?,
         other => return Err(format!("stats request failed: {other:?}")),
     };
-    if let Some(handle) = local {
+    if let Some(handle) = local.take() {
         handle.shutdown();
         handle.wait();
     }
+    if let Some((daemons, router)) = fleet.take() {
+        stop_fleet(daemons, router);
+    }
 
-    let memo_hits = stat_u64(&stats, &["lab", "run_memo", "hits"])?;
-    let memo_misses = stat_u64(&stats, &["lab", "run_memo", "misses"])?;
-    let translation_hits = stat_u64(&stats, &["lab", "translation", "hits"])?;
-    let translation_misses = stat_u64(&stats, &["lab", "translation", "misses"])?;
+    // Against a router the stats body is the fleet fan-out; sum the
+    // per-backend caches so the report keeps its shape.
+    let (memo_hits, memo_misses, translation_hits, translation_misses) =
+        if stats.get("router").is_some() {
+            fleet_cache_sums(&stats)?
+        } else {
+            (
+                stat_u64(&stats, &["lab", "run_memo", "hits"])?,
+                stat_u64(&stats, &["lab", "run_memo", "misses"])?,
+                stat_u64(&stats, &["lab", "translation", "hits"])?,
+                stat_u64(&stats, &["lab", "translation", "misses"])?,
+            )
+        };
     let rate = |hits: u64, misses: u64| {
         let total = hits + misses;
         if total == 0 {
@@ -671,6 +837,93 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `lab router-bench`: the loadgen mix through an in-process router at
+/// 1, 2 and 4 in-process backends. Everything but the wall-clock members
+/// is deterministic — shard assignment hashes backend *indices*, so the
+/// per-backend `forwarded` counts are stable run over run and CI diffs
+/// the artifact with the `elapsed_ms`/`requests_per_sec` lines excluded.
+fn cmd_router_bench(args: &Args) -> Result<(), String> {
+    let requests = loadgen_requests(args.threads);
+    let mut runs = Vec::new();
+    for fleet_size in [1usize, 2, 4] {
+        if !args.quiet {
+            eprintln!(
+                "[router-bench] {} backend(s): {} clients x {} iterations x {} requests",
+                fleet_size,
+                args.clients,
+                args.iterations,
+                requests.len()
+            );
+        }
+        let (daemons, router) = start_fleet(args, fleet_size)?;
+        let addr = router.addr();
+        let outcome = dbt_serve::drive(
+            addr,
+            &requests,
+            LoadOptions { clients: args.clients, iterations: args.iterations },
+            &|_, body| strip_stats(body),
+        )?;
+        let mut client =
+            Client::connect(addr).map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+        let stats = match client.request(&Request::Stats)? {
+            Response::Ok { body, .. } => JsonValue::parse(&body)?,
+            other => return Err(format!("stats request failed: {other:?}")),
+        };
+        let forwarded = stats
+            .get("router")
+            .and_then(|router| router.get("forwarded"))
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| "router stats lack `router.forwarded`".to_string())?
+            .iter()
+            .map(|count| count.as_u64().ok_or_else(|| "`forwarded` holds a non-u64".to_string()))
+            .collect::<Result<Vec<u64>, String>>()?;
+        stop_fleet(daemons, router);
+        if outcome.errors > 0 || outcome.mismatches > 0 {
+            return Err(format!(
+                "run with {fleet_size} backend(s): {} errors, {} mismatches",
+                outcome.errors, outcome.mismatches
+            ));
+        }
+        let served: Vec<String> = forwarded.iter().map(u64::to_string).collect();
+        // `forwarded` counts frames the router relayed per backend: the
+        // loadgen mix plus exactly one `stats` fan-out frame each.
+        runs.push(format!(
+            "    {{\n      \"backends\": {},\n      \"requests\": {},\n      \"ok\": {},\n      \
+             \"busy\": {},\n      \"errors\": {},\n      \"mismatches\": {},\n      \
+             \"forwarded\": [{}],\n      \"elapsed_ms\": {},\n      \
+             \"requests_per_sec\": {:.1}\n    }}",
+            fleet_size,
+            outcome.requests,
+            outcome.ok,
+            outcome.busy,
+            outcome.errors,
+            outcome.mismatches,
+            served.join(", "),
+            outcome.elapsed.as_millis(),
+            outcome.requests_per_sec(),
+        ));
+    }
+    let report = format!(
+        "{{\n  \"schema\": \"dbt-router/scaling/v1\",\n  \"clients\": {},\n  \
+         \"iterations\": {},\n  \"request_mix\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        args.clients,
+        args.iterations,
+        requests.len(),
+        runs.join(",\n"),
+    );
+    match &args.json_dir {
+        Some(dir) => {
+            let path = format!("{dir}/BENCH_router-scaling.json");
+            std::fs::write(&path, &report).map_err(|e| format!("cannot write {path}: {e}"))?;
+            if !args.quiet {
+                eprintln!("[router-bench] wrote {path}");
+            }
+        }
+        None => print!("{report}"),
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse(&raw) {
@@ -696,6 +949,8 @@ fn main() -> ExitCode {
         "submit" => cmd_submit(&args),
         "metrics" => cmd_metrics(&args),
         "loadgen" => cmd_loadgen(&args),
+        "router" => cmd_router(&args),
+        "router-bench" => cmd_router_bench(&args),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
     };
     match result {

@@ -534,6 +534,7 @@ mod tests {
             ("dbt_store_uploads_total", ["store", "uploads"]),
             ("dbt_store_dedup_hits_total", ["store", "dedup_hits"]),
             ("dbt_store_seeded_total", ["store", "seeded"]),
+            ("dbt_store_evictions_total", ["store", "evictions"]),
         ] {
             assert_eq!(sample(&metrics, name), stat(path), "`{name}` diverges from stats");
         }

@@ -120,6 +120,8 @@ pub struct StoreStats {
     pub dedup_hits: u64,
     /// Registry entries built by lazy seeding so far.
     pub seeded: u64,
+    /// Uploaded entries evicted to honour the capacity bound.
+    pub evictions: u64,
 }
 
 impl StoreStats {
@@ -127,8 +129,9 @@ impl StoreStats {
     /// response.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"programs\": {}, \"uploads\": {}, \"dedup_hits\": {}, \"seeded\": {}}}",
-            self.programs, self.uploads, self.dedup_hits, self.seeded
+            "{{\"programs\": {}, \"uploads\": {}, \"dedup_hits\": {}, \"seeded\": {}, \
+             \"evictions\": {}}}",
+            self.programs, self.uploads, self.dedup_hits, self.seeded, self.evictions
         )
     }
 
@@ -148,6 +151,12 @@ impl StoreStats {
         registry
             .counter("dbt_store_seeded_total", "Registry entries built by lazy seeding.")
             .set(self.seeded);
+        registry
+            .counter(
+                "dbt_store_evictions_total",
+                "Uploaded entries evicted to honour the capacity bound.",
+            )
+            .set(self.evictions);
     }
 }
 
@@ -160,6 +169,22 @@ struct NamedEntry {
     build: Builder,
     seeded: OnceLock<Result<u64, String>>,
 }
+
+/// One resident program with its LRU bookkeeping. Seeded registry
+/// programs are *pinned*: their fingerprints live in once-filled
+/// [`NamedEntry`] slots that are never rebuilt, so evicting them would
+/// turn every later `registry:` resolve into a permanent error.
+struct Resident {
+    program: Arc<Program>,
+    last_used: u64,
+    pinned: bool,
+}
+
+/// Default bound on resident programs. Far above any standard workload
+/// set; it exists so a daemon facing replicated fleet uploads (the
+/// `dbt-router` copies every upload to all backends) cannot grow without
+/// limit.
+pub const DEFAULT_STORE_CAPACITY: usize = 1024;
 
 /// The thread-safe, content-addressed program store.
 ///
@@ -179,13 +204,37 @@ struct NamedEntry {
 /// assert_eq!(resolved.fingerprint(), fp);
 /// assert_eq!(store.stats().programs, 1);
 /// ```
-#[derive(Default)]
+///
+/// The store is bounded ([`DEFAULT_STORE_CAPACITY`] by default, see
+/// [`ProgramStore::with_capacity`]): beyond the capacity, the least
+/// recently used *unpinned* entry is evicted — uploaded and inline
+/// programs re-upload cheaply, while lazily-seeded registry programs are
+/// pinned for the store's lifetime (their builders run at most once, so
+/// an evicted seed could never come back).
 pub struct ProgramStore {
-    programs: Mutex<HashMap<u64, Arc<Program>>>,
+    capacity: usize,
+    programs: Mutex<HashMap<u64, Resident>>,
     named: Mutex<HashMap<String, Arc<NamedEntry>>>,
     uploads: AtomicU64,
     dedup_hits: AtomicU64,
     seeded: AtomicU64,
+    evictions: AtomicU64,
+    tick: AtomicU64,
+}
+
+impl Default for ProgramStore {
+    fn default() -> ProgramStore {
+        ProgramStore {
+            capacity: DEFAULT_STORE_CAPACITY,
+            programs: Mutex::new(HashMap::new()),
+            named: Mutex::new(HashMap::new()),
+            uploads: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            seeded: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+        }
+    }
 }
 
 impl fmt::Debug for ProgramStore {
@@ -195,9 +244,23 @@ impl fmt::Debug for ProgramStore {
 }
 
 impl ProgramStore {
-    /// An empty store behind an [`Arc`], ready to share across threads.
+    /// An empty store with the default capacity behind an [`Arc`], ready
+    /// to share across threads.
     pub fn new() -> Arc<ProgramStore> {
-        Arc::new(ProgramStore::default())
+        ProgramStore::with_capacity(DEFAULT_STORE_CAPACITY)
+    }
+
+    /// A store bounded to `capacity` resident programs: beyond it, the
+    /// least recently used unpinned entry is evicted on insert. Pinned
+    /// (seeded registry) entries never count as victims, so the resident
+    /// count can exceed a capacity smaller than the registry itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Arc<ProgramStore> {
+        assert!(capacity >= 1, "the program store needs room for at least one entry");
+        Arc::new(ProgramStore { capacity, ..ProgramStore::default() })
     }
 
     /// Registers a named registry entry. The builder runs lazily, at most
@@ -228,19 +291,52 @@ impl ProgramStore {
             uploads: self.uploads.load(Ordering::SeqCst),
             dedup_hits: self.dedup_hits.load(Ordering::SeqCst),
             seeded: self.seeded.load(Ordering::SeqCst),
+            evictions: self.evictions.load(Ordering::SeqCst),
         }
     }
 
-    /// Interns `program` under its content fingerprint. Returns the
-    /// fingerprint and whether the content was already resident.
-    fn intern(&self, program: Program) -> (u64, bool) {
+    /// Interns `program` under its content fingerprint, evicting the
+    /// least recently used unpinned *other* entry if the capacity bound
+    /// is exceeded. Returns the fingerprint and whether the content was
+    /// already resident. `pin` marks the entry as never-evictable
+    /// (sticky: a later unpinned intern of the same content keeps the
+    /// pin).
+    fn intern_entry(&self, program: Program, pin: bool) -> (u64, bool) {
         let fp = program.fingerprint();
+        let tick = self.tick.fetch_add(1, Ordering::SeqCst);
         let mut programs = self.programs.lock().expect("program store poisoned");
-        let resident = programs.contains_key(&fp);
-        if !resident {
-            programs.insert(fp, Arc::new(program));
+        let resident = match programs.get_mut(&fp) {
+            Some(entry) => {
+                entry.last_used = tick;
+                entry.pinned |= pin;
+                true
+            }
+            None => {
+                programs.insert(
+                    fp,
+                    Resident { program: Arc::new(program), last_used: tick, pinned: pin },
+                );
+                false
+            }
+        };
+        if programs.len() > self.capacity {
+            let victim = programs
+                .iter()
+                .filter(|(k, entry)| **k != fp && !entry.pinned)
+                .min_by_key(|(k, entry)| (entry.last_used, **k))
+                .map(|(k, _)| *k);
+            if let Some(victim) = victim {
+                programs.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::SeqCst);
+            }
         }
         (fp, resident)
+    }
+
+    /// [`ProgramStore::intern_entry`] without pinning (uploads and inline
+    /// sources).
+    fn intern(&self, program: Program) -> (u64, bool) {
+        self.intern_entry(program, false)
     }
 
     /// Submits a program (the `upload` operation). Returns its content
@@ -256,8 +352,14 @@ impl ProgramStore {
     }
 
     /// The resident program with content fingerprint `fp`, if any.
+    /// Counts as a use for LRU purposes.
     pub fn get(&self, fp: u64) -> Option<Arc<Program>> {
-        self.programs.lock().expect("program store poisoned").get(&fp).cloned()
+        let tick = self.tick.fetch_add(1, Ordering::SeqCst);
+        let mut programs = self.programs.lock().expect("program store poisoned");
+        programs.get_mut(&fp).map(|entry| {
+            entry.last_used = tick;
+            Arc::clone(&entry.program)
+        })
     }
 
     /// Resolves a ref to its program: registry entries are lazily seeded
@@ -283,7 +385,9 @@ impl ProgramStore {
                     .get_or_init(|| {
                         let program = (entry.build)()?;
                         self.seeded.fetch_add(1, Ordering::SeqCst);
-                        Ok(self.intern(program).0)
+                        // Pinned: the builder never runs again, so an
+                        // evicted seed could not be rebuilt.
+                        Ok(self.intern_entry(program, true).0)
                     })
                     .clone()?;
                 self.get(fp).ok_or_else(|| format!("seeded program `{name}` vanished"))
@@ -354,8 +458,54 @@ mod tests {
         assert_eq!((stats.programs, stats.uploads, stats.dedup_hits), (2, 3, 1));
         assert_eq!(
             stats.to_json(),
-            "{\"programs\": 2, \"uploads\": 3, \"dedup_hits\": 1, \"seeded\": 0}"
+            "{\"programs\": 2, \"uploads\": 3, \"dedup_hits\": 1, \"seeded\": 0, \"evictions\": 0}"
         );
+    }
+
+    #[test]
+    fn capacity_bound_evicts_the_least_recently_used_upload() {
+        let store = ProgramStore::with_capacity(2);
+        let (first, _) = store.upload(tiny(1));
+        let (second, _) = store.upload(tiny(2));
+        // Touch the older entry so the newer one becomes the LRU victim.
+        assert!(store.get(first).is_some());
+        let (third, _) = store.upload(tiny(3));
+        let stats = store.stats();
+        assert_eq!(stats.programs, 2, "capacity bound holds");
+        assert_eq!(stats.evictions, 1);
+        assert!(store.get(first).is_some(), "recently used entries survive");
+        assert!(store.get(second).is_none(), "the LRU entry was evicted");
+        assert!(store.get(third).is_some());
+        // An evicted program is not gone forever: re-uploading restores it
+        // (as a fresh store, not a dedup hit).
+        let (again, dedup) = store.upload(tiny(2));
+        assert_eq!(again, second);
+        assert!(!dedup, "the evicted entry really left the store");
+    }
+
+    #[test]
+    fn seeded_registry_programs_are_pinned_against_eviction() {
+        let store = ProgramStore::with_capacity(1);
+        store.register("tiny", || Ok(tiny(7)));
+        let r = ProgramRef::parse("tiny").unwrap();
+        let seeded_fp = store.resolve(&r).unwrap().fingerprint();
+        // Flood the store with uploads far past the capacity: the seed
+        // must survive every round, because its builder never re-runs.
+        for value in 10..20 {
+            store.upload(tiny(value));
+            assert!(
+                store.resolve(&r).is_ok(),
+                "a seeded program must stay resolvable under upload pressure"
+            );
+        }
+        assert!(store.get(seeded_fp).is_some());
+        assert!(store.stats().evictions > 0, "unpinned uploads did get evicted");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_is_rejected() {
+        let _ = ProgramStore::with_capacity(0);
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! **dbt-router** — the fleet front door: one NDJSON endpoint over many
+//! `dbt-serve` daemons.
+//!
+//! One lab daemon amortizes translation and run-memo work across clients;
+//! a *fleet* of daemons amortizes it across cores and machines — if
+//! requests for the same program keep landing on the same daemon. This
+//! crate is the piece that makes that true: a `std`-only reverse proxy
+//! speaking the exact `dbt-serve` wire protocol on both sides.
+//!
+//! * [`ring`] — consistent hashing with virtual nodes. Routing keys are
+//!   derived from the *program* a request touches (scenario programs,
+//!   canonicalized program refs, sweep names, upload content), and ring
+//!   points are keyed by backend **index**, so shard assignment is
+//!   deterministic run over run — ephemeral ports and all.
+//! * [`router`] — the proxy itself. Heavy frames are relayed **raw** to
+//!   the owning backend and the response line comes back verbatim, so a
+//!   routed answer is byte-identical to asking that daemon directly;
+//!   `upload` replicates to every live backend (any shard resolves
+//!   `fp:` refs); `stats`/`metrics`/`health` fan out and merge.
+//! * **Protocol v3 enforcement** — optional per-connection bearer-token
+//!   auth and a deterministic per-client token-bucket quota
+//!   ([`limiter`]), both off by default so v2 clients pass through
+//!   untouched; denied requests answer `error` / `quota_exceeded`
+//!   frames without ever reaching a backend.
+//! * **Failover** — a periodic health prober, per-backend circuit
+//!   breaking on consecutive transport failures, and retry-with-backoff
+//!   along the ring's preference order for idempotent ops (every lab op
+//!   is: runs are pure, uploads content-addressed). Backend `busy` and
+//!   `error` answers are relayed, never retried.
+//! * [`merge`] — fleet-wide Prometheus exposition: per-backend families
+//!   tagged `backend="<i>"`, router families (`dbt_router_*`) in front.
+//!
+//! The `lab` CLI hosts this as `lab router` / `lab loadgen --fleet N`;
+//! see `docs/PROTOCOL.md` for the v3 wire details and the README for the
+//! three-backend quickstart.
+
+pub mod limiter;
+pub mod merge;
+pub mod ring;
+pub mod router;
+
+pub use limiter::{TokenBucket, MICROS_PER_TOKEN};
+pub use merge::merge_expositions;
+pub use ring::{fnv1a, HashRing, DEFAULT_RING_REPLICAS};
+pub use router::{serve_router, QuotaConfig, RouterConfig, RouterHandle};

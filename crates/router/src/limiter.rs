@@ -1,0 +1,118 @@
+//! The router's deterministic token-bucket rate limiter.
+//!
+//! A bucket holds up to `burst` tokens and refills at `rate_per_sec`
+//! tokens per second; each admitted request spends one token and a dry
+//! bucket answers `quota_exceeded`. All arithmetic is integer
+//! **micro-tokens** (one token = [`MICROS_PER_TOKEN`] micro-tokens), and
+//! the clock is injected by the caller as a microsecond timestamp — the
+//! router passes its uptime, tests pass a script. Given the same
+//! timestamp sequence the bucket admits exactly the same requests on
+//! every run; no floats, no hidden `Instant::now`.
+
+/// Micro-tokens per token: requests spend this much, refill is
+/// `elapsed_micros * rate_per_sec` (which is exactly
+/// `elapsed_seconds * rate` tokens, with no division until the spend).
+pub const MICROS_PER_TOKEN: u64 = 1_000_000;
+
+/// One client's bucket. See the module docs for the arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenBucket {
+    rate_per_sec: u64,
+    burst_micro: u64,
+    available_micro: u64,
+    last_micros: u64,
+}
+
+impl TokenBucket {
+    /// A full bucket refilling at `rate_per_sec` tokens per second and
+    /// holding at most `burst` tokens.
+    ///
+    /// # Panics
+    ///
+    /// If either parameter is zero — such a bucket could never admit a
+    /// request, which is a misconfiguration, not a quota.
+    pub fn new(rate_per_sec: u64, burst: u64) -> TokenBucket {
+        assert!(rate_per_sec >= 1, "a quota needs a refill rate of at least one token per second");
+        assert!(burst >= 1, "a quota needs a burst of at least one token");
+        TokenBucket {
+            rate_per_sec,
+            burst_micro: burst.saturating_mul(MICROS_PER_TOKEN),
+            available_micro: burst.saturating_mul(MICROS_PER_TOKEN),
+            last_micros: 0,
+        }
+    }
+
+    /// Refills for the time elapsed since the last call and tries to
+    /// spend one token. `now_micros` is any monotonic microsecond clock
+    /// (time moving backwards refills nothing and is otherwise
+    /// harmless). Returns `true` when the request is admitted.
+    pub fn try_take(&mut self, now_micros: u64) -> bool {
+        let elapsed = now_micros.saturating_sub(self.last_micros);
+        self.last_micros = self.last_micros.max(now_micros);
+        self.available_micro = self
+            .available_micro
+            .saturating_add(elapsed.saturating_mul(self.rate_per_sec))
+            .min(self.burst_micro);
+        if self.available_micro >= MICROS_PER_TOKEN {
+            self.available_micro -= MICROS_PER_TOKEN;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The scripted-clock test the failover/quota satellite asks for: a
+    /// fixed timestamp sequence admits exactly the same requests, run
+    /// after run.
+    #[test]
+    fn a_scripted_clock_admits_exactly_the_same_requests() {
+        // 2 tokens/sec, burst 3.
+        let script: [(u64, bool); 10] = [
+            (0, true),          // burst token 1
+            (0, true),          // burst token 2
+            (0, true),          // burst token 3
+            (0, false),         // dry at t=0
+            (100_000, false),   // 0.1s * 2/s = 0.2 tokens: still dry
+            (500_000, true),    // 0.5s since start: 1.0 tokens accrued
+            (500_000, false),   // spent it
+            (10_000_000, true), // long idle refills...
+            (10_000_000, true), // ...but only up to the burst cap...
+            (10_000_000, true), // ...of 3 tokens
+        ];
+        for _ in 0..3 {
+            let mut bucket = TokenBucket::new(2, 3);
+            for (step, (now, admitted)) in script.iter().enumerate() {
+                assert_eq!(bucket.try_take(*now), *admitted, "step {step} at t={now}us");
+            }
+            assert!(!bucket.try_take(10_000_000), "the cap is the burst, not the idle time");
+        }
+    }
+
+    #[test]
+    fn refill_is_exact_integer_arithmetic() {
+        let mut bucket = TokenBucket::new(1, 1);
+        assert!(bucket.try_take(0));
+        assert!(!bucket.try_take(999_999), "one micro short of a token");
+        assert!(bucket.try_take(1_000_000), "exactly one second refills exactly one token");
+    }
+
+    #[test]
+    fn time_moving_backwards_refills_nothing() {
+        let mut bucket = TokenBucket::new(1, 1);
+        assert!(bucket.try_take(5_000_000));
+        assert!(!bucket.try_take(1_000_000), "an earlier timestamp must not refill");
+        assert!(!bucket.try_take(5_999_999), "still a micro short of the last high-water mark");
+        assert!(bucket.try_take(6_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "refill rate")]
+    fn zero_rates_are_rejected() {
+        let _ = TokenBucket::new(0, 1);
+    }
+}

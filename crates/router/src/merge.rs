@@ -1,0 +1,128 @@
+//! Merging per-backend Prometheus expositions into one fleet scrape.
+//!
+//! The fleet `metrics` op answers the router's own families followed by
+//! every backend's families with a `backend="<index>"` label injected
+//! into each sample, so one scrape shows the whole fleet and per-backend
+//! series never collide. Families are grouped — `# HELP`/`# TYPE` render
+//! once per family (from the first backend that reported it), then the
+//! samples of every backend in index order — which keeps the output
+//! valid exposition format and byte-stable for a fixed input.
+//!
+//! No JSON or float parsing happens here: the merge works line-wise on
+//! the already byte-stable text `dbt-obs` rendered, and a histogram's
+//! `_bucket`/`_sum`/`_count` lines stay grouped because they sit under
+//! their family's `# HELP` header in the input.
+
+/// Merges `(backend index, exposition text)` pairs. Backends that failed
+/// to answer are simply absent from `expositions` (their absence is
+/// visible in the router's own `dbt_router_backend_up` gauge).
+pub fn merge_expositions(expositions: &[(usize, String)]) -> String {
+    // Family name -> (header lines, merged sample lines); `order` keeps
+    // first-appearance order so the output is stable.
+    let mut order: Vec<String> = Vec::new();
+    let mut headers: Vec<Vec<String>> = Vec::new();
+    let mut samples: Vec<Vec<String>> = Vec::new();
+    for (backend, text) in expositions {
+        let mut current = usize::MAX;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap_or("");
+                current = match order.iter().position(|known| known == name) {
+                    Some(index) => index,
+                    None => {
+                        order.push(name.to_string());
+                        headers.push(vec![line.to_string()]);
+                        samples.push(Vec::new());
+                        order.len() - 1
+                    }
+                };
+            } else if line.starts_with("# TYPE ") {
+                if current != usize::MAX && headers[current].len() == 1 {
+                    headers[current].push(line.to_string());
+                }
+            } else if !line.trim().is_empty() && current != usize::MAX {
+                samples[current].push(inject_backend_label(line, *backend));
+            }
+        }
+    }
+    let mut out = String::new();
+    for family in 0..order.len() {
+        for line in &headers[family] {
+            out.push_str(line);
+            out.push('\n');
+        }
+        for line in &samples[family] {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Rewrites one sample line so `backend="<index>"` is its first label.
+fn inject_backend_label(line: &str, backend: usize) -> String {
+    match line.find('{') {
+        Some(brace) => {
+            format!("{}{{backend=\"{backend}\",{}", &line[..brace], &line[brace + 1..])
+        }
+        None => match line.find(' ') {
+            Some(space) => {
+                format!("{}{{backend=\"{backend}\"}}{}", &line[..space], &line[space..])
+            }
+            None => line.to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_injected_and_families_grouped_across_backends() {
+        let zero = "\
+# HELP dbt_test_hits_total Test hits.
+# TYPE dbt_test_hits_total counter
+dbt_test_hits_total 5
+# HELP dbt_test_seconds Test latency.
+# TYPE dbt_test_seconds histogram
+dbt_test_seconds_bucket{le=\"0.000050\"} 1
+dbt_test_seconds_bucket{le=\"+Inf\"} 2
+dbt_test_seconds_sum 0.009125
+dbt_test_seconds_count 2
+";
+        let one = "\
+# HELP dbt_test_hits_total Test hits.
+# TYPE dbt_test_hits_total counter
+dbt_test_hits_total 7
+# HELP dbt_test_extra_total Only backend one has this.
+# TYPE dbt_test_extra_total counter
+dbt_test_extra_total{op=\"run\"} 3
+";
+        let merged = merge_expositions(&[(0, zero.to_string()), (1, one.to_string())]);
+        let expected = "\
+# HELP dbt_test_hits_total Test hits.
+# TYPE dbt_test_hits_total counter
+dbt_test_hits_total{backend=\"0\"} 5
+dbt_test_hits_total{backend=\"1\"} 7
+# HELP dbt_test_seconds Test latency.
+# TYPE dbt_test_seconds histogram
+dbt_test_seconds_bucket{backend=\"0\",le=\"0.000050\"} 1
+dbt_test_seconds_bucket{backend=\"0\",le=\"+Inf\"} 2
+dbt_test_seconds_sum{backend=\"0\"} 0.009125
+dbt_test_seconds_count{backend=\"0\"} 2
+# HELP dbt_test_extra_total Only backend one has this.
+# TYPE dbt_test_extra_total counter
+dbt_test_extra_total{backend=\"1\",op=\"run\"} 3
+";
+        assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn missing_backends_merge_to_what_answered() {
+        let only = "# HELP a t\n# TYPE a counter\na 1\n";
+        let merged = merge_expositions(&[(2, only.to_string())]);
+        assert_eq!(merged, "# HELP a t\n# TYPE a counter\na{backend=\"2\"} 1\n");
+        assert_eq!(merge_expositions(&[]), "");
+    }
+}

@@ -1,0 +1,192 @@
+//! The consistent-hash ring that assigns routing keys to backends.
+//!
+//! Each backend contributes [`DEFAULT_RING_REPLICAS`] virtual points to
+//! the ring; a key is owned by the backend whose point follows the key's
+//! hash (wrapping). Two properties matter to the router:
+//!
+//! * **Stability across runs.** Points are derived from the backend's
+//!   *index* in the fleet list (`backend-<i>#<r>`), never from its
+//!   address — daemons on ephemeral ports get the same shard assignment
+//!   every run, which is what makes the scaling benchmark's per-backend
+//!   request counts deterministic.
+//! * **Stability across resizes.** Growing the fleet from N to N+1
+//!   backends moves only the keys that land on the new backend's points
+//!   (~1/(N+1) of them); everything else keeps its owner, so a mostly-warm
+//!   fleet stays mostly warm.
+//!
+//! The hash is FNV-1a (64-bit) folded through a murmur-style finalizer.
+//! Raw FNV-1a has weak avalanche into the *high* bits for short keys —
+//! `key-0` and `key-1` share their top 24 bits, so a ring ordered by the
+//! raw hash would pile similar program names onto one shard. The
+//! finalizer (`mix64`) spreads every input bit over the whole word,
+//! which is what ordering-based consistent hashing actually needs.
+
+/// 64-bit FNV-1a. Deterministic and allocation-free. Good dispersion in
+/// the low bits; see `mix64` for why the ring post-processes it.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The 64-bit murmur3 finalizer: xor-shift/multiply avalanche rounds
+/// that spread every input bit across the whole word. Applied on top of
+/// [`fnv1a`] for every ring position, point and key alike.
+fn mix64(mut hash: u64) -> u64 {
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    hash ^= hash >> 33;
+    hash
+}
+
+/// Virtual points each backend contributes to the ring. 64 points over a
+/// handful of backends keeps the largest/smallest shard within a factor
+/// of ~2 while the ring stays small enough to rebuild on a whim.
+pub const DEFAULT_RING_REPLICAS: usize = 64;
+
+/// The ring: sorted virtual points, each tagged with the index of the
+/// backend that owns it.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point hash, backend index)`, sorted by hash.
+    points: Vec<(u64, usize)>,
+    backends: usize,
+}
+
+impl HashRing {
+    /// Builds the ring for `backends` backends with `replicas` virtual
+    /// points each.
+    ///
+    /// # Panics
+    ///
+    /// If `backends` or `replicas` is zero — an empty ring cannot answer
+    /// [`HashRing::owner`].
+    pub fn new(backends: usize, replicas: usize) -> HashRing {
+        assert!(backends >= 1, "the ring needs at least one backend");
+        assert!(replicas >= 1, "the ring needs at least one point per backend");
+        let mut points = Vec::with_capacity(backends * replicas);
+        for backend in 0..backends {
+            for replica in 0..replicas {
+                points.push((
+                    mix64(fnv1a(format!("backend-{backend}#{replica}").as_bytes())),
+                    backend,
+                ));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, backends }
+    }
+
+    /// Number of backends on the ring.
+    pub fn backends(&self) -> usize {
+        self.backends
+    }
+
+    /// Index of the first ring point at or after the key's hash
+    /// (wrapping).
+    fn start(&self, key: &str) -> usize {
+        let hash = mix64(fnv1a(key.as_bytes()));
+        self.points.partition_point(|(point, _)| *point < hash) % self.points.len()
+    }
+
+    /// The backend that owns `key`.
+    pub fn owner(&self, key: &str) -> usize {
+        self.points[self.start(key)].1
+    }
+
+    /// Every backend exactly once, in ring-walk order from the key's
+    /// point: the owner first, then each further backend in the order its
+    /// first point appears. This is the router's failover order — as
+    /// deterministic as ownership itself.
+    pub fn preference(&self, key: &str) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.backends);
+        let start = self.start(key);
+        for offset in 0..self.points.len() {
+            let backend = self.points[(start + offset) % self.points.len()].1;
+            if !order.contains(&backend) {
+                order.push(backend);
+                if order.len() == self.backends {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_the_published_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn similar_short_keys_do_not_cluster_after_mixing() {
+        // The raw FNV-1a hashes of `key-0` and `key-1` share their top
+        // 24 bits; mixed, nothing survives above chance.
+        let a = mix64(fnv1a(b"key-0"));
+        let b = mix64(fnv1a(b"key-1"));
+        assert_ne!(a >> 40, b >> 40, "{a:#018x} vs {b:#018x}");
+    }
+
+    #[test]
+    fn ownership_is_deterministic_and_spreads_keys() {
+        let ring = HashRing::new(3, DEFAULT_RING_REPLICAS);
+        let again = HashRing::new(3, DEFAULT_RING_REPLICAS);
+        let mut owned = [0usize; 3];
+        for i in 0..300 {
+            let key = format!("key-{i}");
+            let owner = ring.owner(&key);
+            assert_eq!(owner, again.owner(&key), "ownership is a pure function of the key");
+            owned[owner] += 1;
+        }
+        for (backend, count) in owned.iter().enumerate() {
+            assert!(*count > 0, "backend {backend} owns no keys: {owned:?}");
+        }
+    }
+
+    #[test]
+    fn preference_lists_every_backend_starting_with_the_owner() {
+        let ring = HashRing::new(4, DEFAULT_RING_REPLICAS);
+        for i in 0..50 {
+            let key = format!("key-{i}");
+            let order = ring.preference(&key);
+            assert_eq!(order[0], ring.owner(&key), "the owner comes first");
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "every backend appears exactly once: {order:?}");
+        }
+    }
+
+    #[test]
+    fn growing_the_fleet_moves_only_a_fraction_of_the_keys() {
+        let three = HashRing::new(3, DEFAULT_RING_REPLICAS);
+        let four = HashRing::new(4, DEFAULT_RING_REPLICAS);
+        let keys: Vec<String> = (0..400).map(|i| format!("key-{i}")).collect();
+        let moved = keys.iter().filter(|key| three.owner(key) != four.owner(key)).count();
+        // The consistent-hashing contract: only keys landing on the new
+        // backend's points move (~1/4 of them); everything else stays put.
+        assert!(moved < keys.len() / 2, "{moved} of {} keys moved", keys.len());
+        for key in &keys {
+            if four.owner(key) != 3 {
+                assert_eq!(three.owner(key), four.owner(key), "{key} moved between old backends");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one backend")]
+    fn empty_rings_are_rejected() {
+        let _ = HashRing::new(0, DEFAULT_RING_REPLICAS);
+    }
+}

@@ -1,0 +1,1218 @@
+//! The router itself: listener, per-connection handlers, backend pools,
+//! the health prober and the fleet fan-out ops.
+//!
+//! Request flow:
+//!
+//! 1. a handler thread reads one NDJSON frame (the exact bounded framing
+//!    of `dbt-serve`, via [`read_frame`]) and decodes it together with
+//!    its v3 envelope ([`FrameMeta`]);
+//! 2. the auth gate and the per-client token bucket run first — both off
+//!    by default, both answered by the router itself (`error` /
+//!    `quota_exceeded` frames), so no denied request ever reaches a
+//!    backend;
+//! 3. heavy ops are **relayed raw**: the client's original frame bytes
+//!    go to the backend chosen by the consistent-hash ring, and the
+//!    backend's response line comes back verbatim — byte-identical to
+//!    talking to that daemon directly, trace-id echo included. Transport
+//!    failures fail over along the ring's preference order with
+//!    exponential backoff; `busy`/`error` answers are relayed, never
+//!    retried (the backend spoke — backpressure and failures must stay
+//!    visible);
+//! 4. `upload` is relayed to the key's owner and then replicated to
+//!    every other live backend, so `fp:` refs resolve on any shard;
+//! 5. `stats`/`metrics`/`health` fan out to the whole fleet and answer a
+//!    merged body (per-backend sections, `backend="<i>"` labels on
+//!    merged metrics).
+//!
+//! Backend death is survived three ways: a periodic health prober flips
+//! the per-backend `up` flag, consecutive transport failures trip a
+//! circuit breaker ([`RouterConfig::failure_threshold`]), and every
+//! relay walks reachable backends first. A `shutdown` frame stops the
+//! router only — backends are independent processes with their own
+//! lifecycle.
+
+use crate::limiter::TokenBucket;
+use crate::merge::merge_expositions;
+use crate::ring::{HashRing, DEFAULT_RING_REPLICAS};
+use dbt_obs::{Counter, Gauge, Histogram, MetricsRegistry, Span, DEFAULT_LATENCY_BOUNDS_MICROS};
+use dbt_serve::json::escape;
+use dbt_serve::{read_frame, Frame, FrameMeta, Request, Response, DEFAULT_MAX_FRAME_BYTES};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The deterministic per-client rate quota (off unless set on
+/// [`RouterConfig::quota`]): a token bucket per auth token (or per peer
+/// IP for unauthenticated fleets), spending one token per heavy request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuotaConfig {
+    /// Refill rate, tokens per second.
+    pub rate_per_sec: u64,
+    /// Bucket capacity: how many requests a client may burst.
+    pub burst: u64,
+}
+
+/// Router knobs. The default is a pure relay: no auth, no quota —
+/// protocol-v2 clients work through it untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// Virtual ring points per backend ([`DEFAULT_RING_REPLICAS`]).
+    pub replicas: usize,
+    /// Accepted bearer tokens; empty = auth off. With tokens configured,
+    /// a connection must present one valid `auth` member before any
+    /// non-`health` request is forwarded (the connection stays
+    /// authenticated afterwards).
+    pub auth_tokens: Vec<String>,
+    /// Per-client rate quota; `None` = off.
+    pub quota: Option<QuotaConfig>,
+    /// How often the prober health-checks every backend.
+    pub probe_interval: Duration,
+    /// Connect/read timeout of one health probe.
+    pub probe_timeout: Duration,
+    /// Consecutive transport failures that trip a backend's circuit
+    /// breaker (a successful forward or probe closes it again).
+    pub failure_threshold: u32,
+    /// Initial pause before retrying a failed relay on the next backend;
+    /// doubles per attempt.
+    pub retry_backoff: Duration,
+    /// Bound on one request line, as in `dbt-serve`.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            replicas: DEFAULT_RING_REPLICAS,
+            auth_tokens: Vec::new(),
+            quota: None,
+            probe_interval: Duration::from_secs(1),
+            probe_timeout: Duration::from_millis(250),
+            failure_threshold: 3,
+            retry_backoff: Duration::from_millis(10),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// One pooled backend connection (reader half buffered, writer half
+/// flushed per frame — same discipline as the `dbt-serve` client).
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn open(addr: SocketAddr) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Conn { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sends one frame line and reads one response line.
+    fn roundtrip(&mut self, line: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "backend closed the connection",
+            ));
+        }
+        while reply.ends_with('\n') || reply.ends_with('\r') {
+            reply.pop();
+        }
+        Ok(reply)
+    }
+}
+
+/// One backend daemon: address, breaker state, connection pool and its
+/// pre-registered per-backend metric handles.
+struct Backend {
+    index: usize,
+    addr: SocketAddr,
+    /// The breaker: `false` while the backend is considered dead.
+    up: AtomicBool,
+    /// Consecutive transport failures since the last success.
+    failures: AtomicU32,
+    pool: Mutex<Vec<Conn>>,
+    /// `dbt_router_forwarded_total{backend="<index>"}`.
+    forwarded: Arc<Counter>,
+    /// `dbt_router_backend_up{backend="<index>"}`.
+    up_gauge: Arc<Gauge>,
+}
+
+impl Backend {
+    fn is_up(&self) -> bool {
+        self.up.load(Ordering::SeqCst)
+    }
+
+    /// Sends `line` and returns the backend's raw response line, reusing
+    /// a pooled connection when one exists (one silent retry on a fresh
+    /// connection covers pool entries whose daemon restarted).
+    fn forward(&self, line: &str) -> std::io::Result<String> {
+        let pooled = self.pool.lock().expect("backend pool lock").pop();
+        if let Some(mut conn) = pooled {
+            if let Ok(reply) = conn.roundtrip(line) {
+                self.forwarded.inc();
+                self.pool.lock().expect("backend pool lock").push(conn);
+                return Ok(reply);
+            }
+            // The pooled connection went stale; fall through to a fresh one.
+        }
+        let mut conn = Conn::open(self.addr)?;
+        let reply = conn.roundtrip(line)?;
+        self.forwarded.inc();
+        self.pool.lock().expect("backend pool lock").push(conn);
+        Ok(reply)
+    }
+
+    /// A forward or probe succeeded: reset the breaker.
+    fn record_success(&self) {
+        self.failures.store(0, Ordering::SeqCst);
+        self.up.store(true, Ordering::SeqCst);
+        self.up_gauge.set(1);
+    }
+
+    /// A forward failed at the transport level: count it, trip the
+    /// breaker at the threshold.
+    fn record_failure(&self, threshold: u32) {
+        let failures = self.failures.fetch_add(1, Ordering::SeqCst) + 1;
+        if failures >= threshold {
+            self.set_down();
+        }
+    }
+
+    /// Marks the backend dead immediately (a failed health probe is
+    /// definitive — `health` is answered inline by any live daemon).
+    fn set_down(&self) {
+        self.up.store(false, Ordering::SeqCst);
+        self.up_gauge.set(0);
+        // Pooled connections point at a dead peer; drop them.
+        self.pool.lock().expect("backend pool lock").clear();
+    }
+}
+
+/// The request `op` labels the router pre-registers — the same set as
+/// `dbt-serve`, so fleet dashboards join on identical label values.
+const OP_LABELS: [&str; 10] = [
+    "analyze", "health", "invalid", "metrics", "profile", "run", "shutdown", "stats", "sweep",
+    "upload",
+];
+
+/// The router's own metric families on a per-router registry, resolved
+/// once at startup.
+struct RouterMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// `dbt_router_requests_total{op=...}`, parallel to [`OP_LABELS`].
+    requests: Vec<Arc<Counter>>,
+    /// `dbt_router_request_seconds{op=...}`, parallel to [`OP_LABELS`].
+    latency: Vec<Arc<Histogram>>,
+    failovers: Arc<Counter>,
+    busy_relayed: Arc<Counter>,
+    auth_failures: Arc<Counter>,
+    quota_exceeded: Arc<Counter>,
+    probes: Arc<Counter>,
+    probe_failures: Arc<Counter>,
+    replications: Arc<Counter>,
+    replication_failures: Arc<Counter>,
+}
+
+impl RouterMetrics {
+    fn new() -> RouterMetrics {
+        let registry = MetricsRegistry::new();
+        let requests = OP_LABELS
+            .iter()
+            .map(|op| {
+                registry.counter_with(
+                    "dbt_router_requests_total",
+                    "Request frames seen by the router, by op (`invalid` = never decoded).",
+                    &[("op", op)],
+                )
+            })
+            .collect();
+        let latency = OP_LABELS
+            .iter()
+            .map(|op| {
+                registry.histogram_with(
+                    "dbt_router_request_seconds",
+                    "Wall-clock request latency through the router, by op.",
+                    DEFAULT_LATENCY_BOUNDS_MICROS,
+                    &[("op", op)],
+                )
+            })
+            .collect();
+        RouterMetrics {
+            requests,
+            latency,
+            failovers: registry.counter(
+                "dbt_router_failovers_total",
+                "Relay attempts moved to the next backend after a transport failure.",
+            ),
+            busy_relayed: registry.counter(
+                "dbt_router_busy_relayed_total",
+                "Backend `busy` answers relayed to clients (backpressure is end-to-end).",
+            ),
+            auth_failures: registry.counter(
+                "dbt_router_auth_failures_total",
+                "Requests denied by the auth gate (missing or invalid bearer token).",
+            ),
+            quota_exceeded: registry.counter(
+                "dbt_router_quota_exceeded_total",
+                "Requests bounced by the per-client token bucket.",
+            ),
+            probes: registry.counter("dbt_router_probes_total", "Health probes sent to backends."),
+            probe_failures: registry
+                .counter("dbt_router_probe_failures_total", "Health probes that failed."),
+            replications: registry.counter(
+                "dbt_router_replications_total",
+                "Upload frames replicated to non-owner backends.",
+            ),
+            replication_failures: registry.counter(
+                "dbt_router_replication_failures_total",
+                "Upload replications that failed (the shard misses the program until re-upload).",
+            ),
+            registry,
+        }
+    }
+
+    /// Index of `op` in [`OP_LABELS`]; unknown strings land on `invalid`.
+    fn op_index(op: &str) -> usize {
+        OP_LABELS.iter().position(|known| *known == op).unwrap_or_else(|| {
+            OP_LABELS.iter().position(|known| *known == "invalid").expect("invalid is registered")
+        })
+    }
+
+    /// Total request frames seen — the `router.requests` stats member.
+    fn total_requests(&self) -> u64 {
+        self.requests.iter().map(|counter| counter.get()).sum()
+    }
+}
+
+/// Where a decoded request goes.
+enum Route {
+    /// Relay to the key's owner, failing over along the ring preference.
+    Key(String),
+    /// Relay to the key's owner, then replicate to every other live
+    /// backend (`upload`).
+    Replicate(String),
+    /// Ask every backend and answer a merged body.
+    FanOut,
+    /// Any live backend will do (the trace-log form of `profile` — each
+    /// daemon keeps its own log; the fleet answer is one shard's view).
+    Any,
+    /// Stop the router (backends keep running).
+    Stop,
+}
+
+/// The routing key of a request: which backend serves it. Keys are
+/// derived from the *program*, so every op touching the same program
+/// lands on the same shard and its translation/memo caches stay warm.
+fn route(request: &Request) -> Route {
+    match request {
+        Request::Run { scenario } => Route::Key(scenario_key(scenario)),
+        Request::RunProgram { program, .. } | Request::Analyze { program } => {
+            Route::Key(normalize_ref(program))
+        }
+        Request::Profile { program: Some(program), .. } => Route::Key(normalize_ref(program)),
+        Request::Profile { program: None, .. } => Route::Any,
+        Request::Sweep { name, .. } => Route::Key(format!("sweep:{name}")),
+        Request::Upload { source } => Route::Replicate(source.text().to_string()),
+        Request::Stats | Request::Metrics | Request::Health => Route::FanOut,
+        Request::Shutdown => Route::Stop,
+    }
+}
+
+/// The program segment of a `sweep/program/policy/platform` scenario
+/// name — runs of the same program shard together across policies.
+fn scenario_key(scenario: &str) -> String {
+    scenario.split('/').nth(1).unwrap_or(scenario).to_string()
+}
+
+/// Canonicalizes a program ref so spelling variants shard identically:
+/// `registry:gemm` and `gemm` are one key, and `fp:` hex is lowercased
+/// zero-padded. Unparseable refs shard by their literal text (the
+/// backend will answer the error).
+fn normalize_ref(text: &str) -> String {
+    let bare = text.strip_prefix("registry:").unwrap_or(text);
+    if let Some(hex) = bare.strip_prefix("fp:") {
+        if let Ok(fp) = u64::from_str_radix(hex, 16) {
+            return format!("fp:{fp:016x}");
+        }
+    }
+    bare.to_string()
+}
+
+/// Per-connection state a handler threads through its requests.
+struct ConnState {
+    /// Peer IP, the quota key of unauthenticated clients.
+    peer: String,
+    /// Set once any frame on this connection presented a valid token.
+    authenticated: bool,
+    frame_seq: u64,
+}
+
+impl ConnState {
+    /// Deterministic fallback trace id for router-originated answers:
+    /// the n-th frame of a connection is `r<n>`.
+    fn next_trace(&mut self) -> String {
+        let trace = format!("r{}", self.frame_seq);
+        self.frame_seq += 1;
+        trace
+    }
+}
+
+/// What a dispatched request answers with.
+enum Answer {
+    /// A backend's response line, relayed verbatim (trace echo and all).
+    Raw(String),
+    /// A router-originated response, encoded with the client's trace id.
+    Local(Response),
+}
+
+struct Shared {
+    backends: Vec<Backend>,
+    ring: HashRing,
+    config: RouterConfig,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    started: Instant,
+    metrics: RouterMetrics,
+    /// Token buckets keyed by auth token (or peer IP when auth is off).
+    quotas: Mutex<HashMap<String, TokenBucket>>,
+    /// Wakes the prober early on shutdown.
+    probe_wake: (Mutex<()>, Condvar),
+}
+
+impl Shared {
+    /// Answers one request line: the encoded response frame to write and
+    /// whether the router must stop afterwards.
+    fn respond(&self, line: &str, conn: &mut ConnState) -> (String, bool) {
+        let (decoded, meta) = match Request::decode_frame_meta(line) {
+            Ok((request, meta)) => (Ok(request), meta),
+            Err(error) => (Err(error), FrameMeta::default()),
+        };
+        // Generated eagerly, like the daemon's `t<n>` ids: the n-th frame
+        // of a connection is `r<n>` whether or not the client chose its
+        // own id, so the sequence stays deterministic either way.
+        let generated = conn.next_trace();
+        let trace = meta.trace_id.clone().unwrap_or(generated);
+        let op = decoded.as_ref().map(Request::op).unwrap_or("invalid");
+        let index = RouterMetrics::op_index(op);
+        self.metrics.requests[index].inc();
+        let span = Span::on(&self.metrics.latency[index]);
+        let (answer, stop) = self.dispatch(line, decoded, &meta, conn);
+        drop(span);
+        let frame = match answer {
+            Answer::Raw(reply) => reply,
+            Answer::Local(response) => response.encode_with_trace(Some(&trace)),
+        };
+        (frame, stop)
+    }
+
+    /// The gate-then-route pipeline behind [`Shared::respond`].
+    fn dispatch(
+        &self,
+        line: &str,
+        decoded: Result<Request, String>,
+        meta: &FrameMeta,
+        conn: &mut ConnState,
+    ) -> (Answer, bool) {
+        let request = match decoded {
+            Ok(request) => request,
+            Err(error) => {
+                return (Answer::Local(Response::Error { op: "invalid".to_string(), error }), false)
+            }
+        };
+        if let Some(denied) = self.check_auth(&request, meta, conn) {
+            return (Answer::Local(denied), false);
+        }
+        if let Some(bounced) = self.check_quota(&request, meta, conn) {
+            return (Answer::Local(bounced), false);
+        }
+        let op = request.op().to_string();
+        match route(&request) {
+            Route::Stop => {
+                (Answer::Local(Response::Ok { op, body: "{\"stopping\": true}".to_string() }), true)
+            }
+            Route::FanOut => {
+                let body = match request {
+                    Request::Stats => self.fleet_stats_body(),
+                    Request::Metrics => self.fleet_metrics_body(),
+                    Request::Health => self.fleet_health_body(),
+                    _ => unreachable!("only fleet ops fan out"),
+                };
+                (Answer::Local(Response::Ok { op, body }), false)
+            }
+            Route::Any => {
+                let order: Vec<usize> = (0..self.backends.len()).collect();
+                (self.relay(line, &op, &order), false)
+            }
+            Route::Key(key) => (self.relay(line, &op, &self.ring.preference(&key)), false),
+            Route::Replicate(key) => (self.replicate_upload(line, &key), false),
+        }
+    }
+
+    /// The auth gate. `None` = pass. Health stays open so probes and
+    /// monitoring work without credentials.
+    fn check_auth(
+        &self,
+        request: &Request,
+        meta: &FrameMeta,
+        conn: &mut ConnState,
+    ) -> Option<Response> {
+        if self.config.auth_tokens.is_empty() || matches!(request, Request::Health) {
+            return None;
+        }
+        if let Some(token) = &meta.auth {
+            if self.config.auth_tokens.iter().any(|known| known == token) {
+                conn.authenticated = true;
+            } else {
+                self.metrics.auth_failures.inc();
+                return Some(Response::Error {
+                    op: request.op().to_string(),
+                    error: "invalid auth token".to_string(),
+                });
+            }
+        }
+        if conn.authenticated {
+            None
+        } else {
+            self.metrics.auth_failures.inc();
+            Some(Response::Error {
+                op: request.op().to_string(),
+                error: "authentication required: send an `auth` bearer token (protocol v3)"
+                    .to_string(),
+            })
+        }
+    }
+
+    /// The rate quota. `None` = admitted. Only heavy ops spend tokens —
+    /// observability stays free.
+    fn check_quota(
+        &self,
+        request: &Request,
+        meta: &FrameMeta,
+        conn: &ConnState,
+    ) -> Option<Response> {
+        let quota = self.config.quota.as_ref()?;
+        if !request.is_heavy() {
+            return None;
+        }
+        let key = meta.auth.clone().unwrap_or_else(|| conn.peer.clone());
+        let now_micros = self.started.elapsed().as_micros() as u64;
+        let mut buckets = self.quotas.lock().expect("quota table lock");
+        let bucket =
+            buckets.entry(key).or_insert_with(|| TokenBucket::new(quota.rate_per_sec, quota.burst));
+        if bucket.try_take(now_micros) {
+            None
+        } else {
+            self.metrics.quota_exceeded.inc();
+            Some(Response::QuotaExceeded { op: request.op().to_string() })
+        }
+    }
+
+    /// Relays `line` along `order`, wrapping the all-failed case into an
+    /// `error` frame.
+    fn relay(&self, line: &str, op: &str, order: &[usize]) -> Answer {
+        match self.relay_ranked(line, op, order) {
+            Ok((_, reply)) => Answer::Raw(reply),
+            Err(error) => Answer::Local(Response::Error { op: op.to_string(), error }),
+        }
+    }
+
+    /// Relays `line` to the first backend in `order` that answers —
+    /// reachable backends first, the circuit-broken rest as a last
+    /// resort (a probe may simply not have run yet) — with exponential
+    /// backoff between attempts. Returns the answering backend's index
+    /// and raw response line.
+    fn relay_ranked(
+        &self,
+        line: &str,
+        op: &str,
+        order: &[usize],
+    ) -> Result<(usize, String), String> {
+        let mut candidates: Vec<usize> =
+            order.iter().copied().filter(|&i| self.backends[i].is_up()).collect();
+        candidates.extend(order.iter().copied().filter(|&i| !self.backends[i].is_up()));
+        let mut backoff = self.config.retry_backoff;
+        let mut last_error = "no backends configured".to_string();
+        for (attempt, &index) in candidates.iter().enumerate() {
+            if attempt > 0 {
+                self.metrics.failovers.inc();
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            let backend = &self.backends[index];
+            match backend.forward(line) {
+                Ok(reply) if is_lifecycle_refusal(&reply) => {
+                    // The daemon answered, but only to say it is going
+                    // away and never executed the job — as retryable as
+                    // a refused connection.
+                    backend.record_failure(self.config.failure_threshold);
+                    last_error = format!("backend {index} ({}) is shutting down", backend.addr);
+                }
+                Ok(reply) => {
+                    backend.record_success();
+                    if reply.starts_with("{\"status\": \"busy\"") {
+                        self.metrics.busy_relayed.inc();
+                    }
+                    return Ok((index, reply));
+                }
+                Err(error) => {
+                    backend.record_failure(self.config.failure_threshold);
+                    last_error = format!("backend {index} ({}): {error}", backend.addr);
+                }
+            }
+        }
+        Err(format!("no backend could answer `{op}`: {last_error}"))
+    }
+
+    /// `upload`: relay to the key's owner (with failover), then replicate
+    /// the same frame to every other live backend so `fp:` refs resolve
+    /// on any shard. Replication only happens for an `ok` answer — a
+    /// bounced or failed upload is not half-applied across the fleet.
+    fn replicate_upload(&self, line: &str, key: &str) -> Answer {
+        let order = self.ring.preference(key);
+        let (answered_by, reply) = match self.relay_ranked(line, "upload", &order) {
+            Ok(answered) => answered,
+            Err(error) => {
+                return Answer::Local(Response::Error { op: "upload".to_string(), error })
+            }
+        };
+        if reply.starts_with("{\"status\": \"ok\"") {
+            for backend in &self.backends {
+                if backend.index == answered_by || !backend.is_up() {
+                    continue;
+                }
+                match backend.forward(line) {
+                    Ok(_) => {
+                        backend.record_success();
+                        self.metrics.replications.inc();
+                    }
+                    Err(_) => {
+                        backend.record_failure(self.config.failure_threshold);
+                        self.metrics.replication_failures.inc();
+                    }
+                }
+            }
+        }
+        Answer::Raw(reply)
+    }
+
+    /// Count of backends the breaker currently trusts.
+    fn up_count(&self) -> usize {
+        self.backends.iter().filter(|backend| backend.is_up()).count()
+    }
+
+    /// Asks one backend a cheap request and returns the `ok` body,
+    /// recording breaker state either way.
+    fn ask(&self, backend: &Backend, request: &Request) -> Result<String, String> {
+        match backend.forward(&request.encode()) {
+            Ok(reply) => match Response::decode(&reply) {
+                Ok(Response::Ok { body, .. }) => {
+                    backend.record_success();
+                    Ok(body)
+                }
+                Ok(other) => Err(format!("unexpected {} answer: {other:?}", request.op())),
+                Err(error) => Err(error),
+            },
+            Err(error) => {
+                backend.record_failure(self.config.failure_threshold);
+                Err(error.to_string())
+            }
+        }
+    }
+
+    /// The fleet `stats` body: router counters plus every backend's own
+    /// single-line stats body, in index order.
+    fn fleet_stats_body(&self) -> String {
+        let members: Vec<String> = self
+            .backends
+            .iter()
+            .map(|backend| match self.ask(backend, &Request::Stats) {
+                Ok(body) => body,
+                Err(error) => format!("{{\"error\": \"{}\"}}", escape(&error)),
+            })
+            .collect();
+        let forwarded: Vec<String> =
+            self.backends.iter().map(|backend| backend.forwarded.get().to_string()).collect();
+        format!(
+            "{{\"router\": {{\"backends\": {}, \"up\": {}, \"requests\": {}, \
+             \"forwarded\": [{}], \"failovers\": {}, \"busy_relayed\": {}, \
+             \"auth_failures\": {}, \"quota_exceeded\": {}, \"replications\": {}}}, \
+             \"backends\": [{}]}}",
+            self.backends.len(),
+            self.up_count(),
+            self.metrics.total_requests(),
+            forwarded.join(", "),
+            self.metrics.failovers.get(),
+            self.metrics.busy_relayed.get(),
+            self.metrics.auth_failures.get(),
+            self.metrics.quota_exceeded.get(),
+            self.metrics.replications.get(),
+            members.join(", ")
+        )
+    }
+
+    /// The fleet `metrics` body: the router's families, then every
+    /// answering backend's families with `backend="<i>"` injected.
+    fn fleet_metrics_body(&self) -> String {
+        let mut expositions = Vec::new();
+        for backend in &self.backends {
+            if let Ok(body) = self.ask(backend, &Request::Metrics) {
+                expositions.push((backend.index, body));
+            }
+        }
+        format!("{}{}", self.metrics.registry.render(), merge_expositions(&expositions))
+    }
+
+    /// The fleet `health` body: per-backend liveness as observed *now*
+    /// (the fan-out doubles as a probe round).
+    fn fleet_health_body(&self) -> String {
+        let members: Vec<String> = self
+            .backends
+            .iter()
+            .map(|backend| match self.ask(backend, &Request::Health) {
+                Ok(body) => format!("{{\"up\": true, \"health\": {body}}}"),
+                Err(error) => format!("{{\"up\": false, \"error\": \"{}\"}}", escape(&error)),
+            })
+            .collect();
+        format!(
+            "{{\"router\": {{\"backends\": {}, \"up\": {}}}, \"backends\": [{}]}}",
+            self.backends.len(),
+            self.up_count(),
+            members.join(", ")
+        )
+    }
+
+    /// One probe round over every backend.
+    fn probe_all(&self) {
+        for backend in &self.backends {
+            self.metrics.probes.inc();
+            match probe_once(backend.addr, self.config.probe_timeout) {
+                Ok(()) => backend.record_success(),
+                Err(_) => {
+                    self.metrics.probe_failures.inc();
+                    backend.set_down();
+                }
+            }
+        }
+    }
+
+    /// Idempotently stops the router: flags, wakes the prober, pokes the
+    /// acceptor awake with a throwaway connection.
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            self.probe_wake.1.notify_all();
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// `true` for the two daemon answers that mean "the job was never
+/// executed because this daemon is going away" — a shutting-down daemon
+/// keeps answering open connections, and those refusals must trigger
+/// failover exactly like a refused connection. Any other `error` is the
+/// *request's* failure and is relayed, never retried.
+fn is_lifecycle_refusal(reply: &str) -> bool {
+    reply.starts_with("{\"status\": \"error\"")
+        && (reply.contains("server is shutting down") || reply.contains("worker dropped the job"))
+}
+
+/// One health probe on a dedicated short-timeout connection (pooled
+/// relay connections deliberately have no read timeout — sweeps take
+/// seconds).
+fn probe_once(addr: SocketAddr, timeout: Duration) -> std::io::Result<()> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    let mut writer = stream.try_clone()?;
+    writeln!(writer, "{}", Request::Health.encode())?;
+    writer.flush()?;
+    let mut line = String::new();
+    if BufReader::new(stream).read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "no health answer"));
+    }
+    Ok(())
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let peer = stream
+        .peer_addr()
+        .map(|addr| addr.ip().to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
+    let Ok(mut writer) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(stream);
+    let mut conn = ConnState { peer, authenticated: false, frame_seq: 0 };
+    loop {
+        let line = match read_frame(&mut reader, shared.config.max_frame_bytes) {
+            Frame::Eof => return,
+            Frame::TooLong(error) | Frame::Fatal(error) => {
+                let frame = Response::Error { op: "invalid".to_string(), error }.encode();
+                let _ = writeln!(writer, "{frame}").and_then(|()| writer.flush());
+                return;
+            }
+            Frame::Line(line) => line,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (frame, stop) = shared.respond(&line, &mut conn);
+        if writeln!(writer, "{frame}").and_then(|()| writer.flush()).is_err() {
+            return;
+        }
+        if stop {
+            shared.begin_shutdown();
+            return;
+        }
+    }
+}
+
+/// Handle on a running router: address, shutdown, join.
+pub struct RouterHandle {
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    prober: JoinHandle<()>,
+}
+
+impl RouterHandle {
+    /// The address the router actually bound (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Asks the router to stop, without waiting. Backends keep running.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the router has stopped (acceptor and prober joined).
+    pub fn wait(self) {
+        let _ = self.acceptor.join();
+        let _ = self.prober.join();
+    }
+}
+
+/// Starts the router on `addr`, fronting `backends` (dbt-serve daemons,
+/// in the fleet order that defines shard identity — reordering the list
+/// reshuffles shard assignment).
+///
+/// # Errors
+///
+/// Propagates the I/O error if the listener cannot bind; rejects an
+/// empty backend list.
+pub fn serve_router<A: ToSocketAddrs>(
+    addr: A,
+    backends: Vec<SocketAddr>,
+    config: RouterConfig,
+) -> std::io::Result<RouterHandle> {
+    if backends.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "the router needs at least one backend",
+        ));
+    }
+    let listener = TcpListener::bind(addr)?;
+    let metrics = RouterMetrics::new();
+    let backends: Vec<Backend> = backends
+        .into_iter()
+        .enumerate()
+        .map(|(index, addr)| {
+            let label = index.to_string();
+            let forwarded = metrics.registry.counter_with(
+                "dbt_router_forwarded_total",
+                "Frames forwarded to this backend (relays, replications and fan-outs).",
+                &[("backend", &label)],
+            );
+            let up_gauge = metrics.registry.gauge_with(
+                "dbt_router_backend_up",
+                "1 while the breaker trusts this backend, 0 while it is considered dead.",
+                &[("backend", &label)],
+            );
+            // Start optimistic: the first probe round or forward corrects us.
+            up_gauge.set(1);
+            Backend {
+                index,
+                addr,
+                up: AtomicBool::new(true),
+                failures: AtomicU32::new(0),
+                pool: Mutex::new(Vec::new()),
+                forwarded,
+                up_gauge,
+            }
+        })
+        .collect();
+    let ring = HashRing::new(backends.len(), config.replicas.max(1));
+    let shared = Arc::new(Shared {
+        backends,
+        ring,
+        config,
+        addr: listener.local_addr()?,
+        shutdown: AtomicBool::new(false),
+        started: Instant::now(),
+        metrics,
+        quotas: Mutex::new(HashMap::new()),
+        probe_wake: (Mutex::new(()), Condvar::new()),
+    });
+
+    let prober = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || loop {
+            {
+                let (lock, cvar) = &shared.probe_wake;
+                let guard = lock.lock().expect("probe wake lock");
+                let _unused = cvar
+                    .wait_timeout(guard, shared.config.probe_interval)
+                    .expect("probe wake wait");
+            }
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            shared.probe_all();
+        })
+    };
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || loop {
+            // Same discipline as the daemon's acceptor: check the flag on
+            // every iteration so a failed wake-up connection cannot leave
+            // us blocked, and back off on persistent accept errors.
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            };
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || handle_connection(stream, &shared));
+        })
+    };
+
+    Ok(RouterHandle { shared, acceptor, prober })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbt_serve::{
+        serve, Client, LabBackend, ProgramSource, RunKnobs, ServerConfig, ServerHandle,
+    };
+    use std::sync::atomic::AtomicU64;
+
+    /// A mock daemon backend that tags every answer with its fleet index,
+    /// so tests can see which shard served a request.
+    struct TagBackend {
+        tag: usize,
+        uploads: AtomicU64,
+    }
+
+    impl TagBackend {
+        fn new(tag: usize) -> TagBackend {
+            TagBackend { tag, uploads: AtomicU64::new(0) }
+        }
+    }
+
+    impl LabBackend for TagBackend {
+        fn run_scenario(&self, scenario: &str) -> Result<String, String> {
+            Ok(format!("tag{} ran {scenario}\n", self.tag))
+        }
+        fn sweep(&self, name: &str, _threads: usize) -> Result<String, String> {
+            Ok(format!("tag{} swept {name}\n", self.tag))
+        }
+        fn analyze(&self, program: &str) -> Result<String, String> {
+            Ok(format!("tag{} analyzed {program}\n", self.tag))
+        }
+        fn run_program(&self, program: &str, policy: &str, _: &RunKnobs) -> Result<String, String> {
+            Ok(format!("tag{} ran {program} under {policy}\n", self.tag))
+        }
+        fn upload(&self, source: &ProgramSource) -> Result<String, String> {
+            let count = self.uploads.fetch_add(1, Ordering::SeqCst) + 1;
+            Ok(format!(
+                "{{\"fingerprint\": \"fp:{:016x}\", \"dedup\": false, \"count\": {count}}}",
+                crate::ring::fnv1a(source.text().as_bytes())
+            ))
+        }
+        fn stats_json(&self) -> String {
+            format!(
+                "{{\"tag\": {}, \"uploads\": {}}}",
+                self.tag,
+                self.uploads.load(Ordering::SeqCst)
+            )
+        }
+        fn metrics_text(&self) -> String {
+            format!(
+                "# HELP dbt_mock_uploads_total Mock uploads.\n\
+                 # TYPE dbt_mock_uploads_total counter\n\
+                 dbt_mock_uploads_total {}\n",
+                self.uploads.load(Ordering::SeqCst)
+            )
+        }
+    }
+
+    /// A fleet of `n` mock daemons plus a router in front of them.
+    fn fleet(n: usize, config: RouterConfig) -> (Vec<ServerHandle>, RouterHandle) {
+        let daemons: Vec<ServerHandle> = (0..n)
+            .map(|tag| {
+                serve("127.0.0.1:0", Arc::new(TagBackend::new(tag)), ServerConfig::default())
+                    .expect("daemon binds")
+            })
+            .collect();
+        let addrs = daemons.iter().map(ServerHandle::addr).collect();
+        let router = serve_router("127.0.0.1:0", addrs, config).expect("router binds");
+        (daemons, router)
+    }
+
+    fn stop(daemons: Vec<ServerHandle>, router: RouterHandle) {
+        router.shutdown();
+        router.wait();
+        for daemon in daemons {
+            daemon.shutdown();
+            daemon.wait();
+        }
+    }
+
+    fn ok_body(response: Response) -> String {
+        match response {
+            Response::Ok { body, .. } => body,
+            other => panic!("expected ok, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_program_lands_on_the_same_shard_and_keys_spread() {
+        let (daemons, router) = fleet(2, RouterConfig::default());
+        let mut client = Client::connect(router.addr()).unwrap();
+        let mut tags_seen = std::collections::BTreeSet::new();
+        for i in 0..16 {
+            let request = Request::Analyze { program: format!("prog-{i}") };
+            let first = ok_body(client.request(&request).unwrap());
+            let second = ok_body(client.request(&request).unwrap());
+            assert_eq!(first, second, "one program, one shard");
+            tags_seen.insert(first.starts_with("tag0"));
+        }
+        assert_eq!(tags_seen.len(), 2, "16 distinct programs must hit both backends");
+        // Ref spellings shard identically: `registry:x` == `x`.
+        let bare =
+            ok_body(client.request(&Request::Analyze { program: "prog-0".to_string() }).unwrap());
+        let prefixed = ok_body(
+            client.request(&Request::Analyze { program: "registry:prog-0".to_string() }).unwrap(),
+        );
+        assert_eq!(
+            bare.chars().take(4).collect::<String>(),
+            prefixed.chars().take(4).collect::<String>()
+        );
+        stop(daemons, router);
+    }
+
+    #[test]
+    fn uploads_replicate_to_every_backend() {
+        let (daemons, router) = fleet(3, RouterConfig::default());
+        let mut client = Client::connect(router.addr()).unwrap();
+        let source = ProgramSource::Asm("li a0, 1\necall\n".to_string());
+        let body = ok_body(client.request(&Request::Upload { source }).unwrap());
+        assert!(body.contains("\"fingerprint\": \"fp:"), "{body}");
+        // Every backend's own stats now count the upload.
+        let stats = ok_body(client.request(&Request::Stats).unwrap());
+        for tag in 0..3 {
+            assert!(stats.contains(&format!("{{\"tag\": {tag}, \"uploads\": 1}}")), "{stats}");
+        }
+        assert!(stats.contains("\"replications\": 2"), "{stats}");
+        stop(daemons, router);
+    }
+
+    #[test]
+    fn fleet_ops_fan_out_and_merge() {
+        let (daemons, router) = fleet(2, RouterConfig::default());
+        let mut client = Client::connect(router.addr()).unwrap();
+
+        let stats = ok_body(client.request(&Request::Stats).unwrap());
+        assert!(stats.starts_with("{\"router\": {\"backends\": 2, \"up\": 2"), "{stats}");
+        assert!(stats.contains("{\"tag\": 0,"), "{stats}");
+        assert!(stats.contains("{\"tag\": 1,"), "{stats}");
+
+        let health = ok_body(client.request(&Request::Health).unwrap());
+        assert!(health.starts_with("{\"router\": {\"backends\": 2, \"up\": 2}"), "{health}");
+        assert!(health.contains("\"up\": true, \"health\": {\"workers\": 2"), "{health}");
+
+        let metrics = ok_body(client.request(&Request::Metrics).unwrap());
+        assert!(metrics.contains("dbt_router_requests_total{op=\"stats\"} 1"), "{metrics}");
+        assert!(metrics.contains("dbt_mock_uploads_total{backend=\"0\"} 0"), "{metrics}");
+        assert!(metrics.contains("dbt_mock_uploads_total{backend=\"1\"} 0"), "{metrics}");
+        assert!(
+            metrics.contains("dbt_serve_requests_total{backend=\"0\",op=\"stats\"}"),
+            "{metrics}"
+        );
+        stop(daemons, router);
+    }
+
+    #[test]
+    fn auth_gates_every_op_but_health() {
+        let config = RouterConfig {
+            auth_tokens: vec!["fleet-secret".to_string()],
+            ..RouterConfig::default()
+        };
+        let (daemons, router) = fleet(2, config);
+        let mut client = Client::connect(router.addr()).unwrap();
+
+        // Unauthenticated: denied before any backend sees the frame.
+        let denied = client.request(&Request::Stats).unwrap();
+        let Response::Error { error, .. } = denied else { panic!("expected denial: {denied:?}") };
+        assert!(error.contains("authentication required"), "{error}");
+        // Health stays open for probes and monitoring.
+        assert!(matches!(client.request(&Request::Health).unwrap(), Response::Ok { .. }));
+        // A wrong token is its own error.
+        let meta = FrameMeta { trace_id: None, auth: Some("wrong".to_string()) };
+        let (denied, _) = client.request_meta(&Request::Stats, &meta).unwrap();
+        let Response::Error { error, .. } = denied else { panic!("expected denial: {denied:?}") };
+        assert!(error.contains("invalid auth token"), "{error}");
+        // A valid token authenticates the connection...
+        let meta = FrameMeta { trace_id: None, auth: Some("fleet-secret".to_string()) };
+        let (reply, _) = client.request_meta(&Request::Stats, &meta).unwrap();
+        assert!(matches!(reply, Response::Ok { .. }), "{reply:?}");
+        // ...and later frames on it need no token.
+        assert!(matches!(client.request(&Request::Stats).unwrap(), Response::Ok { .. }));
+        // A fresh connection starts unauthenticated again.
+        let mut fresh = Client::connect(router.addr()).unwrap();
+        assert!(matches!(fresh.request(&Request::Stats).unwrap(), Response::Error { .. }));
+        stop(daemons, router);
+    }
+
+    #[test]
+    fn quotas_bounce_excess_heavy_requests() {
+        let config = RouterConfig {
+            quota: Some(QuotaConfig { rate_per_sec: 1, burst: 1 }),
+            ..RouterConfig::default()
+        };
+        let (daemons, router) = fleet(1, config);
+        let mut client = Client::connect(router.addr()).unwrap();
+        let request = Request::Analyze { program: "prog".to_string() };
+        let mut admitted = 0;
+        let mut bounced = 0;
+        for _ in 0..5 {
+            match client.request(&request).unwrap() {
+                Response::Ok { .. } => admitted += 1,
+                Response::QuotaExceeded { op } => {
+                    assert_eq!(op, "analyze");
+                    bounced += 1;
+                }
+                other => panic!("unexpected answer: {other:?}"),
+            }
+        }
+        assert!(admitted >= 1, "the burst token admits the first request");
+        assert!(bounced >= 1, "five immediate requests cannot all fit a 1/s, burst-1 quota");
+        // Cheap ops never spend tokens.
+        for _ in 0..5 {
+            assert!(matches!(client.request(&Request::Stats).unwrap(), Response::Ok { .. }));
+        }
+        stop(daemons, router);
+    }
+
+    #[test]
+    fn a_dead_backend_fails_over_and_is_circuit_broken() {
+        let config = RouterConfig {
+            retry_backoff: Duration::from_millis(2),
+            probe_interval: Duration::from_secs(3600), // keep the prober out of this test
+            ..RouterConfig::default()
+        };
+        let (mut daemons, router) = fleet(2, config);
+        let mut client = Client::connect(router.addr()).unwrap();
+
+        let request = Request::Analyze { program: "victim".to_string() };
+        let body = ok_body(client.request(&request).unwrap());
+        let owner: usize = if body.starts_with("tag0") { 0 } else { 1 };
+
+        // Kill the owner; the same request must still answer, from the
+        // other shard, and the router must count the failover.
+        let dead = daemons.remove(owner);
+        dead.shutdown();
+        dead.wait();
+        let body = ok_body(client.request(&request).unwrap());
+        assert!(body.starts_with(&format!("tag{}", 1 - owner)), "{body}");
+        let metrics = ok_body(client.request(&Request::Metrics).unwrap());
+        assert!(metrics.contains("dbt_router_failovers_total 1"), "{metrics}");
+
+        // After `failure_threshold` transport failures the breaker opens:
+        // later requests skip the dead backend without new failovers.
+        for _ in 0..4 {
+            let _ = ok_body(client.request(&request).unwrap());
+        }
+        let metrics = ok_body(client.request(&Request::Metrics).unwrap());
+        let up_line = format!("dbt_router_backend_up{{backend=\"{owner}\"}} 0");
+        assert!(metrics.contains(&up_line), "{metrics}");
+        stop(daemons, router);
+    }
+
+    #[test]
+    fn shutdown_stops_the_router_but_not_the_fleet() {
+        let (daemons, router) = fleet(2, RouterConfig::default());
+        let mut client = Client::connect(router.addr()).unwrap();
+        let reply = client.request(&Request::Shutdown).unwrap();
+        assert_eq!(
+            reply,
+            Response::Ok { op: "shutdown".to_string(), body: "{\"stopping\": true}".to_string() }
+        );
+        router.wait();
+        // The daemons are untouched and still answer directly.
+        for daemon in &daemons {
+            let mut direct = Client::connect(daemon.addr()).unwrap();
+            assert!(matches!(direct.request(&Request::Health).unwrap(), Response::Ok { .. }));
+        }
+        for daemon in daemons {
+            daemon.shutdown();
+            daemon.wait();
+        }
+    }
+
+    #[test]
+    fn trace_ids_echo_through_relays_and_local_answers() {
+        let (daemons, router) = fleet(2, RouterConfig::default());
+        let mut client = Client::connect(router.addr()).unwrap();
+        // Relayed: the backend echoes the id the client put on the frame.
+        let (reply, trace) = client
+            .request_traced(&Request::Analyze { program: "p".to_string() }, Some("relay-1"))
+            .unwrap();
+        assert!(matches!(reply, Response::Ok { .. }));
+        assert_eq!(trace.as_deref(), Some("relay-1"));
+        // Router-originated: the router echoes it itself.
+        let (reply, trace) = client.request_traced(&Request::Stats, Some("local-1")).unwrap();
+        assert!(matches!(reply, Response::Ok { .. }));
+        assert_eq!(trace.as_deref(), Some("local-1"));
+        // And generates deterministic `r<n>` ids when the client sent none.
+        let (_, trace) = client.request_traced(&Request::Stats, None).unwrap();
+        assert_eq!(trace.as_deref(), Some("r2"));
+        stop(daemons, router);
+    }
+
+    #[test]
+    fn routing_keys_canonicalize_refs_and_scenarios() {
+        assert_eq!(normalize_ref("registry:gemm"), "gemm");
+        assert_eq!(normalize_ref("gemm"), "gemm");
+        assert_eq!(normalize_ref("fp:00ABCDEF0012345f"), "fp:00abcdef0012345f");
+        assert_eq!(normalize_ref("fp:nonsense"), "fp:nonsense");
+        assert_eq!(scenario_key("figure4/gemm/our-approach/default"), "gemm");
+        assert_eq!(scenario_key("no-slashes"), "no-slashes");
+        // Scenario runs and program-ref runs of the same program share a key.
+        let scenario = route(&Request::Run { scenario: "figure4/gemm/fence/default".to_string() });
+        let programref = route(&Request::RunProgram {
+            program: "registry:gemm".to_string(),
+            policy: "fence".to_string(),
+            knobs: RunKnobs::default(),
+        });
+        match (scenario, programref) {
+            (Route::Key(a), Route::Key(b)) => assert_eq!(a, b),
+            _ => panic!("both must route by key"),
+        }
+    }
+}

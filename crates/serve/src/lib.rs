@@ -12,7 +12,9 @@
 //!   single-line frames, byte-identical to local CLI output once
 //!   unescaped; ad-hoc `run` frames carry sparse platform knobs
 //!   ([`RunKnobs`]) and any frame may carry a `trace_id`, echoed on the
-//!   response;
+//!   response; protocol v3 adds the optional `auth` member and the
+//!   `quota_exceeded` response status ([`FrameMeta`]) that the
+//!   `dbt-router` fleet front door enforces;
 //! * [`json`] — the dependency-free JSON reader the protocol needs (the
 //!   repo's emitters are hand-rolled writers; this is the matching
 //!   parser);
@@ -46,11 +48,12 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, ConnectOptions};
 pub use json::JsonValue;
 pub use loadgen::{drive, LoadOptions, LoadOutcome, OpLatency};
-pub use protocol::{ProgramSource, Request, Response, RunKnobs, DEFAULT_RUN_POLICY};
+pub use protocol::{FrameMeta, ProgramSource, Request, Response, RunKnobs, DEFAULT_RUN_POLICY};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{
-    serve, LabBackend, ServerConfig, ServerHandle, DEFAULT_MAX_FRAME_BYTES, TRACE_LOG_CAPACITY,
+    read_frame, serve, Frame, LabBackend, ServerConfig, ServerHandle, DEFAULT_MAX_FRAME_BYTES,
+    TRACE_LOG_CAPACITY,
 };

@@ -210,7 +210,10 @@ pub fn drive(
                                         }
                                     }
                                 }
-                                Ok(Response::Busy { .. }) => {
+                                // A quota bounce is backpressure too: the
+                                // router asked this client to slow down,
+                                // exactly like a full daemon queue.
+                                Ok(Response::Busy { .. } | Response::QuotaExceeded { .. }) => {
                                     busy.fetch_add(1, Ordering::SeqCst);
                                     busy_count.inc();
                                 }

@@ -36,6 +36,16 @@
 //! Responses carry `status`: `"ok"` (with `body`), `"busy"` (bounded job
 //! queue full — explicit backpressure, retry later) or `"error"` (with
 //! `error`).
+//!
+//! **Protocol v3** adds the fleet envelope, strictly additively: any
+//! request frame may carry an `auth` member (a bearer token, checked by
+//! the `dbt-router` front door; single daemons ignore it), and responses
+//! gain a fourth status, `"quota_exceeded"` — the router's deterministic
+//! token-bucket rate limiter bounced the request; back off and retry,
+//! like `busy`. Both members are optional and off by default, so v2
+//! clients and daemons interoperate unchanged (unknown request members
+//! are ignored by design). [`FrameMeta`] bundles the per-frame envelope
+//! (`trace_id` + `auth`) for clients and proxies that speak v3.
 
 use crate::json::{escape, JsonValue};
 
@@ -43,6 +53,27 @@ use crate::json::{escape, JsonValue};
 /// not name one: the verdict-gated selective policy, the flagship of this
 /// repo's analysis pipeline.
 pub const DEFAULT_RUN_POLICY: &str = "selective";
+
+/// The optional per-frame envelope members a v3 request may carry next to
+/// its payload: the `trace_id` echoed on the response and the `auth`
+/// bearer token the `dbt-router` front door checks. Both default to
+/// absent, which encodes — and decodes — exactly like a v2 frame.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FrameMeta {
+    /// Request trace id, echoed verbatim on the response.
+    pub trace_id: Option<String>,
+    /// Bearer token for router-enforced per-connection auth. Plain
+    /// daemons ignore it (unknown members pass through), so a token-
+    /// carrying client works against both a router and a bare daemon.
+    pub auth: Option<String>,
+}
+
+impl FrameMeta {
+    /// `true` when no member is set (the frame needs no envelope members).
+    pub fn is_empty(&self) -> bool {
+        *self == FrameMeta::default()
+    }
+}
 
 /// The source form of an uploaded guest program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -307,12 +338,26 @@ impl Request {
     /// Returns a message suitable for an `error` response frame: malformed
     /// JSON, missing/ill-typed members, or an unknown `op`.
     pub fn decode_frame(line: &str) -> Result<(Request, Option<String>), String> {
+        Request::decode_frame_meta(line).map(|(request, meta)| (request, meta.trace_id))
+    }
+
+    /// Decodes one request line together with its full v3 envelope
+    /// ([`FrameMeta`]: the optional `trace_id` and `auth` members).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message suitable for an `error` response frame: malformed
+    /// JSON, missing/ill-typed members, or an unknown `op`.
+    pub fn decode_frame_meta(line: &str) -> Result<(Request, FrameMeta), String> {
         let value = JsonValue::parse(line).map_err(|e| format!("malformed request: {e}"))?;
-        let trace_id = match value.get("trace_id") {
-            None => None,
-            Some(v) => Some(v.as_str().ok_or("`trace_id` must be a string")?.to_string()),
+        let optional = |name: &str| match value.get(name) {
+            None => Ok(None),
+            Some(v) => {
+                v.as_str().map(|s| Some(s.to_string())).ok_or(format!("`{name}` must be a string"))
+            }
         };
-        Ok((Request::from_value(&value)?, trace_id))
+        let meta = FrameMeta { trace_id: optional("trace_id")?, auth: optional("auth")? };
+        Ok((Request::from_value(&value)?, meta))
     }
 
     /// Decodes an already-parsed request frame.
@@ -384,13 +429,33 @@ impl Request {
     pub fn encode_with_trace(&self, trace_id: &str) -> String {
         append_trace(self.encode(), trace_id)
     }
+
+    /// [`Request::encode`] with the set members of `meta` appended
+    /// (`trace_id` first, then `auth`). An empty meta encodes exactly
+    /// like [`Request::encode`].
+    pub fn encode_with_meta(&self, meta: &FrameMeta) -> String {
+        let mut frame = self.encode();
+        if let Some(trace_id) = &meta.trace_id {
+            frame = append_trace(frame, trace_id);
+        }
+        if let Some(auth) = &meta.auth {
+            frame = append_member(frame, "auth", auth);
+        }
+        frame
+    }
 }
 
 /// Appends `, "trace_id": "..."` to an encoded frame (which always ends
 /// in `}`).
-fn append_trace(mut frame: String, trace_id: &str) -> String {
+fn append_trace(frame: String, trace_id: &str) -> String {
+    append_member(frame, "trace_id", trace_id)
+}
+
+/// Appends `, "<name>": "<value>"` to an encoded frame (which always ends
+/// in `}`).
+fn append_member(mut frame: String, name: &str, value: &str) -> String {
     frame.pop();
-    frame.push_str(&format!(", \"trace_id\": \"{}\"}}", escape(trace_id)));
+    frame.push_str(&format!(", \"{name}\": \"{}\"}}", escape(value)));
     frame
 }
 
@@ -407,6 +472,14 @@ pub enum Response {
     },
     /// The bounded job queue is full: explicit backpressure, retry later.
     Busy {
+        /// Echo of the request's `op`.
+        op: String,
+    },
+    /// A v3 rate quota bounced the request (the router's token bucket ran
+    /// dry for this client): back off and retry, like [`Response::Busy`].
+    /// Only the `dbt-router` front door emits this status; single daemons
+    /// never do.
+    QuotaExceeded {
         /// Echo of the request's `op`.
         op: String,
     },
@@ -430,6 +503,9 @@ impl Response {
             ),
             Response::Busy { op } => {
                 format!("{{\"status\": \"busy\", \"op\": \"{}\"}}", escape(op))
+            }
+            Response::QuotaExceeded { op } => {
+                format!("{{\"status\": \"quota_exceeded\", \"op\": \"{}\"}}", escape(op))
             }
             Response::Error { op, error } => format!(
                 "{{\"status\": \"error\", \"op\": \"{}\", \"error\": \"{}\"}}",
@@ -480,6 +556,7 @@ impl Response {
         let response = match member("status")?.as_str() {
             "ok" => Response::Ok { op, body: member("body")? },
             "busy" => Response::Busy { op },
+            "quota_exceeded" => Response::QuotaExceeded { op },
             "error" => Response::Error { op, error: member("error")? },
             other => return Err(format!("unknown status `{other}`")),
         };
@@ -557,6 +634,43 @@ mod tests {
         assert!(Request::decode_frame(r#"{"op": "stats", "trace_id": 7}"#)
             .unwrap_err()
             .contains("trace_id"));
+    }
+
+    #[test]
+    fn v3_meta_members_ride_any_frame_and_round_trip() {
+        let request = Request::Analyze { program: "gemm".to_string() };
+        // An empty meta encodes exactly like v2 — byte for byte.
+        assert_eq!(request.encode_with_meta(&FrameMeta::default()), request.encode());
+        assert!(FrameMeta::default().is_empty());
+        // Both members set: still one line, and both decode back out.
+        let meta = FrameMeta {
+            trace_id: Some("c3-17".to_string()),
+            auth: Some("fleet-secret".to_string()),
+        };
+        assert!(!meta.is_empty());
+        let line = request.encode_with_meta(&meta);
+        assert!(!line.contains('\n'), "{line}");
+        assert_eq!(Request::decode_frame_meta(&line).unwrap(), (request.clone(), meta));
+        // Auth alone: the trace id stays absent, and v2 decode paths
+        // (which know nothing about `auth`) ignore the member entirely.
+        let auth_only = FrameMeta { trace_id: None, auth: Some("tok".to_string()) };
+        let line = request.encode_with_meta(&auth_only);
+        assert_eq!(Request::decode_frame(&line).unwrap(), (request.clone(), None));
+        assert_eq!(Request::decode(&line).unwrap(), request);
+        // Ill-typed tokens are rejected, not silently dropped.
+        assert!(Request::decode_frame_meta(r#"{"op": "stats", "auth": 7}"#)
+            .unwrap_err()
+            .contains("auth"));
+    }
+
+    #[test]
+    fn quota_exceeded_responses_round_trip() {
+        let response = Response::QuotaExceeded { op: "run".to_string() };
+        let line = response.encode();
+        assert_eq!(line, "{\"status\": \"quota_exceeded\", \"op\": \"run\"}");
+        assert_eq!(Response::decode(&line).unwrap(), response);
+        let traced = response.encode_with_trace(Some("c0-1"));
+        assert_eq!(Response::decode_frame(&traced).unwrap(), (response, Some("c0-1".to_string())));
     }
 
     #[test]

@@ -471,8 +471,10 @@ fn execute(backend: &dyn LabBackend, request: &Request) -> Result<String, String
     }
 }
 
-/// What one bounded frame read produced.
-enum Frame {
+/// What one bounded frame read produced. Public so other NDJSON servers
+/// (the `dbt-router` front door) reuse the exact same bounded framing —
+/// one implementation of the drain-before-error dance, not two.
+pub enum Frame {
     /// A complete line (without the trailing newline).
     Line(String),
     /// The peer closed the connection (or the read failed).
@@ -487,7 +489,7 @@ enum Frame {
 
 /// Reads one newline-terminated frame, never buffering more than
 /// `max_bytes` of it.
-fn read_frame(reader: &mut BufReader<TcpStream>, max_bytes: usize) -> Frame {
+pub fn read_frame(reader: &mut BufReader<TcpStream>, max_bytes: usize) -> Frame {
     let mut buf = Vec::new();
     let mut limited = (&mut *reader).take(max_bytes as u64 + 1);
     match limited.read_until(b'\n', &mut buf) {
