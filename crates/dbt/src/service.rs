@@ -38,7 +38,7 @@ use crate::schedule::schedule;
 use crate::trace_builder::GuestPath;
 use crate::translate::translate_path;
 use dbt_ir::{BlockKind, DepGraph, DfgOptions, IrBlock};
-use dbt_obs::{Histogram, MetricsRegistry, Span, DEFAULT_LATENCY_BOUNDS_MICROS};
+use dbt_obs::{Histogram, MetricsRegistry, Span, StageSpan, DEFAULT_LATENCY_BOUNDS_MICROS};
 use dbt_vliw::TranslatedBlock;
 use ghostbusters::{apply_with_verdict, MitigationPolicy, MitigationReport};
 use spectaint::LeakageVerdict;
@@ -422,10 +422,12 @@ impl TranslationService {
         let (product, cache_hit) = self.query(&entry.codegens, codegen_key, || {
             let (analysis, _) = self.query(&entry.analyses, analysis_key, || {
                 let _span = self.metrics.as_ref().map(|m| Span::on(&m.analysis_seconds));
+                let _stage = StageSpan::enter("translate.analysis");
                 run_analysis(path, kind, options)
             });
             let analysis = analysis?;
             let _span = self.metrics.as_ref().map(|m| Span::on(&m.codegen_seconds));
+            let _stage = StageSpan::enter("translate.codegen");
             run_codegen(&analysis, config.policy, config.issue_width)
         });
         Ok(Translated { product: product?, cache_hit })

@@ -36,6 +36,12 @@
 //! cargo run --release -p dbt-lab -- submit run figure4/gemm/selective/default --via-router
 //! cargo run --release -p dbt-lab -- loadgen --fleet 3
 //! cargo run --release -p dbt-lab -- router-bench --json-dir artifacts
+//!
+//! # Distributed tracing and the structured event log (docs/OBSERVABILITY.md):
+//! cargo run --release -p dbt-lab -- submit run figure4/gemm/selective/default --via-router --trace-id job-1
+//! cargo run --release -p dbt-lab -- trace job-1 --via-router --chrome stitched.json
+//! cargo run --release -p dbt-lab -- logs --level warn --via-router
+//! cargo run --release -p dbt-lab -- loadgen --clients 4 --latency-json latency.json
 //! ```
 //!
 //! `sweep` writes one `BENCH_<sweep>.json` per sweep (stable bytes, diffable
@@ -79,6 +85,10 @@ struct Args {
     burst: Option<u64>,
     fleet: usize,
     via_router: bool,
+    trace_id: Option<String>,
+    level: Option<String>,
+    chrome: Option<String>,
+    latency_json: Option<String>,
 }
 
 /// Default daemon address when `--addr` is not given.
@@ -118,6 +128,13 @@ fn usage() -> &'static str {
      \x20                          previous upload\n\
      \x20 metrics                  scrape a running daemon's Prometheus\n\
      \x20                          text exposition (alias of submit metrics)\n\
+     \x20 trace <trace_id>         fetch the span tree of one traced request\n\
+     \x20                          (stitched across router and backend with\n\
+     \x20                          --via-router); --chrome exports Chrome\n\
+     \x20                          trace_event JSON\n\
+     \x20 logs                     fetch the daemon's (or, with --via-router,\n\
+     \x20                          the router's) structured event log,\n\
+     \x20                          filtered by --level\n\
      \x20 loadgen                  drive N concurrent clients against a\n\
      \x20                          daemon and emit BENCH_serve-throughput\n\
      \x20 router                   front a daemon fleet with the consistent-\n\
@@ -137,6 +154,16 @@ fn usage() -> &'static str {
      \x20                          output\n\
      \x20 --trace PATH             profile: write a Chrome trace_event JSON\n\
      \x20                          file (chrome://tracing, ui.perfetto.dev)\n\
+     \x20 --trace-id ID            submit: put this trace id on the frame so\n\
+     \x20                          the request's span tree is fetchable with\n\
+     \x20                          `lab trace ID` afterwards\n\
+     \x20 --chrome PATH            trace: write the fetched span tree as a\n\
+     \x20                          Chrome trace_event JSON file\n\
+     \x20 --level LEVEL            logs: minimum level to fetch\n\
+     \x20                          (debug|info|warn|error; default: debug)\n\
+     \x20 --latency-json PATH      loadgen: write the per-op latency snapshot\n\
+     \x20                          (percentiles + the slowest request's span\n\
+     \x20                          tree per op) as JSON; never a BENCH file\n\
      \x20 --dot                    analyze: Graphviz with the taint overlay\n\
      \x20 --quiet                  no per-job progress on stderr\n\
      \x20 --addr HOST:PORT         daemon address (default: 127.0.0.1:4075;\n\
@@ -181,6 +208,10 @@ fn parse(args: &[String]) -> Result<Args, String> {
         burst: None,
         fleet: 0,
         via_router: false,
+        trace_id: None,
+        level: None,
+        chrome: None,
+        latency_json: None,
     };
     let mut it = args[1..].iter();
     let number = |flag: &str, it: &mut std::slice::Iter<String>| {
@@ -232,6 +263,26 @@ fn parse(args: &[String]) -> Result<Args, String> {
             "--trace" => {
                 parsed.trace =
                     Some(it.next().ok_or_else(|| "--trace expects a path".to_string())?.clone());
+            }
+            "--trace-id" => {
+                parsed.trace_id =
+                    Some(it.next().ok_or_else(|| "--trace-id expects an id".to_string())?.clone());
+            }
+            "--level" => {
+                parsed.level = Some(
+                    it.next()
+                        .ok_or_else(|| "--level expects debug|info|warn|error".to_string())?
+                        .clone(),
+                );
+            }
+            "--chrome" => {
+                parsed.chrome =
+                    Some(it.next().ok_or_else(|| "--chrome expects a path".to_string())?.clone());
+            }
+            "--latency-json" => {
+                parsed.latency_json = Some(
+                    it.next().ok_or_else(|| "--latency-json expects a path".to_string())?.clone(),
+                );
             }
             "--quiet" => parsed.quiet = true,
             "--json" => parsed.json = true,
@@ -537,9 +588,9 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
 }
 
 /// Sends one request to the daemon or router that `--addr`/`--via-router`
-/// select, carrying the `--auth` bearer token (protocol v3) when given,
-/// and prints the `ok` body.
-fn submit_one(args: &Args, request: &Request) -> Result<(), String> {
+/// select — carrying the `--auth` bearer token and `--trace-id` (protocol
+/// v3) when given — and returns the `ok` body.
+fn request_body(args: &Args, request: &Request) -> Result<String, String> {
     let addr = args.addr.as_deref().unwrap_or(if args.via_router {
         DEFAULT_ROUTER_ADDR
     } else {
@@ -547,22 +598,112 @@ fn submit_one(args: &Args, request: &Request) -> Result<(), String> {
     });
     let mut client =
         Client::connect(addr).map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
-    let meta = FrameMeta { trace_id: None, auth: args.auth.clone() };
+    let meta = FrameMeta {
+        trace_id: args.trace_id.clone(),
+        auth: args.auth.clone(),
+        ..FrameMeta::default()
+    };
     let (response, _trace) = client.request_meta(request, &meta)?;
     match response {
-        Response::Ok { body, .. } => {
-            print!("{body}");
-            if !body.ends_with('\n') {
-                println!();
-            }
-            Ok(())
-        }
+        Response::Ok { body, .. } => Ok(body),
         Response::Busy { op } => Err(format!("server busy (op `{op}`), try again later")),
         Response::QuotaExceeded { op } => {
             Err(format!("quota exceeded (op `{op}`), back off and retry"))
         }
         Response::Error { error, .. } => Err(error),
     }
+}
+
+/// [`request_body`], printed with a trailing newline.
+fn submit_one(args: &Args, request: &Request) -> Result<(), String> {
+    let body = request_body(args, request)?;
+    print!("{body}");
+    if !body.ends_with('\n') {
+        println!();
+    }
+    Ok(())
+}
+
+/// `lab trace <trace_id>`: fetch the span tree of one traced request —
+/// assembled by the daemon, or stitched across router and owning backend
+/// with `--via-router` — and optionally export it as Chrome trace_event
+/// JSON (`--chrome`).
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let target = args.positional.first().ok_or_else(|| {
+        "trace expects a trace id (e.g. `lab submit run ... --trace-id job-1`, \
+         then `lab trace job-1`)"
+            .to_string()
+    })?;
+    let body = request_body(args, &Request::Trace { target: target.clone() })?;
+    if let Some(path) = &args.chrome {
+        let chrome = chrome_trace_json(&body)?;
+        std::fs::write(path, &chrome).map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !args.quiet {
+            eprintln!("[trace] wrote {path} (open in chrome://tracing or ui.perfetto.dev)");
+        }
+    }
+    println!("{body}");
+    Ok(())
+}
+
+/// `lab logs`: fetch the structured event log of the daemon (or of the
+/// router with `--via-router`), filtered to `--level` and above.
+fn cmd_logs(args: &Args) -> Result<(), String> {
+    submit_one(args, &Request::Logs { level: args.level.clone() })
+}
+
+/// Converts a `dbt-serve/trace/v1` tree body into Chrome `trace_event`
+/// JSON: one complete ("X") event per span, grouped into one track per
+/// span-id prefix (`r` = router, `d` = daemon). The wall-clock members
+/// are emitted adjacent and unspaced (`"ts":N,"dur":N`) so determinism
+/// checks can strip them with a single substitution; everything else in
+/// the export is structural.
+fn chrome_trace_json(tree: &str) -> Result<String, String> {
+    let value = JsonValue::parse(tree)?;
+    let trace_id = value.get("trace_id").and_then(JsonValue::as_str).unwrap_or("?");
+    let spans = value
+        .get("spans")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "trace body lacks a `spans` array".to_string())?;
+    let mut tracks: Vec<String> = Vec::new();
+    let mut events = Vec::new();
+    for span in spans {
+        let span_id = span.get("span_id").and_then(JsonValue::as_str).unwrap_or("?");
+        let stage = span.get("stage").and_then(JsonValue::as_str).unwrap_or("?");
+        let start = span.get("start_micros").and_then(JsonValue::as_u64).unwrap_or(0);
+        let duration = span.get("duration_micros").and_then(JsonValue::as_u64).unwrap_or(0);
+        let prefix = span_id.split(':').next().unwrap_or("?").to_string();
+        let tid = match tracks.iter().position(|known| *known == prefix) {
+            Some(position) => position + 1,
+            None => {
+                tracks.push(prefix.clone());
+                tracks.len()
+            }
+        };
+        events.push(format!(
+            "{{\"name\": \"{stage}\", \"cat\": \"{prefix}\", \"ph\": \"X\", \"pid\": 1, \
+             \"tid\": {tid}, \"ts\":{start},\"dur\":{duration}, \
+             \"args\": {{\"span_id\": \"{span_id}\"}}}}"
+        ));
+    }
+    let names: Vec<String> = tracks
+        .iter()
+        .enumerate()
+        .map(|(index, prefix)| {
+            format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {}, \
+                 \"args\": {{\"name\": \"{prefix}\"}}}}",
+                index + 1
+            )
+        })
+        .collect();
+    let mut lines = names;
+    lines.extend(events);
+    Ok(format!(
+        "{{\"displayTimeUnit\": \"ms\", \"otherData\": {{\"trace_id\": \"{trace_id}\"}}, \
+         \"traceEvents\": [\n{}\n]}}\n",
+        lines.join(",\n")
+    ))
 }
 
 /// The loadgen request mix: repeated single-scenario queries across several
@@ -739,6 +880,17 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
         Response::Ok { body, .. } => JsonValue::parse(&body)?,
         other => return Err(format!("stats request failed: {other:?}")),
     };
+    // The latency snapshot must be taken while the daemon (or fleet) is
+    // still up: the slowest request's span tree lives in server-side
+    // rings. It is deliberately a separate file from the BENCH artifact,
+    // whose bytes stay timing-free.
+    if let Some(path) = &args.latency_json {
+        let snapshot = latency_snapshot(args, &outcome, &mut client)?;
+        std::fs::write(path, &snapshot).map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !args.quiet {
+            eprintln!("[loadgen] wrote {path} (latency snapshot, not a BENCH artifact)");
+        }
+    }
     if let Some(handle) = local.take() {
         handle.shutdown();
         handle.wait();
@@ -835,6 +987,52 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// The `--latency-json` body: per-op percentiles plus the span tree of
+/// the slowest request of each op, fetched through the `trace` op (the
+/// router stitches its own spans with the owning backend's).
+fn latency_snapshot(
+    args: &Args,
+    outcome: &dbt_serve::LoadOutcome,
+    client: &mut Client,
+) -> Result<String, String> {
+    let ops: Vec<String> = outcome
+        .per_op
+        .iter()
+        .map(|op| {
+            let tree = if op.slowest_trace.is_empty() {
+                None
+            } else {
+                match client.request(&Request::Trace { target: op.slowest_trace.clone() }) {
+                    Ok(Response::Ok { body, .. }) => Some(body),
+                    _ => None,
+                }
+            };
+            format!(
+                "    {{\n      \"op\": \"{}\",\n      \"requests\": {},\n      \"busy\": {},\n      \
+                 \"p50_micros\": {},\n      \"p95_micros\": {},\n      \"p99_micros\": {},\n      \
+                 \"slowest_micros\": {},\n      \"slowest_trace\": \"{}\",\n      \
+                 \"slowest_tree\": {}\n    }}",
+                op.op,
+                op.requests,
+                op.busy,
+                op.p50_micros,
+                op.p95_micros,
+                op.p99_micros,
+                op.slowest_micros,
+                op.slowest_trace,
+                tree.as_deref().unwrap_or("null"),
+            )
+        })
+        .collect();
+    Ok(format!(
+        "{{\n  \"schema\": \"dbt-serve-loadgen/latency/v1\",\n  \"clients\": {},\n  \
+         \"iterations\": {},\n  \"ops\": [\n{}\n  ]\n}}\n",
+        args.clients,
+        args.iterations,
+        ops.join(",\n")
+    ))
 }
 
 /// `lab router-bench`: the loadgen mix through an in-process router at
@@ -948,6 +1146,8 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args),
         "submit" => cmd_submit(&args),
         "metrics" => cmd_metrics(&args),
+        "trace" => cmd_trace(&args),
+        "logs" => cmd_logs(&args),
         "loadgen" => cmd_loadgen(&args),
         "router" => cmd_router(&args),
         "router-bench" => cmd_router_bench(&args),

@@ -18,7 +18,9 @@
 //!   in the sweep JSON), so the reuse is visible in the artifacts.
 
 use crate::scenario::{Scenario, ScenarioKind};
-use dbt_obs::{Histogram, MetricsRegistry, Span, DEFAULT_LATENCY_BOUNDS_MICROS};
+use dbt_obs::{
+    Histogram, MetricsRegistry, Span, StageSpan, TraceHandle, DEFAULT_LATENCY_BOUNDS_MICROS,
+};
 use dbt_platform::{CachedRun, RunKey, RunMemo, Session, TranslationService};
 use ghostbusters::MitigationPolicy;
 use std::collections::HashMap;
@@ -249,8 +251,11 @@ impl SweepContext {
         let run = || {
             // The span times only simulations that actually run: memo hits
             // never enter this closure, so the histogram's count stays in
-            // lockstep with the `simulations` counter.
+            // lockstep with the `simulations` counter. The stage span
+            // feeds the same wall-clock reading into the request's trace
+            // when one is being recorded (inert otherwise).
             let _span = self.simulate_seconds.as_ref().map(Span::on);
+            let _stage = StageSpan::enter("simulate");
             self.sims.fetch_add(1, Ordering::SeqCst);
             if is_baseline {
                 self.baseline_sims.fetch_add(1, Ordering::SeqCst);
@@ -426,21 +431,29 @@ pub fn run_sweep_obs(
     let mut slots: Vec<Option<JobResult>> = Vec::new();
     slots.resize_with(jobs, || None);
     let slots = Mutex::new(slots);
+    // Jobs run on scoped worker threads, not the calling thread: capture
+    // the caller's ambient trace context (the daemon worker's, when this
+    // sweep serves a traced request) and re-enter it per worker so the
+    // `simulate`/`translate.*` stage spans keep landing in that trace.
+    let trace = TraceHandle::current();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::SeqCst);
-                if i >= jobs {
-                    break;
+            scope.spawn(|| {
+                let _trace_scope = trace.as_ref().map(TraceHandle::enter);
+                loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= jobs {
+                        break;
+                    }
+                    let scenario = &scenarios[i];
+                    let outcome = run_job(scenario, &ctx);
+                    if opts.verbose {
+                        eprintln!("[lab] {} done", scenario.name);
+                    }
+                    slots.lock().expect("result slots poisoned")[i] =
+                        Some(JobResult { scenario: scenario.clone(), outcome });
                 }
-                let scenario = &scenarios[i];
-                let outcome = run_job(scenario, &ctx);
-                if opts.verbose {
-                    eprintln!("[lab] {} done", scenario.name);
-                }
-                slots.lock().expect("result slots poisoned")[i] =
-                    Some(JobResult { scenario: scenario.clone(), outcome });
             });
         }
     });

@@ -19,7 +19,15 @@
 //! * a [`Profiler`] that lives *inside* the simulated core and counts in
 //!   the **cycle domain** only — per-phase cycle attribution, speculation
 //!   event counters, and a bounded flight recorder exporting Chrome
-//!   `trace_event` JSON (`lab profile … --trace`).
+//!   `trace_event` JSON (`lab profile … --trace`);
+//! * a [`SpanRecorder`] of causal per-request spans (trace id, span id,
+//!   parent, stage, start/duration micros from an injectable
+//!   [`TraceClock`]) with ambient cross-thread propagation
+//!   ([`TraceHandle`] / [`StageSpan`]) — the daemon and router stitch
+//!   these into the `trace` op's `dbt-serve/trace/v1` tree;
+//! * an [`EventLog`] — a leveled, bounded ring of structured
+//!   `{seq, level, target, message, fields}` records correlated by trace
+//!   id, served by the `logs` op as `dbt-serve/logs/v1`.
 //!
 //! Two invariants shape the design:
 //!
@@ -35,12 +43,19 @@
 //! Metric families follow the `dbt_<layer>_<name>` naming convention
 //! (`dbt_serve_requests_total`, `dbt_runmemo_hits_total`, …).
 
+mod eventlog;
 mod metric;
 mod profiler;
 mod registry;
 mod span;
+mod spanrec;
 
+pub use eventlog::{EventLog, LogLevel, LogRecord, DEFAULT_EVENT_CAPACITY, EVENT_LOG_SCHEMA};
 pub use metric::{micros_as_seconds, Counter, Gauge, Histogram, DEFAULT_LATENCY_BOUNDS_MICROS};
 pub use profiler::{Phase, PhaseCycles, Profiler, SpecEvents, TraceEvent, DEFAULT_TRACE_CAPACITY};
 pub use registry::MetricsRegistry;
 pub use span::{Span, SPAN_FAMILY};
+pub use spanrec::{
+    SpanRecord, SpanRecorder, StageSpan, TraceClock, TraceHandle, TraceScope,
+    DEFAULT_SPAN_CAPACITY, TRACE_TREE_SCHEMA,
+};

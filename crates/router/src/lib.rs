@@ -42,4 +42,4 @@ pub mod router;
 pub use limiter::{TokenBucket, MICROS_PER_TOKEN};
 pub use merge::merge_expositions;
 pub use ring::{fnv1a, HashRing, DEFAULT_RING_REPLICAS};
-pub use router::{serve_router, QuotaConfig, RouterConfig, RouterHandle};
+pub use router::{serve_router, serve_router_with_clock, QuotaConfig, RouterConfig, RouterHandle};

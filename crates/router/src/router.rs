@@ -30,17 +30,34 @@
 //! relay walks reachable backends first. A `shutdown` frame stops the
 //! router only — backends are independent processes with their own
 //! lifecycle.
+//!
+//! The router is also the fleet's tracing front door: every heavy frame
+//! gets an `r:request` root span with `r:relay` / `r:failover-retry.<n>`
+//! children (probe rounds get spans of their own under the synthetic
+//! `probe` trace), and the `trace` op answers a *stitched* tree — the
+//! router's spans plus the owning backend's, the backend's roots
+//! reparented under the successful relay span. Relayed frames stay byte
+//! verbatim, so stitching requires the client to choose the trace id
+//! (`lab submit --trace-id`, the load generator's `c<i>-<n>` ids);
+//! otherwise router and daemon fall back to different generated ids.
+//! Failover, circuit-break, probe and auth decisions are narrated into a
+//! structured [`EventLog`] served by the `logs` op.
 
 use crate::limiter::TokenBucket;
 use crate::merge::merge_expositions;
 use crate::ring::{HashRing, DEFAULT_RING_REPLICAS};
-use dbt_obs::{Counter, Gauge, Histogram, MetricsRegistry, Span, DEFAULT_LATENCY_BOUNDS_MICROS};
+use dbt_obs::{
+    Counter, EventLog, Gauge, Histogram, LogLevel, MetricsRegistry, Span, SpanRecord, SpanRecorder,
+    TraceClock, DEFAULT_LATENCY_BOUNDS_MICROS,
+};
 use dbt_serve::json::escape;
-use dbt_serve::{read_frame, Frame, FrameMeta, Request, Response, DEFAULT_MAX_FRAME_BYTES};
-use std::collections::HashMap;
+use dbt_serve::{
+    read_frame, Frame, FrameMeta, JsonValue, Request, Response, DEFAULT_MAX_FRAME_BYTES,
+};
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -199,9 +216,9 @@ impl Backend {
 
 /// The request `op` labels the router pre-registers — the same set as
 /// `dbt-serve`, so fleet dashboards join on identical label values.
-const OP_LABELS: [&str; 10] = [
-    "analyze", "health", "invalid", "metrics", "profile", "run", "shutdown", "stats", "sweep",
-    "upload",
+const OP_LABELS: [&str; 12] = [
+    "analyze", "health", "invalid", "logs", "metrics", "profile", "run", "shutdown", "stats",
+    "sweep", "trace", "upload",
 ];
 
 /// The router's own metric families on a per-router registry, resolved
@@ -305,6 +322,9 @@ enum Route {
     /// Any live backend will do (the trace-log form of `profile` — each
     /// daemon keeps its own log; the fleet answer is one shard's view).
     Any,
+    /// Answered by the router itself from its own observability rings
+    /// (`trace` = the stitched span tree, `logs` = the event log).
+    Observe,
     /// Stop the router (backends keep running).
     Stop,
 }
@@ -323,6 +343,7 @@ fn route(request: &Request) -> Route {
         Request::Sweep { name, .. } => Route::Key(format!("sweep:{name}")),
         Request::Upload { source } => Route::Replicate(source.text().to_string()),
         Request::Stats | Request::Metrics | Request::Health => Route::FanOut,
+        Request::Trace { .. } | Request::Logs { .. } => Route::Observe,
         Request::Shutdown => Route::Stop,
     }
 }
@@ -374,6 +395,9 @@ enum Answer {
     Local(Response),
 }
 
+/// Bound on the trace-id → owning-backend map behind stitching.
+const TRACE_OWNER_CAPACITY: usize = 1024;
+
 struct Shared {
     backends: Vec<Backend>,
     ring: HashRing,
@@ -382,6 +406,17 @@ struct Shared {
     shutdown: AtomicBool,
     started: Instant,
     metrics: RouterMetrics,
+    /// The router's own span ring: request roots, relay attempts, probes.
+    spans: SpanRecorder,
+    /// The structured event log the `logs` op serves.
+    events: EventLog,
+    /// Trace id → index of the backend that answered its relay (bounded
+    /// FIFO), so `trace` knows which shard holds the other half of the
+    /// tree.
+    trace_owners: Mutex<VecDeque<(String, usize)>>,
+    /// Monotonic probe counter: gives every probe span a unique id under
+    /// the synthetic `probe` trace.
+    probe_seq: AtomicU64,
     /// Token buckets keyed by auth token (or peer IP when auth is off).
     quotas: Mutex<HashMap<String, TokenBucket>>,
     /// Wakes the prober early on shutdown.
@@ -392,6 +427,7 @@ impl Shared {
     /// Answers one request line: the encoded response frame to write and
     /// whether the router must stop afterwards.
     fn respond(&self, line: &str, conn: &mut ConnState) -> (String, bool) {
+        let start_micros = self.spans.now_micros();
         let (decoded, meta) = match Request::decode_frame_meta(line) {
             Ok((request, meta)) => (Ok(request), meta),
             Err(error) => (Err(error), FrameMeta::default()),
@@ -401,12 +437,26 @@ impl Shared {
         // own id, so the sequence stays deterministic either way.
         let generated = conn.next_trace();
         let trace = meta.trace_id.clone().unwrap_or(generated);
+        let heavy = decoded.as_ref().map(Request::is_heavy).unwrap_or(false);
         let op = decoded.as_ref().map(Request::op).unwrap_or("invalid");
         let index = RouterMetrics::op_index(op);
         self.metrics.requests[index].inc();
         let span = Span::on(&self.metrics.latency[index]);
-        let (answer, stop) = self.dispatch(line, decoded, &meta, conn);
+        let (answer, stop) = self.dispatch(line, decoded, &meta, &trace, conn);
         drop(span);
+        if heavy {
+            // The router's root span: decode through answer, parented
+            // under whatever span the client put on the envelope.
+            let end_micros = self.spans.now_micros();
+            self.spans.record(SpanRecord {
+                trace_id: trace.clone(),
+                span_id: "r:request".to_string(),
+                parent: meta.parent_span.clone(),
+                stage: "request".to_string(),
+                start_micros,
+                duration_micros: end_micros.saturating_sub(start_micros),
+            });
+        }
         let frame = match answer {
             Answer::Raw(reply) => reply,
             Answer::Local(response) => response.encode_with_trace(Some(&trace)),
@@ -420,6 +470,7 @@ impl Shared {
         line: &str,
         decoded: Result<Request, String>,
         meta: &FrameMeta,
+        trace: &str,
         conn: &mut ConnState,
     ) -> (Answer, bool) {
         let request = match decoded {
@@ -448,12 +499,98 @@ impl Shared {
                 };
                 (Answer::Local(Response::Ok { op, body }), false)
             }
+            Route::Observe => (Answer::Local(self.observe_answer(&request)), false),
             Route::Any => {
                 let order: Vec<usize> = (0..self.backends.len()).collect();
-                (self.relay(line, &op, &order), false)
+                (self.relay(line, &op, &order, trace), false)
             }
-            Route::Key(key) => (self.relay(line, &op, &self.ring.preference(&key)), false),
-            Route::Replicate(key) => (self.replicate_upload(line, &key), false),
+            Route::Key(key) => (self.relay(line, &op, &self.ring.preference(&key), trace), false),
+            Route::Replicate(key) => (self.replicate_upload(line, &key, trace), false),
+        }
+    }
+
+    /// Answers the router-local observability ops: `trace` serves the
+    /// stitched span tree, `logs` the event log.
+    fn observe_answer(&self, request: &Request) -> Response {
+        match request {
+            Request::Trace { target } => {
+                Response::Ok { op: "trace".to_string(), body: self.stitched_trace_body(target) }
+            }
+            Request::Logs { level } => {
+                match level.as_deref().map_or(Some(LogLevel::Debug), LogLevel::parse) {
+                    Some(min_level) => {
+                        Response::Ok { op: "logs".to_string(), body: self.events.json(min_level) }
+                    }
+                    None => Response::Error {
+                        op: "logs".to_string(),
+                        error: format!(
+                            "unknown log level `{}` (expected debug|info|warn|error)",
+                            level.as_deref().unwrap_or("")
+                        ),
+                    },
+                }
+            }
+            _ => unreachable!("only observability ops are routed here"),
+        }
+    }
+
+    /// The stitched `trace` body: the router's own spans for `target`
+    /// plus the owning backend's tree, the backend's parentless roots
+    /// reparented under the router's last relay span so the whole request
+    /// reads as one tree. Requires the client to have chosen the trace id
+    /// (a relayed frame travels verbatim, so router and daemon fall back
+    /// to different generated ids otherwise).
+    fn stitched_trace_body(&self, target: &str) -> String {
+        let mut spans = self.spans.spans_for(target);
+        if let Some(owner) = self.owner_of(target) {
+            let anchor = spans
+                .iter()
+                .rev()
+                .find(|span| span.stage == "relay" || span.stage == "failover-retry")
+                .map(|span| span.span_id.clone());
+            let fetch = Request::Trace { target: target.to_string() };
+            if let Ok(body) = self.ask(&self.backends[owner], &fetch) {
+                for mut span in parse_remote_spans(target, &body) {
+                    if span.parent.is_none() {
+                        span.parent = anchor.clone();
+                    }
+                    spans.push(span);
+                }
+            }
+        }
+        SpanRecorder::render_tree(target, &spans, self.spans.dropped())
+    }
+
+    /// The backend that answered `trace_id`'s relay, if still remembered.
+    fn owner_of(&self, trace_id: &str) -> Option<usize> {
+        let owners = self.trace_owners.lock().expect("trace owner lock");
+        owners.iter().rev().find(|(id, _)| id == trace_id).map(|&(_, index)| index)
+    }
+
+    /// Remembers which backend answered `trace_id` (bounded FIFO).
+    fn record_owner(&self, trace_id: &str, index: usize) {
+        let mut owners = self.trace_owners.lock().expect("trace owner lock");
+        if owners.len() >= TRACE_OWNER_CAPACITY {
+            owners.pop_front();
+        }
+        owners.push_back((trace_id.to_string(), index));
+    }
+
+    /// Counts a transport failure against a backend, narrating the
+    /// up→down transition into the event log (only the transition — a
+    /// dead backend keeps failing and must not flood the ring).
+    fn note_failure(&self, index: usize, cause: &str, trace: Option<&str>) {
+        let backend = &self.backends[index];
+        let was_up = backend.is_up();
+        backend.record_failure(self.config.failure_threshold);
+        if was_up && !backend.is_up() {
+            self.events.log(
+                LogLevel::Error,
+                "router.failover",
+                &format!("backend {index} ({}) circuit-broken", backend.addr),
+                trace,
+                &[("cause", cause), ("backend", &index.to_string())],
+            );
         }
     }
 
@@ -473,6 +610,14 @@ impl Shared {
                 conn.authenticated = true;
             } else {
                 self.metrics.auth_failures.inc();
+                // Narrate the denial without ever logging the token.
+                self.events.log(
+                    LogLevel::Warn,
+                    "router.auth",
+                    &format!("invalid auth token from {} for `{}`", conn.peer, request.op()),
+                    meta.trace_id.as_deref(),
+                    &[("peer", &conn.peer)],
+                );
                 return Some(Response::Error {
                     op: request.op().to_string(),
                     error: "invalid auth token".to_string(),
@@ -483,6 +628,13 @@ impl Shared {
             None
         } else {
             self.metrics.auth_failures.inc();
+            self.events.log(
+                LogLevel::Warn,
+                "router.auth",
+                &format!("unauthenticated `{}` from {} denied", request.op(), conn.peer),
+                meta.trace_id.as_deref(),
+                &[("peer", &conn.peer)],
+            );
             Some(Response::Error {
                 op: request.op().to_string(),
                 error: "authentication required: send an `auth` bearer token (protocol v3)"
@@ -512,14 +664,22 @@ impl Shared {
             None
         } else {
             self.metrics.quota_exceeded.inc();
+            // The quota key may be a bearer token; log the peer instead.
+            self.events.log(
+                LogLevel::Warn,
+                "router.quota",
+                &format!("quota bounced `{}` from {}", request.op(), conn.peer),
+                meta.trace_id.as_deref(),
+                &[("peer", &conn.peer)],
+            );
             Some(Response::QuotaExceeded { op: request.op().to_string() })
         }
     }
 
     /// Relays `line` along `order`, wrapping the all-failed case into an
     /// `error` frame.
-    fn relay(&self, line: &str, op: &str, order: &[usize]) -> Answer {
-        match self.relay_ranked(line, op, order) {
+    fn relay(&self, line: &str, op: &str, order: &[usize], trace: &str) -> Answer {
+        match self.relay_ranked(line, op, order, trace) {
             Ok((_, reply)) => Answer::Raw(reply),
             Err(error) => Answer::Local(Response::Error { op: op.to_string(), error }),
         }
@@ -529,12 +689,15 @@ impl Shared {
     /// reachable backends first, the circuit-broken rest as a last
     /// resort (a probe may simply not have run yet) — with exponential
     /// backoff between attempts. Returns the answering backend's index
-    /// and raw response line.
+    /// and raw response line. Every attempt is recorded as a span under
+    /// `trace` (`r:relay`, then `r:failover-retry.<n>`), and retries are
+    /// narrated into the event log.
     fn relay_ranked(
         &self,
         line: &str,
         op: &str,
         order: &[usize],
+        trace: &str,
     ) -> Result<(usize, String), String> {
         let mut candidates: Vec<usize> =
             order.iter().copied().filter(|&i| self.backends[i].is_up()).collect();
@@ -544,16 +707,38 @@ impl Shared {
         for (attempt, &index) in candidates.iter().enumerate() {
             if attempt > 0 {
                 self.metrics.failovers.inc();
+                self.events.log(
+                    LogLevel::Warn,
+                    "router.failover",
+                    &format!("retrying `{op}` on backend {index} after: {last_error}"),
+                    Some(trace),
+                    &[("attempt", &attempt.to_string()), ("backend", &index.to_string())],
+                );
                 std::thread::sleep(backoff);
                 backoff = backoff.saturating_mul(2);
             }
             let backend = &self.backends[index];
-            match backend.forward(line) {
+            let attempt_start = self.spans.now_micros();
+            let outcome = backend.forward(line);
+            let (span_id, stage) = if attempt == 0 {
+                ("r:relay".to_string(), "relay")
+            } else {
+                (format!("r:failover-retry.{attempt}"), "failover-retry")
+            };
+            self.spans.record(SpanRecord {
+                trace_id: trace.to_string(),
+                span_id,
+                parent: Some("r:request".to_string()),
+                stage: stage.to_string(),
+                start_micros: attempt_start,
+                duration_micros: self.spans.now_micros().saturating_sub(attempt_start),
+            });
+            match outcome {
                 Ok(reply) if is_lifecycle_refusal(&reply) => {
                     // The daemon answered, but only to say it is going
                     // away and never executed the job — as retryable as
                     // a refused connection.
-                    backend.record_failure(self.config.failure_threshold);
+                    self.note_failure(index, "lifecycle-refusal", Some(trace));
                     last_error = format!("backend {index} ({}) is shutting down", backend.addr);
                 }
                 Ok(reply) => {
@@ -561,14 +746,22 @@ impl Shared {
                     if reply.starts_with("{\"status\": \"busy\"") {
                         self.metrics.busy_relayed.inc();
                     }
+                    self.record_owner(trace, index);
                     return Ok((index, reply));
                 }
                 Err(error) => {
-                    backend.record_failure(self.config.failure_threshold);
+                    self.note_failure(index, "transport", Some(trace));
                     last_error = format!("backend {index} ({}): {error}", backend.addr);
                 }
             }
         }
+        self.events.log(
+            LogLevel::Error,
+            "router.failover",
+            &format!("no backend could answer `{op}`"),
+            Some(trace),
+            &[],
+        );
         Err(format!("no backend could answer `{op}`: {last_error}"))
     }
 
@@ -576,9 +769,9 @@ impl Shared {
     /// the same frame to every other live backend so `fp:` refs resolve
     /// on any shard. Replication only happens for an `ok` answer — a
     /// bounced or failed upload is not half-applied across the fleet.
-    fn replicate_upload(&self, line: &str, key: &str) -> Answer {
+    fn replicate_upload(&self, line: &str, key: &str, trace: &str) -> Answer {
         let order = self.ring.preference(key);
-        let (answered_by, reply) = match self.relay_ranked(line, "upload", &order) {
+        let (answered_by, reply) = match self.relay_ranked(line, "upload", &order, trace) {
             Ok(answered) => answered,
             Err(error) => {
                 return Answer::Local(Response::Error { op: "upload".to_string(), error })
@@ -595,8 +788,18 @@ impl Shared {
                         self.metrics.replications.inc();
                     }
                     Err(_) => {
-                        backend.record_failure(self.config.failure_threshold);
+                        self.note_failure(backend.index, "replicate", Some(trace));
                         self.metrics.replication_failures.inc();
+                        self.events.log(
+                            LogLevel::Warn,
+                            "router.replicate",
+                            &format!(
+                                "upload replication to backend {} ({}) failed",
+                                backend.index, backend.addr
+                            ),
+                            Some(trace),
+                            &[("backend", &backend.index.to_string())],
+                        );
                     }
                 }
             }
@@ -622,7 +825,7 @@ impl Shared {
                 Err(error) => Err(error),
             },
             Err(error) => {
-                backend.record_failure(self.config.failure_threshold);
+                self.note_failure(backend.index, "transport", None);
                 Err(error.to_string())
             }
         }
@@ -671,8 +874,9 @@ impl Shared {
         format!("{}{}", self.metrics.registry.render(), merge_expositions(&expositions))
     }
 
-    /// The fleet `health` body: per-backend liveness as observed *now*
-    /// (the fan-out doubles as a probe round).
+    /// The fleet `health` body: the router's own identity (uptime,
+    /// version) next to per-backend liveness as observed *now* (the
+    /// fan-out doubles as a probe round).
     fn fleet_health_body(&self) -> String {
         let members: Vec<String> = self
             .backends
@@ -683,22 +887,51 @@ impl Shared {
             })
             .collect();
         format!(
-            "{{\"router\": {{\"backends\": {}, \"up\": {}}}, \"backends\": [{}]}}",
+            "{{\"router\": {{\"backends\": {}, \"up\": {}, \"uptime_secs\": {}, \
+             \"version\": \"{}\"}}, \"backends\": [{}]}}",
             self.backends.len(),
             self.up_count(),
+            self.started.elapsed().as_secs(),
+            escape(env!("CARGO_PKG_VERSION")),
             members.join(", ")
         )
     }
 
-    /// One probe round over every backend.
+    /// One probe round over every backend. Probes are background work
+    /// with no client frame, so their spans live under the synthetic
+    /// `probe` trace, one root span per probe.
     fn probe_all(&self) {
         for backend in &self.backends {
             self.metrics.probes.inc();
-            match probe_once(backend.addr, self.config.probe_timeout) {
+            let seq = self.probe_seq.fetch_add(1, Ordering::Relaxed);
+            let start_micros = self.spans.now_micros();
+            let outcome = probe_once(backend.addr, self.config.probe_timeout);
+            self.spans.record(SpanRecord {
+                trace_id: "probe".to_string(),
+                span_id: format!("r:probe.{seq}"),
+                parent: None,
+                stage: "probe".to_string(),
+                start_micros,
+                duration_micros: self.spans.now_micros().saturating_sub(start_micros),
+            });
+            match outcome {
                 Ok(()) => backend.record_success(),
                 Err(_) => {
                     self.metrics.probe_failures.inc();
+                    let was_up = backend.is_up();
                     backend.set_down();
+                    if was_up {
+                        self.events.log(
+                            LogLevel::Warn,
+                            "router.failover",
+                            &format!(
+                                "backend {} ({}) failed its health probe, marked down",
+                                backend.index, backend.addr
+                            ),
+                            None,
+                            &[("cause", "probe"), ("backend", &backend.index.to_string())],
+                        );
+                    }
                 }
             }
         }
@@ -708,10 +941,32 @@ impl Shared {
     /// acceptor awake with a throwaway connection.
     fn begin_shutdown(&self) {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
+            self.events.log(LogLevel::Info, "router.lifecycle", "stopping", None, &[]);
             self.probe_wake.1.notify_all();
             let _ = TcpStream::connect(self.addr);
         }
     }
+}
+
+/// Parses the `spans` array of a backend's `trace` body back into
+/// records (the backend emits them through the same `dbt-obs` writer, so
+/// the round trip is lossless). Unparseable bodies stitch to nothing.
+fn parse_remote_spans(trace_id: &str, body: &str) -> Vec<SpanRecord> {
+    let Ok(value) = JsonValue::parse(body) else { return Vec::new() };
+    let Some(spans) = value.get("spans").and_then(JsonValue::as_array) else { return Vec::new() };
+    spans
+        .iter()
+        .filter_map(|span| {
+            Some(SpanRecord {
+                trace_id: trace_id.to_string(),
+                span_id: span.get("span_id")?.as_str()?.to_string(),
+                parent: span.get("parent").and_then(JsonValue::as_str).map(str::to_string),
+                stage: span.get("stage")?.as_str()?.to_string(),
+                start_micros: span.get("start_micros")?.as_u64()?,
+                duration_micros: span.get("duration_micros")?.as_u64()?,
+            })
+        })
+        .collect()
 }
 
 /// `true` for the two daemon answers that mean "the job was never
@@ -810,6 +1065,23 @@ pub fn serve_router<A: ToSocketAddrs>(
     backends: Vec<SocketAddr>,
     config: RouterConfig,
 ) -> std::io::Result<RouterHandle> {
+    serve_router_with_clock(addr, backends, config, TraceClock::wall())
+}
+
+/// [`serve_router`] with an explicit span clock — determinism tests
+/// inject [`TraceClock::scripted`] so stitched span trees are structure-
+/// and byte-stable; production uses [`TraceClock::wall`].
+///
+/// # Errors
+///
+/// Propagates the I/O error if the listener cannot bind; rejects an
+/// empty backend list.
+pub fn serve_router_with_clock<A: ToSocketAddrs>(
+    addr: A,
+    backends: Vec<SocketAddr>,
+    config: RouterConfig,
+    clock: TraceClock,
+) -> std::io::Result<RouterHandle> {
     if backends.is_empty() {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidInput,
@@ -855,9 +1127,20 @@ pub fn serve_router<A: ToSocketAddrs>(
         shutdown: AtomicBool::new(false),
         started: Instant::now(),
         metrics,
+        spans: SpanRecorder::new(clock),
+        events: EventLog::new(),
+        trace_owners: Mutex::new(VecDeque::new()),
+        probe_seq: AtomicU64::new(0),
         quotas: Mutex::new(HashMap::new()),
         probe_wake: (Mutex::new(()), Condvar::new()),
     });
+    shared.events.log(
+        LogLevel::Info,
+        "router.lifecycle",
+        "listening",
+        None,
+        &[("addr", &shared.addr.to_string()), ("backends", &shared.backends.len().to_string())],
+    );
 
     let prober = {
         let shared = Arc::clone(&shared);
@@ -1043,7 +1326,14 @@ mod tests {
         assert!(stats.contains("{\"tag\": 1,"), "{stats}");
 
         let health = ok_body(client.request(&Request::Health).unwrap());
-        assert!(health.starts_with("{\"router\": {\"backends\": 2, \"up\": 2}"), "{health}");
+        assert!(
+            health.starts_with("{\"router\": {\"backends\": 2, \"up\": 2, \"uptime_secs\": "),
+            "{health}"
+        );
+        assert!(
+            health.contains(&format!("\"version\": \"{}\"", env!("CARGO_PKG_VERSION"))),
+            "{health}"
+        );
         assert!(health.contains("\"up\": true, \"health\": {\"workers\": 2"), "{health}");
 
         let metrics = ok_body(client.request(&Request::Metrics).unwrap());
@@ -1073,12 +1363,12 @@ mod tests {
         // Health stays open for probes and monitoring.
         assert!(matches!(client.request(&Request::Health).unwrap(), Response::Ok { .. }));
         // A wrong token is its own error.
-        let meta = FrameMeta { trace_id: None, auth: Some("wrong".to_string()) };
+        let meta = FrameMeta { auth: Some("wrong".to_string()), ..FrameMeta::default() };
         let (denied, _) = client.request_meta(&Request::Stats, &meta).unwrap();
         let Response::Error { error, .. } = denied else { panic!("expected denial: {denied:?}") };
         assert!(error.contains("invalid auth token"), "{error}");
         // A valid token authenticates the connection...
-        let meta = FrameMeta { trace_id: None, auth: Some("fleet-secret".to_string()) };
+        let meta = FrameMeta { auth: Some("fleet-secret".to_string()), ..FrameMeta::default() };
         let (reply, _) = client.request_meta(&Request::Stats, &meta).unwrap();
         assert!(matches!(reply, Response::Ok { .. }), "{reply:?}");
         // ...and later frames on it need no token.
@@ -1214,5 +1504,60 @@ mod tests {
             (Route::Key(a), Route::Key(b)) => assert_eq!(a, b),
             _ => panic!("both must route by key"),
         }
+    }
+
+    #[test]
+    fn trace_op_stitches_router_and_backend_spans() {
+        let (daemons, router) = fleet(2, RouterConfig::default());
+        let mut client = Client::connect(router.addr()).unwrap();
+        let (reply, _) = client
+            .request_traced(&Request::Analyze { program: "stitched".to_string() }, Some("st-1"))
+            .unwrap();
+        assert!(matches!(reply, Response::Ok { .. }), "{reply:?}");
+        let body = ok_body(client.request(&Request::Trace { target: "st-1".to_string() }).unwrap());
+        assert!(
+            body.starts_with("{\"schema\": \"dbt-serve/trace/v1\", \"trace_id\": \"st-1\""),
+            "{body}"
+        );
+        // The router's half of the tree...
+        assert!(body.contains("\"span_id\": \"r:request\", \"parent\": null"), "{body}");
+        assert!(body.contains("\"span_id\": \"r:relay\", \"parent\": \"r:request\""), "{body}");
+        // ...and the backend's half, its root reparented under the relay
+        // span so the whole request reads as one tree.
+        assert!(body.contains("\"span_id\": \"d:request\", \"parent\": \"r:relay\""), "{body}");
+        assert!(body.contains("\"span_id\": \"d:decode\""), "{body}");
+        assert!(body.contains("\"span_id\": \"d:queue-wait\""), "{body}");
+        stop(daemons, router);
+    }
+
+    #[test]
+    fn logs_op_narrates_failover_events() {
+        let config = RouterConfig {
+            retry_backoff: Duration::from_millis(2),
+            probe_interval: Duration::from_secs(3600), // keep the prober out of this test
+            ..RouterConfig::default()
+        };
+        let (mut daemons, router) = fleet(2, config);
+        let mut client = Client::connect(router.addr()).unwrap();
+        let request = Request::Analyze { program: "victim".to_string() };
+        let body = ok_body(client.request(&request).unwrap());
+        let owner: usize = if body.starts_with("tag0") { 0 } else { 1 };
+        let dead = daemons.remove(owner);
+        dead.shutdown();
+        dead.wait();
+        let _ = ok_body(client.request(&request).unwrap());
+
+        let logs =
+            ok_body(client.request(&Request::Logs { level: Some("warn".to_string()) }).unwrap());
+        assert!(logs.starts_with("{\"schema\": \"dbt-serve/logs/v1\""), "{logs}");
+        assert!(logs.contains("router.failover"), "{logs}");
+        assert!(!logs.contains("router.lifecycle"), "lifecycle is info-level: {logs}");
+        // The default level serves everything, lifecycle included.
+        let all = ok_body(client.request(&Request::Logs { level: None }).unwrap());
+        assert!(all.contains("\"message\": \"listening\""), "{all}");
+        // Unknown levels are the client's error, never a panic.
+        let denied = client.request(&Request::Logs { level: Some("loud".to_string()) }).unwrap();
+        assert!(matches!(denied, Response::Error { .. }), "{denied:?}");
+        stop(daemons, router);
     }
 }

@@ -66,6 +66,11 @@ pub struct OpLatency {
     pub p95_micros: u64,
     /// 99th-percentile round-trip latency, microseconds.
     pub p99_micros: u64,
+    /// Round-trip micros of the slowest request observed for this op.
+    pub slowest_micros: u64,
+    /// Trace id of that slowest request (`c<client>-<seq>`) — the handle
+    /// for fetching its span tree through the `trace` op afterwards.
+    pub slowest_trace: String,
 }
 
 impl OpLatency {
@@ -134,6 +139,11 @@ pub fn drive(
     let errors = AtomicU64::new(0);
     let mismatches = AtomicU64::new(0);
     let canonical: Vec<Mutex<Option<String>>> = requests.iter().map(|_| Mutex::new(None)).collect();
+    // Slowest observed round trip per request slot: (micros, trace id).
+    // The trace id is the handle for pulling that request's span tree
+    // through the `trace` op once the run is over.
+    let slowest: Vec<Mutex<(u64, String)>> =
+        requests.iter().map(|_| Mutex::new((0, String::new()))).collect();
 
     // Per-op measurement on a run-local registry: a latency histogram plus
     // request/busy counters per distinct op, resolved once per request
@@ -168,8 +178,8 @@ pub fn drive(
 
     let started = Instant::now();
     {
-        let (ok, busy, errors, mismatches, canonical, measures) =
-            (&ok, &busy, &errors, &mismatches, &canonical, &measures);
+        let (ok, busy, errors, mismatches, canonical, measures, slowest) =
+            (&ok, &busy, &errors, &mismatches, &canonical, &measures, &slowest);
         std::thread::scope(|scope| {
             for (client_index, mut client) in clients.drain(..).enumerate() {
                 scope.spawn(move || {
@@ -180,10 +190,19 @@ pub fn drive(
                             submitted.inc();
                             let trace_id = format!("c{client_index}-{seq}");
                             seq += 1;
+                            let begun = Instant::now();
                             let traced = {
                                 let _span = Span::on(latency);
                                 client.request_traced(request, Some(&trace_id))
                             };
+                            let took_micros = begun.elapsed().as_micros() as u64;
+                            {
+                                let mut slot =
+                                    slowest[index].lock().expect("slowest slot poisoned");
+                                if took_micros >= slot.0 {
+                                    *slot = (took_micros, trace_id.clone());
+                                }
+                            }
                             // A wrong or missing trace echo is a broken
                             // response correlation: count it as an error,
                             // whatever the response status said.
@@ -238,6 +257,15 @@ pub fn drive(
         .map(|op| {
             let index = requests.iter().position(|request| request.op() == op).expect("op known");
             let (latency, submitted, busy_count) = &measures[index];
+            // Several request slots may share an op; the op's slowest
+            // request is the max across its slots.
+            let (slowest_micros, slowest_trace) = requests
+                .iter()
+                .enumerate()
+                .filter(|(_, request)| request.op() == op)
+                .map(|(slot, _)| slowest[slot].lock().expect("slowest slot poisoned").clone())
+                .max_by_key(|(micros, _)| *micros)
+                .unwrap_or((0, String::new()));
             OpLatency {
                 op: op.to_string(),
                 requests: submitted.get(),
@@ -245,6 +273,8 @@ pub fn drive(
                 p50_micros: latency.quantile_micros(0.50),
                 p95_micros: latency.quantile_micros(0.95),
                 p99_micros: latency.quantile_micros(0.99),
+                slowest_micros,
+                slowest_trace,
             }
         })
         .collect();
@@ -327,6 +357,8 @@ mod tests {
             assert!(op.p50_micros > 0, "{op:?}");
             assert!(op.p50_micros <= op.p95_micros && op.p95_micros <= op.p99_micros, "{op:?}");
             assert_eq!(op.busy_rate(), 0.0);
+            // Every exercised op remembers its slowest request's trace id.
+            assert!(op.slowest_trace.starts_with('c'), "{op:?}");
         }
 
         handle.shutdown();

@@ -19,6 +19,8 @@
 //! | `profile`    | `program?`, `policy?`    | cycle profile / server trace log|
 //! | `stats`      | —                        | server + cache counters         |
 //! | `metrics`    | —                        | Prometheus text exposition      |
+//! | `trace`      | `target`                 | span tree of one trace id       |
+//! | `logs`       | `level?`                 | structured event-log ring       |
 //! | `health`     | —                        | liveness + capacity             |
 //! | `shutdown`   | —                        | ack, then the daemon stops      |
 //!
@@ -45,7 +47,16 @@
 //! like `busy`. Both members are optional and off by default, so v2
 //! clients and daemons interoperate unchanged (unknown request members
 //! are ignored by design). [`FrameMeta`] bundles the per-frame envelope
-//! (`trace_id` + `auth`) for clients and proxies that speak v3.
+//! (`trace_id` + `parent_span` + `auth`) for clients and proxies that
+//! speak v3.
+//!
+//! Distributed tracing rides the same envelope: a frame may carry a
+//! `parent_span` member naming the span the receiver's request-root span
+//! should attach under (the router sets it when relaying, so backend
+//! trees stitch under the router's relay span); the `trace` op fetches
+//! the assembled span tree of one trace id (`dbt-serve/trace/v1`) and
+//! the `logs` op the structured event-log ring (`dbt-serve/logs/v1`).
+//! Both are cheap ops answered inline, like `stats`.
 
 use crate::json::{escape, JsonValue};
 
@@ -62,6 +73,10 @@ pub const DEFAULT_RUN_POLICY: &str = "selective";
 pub struct FrameMeta {
     /// Request trace id, echoed verbatim on the response.
     pub trace_id: Option<String>,
+    /// Span id the receiver's request-root span should attach under —
+    /// how the router threads causal context through to backends.
+    /// Receivers without a span layer ignore it like any unknown member.
+    pub parent_span: Option<String>,
     /// Bearer token for router-enforced per-connection auth. Plain
     /// daemons ignore it (unknown members pass through), so a token-
     /// carrying client works against both a router and a bare daemon.
@@ -237,6 +252,20 @@ pub enum Request {
     Stats,
     /// Prometheus text-format metrics exposition.
     Metrics,
+    /// The assembled span tree of one trace id (`dbt-serve/trace/v1`).
+    /// The router answers with its own spans stitched over the owning
+    /// backend's; a daemon answers with its local spans.
+    Trace {
+        /// The trace id to assemble (`target`, because `trace_id` is the
+        /// envelope member naming *this* request's trace).
+        target: String,
+    },
+    /// The structured event-log ring (`dbt-serve/logs/v1`).
+    Logs {
+        /// Minimum level to include (`debug|info|warn|error`); absent =
+        /// everything.
+        level: Option<String>,
+    },
     /// Liveness and capacity.
     Health,
     /// Stop the daemon (in-flight jobs finish first).
@@ -254,6 +283,8 @@ impl Request {
             Request::Upload { .. } => "upload",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
+            Request::Trace { .. } => "trace",
+            Request::Logs { .. } => "logs",
             Request::Health => "health",
             Request::Shutdown => "shutdown",
         }
@@ -313,6 +344,13 @@ impl Request {
             ),
             Request::Stats => "{\"op\": \"stats\"}".to_string(),
             Request::Metrics => "{\"op\": \"metrics\"}".to_string(),
+            Request::Trace { target } => {
+                format!("{{\"op\": \"trace\", \"target\": \"{}\"}}", escape(target))
+            }
+            Request::Logs { level } => match level {
+                Some(level) => format!("{{\"op\": \"logs\", \"level\": \"{}\"}}", escape(level)),
+                None => "{\"op\": \"logs\"}".to_string(),
+            },
             Request::Health => "{\"op\": \"health\"}".to_string(),
             Request::Shutdown => "{\"op\": \"shutdown\"}".to_string(),
         }
@@ -356,7 +394,11 @@ impl Request {
                 v.as_str().map(|s| Some(s.to_string())).ok_or(format!("`{name}` must be a string"))
             }
         };
-        let meta = FrameMeta { trace_id: optional("trace_id")?, auth: optional("auth")? };
+        let meta = FrameMeta {
+            trace_id: optional("trace_id")?,
+            parent_span: optional("parent_span")?,
+            auth: optional("auth")?,
+        };
         Ok((Request::from_value(&value)?, meta))
     }
 
@@ -416,10 +458,17 @@ impl Request {
             },
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
+            "trace" => Ok(Request::Trace { target: need("target")? }),
+            "logs" => Ok(Request::Logs {
+                level: match value.get("level") {
+                    None => None,
+                    Some(_) => Some(need("level")?),
+                },
+            }),
             "health" => Ok(Request::Health),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op `{other}` (expected run|profile|sweep|analyze|upload|stats|metrics|health|shutdown)"
+                "unknown op `{other}` (expected run|profile|sweep|analyze|upload|trace|logs|stats|metrics|health|shutdown)"
             )),
         }
     }
@@ -431,12 +480,15 @@ impl Request {
     }
 
     /// [`Request::encode`] with the set members of `meta` appended
-    /// (`trace_id` first, then `auth`). An empty meta encodes exactly
-    /// like [`Request::encode`].
+    /// (`trace_id`, then `parent_span`, then `auth`). An empty meta
+    /// encodes exactly like [`Request::encode`].
     pub fn encode_with_meta(&self, meta: &FrameMeta) -> String {
         let mut frame = self.encode();
         if let Some(trace_id) = &meta.trace_id {
             frame = append_trace(frame, trace_id);
+        }
+        if let Some(parent_span) = &meta.parent_span {
+            frame = append_member(frame, "parent_span", parent_span);
         }
         if let Some(auth) = &meta.auth {
             frame = append_member(frame, "auth", auth);
@@ -602,6 +654,9 @@ mod tests {
             Request::Upload { source: ProgramSource::Image("{\"schema\": \"x\"}".to_string()) },
             Request::Stats,
             Request::Metrics,
+            Request::Trace { target: "c0-17".to_string() },
+            Request::Logs { level: None },
+            Request::Logs { level: Some("warn".to_string()) },
             Request::Health,
             Request::Shutdown,
         ];
@@ -642,9 +697,10 @@ mod tests {
         // An empty meta encodes exactly like v2 — byte for byte.
         assert_eq!(request.encode_with_meta(&FrameMeta::default()), request.encode());
         assert!(FrameMeta::default().is_empty());
-        // Both members set: still one line, and both decode back out.
+        // All members set: still one line, and all decode back out.
         let meta = FrameMeta {
             trace_id: Some("c3-17".to_string()),
+            parent_span: Some("r:relay".to_string()),
             auth: Some("fleet-secret".to_string()),
         };
         assert!(!meta.is_empty());
@@ -653,7 +709,7 @@ mod tests {
         assert_eq!(Request::decode_frame_meta(&line).unwrap(), (request.clone(), meta));
         // Auth alone: the trace id stays absent, and v2 decode paths
         // (which know nothing about `auth`) ignore the member entirely.
-        let auth_only = FrameMeta { trace_id: None, auth: Some("tok".to_string()) };
+        let auth_only = FrameMeta { auth: Some("tok".to_string()), ..FrameMeta::default() };
         let line = request.encode_with_meta(&auth_only);
         assert_eq!(Request::decode_frame(&line).unwrap(), (request.clone(), None));
         assert_eq!(Request::decode(&line).unwrap(), request);
@@ -661,6 +717,9 @@ mod tests {
         assert!(Request::decode_frame_meta(r#"{"op": "stats", "auth": 7}"#)
             .unwrap_err()
             .contains("auth"));
+        assert!(Request::decode_frame_meta(r#"{"op": "stats", "parent_span": 7}"#)
+            .unwrap_err()
+            .contains("parent_span"));
     }
 
     #[test]
@@ -717,6 +776,10 @@ mod tests {
         );
         assert!(!light.is_heavy(), "the trace-log form is answered inline");
         assert_eq!(heavy.op(), "profile");
+        // The observability ops are always cheap: answered inline, never
+        // queued, never quota-charged.
+        assert!(!Request::Trace { target: "c0-1".to_string() }.is_heavy());
+        assert!(!Request::Logs { level: None }.is_heavy());
     }
 
     #[test]
@@ -775,6 +838,8 @@ mod tests {
             (r#"{"op": "sweep", "sweep": "x", "threads": -1}"#, "threads"),
             (r#"{"op": "upload"}"#, "`asm` or `image`"),
             (r#"{"op": "upload", "asm": "ecall", "image": "{}"}"#, "not both"),
+            (r#"{"op": "trace"}"#, "`target`"),
+            (r#"{"op": "logs", "level": 3}"#, "`level`"),
             (r#"{"op": "teleport"}"#, "unknown op"),
         ] {
             let error = Request::decode(line).unwrap_err();

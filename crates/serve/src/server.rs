@@ -33,11 +33,24 @@
 //! `t<n>` otherwise — echoed on the response frame and recorded in a
 //! bounded in-memory trace log that the inline form of the `profile`
 //! request reads back.
+//!
+//! Heavy requests additionally get a causal span tree keyed by that
+//! trace id: a `d:request` root (attached under the frame's
+//! `parent_span` when a router relayed it), with `d:decode`,
+//! `d:queue-wait`, `d:encode` children recorded here, and the deeper
+//! `translate.*`/`simulate` stages recorded by the lab layers through
+//! the ambient [`dbt_obs::TraceHandle`] the worker enters around
+//! execution. The `trace` op assembles the tree; the `logs` op serves
+//! the daemon's structured [`EventLog`] (lifecycle events live there).
+//! All three rings are bounded by [`ServerConfig`] knobs.
 
 use crate::json::escape;
 use crate::protocol::{ProgramSource, Request, Response, RunKnobs};
 use crate::queue::{BoundedQueue, PushError};
-use dbt_obs::{Counter, Gauge, Histogram, MetricsRegistry, Span, DEFAULT_LATENCY_BOUNDS_MICROS};
+use dbt_obs::{
+    Counter, EventLog, Gauge, Histogram, LogLevel, MetricsRegistry, Span, SpanRecord, SpanRecorder,
+    TraceClock, TraceHandle, DEFAULT_LATENCY_BOUNDS_MICROS,
+};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -150,35 +163,67 @@ pub struct ServerConfig {
     /// `error` frame and the connection is closed (the line's framing can
     /// no longer be trusted), instead of buffering without limit.
     pub max_frame_bytes: usize,
+    /// Bound of the request trace log (oldest entries evicted; `0` keeps
+    /// nothing).
+    pub trace_log_capacity: usize,
+    /// Bound of the span ring behind the `trace` op.
+    pub span_log_capacity: usize,
+    /// Bound of the structured event log behind the `logs` op.
+    pub event_log_capacity: usize,
 }
 
 impl Default for ServerConfig {
     /// Two workers over a 16-deep queue: enough concurrency to overlap a
     /// sweep with single-scenario queries without oversubscribing the
     /// sweep executor's own threads. Frames are capped at
-    /// [`DEFAULT_MAX_FRAME_BYTES`].
+    /// [`DEFAULT_MAX_FRAME_BYTES`]; the observability rings keep their
+    /// historical bounds ([`TRACE_LOG_CAPACITY`],
+    /// [`dbt_obs::DEFAULT_SPAN_CAPACITY`],
+    /// [`dbt_obs::DEFAULT_EVENT_CAPACITY`]).
     fn default() -> ServerConfig {
-        ServerConfig { workers: 2, queue_depth: 16, max_frame_bytes: DEFAULT_MAX_FRAME_BYTES }
+        ServerConfig {
+            workers: 2,
+            queue_depth: 16,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            trace_log_capacity: TRACE_LOG_CAPACITY,
+            span_log_capacity: dbt_obs::DEFAULT_SPAN_CAPACITY,
+            event_log_capacity: dbt_obs::DEFAULT_EVENT_CAPACITY,
+        }
     }
 }
 
 /// One admitted job: the parsed request plus the channel its connection
-/// handler is waiting on.
+/// handler is waiting on, plus the causal trace context the worker
+/// re-enters around execution (heavy traced requests only).
 struct Job {
     request: Request,
     reply: mpsc::Sender<Result<String, String>>,
+    trace: Option<JobTrace>,
+}
+
+/// The span context a job carries across the queue.
+struct JobTrace {
+    handle: TraceHandle,
+    /// Clock reading at admission; the worker turns the gap until pop
+    /// into the `d:queue-wait` span.
+    enqueued_micros: u64,
 }
 
 /// The request `op` labels the server pre-registers, so every per-op
 /// sample renders (at zero) from the very first scrape. `invalid` labels
 /// frames that never decoded to an op.
-const OP_LABELS: [&str; 10] = [
-    "analyze", "health", "invalid", "metrics", "profile", "run", "shutdown", "stats", "sweep",
-    "upload",
+const OP_LABELS: [&str; 12] = [
+    "analyze", "health", "invalid", "logs", "metrics", "profile", "run", "shutdown", "stats",
+    "sweep", "trace", "upload",
 ];
 
-/// Bound of the in-memory request trace log (oldest entries evicted).
+/// Default bound of the in-memory request trace log (oldest entries
+/// evicted); override via [`ServerConfig::trace_log_capacity`].
 pub const TRACE_LOG_CAPACITY: usize = 256;
+
+/// Span-id prefix and root span id of daemon-side spans.
+const SPAN_PREFIX: &str = "d";
+const ROOT_SPAN: &str = "d:request";
 
 /// The server's own metric families, resolved once at startup on a
 /// per-daemon registry (a process can host several daemons — tests do —
@@ -270,23 +315,31 @@ struct Shared {
     started: Instant,
     metrics: ServerMetrics,
     /// The request trace log: `(trace_id, op, micros)` of the last
-    /// [`TRACE_LOG_CAPACITY`] answered requests, newest last. Latencies
-    /// are wall-clock and operator-facing, like the metrics exposition.
+    /// [`ServerConfig::trace_log_capacity`] answered requests, newest
+    /// last. Latencies are wall-clock and operator-facing, like the
+    /// metrics exposition.
     traces: Mutex<VecDeque<(String, String, u64)>>,
+    /// Finished request spans, served by the `trace` op.
+    spans: Arc<SpanRecorder>,
+    /// Structured lifecycle events, served by the `logs` op.
+    events: EventLog,
 }
 
 impl Shared {
     /// Parses and answers one request line, timing it into the per-op
     /// latency histogram and the trace log. `generated` is the
     /// connection's deterministic fallback trace id, used when the frame
-    /// carries none. Returns the response, whether the server must begin
-    /// shutting down after sending it, and the trace id to echo.
-    fn respond(&self, line: &str, generated: String) -> (Response, bool, String) {
+    /// carries none. Returns the encoded response frame and whether the
+    /// server must begin shutting down after sending it.
+    fn respond(&self, line: &str, generated: String) -> (String, bool) {
         self.metrics.inflight.inc();
-        let (decoded, trace_id) = match Request::decode_frame(line) {
-            Ok((request, trace_id)) => (Ok(request), trace_id.unwrap_or(generated)),
-            Err(error) => (Err(error), generated),
+        let decode_start = self.spans.now_micros();
+        let (decoded, meta) = match Request::decode_frame_meta(line) {
+            Ok((request, meta)) => (Ok(request), meta),
+            Err(error) => (Err(error), Default::default()),
         };
+        let decode_end = self.spans.now_micros();
+        let trace_id = meta.trace_id.unwrap_or(generated);
         // Count the frame up front (under its op as soon as it is known),
         // so a `stats` or `metrics` answer includes the very request that
         // asked.
@@ -295,19 +348,57 @@ impl Shared {
         self.metrics.requests[index].inc();
         let span = Span::on(&self.metrics.latency[index]);
         let started = Instant::now();
-        let (response, stop) = self.answer(decoded);
+        // Heavy requests get a span tree under the request root; cheap
+        // ones (including the `trace` fetch itself) stay span-free.
+        let trace = decoded.as_ref().map(Request::is_heavy).unwrap_or(false).then(|| {
+            self.spans.record(SpanRecord {
+                trace_id: trace_id.clone(),
+                span_id: format!("{SPAN_PREFIX}:decode"),
+                parent: Some(ROOT_SPAN.to_string()),
+                stage: "decode".to_string(),
+                start_micros: decode_start,
+                duration_micros: decode_end.saturating_sub(decode_start),
+            });
+            TraceHandle::new(Arc::clone(&self.spans), &trace_id, SPAN_PREFIX, ROOT_SPAN)
+        });
+        let (response, stop) = self.answer(decoded, trace.as_ref());
+        let answered = self.spans.now_micros();
+        let frame = response.encode_with_trace(Some(&trace_id));
+        if trace.is_some() {
+            let encoded = self.spans.now_micros();
+            self.spans.record(SpanRecord {
+                trace_id: trace_id.clone(),
+                span_id: format!("{SPAN_PREFIX}:encode"),
+                parent: Some(ROOT_SPAN.to_string()),
+                stage: "encode".to_string(),
+                start_micros: answered,
+                duration_micros: encoded.saturating_sub(answered),
+            });
+            self.spans.record(SpanRecord {
+                trace_id: trace_id.clone(),
+                span_id: ROOT_SPAN.to_string(),
+                parent: meta.parent_span,
+                stage: "request".to_string(),
+                start_micros: decode_start,
+                duration_micros: encoded.saturating_sub(decode_start),
+            });
+        }
         drop(span);
         // Recorded *after* answering, so a trace-log answer describes only
         // the requests before it, never itself.
         self.record_trace(&trace_id, op, started.elapsed().as_micros() as u64);
         self.metrics.inflight.dec();
-        (response, stop, trace_id)
+        (frame, stop)
     }
 
     /// Appends one entry to the bounded trace log.
     fn record_trace(&self, trace_id: &str, op: &str, micros: u64) {
+        let capacity = self.config.trace_log_capacity;
         let mut traces = self.traces.lock().expect("trace log lock");
-        if traces.len() == TRACE_LOG_CAPACITY {
+        if capacity == 0 {
+            return;
+        }
+        if traces.len() == capacity {
             traces.pop_front();
         }
         traces.push_back((trace_id.to_string(), op.to_string(), micros));
@@ -329,13 +420,20 @@ impl Shared {
             .collect::<Vec<_>>()
             .join(", ");
         format!(
-            "{{\"schema\": \"dbt-serve/trace-log/v1\", \"capacity\": {TRACE_LOG_CAPACITY}, \
-             \"entries\": [{entries}]}}"
+            "{{\"schema\": \"dbt-serve/trace-log/v1\", \"capacity\": {}, \
+             \"entries\": [{entries}]}}",
+            self.config.trace_log_capacity
         )
     }
 
-    /// The untimed request dispatch behind [`Shared::respond`].
-    fn answer(&self, decoded: Result<Request, String>) -> (Response, bool) {
+    /// The untimed request dispatch behind [`Shared::respond`]; `trace`
+    /// is the span context of a heavy traced request, handed across the
+    /// queue to the executing worker.
+    fn answer(
+        &self,
+        decoded: Result<Request, String>,
+        trace: Option<&TraceHandle>,
+    ) -> (Response, bool) {
         let request = match decoded {
             Ok(request) => request,
             Err(error) => return (Response::Error { op: "invalid".to_string(), error }, false),
@@ -377,9 +475,32 @@ impl Shared {
             Request::Profile { program: None, .. } => {
                 (Response::Ok { op, body: self.trace_log_json() }, false)
             }
+            Request::Trace { target } => {
+                (Response::Ok { op, body: self.spans.tree_json(&target) }, false)
+            }
+            Request::Logs { level } => match level
+                .as_deref()
+                .map_or(Some(LogLevel::Debug), LogLevel::parse)
+            {
+                Some(min_level) => (Response::Ok { op, body: self.events.json(min_level) }, false),
+                None => (
+                    Response::Error {
+                        op,
+                        error: format!(
+                            "unknown log level `{}` (expected debug|info|warn|error)",
+                            level.unwrap_or_default()
+                        ),
+                    },
+                    false,
+                ),
+            },
             request => {
+                let trace = trace.map(|handle| JobTrace {
+                    handle: handle.clone(),
+                    enqueued_micros: self.spans.now_micros(),
+                });
                 let (reply, result) = mpsc::channel();
-                match self.queue.try_push(Job { request, reply }) {
+                match self.queue.try_push(Job { request, reply, trace }) {
                     Ok(()) => match result.recv() {
                         Ok(Ok(body)) => (Response::Ok { op, body }, false),
                         Ok(Err(error)) => (Response::Error { op, error }, false),
@@ -408,6 +529,7 @@ impl Shared {
     /// admitted jobs and exit) and pokes the acceptor awake.
     fn begin_shutdown(&self) {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
+            self.events.log(LogLevel::Info, "serve.lifecycle", "stopping", None, &[]);
             self.queue.close();
             // The acceptor blocks in `accept`; a throwaway connection to
             // ourselves unblocks it so it can observe the flag and exit.
@@ -466,6 +588,8 @@ fn execute(backend: &dyn LabBackend, request: &Request) -> Result<String, String
         Request::Profile { program: None, .. }
         | Request::Stats
         | Request::Metrics
+        | Request::Trace { .. }
+        | Request::Logs { .. }
         | Request::Health
         | Request::Shutdown => Err("internal: cheap request on the worker pool".to_string()),
     }
@@ -557,8 +681,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         }
         let generated = format!("t{frame_seq}");
         frame_seq += 1;
-        let (response, stop, trace_id) = shared.respond(&line, generated);
-        let frame = response.encode_with_trace(Some(&trace_id));
+        let (frame, stop) = shared.respond(&line, generated);
         shared.metrics.bytes_written.add(frame.len() as u64 + 1);
         if writeln!(writer, "{frame}").and_then(|()| writer.flush()).is_err() {
             return;
@@ -616,6 +739,21 @@ pub fn serve<A: ToSocketAddrs>(
     backend: Arc<dyn LabBackend>,
     config: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
+    serve_with_clock(addr, backend, config, TraceClock::wall())
+}
+
+/// [`serve`] with an explicit span clock — a [`TraceClock::scripted`]
+/// clock makes recorded span trees structurally deterministic for tests.
+///
+/// # Errors
+///
+/// Propagates the I/O error if the listener cannot bind.
+pub fn serve_with_clock<A: ToSocketAddrs>(
+    addr: A,
+    backend: Arc<dyn LabBackend>,
+    config: ServerConfig,
+    clock: TraceClock,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     // The pool never runs empty: clamp here so both the spawn loop and the
     // `health` response describe the same daemon.
@@ -629,14 +767,39 @@ pub fn serve<A: ToSocketAddrs>(
         started: Instant::now(),
         metrics: ServerMetrics::new(),
         traces: Mutex::new(VecDeque::new()),
+        spans: Arc::new(SpanRecorder::with_capacity(config.span_log_capacity, clock)),
+        events: EventLog::with_capacity(config.event_log_capacity),
     });
+    shared.events.log(
+        LogLevel::Info,
+        "serve.lifecycle",
+        "listening",
+        None,
+        &[("addr", &shared.addr.to_string()), ("workers", &config.workers.to_string())],
+    );
 
     let workers = (0..config.workers)
         .map(|_| {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || {
                 while let Some(job) = shared.queue.pop() {
+                    // Re-enter the request's trace context on this thread
+                    // (the lab layers' stage spans flow through it) and
+                    // surface the time the job sat admitted-but-unpopped.
+                    let scope = job.trace.as_ref().map(|trace| {
+                        let popped = shared.spans.now_micros();
+                        shared.spans.record(SpanRecord {
+                            trace_id: trace.handle.trace_id().to_string(),
+                            span_id: format!("{SPAN_PREFIX}:queue-wait"),
+                            parent: Some(ROOT_SPAN.to_string()),
+                            stage: "queue-wait".to_string(),
+                            start_micros: trace.enqueued_micros,
+                            duration_micros: popped.saturating_sub(trace.enqueued_micros),
+                        });
+                        trace.handle.enter()
+                    });
                     let result = execute(&*shared.backend, &job.request);
+                    drop(scope);
                     // A handler that gave up (client disconnected) is fine.
                     let _ = job.reply.send(result);
                     shared.metrics.completed.inc();
@@ -904,6 +1067,127 @@ mod tests {
         };
         assert!(body.contains("dbt_serve_frame_cap_errors_total 1"), "{body}");
 
+        handle.shutdown();
+        handle.wait();
+    }
+
+    fn quiet_backend() -> Arc<BlockingBackend> {
+        let (started_tx, _started_rx) = mpsc::channel();
+        let (_release_tx, release_rx) = mpsc::channel();
+        Arc::new(BlockingBackend { started: started_tx, release: Mutex::new(release_rx) })
+    }
+
+    #[test]
+    fn trace_log_capacity_knob_evicts_at_the_boundary() {
+        let handle = serve(
+            "127.0.0.1:0",
+            quiet_backend(),
+            ServerConfig { trace_log_capacity: 3, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        for id in ["q1", "q2", "q3"] {
+            client.request_traced(&Request::Health, Some(id)).unwrap();
+        }
+        // Exactly at capacity: nothing evicted yet.
+        let log_request =
+            Request::Profile { program: None, policy: DEFAULT_RUN_POLICY.to_string() };
+        let (reply, _) = client.request_traced(&log_request, Some("scrape-1")).unwrap();
+        let Response::Ok { body, .. } = reply else { panic!("profile must answer ok") };
+        assert!(body.contains("\"capacity\": 3"), "{body}");
+        for id in ["q1", "q2", "q3"] {
+            assert!(body.contains(id), "{body}");
+        }
+        // One over (the scrape itself was recorded after answering): the
+        // oldest entry, and only it, is gone.
+        let (reply, _) = client.request_traced(&log_request, Some("scrape-2")).unwrap();
+        let Response::Ok { body, .. } = reply else { panic!("profile must answer ok") };
+        assert!(!body.contains("q1"), "oldest entry must be evicted: {body}");
+        for id in ["q2", "q3", "scrape-1"] {
+            assert!(body.contains(id), "{body}");
+        }
+        handle.shutdown();
+        handle.wait();
+    }
+
+    #[test]
+    fn trace_op_assembles_the_span_tree_of_a_heavy_request() {
+        use crate::protocol::FrameMeta;
+        let handle = serve_with_clock(
+            "127.0.0.1:0",
+            quiet_backend(),
+            ServerConfig::default(),
+            dbt_obs::TraceClock::scripted(10),
+        )
+        .unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        // A heavy request without a parent_span roots its own tree...
+        let analyze = Request::Analyze { program: "p".to_string() };
+        client.request_traced(&analyze, Some("job-1")).unwrap();
+        let Response::Ok { body, .. } =
+            client.request(&Request::Trace { target: "job-1".to_string() }).unwrap()
+        else {
+            panic!("trace must answer ok")
+        };
+        assert!(
+            body.starts_with("{\"schema\": \"dbt-serve/trace/v1\", \"trace_id\": \"job-1\""),
+            "{body}"
+        );
+        for span in ["d:decode", "d:queue-wait", "d:request", "d:encode"] {
+            assert!(body.contains(&format!("\"span_id\": \"{span}\"")), "{body}");
+        }
+        assert!(
+            body.contains("\"span_id\": \"d:request\", \"parent\": null"),
+            "no parent_span member means the request roots the tree: {body}"
+        );
+        // ...while a relayed frame's `parent_span` reparents the root.
+        let meta = FrameMeta {
+            trace_id: Some("job-2".to_string()),
+            parent_span: Some("r:relay".to_string()),
+            ..FrameMeta::default()
+        };
+        client.request_meta(&analyze, &meta).unwrap();
+        let Response::Ok { body, .. } =
+            client.request(&Request::Trace { target: "job-2".to_string() }).unwrap()
+        else {
+            panic!("trace must answer ok")
+        };
+        assert!(body.contains("\"span_id\": \"d:request\", \"parent\": \"r:relay\""), "{body}");
+        // Cheap requests (the trace fetches above included) record nothing.
+        let Response::Ok { body, .. } =
+            client.request(&Request::Trace { target: "t2".to_string() }).unwrap()
+        else {
+            panic!("trace must answer ok")
+        };
+        assert!(body.contains("\"spans\": []"), "{body}");
+        handle.shutdown();
+        handle.wait();
+    }
+
+    #[test]
+    fn logs_op_serves_leveled_lifecycle_events() {
+        let handle = serve("127.0.0.1:0", quiet_backend(), ServerConfig::default()).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let Response::Ok { body, .. } = client.request(&Request::Logs { level: None }).unwrap()
+        else {
+            panic!("logs must answer ok")
+        };
+        assert!(body.starts_with("{\"schema\": \"dbt-serve/logs/v1\""), "{body}");
+        assert!(body.contains("\"target\": \"serve.lifecycle\""), "{body}");
+        assert!(body.contains("\"message\": \"listening\""), "{body}");
+        // The level filter hides info-level lifecycle chatter.
+        let Response::Ok { body, .. } =
+            client.request(&Request::Logs { level: Some("warn".to_string()) }).unwrap()
+        else {
+            panic!("logs must answer ok")
+        };
+        assert!(!body.contains("listening"), "{body}");
+        // Unknown levels are described, not guessed.
+        let reply = client.request(&Request::Logs { level: Some("loud".to_string()) }).unwrap();
+        assert!(
+            matches!(&reply, Response::Error { error, .. } if error.contains("unknown log level `loud`")),
+            "{reply:?}"
+        );
         handle.shutdown();
         handle.wait();
     }
