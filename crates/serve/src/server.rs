@@ -143,6 +143,16 @@ pub trait LabBackend: Send + Sync {
     fn metrics_text(&self) -> String {
         String::new()
     }
+
+    /// The backend's own structured event log, if it keeps one. When
+    /// present, the server adopts it as the log behind the `logs` op —
+    /// backend events (durable-cache lifecycle, quarantines, GC) and
+    /// server lifecycle events interleave in one stream. The default is
+    /// `None`: the server creates its own log bounded by
+    /// [`ServerConfig::event_log_capacity`], exactly as before.
+    fn event_log(&self) -> Option<Arc<EventLog>> {
+        None
+    }
 }
 
 /// Default bound on one request frame, in bytes. Large enough for any
@@ -152,7 +162,7 @@ pub trait LabBackend: Send + Sync {
 pub const DEFAULT_MAX_FRAME_BYTES: usize = 4 << 20;
 
 /// Daemon sizing knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Fixed number of worker threads executing heavy requests.
     pub workers: usize,
@@ -170,6 +180,12 @@ pub struct ServerConfig {
     pub span_log_capacity: usize,
     /// Bound of the structured event log behind the `logs` op.
     pub event_log_capacity: usize,
+    /// Root directory of the durable content-addressed cache the backend
+    /// serving this config attaches (`lab serve --cache-dir`). `None` —
+    /// the default — keeps every cache purely in-memory: behavior,
+    /// counters and artifacts are byte-identical to builds without the
+    /// persistence tier.
+    pub cache_dir: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -188,6 +204,7 @@ impl Default for ServerConfig {
             trace_log_capacity: TRACE_LOG_CAPACITY,
             span_log_capacity: dbt_obs::DEFAULT_SPAN_CAPACITY,
             event_log_capacity: dbt_obs::DEFAULT_EVENT_CAPACITY,
+            cache_dir: None,
         }
     }
 }
@@ -321,8 +338,9 @@ struct Shared {
     traces: Mutex<VecDeque<(String, String, u64)>>,
     /// Finished request spans, served by the `trace` op.
     spans: Arc<SpanRecorder>,
-    /// Structured lifecycle events, served by the `logs` op.
-    events: EventLog,
+    /// Structured lifecycle events, served by the `logs` op. Shared with
+    /// the backend when it lends its own log via [`LabBackend::event_log`].
+    events: Arc<EventLog>,
 }
 
 impl Shared {
@@ -758,27 +776,33 @@ pub fn serve_with_clock<A: ToSocketAddrs>(
     // The pool never runs empty: clamp here so both the spawn loop and the
     // `health` response describe the same daemon.
     let config = ServerConfig { workers: config.workers.max(1), ..config };
+    // A backend that keeps its own event log (the durable-cache daemon
+    // does, so persistence events and server lifecycle interleave in one
+    // `logs` stream) lends it to the server; otherwise the server owns one.
+    let events = backend
+        .event_log()
+        .unwrap_or_else(|| Arc::new(EventLog::with_capacity(config.event_log_capacity)));
     let shared = Arc::new(Shared {
         backend,
         queue: BoundedQueue::new(config.queue_depth),
-        config,
         addr: listener.local_addr()?,
         shutdown: AtomicBool::new(false),
         started: Instant::now(),
         metrics: ServerMetrics::new(),
         traces: Mutex::new(VecDeque::new()),
         spans: Arc::new(SpanRecorder::with_capacity(config.span_log_capacity, clock)),
-        events: EventLog::with_capacity(config.event_log_capacity),
+        events,
+        config,
     });
     shared.events.log(
         LogLevel::Info,
         "serve.lifecycle",
         "listening",
         None,
-        &[("addr", &shared.addr.to_string()), ("workers", &config.workers.to_string())],
+        &[("addr", &shared.addr.to_string()), ("workers", &shared.config.workers.to_string())],
     );
 
-    let workers = (0..config.workers)
+    let workers = (0..shared.config.workers)
         .map(|_| {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || {
